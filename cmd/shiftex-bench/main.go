@@ -1,0 +1,225 @@
+// Command shiftex-bench regenerates the paper's tables and figures from the
+// Go reproduction. Each experiment id maps to one artifact of the paper's
+// evaluation (§7):
+//
+//	table1-fmow, table1-cifar           Table 1 (Drop/Time/Max per window)
+//	table2-tinyimagenet, table2-femnist,
+//	table2-fashion                      Table 2
+//	fig3, fig4                          convergence curves
+//	fig5, fig6                          max accuracy per window
+//	fig7, fig8                          expert distributions
+//	overheads                           §7 ShiftEx overhead measurements
+//	all                                 everything above
+//
+// Scale and seeds are configurable; -paper approximates the full protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/facility"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "shiftex-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("shiftex-bench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id (see package doc)")
+	paper := fs.Bool("paper", false, "use paper-scale protocol (slow)")
+	scale := fs.Float64("scale", 0, "override party/sample scale (0 = preset)")
+	seeds := fs.Int("seeds", 0, "override number of seeds (0 = preset)")
+	rounds := fs.Int("rounds", 0, "override rounds per window (0 = preset)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.QuickOptions()
+	if *paper {
+		opts = experiments.PaperOptions()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *seeds > 0 {
+		opts.Seeds = opts.Seeds[:0]
+		for s := 1; s <= *seeds; s++ {
+			opts.Seeds = append(opts.Seeds, uint64(s))
+		}
+	}
+	if *rounds > 0 {
+		opts.RoundsPerWindow = *rounds
+		opts.BootstrapRounds = *rounds
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{
+			"table1-fmow", "table1-cifar", "table2-tinyimagenet",
+			"table2-femnist", "table2-fashion",
+			"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "overheads",
+		}
+	}
+	cache := map[string]*experiments.Comparison{}
+	for _, id := range ids {
+		start := time.Now()
+		if err := runExperiment(strings.TrimSpace(id), opts, cache); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// compareCached runs (or reuses) the five-technique comparison for a
+// benchmark; figure experiments share table runs.
+func compareCached(name string, opts experiments.Options, cache map[string]*experiments.Comparison) (*experiments.Comparison, error) {
+	if c, ok := cache[name]; ok {
+		return c, nil
+	}
+	b, err := experiments.BenchmarkByName(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := experiments.Compare(b, opts)
+	if err != nil {
+		return nil, err
+	}
+	cache[name] = c
+	return c, nil
+}
+
+func runExperiment(id string, opts experiments.Options, cache map[string]*experiments.Comparison) error {
+	table := func(name string) error {
+		c, err := compareCached(name, opts, cache)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteTable(os.Stdout, c); err != nil {
+			return err
+		}
+		return experiments.WriteSummary(os.Stdout, c)
+	}
+	figure := func(names []string, write func(*experiments.Comparison) error) error {
+		for _, name := range names {
+			c, err := compareCached(name, opts, cache)
+			if err != nil {
+				return err
+			}
+			if err := write(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch id {
+	case "table1-fmow":
+		return table("fmow")
+	case "table1-cifar":
+		return table("cifar10c")
+	case "table2-tinyimagenet":
+		return table("tinyimagenetc")
+	case "table2-femnist":
+		return table("femnist")
+	case "table2-fashion":
+		return table("fashionmnist")
+	case "fig3":
+		return figure([]string{"fmow", "tinyimagenetc", "cifar10c"}, func(c *experiments.Comparison) error {
+			return experiments.WriteConvergence(os.Stdout, c)
+		})
+	case "fig4":
+		return figure([]string{"femnist", "fashionmnist"}, func(c *experiments.Comparison) error {
+			return experiments.WriteConvergence(os.Stdout, c)
+		})
+	case "fig5":
+		return figure([]string{"fmow", "tinyimagenetc", "cifar10c"}, func(c *experiments.Comparison) error {
+			return experiments.WriteMaxAccuracy(os.Stdout, c)
+		})
+	case "fig6":
+		return figure([]string{"femnist", "fashionmnist"}, func(c *experiments.Comparison) error {
+			return experiments.WriteMaxAccuracy(os.Stdout, c)
+		})
+	case "fig7":
+		return figure([]string{"fmow", "tinyimagenetc", "cifar10c"}, func(c *experiments.Comparison) error {
+			return experiments.WriteExpertDistribution(os.Stdout, c, "shiftex")
+		})
+	case "fig8":
+		return figure([]string{"femnist", "fashionmnist"}, func(c *experiments.Comparison) error {
+			return experiments.WriteExpertDistribution(os.Stdout, c, "shiftex")
+		})
+	case "overheads":
+		return overheads(os.Stdout)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+}
+
+// overheads measures the §7 aggregator-side costs on ResNet-50-scale
+// statistics: 200 parties, 2048-d embeddings.
+func overheads(w interface{ Write([]byte) (int, error) }) error {
+	const (
+		parties = 200
+		dim     = 2048
+		sample  = 64
+	)
+	rng := tensor.NewRNG(1)
+	fmt.Fprintf(w, "overheads (parties=%d, embedding dim=%d)\n", parties, dim)
+
+	// MMD drift detection per party (sample×sample kernel).
+	xs := make([]tensor.Vector, sample)
+	ys := make([]tensor.Vector, sample)
+	for i := range xs {
+		xs[i] = rng.NormVec(dim, 0, 1)
+		ys[i] = rng.NormVec(dim, 0.5, 1)
+	}
+	start := time.Now()
+	if _, err := stats.MMD(xs, ys, stats.RBFKernel{Gamma: 0.001}); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  MMD drift detection (%dx%d, %d-d): %v\n", sample, sample, dim, time.Since(start))
+
+	// Clustering 200 parties' latent representations.
+	points := make([]tensor.Vector, parties)
+	for i := range points {
+		points[i] = rng.NormVec(dim, float64(i%4), 1)
+	}
+	start = time.Now()
+	if _, err := cluster.SelectK(points, 6, cluster.Config{}, rng); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  clustering %d parties (%d-d): %v\n", parties, dim, time.Since(start))
+
+	// Expert assignment for 6 clusters over 5 experts.
+	clients := make([]facility.Client, 6)
+	for i := range clients {
+		clients[i] = facility.Client{ID: i, Embedding: rng.NormVec(dim, 0, 1), LabelHist: stats.Uniform(10), Weight: 30}
+	}
+	existing := make([]facility.Facility, 5)
+	for i := range existing {
+		existing[i] = facility.Facility{ID: i, Signature: rng.NormVec(dim, 0, 1)}
+	}
+	start = time.Now()
+	if _, err := facility.SolveGreedy(&facility.Instance{
+		Clients: clients, Existing: existing, NewCost: 1, LabelWeight: 0.3,
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  expert assignment (6 clusters x 5 experts): %v\n", time.Since(start))
+
+	// Memory footprint estimates (the paper's §7 accounting).
+	fmt.Fprintf(w, "  memory: expert centroids 5x%d floats = %d KB; party map %d ints = %.1f KB\n",
+		dim, 5*dim*8/1024, parties, float64(parties*8)/1024)
+	return nil
+}

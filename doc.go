@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Shift Happens:
+// Mixture of Experts based Continual Adaptation in Federated Learning"
+// (MIDDLEWARE 2025): the ShiftEx shift-aware mixture-of-experts middleware
+// for streaming federated learning, together with every substrate it needs
+// — a neural-network training stack, kernel two-sample statistics, k-means
+// clustering, facility-location assignment, a windowed stream engine, a
+// federated round engine with in-process and TCP transports, FLIPS
+// participant selection, the four baseline techniques the paper compares
+// against, and the full experiment harness that regenerates the paper's
+// tables and figures.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record. The benchmarks in bench_test.go regenerate each
+// table and figure at reduced scale; cmd/shiftex-bench produces them at any
+// scale.
+package repro

@@ -1,0 +1,78 @@
+// Package baselines implements the four comparison techniques the paper
+// evaluates ShiftEx against (§6): FedProx (proximal single global model),
+// OORT (utility-guided participant selection), Fielding (label-distribution
+// re-clustering into experts), and FedDrift (loss-pattern expert
+// clustering). Each implements federation.Technique so the experiment
+// harness can run all five methods under identical streaming workloads.
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/federation"
+	"repro/internal/fl"
+	"repro/internal/tensor"
+)
+
+// Config is the shared training budget for all baselines, matched to the
+// ShiftEx configuration so comparisons are fair.
+type Config struct {
+	BootstrapRounds      int
+	RoundsPerWindow      int
+	ParticipantsPerRound int
+	Train                fl.TrainConfig
+}
+
+// DefaultConfig mirrors shiftex.DefaultConfig's budget.
+func DefaultConfig() Config {
+	return Config{
+		BootstrapRounds:      15,
+		RoundsPerWindow:      15,
+		ParticipantsPerRound: 10,
+		Train:                fl.TrainConfig{Epochs: 2, BatchSize: 16, LR: 0.02, Momentum: 0.9},
+	}
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.BootstrapRounds <= 0 || c.RoundsPerWindow <= 0:
+		return fmt.Errorf("baselines: rounds must be positive (bootstrap=%d window=%d)", c.BootstrapRounds, c.RoundsPerWindow)
+	case c.ParticipantsPerRound <= 0:
+		return fmt.Errorf("baselines: participants per round must be positive, got %d", c.ParticipantsPerRound)
+	}
+	return c.Train.Validate()
+}
+
+// rounds returns the round budget for window w.
+func (c Config) rounds(w int) int {
+	if w == 0 {
+		return c.BootstrapRounds
+	}
+	return c.RoundsPerWindow
+}
+
+// sampleParties draws k uniform parties without replacement.
+func sampleParties(ids []int, k int, rng *tensor.RNG) []int {
+	if k >= len(ids) {
+		out := append([]int(nil), ids...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	idx := rng.Sample(len(ids), k)
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = ids[j]
+	}
+	return out
+}
+
+// singleAssignments maps every party to model 0 — the expert-distribution
+// view of single-global-model techniques.
+func singleAssignments(f *federation.Federation) map[int]int {
+	out := make(map[int]int, f.NumParties())
+	for _, p := range f.PartyIDs() {
+		out[p] = 0
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/federation"
+	"repro/internal/tensor"
+)
+
+func quickFederation(t *testing.T, seed uint64) *federation.Federation {
+	t.Helper()
+	spec := dataset.FMoWSpec()
+	spec.NumParties = 10
+	spec.SamplesPerParty = 30
+	spec.TestPerParty = 15
+	spec.Windows = 3
+	sc, err := dataset.BuildScenario(spec, dataset.DefaultShiftConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := federation.New(sc, []int{spec.InputDim, 24, 12, spec.NumClasses}, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.BootstrapRounds = 5
+	cfg.RoundsPerWindow = 4
+	cfg.ParticipantsPerRound = 5
+	cfg.Train.Epochs = 2
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.BootstrapRounds = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero rounds should error")
+	}
+	bad = DefaultConfig()
+	bad.ParticipantsPerRound = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero participants should error")
+	}
+	bad = DefaultConfig()
+	bad.Train.LR = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad train config should error")
+	}
+}
+
+func runAllWindows(t *testing.T, fed *federation.Federation, tech federation.Technique) [][]float64 {
+	t.Helper()
+	var traces [][]float64
+	for w := 0; w < fed.NumWindows(); w++ {
+		trace, err := tech.RunWindow(fed, w)
+		if err != nil {
+			t.Fatalf("%s window %d: %v", tech.Name(), w, err)
+		}
+		if len(trace) == 0 {
+			t.Fatalf("%s window %d: empty trace", tech.Name(), w)
+		}
+		traces = append(traces, trace)
+	}
+	return traces
+}
+
+func TestFedProxRuns(t *testing.T) {
+	fed := quickFederation(t, 100)
+	fp, err := NewFedProx(quickCfg(), 0.1, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Name() != "fedprox" {
+		t.Fatal("name")
+	}
+	traces := runAllWindows(t, fed, fp)
+	// Bootstrap must learn something.
+	w0 := traces[0]
+	if w0[len(w0)-1] <= 0.15 {
+		t.Fatalf("fedprox bootstrap accuracy = %g", w0[len(w0)-1])
+	}
+	// Single model: all parties map to model 0.
+	for _, id := range fp.Assignments() {
+		if id != 0 {
+			t.Fatal("fedprox should be a single-model technique")
+		}
+	}
+	if fp.Global() == nil {
+		t.Fatal("global params missing")
+	}
+}
+
+func TestFedProxValidation(t *testing.T) {
+	if _, err := NewFedProx(quickCfg(), -1, 1); err == nil {
+		t.Fatal("negative mu should error")
+	}
+	bad := quickCfg()
+	bad.RoundsPerWindow = 0
+	if _, err := NewFedProx(bad, 0.1, 1); err == nil {
+		t.Fatal("bad config should error")
+	}
+	fed := quickFederation(t, 102)
+	fp, err := NewFedProx(quickCfg(), 0.1, 103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fp.RunWindow(fed, 1); err == nil {
+		t.Fatal("window 1 before window 0 should error")
+	}
+	if len(fp.Assignments()) != 0 {
+		t.Fatal("assignments before any window should be empty")
+	}
+}
+
+func TestOORTRuns(t *testing.T) {
+	fed := quickFederation(t, 110)
+	o, err := NewOORT(quickCfg(), 0.2, 111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name() != "oort" {
+		t.Fatal("name")
+	}
+	runAllWindows(t, fed, o)
+	// Utilities must be recorded for selected parties.
+	if len(o.utility) == 0 {
+		t.Fatal("no utilities recorded")
+	}
+}
+
+func TestOORTValidation(t *testing.T) {
+	if _, err := NewOORT(quickCfg(), -0.1, 1); err == nil {
+		t.Fatal("negative explore should error")
+	}
+	if _, err := NewOORT(quickCfg(), 1.1, 1); err == nil {
+		t.Fatal("explore > 1 should error")
+	}
+	fed := quickFederation(t, 112)
+	o, err := NewOORT(quickCfg(), 0.2, 113)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.RunWindow(fed, 2); err == nil {
+		t.Fatal("window before bootstrap should error")
+	}
+}
+
+func TestOORTSelectionPrefersHighLoss(t *testing.T) {
+	o, err := NewOORT(quickCfg(), 0, 7) // no exploration
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{0, 1, 2, 3, 4}
+	for _, id := range ids {
+		o.utility[id] = float64(id) // party 4 most useful
+	}
+	sel := o.selectCohort(ids, 2)
+	if len(sel) != 2 || sel[0] != 4 || sel[1] != 3 {
+		t.Fatalf("selection = %v, want [4 3]", sel)
+	}
+}
+
+func TestFieldingRuns(t *testing.T) {
+	fed := quickFederation(t, 120)
+	fl, err := NewFielding(quickCfg(), 4, 121)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Name() != "fielding" {
+		t.Fatal("name")
+	}
+	runAllWindows(t, fed, fl)
+	assigns := fl.Assignments()
+	if len(assigns) != fed.NumParties() {
+		t.Fatalf("assignments = %d", len(assigns))
+	}
+}
+
+func TestFieldingValidation(t *testing.T) {
+	if _, err := NewFielding(quickCfg(), -1, 1); err == nil {
+		t.Fatal("negative maxClusters should error")
+	}
+	bad := quickCfg()
+	bad.BootstrapRounds = -1
+	if _, err := NewFielding(bad, 0, 1); err == nil {
+		t.Fatal("bad config should error")
+	}
+}
+
+func TestFedDriftRuns(t *testing.T) {
+	fed := quickFederation(t, 130)
+	fd, err := NewFedDrift(quickCfg(), 1.5, 5, 131)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Name() != "feddrift" {
+		t.Fatal("name")
+	}
+	runAllWindows(t, fed, fd)
+	if len(fd.experts) < 1 || len(fd.experts) > 5 {
+		t.Fatalf("expert pool = %d", len(fd.experts))
+	}
+	assigns := fd.Assignments()
+	if len(assigns) != fed.NumParties() {
+		t.Fatalf("assignments = %d", len(assigns))
+	}
+	for p, id := range assigns {
+		if _, ok := fd.experts[id]; !ok {
+			t.Fatalf("party %d assigned to missing expert %d", p, id)
+		}
+	}
+}
+
+func TestFedDriftValidation(t *testing.T) {
+	if _, err := NewFedDrift(quickCfg(), 1.0, 5, 1); err == nil {
+		t.Fatal("drift factor <=1 should error")
+	}
+	if _, err := NewFedDrift(quickCfg(), 1.5, -1, 1); err == nil {
+		t.Fatal("negative maxExperts should error")
+	}
+}
+
+func TestSampleParties(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	ids := []int{10, 20, 30, 40}
+	s := sampleParties(ids, 2, rng)
+	if len(s) != 2 {
+		t.Fatalf("sample = %v", s)
+	}
+	all := sampleParties(ids, 10, rng)
+	if len(all) != 4 {
+		t.Fatalf("oversample = %v", all)
+	}
+	// Input must not be reordered.
+	if ids[0] != 10 || ids[3] != 40 {
+		t.Fatal("sampleParties mutated input")
+	}
+}
+
+func TestIFCARuns(t *testing.T) {
+	fed := quickFederation(t, 140)
+	ifca, err := NewIFCA(quickCfg(), 3, 141)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifca.Name() != "ifca" {
+		t.Fatal("name")
+	}
+	runAllWindows(t, fed, ifca)
+	assigns := ifca.Assignments()
+	if len(assigns) != fed.NumParties() {
+		t.Fatalf("assignments = %d", len(assigns))
+	}
+	for _, c := range assigns {
+		if c < 0 || c >= 3 {
+			t.Fatalf("cluster id %d out of range", c)
+		}
+	}
+}
+
+func TestIFCAValidation(t *testing.T) {
+	if _, err := NewIFCA(quickCfg(), 0, 1); err == nil {
+		t.Fatal("zero clusters should error")
+	}
+	bad := quickCfg()
+	bad.RoundsPerWindow = 0
+	if _, err := NewIFCA(bad, 2, 1); err == nil {
+		t.Fatal("bad config should error")
+	}
+	fed := quickFederation(t, 142)
+	ifca, err := NewIFCA(quickCfg(), 2, 143)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ifca.RunWindow(fed, 1); err == nil {
+		t.Fatal("window before bootstrap should error")
+	}
+}

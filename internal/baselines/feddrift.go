@@ -1,0 +1,167 @@
+package baselines
+
+import (
+	"errors"
+
+	"repro/internal/federation"
+	"repro/internal/tensor"
+)
+
+// FedDrift (Jothimurugesan et al., 2023) maintains a pool of expert models
+// and routes each party to the expert with the lowest loss on its local
+// data; parties badly served by every expert (loss above a drift threshold
+// relative to their previous loss) trigger the creation of a new expert.
+// It adapts through coarse loss signals only — without explicit
+// covariate/label decomposition it over- or under-spawns when loss changes
+// have mixed causes, the behaviour the paper contrasts against.
+type FedDrift struct {
+	cfg Config
+	// driftFactor: a party is "drifted" when its best expert loss exceeds
+	// driftFactor × its previous best loss.
+	driftFactor float64
+	maxExperts  int
+	experts     map[int]tensor.Vector
+	nextID      int
+	assignment  map[int]int
+	prevLoss    map[int]float64
+	rng         *tensor.RNG
+}
+
+var _ federation.Technique = (*FedDrift)(nil)
+
+// NewFedDrift builds the baseline. driftFactor > 1 (e.g. 1.5); maxExperts
+// bounds the pool (0 means 6).
+func NewFedDrift(cfg Config, driftFactor float64, maxExperts int, seed uint64) (*FedDrift, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if driftFactor <= 1 {
+		return nil, errors.New("feddrift: drift factor must exceed 1")
+	}
+	if maxExperts < 0 {
+		return nil, errors.New("feddrift: maxExperts must be non-negative")
+	}
+	if maxExperts == 0 {
+		maxExperts = 6
+	}
+	return &FedDrift{
+		cfg:         cfg,
+		driftFactor: driftFactor,
+		maxExperts:  maxExperts,
+		experts:     make(map[int]tensor.Vector),
+		assignment:  make(map[int]int),
+		prevLoss:    make(map[int]float64),
+		rng:         tensor.NewRNG(seed),
+	}, nil
+}
+
+// Name implements federation.Technique.
+func (t *FedDrift) Name() string { return "feddrift" }
+
+// Assignments implements federation.Technique.
+func (t *FedDrift) Assignments() map[int]int {
+	out := make(map[int]int, len(t.assignment))
+	for k, v := range t.assignment {
+		out[k] = v
+	}
+	return out
+}
+
+// route assigns every party to its lowest-loss expert, spawning a new
+// expert from the drifted population when warranted.
+func (t *FedDrift) route(f *federation.Federation, init tensor.Vector) error {
+	if len(t.experts) == 0 {
+		t.experts[t.nextID] = init.Clone()
+		t.nextID++
+	}
+	var drifted []int
+	for _, p := range f.PartyIDs() {
+		bestID, bestLoss := -1, 0.0
+		for id, params := range t.experts {
+			loss, err := f.PartyLoss(p, params)
+			if err != nil {
+				return err
+			}
+			if bestID < 0 || loss < bestLoss {
+				bestID, bestLoss = id, loss
+			}
+		}
+		t.assignment[p] = bestID
+		if prev, ok := t.prevLoss[p]; ok && bestLoss > t.driftFactor*prev {
+			drifted = append(drifted, p)
+		}
+		t.prevLoss[p] = bestLoss
+	}
+	// Drifted parties get a fresh expert (a single new cluster — the
+	// lightweight variant of FedDrift's hierarchical clustering).
+	if len(drifted) > 1 && len(t.experts) < t.maxExperts {
+		id := t.nextID
+		t.nextID++
+		t.experts[id] = init.Clone()
+		for _, p := range drifted {
+			t.assignment[p] = id
+			delete(t.prevLoss, p) // new model: previous loss not comparable
+		}
+	}
+	return nil
+}
+
+// RunWindow implements federation.Technique.
+func (t *FedDrift) RunWindow(f *federation.Federation, w int) ([]float64, error) {
+	if err := f.SetWindow(w); err != nil {
+		return nil, err
+	}
+	init, err := f.InitialParams()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.route(f, init); err != nil {
+		return nil, err
+	}
+
+	paramsFor := func(p int) tensor.Vector {
+		id, ok := t.assignment[p]
+		if !ok {
+			return nil
+		}
+		return t.experts[id]
+	}
+
+	cohorts := make(map[int][]int)
+	for p, id := range t.assignment {
+		cohorts[id] = append(cohorts[id], p)
+	}
+	rounds := t.cfg.rounds(w)
+	trace := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		for id, members := range cohorts {
+			if len(members) == 0 {
+				continue
+			}
+			selected := sampleParties(members, min(t.cfg.ParticipantsPerRound, len(members)), t.rng)
+			cfg := t.cfg.Train
+			cfg.Seed = t.rng.Uint64()
+			next, _, err := f.Round(t.experts[id], selected, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.experts[id] = next
+		}
+		acc, err := f.EvalAssignment(paramsFor)
+		if err != nil {
+			return nil, err
+		}
+		trace = append(trace, acc)
+	}
+	// Refresh loss baselines under the freshly trained experts so the
+	// next window's drift test compares like with like.
+	for _, p := range f.PartyIDs() {
+		id := t.assignment[p]
+		loss, err := f.PartyLoss(p, t.experts[id])
+		if err != nil {
+			return nil, err
+		}
+		t.prevLoss[p] = loss
+	}
+	return trace, nil
+}

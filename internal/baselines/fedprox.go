@@ -1,0 +1,86 @@
+package baselines
+
+import (
+	"errors"
+
+	"repro/internal/federation"
+	"repro/internal/tensor"
+)
+
+// FedProx (Li et al., MLSys '20) trains a single global model with a
+// proximal term that pulls each party's local update toward the global
+// parameters, stabilizing training under non-IID data. It has no shift
+// detection or adaptation mechanism: at every window it simply keeps
+// training the one global model, which is exactly the brittleness the
+// paper's Tables 1-2 exhibit.
+type FedProx struct {
+	cfg    Config
+	mu     float64
+	global tensor.Vector
+	rng    *tensor.RNG
+	last   *federation.Federation
+}
+
+var _ federation.Technique = (*FedProx)(nil)
+
+// NewFedProx builds the baseline. mu is the proximal coefficient.
+func NewFedProx(cfg Config, mu float64, seed uint64) (*FedProx, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mu < 0 {
+		return nil, errors.New("fedprox: mu must be non-negative")
+	}
+	return &FedProx{cfg: cfg, mu: mu, rng: tensor.NewRNG(seed)}, nil
+}
+
+// Name implements federation.Technique.
+func (t *FedProx) Name() string { return "fedprox" }
+
+// Assignments implements federation.Technique.
+func (t *FedProx) Assignments() map[int]int {
+	if t.last == nil {
+		return map[int]int{}
+	}
+	return singleAssignments(t.last)
+}
+
+// Global returns the current global parameters.
+func (t *FedProx) Global() tensor.Vector { return t.global }
+
+// RunWindow implements federation.Technique.
+func (t *FedProx) RunWindow(f *federation.Federation, w int) ([]float64, error) {
+	if err := f.SetWindow(w); err != nil {
+		return nil, err
+	}
+	if w == 0 {
+		init, err := f.InitialParams()
+		if err != nil {
+			return nil, err
+		}
+		t.global = init
+	}
+	if t.global == nil {
+		return nil, errors.New("fedprox: window 0 must run first")
+	}
+	t.last = f
+	rounds := t.cfg.rounds(w)
+	trace := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		selected := sampleParties(f.PartyIDs(), t.cfg.ParticipantsPerRound, t.rng)
+		cfg := t.cfg.Train
+		cfg.ProxMu = t.mu
+		cfg.Seed = t.rng.Uint64()
+		next, _, err := f.Round(t.global, selected, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.global = next
+		acc, err := f.EvalAssignment(func(int) tensor.Vector { return t.global })
+		if err != nil {
+			return nil, err
+		}
+		trace = append(trace, acc)
+	}
+	return trace, nil
+}

@@ -1,0 +1,176 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/federation"
+	"repro/internal/flips"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Fielding (Li et al., 2024) re-clusters parties by their label
+// distributions at every window and trains one expert per label cluster.
+// It adapts to label shift — re-clustering follows the moving histograms —
+// but is blind to covariate shift: two parties with identical label
+// mixtures but different input corruption land in the same expert.
+type Fielding struct {
+	cfg         Config
+	maxClusters int
+	experts     map[int]tensor.Vector // cluster id -> params
+	assignment  map[int]int           // party -> cluster id
+	rng         *tensor.RNG
+}
+
+var _ federation.Technique = (*Fielding)(nil)
+
+// NewFielding builds the baseline. maxClusters bounds the label-cluster
+// sweep; 0 means 5.
+func NewFielding(cfg Config, maxClusters int, seed uint64) (*Fielding, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if maxClusters < 0 {
+		return nil, errors.New("fielding: maxClusters must be non-negative")
+	}
+	if maxClusters == 0 {
+		maxClusters = 5
+	}
+	return &Fielding{
+		cfg:         cfg,
+		maxClusters: maxClusters,
+		experts:     make(map[int]tensor.Vector),
+		assignment:  make(map[int]int),
+		rng:         tensor.NewRNG(seed),
+	}, nil
+}
+
+// Name implements federation.Technique.
+func (t *Fielding) Name() string { return "fielding" }
+
+// Assignments implements federation.Technique.
+func (t *Fielding) Assignments() map[int]int {
+	out := make(map[int]int, len(t.assignment))
+	for k, v := range t.assignment {
+		out[k] = v
+	}
+	return out
+}
+
+// recluster rebuilds label clusters from current-window histograms and
+// carries expert parameters over to the most similar new cluster.
+func (t *Fielding) recluster(f *federation.Federation, init tensor.Vector) error {
+	hists := f.PartyHists()
+	sel, err := flips.New(f.PartyIDs(), hists, t.maxClusters, t.rng)
+	if err != nil {
+		return fmt.Errorf("fielding recluster: %w", err)
+	}
+	groups := sel.Clusters()
+
+	// Compute each new cluster's mean histogram for expert carry-over.
+	newCentroid := make([]stats.Histogram, len(groups))
+	for c, members := range groups {
+		hs := make([]stats.Histogram, len(members))
+		counts := make([]int, len(members))
+		for i, p := range members {
+			hs[i] = hists[p]
+			counts[i] = 1
+		}
+		m, err := stats.MergeHistograms(hs, counts)
+		if err != nil {
+			return err
+		}
+		newCentroid[c] = m
+	}
+
+	// Old cluster centroids (from surviving assignment) for matching.
+	oldCentroid := make(map[int]stats.Histogram)
+	oldCount := make(map[int]int)
+	for p, c := range t.assignment {
+		if oldCentroid[c] == nil {
+			oldCentroid[c] = make(stats.Histogram, len(hists[p]))
+		}
+		for i, v := range hists[p] {
+			oldCentroid[c][i] += v
+		}
+		oldCount[c]++
+	}
+	for c := range oldCentroid {
+		oldCentroid[c] = oldCentroid[c].Normalize()
+	}
+
+	newExperts := make(map[int]tensor.Vector, len(groups))
+	newAssignment := make(map[int]int, f.NumParties())
+	for c, members := range groups {
+		// Carry over the old expert with the closest label centroid.
+		bestOld, bestJSD := -1, 2.0
+		for oc, oh := range oldCentroid {
+			j, err := stats.JSD(newCentroid[c], oh)
+			if err != nil {
+				continue
+			}
+			if j < bestJSD {
+				bestOld, bestJSD = oc, j
+			}
+		}
+		if params, ok := t.experts[bestOld]; ok {
+			newExperts[c] = params.Clone()
+		} else {
+			newExperts[c] = init.Clone()
+		}
+		for _, p := range members {
+			newAssignment[p] = c
+		}
+	}
+	t.experts = newExperts
+	t.assignment = newAssignment
+	return nil
+}
+
+// RunWindow implements federation.Technique.
+func (t *Fielding) RunWindow(f *federation.Federation, w int) ([]float64, error) {
+	if err := f.SetWindow(w); err != nil {
+		return nil, err
+	}
+	init, err := f.InitialParams()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.recluster(f, init); err != nil {
+		return nil, err
+	}
+
+	paramsFor := func(p int) tensor.Vector {
+		c, ok := t.assignment[p]
+		if !ok {
+			return nil
+		}
+		return t.experts[c]
+	}
+
+	rounds := t.cfg.rounds(w)
+	trace := make([]float64, 0, rounds)
+	cohorts := make(map[int][]int)
+	for p, c := range t.assignment {
+		cohorts[c] = append(cohorts[c], p)
+	}
+	for r := 0; r < rounds; r++ {
+		for c, members := range cohorts {
+			selected := sampleParties(members, min(t.cfg.ParticipantsPerRound, len(members)), t.rng)
+			cfg := t.cfg.Train
+			cfg.Seed = t.rng.Uint64()
+			next, _, err := f.Round(t.experts[c], selected, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.experts[c] = next
+		}
+		acc, err := f.EvalAssignment(paramsFor)
+		if err != nil {
+			return nil, err
+		}
+		trace = append(trace, acc)
+	}
+	return trace, nil
+}

@@ -1,0 +1,136 @@
+package baselines
+
+import (
+	"errors"
+
+	"repro/internal/federation"
+	"repro/internal/tensor"
+)
+
+// IFCA (Ghosh et al., NeurIPS '20; cited by the paper among clustered-FL
+// methods) maintains a fixed number of cluster models; every round each
+// party evaluates all cluster models on its local data and joins the one
+// with the lowest loss, then trains it. Cluster count is static — IFCA
+// cannot grow capacity when new regimes appear, the limitation the paper's
+// dynamic expert creation removes.
+type IFCA struct {
+	cfg         Config
+	numClusters int
+	experts     map[int]tensor.Vector
+	assignment  map[int]int
+	rng         *tensor.RNG
+}
+
+var _ federation.Technique = (*IFCA)(nil)
+
+// NewIFCA builds the baseline with a fixed cluster count.
+func NewIFCA(cfg Config, numClusters int, seed uint64) (*IFCA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numClusters < 1 {
+		return nil, errors.New("ifca: need >=1 cluster")
+	}
+	return &IFCA{
+		cfg:         cfg,
+		numClusters: numClusters,
+		experts:     make(map[int]tensor.Vector),
+		assignment:  make(map[int]int),
+		rng:         tensor.NewRNG(seed),
+	}, nil
+}
+
+// Name implements federation.Technique.
+func (t *IFCA) Name() string { return "ifca" }
+
+// Assignments implements federation.Technique.
+func (t *IFCA) Assignments() map[int]int {
+	out := make(map[int]int, len(t.assignment))
+	for k, v := range t.assignment {
+		out[k] = v
+	}
+	return out
+}
+
+// route re-assigns every party to its min-loss cluster model.
+func (t *IFCA) route(f *federation.Federation) error {
+	for _, p := range f.PartyIDs() {
+		best, bestLoss := -1, 0.0
+		for c := 0; c < t.numClusters; c++ {
+			loss, err := f.PartyLoss(p, t.experts[c])
+			if err != nil {
+				return err
+			}
+			if best < 0 || loss < bestLoss {
+				best, bestLoss = c, loss
+			}
+		}
+		t.assignment[p] = best
+	}
+	return nil
+}
+
+// RunWindow implements federation.Technique.
+func (t *IFCA) RunWindow(f *federation.Federation, w int) ([]float64, error) {
+	if err := f.SetWindow(w); err != nil {
+		return nil, err
+	}
+	if w == 0 {
+		// Independent random initializations break the symmetry between
+		// clusters (the IFCA paper's requirement).
+		init, err := f.InitialParams()
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < t.numClusters; c++ {
+			params := init.Clone()
+			for i := range params {
+				params[i] += 0.05 * t.rng.Norm()
+			}
+			t.experts[c] = params
+		}
+	}
+	if len(t.experts) == 0 {
+		return nil, errors.New("ifca: window 0 must run first")
+	}
+
+	paramsFor := func(p int) tensor.Vector {
+		c, ok := t.assignment[p]
+		if !ok {
+			return t.experts[0]
+		}
+		return t.experts[c]
+	}
+
+	rounds := t.cfg.rounds(w)
+	trace := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		// IFCA re-estimates cluster identities every round.
+		if err := t.route(f); err != nil {
+			return nil, err
+		}
+		cohorts := make(map[int][]int)
+		for p, c := range t.assignment {
+			cohorts[c] = append(cohorts[c], p)
+		}
+		for c, members := range cohorts {
+			if len(members) == 0 {
+				continue
+			}
+			selected := sampleParties(members, min(t.cfg.ParticipantsPerRound, len(members)), t.rng)
+			cfg := t.cfg.Train
+			cfg.Seed = t.rng.Uint64()
+			next, _, err := f.Round(t.experts[c], selected, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.experts[c] = next
+		}
+		acc, err := f.EvalAssignment(paramsFor)
+		if err != nil {
+			return nil, err
+		}
+		trace = append(trace, acc)
+	}
+	return trace, nil
+}

@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/federation"
+	"repro/internal/tensor"
+)
+
+// OORT (Lai et al., OSDI '21) trains a single global model but selects
+// participants by statistical utility — parties whose recent training loss
+// is high are more informative — blended with an exploration fraction of
+// uniformly random picks. Its utility scores assume a stationary world: a
+// distribution shift changes which parties are informative, but the stale
+// scores keep steering selection, which is why the paper observes
+// underreaction rather than adaptation.
+type OORT struct {
+	cfg     Config
+	explore float64 // fraction of each cohort drawn uniformly at random
+	global  tensor.Vector
+	utility map[int]float64
+	rng     *tensor.RNG
+	last    *federation.Federation
+}
+
+var _ federation.Technique = (*OORT)(nil)
+
+// NewOORT builds the baseline. explore in [0,1] is the exploration
+// fraction (OORT's default is ~0.1-0.3).
+func NewOORT(cfg Config, explore float64, seed uint64) (*OORT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if explore < 0 || explore > 1 {
+		return nil, errors.New("oort: explore must be in [0,1]")
+	}
+	return &OORT{
+		cfg:     cfg,
+		explore: explore,
+		utility: make(map[int]float64),
+		rng:     tensor.NewRNG(seed),
+	}, nil
+}
+
+// Name implements federation.Technique.
+func (t *OORT) Name() string { return "oort" }
+
+// Assignments implements federation.Technique.
+func (t *OORT) Assignments() map[int]int {
+	if t.last == nil {
+		return map[int]int{}
+	}
+	return singleAssignments(t.last)
+}
+
+// select picks the cohort: top-utility parties plus an exploration tail.
+func (t *OORT) selectCohort(ids []int, k int) []int {
+	if k >= len(ids) {
+		return sampleParties(ids, k, t.rng)
+	}
+	exploreN := int(math.Round(t.explore * float64(k)))
+	exploitN := k - exploreN
+
+	// Rank by utility descending; unseen parties score +Inf so that every
+	// party is tried at least once (OORT's pacer behaviour).
+	ranked := append([]int(nil), ids...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return t.score(ranked[i]) > t.score(ranked[j])
+	})
+	selected := ranked[:exploitN]
+	rest := ranked[exploitN:]
+	selected = append(append([]int(nil), selected...), sampleParties(rest, exploreN, t.rng)...)
+	return selected
+}
+
+func (t *OORT) score(id int) float64 {
+	u, ok := t.utility[id]
+	if !ok {
+		return math.Inf(1)
+	}
+	return u
+}
+
+// RunWindow implements federation.Technique.
+func (t *OORT) RunWindow(f *federation.Federation, w int) ([]float64, error) {
+	if err := f.SetWindow(w); err != nil {
+		return nil, err
+	}
+	if w == 0 {
+		init, err := f.InitialParams()
+		if err != nil {
+			return nil, err
+		}
+		t.global = init
+	}
+	if t.global == nil {
+		return nil, errors.New("oort: window 0 must run first")
+	}
+	t.last = f
+	rounds := t.cfg.rounds(w)
+	trace := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		selected := t.selectCohort(f.PartyIDs(), t.cfg.ParticipantsPerRound)
+		cfg := t.cfg.Train
+		cfg.Seed = t.rng.Uint64()
+		next, updates, err := f.Round(t.global, selected, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.global = next
+		// Utility = |B_i| · sqrt(mean loss²) ≈ sample count × loss, the
+		// statistical-utility form of the OORT paper.
+		for _, u := range updates {
+			t.utility[u.PartyID] = float64(u.NumSamples) * math.Sqrt(u.TrainLoss*u.TrainLoss)
+		}
+		acc, err := f.EvalAssignment(func(int) tensor.Vector { return t.global })
+		if err != nil {
+			return nil, err
+		}
+		trace = append(trace, acc)
+	}
+	return trace, nil
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Linkage selects how inter-cluster distance is measured during
+// agglomerative merging.
+type Linkage int
+
+// Supported linkages.
+const (
+	SingleLinkage Linkage = iota + 1
+	CompleteLinkage
+	AverageLinkage
+)
+
+// String implements fmt.Stringer.
+func (l Linkage) String() string {
+	switch l {
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	case AverageLinkage:
+		return "average"
+	default:
+		return fmt.Sprintf("linkage(%d)", int(l))
+	}
+}
+
+// Agglomerative performs bottom-up hierarchical clustering: every point
+// starts as its own cluster and the closest pair (under the linkage) is
+// merged until either k clusters remain (k > 0) or the closest pair is
+// farther than maxDist (k == 0). FedDrift's full algorithm uses exactly
+// this style of hierarchical merging over per-model loss vectors; the
+// aggregator can use it as a drop-in alternative to k-means.
+func Agglomerative(points []tensor.Vector, k int, maxDist float64, linkage Linkage, _ *tensor.RNG) (*Result, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("cluster: negative k %d", k)
+	}
+	if k == 0 && (maxDist <= 0 || math.IsNaN(maxDist)) {
+		return nil, fmt.Errorf("cluster: k=0 requires positive maxDist, got %g", maxDist)
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	switch linkage {
+	case SingleLinkage, CompleteLinkage, AverageLinkage:
+	default:
+		return nil, fmt.Errorf("cluster: unknown linkage %v", linkage)
+	}
+
+	// Pairwise point distances, computed once.
+	n := len(points)
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := 0; j < i; j++ {
+			d := tensor.Distance(points[i], points[j])
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+
+	// clusters holds member indices; nil entries are merged away.
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	active := n
+
+	linkDist := func(a, b []int) float64 {
+		switch linkage {
+		case SingleLinkage:
+			best := math.Inf(1)
+			for _, i := range a {
+				for _, j := range b {
+					if dist[i][j] < best {
+						best = dist[i][j]
+					}
+				}
+			}
+			return best
+		case CompleteLinkage:
+			worst := 0.0
+			for _, i := range a {
+				for _, j := range b {
+					if dist[i][j] > worst {
+						worst = dist[i][j]
+					}
+				}
+			}
+			return worst
+		default: // AverageLinkage
+			var sum float64
+			for _, i := range a {
+				for _, j := range b {
+					sum += dist[i][j]
+				}
+			}
+			return sum / float64(len(a)*len(b))
+		}
+	}
+
+	for active > 1 {
+		if k > 0 && active <= k {
+			break
+		}
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if clusters[i] == nil {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if clusters[j] == nil {
+					continue
+				}
+				if d := linkDist(clusters[i], clusters[j]); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		if k == 0 && best > maxDist {
+			break
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters[bj] = nil
+		active--
+	}
+
+	// Materialize the result.
+	res := &Result{Assignments: make([]int, n)}
+	for _, members := range clusters {
+		if members == nil {
+			continue
+		}
+		c := len(res.Centroids)
+		vs := make([]tensor.Vector, len(members))
+		for i, m := range members {
+			vs[i] = points[m]
+			res.Assignments[m] = c
+		}
+		centroid, err := tensor.Mean(vs)
+		if err != nil {
+			return nil, err
+		}
+		res.Centroids = append(res.Centroids, centroid)
+	}
+	for i, a := range res.Assignments {
+		res.Inertia += tensor.SquaredDistance(points[i], res.Centroids[a])
+	}
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAgglomerativeFixedK(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	centers := []tensor.Vector{{0, 0}, {10, 10}, {-10, 10}}
+	pts, truth := blobs(rng, centers, 12, 0.4)
+	for _, linkage := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		r, err := Agglomerative(pts, 3, 0, linkage, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", linkage, err)
+		}
+		if r.K() != 3 {
+			t.Fatalf("%v: k = %d", linkage, r.K())
+		}
+		for blob := 0; blob < 3; blob++ {
+			seen := map[int]bool{}
+			for i, g := range truth {
+				if g == blob {
+					seen[r.Assignments[i]] = true
+				}
+			}
+			if len(seen) != 1 {
+				t.Fatalf("%v: blob %d split: %v", linkage, blob, seen)
+			}
+		}
+	}
+}
+
+func TestAgglomerativeDistanceCutoff(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	centers := []tensor.Vector{{0, 0}, {50, 50}}
+	pts, _ := blobs(rng, centers, 8, 0.3)
+	// Cutoff below the inter-blob gap: two clusters emerge naturally.
+	r, err := Agglomerative(pts, 0, 10, AverageLinkage, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != 2 {
+		t.Fatalf("cutoff clustering k = %d, want 2", r.K())
+	}
+	// Huge cutoff: everything merges into one.
+	r, err = Agglomerative(pts, 0, 1e9, AverageLinkage, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != 1 {
+		t.Fatalf("huge cutoff k = %d, want 1", r.K())
+	}
+}
+
+func TestAgglomerativeValidation(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	if _, err := Agglomerative(nil, 2, 0, SingleLinkage, rng); !errors.Is(err, ErrNoPoints) {
+		t.Fatalf("want ErrNoPoints, got %v", err)
+	}
+	pts := []tensor.Vector{{1}, {2}}
+	if _, err := Agglomerative(pts, -1, 0, SingleLinkage, rng); err == nil {
+		t.Fatal("negative k should error")
+	}
+	if _, err := Agglomerative(pts, 0, 0, SingleLinkage, rng); err == nil {
+		t.Fatal("k=0 without maxDist should error")
+	}
+	if _, err := Agglomerative(pts, 2, 0, Linkage(99), rng); err == nil {
+		t.Fatal("unknown linkage should error")
+	}
+	// k > n clamps.
+	r, err := Agglomerative(pts, 5, 0, SingleLinkage, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != 2 {
+		t.Fatalf("clamped k = %d", r.K())
+	}
+}
+
+func TestAgglomerativeSingleVsCompleteChaining(t *testing.T) {
+	// A chain of points: single linkage merges the chain into one cluster;
+	// complete linkage prefers compact groups.
+	pts := []tensor.Vector{{0}, {1}, {2}, {3}, {4}, {5}, {20}, {21}}
+	rng := tensor.NewRNG(4)
+	single, err := Agglomerative(pts, 2, 0, SingleLinkage, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain 0..5 together, 20-21 together.
+	if single.Assignments[0] != single.Assignments[5] {
+		t.Fatalf("single linkage should chain: %v", single.Assignments)
+	}
+	if single.Assignments[6] != single.Assignments[7] || single.Assignments[0] == single.Assignments[6] {
+		t.Fatalf("far pair should be separate: %v", single.Assignments)
+	}
+	complete, err := Agglomerative(pts, 3, 0, CompleteLinkage, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete.K() != 3 {
+		t.Fatalf("complete k = %d", complete.K())
+	}
+}
+
+func TestAgglomerativeLinkageString(t *testing.T) {
+	if SingleLinkage.String() != "single" || CompleteLinkage.String() != "complete" || AverageLinkage.String() != "average" {
+		t.Fatal("linkage strings wrong")
+	}
+	if Linkage(42).String() != "linkage(42)" {
+		t.Fatal("unknown linkage string wrong")
+	}
+}

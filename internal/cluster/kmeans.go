@@ -1,0 +1,305 @@
+// Package cluster implements the unsupervised grouping primitives the
+// ShiftEx aggregator uses to cluster covariate-shifted parties by their
+// latent representations (§5.2.1 of the paper): k-means with k-means++
+// initialization, the Davies-Bouldin index, and automatic selection of the
+// cluster count.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ErrNoPoints indicates clustering was requested over an empty point set.
+var ErrNoPoints = errors.New("cluster: no points")
+
+// Result holds a clustering of points into k groups.
+type Result struct {
+	// Centroids has length k.
+	Centroids []tensor.Vector
+	// Assignments maps each input point index to its centroid index.
+	Assignments []int
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+}
+
+// K returns the number of clusters.
+func (r *Result) K() int { return len(r.Centroids) }
+
+// Members returns the point indices assigned to cluster c.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assignments {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Config controls the k-means iteration.
+type Config struct {
+	// MaxIters bounds Lloyd iterations; 0 means 50.
+	MaxIters int
+	// Tol stops iteration when inertia improves by less than Tol; 0 means 1e-6.
+	Tol float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIters <= 0 {
+		c.MaxIters = 50
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	return c
+}
+
+// KMeans clusters points into k groups with Lloyd's algorithm and k-means++
+// seeding. It returns an error when k is non-positive or there are no
+// points; when k exceeds the number of points, k is reduced to len(points).
+func KMeans(points []tensor.Vector, k int, cfg Config, rng *tensor.RNG) (*Result, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: invalid k=%d", k)
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	cfg = cfg.withDefaults()
+
+	centroids := seedPlusPlus(points, k, rng)
+	assignments := make([]int, len(points))
+	prevInertia := math.Inf(1)
+
+	var inertia float64
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		inertia = assign(points, centroids, assignments)
+		if prevInertia-inertia < cfg.Tol {
+			break
+		}
+		prevInertia = inertia
+		recompute(points, centroids, assignments, rng)
+	}
+	inertia = assign(points, centroids, assignments)
+	return &Result{Centroids: centroids, Assignments: assignments, Inertia: inertia}, nil
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ (D² weighting).
+func seedPlusPlus(points []tensor.Vector, k int, rng *tensor.RNG) []tensor.Vector {
+	centroids := make([]tensor.Vector, 0, k)
+	first := rng.Intn(len(points))
+	centroids = append(centroids, points[first].Clone())
+
+	d2 := make(tensor.Vector, len(points))
+	for len(centroids) < k {
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := tensor.SquaredDistance(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+		}
+		idx := rng.Categorical(d2)
+		centroids = append(centroids, points[idx].Clone())
+	}
+	return centroids
+}
+
+// assign writes the nearest-centroid index for every point and returns the
+// total inertia.
+func assign(points []tensor.Vector, centroids []tensor.Vector, out []int) float64 {
+	var inertia float64
+	for i, p := range points {
+		best, bestIdx := math.Inf(1), 0
+		for c, ctr := range centroids {
+			if d := tensor.SquaredDistance(p, ctr); d < best {
+				best, bestIdx = d, c
+			}
+		}
+		out[i] = bestIdx
+		inertia += best
+	}
+	return inertia
+}
+
+// recompute moves each centroid to the mean of its members; an empty cluster
+// is re-seeded at a random point to avoid collapse.
+func recompute(points []tensor.Vector, centroids []tensor.Vector, assignments []int, rng *tensor.RNG) {
+	dim := len(points[0])
+	counts := make([]int, len(centroids))
+	for c := range centroids {
+		centroids[c] = tensor.NewVector(dim)
+	}
+	for i, a := range assignments {
+		counts[a]++
+		for j, v := range points[i] {
+			centroids[a][j] += v
+		}
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			centroids[c] = points[rng.Intn(len(points))].Clone()
+			continue
+		}
+		centroids[c].Scale(1 / float64(counts[c]))
+	}
+}
+
+// DaviesBouldin computes the Davies-Bouldin index of a clustering: the
+// average over clusters of the worst-case ratio of within-cluster scatter to
+// between-centroid separation. Lower is better. Clusterings with fewer than
+// two non-empty clusters, or with any singleton cluster, return +Inf: the
+// index is undefined for the former, and singletons have zero scatter,
+// which would otherwise make the degenerate "every point its own cluster"
+// solution win any minimization.
+func DaviesBouldin(points []tensor.Vector, r *Result) float64 {
+	k := r.K()
+	if k < 2 {
+		return math.Inf(1)
+	}
+	scatter := make([]float64, k)
+	counts := make([]int, k)
+	for i, a := range r.Assignments {
+		scatter[a] += tensor.Distance(points[i], r.Centroids[a])
+		counts[a]++
+	}
+	nonEmpty := 0
+	for c := 0; c < k; c++ {
+		if counts[c] == 1 {
+			return math.Inf(1)
+		}
+		if counts[c] > 0 {
+			scatter[c] /= float64(counts[c])
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		worst := 0.0
+		for j := 0; j < k; j++ {
+			if i == j || counts[j] == 0 {
+				continue
+			}
+			sep := tensor.Distance(r.Centroids[i], r.Centroids[j])
+			if sep == 0 {
+				continue
+			}
+			if ratio := (scatter[i] + scatter[j]) / sep; ratio > worst {
+				worst = ratio
+			}
+		}
+		sum += worst
+	}
+	return sum / float64(nonEmpty)
+}
+
+// SelectK runs k-means for k = 1..maxK and returns the clustering with the
+// best (lowest) Davies-Bouldin index, implementing the paper's DB-index
+// based choice of expert-cluster count (§5.2.1). A single cluster is chosen
+// only when maxK == 1 or there are too few points for k=2.
+func SelectK(points []tensor.Vector, maxK int, cfg Config, rng *tensor.RNG) (*Result, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if maxK <= 0 {
+		return nil, fmt.Errorf("cluster: invalid maxK=%d", maxK)
+	}
+	if maxK > len(points) {
+		maxK = len(points)
+	}
+	single, err := KMeans(points, 1, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	if maxK == 1 {
+		return single, nil
+	}
+
+	best := single
+	bestScore := math.Inf(1)
+	for k := 2; k <= maxK; k++ {
+		r, err := KMeans(points, k, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		score := DaviesBouldin(points, r)
+		// Require a meaningful improvement before accepting a larger k,
+		// so that floating-point ties resolve to the smallest cluster
+		// count (the paper's bias against expert proliferation).
+		if score < bestScore-1e-9 {
+			best, bestScore = r, score
+		}
+	}
+	// If no multi-cluster solution produced a finite DB index (all points
+	// coincide), keep the single cluster.
+	if math.IsInf(bestScore, 1) {
+		return single, nil
+	}
+	return best, nil
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering in
+// [-1, 1]; higher means tighter, better-separated clusters. Undefined
+// configurations (k < 2) return 0.
+func Silhouette(points []tensor.Vector, r *Result) float64 {
+	k := r.K()
+	if k < 2 || len(points) < 2 {
+		return 0
+	}
+	counts := make([]int, k)
+	for _, a := range r.Assignments {
+		counts[a]++
+	}
+	var total float64
+	var scored int
+	for i, p := range points {
+		own := r.Assignments[i]
+		if counts[own] < 2 {
+			continue
+		}
+		// Mean distance to own cluster (a) and nearest other cluster (b).
+		sums := make([]float64, k)
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			sums[r.Assignments[j]] += tensor.Distance(p, q)
+		}
+		a := sums[own] / float64(counts[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			scored++
+		}
+	}
+	if scored == 0 {
+		return 0
+	}
+	return total / float64(scored)
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// blobs generates n points per center around each given center.
+func blobs(rng *tensor.RNG, centers []tensor.Vector, n int, sigma float64) ([]tensor.Vector, []int) {
+	var pts []tensor.Vector
+	var truth []int
+	for c, ctr := range centers {
+		for i := 0; i < n; i++ {
+			p := ctr.Clone()
+			for j := range p {
+				p[j] += sigma * rng.Norm()
+			}
+			pts = append(pts, p)
+			truth = append(truth, c)
+		}
+	}
+	return pts, truth
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	centers := []tensor.Vector{{0, 0}, {10, 10}, {-10, 10}}
+	pts, truth := blobs(rng, centers, 30, 0.5)
+	r, err := KMeans(pts, 3, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != 3 {
+		t.Fatalf("k = %d", r.K())
+	}
+	// Every ground-truth blob must map to a single cluster.
+	for blob := 0; blob < 3; blob++ {
+		seen := map[int]int{}
+		for i, g := range truth {
+			if g == blob {
+				seen[r.Assignments[i]]++
+			}
+		}
+		if len(seen) != 1 {
+			t.Fatalf("blob %d split across clusters: %v", blob, seen)
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	if _, err := KMeans(nil, 2, Config{}, rng); !errors.Is(err, ErrNoPoints) {
+		t.Fatalf("want ErrNoPoints, got %v", err)
+	}
+	if _, err := KMeans([]tensor.Vector{{1}}, 0, Config{}, rng); err == nil {
+		t.Fatal("want error for k=0")
+	}
+	// k > n reduces to n clusters.
+	r, err := KMeans([]tensor.Vector{{1}, {2}}, 5, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != 2 {
+		t.Fatalf("k = %d, want 2", r.K())
+	}
+}
+
+func TestKMeansSinglePoint(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	r, err := KMeans([]tensor.Vector{{5, 5}}, 1, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Inertia != 0 {
+		t.Fatalf("inertia = %g", r.Inertia)
+	}
+	if r.Assignments[0] != 0 {
+		t.Fatal("assignment should be 0")
+	}
+}
+
+func TestKMeansMembers(t *testing.T) {
+	r := &Result{
+		Centroids:   []tensor.Vector{{0}, {1}},
+		Assignments: []int{0, 1, 0, 1, 1},
+	}
+	m := r.Members(1)
+	if len(m) != 3 || m[0] != 1 || m[2] != 4 {
+		t.Fatalf("members = %v", m)
+	}
+	if got := r.Members(7); got != nil {
+		t.Fatalf("members of absent cluster = %v", got)
+	}
+}
+
+func TestDaviesBouldinPrefersTrueK(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	centers := []tensor.Vector{{0, 0}, {20, 0}, {0, 20}}
+	pts, _ := blobs(rng, centers, 25, 0.5)
+	var scores []float64
+	for k := 2; k <= 5; k++ {
+		r, err := KMeans(pts, k, Config{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores = append(scores, DaviesBouldin(pts, r))
+	}
+	// k=3 (index 1) should be the minimum.
+	for i, s := range scores {
+		if i != 1 && s < scores[1] {
+			t.Fatalf("DB index prefers k=%d (%g) over true k=3 (%g)", i+2, s, scores[1])
+		}
+	}
+}
+
+func TestDaviesBouldinDegenerate(t *testing.T) {
+	pts := []tensor.Vector{{1}, {1}}
+	r := &Result{Centroids: []tensor.Vector{{1}}, Assignments: []int{0, 0}}
+	if !math.IsInf(DaviesBouldin(pts, r), 1) {
+		t.Fatal("k<2 should yield +Inf")
+	}
+}
+
+func TestSelectK(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	centers := []tensor.Vector{{0, 0}, {15, 15}}
+	pts, _ := blobs(rng, centers, 20, 0.4)
+	r, err := SelectK(pts, 5, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != 2 {
+		t.Fatalf("selected k = %d, want 2", r.K())
+	}
+}
+
+func TestSelectKSingleRegime(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	// Identical points: DB is +Inf for every k>=2, so k=1 must win.
+	pts := []tensor.Vector{{3, 3}, {3, 3}, {3, 3}, {3, 3}}
+	r, err := SelectK(pts, 3, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != 1 {
+		t.Fatalf("selected k = %d, want 1 for identical points", r.K())
+	}
+}
+
+func TestSelectKErrors(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	if _, err := SelectK(nil, 3, Config{}, rng); !errors.Is(err, ErrNoPoints) {
+		t.Fatalf("want ErrNoPoints, got %v", err)
+	}
+	if _, err := SelectK([]tensor.Vector{{1}}, 0, Config{}, rng); err == nil {
+		t.Fatal("want error for maxK=0")
+	}
+	if _, err := SelectK([]tensor.Vector{{1}}, 1, Config{}, rng); err != nil {
+		t.Fatalf("maxK=1 should succeed: %v", err)
+	}
+}
+
+func TestSilhouette(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	centers := []tensor.Vector{{0, 0}, {20, 20}}
+	pts, _ := blobs(rng, centers, 15, 0.3)
+	good, err := KMeans(pts, 2, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Silhouette(pts, good)
+	if s < 0.8 {
+		t.Fatalf("well-separated silhouette = %g, want high", s)
+	}
+	// Single cluster silhouette is undefined → 0.
+	one, err := KMeans(pts, 1, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Silhouette(pts, one) != 0 {
+		t.Fatal("k=1 silhouette should be 0")
+	}
+}
+
+// Property: every point is assigned to its nearest centroid after KMeans
+// converges (Lloyd invariant).
+func TestPropertyNearestCentroidAssignment(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 10 + rng.Intn(30)
+		pts := make([]tensor.Vector, n)
+		for i := range pts {
+			pts[i] = rng.NormVec(3, 0, 5)
+		}
+		k := 1 + rng.Intn(4)
+		r, err := KMeans(pts, k, Config{}, rng)
+		if err != nil {
+			return false
+		}
+		for i, p := range pts {
+			assigned := tensor.SquaredDistance(p, r.Centroids[r.Assignments[i]])
+			for _, c := range r.Centroids {
+				if tensor.SquaredDistance(p, c) < assigned-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inertia never increases when k grows (for the best of a few
+// restarts this holds statistically; we check weak monotonicity with slack).
+func TestInertiaDecreasesWithK(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	pts := make([]tensor.Vector, 60)
+	for i := range pts {
+		pts[i] = rng.NormVec(2, 0, 3)
+	}
+	prev := math.Inf(1)
+	for k := 1; k <= 5; k++ {
+		best := math.Inf(1)
+		for restart := 0; restart < 5; restart++ {
+			r, err := KMeans(pts, k, Config{}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Inertia < best {
+				best = r.Inertia
+			}
+		}
+		if best > prev*1.05 {
+			t.Fatalf("inertia increased from %g to %g at k=%d", prev, best, k)
+		}
+		prev = best
+	}
+}

@@ -1,0 +1,266 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// CorruptionKind identifies a family of covariate-shift transforms. The
+// weather kinds mirror the corruption groups of CIFAR-10-C and
+// Tiny-ImageNet-C (Fig. 1 of the paper); Rotate/Scale/Jitter mirror the
+// synthetic PyTorch transforms used for FEMNIST and Fashion-MNIST.
+//
+// Each corruption acts on the generator's geometry in two ways:
+//
+//   - It transforms the semantic subspace (dims 0-1) — rotation, radial
+//     contraction/expansion, distortion. Because class prototypes live on a
+//     ring there, a rotated or contracted regime collides with other
+//     classes' clean manifolds: a model trained on one regime misreads the
+//     other, the negative-transfer effect the paper's Figure 1 quantifies.
+//     A model trained *within* the regime is unaffected (the transform is
+//     invertible), so P(Y|X) is preserved in the semantic sense.
+//
+//   - It translates the context dimensions (dims 2+) by a deterministic
+//     per-(kind,severity) signature — the "weather texture". This moves
+//     P(X) in a way kernel MMD detects and cluster centroids separate on,
+//     without carrying label information.
+type CorruptionKind int
+
+// Corruption kinds. CorruptNone is the identity and is the zero value so an
+// uncorrupted window needs no configuration.
+const (
+	CorruptNone CorruptionKind = iota
+	CorruptFog
+	CorruptRain
+	CorruptSnow
+	CorruptFrost
+	CorruptBlur
+	CorruptNoise
+	CorruptRotate
+	CorruptScale
+	CorruptJitter
+)
+
+// WeatherKinds lists the CIFAR-10-C-style corruption families.
+func WeatherKinds() []CorruptionKind {
+	return []CorruptionKind{CorruptFog, CorruptRain, CorruptSnow, CorruptFrost, CorruptBlur, CorruptNoise}
+}
+
+// SyntheticKinds lists the FEMNIST/Fashion-MNIST-style transform families.
+func SyntheticKinds() []CorruptionKind {
+	return []CorruptionKind{CorruptRotate, CorruptScale, CorruptJitter, CorruptNoise}
+}
+
+// String implements fmt.Stringer.
+func (k CorruptionKind) String() string {
+	switch k {
+	case CorruptNone:
+		return "none"
+	case CorruptFog:
+		return "fog"
+	case CorruptRain:
+		return "rain"
+	case CorruptSnow:
+		return "snow"
+	case CorruptFrost:
+		return "frost"
+	case CorruptBlur:
+		return "blur"
+	case CorruptNoise:
+		return "noise"
+	case CorruptRotate:
+		return "rotate"
+	case CorruptScale:
+		return "scale"
+	case CorruptJitter:
+		return "jitter"
+	default:
+		return fmt.Sprintf("corruption(%d)", int(k))
+	}
+}
+
+// Corruption is a deterministic input transform parameterized by kind and
+// severity 1..5 (0 severity or CorruptNone is the identity). Two parties
+// with the same corruption see the same transformed distribution, which is
+// what lets the aggregator cluster them into a shared covariate regime.
+type Corruption struct {
+	Kind     CorruptionKind
+	Severity int
+}
+
+// IsIdentity reports whether the corruption leaves inputs unchanged.
+func (c Corruption) IsIdentity() bool {
+	return c.Kind == CorruptNone || c.Severity <= 0
+}
+
+// String implements fmt.Stringer.
+func (c Corruption) String() string {
+	if c.IsIdentity() {
+		return "none"
+	}
+	return fmt.Sprintf("%s/%d", c.Kind, c.Severity)
+}
+
+// severityScale maps severity 1..5 onto [0.2, 1.0].
+func (c Corruption) severityScale() float64 {
+	s := c.Severity
+	if s < 1 {
+		s = 1
+	}
+	if s > 5 {
+		s = 5
+	}
+	return float64(s) / 5
+}
+
+// patternVec returns a deterministic per-(kind,severity) signature vector
+// of length n; corruption structure is identical across all parties so
+// that corruption regimes are clusterable.
+func (c Corruption) patternVec(n int) tensor.Vector {
+	seed := uint64(c.Kind)*1_000_003 + uint64(c.Severity)*7919 + 0x5eed
+	rng := tensor.NewRNG(seed)
+	return rng.NormVec(n, 0, 1)
+}
+
+// rotateSemantic rotates the semantic plane (dims 0-1) by theta radians.
+func rotateSemantic(x tensor.Vector, theta float64) {
+	if len(x) < 2 {
+		return
+	}
+	cos, sin := cosSin(theta)
+	a, b := x[0], x[1]
+	x[0] = cos*a - sin*b
+	x[1] = sin*a + cos*b
+}
+
+// scaleSemantic scales the semantic plane radially.
+func scaleSemantic(x tensor.Vector, factor float64) {
+	if len(x) < 2 {
+		return
+	}
+	x[0] *= factor
+	x[1] *= factor
+}
+
+// shiftContext translates the context dims (2+) by scale·pattern.
+func (c Corruption) shiftContext(x tensor.Vector, scale float64) {
+	if len(x) <= 2 {
+		return
+	}
+	pattern := c.patternVec(len(x) - 2)
+	for i := 2; i < len(x); i++ {
+		x[i] += scale * pattern[i-2]
+	}
+}
+
+// Apply transforms x (returning a new vector) according to the corruption.
+// The rng drives only per-example stochastic components (noise draws,
+// occlusion); the systematic component is deterministic per
+// (kind, severity).
+func (c Corruption) Apply(x tensor.Vector, rng *tensor.RNG) tensor.Vector {
+	if c.IsIdentity() {
+		return x
+	}
+	s := c.severityScale() // in [0.2, 1]
+	out := x.Clone()
+	switch c.Kind {
+	case CorruptFog:
+		// Low contrast: contract the semantic ring (classes crowd
+		// together) and lay down the fog texture.
+		scaleSemantic(out, 1-0.45*s)
+		rotateSemantic(out, 0.8*s)
+		c.shiftContext(out, 2.0*s)
+	case CorruptRain:
+		// Streaks skew the view: moderate rotation plus texture.
+		rotateSemantic(out, 1.4*s)
+		c.shiftContext(out, 1.6*s)
+	case CorruptSnow:
+		// Bright occlusions: rotation, per-dim white-out, texture.
+		rotateSemantic(out, 1.1*s)
+		for i := 2; i < len(out); i++ {
+			if rng.Float64() < 0.15*s {
+				out[i] = 2.5 * s
+			}
+		}
+		c.shiftContext(out, 1.8*s)
+	case CorruptFrost:
+		// Crystalline distortion: radial expansion plus rotation.
+		scaleSemantic(out, 1+0.8*s)
+		rotateSemantic(out, 0.9*s)
+		c.shiftContext(out, 1.3*s)
+	case CorruptBlur:
+		// Smoothing: contract the ring slightly and smear context dims
+		// with a moving average.
+		scaleSemantic(out, 1-0.3*s)
+		w := 1 + int(3*s)
+		blurContext(out, w)
+		c.shiftContext(out, 0.9*s)
+	case CorruptNoise:
+		// Sensor noise: SNR reduction everywhere plus a faint signature.
+		for i := range out {
+			out[i] += 1.2 * s * rng.Norm()
+		}
+		c.shiftContext(out, 0.8*s)
+	case CorruptRotate:
+		// Geometric rotation of the view.
+		rotateSemantic(out, 1.6*s)
+		c.shiftContext(out, 0.8*s)
+	case CorruptScale:
+		// Zoom: radial expansion of everything.
+		scaleSemantic(out, 1+1.4*s)
+		for i := 2; i < len(out); i++ {
+			out[i] *= 1 + 0.4*s
+		}
+		c.shiftContext(out, 0.6*s)
+	case CorruptJitter:
+		// Color jitter: anisotropic distortion of the semantic plane plus
+		// per-dim gain on context.
+		if len(out) >= 2 {
+			out[0] *= 1 + 0.9*s
+			out[1] *= 1 - 0.5*s
+		}
+		gain := c.patternVec(len(out))
+		for i := 2; i < len(out); i++ {
+			out[i] *= 1 + 0.5*s*clamp(gain[i], -1, 1)
+		}
+		c.shiftContext(out, 0.8*s)
+	default:
+		// Unknown kind: identity, so stale configs degrade gracefully.
+	}
+	return out
+}
+
+// blurContext applies a moving average of half-width w over dims 2+.
+func blurContext(x tensor.Vector, w int) {
+	if len(x) <= 3 {
+		return
+	}
+	ctx := x[2:]
+	blurred := tensor.NewVector(len(ctx))
+	for i := range ctx {
+		lo, hi := i-w, i+w
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(ctx) {
+			hi = len(ctx) - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += ctx[j]
+		}
+		blurred[i] = sum / float64(hi-lo+1)
+	}
+	copy(ctx, blurred)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,416 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+func TestSpecValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr bool
+	}{
+		{name: "valid", mutate: func(s *Spec) {}},
+		{name: "one class", mutate: func(s *Spec) { s.NumClasses = 1 }, wantErr: true},
+		{name: "tiny dim", mutate: func(s *Spec) { s.InputDim = 1 }, wantErr: true},
+		{name: "no parties", mutate: func(s *Spec) { s.NumParties = 0 }, wantErr: true},
+		{name: "no windows", mutate: func(s *Spec) { s.Windows = 0 }, wantErr: true},
+		{name: "no samples", mutate: func(s *Spec) { s.SamplesPerParty = 0 }, wantErr: true},
+		{name: "no test", mutate: func(s *Spec) { s.TestPerParty = 0 }, wantErr: true},
+		{name: "zero noise", mutate: func(s *Spec) { s.Noise = 0 }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := FMoWSpec()
+			tt.mutate(&s)
+			err := s.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAllPresetsValid(t *testing.T) {
+	for _, s := range []Spec{FMoWSpec(), CIFAR10CSpec(), TinyImageNetCSpec(), FEMNISTSpec(), FashionMNISTSpec()} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", s.Name, err)
+		}
+	}
+}
+
+func TestSpecScale(t *testing.T) {
+	s := CIFAR10CSpec().Scale(0.1)
+	if s.NumParties != 20 {
+		t.Fatalf("scaled parties = %d", s.NumParties)
+	}
+	if s.NumClasses != 10 {
+		t.Fatal("scale must not change class count")
+	}
+	tiny := CIFAR10CSpec().Scale(0.0001)
+	if tiny.NumParties < 1 || tiny.SamplesPerParty < 1 {
+		t.Fatal("scale floor of 1 violated")
+	}
+	same := CIFAR10CSpec().Scale(-1)
+	if same.NumParties != 200 {
+		t.Fatal("non-positive factor should be identity")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	spec := FMoWSpec().Scale(0.1)
+	g1, err := NewGenerator(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := g1.Sample(3, tensor.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := g2.Sample(3, tensor.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e1.X {
+		if e1.X[i] != e2.X[i] {
+			t.Fatal("same seed must produce identical samples")
+		}
+	}
+}
+
+func TestGeneratorClassesAreSeparable(t *testing.T) {
+	spec := FMoWSpec()
+	g, err := NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(2)
+	// Within-class distance must be smaller than between-class distance on
+	// average.
+	var within, between float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a, err := g.Sample(0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g.Sample(0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := g.Sample(1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		within += tensor.Distance(a.X, b.X)
+		between += tensor.Distance(a.X, c.X)
+	}
+	if between <= within {
+		t.Fatalf("classes not separable: within=%g between=%g", within, between)
+	}
+}
+
+func TestGeneratorSampleErrors(t *testing.T) {
+	g, err := NewGenerator(FMoWSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(1)
+	if _, err := g.Sample(-1, rng); err == nil {
+		t.Fatal("negative class should error")
+	}
+	if _, err := g.Sample(99, rng); err == nil {
+		t.Fatal("out-of-range class should error")
+	}
+	if _, err := g.SampleSet(0, tensor.NewVector(10), Corruption{}, rng); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	if _, err := g.SampleSet(5, tensor.NewVector(3), Corruption{}, rng); err == nil {
+		t.Fatal("wrong label dist length should error")
+	}
+}
+
+func TestSampleSetFollowsLabelDist(t *testing.T) {
+	spec := FMoWSpec()
+	g, err := NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	dist := tensor.NewVector(spec.NumClasses)
+	dist[2] = 1 // all mass on class 2
+	exs, err := g.SampleSet(50, dist, Corruption{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exs {
+		if e.Y != 2 {
+			t.Fatalf("label %d, want 2", e.Y)
+		}
+	}
+	h := LabelHistogram(exs, spec.NumClasses)
+	if h[2] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestLabelsInputs(t *testing.T) {
+	exs := []Example{{X: tensor.Vector{1}, Y: 3}, {X: tensor.Vector{2}, Y: 1}}
+	ls := Labels(exs)
+	if ls[0] != 3 || ls[1] != 1 {
+		t.Fatalf("labels = %v", ls)
+	}
+	xs := Inputs(exs)
+	if xs[1][0] != 2 {
+		t.Fatalf("inputs = %v", xs)
+	}
+}
+
+func TestCorruptionIdentity(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := tensor.Vector{1, 2, 3, 4}
+	if got := (Corruption{}).Apply(x, rng); &got[0] != &x[0] {
+		t.Fatal("identity corruption should return input unchanged")
+	}
+	c := Corruption{Kind: CorruptFog, Severity: 0}
+	if !c.IsIdentity() {
+		t.Fatal("severity 0 should be identity")
+	}
+}
+
+func TestCorruptionsShiftDistribution(t *testing.T) {
+	spec := FMoWSpec()
+	g, err := NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(5)
+	uniform := stats.Histogram(tensor.Vector(stats.Uniform(spec.NumClasses)))
+	clean, err := g.SampleSet(60, tensor.Vector(uniform), Corruption{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range append(WeatherKinds(), SyntheticKinds()...) {
+		c := Corruption{Kind: kind, Severity: 4}
+		corrupted, err := g.SampleSet(60, tensor.Vector(uniform), c, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mmd, err := stats.MMDAuto(Inputs(clean), Inputs(corrupted))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mmd < 0.01 {
+			t.Errorf("corruption %s produced negligible covariate shift: MMD=%g", kind, mmd)
+		}
+	}
+}
+
+func TestCorruptionSeverityMonotone(t *testing.T) {
+	spec := FMoWSpec()
+	g, err := NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(6)
+	uniform := tensor.Vector(stats.Uniform(spec.NumClasses))
+	clean, err := g.SampleSet(80, uniform, Corruption{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := g.SampleSet(80, uniform, Corruption{Kind: CorruptNoise, Severity: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := g.SampleSet(80, uniform, Corruption{Kind: CorruptNoise, Severity: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use a shared kernel bandwidth so the comparison is meaningful.
+	gamma := stats.MedianHeuristicGamma(Inputs(clean), nil)
+	k := stats.RBFKernel{Gamma: gamma}
+	mLow, err := stats.MMD(Inputs(clean), Inputs(low), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHigh, err := stats.MMD(Inputs(clean), Inputs(high), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mHigh <= mLow {
+		t.Fatalf("severity should increase MMD: sev1=%g sev5=%g", mLow, mHigh)
+	}
+}
+
+func TestCorruptionString(t *testing.T) {
+	if got := (Corruption{Kind: CorruptFog, Severity: 3}).String(); got != "fog/3" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Corruption{}).String(); got != "none" {
+		t.Fatalf("identity String = %q", got)
+	}
+	if got := CorruptionKind(99).String(); got != "corruption(99)" {
+		t.Fatalf("unknown kind String = %q", got)
+	}
+}
+
+func TestCorruptionPreservesConditional(t *testing.T) {
+	// Covariate shift must keep classes separable in the corrupted space:
+	// P(Y|X) semantics survive the transform.
+	spec := FMoWSpec()
+	g, err := NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(7)
+	c := Corruption{Kind: CorruptRotate, Severity: 3}
+	var within, between float64
+	for i := 0; i < 100; i++ {
+		a, _ := g.Sample(0, rng)
+		b, _ := g.Sample(0, rng)
+		d, _ := g.Sample(1, rng)
+		ax := c.Apply(a.X, rng)
+		bx := c.Apply(b.X, rng)
+		dx := c.Apply(d.X, rng)
+		within += tensor.Distance(ax, bx)
+		between += tensor.Distance(ax, dx)
+	}
+	if between <= within {
+		t.Fatalf("rotation destroyed class structure: within=%g between=%g", within, between)
+	}
+}
+
+func TestBuildScenarioStructure(t *testing.T) {
+	spec := FMoWSpec().Scale(0.2)
+	sc, err := BuildScenario(spec, DefaultShiftConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Windows) != spec.Windows {
+		t.Fatalf("windows = %d, want %d", len(sc.Windows), spec.Windows)
+	}
+	for w, row := range sc.Windows {
+		if len(row) != spec.NumParties {
+			t.Fatalf("window %d parties = %d", w, len(row))
+		}
+		for p, pw := range row {
+			if len(pw.Train) != spec.SamplesPerParty || len(pw.Test) != spec.TestPerParty {
+				t.Fatalf("window %d party %d sizes: %d/%d", w, p, len(pw.Train), len(pw.Test))
+			}
+		}
+	}
+	// W0 must be clean.
+	if sc.NumRegimes(0) != 1 {
+		t.Fatalf("W0 regimes = %d, want 1", sc.NumRegimes(0))
+	}
+	// Later windows must contain corrupted regimes.
+	if sc.NumRegimes(spec.Windows-1) < 2 {
+		t.Fatalf("final window regimes = %d, want >=2", sc.NumRegimes(spec.Windows-1))
+	}
+}
+
+func TestBuildScenarioPartialShift(t *testing.T) {
+	spec := CIFAR10CSpec().Scale(0.1) // 20 parties
+	cfg := DefaultShiftConfig()
+	sc, err := BuildScenario(spec, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At W1 roughly half the parties must keep their W0 (clean) regime.
+	kept := 0
+	for p := 0; p < spec.NumParties; p++ {
+		if sc.Windows[1][p].Regime.Corruption.IsIdentity() {
+			kept++
+		}
+	}
+	frac := float64(kept) / float64(spec.NumParties)
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("kept fraction = %g, want ~0.5", frac)
+	}
+}
+
+func TestBuildScenarioDeterminism(t *testing.T) {
+	spec := FMoWSpec().Scale(0.1)
+	a, err := BuildScenario(spec, DefaultShiftConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildScenario(spec, DefaultShiftConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := a.Windows[2][0].Train[0].X
+	y := b.Windows[2][0].Train[0].X
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("same seed must give identical scenarios")
+		}
+	}
+}
+
+func TestBuildScenarioErrors(t *testing.T) {
+	bad := FMoWSpec()
+	bad.NumClasses = 0
+	if _, err := BuildScenario(bad, DefaultShiftConfig(), 1); err == nil {
+		t.Fatal("invalid spec should error")
+	}
+}
+
+func TestGlobalTest(t *testing.T) {
+	spec := FMoWSpec().Scale(0.1)
+	sc, err := BuildScenario(spec, DefaultShiftConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := sc.GlobalTest(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt) != spec.NumParties*spec.TestPerParty {
+		t.Fatalf("global test size = %d", len(gt))
+	}
+	if _, err := sc.GlobalTest(99); err == nil {
+		t.Fatal("out-of-range window should error")
+	}
+	if sc.NumRegimes(99) != 0 {
+		t.Fatal("out-of-range NumRegimes should be 0")
+	}
+}
+
+func TestDirichletLabelShiftSkews(t *testing.T) {
+	spec := FMoWSpec().Scale(0.2)
+	cfg := DefaultShiftConfig()
+	cfg.DirichletAlpha = 0.1
+	sc, err := BuildScenario(spec, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a shifted party in the last window and check label skew vs W0.
+	last := len(sc.Windows) - 1
+	var maxJSD float64
+	for p := 0; p < spec.NumParties; p++ {
+		h0 := LabelHistogram(sc.Windows[0][p].Train, spec.NumClasses)
+		h1 := LabelHistogram(sc.Windows[last][p].Train, spec.NumClasses)
+		j, err := stats.JSD(h0, h1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j > maxJSD {
+			maxJSD = j
+		}
+	}
+	if maxJSD < 0.1 {
+		t.Fatalf("expected strong label shift somewhere, max JSD = %g", maxJSD)
+	}
+	if math.IsNaN(maxJSD) {
+		t.Fatal("JSD is NaN")
+	}
+}

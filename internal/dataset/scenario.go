@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// cosSin is a tiny helper so corruption.go avoids importing math twice.
+func cosSin(theta float64) (float64, float64) {
+	return math.Cos(theta), math.Sin(theta)
+}
+
+// Regime is the data-generating configuration of one party in one window:
+// a covariate corruption plus a label distribution.
+type Regime struct {
+	Corruption Corruption
+	LabelDist  tensor.Vector
+}
+
+// PartyWindow is one party's data for one stream window.
+type PartyWindow struct {
+	Train  []Example
+	Test   []Example
+	Regime Regime
+}
+
+// Scenario is a full streaming-FL workload: per-window, per-party data with
+// a shift schedule. Windows[0] is the W0 bootstrap window.
+type Scenario struct {
+	Spec    Spec
+	Windows [][]PartyWindow // [window][party]
+}
+
+// ShiftConfig controls how distribution shifts are scheduled across windows,
+// mirroring §6 of the paper.
+type ShiftConfig struct {
+	// ShiftFraction is the fraction of parties that receive a new regime
+	// at each window boundary (the paper uses 0.5).
+	ShiftFraction float64
+	// CovariateKinds is the pool of corruption families to draw from.
+	CovariateKinds []CorruptionKind
+	// LabelShift enables Dirichlet re-sampling of label distributions for
+	// shifted parties.
+	LabelShift bool
+	// DirichletAlpha controls label skew (lower = more skewed); 0 means 0.5.
+	DirichletAlpha float64
+	// RegimesPerWindow bounds how many distinct new corruption regimes
+	// appear at one window boundary; shifted parties are spread across
+	// them. 0 means 2.
+	RegimesPerWindow int
+	// SeverityMin and SeverityMax bound the corruption severity drawn for
+	// new regimes (inclusive). Zero values mean 1 and 5.
+	SeverityMin, SeverityMax int
+}
+
+// DefaultShiftConfig mirrors the paper's protocol: 50 % of parties shift per
+// window across a small number of shared regimes.
+func DefaultShiftConfig() ShiftConfig {
+	return ShiftConfig{
+		ShiftFraction:    0.5,
+		CovariateKinds:   WeatherKinds(),
+		LabelShift:       true,
+		DirichletAlpha:   0.5,
+		RegimesPerWindow: 2,
+	}
+}
+
+func (c ShiftConfig) withDefaults() ShiftConfig {
+	if c.ShiftFraction <= 0 || c.ShiftFraction > 1 {
+		c.ShiftFraction = 0.5
+	}
+	if len(c.CovariateKinds) == 0 {
+		c.CovariateKinds = WeatherKinds()
+	}
+	if c.DirichletAlpha <= 0 {
+		c.DirichletAlpha = 0.5
+	}
+	if c.RegimesPerWindow <= 0 {
+		c.RegimesPerWindow = 2
+	}
+	if c.SeverityMin < 1 || c.SeverityMin > 5 {
+		c.SeverityMin = 1
+	}
+	if c.SeverityMax < c.SeverityMin || c.SeverityMax > 5 {
+		c.SeverityMax = 5
+	}
+	return c
+}
+
+// BuildScenario generates a complete streaming workload. Window 0 is clean
+// (no corruption, mildly non-IID labels); at each subsequent window boundary
+// ShiftFraction of the parties are re-assigned to freshly drawn regimes
+// while the rest keep their previous regime — the paper's partial population
+// shift.
+func BuildScenario(spec Spec, cfg ShiftConfig, seed uint64) (*Scenario, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	gen, err := NewGenerator(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(seed ^ 0xabcdef12345)
+
+	sc := &Scenario{Spec: spec, Windows: make([][]PartyWindow, spec.Windows)}
+
+	// Window 0 regimes: clean inputs, mildly non-IID labels (alpha=5) so
+	// FLIPS clustering has structure to work with without extreme skew.
+	regimes := make([]Regime, spec.NumParties)
+	for p := range regimes {
+		regimes[p] = Regime{
+			Corruption: Corruption{},
+			LabelDist:  rng.Dirichlet(spec.NumClasses, 5),
+		}
+	}
+
+	for w := 0; w < spec.Windows; w++ {
+		if w > 0 {
+			shiftRegimes(regimes, cfg, rng)
+		}
+		row := make([]PartyWindow, spec.NumParties)
+		for p := 0; p < spec.NumParties; p++ {
+			train, err := gen.SampleSet(spec.SamplesPerParty, regimes[p].LabelDist, regimes[p].Corruption, rng)
+			if err != nil {
+				return nil, fmt.Errorf("window %d party %d train: %w", w, p, err)
+			}
+			test, err := gen.SampleSet(spec.TestPerParty, regimes[p].LabelDist, regimes[p].Corruption, rng)
+			if err != nil {
+				return nil, fmt.Errorf("window %d party %d test: %w", w, p, err)
+			}
+			row[p] = PartyWindow{Train: train, Test: test, Regime: regimes[p]}
+		}
+		sc.Windows[w] = row
+	}
+	return sc, nil
+}
+
+// shiftRegimes re-assigns a ShiftFraction subset of parties to newly drawn
+// regimes in place.
+func shiftRegimes(regimes []Regime, cfg ShiftConfig, rng *tensor.RNG) {
+	n := len(regimes)
+	numShift := int(cfg.ShiftFraction * float64(n))
+	if numShift == 0 {
+		numShift = 1
+	}
+	shifted := rng.Sample(n, numShift)
+
+	// Draw the window's new shared covariate regimes. Corruptions are
+	// shared across the shifted subpopulation (weather hits a region),
+	// while label shift is party-specific (class prevalence moves
+	// per party), so label clustering cannot stand in for covariate
+	// clustering.
+	newCorruptions := make([]Corruption, cfg.RegimesPerWindow)
+	numClasses := len(regimes[0].LabelDist)
+	for i := range newCorruptions {
+		kind := cfg.CovariateKinds[rng.Intn(len(cfg.CovariateKinds))]
+		severity := cfg.SeverityMin + rng.Intn(cfg.SeverityMax-cfg.SeverityMin+1)
+		newCorruptions[i] = Corruption{Kind: kind, Severity: severity}
+	}
+	for j, p := range shifted {
+		label := regimes[p].LabelDist
+		if cfg.LabelShift {
+			label = rng.Dirichlet(numClasses, cfg.DirichletAlpha)
+		}
+		regimes[p] = Regime{
+			Corruption: newCorruptions[j%len(newCorruptions)],
+			LabelDist:  label,
+		}
+	}
+}
+
+// GlobalTest pools every party's test split for a window — the evaluation
+// set used for the convergence plots.
+func (s *Scenario) GlobalTest(window int) ([]Example, error) {
+	if window < 0 || window >= len(s.Windows) {
+		return nil, fmt.Errorf("dataset: window %d out of range [0,%d)", window, len(s.Windows))
+	}
+	var out []Example
+	for _, pw := range s.Windows[window] {
+		out = append(out, pw.Test...)
+	}
+	return out, nil
+}
+
+// NumRegimes returns the number of distinct corruption regimes present in a
+// window, a ground-truth reference for expert-count assertions.
+func (s *Scenario) NumRegimes(window int) int {
+	if window < 0 || window >= len(s.Windows) {
+		return 0
+	}
+	seen := make(map[Corruption]bool)
+	for _, pw := range s.Windows[window] {
+		seen[pw.Regime.Corruption] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,225 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func buildModel(t *testing.T, spec dataset.Spec) *nn.MLP {
+	t.Helper()
+	m, err := nn.NewMLP([]int{spec.InputDim, 16, 8, spec.NumClasses}, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func sampleWindow(t *testing.T, g *dataset.Generator, n int, corr dataset.Corruption, dist tensor.Vector, rng *tensor.RNG) []dataset.Example {
+	t.Helper()
+	exs, err := g.SampleSet(n, dist, corr, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exs
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(0, 1, 10); err == nil {
+		t.Fatal("1 class should error")
+	}
+	if _, err := NewDetector(0, 5, -1); err == nil {
+		t.Fatal("negative cap should error")
+	}
+	d, err := NewDetector(0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.sampleCap != 64 {
+		t.Fatalf("default cap = %d", d.sampleCap)
+	}
+}
+
+func TestObserveFirstWindowZeroDeltas(t *testing.T) {
+	spec := dataset.FMoWSpec()
+	g, err := dataset.NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(2)
+	model := buildModel(t, spec)
+	d, err := NewDetector(3, spec.NumClasses, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := tensor.NewVector(spec.NumClasses)
+	uniform.Fill(1 / float64(spec.NumClasses))
+	w := sampleWindow(t, g, 50, dataset.Corruption{}, uniform, rng)
+
+	st, err := d.Observe(model, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MMD != 0 || st.JSD != 0 {
+		t.Fatalf("first window deltas should be 0: mmd=%g jsd=%g", st.MMD, st.JSD)
+	}
+	if st.PartyID != 3 || st.Window != 0 || st.NumSamples != 50 {
+		t.Fatalf("stats metadata wrong: %+v", st)
+	}
+	if len(st.EmbeddingSample) != 32 {
+		t.Fatalf("sample size = %d, want cap 32", len(st.EmbeddingSample))
+	}
+	if len(st.MeanEmbedding) != model.EmbeddingDim() {
+		t.Fatalf("mean embedding dim = %d", len(st.MeanEmbedding))
+	}
+	if d.Window() != 1 {
+		t.Fatalf("window counter = %d", d.Window())
+	}
+}
+
+func TestObserveDetectsCovariateShift(t *testing.T) {
+	spec := dataset.FMoWSpec()
+	g, err := dataset.NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	model := buildModel(t, spec)
+	d, err := NewDetector(0, spec.NumClasses, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := tensor.NewVector(spec.NumClasses)
+	uniform.Fill(1 / float64(spec.NumClasses))
+
+	// Two clean windows: small MMD. Then a corrupted window: larger MMD.
+	w0 := sampleWindow(t, g, 60, dataset.Corruption{}, uniform, rng)
+	w1 := sampleWindow(t, g, 60, dataset.Corruption{}, uniform, rng)
+	w2 := sampleWindow(t, g, 60, dataset.Corruption{Kind: dataset.CorruptFog, Severity: 5}, uniform, rng)
+
+	if _, err := d.Observe(model, w0, rng); err != nil {
+		t.Fatal(err)
+	}
+	stable, err := d.Observe(model, w1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := d.Observe(model, w2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.MMD <= stable.MMD {
+		t.Fatalf("corrupted-window MMD %g should exceed stable %g", shifted.MMD, stable.MMD)
+	}
+	if shifted.MMD < 0.05 {
+		t.Fatalf("corrupted-window MMD %g suspiciously small", shifted.MMD)
+	}
+}
+
+func TestObserveDetectsLabelShift(t *testing.T) {
+	spec := dataset.FMoWSpec()
+	g, err := dataset.NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(4)
+	model := buildModel(t, spec)
+	d, err := NewDetector(0, spec.NumClasses, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := tensor.NewVector(spec.NumClasses)
+	uniform.Fill(1 / float64(spec.NumClasses))
+	skewed := tensor.NewVector(spec.NumClasses)
+	skewed[0] = 0.9
+	skewed[1] = 0.1
+
+	w0 := sampleWindow(t, g, 60, dataset.Corruption{}, uniform, rng)
+	w1 := sampleWindow(t, g, 60, dataset.Corruption{}, skewed, rng)
+
+	if _, err := d.Observe(model, w0, rng); err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Observe(model, w1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JSD < 0.1 {
+		t.Fatalf("label shift JSD %g too small", st.JSD)
+	}
+}
+
+func TestObserveErrors(t *testing.T) {
+	spec := dataset.FMoWSpec()
+	model := buildModel(t, spec)
+	d, err := NewDetector(0, spec.NumClasses, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(1)
+	if _, err := d.Observe(model, nil, rng); err == nil {
+		t.Fatal("empty window should error")
+	}
+	if _, err := d.Observe(nil, []dataset.Example{{X: tensor.Vector{1}, Y: 0}}, rng); err == nil {
+		t.Fatal("nil model should error")
+	}
+	// Wrong input dimension surfaces the embed error.
+	bad := []dataset.Example{{X: tensor.Vector{1, 2}, Y: 0}}
+	if _, err := d.Observe(model, bad, rng); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+}
+
+func TestReset(t *testing.T) {
+	spec := dataset.FMoWSpec()
+	g, err := dataset.NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(5)
+	model := buildModel(t, spec)
+	d, err := NewDetector(0, spec.NumClasses, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := tensor.NewVector(spec.NumClasses)
+	uniform.Fill(1 / float64(spec.NumClasses))
+	w := sampleWindow(t, g, 30, dataset.Corruption{}, uniform, rng)
+	if _, err := d.Observe(model, w, rng); err != nil {
+		t.Fatal(err)
+	}
+	d.Reset()
+	st, err := d.Observe(model, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MMD != 0 || st.JSD != 0 {
+		t.Fatalf("post-reset deltas should be 0: %+v", st)
+	}
+}
+
+func TestObserveSmallWindowBelowCap(t *testing.T) {
+	spec := dataset.FMoWSpec()
+	g, err := dataset.NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(6)
+	model := buildModel(t, spec)
+	d, err := NewDetector(0, spec.NumClasses, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := tensor.NewVector(spec.NumClasses)
+	uniform.Fill(1 / float64(spec.NumClasses))
+	w := sampleWindow(t, g, 10, dataset.Corruption{}, uniform, rng)
+	st, err := d.Observe(model, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.EmbeddingSample) != 10 {
+		t.Fatalf("sample = %d, want all 10", len(st.EmbeddingSample))
+	}
+}

@@ -1,0 +1,212 @@
+// Package distill implements expert compression via knowledge distillation
+// — the future-work extension the paper sketches in §9 ("expert compression
+// via online distillation"). A student model is trained to match the
+// softened output distributions of one or more teacher experts on unlabeled
+// transfer data, letting the aggregator collapse a pool of experts into a
+// single compact model (or shrink one expert) without access to party data:
+// the transfer set can be synthetic or public.
+package distill
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config controls distillation.
+type Config struct {
+	// Temperature softens teacher logits (>1 reveals dark knowledge);
+	// 0 means 2.
+	Temperature float64
+	// Epochs over the transfer set; 0 means 10.
+	Epochs int
+	// BatchSize for student updates; 0 means 32.
+	BatchSize int
+	// LR for the student optimizer; 0 means 0.02.
+	LR float64
+	// Momentum for the student optimizer.
+	Momentum float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Temperature <= 0 {
+		c.Temperature = 2
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 0.02
+	}
+	return c
+}
+
+// Teacher pairs an expert model with the weight of its cohort; the merged
+// soft target is the cohort-weighted mixture of teacher distributions.
+type Teacher struct {
+	Model  *nn.MLP
+	Weight float64
+}
+
+// softTargets computes the weighted soft distribution of the teachers at
+// temperature T for input x.
+func softTargets(teachers []Teacher, x tensor.Vector, temperature float64) (tensor.Vector, error) {
+	var mix tensor.Vector
+	var total float64
+	for _, t := range teachers {
+		logits, err := t.Model.Logits(x)
+		if err != nil {
+			return nil, err
+		}
+		scaled := logits.Clone()
+		scaled.Scale(1 / temperature)
+		p := nn.Softmax(scaled)
+		w := t.Weight
+		if w <= 0 {
+			w = 1
+		}
+		if mix == nil {
+			mix = tensor.NewVector(len(p))
+		}
+		if err := mix.Axpy(w, p); err != nil {
+			return nil, err
+		}
+		total += w
+	}
+	mix.Scale(1 / total)
+	return mix, nil
+}
+
+// Distill trains the student to match the teachers' soft targets on the
+// transfer inputs, returning the final mean KL(teacher||student) loss. The
+// student must share input and class dimensions with every teacher; hidden
+// widths may differ (that is the compression).
+func Distill(student *nn.MLP, teachers []Teacher, transfer []tensor.Vector, cfg Config, rng *tensor.RNG) (float64, error) {
+	if student == nil {
+		return 0, errors.New("distill: nil student")
+	}
+	if len(teachers) == 0 {
+		return 0, errors.New("distill: no teachers")
+	}
+	if len(transfer) == 0 {
+		return 0, errors.New("distill: empty transfer set")
+	}
+	for i, t := range teachers {
+		if t.Model == nil {
+			return 0, fmt.Errorf("distill: teacher %d is nil", i)
+		}
+		if t.Model.InputDim() != student.InputDim() || t.Model.NumClasses() != student.NumClasses() {
+			return 0, fmt.Errorf("distill: teacher %d shape (%d→%d) incompatible with student (%d→%d)",
+				i, t.Model.InputDim(), t.Model.NumClasses(), student.InputDim(), student.NumClasses())
+		}
+	}
+	cfg = cfg.withDefaults()
+
+	// Precompute soft targets once (teachers are frozen).
+	targets := make([]tensor.Vector, len(transfer))
+	for i, x := range transfer {
+		tgt, err := softTargets(teachers, x, cfg.Temperature)
+		if err != nil {
+			return 0, err
+		}
+		targets[i] = tgt
+	}
+
+	opt := nn.NewSGD(cfg.LR)
+	opt.Momentum = cfg.Momentum
+	idx := make([]int, len(transfer))
+	for i := range idx {
+		idx[i] = i
+	}
+	var lastLoss float64
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var batches int
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			loss, err := distillBatch(student, transfer, targets, idx[start:end], cfg.Temperature, opt)
+			if err != nil {
+				return 0, err
+			}
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+	}
+	return lastLoss, nil
+}
+
+// distillBatch performs one soft-label gradient step. The gradient of
+// KL(q||p_student) w.r.t. student logits (at temperature T) is
+// (softmax(z/T) − q)/T per example; we push it through the model using the
+// same backpropagation machinery as hard labels by extending nn with a
+// soft-label gradient entry point.
+func distillBatch(student *nn.MLP, xs []tensor.Vector, targets []tensor.Vector, batch []int, temperature float64, opt *nn.SGD) (float64, error) {
+	grad := tensor.NewVector(student.NumParams())
+	var total float64
+	for _, i := range batch {
+		g, loss, err := nn.SoftGradient(student, xs[i], targets[i], temperature)
+		if err != nil {
+			return 0, err
+		}
+		if err := grad.Add(g); err != nil {
+			return 0, err
+		}
+		total += loss
+	}
+	inv := 1 / float64(len(batch))
+	grad.Scale(inv)
+	if err := opt.Step(student, grad); err != nil {
+		return 0, err
+	}
+	return total * inv, nil
+}
+
+// Agreement returns the fraction of transfer inputs on which the student's
+// argmax matches the (mixture) teachers' argmax — the compression-quality
+// metric.
+func Agreement(student *nn.MLP, teachers []Teacher, transfer []tensor.Vector) (float64, error) {
+	if len(transfer) == 0 {
+		return 0, errors.New("distill: empty transfer set")
+	}
+	match := 0
+	for _, x := range transfer {
+		tgt, err := softTargets(teachers, x, 1)
+		if err != nil {
+			return 0, err
+		}
+		pred, err := student.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		if pred == tgt.ArgMax() {
+			match++
+		}
+	}
+	return float64(match) / float64(len(transfer)), nil
+}
+
+// CompressionRatio reports teacherParams / studentParams for a teacher
+// pool, quantifying the memory saved by distillation.
+func CompressionRatio(student *nn.MLP, teachers []Teacher) float64 {
+	if student == nil || student.NumParams() == 0 {
+		return math.NaN()
+	}
+	total := 0
+	for _, t := range teachers {
+		if t.Model != nil {
+			total += t.Model.NumParams()
+		}
+	}
+	return float64(total) / float64(student.NumParams())
+}

@@ -1,0 +1,209 @@
+package distill
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// trainTeacher fits a model on one regime's data.
+func trainTeacher(t *testing.T, spec dataset.Spec, g *dataset.Generator, corr dataset.Corruption, seed uint64) *nn.MLP {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	uniform := tensor.Vector(stats.Uniform(spec.NumClasses))
+	train, err := g.SampleSet(250, uniform, corr, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := nn.NewMLP([]int{spec.InputDim, 32, 16, spec.NumClasses}, tensor.NewRNG(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.NewSGD(0.02)
+	opt.Momentum = 0.9
+	if _, err := nn.TrainEpochs(m, dataset.Inputs(train), dataset.Labels(train), opt, 25, 16, rng); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDistillCompressesTeacher(t *testing.T) {
+	spec := dataset.FMoWSpec()
+	g, err := dataset.NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	teacher := trainTeacher(t, spec, g, dataset.Corruption{}, 7)
+
+	// Student with half the hidden width.
+	student, err := nn.NewMLP([]int{spec.InputDim, 16, 8, spec.NumClasses}, tensor.NewRNG(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	uniform := tensor.Vector(stats.Uniform(spec.NumClasses))
+	transferExs, err := g.SampleSet(300, uniform, dataset.Corruption{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transfer := dataset.Inputs(transferExs)
+
+	teachers := []Teacher{{Model: teacher, Weight: 1}}
+	before, err := Agreement(student, teachers, transfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := Distill(student, teachers, transfer, Config{Epochs: 15, Momentum: 0.9}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Agreement(student, teachers, transfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Fatalf("distillation did not raise agreement: %g -> %g", before, after)
+	}
+	if after < 0.7 {
+		t.Fatalf("student agreement %g too low (loss %g)", after, loss)
+	}
+	ratio := CompressionRatio(student, teachers)
+	if ratio <= 1 {
+		t.Fatalf("compression ratio = %g, want > 1", ratio)
+	}
+}
+
+func TestDistillMergesTwoTeachers(t *testing.T) {
+	spec := dataset.FMoWSpec()
+	g, err := dataset.NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := trainTeacher(t, spec, g, dataset.Corruption{}, 11)
+	fog := trainTeacher(t, spec, g, dataset.Corruption{Kind: dataset.CorruptFog, Severity: 3}, 13)
+
+	student, err := nn.NewMLP([]int{spec.InputDim, 32, 16, spec.NumClasses}, tensor.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(19)
+	uniform := tensor.Vector(stats.Uniform(spec.NumClasses))
+	// Transfer set mixes both regimes.
+	cleanX, err := g.SampleSet(150, uniform, dataset.Corruption{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fogX, err := g.SampleSet(150, uniform, dataset.Corruption{Kind: dataset.CorruptFog, Severity: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transfer := append(dataset.Inputs(cleanX), dataset.Inputs(fogX)...)
+
+	teachers := []Teacher{{Model: clean, Weight: 2}, {Model: fog, Weight: 1}}
+	if _, err := Distill(student, teachers, transfer, Config{Epochs: 12, Momentum: 0.9}, rng); err != nil {
+		t.Fatal(err)
+	}
+	agree, err := Agreement(student, teachers, transfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree < 0.6 {
+		t.Fatalf("two-teacher agreement = %g", agree)
+	}
+}
+
+func TestDistillValidation(t *testing.T) {
+	spec := dataset.FMoWSpec()
+	rng := tensor.NewRNG(1)
+	m, err := nn.NewMLP([]int{spec.InputDim, 8, spec.NumClasses + 1, spec.NumClasses}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []Teacher{{Model: m}}
+	x := []tensor.Vector{tensor.NewVector(spec.InputDim)}
+	if _, err := Distill(nil, good, x, Config{}, rng); err == nil {
+		t.Fatal("nil student should error")
+	}
+	student, err := nn.NewMLP([]int{spec.InputDim, 8, spec.NumClasses}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Distill(student, nil, x, Config{}, rng); err == nil {
+		t.Fatal("no teachers should error")
+	}
+	if _, err := Distill(student, good, nil, Config{}, rng); err == nil {
+		t.Fatal("empty transfer should error")
+	}
+	if _, err := Distill(student, []Teacher{{}}, x, Config{}, rng); err == nil {
+		t.Fatal("nil teacher model should error")
+	}
+	other, err := nn.NewMLP([]int{spec.InputDim + 1, 8, spec.NumClasses}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Distill(student, []Teacher{{Model: other}}, x, Config{}, rng); err == nil {
+		t.Fatal("shape-incompatible teacher should error")
+	}
+	if _, err := Agreement(student, good, nil); err == nil {
+		t.Fatal("empty agreement transfer should error")
+	}
+}
+
+func TestCompressionRatioEdge(t *testing.T) {
+	if !math.IsNaN(CompressionRatio(nil, nil)) {
+		t.Fatal("nil student should be NaN")
+	}
+}
+
+func TestSoftGradientMatchesHardLabelAtOneHot(t *testing.T) {
+	// With temperature 1 and a one-hot target, SoftGradient must equal the
+	// hard-label gradient.
+	rng := tensor.NewRNG(5)
+	m, err := nn.NewMLP([]int{3, 6, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vector{0.5, -1, 2}
+	target := tensor.Vector{0, 1, 0}
+	soft, _, err := nn.SoftGradient(m, x, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finite-difference check on a few coordinates of the soft loss.
+	p := m.Params()
+	const eps = 1e-5
+	lossAt := func(params tensor.Vector) float64 {
+		if err := m.SetParams(params); err != nil {
+			t.Fatal(err)
+		}
+		l, err := m.Loss([]tensor.Vector{x}, []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	for _, idx := range []int{0, 5, len(p) - 1} {
+		plus := p.Clone()
+		plus[idx] += eps
+		minus := p.Clone()
+		minus[idx] -= eps
+		numeric := (lossAt(plus) - lossAt(minus)) / (2 * eps)
+		if math.Abs(numeric-soft[idx]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("soft grad[%d] = %g, numeric %g", idx, soft[idx], numeric)
+		}
+	}
+	if err := m.SetParams(p); err != nil {
+		t.Fatal(err)
+	}
+	// Validation paths.
+	if _, _, err := nn.SoftGradient(m, x, target, 0); err == nil {
+		t.Fatal("temperature 0 should error")
+	}
+	if _, _, err := nn.SoftGradient(m, x, tensor.Vector{1}, 1); err == nil {
+		t.Fatal("short target should error")
+	}
+}

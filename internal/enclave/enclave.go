@@ -1,0 +1,156 @@
+// Package enclave simulates the Trusted Execution Environment layer of
+// ShiftEx (§5.3): parties seal their shift statistics with an authenticated
+// cipher so that only code running "inside the enclave" — here, the holder
+// of the session key established during attestation — can read them. The
+// untrusted aggregator ferries ciphertexts it cannot open.
+//
+// The hardware parts of a real TEE (SGX/SEV memory encryption, remote
+// attestation quotes) are simulated: attestation is a deterministic
+// measurement check and sealing is AES-256-GCM, which preserves the
+// dataflow and lets the §5.3 overhead experiment run.
+package enclave
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/detect"
+)
+
+// KeySize is the AES-256 session key size in bytes.
+const KeySize = 32
+
+// ErrAttestation indicates an attestation report failed verification.
+var ErrAttestation = errors.New("enclave: attestation verification failed")
+
+// measurement is the simulated code-identity hash (MRENCLAVE analogue) of
+// the drift-detection enclave binary.
+var measurement = sha256.Sum256([]byte("shiftex-drift-enclave-v1"))
+
+// Report is a simulated attestation report binding a session key to the
+// enclave's code identity.
+type Report struct {
+	Measurement [32]byte
+	// KeyDigest commits to the session key without revealing it.
+	KeyDigest [32]byte
+}
+
+// Enclave is the trusted side: it owns the session key and unseals party
+// statistics for drift detection.
+type Enclave struct {
+	key  []byte
+	aead cipher.AEAD
+}
+
+// New creates an enclave with a fresh session key drawn from the given
+// entropy source (nil means crypto/rand).
+func New(entropy io.Reader) (*Enclave, error) {
+	if entropy == nil {
+		entropy = rand.Reader
+	}
+	key := make([]byte, KeySize)
+	if _, err := io.ReadFull(entropy, key); err != nil {
+		return nil, fmt.Errorf("enclave: generate key: %w", err)
+	}
+	return fromKey(key)
+}
+
+func fromKey(key []byte) (*Enclave, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: gcm: %w", err)
+	}
+	return &Enclave{key: key, aead: aead}, nil
+}
+
+// Attest produces the attestation report a party verifies before trusting
+// the enclave with statistics.
+func (e *Enclave) Attest() Report {
+	return Report{
+		Measurement: measurement,
+		KeyDigest:   sha256.Sum256(e.key),
+	}
+}
+
+// Session is the party side: after verifying attestation it seals
+// statistics to the enclave.
+type Session struct {
+	aead cipher.AEAD
+}
+
+// NewSession verifies the attestation report against the expected enclave
+// measurement and the provisioned key, then returns a sealing session.
+// In the simulation the key is provisioned out of band (the analogue of a
+// secure-channel key exchange after attestation).
+func NewSession(report Report, key []byte) (*Session, error) {
+	if report.Measurement != measurement {
+		return nil, fmt.Errorf("%w: unexpected measurement", ErrAttestation)
+	}
+	if sha256.Sum256(key) != report.KeyDigest {
+		return nil, fmt.Errorf("%w: key does not match report", ErrAttestation)
+	}
+	e, err := fromKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{aead: e.aead}, nil
+}
+
+// Key returns the enclave's session key for out-of-band provisioning in
+// the simulation.
+func (e *Enclave) Key() []byte {
+	out := make([]byte, len(e.key))
+	copy(out, e.key)
+	return out
+}
+
+// seal gob-encodes v and encrypts it with a random nonce prepended.
+func seal(aead cipher.AEAD, v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("enclave: encode: %w", err)
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("enclave: nonce: %w", err)
+	}
+	return append(nonce, aead.Seal(nil, nonce, buf.Bytes(), nil)...), nil
+}
+
+// open decrypts and gob-decodes into v.
+func open(aead cipher.AEAD, data []byte, v any) error {
+	if len(data) < aead.NonceSize() {
+		return errors.New("enclave: ciphertext too short")
+	}
+	nonce, ct := data[:aead.NonceSize()], data[aead.NonceSize():]
+	plain, err := aead.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return fmt.Errorf("enclave: open: %w", err)
+	}
+	return gob.NewDecoder(bytes.NewReader(plain)).Decode(v)
+}
+
+// SealStats encrypts a party's shift statistics for the enclave.
+func (s *Session) SealStats(st detect.PartyStats) ([]byte, error) {
+	return seal(s.aead, st)
+}
+
+// OpenStats decrypts a sealed statistics bundle inside the enclave.
+func (e *Enclave) OpenStats(data []byte) (detect.PartyStats, error) {
+	var st detect.PartyStats
+	if err := open(e.aead, data, &st); err != nil {
+		return detect.PartyStats{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,170 @@
+package enclave
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+func sampleStats() detect.PartyStats {
+	return detect.PartyStats{
+		PartyID:       7,
+		Window:        3,
+		MeanEmbedding: tensor.Vector{1.5, -2.5, 3.5},
+		EmbeddingSample: []tensor.Vector{
+			{1, 2, 3}, {4, 5, 6},
+		},
+		LabelHist:  stats.Histogram{0.25, 0.75},
+		MMD:        0.42,
+		JSD:        0.1,
+		NumSamples: 40,
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	e, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(e.Attest(), e.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := sess.SealStats(sampleStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.OpenStats(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleStats()
+	if got.PartyID != want.PartyID || got.MMD != want.MMD || got.Window != want.Window {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if len(got.EmbeddingSample) != 2 || got.EmbeddingSample[1][2] != 6 {
+		t.Fatalf("embedding sample mismatch: %+v", got.EmbeddingSample)
+	}
+}
+
+func TestCiphertextIsOpaque(t *testing.T) {
+	e, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(e.Attest(), e.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := sess.SealStats(sampleStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The aggregator must not see plaintext markers: gob streams embed
+	// field names like "MeanEmbedding".
+	if bytes.Contains(sealed, []byte("MeanEmbedding")) {
+		t.Fatal("ciphertext leaks plaintext structure")
+	}
+	// Two seals of the same data must differ (fresh nonces).
+	sealed2, err := sess.SealStats(sampleStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(sealed, sealed2) {
+		t.Fatal("nonce reuse: identical ciphertexts")
+	}
+}
+
+func TestTamperingDetected(t *testing.T) {
+	e, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(e.Attest(), e.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := sess.SealStats(sampleStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed[len(sealed)-1] ^= 0xff
+	if _, err := e.OpenStats(sealed); err == nil {
+		t.Fatal("tampered ciphertext should fail")
+	}
+	if _, err := e.OpenStats([]byte{1, 2}); err == nil {
+		t.Fatal("truncated ciphertext should fail")
+	}
+}
+
+func TestWrongEnclaveCannotOpen(t *testing.T) {
+	e1, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(e1.Attest(), e1.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := sess.SealStats(sampleStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.OpenStats(sealed); err == nil {
+		t.Fatal("different enclave must not open foreign statistics")
+	}
+}
+
+func TestAttestationValidation(t *testing.T) {
+	e, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong key vs report digest.
+	bad := make([]byte, KeySize)
+	if _, err := NewSession(e.Attest(), bad); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("want ErrAttestation, got %v", err)
+	}
+	// Tampered measurement.
+	rep := e.Attest()
+	rep.Measurement[0] ^= 1
+	if _, err := NewSession(rep, e.Key()); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("want ErrAttestation, got %v", err)
+	}
+}
+
+func TestDeterministicEntropy(t *testing.T) {
+	// A fixed entropy source produces a reproducible enclave key.
+	src := bytes.NewReader(bytes.Repeat([]byte{0x42}, 64))
+	e, err := New(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Key()[0] != 0x42 {
+		t.Fatal("entropy source not honored")
+	}
+	// Short entropy errors.
+	if _, err := New(bytes.NewReader([]byte{1})); err == nil {
+		t.Fatal("short entropy should error")
+	}
+}
+
+func TestKeyIsCopy(t *testing.T) {
+	e, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := e.Key()
+	k[0] ^= 0xff
+	if bytes.Equal(k, e.Key()) {
+		t.Fatal("Key must return a defensive copy")
+	}
+}

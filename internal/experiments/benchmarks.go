@@ -1,0 +1,226 @@
+// Package experiments defines the paper's evaluation protocol (§6): the
+// five benchmark scenarios, the matched training budgets for ShiftEx and
+// the four baselines, the multi-seed runner, and formatters that regenerate
+// every table and figure of the paper from measured data.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/dataset"
+	"repro/internal/federation"
+	"repro/internal/fl"
+	"repro/internal/shiftex"
+)
+
+// Benchmark is one dataset scenario preset.
+type Benchmark struct {
+	Name  string
+	Spec  dataset.Spec
+	Shift dataset.ShiftConfig
+	// Hidden are the hidden-layer widths (embedding last); the input and
+	// output widths come from the spec.
+	Hidden []int
+}
+
+// Arch returns the full architecture for the benchmark.
+func (b Benchmark) Arch() []int {
+	arch := make([]int, 0, len(b.Hidden)+2)
+	arch = append(arch, b.Spec.InputDim)
+	arch = append(arch, b.Hidden...)
+	arch = append(arch, b.Spec.NumClasses)
+	return arch
+}
+
+// FMoW is the satellite-imagery benchmark: natural covariate diversity
+// (weather families) plus label shift, tumbling windows, 50 parties.
+func FMoW() Benchmark {
+	shift := dataset.DefaultShiftConfig()
+	shift.CovariateKinds = dataset.WeatherKinds()
+	shift.LabelShift = true
+	shift.RegimesPerWindow = 2
+	shift.SeverityMin, shift.SeverityMax = 3, 5
+	return Benchmark{Name: "fmow", Spec: dataset.FMoWSpec(), Shift: shift, Hidden: []int{32, 16}}
+}
+
+// CIFAR10C is the weather-corruption benchmark: 200 parties, sliding
+// windows, few distinct corruption regimes (the paper observes a compact
+// two-expert configuration).
+func CIFAR10C() Benchmark {
+	shift := dataset.DefaultShiftConfig()
+	shift.CovariateKinds = []dataset.CorruptionKind{
+		dataset.CorruptFog, dataset.CorruptRain, dataset.CorruptSnow, dataset.CorruptFrost,
+	}
+	shift.LabelShift = false
+	shift.RegimesPerWindow = 1
+	shift.SeverityMin, shift.SeverityMax = 3, 5
+	return Benchmark{Name: "cifar10c", Spec: dataset.CIFAR10CSpec(), Shift: shift, Hidden: []int{32, 16}}
+}
+
+// TinyImageNetC is the many-class corruption benchmark with progressive
+// corruption groups per window.
+func TinyImageNetC() Benchmark {
+	shift := dataset.DefaultShiftConfig()
+	shift.CovariateKinds = dataset.WeatherKinds()
+	shift.LabelShift = false
+	shift.RegimesPerWindow = 2
+	shift.SeverityMin, shift.SeverityMax = 3, 5
+	return Benchmark{Name: "tinyimagenetc", Spec: dataset.TinyImageNetCSpec(), Shift: shift, Hidden: []int{48, 24}}
+}
+
+// FEMNIST is the handwritten-character benchmark: synthetic transforms plus
+// Dirichlet label skew.
+func FEMNIST() Benchmark {
+	shift := dataset.DefaultShiftConfig()
+	shift.CovariateKinds = dataset.SyntheticKinds()
+	shift.LabelShift = true
+	shift.DirichletAlpha = 0.5
+	shift.RegimesPerWindow = 2
+	shift.SeverityMin, shift.SeverityMax = 3, 5
+	return Benchmark{Name: "femnist", Spec: dataset.FEMNISTSpec(), Shift: shift, Hidden: []int{40, 20}}
+}
+
+// FashionMNIST is the clothing benchmark: synthetic transforms plus
+// Dirichlet label skew.
+func FashionMNIST() Benchmark {
+	shift := dataset.DefaultShiftConfig()
+	shift.CovariateKinds = dataset.SyntheticKinds()
+	shift.LabelShift = true
+	shift.DirichletAlpha = 0.5
+	shift.RegimesPerWindow = 2
+	shift.SeverityMin, shift.SeverityMax = 3, 5
+	return Benchmark{Name: "fashionmnist", Spec: dataset.FashionMNISTSpec(), Shift: shift, Hidden: []int{32, 16}}
+}
+
+// Benchmarks returns all five presets.
+func Benchmarks() []Benchmark {
+	return []Benchmark{FMoW(), CIFAR10C(), TinyImageNetC(), FEMNIST(), FashionMNIST()}
+}
+
+// BenchmarkByName resolves a preset.
+func BenchmarkByName(name string) (Benchmark, error) {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("experiments: unknown benchmark %q", name)
+}
+
+// Options control experiment scale. The zero value is invalid; use
+// QuickOptions or PaperOptions.
+type Options struct {
+	// Scale multiplies party/sample counts (1 = paper scale).
+	Scale float64
+	// Seeds are the per-run seeds (the paper uses six).
+	Seeds []uint64
+	// BootstrapRounds / RoundsPerWindow / Participants / Epochs override
+	// the training budget.
+	BootstrapRounds int
+	RoundsPerWindow int
+	Participants    int
+	Epochs          int
+}
+
+// QuickOptions is a minutes-scale configuration used by tests and the
+// default CLI run.
+func QuickOptions() Options {
+	return Options{
+		Scale:           0.1,
+		Seeds:           []uint64{1, 2},
+		BootstrapRounds: 10,
+		RoundsPerWindow: 10,
+		Participants:    8,
+		Epochs:          2,
+	}
+}
+
+// PaperOptions approximates the paper's protocol (six seeds, full party
+// counts); hours-scale on a laptop.
+func PaperOptions() Options {
+	return Options{
+		Scale:           1,
+		Seeds:           []uint64{1, 2, 3, 4, 5, 6},
+		BootstrapRounds: 25,
+		RoundsPerWindow: 25,
+		Participants:    10,
+		Epochs:          2,
+	}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	switch {
+	case o.Scale <= 0:
+		return fmt.Errorf("experiments: scale must be positive, got %g", o.Scale)
+	case len(o.Seeds) == 0:
+		return fmt.Errorf("experiments: need at least one seed")
+	case o.BootstrapRounds <= 0 || o.RoundsPerWindow <= 0:
+		return fmt.Errorf("experiments: rounds must be positive")
+	case o.Participants <= 0:
+		return fmt.Errorf("experiments: participants must be positive")
+	case o.Epochs <= 0:
+		return fmt.Errorf("experiments: epochs must be positive")
+	}
+	return nil
+}
+
+func (o Options) trainConfig() fl.TrainConfig {
+	return fl.TrainConfig{Epochs: o.Epochs, BatchSize: 16, LR: 0.02, Momentum: 0.9}
+}
+
+// TechniqueFactory creates a fresh technique instance per (benchmark, seed)
+// run so runs stay independent.
+type TechniqueFactory struct {
+	Name string
+	New  func(seed uint64) (federation.Technique, error)
+}
+
+// StandardTechniques returns the five methods of the paper's comparison
+// with matched training budgets.
+func StandardTechniques(opts Options) []TechniqueFactory {
+	shiftexCfg := func() shiftex.Config {
+		cfg := shiftex.DefaultConfig()
+		cfg.BootstrapRounds = opts.BootstrapRounds
+		cfg.RoundsPerWindow = opts.RoundsPerWindow
+		cfg.ParticipantsPerRound = opts.Participants
+		cfg.Train = opts.trainConfig()
+		return cfg
+	}
+	baseCfg := func() baselines.Config {
+		return baselines.Config{
+			BootstrapRounds:      opts.BootstrapRounds,
+			RoundsPerWindow:      opts.RoundsPerWindow,
+			ParticipantsPerRound: opts.Participants,
+			Train:                opts.trainConfig(),
+		}
+	}
+	return []TechniqueFactory{
+		{Name: "shiftex", New: func(seed uint64) (federation.Technique, error) {
+			return shiftex.New(shiftexCfg(), seed)
+		}},
+		{Name: "fedprox", New: func(seed uint64) (federation.Technique, error) {
+			return baselines.NewFedProx(baseCfg(), 0.1, seed)
+		}},
+		{Name: "oort", New: func(seed uint64) (federation.Technique, error) {
+			return baselines.NewOORT(baseCfg(), 0.2, seed)
+		}},
+		{Name: "fielding", New: func(seed uint64) (federation.Technique, error) {
+			return baselines.NewFielding(baseCfg(), 5, seed)
+		}},
+		{Name: "feddrift", New: func(seed uint64) (federation.Technique, error) {
+			return baselines.NewFedDrift(baseCfg(), 1.5, 6, seed)
+		}},
+	}
+}
+
+// TechniqueByName resolves a single factory.
+func TechniqueByName(opts Options, name string) (TechniqueFactory, error) {
+	for _, tf := range StandardTechniques(opts) {
+		if tf.Name == name {
+			return tf, nil
+		}
+	}
+	return TechniqueFactory{}, fmt.Errorf("experiments: unknown technique %q", name)
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func tinyOptions() Options {
+	return Options{
+		Scale:           0.1, // 20 parties on the 200-party presets
+		Seeds:           []uint64{1},
+		BootstrapRounds: 5,
+		RoundsPerWindow: 5,
+		Participants:    5,
+		Epochs:          2,
+	}
+}
+
+func TestBenchmarkPresets(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 5 {
+		t.Fatalf("benchmarks = %d", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		if err := b.Spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		arch := b.Arch()
+		if arch[0] != b.Spec.InputDim || arch[len(arch)-1] != b.Spec.NumClasses {
+			t.Fatalf("%s arch = %v", b.Name, arch)
+		}
+		if len(arch) < 4 {
+			t.Fatalf("%s arch too shallow: %v", b.Name, arch)
+		}
+		names[b.Name] = true
+	}
+	for _, want := range []string{"fmow", "cifar10c", "tinyimagenetc", "femnist", "fashionmnist"} {
+		if !names[want] {
+			t.Fatalf("missing benchmark %s", want)
+		}
+	}
+	if _, err := BenchmarkByName("fmow"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BenchmarkByName("nope"); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := QuickOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := PaperOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []func(*Options){
+		func(o *Options) { o.Scale = 0 },
+		func(o *Options) { o.Seeds = nil },
+		func(o *Options) { o.BootstrapRounds = 0 },
+		func(o *Options) { o.Participants = 0 },
+		func(o *Options) { o.Epochs = 0 },
+	}
+	for i, mutate := range tests {
+		o := QuickOptions()
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Fatalf("case %d should error", i)
+		}
+	}
+}
+
+func TestStandardTechniques(t *testing.T) {
+	tfs := StandardTechniques(tinyOptions())
+	if len(tfs) != 5 {
+		t.Fatalf("techniques = %d", len(tfs))
+	}
+	for _, tf := range tfs {
+		tech, err := tf.New(1)
+		if err != nil {
+			t.Fatalf("%s: %v", tf.Name, err)
+		}
+		if tech.Name() != tf.Name {
+			t.Fatalf("factory %s built technique %s", tf.Name, tech.Name())
+		}
+	}
+	if _, err := TechniqueByName(tinyOptions(), "shiftex"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TechniqueByName(tinyOptions(), "nope"); err == nil {
+		t.Fatal("unknown technique should error")
+	}
+}
+
+func TestRunProducesAnalyzedResult(t *testing.T) {
+	opts := tinyOptions()
+	tf, err := TechniqueByName(opts, "fedprox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(FMoW(), tf, opts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Technique != "fedprox" || res.Seed != 7 {
+		t.Fatalf("metadata: %+v", res)
+	}
+	if len(res.Traces) != FMoW().Spec.Windows {
+		t.Fatalf("traces = %d", len(res.Traces))
+	}
+	if len(res.Windows) != len(res.Traces) {
+		t.Fatal("windows not analyzed")
+	}
+	if len(res.Distributions) != len(res.Traces) {
+		t.Fatal("distributions missing")
+	}
+	// Single-model technique: every window's distribution is one model
+	// holding all parties.
+	for _, d := range res.Distributions {
+		if len(d) != 1 {
+			t.Fatalf("fedprox distribution = %v", d)
+		}
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	opts := tinyOptions()
+	tf, err := TechniqueByName(opts, "fedprox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(FMoW(), tf, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(FMoW(), tf, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range a.Traces {
+		for i := range a.Traces[w] {
+			if a.Traces[w][i] != b.Traces[w][i] {
+				t.Fatal("same seed must reproduce identical traces")
+			}
+		}
+	}
+}
+
+func TestRunInvalidOptions(t *testing.T) {
+	opts := tinyOptions()
+	opts.Scale = 0
+	tf := StandardTechniques(tinyOptions())[0]
+	if _, err := Run(FMoW(), tf, opts, 1); err == nil {
+		t.Fatal("invalid options should error")
+	}
+}
+
+func TestCompareAndFormatters(t *testing.T) {
+	opts := tinyOptions()
+	// Compare just two techniques to keep the test fast.
+	fp, err := TechniqueByName(opts, "fedprox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := TechniqueByName(opts, "shiftex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(FMoW(), opts, sx, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.NumWindows() != FMoW().Spec.Windows {
+		t.Fatalf("windows = %d", cmp.NumWindows())
+	}
+	if len(cmp.Order) != 2 || cmp.Order[0] != "shiftex" {
+		t.Fatalf("order = %v", cmp.Order)
+	}
+
+	var sb strings.Builder
+	if err := WriteTable(&sb, cmp); err != nil {
+		t.Fatal(err)
+	}
+	table := sb.String()
+	if !strings.Contains(table, "shiftex") || !strings.Contains(table, "fedprox") {
+		t.Fatalf("table missing techniques:\n%s", table)
+	}
+	if !strings.Contains(table, "Drop / Time / Max") {
+		t.Fatalf("table missing headers:\n%s", table)
+	}
+
+	sb.Reset()
+	if err := WriteConvergence(&sb, cmp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "convergence fmow") {
+		t.Fatal("convergence output malformed")
+	}
+
+	sb.Reset()
+	if err := WriteMaxAccuracy(&sb, cmp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "max accuracy per window") {
+		t.Fatal("max accuracy output malformed")
+	}
+
+	sb.Reset()
+	if err := WriteExpertDistribution(&sb, cmp, "shiftex"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "W0:") || !strings.Contains(out, "expert0=") {
+		t.Fatalf("expert distribution malformed:\n%s", out)
+	}
+	if err := WriteExpertDistribution(&sb, cmp, "nope"); err == nil {
+		t.Fatal("unknown technique should error")
+	}
+
+	sb.Reset()
+	if err := WriteSummary(&sb, cmp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "summary fmow") {
+		t.Fatal("summary malformed")
+	}
+}
+
+func TestWriteTableRejectsSingleWindow(t *testing.T) {
+	cmp := &Comparison{
+		Benchmark: FMoW(),
+		Options:   tinyOptions(),
+		Results:   map[string][]metrics.RunResult{"x": {{Traces: [][]float64{{0.5}}}}},
+		Order:     []string{"x"},
+	}
+	var sb strings.Builder
+	if err := WriteTable(&sb, cmp); err == nil {
+		t.Fatal("single-window comparison should error")
+	}
+}

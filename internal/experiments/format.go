@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/shiftex"
+)
+
+// WriteTable prints a Table 1/2-style block for one benchmark: per
+// technique and per window, Accuracy Drop, Recovery Time, and Max Accuracy
+// (mean±std across seeds). Recovery ">R" matches the paper's notation for
+// windows where the method never regained 95 % of pre-shift accuracy.
+func WriteTable(w io.Writer, c *Comparison) error {
+	windows := c.NumWindows()
+	if windows < 2 {
+		return fmt.Errorf("experiments: need >=2 windows, have %d", windows)
+	}
+	rounds := c.Options.RoundsPerWindow
+	fmt.Fprintf(w, "%s  (%d parties, %d windows, %d seeds)\n",
+		strings.ToUpper(c.Benchmark.Name), c.Benchmark.Spec.Scale(c.Options.Scale).NumParties,
+		windows, len(c.Options.Seeds))
+	fmt.Fprintf(w, "%-10s", "Tech.")
+	for wi := 1; wi < windows; wi++ {
+		fmt.Fprintf(w, " | %-31s", fmt.Sprintf("W%d  Drop / Time / Max", wi))
+	}
+	fmt.Fprintln(w)
+	for _, name := range c.Order {
+		runs := c.Results[name]
+		fmt.Fprintf(w, "%-10s", name)
+		for wi := 1; wi < windows; wi++ {
+			agg, err := metrics.AggregateWindows(runs, wi)
+			if err != nil {
+				return err
+			}
+			rec := fmt.Sprintf(">%d", rounds)
+			if agg.MedianRecovery != metrics.NotRecovered {
+				rec = fmt.Sprintf("%d", agg.MedianRecovery)
+			}
+			fmt.Fprintf(w, " | %s / %s / %s", agg.Drop, rec, agg.Max)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteConvergence prints the Figure 3/4-style accuracy-vs-round series:
+// one line per technique with the seed-averaged accuracy at every round
+// across all windows, concatenated.
+func WriteConvergence(w io.Writer, c *Comparison) error {
+	fmt.Fprintf(w, "convergence %s (accuracy %% per round; windows concatenated)\n", c.Benchmark.Name)
+	for _, name := range c.Order {
+		runs := c.Results[name]
+		var series []float64
+		for wi := 0; wi < c.NumWindows(); wi++ {
+			mt, err := metrics.MeanTrace(runs, wi)
+			if err != nil {
+				return err
+			}
+			series = append(series, mt...)
+		}
+		fmt.Fprintf(w, "%-10s", name)
+		for _, v := range series {
+			fmt.Fprintf(w, " %5.1f", 100*v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteMaxAccuracy prints the Figure 5/6-style per-window peak accuracy
+// (mean±std across seeds) for every technique.
+func WriteMaxAccuracy(w io.Writer, c *Comparison) error {
+	windows := c.NumWindows()
+	fmt.Fprintf(w, "max accuracy per window %s\n", c.Benchmark.Name)
+	fmt.Fprintf(w, "%-10s", "Tech.")
+	for wi := 1; wi < windows; wi++ {
+		fmt.Fprintf(w, " | %-12s", fmt.Sprintf("W%d", wi))
+	}
+	fmt.Fprintln(w)
+	for _, name := range c.Order {
+		runs := c.Results[name]
+		fmt.Fprintf(w, "%-10s", name)
+		for wi := 1; wi < windows; wi++ {
+			agg, err := metrics.AggregateWindows(runs, wi)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " | %-12s", agg.Max)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteExpertDistribution prints the Figure 7/8-style party-per-expert
+// counts per window for one technique (ShiftEx unless another is named),
+// using the first seed's run.
+func WriteExpertDistribution(w io.Writer, c *Comparison, technique string) error {
+	if technique == "" {
+		technique = "shiftex"
+	}
+	runs, ok := c.Results[technique]
+	if !ok || len(runs) == 0 {
+		return fmt.Errorf("experiments: no runs for technique %q", technique)
+	}
+	run := runs[0]
+	fmt.Fprintf(w, "expert distribution %s / %s (parties per expert per window)\n", c.Benchmark.Name, technique)
+	for wi, dist := range run.Distributions {
+		fmt.Fprintf(w, "W%d:", wi)
+		for _, id := range shiftex.SortedKeys(dist) {
+			fmt.Fprintf(w, "  expert%d=%d", id, dist[id])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteSummary prints the headline comparison the abstract quotes: final
+// accuracy and mean recovery advantage of ShiftEx over the best baseline.
+func WriteSummary(w io.Writer, c *Comparison) error {
+	windows := c.NumWindows()
+	if windows < 2 {
+		return fmt.Errorf("experiments: need >=2 windows")
+	}
+	type rowT struct {
+		name     string
+		maxAcc   float64
+		recovers int
+	}
+	var rows []rowT
+	for _, name := range c.Order {
+		runs := c.Results[name]
+		var meanMax float64
+		recovered := 0
+		for wi := 1; wi < windows; wi++ {
+			agg, err := metrics.AggregateWindows(runs, wi)
+			if err != nil {
+				return err
+			}
+			meanMax += agg.Max.Mean
+			if agg.MedianRecovery != metrics.NotRecovered {
+				recovered++
+			}
+		}
+		rows = append(rows, rowT{name: name, maxAcc: meanMax / float64(windows-1), recovers: recovered})
+	}
+	fmt.Fprintf(w, "summary %s: mean max-accuracy over W1..W%d and #windows recovered\n", c.Benchmark.Name, windows-1)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %6.2f%%   recovered %d/%d windows\n", r.name, 100*r.maxAcc, r.recovers, windows-1)
+	}
+	return nil
+}

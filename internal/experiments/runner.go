@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/federation"
+	"repro/internal/metrics"
+	"repro/internal/shiftex"
+)
+
+// RecoverFrac is the paper's recovery criterion: 95 % of pre-shift
+// accuracy.
+const RecoverFrac = 0.95
+
+// Run executes one technique over one benchmark for one seed and returns
+// the analyzed result.
+func Run(b Benchmark, tf TechniqueFactory, opts Options, seed uint64) (metrics.RunResult, error) {
+	if err := opts.Validate(); err != nil {
+		return metrics.RunResult{}, err
+	}
+	spec := b.Spec.Scale(opts.Scale)
+	sc, err := dataset.BuildScenario(spec, b.Shift, seed)
+	if err != nil {
+		return metrics.RunResult{}, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	arch := b.Arch()
+	arch[0] = spec.InputDim
+	arch[len(arch)-1] = spec.NumClasses
+	fed, err := federation.New(sc, arch, seed^0xfed)
+	if err != nil {
+		return metrics.RunResult{}, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	tech, err := tf.New(seed ^ 0x7ec)
+	if err != nil {
+		return metrics.RunResult{}, fmt.Errorf("%s/%s: %w", b.Name, tf.Name, err)
+	}
+
+	result := metrics.RunResult{Technique: tf.Name, Seed: seed}
+	for w := 0; w < fed.NumWindows(); w++ {
+		trace, err := tech.RunWindow(fed, w)
+		if err != nil {
+			return metrics.RunResult{}, fmt.Errorf("%s/%s window %d: %w", b.Name, tf.Name, w, err)
+		}
+		result.Traces = append(result.Traces, trace)
+		result.Distributions = append(result.Distributions, tech.Assignments())
+	}
+	// Convert per-party assignments to per-expert counts.
+	for i, assigns := range result.Distributions {
+		result.Distributions[i] = shiftex.Snapshot(assigns)
+	}
+	if err := result.Analyze(RecoverFrac); err != nil {
+		return metrics.RunResult{}, err
+	}
+	return result, nil
+}
+
+// RunSeeds runs one technique across all option seeds.
+func RunSeeds(b Benchmark, tf TechniqueFactory, opts Options) ([]metrics.RunResult, error) {
+	out := make([]metrics.RunResult, 0, len(opts.Seeds))
+	for _, seed := range opts.Seeds {
+		r, err := Run(b, tf, opts, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Comparison holds every technique's multi-seed results on one benchmark.
+type Comparison struct {
+	Benchmark Benchmark
+	Options   Options
+	// Results maps technique name to its per-seed runs.
+	Results map[string][]metrics.RunResult
+	// Order preserves the technique ordering for stable output.
+	Order []string
+}
+
+// Compare runs the given techniques (default: all five) on a benchmark.
+func Compare(b Benchmark, opts Options, techniques ...TechniqueFactory) (*Comparison, error) {
+	if len(techniques) == 0 {
+		techniques = StandardTechniques(opts)
+	}
+	cmp := &Comparison{
+		Benchmark: b,
+		Options:   opts,
+		Results:   make(map[string][]metrics.RunResult, len(techniques)),
+	}
+	for _, tf := range techniques {
+		runs, err := RunSeeds(b, tf, opts)
+		if err != nil {
+			return nil, err
+		}
+		cmp.Results[tf.Name] = runs
+		cmp.Order = append(cmp.Order, tf.Name)
+	}
+	return cmp, nil
+}
+
+// NumWindows returns the window count of the comparison's runs.
+func (c *Comparison) NumWindows() int {
+	for _, runs := range c.Results {
+		if len(runs) > 0 {
+			return len(runs[0].Traces)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,413 @@
+// Package facility implements the expert-assignment optimization of ShiftEx
+// (Eq. 2 of the paper): clients (party clusters) are assigned to experts so
+// as to jointly minimize covariate mismatch (MMD between client and expert
+// embedding signatures), expert-creation cost (λ per new expert), and label
+// imbalance (μ times the JSD between each expert cohort's label mixture and
+// the global mixture), subject to every client being assigned and no expert
+// exceeding a capacity U_max.
+//
+// The problem is NP-hard (§5.2); this package provides an exact
+// enumeration solver for small instances — used as ground truth in tests —
+// and the greedy + local-search approximation that mirrors the paper's
+// modular decomposition and is the production path.
+package facility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Client is one assignable unit (a party or a cluster of parties).
+type Client struct {
+	ID        int
+	Embedding tensor.Vector
+	LabelHist stats.Histogram
+	// Weight is the client's size (e.g. party count); 0 means 1.
+	Weight float64
+}
+
+func (c Client) weight() float64 {
+	if c.Weight <= 0 {
+		return 1
+	}
+	return c.Weight
+}
+
+// Facility is an existing expert: its latent-memory signature.
+type Facility struct {
+	ID        int
+	Signature tensor.Vector
+}
+
+// Instance is one assignment problem.
+type Instance struct {
+	Clients  []Client
+	Existing []Facility
+	// NewCost is λ, the flat cost of opening a new expert.
+	NewCost float64
+	// LabelWeight is μ, the label-imbalance penalty weight.
+	LabelWeight float64
+	// CapacityMax is U_max per expert; 0 means unlimited.
+	CapacityMax int
+	// Epsilon is the reuse threshold: greedy reuses an existing facility
+	// only when the covariate distance is at most Epsilon. 0 disables the
+	// gate (distance alone decides).
+	Epsilon float64
+}
+
+// Validate reports whether the instance is well formed.
+func (in *Instance) Validate() error {
+	if len(in.Clients) == 0 {
+		return errors.New("facility: no clients")
+	}
+	if in.NewCost < 0 || in.LabelWeight < 0 {
+		return fmt.Errorf("facility: negative weights λ=%g μ=%g", in.NewCost, in.LabelWeight)
+	}
+	if in.CapacityMax < 0 {
+		return fmt.Errorf("facility: negative capacity %d", in.CapacityMax)
+	}
+	dim := len(in.Clients[0].Embedding)
+	for _, c := range in.Clients {
+		if len(c.Embedding) != dim {
+			return fmt.Errorf("facility: client %d embedding dim %d, want %d", c.ID, len(c.Embedding), dim)
+		}
+	}
+	for _, f := range in.Existing {
+		if len(f.Signature) != dim {
+			return fmt.Errorf("facility: facility %d signature dim %d, want %d", f.ID, len(f.Signature), dim)
+		}
+	}
+	return nil
+}
+
+// Assignment maps each client (by index into Instance.Clients) to a
+// facility slot: values in [0, len(Existing)) are existing facilities;
+// values >= len(Existing) are new facilities numbered consecutively.
+type Assignment struct {
+	Slots  []int
+	NumNew int
+	Cost   float64
+}
+
+// NewFacilityCentroid returns the weighted centroid of the clients assigned
+// to new-facility slot s (s >= len(existing)); this becomes the new
+// expert's latent-memory signature.
+func (a *Assignment) NewFacilityCentroid(in *Instance, s int) (tensor.Vector, error) {
+	var vs []tensor.Vector
+	var ws []float64
+	for i, slot := range a.Slots {
+		if slot == s {
+			vs = append(vs, in.Clients[i].Embedding)
+			ws = append(ws, in.Clients[i].weight())
+		}
+	}
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("facility: slot %d has no clients", s)
+	}
+	return tensor.WeightedMean(vs, ws)
+}
+
+// Cost evaluates the Eq. 2 objective for a full assignment, returning +Inf
+// for infeasible assignments (capacity violations or empty new slots).
+func Cost(in *Instance, slots []int) float64 {
+	nExist := len(in.Existing)
+	// Group clients per slot.
+	groups := make(map[int][]int)
+	for i, s := range slots {
+		if s < 0 {
+			return math.Inf(1)
+		}
+		groups[s] = append(groups[s], i)
+	}
+	// Capacity feasibility (by client weight ≈ party count).
+	if in.CapacityMax > 0 {
+		for _, members := range groups {
+			var load float64
+			for _, i := range members {
+				load += in.Clients[i].weight()
+			}
+			if load > float64(in.CapacityMax) {
+				return math.Inf(1)
+			}
+		}
+	}
+
+	var total float64
+	numNew := 0
+
+	// Global mixture ȳ over all clients.
+	globalMix, err := cohortMix(in, allIndices(len(in.Clients)))
+	if err != nil {
+		return math.Inf(1)
+	}
+
+	for s, members := range groups {
+		var signature tensor.Vector
+		if s < nExist {
+			signature = in.Existing[s].Signature
+			// ε is a hard reuse gate (§5.2.2): an existing expert may only
+			// serve clients whose covariate distance is within Epsilon.
+			if in.Epsilon > 0 {
+				for _, i := range members {
+					if stats.MeanEmbeddingMMD(in.Clients[i].Embedding, signature) > in.Epsilon {
+						return math.Inf(1)
+					}
+				}
+			}
+		} else {
+			numNew++
+			sig, err := centroid(in, members)
+			if err != nil {
+				return math.Inf(1)
+			}
+			signature = sig
+		}
+		for _, i := range members {
+			total += in.Clients[i].weight() * stats.MeanEmbeddingMMD(in.Clients[i].Embedding, signature)
+		}
+		if in.LabelWeight > 0 {
+			mix, err := cohortMix(in, members)
+			if err != nil {
+				return math.Inf(1)
+			}
+			j, err := stats.JSD(mix, globalMix)
+			if err != nil {
+				return math.Inf(1)
+			}
+			total += in.LabelWeight * j
+		}
+	}
+	total += in.NewCost * float64(numNew)
+	return total
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func centroid(in *Instance, members []int) (tensor.Vector, error) {
+	vs := make([]tensor.Vector, len(members))
+	ws := make([]float64, len(members))
+	for j, i := range members {
+		vs[j] = in.Clients[i].Embedding
+		ws[j] = in.Clients[i].weight()
+	}
+	return tensor.WeightedMean(vs, ws)
+}
+
+func cohortMix(in *Instance, members []int) (stats.Histogram, error) {
+	hs := make([]stats.Histogram, len(members))
+	counts := make([]int, len(members))
+	for j, i := range members {
+		hs[j] = in.Clients[i].LabelHist
+		counts[j] = int(in.Clients[i].weight())
+		if counts[j] < 1 {
+			counts[j] = 1
+		}
+	}
+	return stats.MergeHistograms(hs, counts)
+}
+
+// maxExactClients bounds the exact solver's instance size; enumeration is
+// (|E|+n)^n.
+const maxExactClients = 7
+
+// SolveExact enumerates all canonical assignments and returns the optimum.
+// It errors for instances larger than maxExactClients.
+func SolveExact(in *Instance) (*Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Clients)
+	if n > maxExactClients {
+		return nil, fmt.Errorf("facility: exact solver limited to %d clients, got %d", maxExactClients, n)
+	}
+	nExist := len(in.Existing)
+
+	best := &Assignment{Cost: math.Inf(1)}
+	slots := make([]int, n)
+
+	// Canonical enumeration: client i may open new slot nExist+j only if
+	// all new slots below j are already used by clients < i, which removes
+	// permutation symmetry among new facilities.
+	var recurse func(i, newUsed int)
+	recurse = func(i, newUsed int) {
+		if i == n {
+			c := Cost(in, slots)
+			if c < best.Cost {
+				best.Cost = c
+				best.Slots = append([]int(nil), slots...)
+				best.NumNew = newUsed
+			}
+			return
+		}
+		for s := 0; s < nExist+newUsed; s++ {
+			slots[i] = s
+			recurse(i+1, newUsed)
+		}
+		// Open the next new facility.
+		slots[i] = nExist + newUsed
+		recurse(i+1, newUsed+1)
+	}
+	recurse(0, 0)
+
+	if math.IsInf(best.Cost, 1) {
+		return nil, errors.New("facility: no feasible assignment")
+	}
+	return best, nil
+}
+
+// SolveGreedy implements the paper's modular approximation (§5.2): each
+// client is matched to the closest existing facility when within Epsilon
+// (latent-memory matching); otherwise it joins the closest already-opened
+// new facility within Epsilon, or opens a fresh one. A bounded local-search
+// pass then tries single-client moves that lower the Eq. 2 objective.
+func SolveGreedy(in *Instance) (*Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Clients)
+	nExist := len(in.Existing)
+	slots := make([]int, n)
+
+	type newFac struct {
+		sum    tensor.Vector
+		weight float64
+		load   float64
+	}
+	var news []*newFac
+	loadExisting := make([]float64, nExist)
+
+	eps := in.Epsilon
+	if eps <= 0 {
+		eps = math.Inf(1)
+	}
+	capOK := func(load, w float64) bool {
+		return in.CapacityMax == 0 || load+w <= float64(in.CapacityMax)
+	}
+
+	for i, c := range in.Clients {
+		w := c.weight()
+		bestSlot, bestDist := -1, math.Inf(1)
+		for s, f := range in.Existing {
+			d := stats.MeanEmbeddingMMD(c.Embedding, f.Signature)
+			if d <= eps && d < bestDist && capOK(loadExisting[s], w) {
+				bestSlot, bestDist = s, d
+			}
+		}
+		for j, nf := range news {
+			ctr := nf.sum.Clone()
+			ctr.Scale(1 / nf.weight)
+			d := stats.MeanEmbeddingMMD(c.Embedding, ctr)
+			if d <= eps && d < bestDist && capOK(nf.load, w) {
+				bestSlot, bestDist = nExist+j, d
+			}
+		}
+		if bestSlot < 0 {
+			// Open a new facility seeded at this client.
+			nf := &newFac{sum: c.Embedding.Clone(), weight: w, load: w}
+			nf.sum.Scale(w)
+			news = append(news, nf)
+			slots[i] = nExist + len(news) - 1
+			continue
+		}
+		slots[i] = bestSlot
+		if bestSlot < nExist {
+			loadExisting[bestSlot] += w
+		} else {
+			nf := news[bestSlot-nExist]
+			scaled := c.Embedding.Clone()
+			scaled.Scale(w)
+			if err := nf.sum.Add(scaled); err != nil {
+				return nil, err
+			}
+			nf.weight += w
+			nf.load += w
+		}
+	}
+
+	slots = localSearch(in, slots)
+	slots = canonicalize(slots, nExist)
+	cost := Cost(in, slots)
+	if math.IsInf(cost, 1) {
+		return nil, errors.New("facility: greedy produced infeasible assignment")
+	}
+	return &Assignment{Slots: slots, NumNew: countNew(slots, nExist), Cost: cost}, nil
+}
+
+// localSearch tries single-client relocations while the objective improves,
+// bounded to a few passes.
+func localSearch(in *Instance, slots []int) []int {
+	const maxPasses = 3
+	nExist := len(in.Existing)
+	cur := Cost(in, slots)
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		maxSlot := nExist - 1
+		for _, s := range slots {
+			if s > maxSlot {
+				maxSlot = s
+			}
+		}
+		for i := range slots {
+			orig := slots[i]
+			for s := 0; s <= maxSlot+1; s++ {
+				if s == orig {
+					continue
+				}
+				slots[i] = s
+				c := Cost(in, canonicalize(append([]int(nil), slots...), nExist))
+				if c < cur-1e-12 {
+					cur = c
+					orig = s
+					improved = true
+				} else {
+					slots[i] = orig
+				}
+			}
+			slots[i] = orig
+		}
+		if !improved {
+			break
+		}
+	}
+	return slots
+}
+
+// canonicalize renumbers new-facility slots consecutively from nExist in
+// first-use order, dropping empty slot numbers.
+func canonicalize(slots []int, nExist int) []int {
+	remap := make(map[int]int)
+	next := nExist
+	for i, s := range slots {
+		if s < nExist {
+			continue
+		}
+		m, ok := remap[s]
+		if !ok {
+			m = next
+			remap[s] = m
+			next++
+		}
+		slots[i] = m
+	}
+	return slots
+}
+
+func countNew(slots []int, nExist int) int {
+	seen := make(map[int]bool)
+	for _, s := range slots {
+		if s >= nExist {
+			seen[s] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,337 @@
+package facility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+func uniformHist(n int) stats.Histogram { return stats.Uniform(n) }
+
+func client(id int, emb ...float64) Client {
+	return Client{ID: id, Embedding: tensor.Vector(emb), LabelHist: uniformHist(4)}
+}
+
+func TestValidate(t *testing.T) {
+	in := &Instance{}
+	if err := in.Validate(); err == nil {
+		t.Fatal("empty instance should error")
+	}
+	in = &Instance{Clients: []Client{client(0, 1, 2)}, NewCost: -1}
+	if err := in.Validate(); err == nil {
+		t.Fatal("negative lambda should error")
+	}
+	in = &Instance{Clients: []Client{client(0, 1, 2), client(1, 1)}}
+	if err := in.Validate(); err == nil {
+		t.Fatal("mismatched embeddings should error")
+	}
+	in = &Instance{
+		Clients:  []Client{client(0, 1, 2)},
+		Existing: []Facility{{ID: 0, Signature: tensor.Vector{1}}},
+	}
+	if err := in.Validate(); err == nil {
+		t.Fatal("mismatched facility signature should error")
+	}
+	in = &Instance{Clients: []Client{client(0, 1)}, CapacityMax: -1}
+	if err := in.Validate(); err == nil {
+		t.Fatal("negative capacity should error")
+	}
+}
+
+func TestExactReusesCloseFacility(t *testing.T) {
+	// One client sitting exactly on an existing facility: reuse must beat
+	// opening a new expert whenever λ > 0.
+	in := &Instance{
+		Clients:  []Client{client(0, 1, 1)},
+		Existing: []Facility{{ID: 0, Signature: tensor.Vector{1, 1}}},
+		NewCost:  0.5,
+	}
+	a, err := SolveExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNew != 0 || a.Slots[0] != 0 {
+		t.Fatalf("assignment = %+v", a)
+	}
+	if a.Cost != 0 {
+		t.Fatalf("cost = %g", a.Cost)
+	}
+}
+
+func TestExactOpensNewWhenFar(t *testing.T) {
+	// Client far from the only existing facility and cheap new experts:
+	// optimal solution opens a new one.
+	in := &Instance{
+		Clients:  []Client{client(0, 10, 10)},
+		Existing: []Facility{{ID: 0, Signature: tensor.Vector{0, 0}}},
+		NewCost:  0.1,
+	}
+	a, err := SolveExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNew != 1 {
+		t.Fatalf("want a new facility, got %+v", a)
+	}
+	if math.Abs(a.Cost-0.1) > 1e-9 {
+		t.Fatalf("cost = %g, want 0.1 (λ only)", a.Cost)
+	}
+}
+
+func TestExactGroupsSimilarClients(t *testing.T) {
+	// Two tight client groups, no existing facilities: the optimum is two
+	// new facilities (one per group) when λ is moderate.
+	in := &Instance{
+		Clients: []Client{
+			client(0, 0, 0), client(1, 0.1, 0),
+			client(2, 10, 10), client(3, 10.1, 10),
+		},
+		NewCost: 0.5,
+	}
+	a, err := SolveExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNew != 2 {
+		t.Fatalf("numNew = %d, want 2", a.NumNew)
+	}
+	if a.Slots[0] != a.Slots[1] || a.Slots[2] != a.Slots[3] || a.Slots[0] == a.Slots[2] {
+		t.Fatalf("grouping wrong: %v", a.Slots)
+	}
+}
+
+func TestExactLambdaControlsProliferation(t *testing.T) {
+	// With a huge λ, everything should pile into one new facility even if
+	// spread out (no existing facilities).
+	in := &Instance{
+		Clients: []Client{client(0, 0, 0), client(1, 3, 0), client(2, 6, 0)},
+		NewCost: 1000,
+	}
+	a, err := SolveExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNew != 1 {
+		t.Fatalf("huge λ should force 1 facility, got %d", a.NumNew)
+	}
+	// With λ = 0, every client gets its own facility (zero distance).
+	in.NewCost = 0
+	a, err = SolveExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNew != 3 {
+		t.Fatalf("free facilities should give 3, got %d", a.NumNew)
+	}
+}
+
+func TestCapacityConstraint(t *testing.T) {
+	in := &Instance{
+		Clients:     []Client{client(0, 0, 0), client(1, 0, 0), client(2, 0, 0)},
+		Existing:    []Facility{{ID: 0, Signature: tensor.Vector{0, 0}}},
+		NewCost:     0.1,
+		CapacityMax: 2,
+	}
+	a, err := SolveExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, s := range a.Slots {
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c > 2 {
+			t.Fatalf("slot %d overloaded: %d > 2", s, c)
+		}
+	}
+}
+
+func TestLabelImbalancePenalty(t *testing.T) {
+	// Two clients with complementary skewed labels, equidistant from two
+	// existing facilities. With μ large, the optimum co-locates them so the
+	// cohort mixture is balanced.
+	skewA := stats.Histogram{0.9, 0.1}
+	skewB := stats.Histogram{0.1, 0.9}
+	mk := func(id int, h stats.Histogram) Client {
+		return Client{ID: id, Embedding: tensor.Vector{0, 0}, LabelHist: h}
+	}
+	in := &Instance{
+		Clients: []Client{mk(0, skewA), mk(1, skewB)},
+		Existing: []Facility{
+			{ID: 0, Signature: tensor.Vector{0, 0}},
+			{ID: 1, Signature: tensor.Vector{0, 0}},
+		},
+		LabelWeight: 10,
+	}
+	a, err := SolveExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Slots[0] != a.Slots[1] {
+		t.Fatalf("μ penalty should co-locate complementary clients: %v", a.Slots)
+	}
+}
+
+func TestExactSizeGuard(t *testing.T) {
+	clients := make([]Client, maxExactClients+1)
+	for i := range clients {
+		clients[i] = client(i, float64(i))
+	}
+	if _, err := SolveExact(&Instance{Clients: clients}); err == nil {
+		t.Fatal("oversized exact instance should error")
+	}
+}
+
+func TestGreedyMatchesEpsilonSemantics(t *testing.T) {
+	// Client at distance² 4 from existing facility. ε = 1: open new.
+	in := &Instance{
+		Clients:  []Client{client(0, 2, 0)},
+		Existing: []Facility{{ID: 0, Signature: tensor.Vector{0, 0}}},
+		NewCost:  10, // even expensive new expert: ε forbids reuse
+		Epsilon:  1,
+	}
+	a, err := SolveGreedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNew != 1 {
+		t.Fatalf("ε should force new facility, got %+v", a)
+	}
+	// ε = 5: reuse.
+	in.Epsilon = 5
+	a, err = SolveGreedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNew != 0 {
+		t.Fatalf("within-ε client should reuse, got %+v", a)
+	}
+}
+
+func TestGreedyFeasibleAndCanonical(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	clients := make([]Client, 12)
+	for i := range clients {
+		clients[i] = Client{ID: i, Embedding: rng.NormVec(3, 0, 3), LabelHist: uniformHist(4)}
+	}
+	in := &Instance{
+		Clients:     clients,
+		Existing:    []Facility{{ID: 0, Signature: rng.NormVec(3, 0, 3)}},
+		NewCost:     1,
+		CapacityMax: 5,
+		Epsilon:     4,
+	}
+	a, err := SolveGreedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(a.Cost, 1) {
+		t.Fatal("greedy cost infeasible")
+	}
+	// Canonical new slots: consecutive from len(existing).
+	seen := map[int]bool{}
+	maxSlot := 0
+	for _, s := range a.Slots {
+		seen[s] = true
+		if s > maxSlot {
+			maxSlot = s
+		}
+	}
+	for s := len(in.Existing); s <= maxSlot; s++ {
+		if !seen[s] {
+			t.Fatalf("non-canonical slots: gap at %d in %v", s, a.Slots)
+		}
+	}
+	// Capacity respected.
+	counts := map[int]int{}
+	for _, s := range a.Slots {
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c > 5 {
+			t.Fatalf("slot %d overloaded: %d", s, c)
+		}
+	}
+}
+
+func TestNewFacilityCentroid(t *testing.T) {
+	in := &Instance{
+		Clients: []Client{client(0, 0, 0), client(1, 2, 2)},
+		NewCost: 0.1,
+	}
+	a, err := SolveGreedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNew < 1 {
+		t.Fatalf("expected a new facility: %+v", a)
+	}
+	ctr, err := a.NewFacilityCentroid(in, a.Slots[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctr) != 2 {
+		t.Fatalf("centroid = %v", ctr)
+	}
+	if _, err := a.NewFacilityCentroid(in, 999); err == nil {
+		t.Fatal("empty slot should error")
+	}
+}
+
+// Property: greedy is feasible and never beats the exact optimum.
+func TestPropertyGreedyBoundedByExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 2 + rng.Intn(4) // 2..5 clients
+		clients := make([]Client, n)
+		for i := range clients {
+			h := rng.Dirichlet(3, 1)
+			clients[i] = Client{ID: i, Embedding: rng.NormVec(2, 0, 2), LabelHist: stats.Histogram(h)}
+		}
+		nExist := rng.Intn(3)
+		existing := make([]Facility, nExist)
+		for i := range existing {
+			existing[i] = Facility{ID: i, Signature: rng.NormVec(2, 0, 2)}
+		}
+		in := &Instance{
+			Clients:     clients,
+			Existing:    existing,
+			NewCost:     rng.Float64() * 2,
+			LabelWeight: rng.Float64(),
+		}
+		exact, err := SolveExact(in)
+		if err != nil {
+			return false
+		}
+		greedy, err := SolveGreedy(in)
+		if err != nil {
+			return false
+		}
+		return greedy.Cost >= exact.Cost-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cost is +Inf exactly for capacity violations.
+func TestCostInfeasible(t *testing.T) {
+	in := &Instance{
+		Clients:     []Client{client(0, 0), client(1, 0)},
+		NewCost:     1,
+		CapacityMax: 1,
+	}
+	if c := Cost(in, []int{0, 0}); !math.IsInf(c, 1) {
+		t.Fatalf("overloaded cost = %g, want +Inf", c)
+	}
+	if c := Cost(in, []int{0, 1}); math.IsInf(c, 1) {
+		t.Fatal("feasible assignment should have finite cost")
+	}
+	if c := Cost(in, []int{-1, 0}); !math.IsInf(c, 1) {
+		t.Fatal("negative slot should be infeasible")
+	}
+}

@@ -1,0 +1,255 @@
+// Package federation provides the shared simulation harness that ShiftEx
+// and every baseline technique run on: a scenario-backed set of parties
+// whose data rolls forward window by window, party-side shift detectors,
+// a training engine, and per-party evaluation of whichever model each party
+// currently holds. It is the in-process counterpart of a deployed
+// federation (the TCP path in internal/fl plays that role across
+// processes).
+package federation
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Federation simulates all parties of one scenario.
+type Federation struct {
+	scenario  *dataset.Scenario
+	arch      []int
+	runner    *fl.LocalRunner
+	engine    *fl.Engine
+	detectors []*detect.Detector
+	window    int
+	rng       *tensor.RNG
+}
+
+// New builds a federation over a scenario. arch is the model architecture
+// shared by all experts; its input and output widths must match the
+// scenario spec.
+func New(sc *dataset.Scenario, arch []int, seed uint64) (*Federation, error) {
+	if sc == nil {
+		return nil, errors.New("federation: nil scenario")
+	}
+	if len(arch) < 3 {
+		return nil, fmt.Errorf("federation: arch needs >=3 widths, got %d", len(arch))
+	}
+	if arch[0] != sc.Spec.InputDim {
+		return nil, fmt.Errorf("federation: arch input %d != spec input %d", arch[0], sc.Spec.InputDim)
+	}
+	if arch[len(arch)-1] != sc.Spec.NumClasses {
+		return nil, fmt.Errorf("federation: arch output %d != spec classes %d", arch[len(arch)-1], sc.Spec.NumClasses)
+	}
+	rng := tensor.NewRNG(seed)
+	parties := make([]*fl.Party, sc.Spec.NumParties)
+	detectors := make([]*detect.Detector, sc.Spec.NumParties)
+	for p := 0; p < sc.Spec.NumParties; p++ {
+		parties[p] = &fl.Party{
+			ID:    p,
+			Train: sc.Windows[0][p].Train,
+			Test:  sc.Windows[0][p].Test,
+		}
+		d, err := detect.NewDetector(p, sc.Spec.NumClasses, 64)
+		if err != nil {
+			return nil, err
+		}
+		detectors[p] = d
+	}
+	runner := fl.NewLocalRunner(parties, rng.Split())
+	return &Federation{
+		scenario:  sc,
+		arch:      append([]int(nil), arch...),
+		runner:    runner,
+		engine:    &fl.Engine{Arch: arch, Trainer: runner, Workers: 2},
+		detectors: detectors,
+		rng:       rng,
+	}, nil
+}
+
+// Spec returns the scenario spec.
+func (f *Federation) Spec() dataset.Spec { return f.scenario.Spec }
+
+// Arch returns a copy of the model architecture.
+func (f *Federation) Arch() []int { return append([]int(nil), f.arch...) }
+
+// NumParties returns the party count.
+func (f *Federation) NumParties() int { return f.scenario.Spec.NumParties }
+
+// Window returns the current window index.
+func (f *Federation) Window() int { return f.window }
+
+// NumWindows returns the scenario's window count.
+func (f *Federation) NumWindows() int { return len(f.scenario.Windows) }
+
+// RNG returns a fresh RNG derived from the federation's stream.
+func (f *Federation) RNG() *tensor.RNG { return f.rng.Split() }
+
+// InitialParams returns deterministic initial model parameters.
+func (f *Federation) InitialParams() (tensor.Vector, error) {
+	m, err := nn.NewMLP(f.arch, tensor.NewRNG(0x1234))
+	if err != nil {
+		return nil, err
+	}
+	return m.Params(), nil
+}
+
+// SetWindow rolls every party's data forward to window w.
+func (f *Federation) SetWindow(w int) error {
+	if w < 0 || w >= len(f.scenario.Windows) {
+		return fmt.Errorf("federation: window %d out of range [0,%d)", w, len(f.scenario.Windows))
+	}
+	for p := 0; p < f.NumParties(); p++ {
+		pw := f.scenario.Windows[w][p]
+		if err := f.runner.SetPartyData(p, pw.Train, pw.Test); err != nil {
+			return err
+		}
+	}
+	f.window = w
+	return nil
+}
+
+// Round trains the selected parties starting from params and returns the
+// FedAvg aggregate.
+func (f *Federation) Round(params tensor.Vector, selected []int, cfg fl.TrainConfig) (tensor.Vector, []fl.Update, error) {
+	return f.engine.Round(params, selected, cfg)
+}
+
+// Stats runs the party-side shift detector (Algorithm 1) for one party,
+// using the given encoder parameters (the party's currently assigned
+// expert).
+func (f *Federation) Stats(partyID int, params tensor.Vector) (detect.PartyStats, error) {
+	p, ok := f.runner.Party(partyID)
+	if !ok {
+		return detect.PartyStats{}, fmt.Errorf("federation: unknown party %d", partyID)
+	}
+	model, err := nn.NewMLP(f.arch, tensor.NewRNG(0))
+	if err != nil {
+		return detect.PartyStats{}, err
+	}
+	if err := model.SetParams(params); err != nil {
+		return detect.PartyStats{}, err
+	}
+	return f.detectors[partyID].Observe(model, p.Train, f.rng)
+}
+
+// ResetDetector clears a party's previous-window detection state.
+func (f *Federation) ResetDetector(partyID int) error {
+	if partyID < 0 || partyID >= len(f.detectors) {
+		return fmt.Errorf("federation: unknown party %d", partyID)
+	}
+	f.detectors[partyID].Reset()
+	return nil
+}
+
+// EvalParty evaluates parameters on one party's private test split.
+func (f *Federation) EvalParty(partyID int, params tensor.Vector) (float64, error) {
+	p, ok := f.runner.Party(partyID)
+	if !ok {
+		return 0, fmt.Errorf("federation: unknown party %d", partyID)
+	}
+	return fl.Evaluate(f.arch, params, p.Test)
+}
+
+// EvalAssignment returns the mean test accuracy over all parties, each
+// evaluated with the parameters of the model it is assigned (paramsFor maps
+// party ID to parameters). This is the "Accuracy (%)" the paper's
+// convergence plots report. Parties that cannot be evaluated (dropped out,
+// no test data, missing parameters) are skipped; an error is returned only
+// when no party is evaluable.
+func (f *Federation) EvalAssignment(paramsFor func(partyID int) tensor.Vector) (float64, error) {
+	var total float64
+	var counted int
+	var errs []error
+	for p := 0; p < f.NumParties(); p++ {
+		params := paramsFor(p)
+		if params == nil {
+			errs = append(errs, fmt.Errorf("federation: no parameters for party %d", p))
+			continue
+		}
+		acc, err := f.EvalParty(p, params)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		total += acc
+		counted++
+	}
+	if counted == 0 {
+		return 0, fmt.Errorf("federation: no party evaluable: %w", errors.Join(errs...))
+	}
+	return total / float64(counted), nil
+}
+
+// SetPartyData replaces one party's data mid-window — used by tests and by
+// live deployments to inject arrivals, departures, and data loss.
+func (f *Federation) SetPartyData(partyID int, train, test []dataset.Example) error {
+	return f.runner.SetPartyData(partyID, train, test)
+}
+
+// PartyHists returns every party's current-window label histogram. In a
+// real deployment parties transmit these with their statistics; the
+// simulation reads them directly for the baselines that use label
+// clustering.
+func (f *Federation) PartyHists() []stats.Histogram {
+	out := make([]stats.Histogram, f.NumParties())
+	for p := 0; p < f.NumParties(); p++ {
+		party, _ := f.runner.Party(p)
+		out[p] = dataset.LabelHistogram(party.Train, f.Spec().NumClasses)
+	}
+	return out
+}
+
+// PartyIDs returns 0..n-1.
+func (f *Federation) PartyIDs() []int {
+	ids := make([]int, f.NumParties())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// PartyLoss returns the mean loss of the given parameters on a party's
+// training data — used by loss-pattern baselines (FedDrift) and OORT
+// utilities.
+func (f *Federation) PartyLoss(partyID int, params tensor.Vector) (float64, error) {
+	p, ok := f.runner.Party(partyID)
+	if !ok {
+		return 0, fmt.Errorf("federation: unknown party %d", partyID)
+	}
+	model, err := nn.NewMLP(f.arch, tensor.NewRNG(0))
+	if err != nil {
+		return 0, err
+	}
+	if err := model.SetParams(params); err != nil {
+		return 0, err
+	}
+	return model.Loss(dataset.Inputs(p.Train), dataset.Labels(p.Train))
+}
+
+// LocalFineTune trains the given parameters on one party's local data only
+// (no aggregation) and returns the personalized parameters — the
+// LOCALFINETUNE step of Algorithm 2 for small clusters.
+func (f *Federation) LocalFineTune(partyID int, params tensor.Vector, cfg fl.TrainConfig) (tensor.Vector, error) {
+	u, err := f.runner.TrainParty(partyID, f.arch, params, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return u.Params, nil
+}
+
+// Technique is one continual-FL method under evaluation. Window 0 is the
+// bootstrap window; RunWindow must be called with consecutive w starting
+// at 0 and returns the per-round mean accuracy trace for that window.
+type Technique interface {
+	Name() string
+	RunWindow(f *Federation, w int) ([]float64, error)
+	// Assignments maps each party to the ID of the model it currently
+	// uses (a single-model technique returns 0 for everyone).
+	Assignments() map[int]int
+}

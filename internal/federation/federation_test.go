@@ -1,0 +1,216 @@
+package federation
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/tensor"
+)
+
+func testFederation(t *testing.T, seed uint64) *Federation {
+	t.Helper()
+	spec := dataset.FMoWSpec()
+	spec.NumParties = 8
+	spec.SamplesPerParty = 30
+	spec.TestPerParty = 15
+	spec.Windows = 3
+	sc, err := dataset.BuildScenario(spec, dataset.DefaultShiftConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := New(sc, []int{spec.InputDim, 20, 10, spec.NumClasses}, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+func TestNewValidation(t *testing.T) {
+	spec := dataset.FMoWSpec().Scale(0.1)
+	sc, err := dataset.BuildScenario(spec, dataset.DefaultShiftConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil, []int{3, 4, 3}, 1); err == nil {
+		t.Fatal("nil scenario should error")
+	}
+	if _, err := New(sc, []int{3}, 1); err == nil {
+		t.Fatal("short arch should error")
+	}
+	if _, err := New(sc, []int{99, 8, spec.NumClasses}, 1); err == nil {
+		t.Fatal("wrong input dim should error")
+	}
+	if _, err := New(sc, []int{spec.InputDim, 8, 99}, 1); err == nil {
+		t.Fatal("wrong output dim should error")
+	}
+}
+
+func TestSetWindowRollsData(t *testing.T) {
+	fed := testFederation(t, 10)
+	if fed.Window() != 0 {
+		t.Fatalf("initial window = %d", fed.Window())
+	}
+	if err := fed.SetWindow(2); err != nil {
+		t.Fatal(err)
+	}
+	if fed.Window() != 2 {
+		t.Fatalf("window = %d", fed.Window())
+	}
+	if err := fed.SetWindow(99); err == nil {
+		t.Fatal("out-of-range window should error")
+	}
+	if err := fed.SetWindow(-1); err == nil {
+		t.Fatal("negative window should error")
+	}
+}
+
+func TestStatsDetectsWindowShift(t *testing.T) {
+	fed := testFederation(t, 20)
+	params, err := fed.InitialParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0, err := fed.Stats(0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.MMD != 0 {
+		t.Fatalf("first observation MMD = %g", st0.MMD)
+	}
+	if err := fed.SetWindow(1); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := fed.Stats(0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Window != 1 {
+		t.Fatalf("window counter = %d", st1.Window)
+	}
+	if _, err := fed.Stats(999, params); err == nil {
+		t.Fatal("unknown party should error")
+	}
+}
+
+func TestEvalAssignment(t *testing.T) {
+	fed := testFederation(t, 30)
+	params, err := fed.InitialParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := fed.EvalAssignment(func(int) tensor.Vector { return params })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy = %g", acc)
+	}
+	if _, err := fed.EvalAssignment(func(int) tensor.Vector { return nil }); err == nil {
+		t.Fatal("nil params should error")
+	}
+}
+
+func TestPartyHistsAndIDs(t *testing.T) {
+	fed := testFederation(t, 40)
+	hists := fed.PartyHists()
+	if len(hists) != fed.NumParties() {
+		t.Fatalf("hists = %d", len(hists))
+	}
+	for _, h := range hists {
+		var sum float64
+		for _, v := range h {
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("histogram sums to %g", sum)
+		}
+	}
+	ids := fed.PartyIDs()
+	if len(ids) != fed.NumParties() || ids[0] != 0 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestPartyLoss(t *testing.T) {
+	fed := testFederation(t, 50)
+	params, err := fed.InitialParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := fed.PartyLoss(0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Fatalf("untrained loss = %g", loss)
+	}
+	if _, err := fed.PartyLoss(999, params); err == nil {
+		t.Fatal("unknown party should error")
+	}
+}
+
+func TestLocalFineTuneImproves(t *testing.T) {
+	fed := testFederation(t, 60)
+	params, err := fed.InitialParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.TrainConfig{Epochs: 5, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: 1}
+	tuned, err := fed.LocalFineTune(0, params, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := fed.PartyLoss(0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := fed.PartyLoss(0, tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("fine-tune did not reduce loss: %g -> %g", before, after)
+	}
+}
+
+func TestRoundTrainsSelected(t *testing.T) {
+	fed := testFederation(t, 70)
+	params, err := fed.InitialParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.02, Seed: 2}
+	next, updates, err := fed.Round(params, []int{0, 1, 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 3 {
+		t.Fatalf("updates = %d", len(updates))
+	}
+	if len(next) != len(params) {
+		t.Fatal("aggregate shape mismatch")
+	}
+}
+
+func TestResetDetector(t *testing.T) {
+	fed := testFederation(t, 80)
+	if err := fed.ResetDetector(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.ResetDetector(-1); err == nil {
+		t.Fatal("negative party should error")
+	}
+	if err := fed.ResetDetector(999); err == nil {
+		t.Fatal("unknown party should error")
+	}
+}
+
+func TestArchIsCopy(t *testing.T) {
+	fed := testFederation(t, 90)
+	a := fed.Arch()
+	a[0] = 999
+	if fed.Arch()[0] == 999 {
+		t.Fatal("Arch leaked internal slice")
+	}
+}

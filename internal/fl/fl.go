@@ -1,0 +1,259 @@
+// Package fl implements the federated-learning substrate ShiftEx runs on:
+// parties with private local data, FedAvg aggregation, a transport-agnostic
+// synchronous round engine with bounded parallelism, and wire formats for
+// running federations across processes. The paper layers ShiftEx over
+// PySyft/Flower; this package is the equivalent substrate built from
+// scratch.
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Party is one federation participant: private train/test data and the ID
+// by which the aggregator addresses it. Raw examples never leave the party;
+// only model updates and aggregate statistics do.
+type Party struct {
+	ID    int
+	Train []dataset.Example
+	Test  []dataset.Example
+}
+
+// NumSamples returns the party's training-set size.
+func (p *Party) NumSamples() int { return len(p.Train) }
+
+// TrainConfig describes one local-training assignment.
+type TrainConfig struct {
+	Epochs      int     `json:"epochs"`
+	BatchSize   int     `json:"batchSize"`
+	LR          float64 `json:"lr"`
+	Momentum    float64 `json:"momentum"`
+	WeightDecay float64 `json:"weightDecay"`
+	// ProxMu > 0 enables the FedProx proximal term anchored at the
+	// distributed global parameters.
+	ProxMu float64 `json:"proxMu"`
+	// Seed lets the aggregator make party-side shuffling deterministic.
+	Seed uint64 `json:"seed"`
+}
+
+// Validate reports whether the config is usable.
+func (c TrainConfig) Validate() error {
+	switch {
+	case c.Epochs <= 0:
+		return fmt.Errorf("fl: epochs must be positive, got %d", c.Epochs)
+	case c.LR <= 0:
+		return fmt.Errorf("fl: lr must be positive, got %g", c.LR)
+	case c.Momentum < 0 || c.Momentum >= 1:
+		return fmt.Errorf("fl: momentum must be in [0,1), got %g", c.Momentum)
+	case c.WeightDecay < 0:
+		return fmt.Errorf("fl: weight decay must be non-negative, got %g", c.WeightDecay)
+	case c.ProxMu < 0:
+		return fmt.Errorf("fl: prox mu must be non-negative, got %g", c.ProxMu)
+	}
+	return nil
+}
+
+// Update is a party's contribution to one aggregation round.
+type Update struct {
+	PartyID    int           `json:"partyId"`
+	Params     tensor.Vector `json:"params"`
+	NumSamples int           `json:"numSamples"`
+	TrainLoss  float64       `json:"trainLoss"`
+}
+
+// LocalTrain trains a fresh model initialized at the global parameters on
+// the party's data and returns the resulting update.
+func LocalTrain(p *Party, arch []int, global tensor.Vector, cfg TrainConfig, rng *tensor.RNG) (Update, error) {
+	if err := cfg.Validate(); err != nil {
+		return Update{}, err
+	}
+	if len(p.Train) == 0 {
+		return Update{}, fmt.Errorf("fl: party %d has no training data", p.ID)
+	}
+	model, err := nn.NewMLP(arch, rng)
+	if err != nil {
+		return Update{}, fmt.Errorf("party %d: %w", p.ID, err)
+	}
+	if err := model.SetParams(global); err != nil {
+		return Update{}, fmt.Errorf("party %d: %w", p.ID, err)
+	}
+	opt := nn.NewSGD(cfg.LR)
+	opt.Momentum = cfg.Momentum
+	opt.WeightDecay = cfg.WeightDecay
+	if cfg.ProxMu > 0 {
+		opt.ProxMu = cfg.ProxMu
+		opt.ProxRef = global.Clone()
+	}
+	loss, err := nn.TrainEpochs(model, dataset.Inputs(p.Train), dataset.Labels(p.Train), opt, cfg.Epochs, cfg.BatchSize, rng)
+	if err != nil {
+		return Update{}, fmt.Errorf("party %d: %w", p.ID, err)
+	}
+	return Update{PartyID: p.ID, Params: model.Params(), NumSamples: len(p.Train), TrainLoss: loss}, nil
+}
+
+// FedAvg aggregates updates into new global parameters, weighting each by
+// its sample count (McMahan et al.).
+func FedAvg(updates []Update) (tensor.Vector, error) {
+	if len(updates) == 0 {
+		return nil, errors.New("fl: no updates to aggregate")
+	}
+	vs := make([]tensor.Vector, len(updates))
+	ws := make([]float64, len(updates))
+	for i, u := range updates {
+		if u.NumSamples <= 0 {
+			return nil, fmt.Errorf("fl: update from party %d has non-positive sample count %d", u.PartyID, u.NumSamples)
+		}
+		vs[i] = u.Params
+		ws[i] = float64(u.NumSamples)
+	}
+	agg, err := tensor.WeightedMean(vs, ws)
+	if err != nil {
+		return nil, fmt.Errorf("fedavg: %w", err)
+	}
+	return agg, nil
+}
+
+// Trainer obtains an update from one party; implementations may be
+// in-process or remote.
+type Trainer interface {
+	TrainParty(partyID int, arch []int, global tensor.Vector, cfg TrainConfig) (Update, error)
+}
+
+// LocalRunner is the in-process Trainer over a set of parties.
+type LocalRunner struct {
+	mu      sync.Mutex
+	parties map[int]*Party
+	rng     *tensor.RNG
+}
+
+var _ Trainer = (*LocalRunner)(nil)
+
+// NewLocalRunner builds a runner over the given parties.
+func NewLocalRunner(parties []*Party, rng *tensor.RNG) *LocalRunner {
+	m := make(map[int]*Party, len(parties))
+	for _, p := range parties {
+		m[p.ID] = p
+	}
+	return &LocalRunner{parties: m, rng: rng}
+}
+
+// SetPartyData replaces a party's data (stream window rollover).
+func (r *LocalRunner) SetPartyData(id int, train, test []dataset.Example) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.parties[id]
+	if !ok {
+		return fmt.Errorf("fl: unknown party %d", id)
+	}
+	p.Train = train
+	p.Test = test
+	return nil
+}
+
+// Party returns the party with the given ID.
+func (r *LocalRunner) Party(id int) (*Party, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.parties[id]
+	return p, ok
+}
+
+// TrainParty implements Trainer.
+func (r *LocalRunner) TrainParty(partyID int, arch []int, global tensor.Vector, cfg TrainConfig) (Update, error) {
+	r.mu.Lock()
+	p, ok := r.parties[partyID]
+	var rng *tensor.RNG
+	if ok {
+		// Derive a per-call RNG under the lock; training itself runs
+		// unlocked so parties can train concurrently.
+		rng = tensor.NewRNG(cfg.Seed ^ (uint64(partyID)+1)*0x9e3779b97f4a7c15)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return Update{}, fmt.Errorf("fl: unknown party %d", partyID)
+	}
+	return LocalTrain(p, arch, global, cfg, rng)
+}
+
+// Engine runs synchronous federated rounds over a Trainer.
+type Engine struct {
+	Arch    []int
+	Trainer Trainer
+	// Workers bounds concurrent party training; 0 means 4.
+	Workers int
+}
+
+// Round trains the selected parties from the given global parameters and
+// returns the FedAvg aggregate together with the individual updates.
+// Parties that fail are skipped (their error is joined into err only when
+// every party fails); partial participation is the norm in FL.
+func (e *Engine) Round(global tensor.Vector, selected []int, cfg TrainConfig) (tensor.Vector, []Update, error) {
+	if len(selected) == 0 {
+		return nil, nil, errors.New("fl: no parties selected")
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+
+	type result struct {
+		update Update
+		err    error
+	}
+	results := make([]result, len(selected))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, id := range selected {
+		wg.Add(1)
+		go func(slot, partyID int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			u, err := e.Trainer.TrainParty(partyID, e.Arch, global, cfg)
+			results[slot] = result{update: u, err: err}
+		}(i, id)
+	}
+	wg.Wait()
+
+	updates := make([]Update, 0, len(selected))
+	var errs []error
+	for _, r := range results {
+		if r.err != nil {
+			errs = append(errs, r.err)
+			continue
+		}
+		updates = append(updates, r.update)
+	}
+	if len(updates) == 0 {
+		return nil, nil, fmt.Errorf("fl: all parties failed: %w", errors.Join(errs...))
+	}
+	agg, err := FedAvg(updates)
+	if err != nil {
+		return nil, nil, err
+	}
+	return agg, updates, nil
+}
+
+// Evaluate measures the accuracy of the given parameters on a test set.
+func Evaluate(arch []int, params tensor.Vector, test []dataset.Example) (float64, error) {
+	if len(test) == 0 {
+		return 0, errors.New("fl: empty test set")
+	}
+	model, err := nn.NewMLP(arch, tensor.NewRNG(0))
+	if err != nil {
+		return 0, err
+	}
+	if err := model.SetParams(params); err != nil {
+		return 0, err
+	}
+	return model.Accuracy(dataset.Inputs(test), dataset.Labels(test))
+}

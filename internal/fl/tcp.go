@@ -1,0 +1,277 @@
+package fl
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Wire protocol: a single gob-encoded request/response pair per connection.
+// Each party runs a PartyServer; the aggregator dials it per assignment.
+// The protocol carries model parameters and aggregate statistics only —
+// raw examples never cross the wire, preserving the FL privacy contract.
+
+// reqKind discriminates request types on the wire.
+type reqKind int
+
+const (
+	reqTrain reqKind = iota + 1
+	reqStats
+	reqEval
+)
+
+// request is the wire envelope sent by the aggregator.
+type request struct {
+	Kind   reqKind
+	Arch   []int
+	Global tensor.Vector
+	Cfg    TrainConfig
+	// NumClasses is used by stats requests.
+	NumClasses int
+	Seed       uint64
+}
+
+// response is the wire envelope returned by a party.
+type response struct {
+	Update Update
+	Stats  detect.PartyStats
+	Acc    float64
+	Err    string
+}
+
+// PartyServer serves one party's training and shift-statistics endpoints
+// over TCP. It owns a background accept loop; stop it with Close.
+type PartyServer struct {
+	party    *Party
+	detector *detect.Detector
+
+	ln   net.Listener
+	wg   sync.WaitGroup
+	stop chan struct{}
+
+	mu  sync.Mutex
+	rng *tensor.RNG
+}
+
+// NewPartyServer starts serving the party on addr (e.g. "127.0.0.1:0").
+// The returned server is already accepting connections.
+func NewPartyServer(addr string, party *Party, numClasses int, rng *tensor.RNG) (*PartyServer, error) {
+	if party == nil {
+		return nil, errors.New("fl: nil party")
+	}
+	det, err := detect.NewDetector(party.ID, numClasses, 64)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fl: listen %s: %w", addr, err)
+	}
+	s := &PartyServer{
+		party:    party,
+		detector: det,
+		ln:       ln,
+		stop:     make(chan struct{}),
+		rng:      rng,
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *PartyServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the accept loop and waits for in-flight handlers.
+func (s *PartyServer) Close() error {
+	close(s.stop)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *PartyServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return
+			default:
+				// Transient accept error; keep serving.
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *PartyServer) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Minute))
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		return
+	}
+	var resp response
+	switch req.Kind {
+	case reqTrain:
+		u, err := s.train(req)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Update = u
+		}
+	case reqStats:
+		st, err := s.computeStats(req)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Stats = st
+		}
+	case reqEval:
+		acc, err := s.eval(req)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Acc = acc
+		}
+	default:
+		resp.Err = fmt.Sprintf("fl: unknown request kind %d", req.Kind)
+	}
+	_ = enc.Encode(&resp)
+}
+
+func (s *PartyServer) train(req request) (Update, error) {
+	s.mu.Lock()
+	rng := s.rng.Split()
+	s.mu.Unlock()
+	return LocalTrain(s.party, req.Arch, req.Global, req.Cfg, rng)
+}
+
+func (s *PartyServer) computeStats(req request) (detect.PartyStats, error) {
+	model, err := nn.NewMLP(req.Arch, tensor.NewRNG(0))
+	if err != nil {
+		return detect.PartyStats{}, err
+	}
+	if err := model.SetParams(req.Global); err != nil {
+		return detect.PartyStats{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.detector.Observe(model, s.party.Train, s.rng)
+}
+
+func (s *PartyServer) eval(req request) (float64, error) {
+	s.mu.Lock()
+	test := s.party.Test
+	s.mu.Unlock()
+	return Evaluate(req.Arch, req.Global, test)
+}
+
+// TCPTrainer is a Trainer that reaches parties over TCP.
+type TCPTrainer struct {
+	mu    sync.Mutex
+	addrs map[int]string
+	// DialTimeout bounds connection establishment; 0 means 5s.
+	DialTimeout time.Duration
+}
+
+var _ Trainer = (*TCPTrainer)(nil)
+
+// NewTCPTrainer builds a trainer from a party-ID → address map.
+func NewTCPTrainer(addrs map[int]string) *TCPTrainer {
+	m := make(map[int]string, len(addrs))
+	for k, v := range addrs {
+		m[k] = v
+	}
+	return &TCPTrainer{addrs: m}
+}
+
+// Register adds or replaces a party address.
+func (t *TCPTrainer) Register(partyID int, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[partyID] = addr
+}
+
+func (t *TCPTrainer) addr(partyID int) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.addrs[partyID]
+	if !ok {
+		return "", fmt.Errorf("fl: no address registered for party %d", partyID)
+	}
+	return a, nil
+}
+
+func (t *TCPTrainer) roundTrip(partyID int, req request) (response, error) {
+	addr, err := t.addr(partyID)
+	if err != nil {
+		return response{}, err
+	}
+	timeout := t.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return response{}, fmt.Errorf("fl: dial party %d at %s: %w", partyID, addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Minute))
+	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
+		return response{}, fmt.Errorf("fl: encode to party %d: %w", partyID, err)
+	}
+	var resp response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("fl: decode from party %d: %w", partyID, err)
+	}
+	if resp.Err != "" {
+		return response{}, fmt.Errorf("fl: party %d: %s", partyID, resp.Err)
+	}
+	return resp, nil
+}
+
+// TrainParty implements Trainer.
+func (t *TCPTrainer) TrainParty(partyID int, arch []int, global tensor.Vector, cfg TrainConfig) (Update, error) {
+	resp, err := t.roundTrip(partyID, request{Kind: reqTrain, Arch: arch, Global: global, Cfg: cfg})
+	if err != nil {
+		return Update{}, err
+	}
+	return resp.Update, nil
+}
+
+// FetchStats asks a remote party for its Algorithm-1 shift statistics
+// computed against the given encoder parameters.
+func (t *TCPTrainer) FetchStats(partyID int, arch []int, global tensor.Vector, numClasses int) (detect.PartyStats, error) {
+	resp, err := t.roundTrip(partyID, request{Kind: reqStats, Arch: arch, Global: global, NumClasses: numClasses})
+	if err != nil {
+		return detect.PartyStats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// EvalParty asks a remote party to evaluate parameters on its private test
+// split and return only the accuracy.
+func (t *TCPTrainer) EvalParty(partyID int, arch []int, global tensor.Vector) (float64, error) {
+	resp, err := t.roundTrip(partyID, request{Kind: reqEval, Arch: arch, Global: global})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Acc, nil
+}

@@ -1,0 +1,146 @@
+// Package flips implements FLIPS — Federated Learning using Intelligent
+// Participant Selection (Bhope et al., Middleware '23) — the label-aware
+// participant-selection substrate ShiftEx uses for bootstrap training
+// (§4.1) and for label-balanced expert training (§5.2.3, §5.2.4).
+//
+// FLIPS clusters parties by their label histograms and then selects round
+// participants equitably across clusters, so that aggregated training data
+// approximates a balanced label distribution even when individual parties
+// are heavily skewed.
+package flips
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Selector assigns parties to label-distribution clusters and draws
+// balanced participant cohorts from them.
+type Selector struct {
+	partyIDs []int
+	hists    []stats.Histogram
+	result   *cluster.Result
+}
+
+// New clusters parties by label histogram. maxClusters bounds the label
+// cluster count (chosen by Davies-Bouldin); 0 means min(5, #parties).
+func New(partyIDs []int, hists []stats.Histogram, maxClusters int, rng *tensor.RNG) (*Selector, error) {
+	if len(partyIDs) == 0 {
+		return nil, errors.New("flips: no parties")
+	}
+	if len(partyIDs) != len(hists) {
+		return nil, fmt.Errorf("flips: %d parties vs %d histograms", len(partyIDs), len(hists))
+	}
+	if maxClusters <= 0 {
+		maxClusters = 5
+	}
+	if maxClusters > len(partyIDs) {
+		maxClusters = len(partyIDs)
+	}
+	points := make([]tensor.Vector, len(hists))
+	for i, h := range hists {
+		if len(h) == 0 {
+			return nil, fmt.Errorf("flips: party %d has empty histogram", partyIDs[i])
+		}
+		points[i] = tensor.Vector(h)
+	}
+	res, err := cluster.SelectK(points, maxClusters, cluster.Config{}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("flips: %w", err)
+	}
+	return &Selector{
+		partyIDs: append([]int(nil), partyIDs...),
+		hists:    hists,
+		result:   res,
+	}, nil
+}
+
+// NumClusters returns the number of label clusters discovered.
+func (s *Selector) NumClusters() int { return s.result.K() }
+
+// Clusters returns the party IDs grouped by label cluster.
+func (s *Selector) Clusters() [][]int {
+	out := make([][]int, s.result.K())
+	for i, c := range s.result.Assignments {
+		out[c] = append(out[c], s.partyIDs[i])
+	}
+	return out
+}
+
+// Select draws n participants spread equitably across the label clusters:
+// one party per cluster round-robin (clusters visited in random order each
+// pass, parties shuffled within clusters) until n are chosen. If n meets or
+// exceeds the population, all parties are returned.
+func (s *Selector) Select(n int, rng *tensor.RNG) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("flips: selection size must be positive, got %d", n)
+	}
+	if n >= len(s.partyIDs) {
+		out := append([]int(nil), s.partyIDs...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out, nil
+	}
+	groups := s.Clusters()
+	for _, g := range groups {
+		rng.Shuffle(len(g), func(i, j int) { g[i], g[j] = g[j], g[i] })
+	}
+	selected := make([]int, 0, n)
+	cursor := make([]int, len(groups))
+	order := rng.Perm(len(groups))
+	for len(selected) < n {
+		progressed := false
+		for _, g := range order {
+			if len(selected) == n {
+				break
+			}
+			if cursor[g] < len(groups[g]) {
+				selected = append(selected, groups[g][cursor[g]])
+				cursor[g]++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break // all clusters exhausted (n > population; handled above)
+		}
+	}
+	return selected, nil
+}
+
+// CohortHistogram returns the merged label distribution of the given
+// parties, weighting each equally — the distribution the selected cohort's
+// aggregated gradients will reflect.
+func (s *Selector) CohortHistogram(ids []int) (stats.Histogram, error) {
+	if len(ids) == 0 {
+		return nil, errors.New("flips: empty cohort")
+	}
+	idx := make(map[int]int, len(s.partyIDs))
+	for i, id := range s.partyIDs {
+		idx[id] = i
+	}
+	hs := make([]stats.Histogram, 0, len(ids))
+	counts := make([]int, 0, len(ids))
+	for _, id := range ids {
+		i, ok := idx[id]
+		if !ok {
+			return nil, fmt.Errorf("flips: unknown party %d", id)
+		}
+		hs = append(hs, s.hists[i])
+		counts = append(counts, 1)
+	}
+	return stats.MergeHistograms(hs, counts)
+}
+
+// BalanceScore returns the JSD between the cohort's merged label
+// distribution and the uniform distribution — lower means the cohort is
+// better balanced (the μ term of Eq. 2 that FLIPS minimizes in practice).
+func (s *Selector) BalanceScore(ids []int) (float64, error) {
+	h, err := s.CohortHistogram(ids)
+	if err != nil {
+		return 0, err
+	}
+	return stats.JSD(h, stats.Uniform(len(h)))
+}

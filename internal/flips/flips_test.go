@@ -1,0 +1,211 @@
+package flips
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// skewedPopulation builds parties in two sharply different label regimes:
+// half concentrated on class 0, half on class 1.
+func skewedPopulation(n, classes int) ([]int, []stats.Histogram) {
+	ids := make([]int, n)
+	hists := make([]stats.Histogram, n)
+	for i := range ids {
+		ids[i] = i
+		h := make(stats.Histogram, classes)
+		if i < n/2 {
+			h[0] = 0.9
+			h[1] = 0.1
+		} else {
+			h[1] = 0.9
+			h[0] = 0.1
+		}
+		hists[i] = h
+	}
+	return ids, hists
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	if _, err := New(nil, nil, 3, rng); err == nil {
+		t.Fatal("no parties should error")
+	}
+	if _, err := New([]int{1}, nil, 3, rng); err == nil {
+		t.Fatal("mismatched lengths should error")
+	}
+	if _, err := New([]int{1}, []stats.Histogram{{}}, 3, rng); err == nil {
+		t.Fatal("empty histogram should error")
+	}
+}
+
+func TestClusteringSeparatesLabelRegimes(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	ids, hists := skewedPopulation(20, 4)
+	s, err := New(ids, hists, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClusters() != 2 {
+		t.Fatalf("clusters = %d, want 2", s.NumClusters())
+	}
+	// Each cluster must be pure.
+	for _, g := range s.Clusters() {
+		low, high := 0, 0
+		for _, id := range g {
+			if id < 10 {
+				low++
+			} else {
+				high++
+			}
+		}
+		if low > 0 && high > 0 {
+			t.Fatalf("mixed cluster: %v", g)
+		}
+	}
+}
+
+func TestSelectEquitable(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	ids, hists := skewedPopulation(20, 4)
+	s, err := New(ids, hists, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := s.Select(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 10 {
+		t.Fatalf("selected %d, want 10", len(sel))
+	}
+	// Selection must draw evenly: 5 from each regime.
+	low := 0
+	for _, id := range sel {
+		if id < 10 {
+			low++
+		}
+	}
+	if low != 5 {
+		t.Fatalf("regime balance = %d/10, want 5", low)
+	}
+	// No duplicates.
+	seen := map[int]bool{}
+	for _, id := range sel {
+		if seen[id] {
+			t.Fatal("duplicate selection")
+		}
+		seen[id] = true
+	}
+}
+
+func TestSelectAllWhenNExceedsPopulation(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	ids, hists := skewedPopulation(6, 3)
+	s, err := New(ids, hists, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := s.Select(100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 6 {
+		t.Fatalf("selected %d, want all 6", len(sel))
+	}
+	if _, err := s.Select(0, rng); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+func TestSelectOddN(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	ids, hists := skewedPopulation(20, 4)
+	s, err := New(ids, hists, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := s.Select(7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 7 {
+		t.Fatalf("selected %d, want 7", len(sel))
+	}
+	low := 0
+	for _, id := range sel {
+		if id < 10 {
+			low++
+		}
+	}
+	if low < 3 || low > 4 {
+		t.Fatalf("odd-n balance = %d/7, want 3 or 4", low)
+	}
+}
+
+func TestBalanceScoreImprovesOverNaive(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	ids, hists := skewedPopulation(20, 4)
+	s, err := New(ids, hists, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, err := s.Select(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balancedScore, err := s.BalanceScore(balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive cohort: all from one regime.
+	naive := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	naiveScore, err := s.BalanceScore(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balancedScore >= naiveScore {
+		t.Fatalf("FLIPS balance %g should beat naive %g", balancedScore, naiveScore)
+	}
+}
+
+func TestCohortHistogramErrors(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	ids, hists := skewedPopulation(6, 3)
+	s, err := New(ids, hists, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CohortHistogram(nil); err == nil {
+		t.Fatal("empty cohort should error")
+	}
+	if _, err := s.CohortHistogram([]int{999}); err == nil {
+		t.Fatal("unknown party should error")
+	}
+}
+
+func TestUniformPopulationSingleCluster(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	n := 10
+	ids := make([]int, n)
+	hists := make([]stats.Histogram, n)
+	for i := range ids {
+		ids[i] = i
+		hists[i] = stats.Uniform(5)
+	}
+	s, err := New(ids, hists, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClusters() != 1 {
+		t.Fatalf("identical histograms should form 1 cluster, got %d", s.NumClusters())
+	}
+	sel, err := s.Select(4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 4 {
+		t.Fatalf("selected %d", len(sel))
+	}
+}

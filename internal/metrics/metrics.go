@@ -1,0 +1,224 @@
+// Package metrics computes the evaluation quantities the paper reports
+// (§6 "Metrics Captured"): Accuracy Drop (the immediate decline after a
+// shift), Recovery Time (rounds needed to regain 95 % of pre-shift
+// accuracy), and Max Accuracy per window, plus multi-seed mean/stddev
+// aggregation and convergence traces for the figures.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// NotRecovered is the RecoveryRounds value reported when a technique never
+// regains the recovery threshold within the window — the paper prints these
+// entries as ">R".
+const NotRecovered = -1
+
+// WindowMetrics summarizes one window of one run.
+type WindowMetrics struct {
+	// Drop is the accuracy decline from pre-shift accuracy to the first
+	// post-shift round, in accuracy points (0..1 scale).
+	Drop float64
+	// RecoveryRounds is the 1-based round at which accuracy first reaches
+	// RecoverFrac × pre-shift accuracy, or NotRecovered.
+	RecoveryRounds int
+	// Max is the best accuracy achieved in the window.
+	Max float64
+}
+
+// AnalyzeWindow derives the paper's three window metrics from a per-round
+// accuracy trace. preShift is the accuracy achieved at the end of the
+// previous window; recoverFrac is the recovery criterion (the paper uses
+// 0.95).
+func AnalyzeWindow(preShift float64, trace []float64, recoverFrac float64) (WindowMetrics, error) {
+	if len(trace) == 0 {
+		return WindowMetrics{}, errors.New("metrics: empty trace")
+	}
+	if recoverFrac <= 0 || recoverFrac > 1 {
+		return WindowMetrics{}, fmt.Errorf("metrics: recover fraction must be in (0,1], got %g", recoverFrac)
+	}
+	m := WindowMetrics{
+		Drop:           preShift - trace[0],
+		RecoveryRounds: NotRecovered,
+		Max:            trace[0],
+	}
+	target := recoverFrac * preShift
+	for i, acc := range trace {
+		if acc > m.Max {
+			m.Max = acc
+		}
+		if m.RecoveryRounds == NotRecovered && acc >= target {
+			m.RecoveryRounds = i + 1
+		}
+	}
+	return m, nil
+}
+
+// RunResult is one technique's full multi-window result for one seed.
+type RunResult struct {
+	Technique string
+	Seed      uint64
+	// Traces[w] is the per-round accuracy trace of window w.
+	Traces [][]float64
+	// Windows[w] holds the derived metrics for windows w >= 1 (index 0 is
+	// zero-valued: W0 is burn-in).
+	Windows []WindowMetrics
+	// Distributions[w] maps expert/model ID to assigned-party count at
+	// the end of window w (Figures 7-8).
+	Distributions []map[int]int
+}
+
+// Analyze fills Windows from Traces using the paper's protocol: the
+// pre-shift accuracy for window w is the final accuracy of window w-1.
+func (r *RunResult) Analyze(recoverFrac float64) error {
+	if len(r.Traces) == 0 {
+		return errors.New("metrics: no traces")
+	}
+	r.Windows = make([]WindowMetrics, len(r.Traces))
+	for w := 1; w < len(r.Traces); w++ {
+		prev := r.Traces[w-1]
+		if len(prev) == 0 {
+			return fmt.Errorf("metrics: window %d has empty predecessor trace", w)
+		}
+		preShift := prev[len(prev)-1]
+		m, err := AnalyzeWindow(preShift, r.Traces[w], recoverFrac)
+		if err != nil {
+			return fmt.Errorf("window %d: %w", w, err)
+		}
+		r.Windows[w] = m
+	}
+	return nil
+}
+
+// FinalAccuracy returns the last round's accuracy of the last window.
+func (r *RunResult) FinalAccuracy() float64 {
+	if len(r.Traces) == 0 {
+		return math.NaN()
+	}
+	last := r.Traces[len(r.Traces)-1]
+	if len(last) == 0 {
+		return math.NaN()
+	}
+	return last[len(last)-1]
+}
+
+// Aggregate is the multi-seed mean ± stddev for one cell of a results
+// table.
+type Aggregate struct {
+	Mean, Std float64
+	N         int
+}
+
+// String formats as "mean±std" in percent, the paper's table style.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("%.2f±%.2f", 100*a.Mean, 100*a.Std)
+}
+
+// WindowAggregate is one technique's multi-seed summary for one window.
+type WindowAggregate struct {
+	Drop Aggregate
+	Max  Aggregate
+	// MedianRecovery is the median recovery round (recovery-time variance
+	// is negligible per the paper, so no stddev is reported); it is
+	// NotRecovered when most seeds never recover.
+	MedianRecovery int
+	// RecoveredFrac is the fraction of seeds that recovered.
+	RecoveredFrac float64
+}
+
+// AggregateWindows combines the same window across seeds.
+func AggregateWindows(runs []RunResult, w int) (WindowAggregate, error) {
+	if len(runs) == 0 {
+		return WindowAggregate{}, errors.New("metrics: no runs")
+	}
+	var drop, max stats.Welford
+	var recoveries []int
+	for _, r := range runs {
+		if w < 1 || w >= len(r.Windows) {
+			return WindowAggregate{}, fmt.Errorf("metrics: window %d out of range", w)
+		}
+		m := r.Windows[w]
+		drop.Add(m.Drop)
+		max.Add(m.Max)
+		recoveries = append(recoveries, m.RecoveryRounds)
+	}
+	return WindowAggregate{
+		Drop:           Aggregate{Mean: drop.Mean(), Std: drop.StdDev(), N: drop.N()},
+		Max:            Aggregate{Mean: max.Mean(), Std: max.StdDev(), N: max.N()},
+		MedianRecovery: medianRecovery(recoveries),
+		RecoveredFrac:  recoveredFrac(recoveries),
+	}, nil
+}
+
+func medianRecovery(rs []int) int {
+	recovered := make([]int, 0, len(rs))
+	for _, r := range rs {
+		if r != NotRecovered {
+			recovered = append(recovered, r)
+		}
+	}
+	if len(recovered)*2 < len(rs) || len(recovered) == 0 {
+		return NotRecovered
+	}
+	// Insertion sort: tiny slices.
+	for i := 1; i < len(recovered); i++ {
+		for j := i; j > 0 && recovered[j] < recovered[j-1]; j-- {
+			recovered[j], recovered[j-1] = recovered[j-1], recovered[j]
+		}
+	}
+	return recovered[len(recovered)/2]
+}
+
+func recoveredFrac(rs []int) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range rs {
+		if r != NotRecovered {
+			n++
+		}
+	}
+	return float64(n) / float64(len(rs))
+}
+
+// MeanTrace averages per-round traces across seeds (truncating to the
+// shortest trace), producing the convergence-figure series.
+func MeanTrace(runs []RunResult, w int) ([]float64, error) {
+	if len(runs) == 0 {
+		return nil, errors.New("metrics: no runs")
+	}
+	shortest := math.MaxInt
+	for _, r := range runs {
+		if w < 0 || w >= len(r.Traces) {
+			return nil, fmt.Errorf("metrics: window %d out of range", w)
+		}
+		if len(r.Traces[w]) < shortest {
+			shortest = len(r.Traces[w])
+		}
+	}
+	out := make([]float64, shortest)
+	for _, r := range runs {
+		for i := 0; i < shortest; i++ {
+			out[i] += r.Traces[w][i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(runs))
+	}
+	return out, nil
+}
+
+// FlattenTraces concatenates all windows' traces into the single
+// accuracy-vs-round series used by the convergence plots (Figures 3-4).
+func FlattenTraces(r *RunResult) []float64 {
+	var out []float64
+	for _, t := range r.Traces {
+		out = append(out, t...)
+	}
+	return out
+}

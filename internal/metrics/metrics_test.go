@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeWindow(t *testing.T) {
+	tests := []struct {
+		name     string
+		preShift float64
+		trace    []float64
+		wantDrop float64
+		wantRec  int
+		wantMax  float64
+	}{
+		{
+			name:     "recovers mid window",
+			preShift: 0.8,
+			trace:    []float64{0.5, 0.7, 0.77, 0.82},
+			wantDrop: 0.3, wantRec: 3, wantMax: 0.82,
+		},
+		{
+			name:     "never recovers",
+			preShift: 0.9,
+			trace:    []float64{0.4, 0.5, 0.55},
+			wantDrop: 0.5, wantRec: NotRecovered, wantMax: 0.55,
+		},
+		{
+			name:     "instant recovery",
+			preShift: 0.5,
+			trace:    []float64{0.6, 0.7},
+			wantDrop: -0.1, wantRec: 1, wantMax: 0.7,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, err := AnalyzeWindow(tt.preShift, tt.trace, 0.95)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(m.Drop-tt.wantDrop) > 1e-12 {
+				t.Fatalf("drop = %g, want %g", m.Drop, tt.wantDrop)
+			}
+			if m.RecoveryRounds != tt.wantRec {
+				t.Fatalf("recovery = %d, want %d", m.RecoveryRounds, tt.wantRec)
+			}
+			if math.Abs(m.Max-tt.wantMax) > 1e-12 {
+				t.Fatalf("max = %g, want %g", m.Max, tt.wantMax)
+			}
+		})
+	}
+}
+
+func TestAnalyzeWindowErrors(t *testing.T) {
+	if _, err := AnalyzeWindow(0.5, nil, 0.95); err == nil {
+		t.Fatal("empty trace should error")
+	}
+	if _, err := AnalyzeWindow(0.5, []float64{0.1}, 0); err == nil {
+		t.Fatal("recoverFrac=0 should error")
+	}
+	if _, err := AnalyzeWindow(0.5, []float64{0.1}, 1.1); err == nil {
+		t.Fatal("recoverFrac>1 should error")
+	}
+}
+
+func TestRunResultAnalyze(t *testing.T) {
+	r := RunResult{
+		Technique: "x",
+		Traces: [][]float64{
+			{0.3, 0.6, 0.8},  // W0 ends at 0.8
+			{0.5, 0.75, 0.9}, // W1: drop 0.3, recovers at round 2 (0.75 < 0.76? no)
+		},
+	}
+	if err := r.Analyze(0.95); err != nil {
+		t.Fatal(err)
+	}
+	w1 := r.Windows[1]
+	if math.Abs(w1.Drop-0.3) > 1e-12 {
+		t.Fatalf("drop = %g", w1.Drop)
+	}
+	// target = 0.95*0.8 = 0.76 → round 3 (0.9) is the first >= target.
+	if w1.RecoveryRounds != 3 {
+		t.Fatalf("recovery = %d", w1.RecoveryRounds)
+	}
+	if w1.Max != 0.9 {
+		t.Fatalf("max = %g", w1.Max)
+	}
+	if got := r.FinalAccuracy(); got != 0.9 {
+		t.Fatalf("final = %g", got)
+	}
+	bad := RunResult{}
+	if err := bad.Analyze(0.95); err == nil {
+		t.Fatal("no traces should error")
+	}
+	if !math.IsNaN(bad.FinalAccuracy()) {
+		t.Fatal("final of empty should be NaN")
+	}
+}
+
+func TestAggregateWindows(t *testing.T) {
+	mk := func(drop, max float64, rec int) RunResult {
+		return RunResult{Windows: []WindowMetrics{{}, {Drop: drop, Max: max, RecoveryRounds: rec}}}
+	}
+	runs := []RunResult{mk(0.2, 0.8, 5), mk(0.4, 0.9, 7), mk(0.3, 0.85, NotRecovered)}
+	agg, err := AggregateWindows(runs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(agg.Drop.Mean-0.3) > 1e-12 {
+		t.Fatalf("drop mean = %g", agg.Drop.Mean)
+	}
+	if agg.Drop.N != 3 {
+		t.Fatalf("n = %d", agg.Drop.N)
+	}
+	// 2/3 recovered → median of {5,7} = 7 (upper median).
+	if agg.MedianRecovery != 7 {
+		t.Fatalf("median recovery = %d", agg.MedianRecovery)
+	}
+	if math.Abs(agg.RecoveredFrac-2.0/3.0) > 1e-12 {
+		t.Fatalf("recovered frac = %g", agg.RecoveredFrac)
+	}
+	if _, err := AggregateWindows(nil, 1); err == nil {
+		t.Fatal("no runs should error")
+	}
+	if _, err := AggregateWindows(runs, 5); err == nil {
+		t.Fatal("out-of-range window should error")
+	}
+}
+
+func TestAggregateWindowsMajorityNotRecovered(t *testing.T) {
+	mk := func(rec int) RunResult {
+		return RunResult{Windows: []WindowMetrics{{}, {RecoveryRounds: rec}}}
+	}
+	runs := []RunResult{mk(3), mk(NotRecovered), mk(NotRecovered)}
+	agg, err := AggregateWindows(runs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.MedianRecovery != NotRecovered {
+		t.Fatalf("majority-unrecovered median = %d", agg.MedianRecovery)
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	a := Aggregate{Mean: 0.6668, Std: 0.0059}
+	if got := a.String(); got != "66.68±0.59" {
+		t.Fatalf("string = %q", got)
+	}
+}
+
+func TestMeanTrace(t *testing.T) {
+	runs := []RunResult{
+		{Traces: [][]float64{{0.1, 0.2, 0.3}}},
+		{Traces: [][]float64{{0.3, 0.4}}}, // shorter
+	}
+	mt, err := MeanTrace(runs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mt) != 2 {
+		t.Fatalf("len = %d", len(mt))
+	}
+	if math.Abs(mt[0]-0.2) > 1e-12 || math.Abs(mt[1]-0.3) > 1e-12 {
+		t.Fatalf("mean trace = %v", mt)
+	}
+	if _, err := MeanTrace(nil, 0); err == nil {
+		t.Fatal("no runs should error")
+	}
+	if _, err := MeanTrace(runs, 3); err == nil {
+		t.Fatal("bad window should error")
+	}
+}
+
+func TestFlattenTraces(t *testing.T) {
+	r := RunResult{Traces: [][]float64{{0.1}, {0.2, 0.3}}}
+	flat := FlattenTraces(&r)
+	if len(flat) != 3 || flat[2] != 0.3 {
+		t.Fatalf("flat = %v", flat)
+	}
+}

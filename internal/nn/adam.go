@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer applies a gradient step to a model. SGD and Adam implement it;
+// the federated layer treats optimizers opaquely so local-training recipes
+// can be swapped per deployment.
+type Optimizer interface {
+	Step(m *MLP, grad tensor.Vector) error
+}
+
+var (
+	_ Optimizer = (*SGD)(nil)
+	_ Optimizer = (*Adam)(nil)
+)
+
+// Adam is the Kingma-Ba adaptive-moment optimizer. Like SGD here, it
+// supports weight decay (decoupled, AdamW-style) and the FedProx proximal
+// term.
+type Adam struct {
+	LR          float64
+	Beta1       float64 // 0 means 0.9
+	Beta2       float64 // 0 means 0.999
+	Eps         float64 // 0 means 1e-8
+	WeightDecay float64
+
+	ProxMu  float64
+	ProxRef tensor.Vector
+
+	step int
+	m, v tensor.Vector
+}
+
+// NewAdam returns an Adam optimizer with standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr}
+}
+
+func (o *Adam) defaults() (b1, b2, eps float64) {
+	b1, b2, eps = o.Beta1, o.Beta2, o.Eps
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	if eps == 0 {
+		eps = 1e-8
+	}
+	return b1, b2, eps
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(model *MLP, grad tensor.Vector) error {
+	if o.LR <= 0 {
+		return errors.New("nn: adam learning rate must be positive")
+	}
+	p := model.Params()
+	if len(grad) != len(p) {
+		return fmt.Errorf("adam step: %w: grad %d vs params %d", ErrDimension, len(grad), len(p))
+	}
+	eff := grad.Clone()
+	if o.ProxMu > 0 {
+		if len(o.ProxRef) != len(p) {
+			return fmt.Errorf("adam step: %w: prox ref %d vs params %d", ErrDimension, len(o.ProxRef), len(p))
+		}
+		if err := eff.Axpy(o.ProxMu, p); err != nil {
+			return err
+		}
+		if err := eff.Axpy(-o.ProxMu, o.ProxRef); err != nil {
+			return err
+		}
+	}
+	if o.m == nil {
+		o.m = tensor.NewVector(len(p))
+		o.v = tensor.NewVector(len(p))
+	}
+	if len(o.m) != len(p) {
+		return fmt.Errorf("adam step: %w: state %d vs params %d", ErrDimension, len(o.m), len(p))
+	}
+	b1, b2, eps := o.defaults()
+	o.step++
+	c1 := 1 - math.Pow(b1, float64(o.step))
+	c2 := 1 - math.Pow(b2, float64(o.step))
+	for i := range p {
+		g := eff[i]
+		o.m[i] = b1*o.m[i] + (1-b1)*g
+		o.v[i] = b2*o.v[i] + (1-b2)*g*g
+		mHat := o.m[i] / c1
+		vHat := o.v[i] / c2
+		p[i] -= o.LR * (mHat/(math.Sqrt(vHat)+eps) + o.WeightDecay*p[i])
+	}
+	return model.SetParams(p)
+}
+
+// LRSchedule maps a 0-based step index to a learning rate.
+type LRSchedule interface {
+	Rate(step int) float64
+}
+
+// ConstantLR always returns the same rate.
+type ConstantLR float64
+
+// Rate implements LRSchedule.
+func (c ConstantLR) Rate(int) float64 { return float64(c) }
+
+// StepDecayLR multiplies the base rate by Factor every Every steps.
+type StepDecayLR struct {
+	Base   float64
+	Factor float64 // e.g. 0.5
+	Every  int
+}
+
+// Rate implements LRSchedule.
+func (s StepDecayLR) Rate(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Factor, float64(step/s.Every))
+}
+
+// CosineLR anneals from Base to Floor over Horizon steps and stays at
+// Floor afterwards.
+type CosineLR struct {
+	Base, Floor float64
+	Horizon     int
+}
+
+// Rate implements LRSchedule.
+func (c CosineLR) Rate(step int) float64 {
+	if c.Horizon <= 0 || step >= c.Horizon {
+		return c.Floor
+	}
+	t := float64(step) / float64(c.Horizon)
+	return c.Floor + 0.5*(c.Base-c.Floor)*(1+math.Cos(math.Pi*t))
+}
+
+// TrainEpochsSched runs mini-batch training like TrainEpochs but drives the
+// SGD learning rate from a schedule, advancing one schedule step per batch.
+func TrainEpochsSched(m *MLP, xs []tensor.Vector, ys []int, opt *SGD, sched LRSchedule, epochs, batchSize int, rng *tensor.RNG) (float64, error) {
+	if sched == nil {
+		return 0, errors.New("nn: nil schedule")
+	}
+	if len(xs) == 0 {
+		return 0, errors.New("nn: empty dataset")
+	}
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("train sched: %w: %d inputs vs %d labels", ErrDimension, len(xs), len(ys))
+	}
+	if epochs <= 0 {
+		return 0, errors.New("nn: epochs must be positive")
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	step := 0
+	var lastLoss float64
+	bx := make([]tensor.Vector, 0, batchSize)
+	by := make([]int, 0, batchSize)
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var batches int
+		for start := 0; start < len(idx); start += batchSize {
+			end := start + batchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			bx = bx[:0]
+			by = by[:0]
+			for _, i := range idx[start:end] {
+				bx = append(bx, xs[i])
+				by = append(by, ys[i])
+			}
+			opt.LR = sched.Rate(step)
+			step++
+			loss, err := TrainBatch(m, bx, by, opt)
+			if err != nil {
+				return 0, err
+			}
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+	}
+	return lastLoss, nil
+}

@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAdamConverges(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	m, err := NewMLP([]int{2, 16, 8, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := twoBlobData(rng, 40)
+	loss0, err := m.Loss(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := NewAdam(0.01)
+	grads := func() tensor.Vector { return nil }
+	_ = grads
+	for e := 0; e < 10; e++ {
+		for start := 0; start < len(xs); start += 16 {
+			end := start + 16
+			if end > len(xs) {
+				end = len(xs)
+			}
+			if _, err := trainBatchWith(m, xs[start:end], ys[start:end], opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	loss1, err := m.Loss(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss1 >= loss0/2 {
+		t.Fatalf("adam did not converge: %g -> %g", loss0, loss1)
+	}
+	acc, err := m.Accuracy(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("adam accuracy = %g", acc)
+	}
+}
+
+// trainBatchWith mirrors TrainBatch but accepts any Optimizer.
+func trainBatchWith(m *MLP, xs []tensor.Vector, ys []int, opt Optimizer) (float64, error) {
+	grads := make([]*Dense, len(m.layers))
+	for i, l := range m.layers {
+		grads[i] = &Dense{W: tensor.NewMatrix(l.W.Rows, l.W.Cols), B: tensor.NewVector(len(l.B))}
+	}
+	var total float64
+	for i, x := range xs {
+		loss, err := m.gradients(x, ys[i], grads)
+		if err != nil {
+			return 0, err
+		}
+		total += loss
+	}
+	inv := 1 / float64(len(xs))
+	flat := make(tensor.Vector, 0, m.NumParams())
+	for _, g := range grads {
+		g.W.Scale(inv)
+		g.B.Scale(inv)
+		flat = append(flat, g.W.Data...)
+		flat = append(flat, g.B...)
+	}
+	if err := opt.Step(m, flat); err != nil {
+		return 0, err
+	}
+	return total * inv, nil
+}
+
+func TestAdamValidation(t *testing.T) {
+	m := newTestMLP(t, 2, 3, 2)
+	bad := NewAdam(0)
+	if err := bad.Step(m, tensor.NewVector(m.NumParams())); err == nil {
+		t.Fatal("lr=0 should error")
+	}
+	opt := NewAdam(0.01)
+	if err := opt.Step(m, tensor.Vector{1}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("short grad = %v", err)
+	}
+	opt2 := NewAdam(0.01)
+	opt2.ProxMu = 1
+	opt2.ProxRef = tensor.Vector{1}
+	if err := opt2.Step(m, tensor.NewVector(m.NumParams())); !errors.Is(err, ErrDimension) {
+		t.Fatalf("bad prox ref = %v", err)
+	}
+}
+
+func TestAdamProximalPullsTowardReference(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	m, err := NewMLP([]int{2, 6, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := m.Params()
+	xs, ys := twoBlobData(rng, 20)
+
+	plain := m.Clone()
+	prox := m.Clone()
+	optPlain := NewAdam(0.02)
+	optProx := NewAdam(0.02)
+	optProx.ProxMu = 5
+	optProx.ProxRef = ref
+	for i := 0; i < 30; i++ {
+		if _, err := trainBatchWith(plain, xs, ys, optPlain); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := trainBatchWith(prox, xs, ys, optProx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tensor.Distance(prox.Params(), ref) >= tensor.Distance(plain.Params(), ref) {
+		t.Fatal("adam proximal term should stay closer to reference")
+	}
+}
+
+func TestLRSchedules(t *testing.T) {
+	if got := ConstantLR(0.1).Rate(99); got != 0.1 {
+		t.Fatalf("constant = %g", got)
+	}
+	s := StepDecayLR{Base: 1, Factor: 0.5, Every: 10}
+	if got := s.Rate(0); got != 1 {
+		t.Fatalf("step decay at 0 = %g", got)
+	}
+	if got := s.Rate(10); got != 0.5 {
+		t.Fatalf("step decay at 10 = %g", got)
+	}
+	if got := s.Rate(25); got != 0.25 {
+		t.Fatalf("step decay at 25 = %g", got)
+	}
+	if got := (StepDecayLR{Base: 2}).Rate(50); got != 2 {
+		t.Fatalf("degenerate step decay = %g", got)
+	}
+
+	c := CosineLR{Base: 1, Floor: 0.1, Horizon: 100}
+	if got := c.Rate(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("cosine start = %g", got)
+	}
+	if got := c.Rate(100); got != 0.1 {
+		t.Fatalf("cosine end = %g", got)
+	}
+	mid := c.Rate(50)
+	if mid <= 0.1 || mid >= 1 {
+		t.Fatalf("cosine mid = %g", mid)
+	}
+	// Monotone decreasing.
+	prev := math.Inf(1)
+	for step := 0; step <= 100; step += 10 {
+		r := c.Rate(step)
+		if r > prev {
+			t.Fatalf("cosine not monotone at %d: %g > %g", step, r, prev)
+		}
+		prev = r
+	}
+	if got := (CosineLR{Base: 1, Floor: 0.1}).Rate(5); got != 0.1 {
+		t.Fatalf("zero-horizon cosine = %g", got)
+	}
+}
+
+func TestTrainEpochsSched(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	m, err := NewMLP([]int{2, 12, 6, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := twoBlobData(rng, 30)
+	opt := NewSGD(0.02)
+	opt.Momentum = 0.9
+	sched := CosineLR{Base: 0.05, Floor: 0.005, Horizon: 40}
+	if _, err := TrainEpochsSched(m, xs, ys, opt, sched, 10, 16, rng); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := m.Accuracy(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("scheduled training accuracy = %g", acc)
+	}
+	// Validation.
+	if _, err := TrainEpochsSched(m, xs, ys, opt, nil, 1, 16, rng); err == nil {
+		t.Fatal("nil schedule should error")
+	}
+	if _, err := TrainEpochsSched(m, nil, nil, opt, sched, 1, 16, rng); err == nil {
+		t.Fatal("empty data should error")
+	}
+	if _, err := TrainEpochsSched(m, xs, ys[:1], opt, sched, 1, 16, rng); !errors.Is(err, ErrDimension) {
+		t.Fatal("mismatched labels should error")
+	}
+	if _, err := TrainEpochsSched(m, xs, ys, opt, sched, 0, 16, rng); err == nil {
+		t.Fatal("zero epochs should error")
+	}
+}

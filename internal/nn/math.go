@@ -1,0 +1,18 @@
+package nn
+
+import "math"
+
+// Thin wrappers keep math usage in one place and guard the log of
+// vanishing probabilities.
+
+func exp(x float64) float64  { return math.Exp(x) }
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// logp returns log(p) clamped away from -Inf for p → 0.
+func logp(p float64) float64 {
+	const floor = 1e-12
+	if p < floor {
+		p = floor
+	}
+	return math.Log(p)
+}

@@ -1,0 +1,306 @@
+// Package nn implements the compact neural-network substrate used in place
+// of the paper's deep CNN encoders (LeNet-5 / ResNet / DenseNet). Models are
+// multi-layer perceptrons with ReLU activations, a softmax cross-entropy
+// head, and an explicit penultimate "embedding" layer: ShiftEx reads that
+// layer as the latent representation fed into MMD-based covariate-shift
+// detection (§4.2), exactly as the paper reads the pre-logit layer of its
+// CNNs.
+//
+// The package exposes flattened parameter vectors so the federated layer can
+// aggregate, diff, and compare models without knowing their architecture.
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ErrDimension indicates an input or parameter vector of the wrong size.
+var ErrDimension = errors.New("nn: dimension mismatch")
+
+// Dense is a fully connected layer y = W·x + b.
+type Dense struct {
+	W *tensor.Matrix
+	B tensor.Vector
+}
+
+// newDense builds a dense layer with He-initialized weights.
+func newDense(in, out int, rng *tensor.RNG) *Dense {
+	d := &Dense{W: tensor.NewMatrix(out, in), B: tensor.NewVector(out)}
+	scale := 1.41421356 / sqrtf(float64(in)) // He init: sqrt(2/in)
+	for i := range d.W.Data {
+		d.W.Data[i] = scale * rng.Norm()
+	}
+	return d
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	// Newton iterations are unnecessary; defer to math.Sqrt via a tiny shim
+	// kept separate for clarity.
+	return sqrt(x)
+}
+
+// MLP is a multi-layer perceptron classifier. The activation of the last
+// hidden layer (after ReLU) is the model's embedding.
+type MLP struct {
+	dims   []int
+	layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer widths, e.g. {32, 64, 16, 10}
+// for a 32-d input, one 64-d hidden layer, a 16-d embedding layer, and 10
+// classes. At least input, one hidden (embedding), and output widths are
+// required.
+func NewMLP(dims []int, rng *tensor.RNG) (*MLP, error) {
+	if len(dims) < 3 {
+		return nil, fmt.Errorf("nn: need >=3 layer widths (in, hidden..., out), got %d", len(dims))
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("nn: non-positive layer width %d", d)
+		}
+	}
+	m := &MLP{dims: append([]int(nil), dims...)}
+	for i := 0; i+1 < len(dims); i++ {
+		m.layers = append(m.layers, newDense(dims[i], dims[i+1], rng))
+	}
+	return m, nil
+}
+
+// InputDim returns the expected input width.
+func (m *MLP) InputDim() int { return m.dims[0] }
+
+// NumClasses returns the output width.
+func (m *MLP) NumClasses() int { return m.dims[len(m.dims)-1] }
+
+// EmbeddingDim returns the width of the penultimate (embedding) layer.
+func (m *MLP) EmbeddingDim() int { return m.dims[len(m.dims)-2] }
+
+// forward runs the network, returning per-layer post-activation values.
+// acts[0] is the input; acts[len(layers)] holds raw logits (no softmax).
+func (m *MLP) forward(x tensor.Vector) ([]tensor.Vector, error) {
+	if len(x) != m.InputDim() {
+		return nil, fmt.Errorf("forward: %w: input %d, want %d", ErrDimension, len(x), m.InputDim())
+	}
+	acts := make([]tensor.Vector, len(m.layers)+1)
+	acts[0] = x
+	for i, l := range m.layers {
+		z, err := l.W.MulVec(acts[i])
+		if err != nil {
+			return nil, err
+		}
+		if err := z.Add(l.B); err != nil {
+			return nil, err
+		}
+		if i < len(m.layers)-1 {
+			relu(z)
+		}
+		acts[i+1] = z
+	}
+	return acts, nil
+}
+
+func relu(v tensor.Vector) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+// Logits returns the raw class scores for x.
+func (m *MLP) Logits(x tensor.Vector) (tensor.Vector, error) {
+	acts, err := m.forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return acts[len(acts)-1], nil
+}
+
+// Predict returns the argmax class for x.
+func (m *MLP) Predict(x tensor.Vector) (int, error) {
+	logits, err := m.Logits(x)
+	if err != nil {
+		return 0, err
+	}
+	return logits.ArgMax(), nil
+}
+
+// Embed returns the penultimate-layer activation: the latent representation
+// ShiftEx uses for covariate-shift detection.
+func (m *MLP) Embed(x tensor.Vector) (tensor.Vector, error) {
+	acts, err := m.forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return acts[len(acts)-2].Clone(), nil
+}
+
+// Softmax converts logits to a probability vector, numerically stabilized.
+func Softmax(logits tensor.Vector) tensor.Vector {
+	out := logits.Clone()
+	if len(out) == 0 {
+		return out
+	}
+	max := out[0]
+	for _, v := range out {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range out {
+		e := exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		out.Fill(1 / float64(len(out)))
+		return out
+	}
+	out.Scale(1 / sum)
+	return out
+}
+
+// Loss returns the mean cross-entropy loss of the model over a batch.
+func (m *MLP) Loss(xs []tensor.Vector, ys []int) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("nn: empty batch")
+	}
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("loss: %w: %d inputs vs %d labels", ErrDimension, len(xs), len(ys))
+	}
+	var total float64
+	for i, x := range xs {
+		logits, err := m.Logits(x)
+		if err != nil {
+			return 0, err
+		}
+		p := Softmax(logits)
+		y := ys[i]
+		if y < 0 || y >= len(p) {
+			return 0, fmt.Errorf("nn: label %d out of range [0,%d)", y, len(p))
+		}
+		total += -logp(p[y])
+	}
+	return total / float64(len(xs)), nil
+}
+
+// Accuracy returns the fraction of correct argmax predictions over a batch.
+func (m *MLP) Accuracy(xs []tensor.Vector, ys []int) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("nn: empty batch")
+	}
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("accuracy: %w: %d inputs vs %d labels", ErrDimension, len(xs), len(ys))
+	}
+	correct := 0
+	for i, x := range xs {
+		pred, err := m.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		if pred == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs)), nil
+}
+
+// gradients accumulates parameter gradients for one example into grads,
+// returning the example's loss. grads must have the same shapes as m.
+func (m *MLP) gradients(x tensor.Vector, y int, grads []*Dense) (float64, error) {
+	acts, err := m.forward(x)
+	if err != nil {
+		return 0, err
+	}
+	logits := acts[len(acts)-1]
+	p := Softmax(logits)
+	if y < 0 || y >= len(p) {
+		return 0, fmt.Errorf("nn: label %d out of range [0,%d)", y, len(p))
+	}
+	loss := -logp(p[y])
+
+	// delta at the output layer: softmax cross-entropy gradient.
+	delta := p.Clone()
+	delta[y] -= 1
+
+	for l := len(m.layers) - 1; l >= 0; l-- {
+		in := acts[l]
+		if err := grads[l].W.AddOuter(1, delta, in); err != nil {
+			return 0, err
+		}
+		if err := grads[l].B.Add(delta); err != nil {
+			return 0, err
+		}
+		if l == 0 {
+			break
+		}
+		// Propagate: delta_prev = Wᵀ·delta ⊙ relu'(pre-act).
+		prev, err := m.layers[l].W.MulVecT(delta)
+		if err != nil {
+			return 0, err
+		}
+		// acts[l] is the post-ReLU activation of layer l-1's output;
+		// ReLU' is 1 where the activation is positive.
+		for i := range prev {
+			if acts[l][i] <= 0 {
+				prev[i] = 0
+			}
+		}
+		delta = prev
+	}
+	return loss, nil
+}
+
+// Clone returns a deep copy of the model.
+func (m *MLP) Clone() *MLP {
+	out := &MLP{dims: append([]int(nil), m.dims...)}
+	out.layers = make([]*Dense, len(m.layers))
+	for i, l := range m.layers {
+		out.layers[i] = &Dense{W: l.W.Clone(), B: l.B.Clone()}
+	}
+	return out
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.layers {
+		n += len(l.W.Data) + len(l.B)
+	}
+	return n
+}
+
+// Params returns a flattened copy of all parameters.
+func (m *MLP) Params() tensor.Vector {
+	out := make(tensor.Vector, 0, m.NumParams())
+	for _, l := range m.layers {
+		out = append(out, l.W.Data...)
+		out = append(out, l.B...)
+	}
+	return out
+}
+
+// SetParams loads a flattened parameter vector produced by Params.
+func (m *MLP) SetParams(p tensor.Vector) error {
+	if len(p) != m.NumParams() {
+		return fmt.Errorf("setparams: %w: got %d, want %d", ErrDimension, len(p), m.NumParams())
+	}
+	off := 0
+	for _, l := range m.layers {
+		copy(l.W.Data, p[off:off+len(l.W.Data)])
+		off += len(l.W.Data)
+		copy(l.B, p[off:off+len(l.B)])
+		off += len(l.B)
+	}
+	return nil
+}
+
+// Dims returns a copy of the layer widths.
+func (m *MLP) Dims() []int { return append([]int(nil), m.dims...) }

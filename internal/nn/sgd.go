@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// SGD is a stochastic gradient descent optimizer with optional momentum,
+// weight decay, and a FedProx proximal term μ/2·||θ - θ_ref||² that pulls
+// local updates toward a reference (global) model.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	// ProxMu and ProxRef enable the FedProx proximal term when ProxMu > 0.
+	// ProxRef must be a flattened parameter vector of the trained model.
+	ProxMu  float64
+	ProxRef tensor.Vector
+
+	velocity tensor.Vector
+}
+
+// NewSGD returns an optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step applies one gradient step to model m given the flattened gradient g
+// (already averaged over the batch).
+func (o *SGD) Step(m *MLP, g tensor.Vector) error {
+	if o.LR <= 0 {
+		return errors.New("nn: learning rate must be positive")
+	}
+	p := m.Params()
+	if len(g) != len(p) {
+		return fmt.Errorf("sgd step: %w: grad %d vs params %d", ErrDimension, len(g), len(p))
+	}
+	// Effective gradient: g + weightDecay·θ + μ·(θ - θ_ref).
+	eff := g.Clone()
+	if o.WeightDecay > 0 {
+		if err := eff.Axpy(o.WeightDecay, p); err != nil {
+			return err
+		}
+	}
+	if o.ProxMu > 0 {
+		if len(o.ProxRef) != len(p) {
+			return fmt.Errorf("sgd step: %w: prox ref %d vs params %d", ErrDimension, len(o.ProxRef), len(p))
+		}
+		if err := eff.Axpy(o.ProxMu, p); err != nil {
+			return err
+		}
+		if err := eff.Axpy(-o.ProxMu, o.ProxRef); err != nil {
+			return err
+		}
+	}
+	if o.Momentum > 0 {
+		if o.velocity == nil {
+			o.velocity = tensor.NewVector(len(p))
+		}
+		if len(o.velocity) != len(p) {
+			return fmt.Errorf("sgd step: %w: velocity %d vs params %d", ErrDimension, len(o.velocity), len(p))
+		}
+		o.velocity.Scale(o.Momentum)
+		if err := o.velocity.Add(eff); err != nil {
+			return err
+		}
+		eff = o.velocity
+	}
+	if err := p.Axpy(-o.LR, eff); err != nil {
+		return err
+	}
+	return m.SetParams(p)
+}
+
+// TrainBatch computes the average gradient of the model over a mini-batch
+// and applies one optimizer step, returning the pre-step mean loss.
+func TrainBatch(m *MLP, xs []tensor.Vector, ys []int, opt *SGD) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("nn: empty batch")
+	}
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("train: %w: %d inputs vs %d labels", ErrDimension, len(xs), len(ys))
+	}
+	grads := make([]*Dense, len(m.layers))
+	for i, l := range m.layers {
+		grads[i] = &Dense{W: tensor.NewMatrix(l.W.Rows, l.W.Cols), B: tensor.NewVector(len(l.B))}
+	}
+	var total float64
+	for i, x := range xs {
+		loss, err := m.gradients(x, ys[i], grads)
+		if err != nil {
+			return 0, err
+		}
+		total += loss
+	}
+	inv := 1 / float64(len(xs))
+	flat := make(tensor.Vector, 0, m.NumParams())
+	for _, g := range grads {
+		g.W.Scale(inv)
+		g.B.Scale(inv)
+		flat = append(flat, g.W.Data...)
+		flat = append(flat, g.B...)
+	}
+	if err := opt.Step(m, flat); err != nil {
+		return 0, err
+	}
+	return total * inv, nil
+}
+
+// TrainEpochs runs full passes of mini-batch SGD over a dataset, shuffling
+// each epoch, and returns the final epoch's mean loss.
+func TrainEpochs(m *MLP, xs []tensor.Vector, ys []int, opt *SGD, epochs, batchSize int, rng *tensor.RNG) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("nn: empty dataset")
+	}
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("train epochs: %w: %d inputs vs %d labels", ErrDimension, len(xs), len(ys))
+	}
+	if epochs <= 0 {
+		return 0, errors.New("nn: epochs must be positive")
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	bx := make([]tensor.Vector, 0, batchSize)
+	by := make([]int, 0, batchSize)
+	var lastLoss float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var batches int
+		for start := 0; start < len(idx); start += batchSize {
+			end := start + batchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			bx = bx[:0]
+			by = by[:0]
+			for _, i := range idx[start:end] {
+				bx = append(bx, xs[i])
+				by = append(by, ys[i])
+			}
+			loss, err := TrainBatch(m, bx, by, opt)
+			if err != nil {
+				return 0, err
+			}
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+	}
+	return lastLoss, nil
+}
+
+// ModelSimilarity returns the cosine similarity between two models'
+// flattened parameter vectors — the MODELSIMILARITY predicate of
+// Algorithm 2 used for expert consolidation (§5.2.5).
+func ModelSimilarity(a, b *MLP) (float64, error) {
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		return 0, fmt.Errorf("similarity: %w: %d vs %d", ErrDimension, len(pa), len(pb))
+	}
+	return tensor.CosineSimilarity(pa, pb), nil
+}
+
+// MergeModels returns a new model whose parameters are the weighted average
+// of the inputs — the CONSOLIDATEEXPERTS step of Algorithm 2. Weights are
+// typically the experts' cohort sizes.
+func MergeModels(a, b *MLP, wa, wb float64) (*MLP, error) {
+	if wa < 0 || wb < 0 || wa+wb == 0 {
+		return nil, fmt.Errorf("nn: invalid merge weights %g, %g", wa, wb)
+	}
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		return nil, fmt.Errorf("merge: %w: %d vs %d", ErrDimension, len(pa), len(pb))
+	}
+	merged, err := tensor.WeightedMean([]tensor.Vector{pa, pb}, []float64{wa, wb})
+	if err != nil {
+		return nil, err
+	}
+	out := a.Clone()
+	if err := out.SetParams(merged); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

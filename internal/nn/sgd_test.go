@@ -1,0 +1,204 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSGDStepValidation(t *testing.T) {
+	m := newTestMLP(t, 2, 3, 2)
+	bad := NewSGD(0)
+	if err := bad.Step(m, tensor.NewVector(m.NumParams())); err == nil {
+		t.Fatal("lr=0 should error")
+	}
+	opt := NewSGD(0.1)
+	if err := opt.Step(m, tensor.Vector{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("short gradient = %v", err)
+	}
+}
+
+func TestSGDProximalPullsTowardReference(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	m, err := NewMLP([]int{2, 4, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := m.Params()
+
+	// Train two copies on the same data: one plain, one with a strong
+	// proximal term anchored at ref. The proximal copy must end closer to
+	// ref.
+	xs, ys := twoBlobData(rng, 30)
+	plain := m.Clone()
+	prox := m.Clone()
+
+	optPlain := NewSGD(0.1)
+	if _, err := TrainEpochs(plain, xs, ys, optPlain, 10, 16, tensor.NewRNG(9)); err != nil {
+		t.Fatal(err)
+	}
+	optProx := NewSGD(0.1)
+	optProx.ProxMu = 5
+	optProx.ProxRef = ref
+	if _, err := TrainEpochs(prox, xs, ys, optProx, 10, 16, tensor.NewRNG(9)); err != nil {
+		t.Fatal(err)
+	}
+
+	dPlain := tensor.Distance(plain.Params(), ref)
+	dProx := tensor.Distance(prox.Params(), ref)
+	if dProx >= dPlain {
+		t.Fatalf("proximal distance %g should be < plain %g", dProx, dPlain)
+	}
+}
+
+func TestSGDProximalRefValidation(t *testing.T) {
+	m := newTestMLP(t, 2, 3, 2)
+	opt := NewSGD(0.1)
+	opt.ProxMu = 1
+	opt.ProxRef = tensor.Vector{1} // wrong size
+	err := opt.Step(m, tensor.NewVector(m.NumParams()))
+	if !errors.Is(err, ErrDimension) {
+		t.Fatalf("want ErrDimension, got %v", err)
+	}
+}
+
+func TestWeightDecayShrinksParams(t *testing.T) {
+	m := newTestMLP(t, 2, 3, 2)
+	before := m.Params().Norm()
+	opt := NewSGD(0.1)
+	opt.WeightDecay = 0.5
+	// Zero gradient: only decay acts.
+	if err := opt.Step(m, tensor.NewVector(m.NumParams())); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Params().Norm()
+	if after >= before {
+		t.Fatalf("weight decay did not shrink params: %g -> %g", before, after)
+	}
+}
+
+func TestTrainBatchValidation(t *testing.T) {
+	m := newTestMLP(t, 2, 3, 2)
+	opt := NewSGD(0.1)
+	if _, err := TrainBatch(m, nil, nil, opt); err == nil {
+		t.Fatal("empty batch should error")
+	}
+	if _, err := TrainBatch(m, []tensor.Vector{{1, 2}}, []int{0, 1}, opt); !errors.Is(err, ErrDimension) {
+		t.Fatalf("mismatch = %v", err)
+	}
+}
+
+func TestTrainEpochsValidation(t *testing.T) {
+	m := newTestMLP(t, 2, 3, 2)
+	opt := NewSGD(0.1)
+	rng := tensor.NewRNG(1)
+	xs := []tensor.Vector{{1, 2}}
+	ys := []int{0}
+	if _, err := TrainEpochs(m, nil, nil, opt, 1, 8, rng); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+	if _, err := TrainEpochs(m, xs, []int{0, 1}, opt, 1, 8, rng); !errors.Is(err, ErrDimension) {
+		t.Fatalf("mismatch = %v", err)
+	}
+	if _, err := TrainEpochs(m, xs, ys, opt, 0, 8, rng); err == nil {
+		t.Fatal("epochs=0 should error")
+	}
+	// batchSize<=0 defaults rather than erroring.
+	if _, err := TrainEpochs(m, xs, ys, opt, 1, 0, rng); err != nil {
+		t.Fatalf("default batch size should work: %v", err)
+	}
+}
+
+func TestModelSimilarity(t *testing.T) {
+	m := newTestMLP(t, 2, 3, 2)
+	self, err := ModelSimilarity(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(self-1) > 1e-12 {
+		t.Fatalf("self similarity = %g", self)
+	}
+	neg := m.Clone()
+	p := neg.Params()
+	p.Scale(-1)
+	if err := neg.SetParams(p); err != nil {
+		t.Fatal(err)
+	}
+	anti, err := ModelSimilarity(m, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(anti+1) > 1e-12 {
+		t.Fatalf("negated similarity = %g, want -1", anti)
+	}
+	other := newTestMLP(t, 3, 3, 2)
+	if _, err := ModelSimilarity(m, other); !errors.Is(err, ErrDimension) {
+		t.Fatalf("mismatched models = %v", err)
+	}
+}
+
+func TestMergeModels(t *testing.T) {
+	a := newTestMLP(t, 2, 3, 2)
+	b := a.Clone()
+	pb := b.Params()
+	pb.Scale(3)
+	if err := b.SetParams(pb); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeModels(a, b, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := merged.Params()
+	pa := a.Params()
+	for i := range pm {
+		want := pa[i] * 2 // (p + 3p)/2
+		if math.Abs(pm[i]-want) > 1e-12 {
+			t.Fatalf("merge[%d] = %g, want %g", i, pm[i], want)
+		}
+	}
+	if _, err := MergeModels(a, b, -1, 1); err == nil {
+		t.Fatal("negative weight should error")
+	}
+	if _, err := MergeModels(a, b, 0, 0); err == nil {
+		t.Fatal("zero weights should error")
+	}
+	other := newTestMLP(t, 3, 3, 2)
+	if _, err := MergeModels(a, other, 1, 1); !errors.Is(err, ErrDimension) {
+		t.Fatalf("mismatched merge = %v", err)
+	}
+}
+
+func TestMomentumAcceleratesDescent(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	base, err := NewMLP([]int{2, 8, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := twoBlobData(rng, 40)
+
+	noMom := base.Clone()
+	withMom := base.Clone()
+	o1 := NewSGD(0.02)
+	o2 := NewSGD(0.02)
+	o2.Momentum = 0.9
+	if _, err := TrainEpochs(noMom, xs, ys, o1, 3, 16, tensor.NewRNG(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainEpochs(withMom, xs, ys, o2, 3, 16, tensor.NewRNG(4)); err != nil {
+		t.Fatal(err)
+	}
+	l1, err := noMom.Loss(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := withMom.Loss(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 >= l1 {
+		t.Fatalf("momentum loss %g should beat plain %g in few epochs", l2, l1)
+	}
+}

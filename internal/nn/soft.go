@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// SoftGradient computes the flattened parameter gradient of the soft-label
+// distillation loss for one example: the cross-entropy between a target
+// distribution and the model's temperature-scaled softmax,
+// H(q, softmax(z/T)). It returns the gradient and the loss. This is the
+// entry point knowledge distillation uses (the output-layer delta is
+// (softmax(z/T) − q)/T instead of the hard-label delta).
+func SoftGradient(m *MLP, x tensor.Vector, target tensor.Vector, temperature float64) (tensor.Vector, float64, error) {
+	if temperature <= 0 {
+		return nil, 0, fmt.Errorf("nn: temperature must be positive, got %g", temperature)
+	}
+	if len(target) != m.NumClasses() {
+		return nil, 0, fmt.Errorf("soft gradient: %w: target %d vs classes %d", ErrDimension, len(target), m.NumClasses())
+	}
+	acts, err := m.forward(x)
+	if err != nil {
+		return nil, 0, err
+	}
+	logits := acts[len(acts)-1].Clone()
+	logits.Scale(1 / temperature)
+	p := Softmax(logits)
+
+	var loss float64
+	for i, q := range target {
+		if q > 0 {
+			loss += -q * logp(p[i])
+		}
+	}
+
+	delta := p.Clone()
+	if err := delta.Sub(target); err != nil {
+		return nil, 0, err
+	}
+	delta.Scale(1 / temperature)
+
+	grads := make([]*Dense, len(m.layers))
+	for i, l := range m.layers {
+		grads[i] = &Dense{W: tensor.NewMatrix(l.W.Rows, l.W.Cols), B: tensor.NewVector(len(l.B))}
+	}
+	if err := m.backpropFrom(acts, delta, grads); err != nil {
+		return nil, 0, err
+	}
+	flat := make(tensor.Vector, 0, m.NumParams())
+	for _, g := range grads {
+		flat = append(flat, g.W.Data...)
+		flat = append(flat, g.B...)
+	}
+	return flat, loss, nil
+}
+
+// backpropFrom propagates an output-layer delta through the network,
+// accumulating layer gradients — the shared tail of hard- and soft-label
+// backpropagation.
+func (m *MLP) backpropFrom(acts []tensor.Vector, delta tensor.Vector, grads []*Dense) error {
+	for l := len(m.layers) - 1; l >= 0; l-- {
+		in := acts[l]
+		if err := grads[l].W.AddOuter(1, delta, in); err != nil {
+			return err
+		}
+		if err := grads[l].B.Add(delta); err != nil {
+			return err
+		}
+		if l == 0 {
+			break
+		}
+		prev, err := m.layers[l].W.MulVecT(delta)
+		if err != nil {
+			return err
+		}
+		for i := range prev {
+			if acts[l][i] <= 0 {
+				prev[i] = 0
+			}
+		}
+		delta = prev
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+// Package secagg implements a pairwise-masking secure-aggregation protocol
+// (the core of Bonawitz et al., CCS '17, which the paper cites among the
+// standard FL defenses, §2): each pair of parties derives a shared mask
+// from a pairwise seed; party i adds +m_ij for j > i and −m_ij for j < i,
+// so the masks cancel in the sum and the aggregator learns only the
+// aggregate, never an individual update.
+//
+// Key agreement is simulated by deriving pairwise seeds from a session
+// secret (a real deployment would run Diffie-Hellman); dropout recovery
+// follows the protocol's seed-disclosure path: surviving parties reveal
+// their pairwise seeds with the dropped party so the aggregator can strip
+// the orphaned masks.
+package secagg
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Session identifies one aggregation round's masking context.
+type Session struct {
+	// Secret seeds pairwise mask derivation (simulated key agreement).
+	Secret uint64
+	// Round salts masks so reuse across rounds is impossible.
+	Round uint64
+	// Dim is the update vector length.
+	Dim int
+}
+
+// Validate reports whether the session is usable.
+func (s Session) Validate() error {
+	if s.Dim <= 0 {
+		return fmt.Errorf("secagg: dim must be positive, got %d", s.Dim)
+	}
+	return nil
+}
+
+// pairSeed derives the deterministic seed shared by parties i and j.
+func (s Session) pairSeed(i, j int) uint64 {
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return s.Secret ^ (uint64(lo)+1)*0x9e3779b97f4a7c15 ^ (uint64(hi)+1)*0xc2b2ae3d27d4eb4f ^ s.Round*0x165667b19e3779f9
+}
+
+// pairMask derives the mask vector between parties i and j.
+func (s Session) pairMask(i, j int) tensor.Vector {
+	rng := tensor.NewRNG(s.pairSeed(i, j))
+	return rng.NormVec(s.Dim, 0, 1)
+}
+
+// Mask returns the party's update with all pairwise masks applied:
+// x_i + Σ_{j>i} m_ij − Σ_{j<i} m_ij over the given member set.
+func (s Session) Mask(partyID int, members []int, update tensor.Vector) (tensor.Vector, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(update) != s.Dim {
+		return nil, fmt.Errorf("secagg: update dim %d, want %d", len(update), s.Dim)
+	}
+	found := false
+	out := update.Clone()
+	for _, j := range members {
+		if j == partyID {
+			found = true
+			continue
+		}
+		m := s.pairMask(partyID, j)
+		sign := 1.0
+		if j < partyID {
+			sign = -1
+		}
+		if err := out.Axpy(sign, m); err != nil {
+			return nil, err
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("secagg: party %d not in member set %v", partyID, members)
+	}
+	return out, nil
+}
+
+// MaskedUpdate is one party's masked contribution.
+type MaskedUpdate struct {
+	PartyID int
+	Data    tensor.Vector
+}
+
+// Aggregate sums masked updates from the surviving parties. members is the
+// full set that masked their updates; survivors must be the parties whose
+// updates are present. For each dropped party, the surviving parties'
+// pairwise seeds are "disclosed" (simulated directly here) so the
+// aggregator can remove the orphaned masks. The result equals the plain
+// sum of the survivors' original updates.
+func (s Session) Aggregate(members []int, updates []MaskedUpdate) (tensor.Vector, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(updates) == 0 {
+		return nil, errors.New("secagg: no updates")
+	}
+	memberSet := make(map[int]bool, len(members))
+	for _, m := range members {
+		memberSet[m] = true
+	}
+	present := make(map[int]bool, len(updates))
+	sum := tensor.NewVector(s.Dim)
+	for _, u := range updates {
+		if !memberSet[u.PartyID] {
+			return nil, fmt.Errorf("secagg: update from non-member %d", u.PartyID)
+		}
+		if present[u.PartyID] {
+			return nil, fmt.Errorf("secagg: duplicate update from %d", u.PartyID)
+		}
+		present[u.PartyID] = true
+		if len(u.Data) != s.Dim {
+			return nil, fmt.Errorf("secagg: update from %d has dim %d, want %d", u.PartyID, len(u.Data), s.Dim)
+		}
+		if err := sum.Add(u.Data); err != nil {
+			return nil, err
+		}
+	}
+
+	// Masks between two survivors cancel. Masks between a survivor i and a
+	// dropped party d remain in the sum with sign +1 if d > i else −1;
+	// strip them using the disclosed pairwise seeds.
+	for _, d := range members {
+		if present[d] {
+			continue
+		}
+		for i := range present {
+			m := s.pairMask(i, d)
+			sign := 1.0
+			if d < i {
+				sign = -1
+			}
+			// The survivor added sign·m; subtract it.
+			if err := sum.Axpy(-sign, m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sum, nil
+}
+
+// AggregateMean is Aggregate divided by the survivor count — a drop-in for
+// unweighted FedAvg over masked updates.
+func (s Session) AggregateMean(members []int, updates []MaskedUpdate) (tensor.Vector, error) {
+	sum, err := s.Aggregate(members, updates)
+	if err != nil {
+		return nil, err
+	}
+	sum.Scale(1 / float64(len(updates)))
+	return sum, nil
+}

@@ -1,0 +1,199 @@
+package secagg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func testSession() Session {
+	return Session{Secret: 0xdeadbeef, Round: 3, Dim: 16}
+}
+
+func randomUpdates(s Session, members []int, seed uint64) map[int]tensor.Vector {
+	rng := tensor.NewRNG(seed)
+	out := make(map[int]tensor.Vector, len(members))
+	for _, m := range members {
+		out[m] = rng.NormVec(s.Dim, 0, 2)
+	}
+	return out
+}
+
+func plainSum(s Session, updates map[int]tensor.Vector, ids []int) tensor.Vector {
+	sum := tensor.NewVector(s.Dim)
+	for _, id := range ids {
+		_ = sum.Add(updates[id])
+	}
+	return sum
+}
+
+func TestMaskedAggregationMatchesPlainSum(t *testing.T) {
+	s := testSession()
+	members := []int{0, 1, 2, 3, 4}
+	updates := randomUpdates(s, members, 1)
+
+	var masked []MaskedUpdate
+	for _, id := range members {
+		mu, err := s.Mask(id, members, updates[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		masked = append(masked, MaskedUpdate{PartyID: id, Data: mu})
+	}
+	agg, err := s.Aggregate(members, masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plainSum(s, updates, members)
+	for i := range want {
+		if math.Abs(agg[i]-want[i]) > 1e-9 {
+			t.Fatalf("aggregate[%d] = %g, want %g", i, agg[i], want[i])
+		}
+	}
+}
+
+func TestMaskHidesIndividualUpdate(t *testing.T) {
+	s := testSession()
+	members := []int{0, 1, 2}
+	update := tensor.NewVector(s.Dim) // all zeros: any nonzero output is mask
+	masked, err := s.Mask(0, members, update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked.Norm() < 1 {
+		t.Fatalf("mask magnitude suspiciously small: %g", masked.Norm())
+	}
+	// Different rounds produce different masks (no reuse).
+	s2 := s
+	s2.Round = 4
+	masked2, err := s2.Mask(0, members, update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.Distance(masked, masked2) < 1e-6 {
+		t.Fatal("mask reused across rounds")
+	}
+}
+
+func TestDropoutRecovery(t *testing.T) {
+	s := testSession()
+	members := []int{0, 1, 2, 3, 4}
+	updates := randomUpdates(s, members, 2)
+
+	var masked []MaskedUpdate
+	for _, id := range members {
+		mu, err := s.Mask(id, members, updates[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		masked = append(masked, MaskedUpdate{PartyID: id, Data: mu})
+	}
+	// Parties 1 and 3 drop out after masking.
+	survivors := []MaskedUpdate{masked[0], masked[2], masked[4]}
+	agg, err := s.Aggregate(members, survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plainSum(s, updates, []int{0, 2, 4})
+	for i := range want {
+		if math.Abs(agg[i]-want[i]) > 1e-9 {
+			t.Fatalf("dropout aggregate[%d] = %g, want %g", i, agg[i], want[i])
+		}
+	}
+}
+
+func TestAggregateMean(t *testing.T) {
+	s := testSession()
+	members := []int{0, 1}
+	updates := randomUpdates(s, members, 3)
+	var masked []MaskedUpdate
+	for _, id := range members {
+		mu, err := s.Mask(id, members, updates[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		masked = append(masked, MaskedUpdate{PartyID: id, Data: mu})
+	}
+	mean, err := s.AggregateMean(members, masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plainSum(s, updates, members)
+	want.Scale(0.5)
+	for i := range want {
+		if math.Abs(mean[i]-want[i]) > 1e-9 {
+			t.Fatalf("mean[%d] = %g, want %g", i, mean[i], want[i])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := testSession()
+	members := []int{0, 1}
+	if _, err := (Session{Dim: 0}).Mask(0, members, nil); err == nil {
+		t.Fatal("dim=0 should error")
+	}
+	if _, err := s.Mask(0, members, tensor.Vector{1}); err == nil {
+		t.Fatal("wrong update dim should error")
+	}
+	if _, err := s.Mask(9, members, tensor.NewVector(s.Dim)); err == nil {
+		t.Fatal("non-member masking should error")
+	}
+	if _, err := s.Aggregate(members, nil); err == nil {
+		t.Fatal("no updates should error")
+	}
+	if _, err := s.Aggregate(members, []MaskedUpdate{{PartyID: 9, Data: tensor.NewVector(s.Dim)}}); err == nil {
+		t.Fatal("non-member update should error")
+	}
+	dup := MaskedUpdate{PartyID: 0, Data: tensor.NewVector(s.Dim)}
+	if _, err := s.Aggregate(members, []MaskedUpdate{dup, dup}); err == nil {
+		t.Fatal("duplicate update should error")
+	}
+	if _, err := s.Aggregate(members, []MaskedUpdate{{PartyID: 0, Data: tensor.Vector{1}}}); err == nil {
+		t.Fatal("wrong data dim should error")
+	}
+}
+
+// Property: for any member set and any dropout pattern keeping at least one
+// survivor, aggregation equals the plain sum of survivors.
+func TestPropertyAggregationCorrect(t *testing.T) {
+	f := func(seed uint64, nRaw, dropRaw uint8) bool {
+		n := 2 + int(nRaw%5)
+		s := Session{Secret: seed, Round: uint64(nRaw), Dim: 8}
+		members := make([]int, n)
+		for i := range members {
+			members[i] = i * 3 // non-contiguous IDs
+		}
+		updates := randomUpdates(s, members, seed^0xff)
+		var masked []MaskedUpdate
+		for _, id := range members {
+			mu, err := s.Mask(id, members, updates[id])
+			if err != nil {
+				return false
+			}
+			masked = append(masked, MaskedUpdate{PartyID: id, Data: mu})
+		}
+		// Drop a subset (keep at least one).
+		keep := masked[:1+int(dropRaw)%len(masked)]
+		var ids []int
+		for _, u := range keep {
+			ids = append(ids, u.PartyID)
+		}
+		agg, err := s.Aggregate(members, keep)
+		if err != nil {
+			return false
+		}
+		want := plainSum(s, updates, ids)
+		for i := range want {
+			if math.Abs(agg[i]-want[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

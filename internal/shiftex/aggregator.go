@@ -1,0 +1,743 @@
+package shiftex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/detect"
+	"repro/internal/facility"
+	"repro/internal/federation"
+	"repro/internal/fl"
+	"repro/internal/flips"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Config parameterizes the ShiftEx aggregator (Algorithm 2).
+type Config struct {
+	// BootstrapRounds is the number of FL rounds in window 0.
+	BootstrapRounds int
+	// RoundsPerWindow is the number of FL rounds in each later window.
+	RoundsPerWindow int
+	// ParticipantsPerRound is the per-expert cohort sample size per round.
+	ParticipantsPerRound int
+	// Train is the local-training configuration sent to parties.
+	Train fl.TrainConfig
+	// Epsilon is the latent-memory reuse threshold; 0 means auto-calibrate
+	// from window-0 embedding dispersion.
+	Epsilon float64
+	// Tau is the consolidation cosine-similarity threshold (§5.2.5).
+	Tau float64
+	// Gamma is the minimum cluster size for federated training; smaller
+	// clusters fall back to local fine-tuning (Algorithm 2, line 29).
+	Gamma int
+	// MaxClusters bounds the k-means sweep when clustering shifted
+	// parties; 0 means 6.
+	MaxClusters int
+	// MemoryBeta is the latent-memory EMA coefficient.
+	MemoryBeta float64
+	// LambdaNewCost is the Eq. 2 expert-creation coefficient, expressed
+	// relative to the reuse threshold: the effective flat cost of a new
+	// expert is LambdaNewCost · ε · (mean cluster weight), so creation is
+	// priced at the covariate mismatch a typical cluster would tolerate
+	// before reuse becomes infeasible. MuLabel is the label-imbalance
+	// weight μ.
+	LambdaNewCost float64
+	MuLabel       float64
+	// CapacityMax is U_max (0 = unlimited).
+	CapacityMax int
+	// Calibration configures bootstrap threshold estimation.
+	Calibration stats.CalibrateConfig
+
+	// Ablation switches (all false in the full system).
+	DisableMemory        bool // every shifted cluster spawns a new expert
+	DisableConsolidation bool // never merge experts
+	DisableFLIPS         bool // uniform random participant selection
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		BootstrapRounds:      15,
+		RoundsPerWindow:      15,
+		ParticipantsPerRound: 10,
+		Train:                fl.TrainConfig{Epochs: 2, BatchSize: 16, LR: 0.02, Momentum: 0.9},
+		Tau:                  0.995,
+		Gamma:                2,
+		MaxClusters:          6,
+		MemoryBeta:           0.7,
+		LambdaNewCost:        1,
+		MuLabel:              0.3,
+		Calibration:          stats.DefaultCalibrateConfig(),
+	}
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.BootstrapRounds <= 0 || c.RoundsPerWindow <= 0:
+		return fmt.Errorf("shiftex: rounds must be positive (bootstrap=%d window=%d)", c.BootstrapRounds, c.RoundsPerWindow)
+	case c.ParticipantsPerRound <= 0:
+		return fmt.Errorf("shiftex: participants per round must be positive, got %d", c.ParticipantsPerRound)
+	case c.Tau <= 0 || c.Tau > 1:
+		return fmt.Errorf("shiftex: tau must be in (0,1], got %g", c.Tau)
+	case c.Gamma < 1:
+		return fmt.Errorf("shiftex: gamma must be >=1, got %d", c.Gamma)
+	case c.MemoryBeta < 0 || c.MemoryBeta >= 1:
+		return fmt.Errorf("shiftex: memory beta must be in [0,1), got %g", c.MemoryBeta)
+	case c.Epsilon < 0:
+		return fmt.Errorf("shiftex: epsilon must be non-negative, got %g", c.Epsilon)
+	}
+	return c.Train.Validate()
+}
+
+// WindowReport summarizes one window's adaptation.
+type WindowReport struct {
+	Window        int
+	Trace         []float64 // per-round mean accuracy across parties
+	ShiftedCov    int       // parties flagged for covariate shift
+	ShiftedLabel  int       // parties flagged for label shift
+	ExpertsBefore int
+	ExpertsAfter  int
+	NewExperts    int
+	Merged        int
+	// Distribution maps expert ID to the number of assigned parties at
+	// window end (Figures 7-8).
+	Distribution map[int]int
+}
+
+// Aggregator is the ShiftEx coordinator.
+type Aggregator struct {
+	cfg        Config
+	registry   *Registry
+	assignment map[int]int // party -> expert ID
+	// personalized holds locally fine-tuned parameter overrides for
+	// parties in small clusters.
+	personalized map[int]tensor.Vector
+	thresholds   stats.Thresholds
+	epsilon      float64
+	bootParams   tensor.Vector // θ0 clone source for new experts
+	// encoder is the frozen post-bootstrap model used for all embedding
+	// computations. Freezing it keeps embeddings comparable across
+	// windows and across experts, which is what makes latent-memory
+	// matching well defined (the paper lists "reliance on frozen
+	// encoders" among its assumptions, §9).
+	encoder tensor.Vector
+	rng     *tensor.RNG
+}
+
+var _ federation.Technique = (*Aggregator)(nil)
+
+// New builds a ShiftEx aggregator.
+func New(cfg Config, seed uint64) (*Aggregator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	reg, err := NewRegistry(cfg.MemoryBeta)
+	if err != nil {
+		return nil, err
+	}
+	return &Aggregator{
+		cfg:          cfg,
+		registry:     reg,
+		assignment:   make(map[int]int),
+		personalized: make(map[int]tensor.Vector),
+		epsilon:      cfg.Epsilon,
+		rng:          tensor.NewRNG(seed),
+	}, nil
+}
+
+// Name implements federation.Technique.
+func (a *Aggregator) Name() string { return "shiftex" }
+
+// Assignments implements federation.Technique.
+func (a *Aggregator) Assignments() map[int]int {
+	out := make(map[int]int, len(a.assignment))
+	for k, v := range a.assignment {
+		out[k] = v
+	}
+	return out
+}
+
+// Registry exposes the expert pool (read-mostly; used by reports/tests).
+func (a *Aggregator) Registry() *Registry { return a.registry }
+
+// Thresholds returns the calibrated detection thresholds (valid after
+// window 0).
+func (a *Aggregator) Thresholds() stats.Thresholds { return a.thresholds }
+
+// Epsilon returns the effective latent-memory reuse threshold (valid after
+// window 0 when auto-calibrated).
+func (a *Aggregator) Epsilon() float64 { return a.epsilon }
+
+// paramsFor returns the parameters party p currently uses for inference:
+// its personalized fine-tune if present, else its assigned expert.
+func (a *Aggregator) paramsFor(p int) tensor.Vector {
+	if pp, ok := a.personalized[p]; ok {
+		return pp
+	}
+	id, ok := a.assignment[p]
+	if !ok {
+		return nil
+	}
+	e, ok := a.registry.Get(id)
+	if !ok {
+		return nil
+	}
+	return e.Params
+}
+
+// RunWindow implements federation.Technique: window 0 bootstraps and
+// calibrates; later windows run shift detection, expert assignment,
+// training, and consolidation.
+func (a *Aggregator) RunWindow(f *federation.Federation, w int) ([]float64, error) {
+	if err := f.SetWindow(w); err != nil {
+		return nil, err
+	}
+	if w == 0 {
+		rep, err := a.bootstrap(f)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Trace, nil
+	}
+	rep, err := a.AdaptWindow(f, w)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Trace, nil
+}
+
+// Bootstrap runs window 0 and returns the full report.
+func (a *Aggregator) Bootstrap(f *federation.Federation) (*WindowReport, error) {
+	if err := f.SetWindow(0); err != nil {
+		return nil, err
+	}
+	return a.bootstrap(f)
+}
+
+func (a *Aggregator) bootstrap(f *federation.Federation) (*WindowReport, error) {
+	if a.registry.Len() != 0 {
+		return nil, errors.New("shiftex: bootstrap must run on an empty registry")
+	}
+	init, err := f.InitialParams()
+	if err != nil {
+		return nil, err
+	}
+	a.bootParams = init.Clone()
+	e0 := a.registry.Create(init, nil)
+	for _, p := range f.PartyIDs() {
+		a.assignment[p] = e0.ID
+	}
+
+	// Train the initial global model with FLIPS participant selection
+	// (§4.1).
+	trace, err := a.trainExperts(f, map[int][]int{e0.ID: f.PartyIDs()}, a.cfg.BootstrapRounds)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap training: %w", err)
+	}
+
+	// Freeze the trained bootstrap model as the shared encoder, observe
+	// window 0 through it, and calibrate thresholds and ε from the
+	// resulting null statistics.
+	a.encoder = e0.Params.Clone()
+	anchor, err := a.observeAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap anchor: %w", err)
+	}
+	if err := a.calibrate(anchor); err != nil {
+		return nil, fmt.Errorf("bootstrap calibration: %w", err)
+	}
+	if err := a.updateMemories(anchor); err != nil {
+		return nil, err
+	}
+
+	return &WindowReport{
+		Window:       0,
+		Trace:        trace,
+		ExpertsAfter: a.registry.Len(),
+		Distribution: Snapshot(a.assignment),
+	}, nil
+}
+
+// observeAll collects Algorithm-1 statistics from every party through the
+// frozen encoder, keeping all embedding statistics in one comparable space.
+// Parties that fail to report (dropped out, empty window) are skipped —
+// they are treated as stable for this window, which is the safe default in
+// a live federation; an error is returned only when nobody reports.
+func (a *Aggregator) observeAll(f *federation.Federation) ([]detect.PartyStats, error) {
+	if a.encoder == nil {
+		return nil, errors.New("shiftex: encoder not initialized (bootstrap first)")
+	}
+	out := make([]detect.PartyStats, 0, f.NumParties())
+	var errs []error
+	for _, p := range f.PartyIDs() {
+		st, err := f.Stats(p, a.encoder)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		out = append(out, st)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("shiftex: no party reported statistics: %w", errors.Join(errs...))
+	}
+	return out, nil
+}
+
+// calibrate derives δ_cov, δ_label (bootstrap null distributions, §5) and,
+// when not explicitly configured, ε from window-0 statistics.
+func (a *Aggregator) calibrate(anchor []detect.PartyStats) error {
+	resamples := a.cfg.Calibration.Resamples
+	if resamples <= 0 {
+		resamples = 100
+	}
+	// Covariate threshold: the null statistic must match the per-party
+	// detector — MMD between same-party samples at window sample size —
+	// so resample each party's own embeddings into two halves. Half-size
+	// splits are slightly conservative (smaller samples inflate the
+	// biased MMD), which suppresses false positives.
+	covNulls := make([]float64, 0, resamples)
+	for i := 0; i < resamples; i++ {
+		st := anchor[a.rng.Intn(len(anchor))]
+		n := len(st.EmbeddingSample)
+		if n < 4 {
+			continue
+		}
+		perm := a.rng.Perm(n)
+		half := n / 2
+		xs := make([]tensor.Vector, half)
+		ys := make([]tensor.Vector, half)
+		for j := 0; j < half; j++ {
+			xs[j] = st.EmbeddingSample[perm[j]]
+			ys[j] = st.EmbeddingSample[perm[half+j]]
+		}
+		v, err := stats.MMDAuto(xs, ys)
+		if err != nil {
+			return err
+		}
+		covNulls = append(covNulls, v)
+	}
+	if len(covNulls) == 0 {
+		return errors.New("shiftex: not enough embeddings to calibrate δ_cov")
+	}
+	pv := a.cfg.Calibration.PValue
+	if pv <= 0 {
+		pv = 0.05
+	}
+	deltaCov := stats.Quantile(covNulls, 1-pv)
+	nulls := make([]float64, 0, resamples)
+	for i := 0; i < resamples; i++ {
+		st := anchor[a.rng.Intn(len(anchor))]
+		n := st.NumSamples
+		if n < 4 {
+			n = 4
+		}
+		h1 := resampleHistogram(st.LabelHist, n, a.rng)
+		h2 := resampleHistogram(st.LabelHist, n, a.rng)
+		j, err := stats.JSD(h1, h2)
+		if err != nil {
+			return err
+		}
+		nulls = append(nulls, j)
+	}
+	p := a.cfg.Calibration.PValue
+	if p <= 0 {
+		p = 0.05
+	}
+	a.thresholds = stats.Thresholds{
+		DeltaCov:   deltaCov,
+		DeltaLabel: stats.Quantile(nulls, 1-p),
+	}
+
+	if a.epsilon == 0 {
+		// Auto ε: the within-regime dispersion of party mean embeddings
+		// around their common centroid at window 0 (all parties share one
+		// clean regime), scaled so recurring regimes match their expert's
+		// memory while genuinely new regimes fall outside.
+		if len(anchor) < 2 {
+			return errors.New("shiftex: cannot auto-calibrate epsilon with one party")
+		}
+		means := make([]tensor.Vector, len(anchor))
+		for i, st := range anchor {
+			means[i] = st.MeanEmbedding
+		}
+		centroid, err := tensor.Mean(means)
+		if err != nil {
+			return err
+		}
+		dists := make([]float64, len(means))
+		for i, m := range means {
+			dists[i] = stats.MeanEmbeddingMMD(m, centroid)
+		}
+		// 3× the median distance: robust to the label-mix outliers that
+		// dominate the upper tail with few parties.
+		a.epsilon = 3 * stats.Quantile(dists, 0.5)
+	}
+	return nil
+}
+
+// resampleHistogram draws n labels from h and re-normalizes.
+func resampleHistogram(h stats.Histogram, n int, rng *tensor.RNG) stats.Histogram {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Categorical(tensor.Vector(h))
+	}
+	return stats.NewHistogram(labels, len(h))
+}
+
+// AdaptWindow runs Algorithm 2 for one post-bootstrap window and returns
+// the full report. The federation must already be positioned at window w.
+func (a *Aggregator) AdaptWindow(f *federation.Federation, w int) (*WindowReport, error) {
+	if a.registry.Len() == 0 {
+		return nil, ErrNoExperts
+	}
+	rep := &WindowReport{Window: w, ExpertsBefore: a.registry.Len()}
+
+	// Lines 4-7: receive statistics, detect shifted parties.
+	allStats, err := a.observeAll(f)
+	if err != nil {
+		return nil, err
+	}
+	statByParty := make(map[int]detect.PartyStats, len(allStats))
+	var shifted []int
+	for _, st := range allStats {
+		statByParty[st.PartyID] = st
+		cov := st.MMD > a.thresholds.DeltaCov
+		lab := st.JSD > a.thresholds.DeltaLabel
+		if cov {
+			rep.ShiftedCov++
+		}
+		if lab {
+			rep.ShiftedLabel++
+		}
+		if cov || lab {
+			shifted = append(shifted, st.PartyID)
+		}
+	}
+
+	// Lines 8-31: cluster shifted parties and (re)assign experts.
+	if len(shifted) > 0 {
+		if err := a.reassign(f, shifted, statByParty, rep); err != nil {
+			return nil, err
+		}
+	}
+
+	// Train every expert on its current cohort.
+	cohorts := a.cohorts(f)
+	trace, err := a.trainExperts(f, cohorts, a.cfg.RoundsPerWindow)
+	if err != nil {
+		return nil, err
+	}
+	rep.Trace = trace
+
+	// Refresh latent memories with this window's embeddings (the frozen
+	// encoder makes the window-start statistics authoritative — training
+	// does not move the embedding space).
+	if err := a.updateMemories(allStats); err != nil {
+		return nil, err
+	}
+
+	// Lines 33-40: consolidation.
+	if !a.cfg.DisableConsolidation {
+		merged, err := a.consolidate(f)
+		if err != nil {
+			return nil, err
+		}
+		rep.Merged = merged
+	}
+
+	rep.ExpertsAfter = a.registry.Len()
+	rep.Distribution = Snapshot(a.assignment)
+	return rep, nil
+}
+
+// reassign clusters the shifted parties and routes each cluster to an
+// existing or new expert via the facility-location solver (§5.1-5.2).
+func (a *Aggregator) reassign(f *federation.Federation, shifted []int, statByParty map[int]detect.PartyStats, rep *WindowReport) error {
+	points := make([]tensor.Vector, len(shifted))
+	for i, p := range shifted {
+		points[i] = statByParty[p].MeanEmbedding
+	}
+	maxK := a.cfg.MaxClusters
+	if maxK <= 0 {
+		maxK = 6
+	}
+	res, err := cluster.SelectK(points, maxK, cluster.Config{}, a.rng)
+	if err != nil {
+		return fmt.Errorf("cluster shifted parties: %w", err)
+	}
+
+	// Split clusters into federated (>=γ) and small ones.
+	type group struct {
+		parties  []int
+		centroid tensor.Vector
+		hist     stats.Histogram
+	}
+	var fedGroups []group
+	var smallParties []int
+	for c := 0; c < res.K(); c++ {
+		var members []int
+		for i, assigned := range res.Assignments {
+			if assigned == c {
+				members = append(members, shifted[i])
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		if len(members) < a.cfg.Gamma {
+			smallParties = append(smallParties, members...)
+			continue
+		}
+		hs := make([]stats.Histogram, len(members))
+		counts := make([]int, len(members))
+		for i, p := range members {
+			hs[i] = statByParty[p].LabelHist
+			counts[i] = statByParty[p].NumSamples
+		}
+		hist, err := stats.MergeHistograms(hs, counts)
+		if err != nil {
+			return err
+		}
+		fedGroups = append(fedGroups, group{parties: members, centroid: res.Centroids[c], hist: hist})
+	}
+
+	if len(fedGroups) > 0 {
+		// Facility-location assignment of clusters to experts (Eq. 2).
+		clients := make([]facility.Client, len(fedGroups))
+		for i, g := range fedGroups {
+			clients[i] = facility.Client{
+				ID:        i,
+				Embedding: g.centroid,
+				LabelHist: g.hist,
+				Weight:    float64(len(g.parties)),
+			}
+		}
+		var existing []facility.Facility
+		var existingIDs []int
+		if !a.cfg.DisableMemory {
+			for _, e := range a.registry.Experts() {
+				if e.Memory == nil {
+					continue
+				}
+				existing = append(existing, facility.Facility{ID: e.ID, Signature: e.Memory})
+				existingIDs = append(existingIDs, e.ID)
+			}
+		}
+		var meanWeight float64
+		for _, c := range clients {
+			meanWeight += c.Weight
+		}
+		meanWeight /= float64(len(clients))
+		inst := &facility.Instance{
+			Clients:     clients,
+			Existing:    existing,
+			NewCost:     a.cfg.LambdaNewCost * a.epsilon * meanWeight,
+			LabelWeight: a.cfg.MuLabel,
+			CapacityMax: a.cfg.CapacityMax,
+			Epsilon:     a.epsilon,
+		}
+		sol, err := facility.SolveGreedy(inst)
+		if err != nil {
+			return fmt.Errorf("facility assignment: %w", err)
+		}
+		// Materialize the assignment: map slots to expert IDs, creating
+		// new experts for new slots. New experts are warm-started from the
+		// nearest existing expert's parameters (§5.2.1: clusters fine-tune
+		// experts rather than train from scratch), falling back to θ0.
+		slotExpert := make(map[int]int)
+		for gi, slot := range sol.Slots {
+			expertID, ok := slotExpert[slot]
+			if !ok {
+				if slot < len(existing) {
+					expertID = existingIDs[slot]
+				} else {
+					seed := a.bootParams
+					if nearest, _, found := a.registry.Match(fedGroups[gi].centroid); found {
+						seed = nearest.Params
+					}
+					e := a.registry.Create(seed, fedGroups[gi].centroid)
+					expertID = e.ID
+					rep.NewExperts++
+				}
+				slotExpert[slot] = expertID
+			}
+			for _, p := range fedGroups[gi].parties {
+				a.assignment[p] = expertID
+				delete(a.personalized, p)
+			}
+			if err := a.registry.UpdateMemory(expertID, fedGroups[gi].centroid); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Small clusters: keep assignment, locally fine-tune (line 29).
+	for _, p := range smallParties {
+		params := a.paramsFor(p)
+		if params == nil {
+			return fmt.Errorf("shiftex: party %d has no parameters for fine-tune", p)
+		}
+		cfg := a.cfg.Train
+		cfg.Seed = a.rng.Uint64()
+		tuned, err := f.LocalFineTune(p, params, cfg)
+		if err != nil {
+			return fmt.Errorf("local fine-tune party %d: %w", p, err)
+		}
+		a.personalized[p] = tuned
+	}
+	return nil
+}
+
+// cohorts groups parties by assigned expert.
+func (a *Aggregator) cohorts(f *federation.Federation) map[int][]int {
+	out := make(map[int][]int)
+	for _, p := range f.PartyIDs() {
+		id, ok := a.assignment[p]
+		if !ok {
+			continue
+		}
+		out[id] = append(out[id], p)
+	}
+	return out
+}
+
+// trainExperts runs `rounds` federated rounds for every expert with a
+// non-empty cohort, recording the global assignment accuracy after each
+// round. Participant selection uses FLIPS label clustering unless disabled.
+func (a *Aggregator) trainExperts(f *federation.Federation, cohorts map[int][]int, rounds int) ([]float64, error) {
+	hists := f.PartyHists()
+
+	// Build a FLIPS selector per expert cohort.
+	selectors := make(map[int]*flips.Selector)
+	if !a.cfg.DisableFLIPS {
+		for id, members := range cohorts {
+			if len(members) < 2 {
+				continue
+			}
+			hs := make([]stats.Histogram, len(members))
+			for i, p := range members {
+				hs[i] = hists[p]
+			}
+			sel, err := flips.New(members, hs, 0, a.rng)
+			if err != nil {
+				return nil, fmt.Errorf("flips for expert %d: %w", id, err)
+			}
+			selectors[id] = sel
+		}
+	}
+
+	trace := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		for _, id := range SortedKeys(cohorts) {
+			members := cohorts[id]
+			if len(members) == 0 {
+				continue
+			}
+			e, ok := a.registry.Get(id)
+			if !ok {
+				continue
+			}
+			var selected []int
+			var err error
+			if sel, hasSel := selectors[id]; hasSel {
+				selected, err = sel.Select(min(a.cfg.ParticipantsPerRound, len(members)), a.rng)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				idx := a.rng.Sample(len(members), min(a.cfg.ParticipantsPerRound, len(members)))
+				selected = make([]int, len(idx))
+				for i, j := range idx {
+					selected[i] = members[j]
+				}
+			}
+			cfg := a.cfg.Train
+			cfg.Seed = a.rng.Uint64()
+			next, _, err := f.Round(e.Params, selected, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("expert %d round %d: %w", id, r, err)
+			}
+			e.Params = next
+			// Fresh global training supersedes stale personal fine-tunes
+			// for this cohort.
+			for _, p := range members {
+				delete(a.personalized, p)
+			}
+		}
+		acc, err := f.EvalAssignment(a.paramsFor)
+		if err != nil {
+			return nil, err
+		}
+		trace = append(trace, acc)
+	}
+	return trace, nil
+}
+
+// updateMemories folds each expert cohort's fresh mean embedding into its
+// latent memory.
+func (a *Aggregator) updateMemories(anchor []detect.PartyStats) error {
+	sums := make(map[int]tensor.Vector)
+	counts := make(map[int]float64)
+	for _, st := range anchor {
+		id, ok := a.assignment[st.PartyID]
+		if !ok {
+			continue
+		}
+		if sums[id] == nil {
+			sums[id] = tensor.NewVector(len(st.MeanEmbedding))
+		}
+		if err := sums[id].Add(st.MeanEmbedding); err != nil {
+			return err
+		}
+		counts[id]++
+	}
+	for id, sum := range sums {
+		sum.Scale(1 / counts[id])
+		if err := a.registry.UpdateMemory(id, sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// consolidate merges near-duplicate experts and rewires assignments,
+// returning the number of merges.
+func (a *Aggregator) consolidate(f *federation.Federation) (int, error) {
+	sizes := Snapshot(a.assignment)
+	remap, err := a.registry.Consolidate(f.Arch(), a.cfg.Tau, a.epsilon, sizes)
+	if err != nil {
+		return 0, err
+	}
+	if len(remap) == 0 {
+		return 0, nil
+	}
+	for p, id := range a.assignment {
+		if to, ok := remap[id]; ok {
+			a.assignment[p] = to
+		}
+	}
+	return len(remap), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MeanAccuracy is a convenience over a trace.
+func MeanAccuracy(trace []float64) float64 {
+	if len(trace) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range trace {
+		s += v
+	}
+	return s / float64(len(trace))
+}

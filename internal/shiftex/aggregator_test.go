@@ -1,0 +1,253 @@
+package shiftex
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/federation"
+)
+
+// smallScenario builds a quick 12-party scenario with pronounced shifts.
+func smallScenario(t *testing.T, seed uint64) (*dataset.Scenario, *federation.Federation) {
+	t.Helper()
+	spec := dataset.FMoWSpec()
+	spec.NumParties = 12
+	spec.SamplesPerParty = 40
+	spec.TestPerParty = 20
+	spec.Windows = 3
+	cfg := dataset.DefaultShiftConfig()
+	cfg.RegimesPerWindow = 1
+	sc, err := dataset.BuildScenario(spec, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := federation.New(sc, []int{spec.InputDim, 24, 12, spec.NumClasses}, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, fed
+}
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BootstrapRounds = 6
+	cfg.RoundsPerWindow = 6
+	cfg.ParticipantsPerRound = 6
+	cfg.Train.Epochs = 2
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{name: "default valid", mutate: func(c *Config) {}},
+		{name: "zero rounds", mutate: func(c *Config) { c.RoundsPerWindow = 0 }, wantErr: true},
+		{name: "zero participants", mutate: func(c *Config) { c.ParticipantsPerRound = 0 }, wantErr: true},
+		{name: "bad tau", mutate: func(c *Config) { c.Tau = 0 }, wantErr: true},
+		{name: "bad gamma", mutate: func(c *Config) { c.Gamma = 0 }, wantErr: true},
+		{name: "bad beta", mutate: func(c *Config) { c.MemoryBeta = 1 }, wantErr: true},
+		{name: "bad epsilon", mutate: func(c *Config) { c.Epsilon = -1 }, wantErr: true},
+		{name: "bad train", mutate: func(c *Config) { c.Train.LR = 0 }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tt.mutate(&c)
+			if err := c.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+	if _, err := New(Config{}, 1); err == nil {
+		t.Fatal("zero config should fail New")
+	}
+}
+
+func TestBootstrapCalibratesAndTrains(t *testing.T) {
+	_, fed := smallScenario(t, 10)
+	agg, err := New(quickConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := agg.Bootstrap(fed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trace) != 6 {
+		t.Fatalf("trace length = %d", len(rep.Trace))
+	}
+	if rep.Trace[len(rep.Trace)-1] <= rep.Trace[0]-0.05 {
+		t.Fatalf("bootstrap accuracy regressed: %v", rep.Trace)
+	}
+	th := agg.Thresholds()
+	if th.DeltaCov <= 0 || th.DeltaLabel <= 0 {
+		t.Fatalf("thresholds not calibrated: %+v", th)
+	}
+	if agg.Epsilon() <= 0 {
+		t.Fatalf("epsilon not calibrated: %g", agg.Epsilon())
+	}
+	if agg.Registry().Len() != 1 {
+		t.Fatalf("bootstrap experts = %d, want 1", agg.Registry().Len())
+	}
+	if n := len(rep.Distribution); n != 1 {
+		t.Fatalf("distribution = %v", rep.Distribution)
+	}
+	// Double bootstrap must fail.
+	if _, err := agg.Bootstrap(fed); err == nil {
+		t.Fatal("second bootstrap should error")
+	}
+}
+
+func TestAdaptCreatesExpertsOnShift(t *testing.T) {
+	_, fed := smallScenario(t, 20)
+	agg, err := New(quickConfig(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Bootstrap(fed); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.SetWindow(1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := agg.AdaptWindow(fed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShiftedCov == 0 {
+		t.Fatal("scenario shifts half the parties; detector found none")
+	}
+	if rep.ExpertsAfter < 2 {
+		t.Fatalf("expected expert specialization, have %d experts", rep.ExpertsAfter)
+	}
+	// Assignments must cover every party and reference live experts.
+	assigns := agg.Assignments()
+	if len(assigns) != fed.NumParties() {
+		t.Fatalf("assignments = %d, want %d", len(assigns), fed.NumParties())
+	}
+	for p, id := range assigns {
+		if _, ok := agg.Registry().Get(id); !ok {
+			t.Fatalf("party %d assigned to dead expert %d", p, id)
+		}
+	}
+}
+
+func TestAdaptWithoutBootstrapFails(t *testing.T) {
+	_, fed := smallScenario(t, 30)
+	agg, err := New(quickConfig(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.AdaptWindow(fed, 1); err == nil {
+		t.Fatal("adapt before bootstrap should error")
+	}
+}
+
+func TestRunWindowSequence(t *testing.T) {
+	_, fed := smallScenario(t, 40)
+	agg, err := New(quickConfig(), 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastTrace []float64
+	for w := 0; w < fed.NumWindows(); w++ {
+		trace, err := agg.RunWindow(fed, w)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		if len(trace) == 0 {
+			t.Fatalf("window %d: empty trace", w)
+		}
+		lastTrace = trace
+	}
+	final := lastTrace[len(lastTrace)-1]
+	if final < 0.3 {
+		t.Fatalf("final accuracy %g too low — adaptation failed", final)
+	}
+	if math.IsNaN(final) {
+		t.Fatal("accuracy is NaN")
+	}
+}
+
+func TestExpertReuseOnRecurringShift(t *testing.T) {
+	// Build a scenario where window 2 re-applies window 1's corruption:
+	// the latent memory should reuse the window-1 expert rather than
+	// creating another.
+	spec := dataset.FMoWSpec()
+	spec.NumParties = 10
+	spec.SamplesPerParty = 40
+	spec.TestPerParty = 20
+	spec.Windows = 3
+	shiftCfg := dataset.DefaultShiftConfig()
+	shiftCfg.RegimesPerWindow = 1
+	// Single corruption kind so the recurring regime is identical.
+	shiftCfg.CovariateKinds = []dataset.CorruptionKind{dataset.CorruptFog}
+	shiftCfg.LabelShift = false
+	sc, err := dataset.BuildScenario(spec, shiftCfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force identical severity in both shift windows.
+	for w := 1; w < 3; w++ {
+		for p := range sc.Windows[w] {
+			if !sc.Windows[w][p].Regime.Corruption.IsIdentity() {
+				sc.Windows[w][p].Regime.Corruption.Severity = 3
+			}
+		}
+	}
+	fed, err := federation.New(sc, []int{spec.InputDim, 24, 12, spec.NumClasses}, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := New(quickConfig(), 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		if _, err := agg.RunWindow(fed, w); err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+	}
+	// Fog regime recurs; the pool should stay compact (bootstrap + fog,
+	// possibly one extra from noise) rather than grow per window.
+	if n := agg.Registry().Len(); n > 3 {
+		t.Fatalf("expert pool grew to %d despite recurring regime", n)
+	}
+}
+
+func TestAblationDisableMemoryCreatesMoreExperts(t *testing.T) {
+	run := func(disable bool) int {
+		_, fed := smallScenario(t, 60)
+		cfg := quickConfig()
+		cfg.DisableMemory = disable
+		cfg.DisableConsolidation = true
+		agg, err := New(cfg, 61)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < fed.NumWindows(); w++ {
+			if _, err := agg.RunWindow(fed, w); err != nil {
+				t.Fatalf("window %d: %v", w, err)
+			}
+		}
+		return agg.Registry().Len()
+	}
+	with := run(false)
+	without := run(true)
+	if without < with {
+		t.Fatalf("disabling memory should not shrink the pool: with=%d without=%d", with, without)
+	}
+}
+
+func TestMeanAccuracy(t *testing.T) {
+	if got := MeanAccuracy([]float64{0.2, 0.4}); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("mean = %g", got)
+	}
+	if !math.IsNaN(MeanAccuracy(nil)) {
+		t.Fatal("empty trace should be NaN")
+	}
+}

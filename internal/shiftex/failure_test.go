@@ -1,0 +1,103 @@
+package shiftex
+
+import (
+	"testing"
+)
+
+// Failure injection: the aggregator must survive parties dropping out
+// mid-stream (no data, no statistics, no training) and keep adapting with
+// the survivors — partial participation is the norm in FL.
+
+func TestAdaptSurvivesPartyDropout(t *testing.T) {
+	_, fed := smallScenario(t, 300)
+	agg, err := New(quickConfig(), 301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Bootstrap(fed); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.SetWindow(1); err != nil {
+		t.Fatal(err)
+	}
+	// Two parties lose their data entirely (device offline).
+	if err := fed.SetPartyData(0, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.SetPartyData(1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := agg.AdaptWindow(fed, 1)
+	if err != nil {
+		t.Fatalf("dropout should not abort the window: %v", err)
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatal("no training happened")
+	}
+	final := rep.Trace[len(rep.Trace)-1]
+	if final < 0.2 {
+		t.Fatalf("survivor accuracy %g too low", final)
+	}
+}
+
+func TestBootstrapSurvivesPartialDropout(t *testing.T) {
+	_, fed := smallScenario(t, 310)
+	// One party is dead from the start.
+	if err := fed.SetPartyData(3, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := New(quickConfig(), 311)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := agg.Bootstrap(fed)
+	if err != nil {
+		t.Fatalf("bootstrap with one dead party should work: %v", err)
+	}
+	if rep.Trace[len(rep.Trace)-1] < 0.2 {
+		t.Fatalf("bootstrap accuracy %g", rep.Trace[len(rep.Trace)-1])
+	}
+	// Detection thresholds still calibrated from the survivors.
+	if agg.Thresholds().DeltaCov <= 0 {
+		t.Fatal("thresholds not calibrated")
+	}
+}
+
+func TestDropoutRecoveryNextWindow(t *testing.T) {
+	// A party that drops in window 1 and returns in window 2 must rejoin
+	// its expert and be evaluated again.
+	sc, fed := smallScenario(t, 320)
+	agg, err := New(quickConfig(), 321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Bootstrap(fed); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.SetWindow(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.SetPartyData(2, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.AdaptWindow(fed, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Window 2: the party is back (SetWindow restores scenario data).
+	if err := fed.SetWindow(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Windows[2][2].Train) == 0 {
+		t.Fatal("scenario should restore party data")
+	}
+	rep, err := agg.AdaptWindow(fed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := agg.Assignments()[2]; !ok {
+		t.Fatal("returning party lost its assignment")
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatal("no trace for recovery window")
+	}
+}

@@ -1,0 +1,263 @@
+// Package shiftex implements the paper's primary contribution: the
+// shift-aware mixture-of-experts aggregator (Algorithms 1 and 2). It
+// maintains a registry of expert models tagged with latent-memory
+// signatures, detects covariate/label shifts from party statistics,
+// clusters shifted parties, matches clusters to experts through the latent
+// memory (reuse) or spawns new experts (specialization), trains cohorts
+// with FLIPS label balancing, and periodically consolidates redundant
+// experts.
+package shiftex
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Expert is one specialized global model plus its covariate-regime
+// signature.
+type Expert struct {
+	ID     int
+	Params tensor.Vector
+	// Memory is the exponential moving average of the embedding
+	// signatures of the cohorts this expert has served (§5.2.2).
+	Memory tensor.Vector
+}
+
+// Registry is the aggregator-side pool of experts Θ_t.
+type Registry struct {
+	experts map[int]*Expert
+	order   []int // insertion order for deterministic iteration
+	nextID  int
+	// memoryBeta is the EMA coefficient for latent-memory updates: higher
+	// retains more history. Must be in [0, 1).
+	memoryBeta float64
+}
+
+// NewRegistry builds an empty registry. memoryBeta in [0,1) controls the
+// latent-memory EMA; 0 means signatures are overwritten each update.
+func NewRegistry(memoryBeta float64) (*Registry, error) {
+	if memoryBeta < 0 || memoryBeta >= 1 {
+		return nil, fmt.Errorf("shiftex: memory beta must be in [0,1), got %g", memoryBeta)
+	}
+	return &Registry{experts: make(map[int]*Expert), memoryBeta: memoryBeta}, nil
+}
+
+// Len returns the number of experts.
+func (r *Registry) Len() int { return len(r.experts) }
+
+// Create adds a new expert with the given parameters and initial signature,
+// returning its ID.
+func (r *Registry) Create(params, signature tensor.Vector) *Expert {
+	e := &Expert{ID: r.nextID, Params: params.Clone()}
+	if signature != nil {
+		e.Memory = signature.Clone()
+	}
+	r.nextID++
+	r.experts[e.ID] = e
+	r.order = append(r.order, e.ID)
+	return e
+}
+
+// Get returns the expert with the given ID.
+func (r *Registry) Get(id int) (*Expert, bool) {
+	e, ok := r.experts[id]
+	return e, ok
+}
+
+// Experts returns all experts in insertion order.
+func (r *Registry) Experts() []*Expert {
+	out := make([]*Expert, 0, len(r.experts))
+	for _, id := range r.order {
+		if e, ok := r.experts[id]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// IDs returns all expert IDs in insertion order.
+func (r *Registry) IDs() []int {
+	out := make([]int, 0, len(r.experts))
+	for _, id := range r.order {
+		if _, ok := r.experts[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// UpdateMemory folds a fresh cohort signature into the expert's latent
+// memory: M ← β·M + (1-β)·sig.
+func (r *Registry) UpdateMemory(id int, signature tensor.Vector) error {
+	e, ok := r.experts[id]
+	if !ok {
+		return fmt.Errorf("shiftex: unknown expert %d", id)
+	}
+	if e.Memory == nil {
+		e.Memory = signature.Clone()
+		return nil
+	}
+	if len(e.Memory) != len(signature) {
+		return fmt.Errorf("shiftex: signature dim %d vs memory %d", len(signature), len(e.Memory))
+	}
+	for i := range e.Memory {
+		e.Memory[i] = r.memoryBeta*e.Memory[i] + (1-r.memoryBeta)*signature[i]
+	}
+	return nil
+}
+
+// Match returns the expert whose latent memory is closest to the signature
+// together with the squared mean-embedding distance, implementing the
+// latent-memory matching rule of §5.2.2: the caller compares the distance
+// to ε to decide reuse vs creation. Experts without a memory signature are
+// skipped. ok is false when no expert has a signature.
+func (r *Registry) Match(signature tensor.Vector) (best *Expert, dist float64, ok bool) {
+	dist = 0
+	for _, e := range r.Experts() {
+		if e.Memory == nil {
+			continue
+		}
+		d := stats.MeanEmbeddingMMD(signature, e.Memory)
+		if !ok || d < dist {
+			best, dist, ok = e, d, true
+		}
+	}
+	return best, dist, ok
+}
+
+// Remove deletes an expert.
+func (r *Registry) Remove(id int) {
+	delete(r.experts, id)
+}
+
+// Consolidate merges every pair of experts whose parameter cosine
+// similarity exceeds tau AND whose latent-memory signatures agree within
+// epsilon (§5.2.5: consolidation eliminates models "that specialize in
+// nearly identical covariate regimes" — parameter similarity alone is not
+// sufficient, because an expert freshly warm-started from another remains
+// parameter-similar even while serving a different regime). epsilon <= 0
+// disables the memory guard. Merges are weighted by cohortSize. It returns
+// a remap from old expert ID to surviving expert ID for every removed
+// expert. arch is needed to interpret the parameter vectors.
+func (r *Registry) Consolidate(arch []int, tau, epsilon float64, cohortSize map[int]int) (map[int]int, error) {
+	if tau <= 0 || tau > 1 {
+		return nil, fmt.Errorf("shiftex: tau must be in (0,1], got %g", tau)
+	}
+	sameRegime := func(a, b *Expert) bool {
+		if epsilon <= 0 || a.Memory == nil || b.Memory == nil {
+			return true
+		}
+		return stats.MeanEmbeddingMMD(a.Memory, b.Memory) <= epsilon
+	}
+	remap := make(map[int]int)
+	for {
+		ids := r.IDs()
+		merged := false
+		for i := 0; i < len(ids) && !merged; i++ {
+			for j := i + 1; j < len(ids) && !merged; j++ {
+				a, b := r.experts[ids[i]], r.experts[ids[j]]
+				sim := tensor.CosineSimilarity(a.Params, b.Params)
+				if sim <= tau || !sameRegime(a, b) {
+					continue
+				}
+				if err := r.merge(arch, a, b, cohortSize); err != nil {
+					return nil, err
+				}
+				remap[b.ID] = a.ID
+				merged = true
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	// Collapse transitive remaps (c→b→a becomes c→a).
+	for from, to := range remap {
+		for {
+			next, ok := remap[to]
+			if !ok {
+				break
+			}
+			to = next
+		}
+		remap[from] = to
+	}
+	return remap, nil
+}
+
+// merge folds expert b into expert a (weighted parameter average plus
+// latent-memory average) and removes b.
+func (r *Registry) merge(arch []int, a, b *Expert, cohortSize map[int]int) error {
+	wa := float64(cohortSize[a.ID])
+	wb := float64(cohortSize[b.ID])
+	if wa <= 0 {
+		wa = 1
+	}
+	if wb <= 0 {
+		wb = 1
+	}
+	ma, err := modelFromParams(arch, a.Params)
+	if err != nil {
+		return err
+	}
+	mb, err := modelFromParams(arch, b.Params)
+	if err != nil {
+		return err
+	}
+	mergedModel, err := nn.MergeModels(ma, mb, wa, wb)
+	if err != nil {
+		return err
+	}
+	a.Params = mergedModel.Params()
+	switch {
+	case a.Memory == nil:
+		a.Memory = b.Memory
+	case b.Memory != nil && len(a.Memory) == len(b.Memory):
+		mem, err := tensor.WeightedMean([]tensor.Vector{a.Memory, b.Memory}, []float64{wa, wb})
+		if err != nil {
+			return err
+		}
+		a.Memory = mem
+	}
+	r.Remove(b.ID)
+	return nil
+}
+
+func modelFromParams(arch []int, params tensor.Vector) (*nn.MLP, error) {
+	m, err := nn.NewMLP(arch, tensor.NewRNG(0))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetParams(params); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Snapshot returns expert IDs sorted ascending with their cohort sizes —
+// the per-window expert-distribution data behind Figures 7 and 8.
+func Snapshot(assignment map[int]int) map[int]int {
+	out := make(map[int]int)
+	for _, expertID := range assignment {
+		out[expertID]++
+	}
+	return out
+}
+
+// SortedKeys returns the keys of an int-keyed map in ascending order.
+func SortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ErrNoExperts indicates an operation over an empty registry.
+var ErrNoExperts = errors.New("shiftex: registry has no experts")

@@ -1,0 +1,256 @@
+package shiftex
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestNewRegistryValidation(t *testing.T) {
+	if _, err := NewRegistry(-0.1); err == nil {
+		t.Fatal("negative beta should error")
+	}
+	if _, err := NewRegistry(1); err == nil {
+		t.Fatal("beta=1 should error")
+	}
+	if _, err := NewRegistry(0); err != nil {
+		t.Fatal("beta=0 should be valid")
+	}
+}
+
+func TestRegistryCreateGet(t *testing.T) {
+	r, err := NewRegistry(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := r.Create(tensor.Vector{1, 2}, tensor.Vector{3, 4})
+	if e.ID != 0 {
+		t.Fatalf("first ID = %d", e.ID)
+	}
+	e2 := r.Create(tensor.Vector{5, 6}, nil)
+	if e2.ID != 1 {
+		t.Fatalf("second ID = %d", e2.ID)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	got, ok := r.Get(0)
+	if !ok || got.Params[0] != 1 {
+		t.Fatalf("get = %+v ok=%v", got, ok)
+	}
+	if _, ok := r.Get(99); ok {
+		t.Fatal("missing expert lookup should fail")
+	}
+	// Params/signature must be deep copies.
+	src := tensor.Vector{7, 8}
+	e3 := r.Create(src, src)
+	src[0] = 99
+	if e3.Params[0] == 99 || e3.Memory[0] == 99 {
+		t.Fatal("Create must deep-copy inputs")
+	}
+}
+
+func TestRegistryUpdateMemoryEMA(t *testing.T) {
+	r, err := NewRegistry(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := r.Create(tensor.Vector{0}, nil)
+	// First update sets the memory outright.
+	if err := r.UpdateMemory(e.ID, tensor.Vector{4, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Memory[0] != 4 {
+		t.Fatalf("memory = %v", e.Memory)
+	}
+	// Second update: 0.5*4 + 0.5*8 = 6.
+	if err := r.UpdateMemory(e.ID, tensor.Vector{8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Memory[0] != 6 {
+		t.Fatalf("EMA memory = %v", e.Memory)
+	}
+	if err := r.UpdateMemory(99, tensor.Vector{1}); err == nil {
+		t.Fatal("unknown expert should error")
+	}
+	if err := r.UpdateMemory(e.ID, tensor.Vector{1}); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+}
+
+func TestRegistryMatch(t *testing.T) {
+	r, err := NewRegistry(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No experts with memory: no match.
+	r.Create(tensor.Vector{0}, nil)
+	if _, _, ok := r.Match(tensor.Vector{1, 1}); ok {
+		t.Fatal("match with no signatures should fail")
+	}
+	a := r.Create(tensor.Vector{0}, tensor.Vector{0, 0})
+	b := r.Create(tensor.Vector{0}, tensor.Vector{10, 10})
+	best, dist, ok := r.Match(tensor.Vector{1, 1})
+	if !ok || best.ID != a.ID {
+		t.Fatalf("match = %+v ok=%v", best, ok)
+	}
+	if dist != 2 {
+		t.Fatalf("dist = %g, want 2", dist)
+	}
+	best, _, ok = r.Match(tensor.Vector{9, 9})
+	if !ok || best.ID != b.ID {
+		t.Fatalf("match = %+v", best)
+	}
+}
+
+func buildParams(t *testing.T, arch []int, seed uint64) tensor.Vector {
+	t.Helper()
+	m, err := nn.NewMLP(arch, tensor.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Params()
+}
+
+func TestConsolidateMergesDuplicates(t *testing.T) {
+	arch := []int{4, 8, 3}
+	r, err := NewRegistry(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildParams(t, arch, 1)
+	// Two near-identical experts and one very different.
+	nearly := p.Clone()
+	nearly[0] += 1e-6
+	a := r.Create(p, tensor.Vector{1, 1})
+	b := r.Create(nearly, tensor.Vector{2, 2})
+	q := buildParams(t, arch, 99)
+	c := r.Create(q, tensor.Vector{9, 9})
+
+	remap, err := r.Consolidate(arch, 0.99, 10, map[int]int{a.ID: 3, b.ID: 1, c.ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("experts after consolidation = %d, want 2", r.Len())
+	}
+	to, ok := remap[b.ID]
+	if !ok || to != a.ID {
+		t.Fatalf("remap = %v", remap)
+	}
+	if _, ok := r.Get(c.ID); !ok {
+		t.Fatal("dissimilar expert must survive")
+	}
+	// Merged memory is the weighted mean (3:1).
+	got, _ := r.Get(a.ID)
+	want := (3.0*1 + 1.0*2) / 4
+	if got.Memory[0] != want {
+		t.Fatalf("merged memory = %v, want %g", got.Memory, want)
+	}
+}
+
+func TestConsolidateTransitive(t *testing.T) {
+	arch := []int{3, 4, 2}
+	r, err := NewRegistry(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildParams(t, arch, 2)
+	ids := make([]int, 3)
+	for i := range ids {
+		q := p.Clone()
+		q[0] += float64(i) * 1e-9
+		ids[i] = r.Create(q, tensor.Vector{float64(i)}).ID
+	}
+	remap, err := r.Consolidate(arch, 0.9999, 0, map[int]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("all three should merge, have %d", r.Len())
+	}
+	for _, from := range ids[1:] {
+		if to := remap[from]; to != ids[0] {
+			t.Fatalf("remap[%d] = %d, want %d", from, to, ids[0])
+		}
+	}
+}
+
+func TestConsolidateValidation(t *testing.T) {
+	r, err := NewRegistry(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Consolidate([]int{2, 3, 2}, 0, 0, nil); err == nil {
+		t.Fatal("tau=0 should error")
+	}
+	if _, err := r.Consolidate([]int{2, 3, 2}, 1.5, 0, nil); err == nil {
+		t.Fatal("tau>1 should error")
+	}
+}
+
+func TestConsolidateKeepsDistinctExperts(t *testing.T) {
+	arch := []int{4, 6, 3}
+	r, err := NewRegistry(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Create(buildParams(t, arch, 1), nil)
+	r.Create(buildParams(t, arch, 2), nil)
+	remap, err := r.Consolidate(arch, 0.999, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remap) != 0 || r.Len() != 2 {
+		t.Fatalf("independent inits should not merge: remap=%v len=%d", remap, r.Len())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	assign := map[int]int{0: 5, 1: 5, 2: 7}
+	snap := Snapshot(assign)
+	if snap[5] != 2 || snap[7] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestConsolidateMemoryGuardKeepsDistinctRegimes(t *testing.T) {
+	// Regression: a warm-started expert is parameter-identical to its
+	// parent but serves a different covariate regime (distant memory); the
+	// ε guard must keep it alive.
+	arch := []int{4, 8, 3}
+	r, err := NewRegistry(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildParams(t, arch, 1)
+	r.Create(p, tensor.Vector{0, 0})
+	clone := p.Clone()
+	clone[0] += 1e-9
+	r.Create(clone, tensor.Vector{10, 10}) // same params, far regime
+
+	remap, err := r.Consolidate(arch, 0.99, 1.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remap) != 0 || r.Len() != 2 {
+		t.Fatalf("memory guard failed: remap=%v len=%d", remap, r.Len())
+	}
+	// With the guard disabled (epsilon<=0) they merge.
+	remap, err = r.Consolidate(arch, 0.99, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remap) != 1 || r.Len() != 1 {
+		t.Fatalf("guardless consolidation should merge: remap=%v len=%d", remap, r.Len())
+	}
+}

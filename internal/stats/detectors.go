@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// DistributionDistance is a pluggable two-sample statistic over embedding
+// samples. The paper notes ShiftEx is detector-agnostic (§3.2: "the
+// framework itself is detector-agnostic and can readily accommodate
+// alternative choices"); this interface is that seam. All implementations
+// return larger values for more dissimilar samples and 0-ish values for
+// samples from the same distribution.
+type DistributionDistance interface {
+	// Distance computes the statistic between two samples.
+	Distance(xs, ys []tensor.Vector) (float64, error)
+	// Name identifies the detector in logs and configs.
+	Name() string
+}
+
+// MMDDistance is the default kernel MMD detector with median-heuristic
+// bandwidth.
+type MMDDistance struct{}
+
+var _ DistributionDistance = MMDDistance{}
+
+// Name implements DistributionDistance.
+func (MMDDistance) Name() string { return "mmd" }
+
+// Distance implements DistributionDistance.
+func (MMDDistance) Distance(xs, ys []tensor.Vector) (float64, error) {
+	return MMDAuto(xs, ys)
+}
+
+// EnergyDistance is the Székely-Rizzo energy statistic:
+//
+//	E(P,Q) = 2·E‖x−y‖ − E‖x−x'‖ − E‖y−y'‖
+//
+// Non-negative, zero iff P = Q; kernel-free, so there is no bandwidth to
+// tune.
+type EnergyDistance struct{}
+
+var _ DistributionDistance = EnergyDistance{}
+
+// Name implements DistributionDistance.
+func (EnergyDistance) Name() string { return "energy" }
+
+// Distance implements DistributionDistance.
+func (EnergyDistance) Distance(xs, ys []tensor.Vector) (float64, error) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 0, fmt.Errorf("energy: %w", ErrEmptySample)
+	}
+	var cross, withinX, withinY float64
+	for i := range xs {
+		for j := range ys {
+			cross += tensor.Distance(xs[i], ys[j])
+		}
+	}
+	for i := range xs {
+		for j := range xs {
+			withinX += tensor.Distance(xs[i], xs[j])
+		}
+	}
+	for i := range ys {
+		for j := range ys {
+			withinY += tensor.Distance(ys[i], ys[j])
+		}
+	}
+	m, n := float64(len(xs)), float64(len(ys))
+	e := 2*cross/(m*n) - withinX/(m*m) - withinY/(n*n)
+	if e < 0 {
+		e = 0
+	}
+	return e, nil
+}
+
+// KSDistance is a multivariate Kolmogorov-Smirnov surrogate: the maximum
+// over a set of random one-dimensional projections of the classical
+// two-sample KS statistic. Projections are fixed per detector instance so
+// repeated calls are comparable.
+type KSDistance struct {
+	projections []tensor.Vector
+}
+
+var _ DistributionDistance = (*KSDistance)(nil)
+
+// NewKSDistance builds a KS detector with the given number of random
+// projection directions for the given embedding dimensionality.
+func NewKSDistance(dim, numProjections int, rng *tensor.RNG) (*KSDistance, error) {
+	if dim <= 0 || numProjections <= 0 {
+		return nil, fmt.Errorf("stats: KS needs positive dim (%d) and projections (%d)", dim, numProjections)
+	}
+	out := &KSDistance{projections: make([]tensor.Vector, numProjections)}
+	for i := range out.projections {
+		v := rng.NormVec(dim, 0, 1)
+		n := v.Norm()
+		if n == 0 {
+			n = 1
+		}
+		v.Scale(1 / n)
+		out.projections[i] = v
+	}
+	return out, nil
+}
+
+// Name implements DistributionDistance.
+func (k *KSDistance) Name() string { return "ks" }
+
+// Distance implements DistributionDistance.
+func (k *KSDistance) Distance(xs, ys []tensor.Vector) (float64, error) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 0, fmt.Errorf("ks: %w", ErrEmptySample)
+	}
+	var worst float64
+	for _, proj := range k.projections {
+		px := make([]float64, len(xs))
+		py := make([]float64, len(ys))
+		for i, x := range xs {
+			d, err := x.Dot(proj)
+			if err != nil {
+				return 0, err
+			}
+			px[i] = d
+		}
+		for i, y := range ys {
+			d, err := y.Dot(proj)
+			if err != nil {
+				return 0, err
+			}
+			py[i] = d
+		}
+		if s := ksOneDim(px, py); s > worst {
+			worst = s
+		}
+	}
+	return worst, nil
+}
+
+// ksOneDim computes the classical two-sample KS statistic
+// sup_t |F_x(t) − F_y(t)|.
+func ksOneDim(xs, ys []float64) float64 {
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	var i, j int
+	var worst float64
+	for i < len(xs) && j < len(ys) {
+		var t float64
+		if xs[i] <= ys[j] {
+			t = xs[i]
+		} else {
+			t = ys[j]
+		}
+		for i < len(xs) && xs[i] <= t {
+			i++
+		}
+		for j < len(ys) && ys[j] <= t {
+			j++
+		}
+		fx := float64(i) / float64(len(xs))
+		fy := float64(j) / float64(len(ys))
+		if d := math.Abs(fx - fy); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// CalibrateThreshold estimates a (1-p)-quantile null threshold for an
+// arbitrary detector by repeatedly splitting a no-shift sample into halves
+// — the detector-agnostic generalization of CalibrateCovThreshold.
+func CalibrateThreshold(d DistributionDistance, sample []tensor.Vector, cfg CalibrateConfig, rng *tensor.RNG) (float64, error) {
+	if len(sample) < 4 {
+		return 0, fmt.Errorf("stats: need >=4 points to calibrate %s, have %d", d.Name(), len(sample))
+	}
+	if cfg.Resamples <= 0 {
+		return 0, fmt.Errorf("stats: resamples must be positive")
+	}
+	half := cfg.SplitSize
+	if half <= 0 || half > len(sample)/2 {
+		half = len(sample) / 2
+	}
+	nulls := make([]float64, 0, cfg.Resamples)
+	for i := 0; i < cfg.Resamples; i++ {
+		perm := rng.Perm(len(sample))
+		xs := make([]tensor.Vector, half)
+		ys := make([]tensor.Vector, half)
+		for j := 0; j < half; j++ {
+			xs[j] = sample[perm[j]]
+			ys[j] = sample[perm[half+j]]
+		}
+		v, err := d.Distance(xs, ys)
+		if err != nil {
+			return 0, fmt.Errorf("calibrate %s: %w", d.Name(), err)
+		}
+		nulls = append(nulls, v)
+	}
+	p := cfg.PValue
+	if p <= 0 {
+		p = 0.05
+	}
+	return Quantile(nulls, 1-p), nil
+}

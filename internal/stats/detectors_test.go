@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func allDetectors(t *testing.T) []DistributionDistance {
+	t.Helper()
+	ks, err := NewKSDistance(4, 8, tensor.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []DistributionDistance{MMDDistance{}, EnergyDistance{}, ks}
+}
+
+func TestDetectorNames(t *testing.T) {
+	want := map[string]bool{"mmd": true, "energy": true, "ks": true}
+	for _, d := range allDetectors(t) {
+		if !want[d.Name()] {
+			t.Fatalf("unexpected detector name %q", d.Name())
+		}
+	}
+}
+
+func TestDetectorsSeparateShiftedSamples(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	same1 := gaussianSample(rng, 60, 4, 0, 1)
+	same2 := gaussianSample(rng, 60, 4, 0, 1)
+	far := gaussianSample(rng, 60, 4, 3, 1)
+	for _, d := range allDetectors(t) {
+		null, err := d.Distance(same1, same2)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		shifted, err := d.Distance(same1, far)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if shifted <= null {
+			t.Fatalf("%s: shifted %g should exceed null %g", d.Name(), shifted, null)
+		}
+		if shifted <= 2*null {
+			t.Fatalf("%s: weak separation: shifted %g vs null %g", d.Name(), shifted, null)
+		}
+	}
+}
+
+func TestDetectorsEmptySample(t *testing.T) {
+	for _, d := range allDetectors(t) {
+		if _, err := d.Distance(nil, nil); err == nil {
+			t.Fatalf("%s: empty samples should error", d.Name())
+		}
+	}
+}
+
+func TestEnergyDistanceProperties(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	xs := gaussianSample(rng, 30, 3, 0, 1)
+	ys := gaussianSample(rng, 25, 3, 1, 2)
+	var e EnergyDistance
+	a, err := e.Distance(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Distance(ys, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, b, 1e-9) {
+		t.Fatalf("energy not symmetric: %g vs %g", a, b)
+	}
+	self, err := e.Distance(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self > 1e-9 {
+		t.Fatalf("energy self distance = %g", self)
+	}
+}
+
+func TestNewKSDistanceValidation(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	if _, err := NewKSDistance(0, 4, rng); err == nil {
+		t.Fatal("dim=0 should error")
+	}
+	if _, err := NewKSDistance(4, 0, rng); err == nil {
+		t.Fatal("projections=0 should error")
+	}
+}
+
+func TestKSOneDim(t *testing.T) {
+	// Identical samples: statistic 0.
+	if s := ksOneDim([]float64{1, 2, 3}, []float64{1, 2, 3}); s != 0 {
+		t.Fatalf("identical KS = %g", s)
+	}
+	// Disjoint samples: statistic 1.
+	if s := ksOneDim([]float64{1, 2}, []float64{10, 11}); s != 1 {
+		t.Fatalf("disjoint KS = %g", s)
+	}
+	// Interleaved: intermediate.
+	s := ksOneDim([]float64{1, 3, 5}, []float64{2, 4, 6})
+	if s <= 0 || s >= 1 {
+		t.Fatalf("interleaved KS = %g", s)
+	}
+}
+
+func TestKSDimensionMismatch(t *testing.T) {
+	ks, err := NewKSDistance(3, 4, tensor.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []tensor.Vector{{1, 2}} // wrong dim
+	ys := []tensor.Vector{{1, 2, 3}}
+	if _, err := ks.Distance(xs, ys); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+}
+
+func TestCalibrateThresholdAgnostic(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	sample := gaussianSample(rng, 80, 4, 0, 1)
+	for _, d := range allDetectors(t) {
+		if d.Name() == "ks" {
+			// Rebuild KS with matching dim.
+			var err error
+			d, err = NewKSDistance(4, 8, tensor.NewRNG(6))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		delta, err := CalibrateThreshold(d, sample, DefaultCalibrateConfig(), rng)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if delta <= 0 {
+			t.Fatalf("%s: threshold = %g", d.Name(), delta)
+		}
+		// A real shift must exceed the calibrated threshold.
+		shifted := gaussianSample(rng, 40, 4, 3, 1)
+		v, err := d.Distance(sample[:40], shifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= delta {
+			t.Fatalf("%s: shift %g below threshold %g", d.Name(), v, delta)
+		}
+	}
+}
+
+func TestCalibrateThresholdErrors(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	var e EnergyDistance
+	if _, err := CalibrateThreshold(e, gaussianSample(rng, 2, 2, 0, 1), DefaultCalibrateConfig(), rng); err == nil {
+		t.Fatal("tiny sample should error")
+	}
+	cfg := DefaultCalibrateConfig()
+	cfg.Resamples = 0
+	if _, err := CalibrateThreshold(e, gaussianSample(rng, 10, 2, 0, 1), cfg, rng); err == nil {
+		t.Fatal("zero resamples should error")
+	}
+}
+
+func TestPropertyEnergyNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		xs := gaussianSample(rng, 10, 3, rng.Norm(), 1)
+		ys := gaussianSample(rng, 12, 3, rng.Norm(), 1)
+		var e EnergyDistance
+		v, err := e.Distance(xs, ys)
+		return err == nil && v >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyKSBounded(t *testing.T) {
+	ks, err := NewKSDistance(3, 6, tensor.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		xs := gaussianSample(rng, 15, 3, 0, 1)
+		ys := gaussianSample(rng, 15, 3, rng.Norm()*2, 1)
+		v, err := ks.Distance(xs, ys)
+		return err == nil && v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

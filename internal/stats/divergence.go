@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Histogram is a normalized discrete distribution over class labels.
+type Histogram tensor.Vector
+
+// NewHistogram builds a normalized label histogram over numClasses from raw
+// labels. Labels outside [0, numClasses) are ignored. An empty label set
+// yields the uniform distribution so downstream divergences stay finite.
+func NewHistogram(labels []int, numClasses int) Histogram {
+	h := make(Histogram, numClasses)
+	var total float64
+	for _, l := range labels {
+		if l >= 0 && l < numClasses {
+			h[l]++
+			total++
+		}
+	}
+	if total == 0 {
+		for i := range h {
+			h[i] = 1 / float64(numClasses)
+		}
+		return h
+	}
+	for i := range h {
+		h[i] /= total
+	}
+	return h
+}
+
+// Normalize scales h so it sums to one; an all-zero histogram becomes
+// uniform.
+func (h Histogram) Normalize() Histogram {
+	out := make(Histogram, len(h))
+	var total float64
+	for _, v := range h {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i, v := range h {
+		if v > 0 {
+			out[i] = v / total
+		}
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy of h in nats.
+func (h Histogram) Entropy() float64 {
+	var e float64
+	for _, p := range h {
+		if p > 0 {
+			e -= p * math.Log(p)
+		}
+	}
+	return e
+}
+
+// KL returns the Kullback-Leibler divergence D(p||q) in nats. It returns
+// +Inf when q has zero mass where p does not, and an error when the supports
+// differ in size.
+func KL(p, q Histogram) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("kl: %w: %d vs %d", tensor.ErrShape, len(p), len(q))
+	}
+	var d float64
+	for i, pi := range p {
+		if pi <= 0 {
+			continue
+		}
+		if q[i] <= 0 {
+			return math.Inf(1), nil
+		}
+		d += pi * math.Log(pi/q[i])
+	}
+	return d, nil
+}
+
+// JSD returns the Jensen-Shannon divergence between p and q in nats:
+//
+//	JSD(p||q) = ½ D(p||m) + ½ D(q||m),  m = ½(p+q)
+//
+// JSD is symmetric and bounded in [0, ln 2].
+func JSD(p, q Histogram) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("jsd: %w: %d vs %d", tensor.ErrShape, len(p), len(q))
+	}
+	if len(p) == 0 {
+		return 0, ErrEmptySample
+	}
+	m := make(Histogram, len(p))
+	for i := range p {
+		m[i] = 0.5 * (p[i] + q[i])
+	}
+	dpm, err := KL(p, m)
+	if err != nil {
+		return 0, err
+	}
+	dqm, err := KL(q, m)
+	if err != nil {
+		return 0, err
+	}
+	j := 0.5*dpm + 0.5*dqm
+	// Clamp numerical noise into the theoretical range.
+	if j < 0 {
+		j = 0
+	}
+	if j > math.Ln2 {
+		j = math.Ln2
+	}
+	return j, nil
+}
+
+// MergeHistograms returns the sample-size-weighted mixture of histograms,
+// used to compute an expert cohort's aggregate label distribution (the y_k
+// term in Eq. 2).
+func MergeHistograms(hs []Histogram, counts []int) (Histogram, error) {
+	if len(hs) == 0 {
+		return nil, ErrEmptySample
+	}
+	if len(hs) != len(counts) {
+		return nil, fmt.Errorf("merge: %w: %d histograms vs %d counts", tensor.ErrShape, len(hs), len(counts))
+	}
+	n := len(hs[0])
+	out := make(Histogram, n)
+	var total float64
+	for j, h := range hs {
+		if len(h) != n {
+			return nil, fmt.Errorf("merge: %w: %d vs %d", tensor.ErrShape, len(h), n)
+		}
+		w := float64(counts[j])
+		if w < 0 {
+			return nil, fmt.Errorf("stats: negative count %d", counts[j])
+		}
+		total += w
+		for i, p := range h {
+			out[i] += w * p
+		}
+	}
+	if total == 0 {
+		return Histogram(tensor.Vector(out)).Normalize(), nil
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out, nil
+}
+
+// Uniform returns the uniform histogram over n classes.
+func Uniform(n int) Histogram {
+	h := make(Histogram, n)
+	for i := range h {
+		h[i] = 1 / float64(n)
+	}
+	return h
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewHistogram(t *testing.T) {
+	tests := []struct {
+		name   string
+		labels []int
+		n      int
+		want   Histogram
+	}{
+		{name: "basic", labels: []int{0, 0, 1, 2}, n: 3, want: Histogram{0.5, 0.25, 0.25}},
+		{name: "out of range ignored", labels: []int{0, 7, -1}, n: 2, want: Histogram{1, 0}},
+		{name: "empty is uniform", labels: nil, n: 4, want: Histogram{0.25, 0.25, 0.25, 0.25}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := NewHistogram(tt.labels, tt.n)
+			if len(got) != len(tt.want) {
+				t.Fatalf("len = %d", len(got))
+			}
+			for i := range got {
+				if !almostEqual(got[i], tt.want[i], 1e-12) {
+					t.Fatalf("hist = %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramNormalize(t *testing.T) {
+	h := Histogram{2, 0, 6}.Normalize()
+	if !almostEqual(h[0], 0.25, 1e-12) || !almostEqual(h[2], 0.75, 1e-12) {
+		t.Fatalf("normalize = %v", h)
+	}
+	z := Histogram{0, 0}.Normalize()
+	if !almostEqual(z[0], 0.5, 1e-12) {
+		t.Fatalf("zero normalize = %v", z)
+	}
+	// Negative entries are treated as zero mass.
+	n := Histogram{-1, 1}.Normalize()
+	if n[0] != 0 || !almostEqual(n[1], 1, 1e-12) {
+		t.Fatalf("negative normalize = %v", n)
+	}
+}
+
+func TestKL(t *testing.T) {
+	p := Histogram{0.5, 0.5}
+	q := Histogram{0.9, 0.1}
+	d, err := KL(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*math.Log(0.5/0.9) + 0.5*math.Log(0.5/0.1)
+	if !almostEqual(d, want, 1e-12) {
+		t.Fatalf("kl = %g, want %g", d, want)
+	}
+	inf, err := KL(Histogram{1, 0}, Histogram{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(inf, 1) {
+		t.Fatalf("disjoint KL = %g, want +Inf", inf)
+	}
+	if _, err := KL(Histogram{1}, Histogram{0.5, 0.5}); err == nil {
+		t.Fatal("expected shape error")
+	}
+	self, err := KL(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(self, 0, 1e-12) {
+		t.Fatalf("KL(p||p) = %g", self)
+	}
+}
+
+func TestJSDProperties(t *testing.T) {
+	p := Histogram{0.7, 0.2, 0.1}
+	q := Histogram{0.1, 0.3, 0.6}
+	a, err := JSD(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JSD(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, b, 1e-12) {
+		t.Fatalf("JSD not symmetric: %g vs %g", a, b)
+	}
+	self, err := JSD(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(self, 0, 1e-12) {
+		t.Fatalf("JSD(p||p) = %g", self)
+	}
+	disjoint, err := JSD(Histogram{1, 0}, Histogram{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(disjoint, math.Ln2, 1e-9) {
+		t.Fatalf("disjoint JSD = %g, want ln2", disjoint)
+	}
+	if _, err := JSD(Histogram{}, Histogram{}); !errors.Is(err, ErrEmptySample) {
+		t.Fatalf("empty JSD error = %v", err)
+	}
+	if _, err := JSD(Histogram{1}, Histogram{0.5, 0.5}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestPropertyJSDBoundedSymmetric(t *testing.T) {
+	f := func(a, b [5]float64) bool {
+		p := make(Histogram, 5)
+		q := make(Histogram, 5)
+		for i := 0; i < 5; i++ {
+			p[i] = math.Abs(math.Mod(a[i], 100))
+			q[i] = math.Abs(math.Mod(b[i], 100))
+			if math.IsNaN(p[i]) {
+				p[i] = 0
+			}
+			if math.IsNaN(q[i]) {
+				q[i] = 0
+			}
+		}
+		p = p.Normalize()
+		q = q.Normalize()
+		x, err := JSD(p, q)
+		if err != nil {
+			return false
+		}
+		y, err := JSD(q, p)
+		if err != nil {
+			return false
+		}
+		return x >= 0 && x <= math.Ln2+1e-9 && almostEqual(x, y, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if e := Uniform(4).Entropy(); !almostEqual(e, math.Log(4), 1e-12) {
+		t.Fatalf("uniform entropy = %g", e)
+	}
+	if e := (Histogram{1, 0}).Entropy(); !almostEqual(e, 0, 1e-12) {
+		t.Fatalf("point-mass entropy = %g", e)
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	h1 := Histogram{1, 0}
+	h2 := Histogram{0, 1}
+	m, err := MergeHistograms([]Histogram{h1, h2}, []int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m[0], 0.75, 1e-12) || !almostEqual(m[1], 0.25, 1e-12) {
+		t.Fatalf("merge = %v", m)
+	}
+	if _, err := MergeHistograms(nil, nil); !errors.Is(err, ErrEmptySample) {
+		t.Fatalf("empty merge error = %v", err)
+	}
+	if _, err := MergeHistograms([]Histogram{h1}, []int{1, 2}); err == nil {
+		t.Fatal("expected count mismatch error")
+	}
+	if _, err := MergeHistograms([]Histogram{h1, {1}}, []int{1, 1}); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("shape mismatch error = %v", err)
+	}
+	if _, err := MergeHistograms([]Histogram{h1}, []int{-1}); err == nil {
+		t.Fatal("expected negative count error")
+	}
+	// Zero total count degrades to uniform.
+	u, err := MergeHistograms([]Histogram{h1, h2}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(u[0], 0.5, 1e-12) {
+		t.Fatalf("zero-count merge = %v", u)
+	}
+}

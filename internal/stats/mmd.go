@@ -1,0 +1,148 @@
+// Package stats implements the statistical machinery ShiftEx uses for shift
+// detection: kernel Maximum Mean Discrepancy over embedding samples
+// (covariate shift, §4.2 of the paper), Jensen-Shannon divergence over label
+// histograms (label shift, §4.3), and bootstrap calibration of the detection
+// thresholds δ_cov and δ_label from null distributions (§5).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// ErrEmptySample indicates an MMD/JSD computation over an empty sample.
+var ErrEmptySample = errors.New("stats: empty sample")
+
+// RBFKernel is the Gaussian radial basis function kernel
+// k(x,y) = exp(-gamma * ||x-y||²) used inside MMD.
+type RBFKernel struct {
+	Gamma float64
+}
+
+// Eval evaluates the kernel on a pair of points.
+func (k RBFKernel) Eval(x, y tensor.Vector) float64 {
+	return math.Exp(-k.Gamma * tensor.SquaredDistance(x, y))
+}
+
+// MedianHeuristicGamma returns gamma = 1/(2·median²) where the median is
+// taken over pairwise distances of the pooled sample — the standard
+// bandwidth choice for kernel two-sample tests. It returns a fallback of 1
+// when the pooled sample is degenerate (fewer than two points, or all points
+// identical).
+func MedianHeuristicGamma(xs, ys []tensor.Vector) float64 {
+	pool := make([]tensor.Vector, 0, len(xs)+len(ys))
+	pool = append(pool, xs...)
+	pool = append(pool, ys...)
+	if len(pool) < 2 {
+		return 1
+	}
+	// Cap the number of pairs to keep calibration cheap on large windows.
+	const maxPoints = 256
+	if len(pool) > maxPoints {
+		pool = pool[:maxPoints]
+	}
+	dists := make([]float64, 0, len(pool)*(len(pool)-1)/2)
+	for i := 0; i < len(pool); i++ {
+		for j := i + 1; j < len(pool); j++ {
+			d := tensor.Distance(pool[i], pool[j])
+			if !math.IsNaN(d) && d > 0 {
+				dists = append(dists, d)
+			}
+		}
+	}
+	if len(dists) == 0 {
+		return 1
+	}
+	sort.Float64s(dists)
+	median := dists[len(dists)/2]
+	if median == 0 {
+		return 1
+	}
+	return 1 / (2 * median * median)
+}
+
+// MMD computes the biased V-statistic estimate of squared Maximum Mean
+// Discrepancy between the samples xs ~ P and ys ~ Q under kernel k:
+//
+//	MMD²(P,Q) = E[k(x,x')] + E[k(y,y')] - 2E[k(x,y)]
+//
+// The biased estimator is always non-negative, which suits thresholding.
+func MMD(xs, ys []tensor.Vector, k RBFKernel) (float64, error) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 0, fmt.Errorf("mmd: %w", ErrEmptySample)
+	}
+	var kxx, kyy, kxy float64
+	for i := range xs {
+		for j := range xs {
+			kxx += k.Eval(xs[i], xs[j])
+		}
+	}
+	for i := range ys {
+		for j := range ys {
+			kyy += k.Eval(ys[i], ys[j])
+		}
+	}
+	for i := range xs {
+		for j := range ys {
+			kxy += k.Eval(xs[i], ys[j])
+		}
+	}
+	m, n := float64(len(xs)), float64(len(ys))
+	v := kxx/(m*m) + kyy/(n*n) - 2*kxy/(m*n)
+	if v < 0 {
+		v = 0 // numerical noise
+	}
+	return v, nil
+}
+
+// MMDUnbiased computes the unbiased U-statistic estimate of MMD², which
+// excludes diagonal terms. It may be negative for close distributions and
+// requires at least two points per sample.
+func MMDUnbiased(xs, ys []tensor.Vector, k RBFKernel) (float64, error) {
+	if len(xs) < 2 || len(ys) < 2 {
+		return 0, fmt.Errorf("mmd unbiased: need >=2 points per sample: %w", ErrEmptySample)
+	}
+	var kxx, kyy, kxy float64
+	for i := range xs {
+		for j := range xs {
+			if i != j {
+				kxx += k.Eval(xs[i], xs[j])
+			}
+		}
+	}
+	for i := range ys {
+		for j := range ys {
+			if i != j {
+				kyy += k.Eval(ys[i], ys[j])
+			}
+		}
+	}
+	for i := range xs {
+		for j := range ys {
+			kxy += k.Eval(xs[i], ys[j])
+		}
+	}
+	m, n := float64(len(xs)), float64(len(ys))
+	return kxx/(m*(m-1)) + kyy/(n*(n-1)) - 2*kxy/(m*n), nil
+}
+
+// MMDAuto computes biased MMD² with a median-heuristic bandwidth.
+func MMDAuto(xs, ys []tensor.Vector) (float64, error) {
+	return MMD(xs, ys, RBFKernel{Gamma: MedianHeuristicGamma(xs, ys)})
+}
+
+// MeanEmbeddingMMD approximates MMD using only the sample means — the
+// linear-kernel special case exp(-γ||μ_P - μ_Q||²) inverted to a distance.
+// ShiftEx uses this cheap form when matching cluster centroids against the
+// latent memory, where only aggregate embeddings are available (§5.2.2).
+func MeanEmbeddingMMD(muP, muQ tensor.Vector) float64 {
+	d := tensor.SquaredDistance(muP, muQ)
+	if math.IsNaN(d) {
+		return math.Inf(1)
+	}
+	return d
+}

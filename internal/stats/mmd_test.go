@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func gaussianSample(rng *tensor.RNG, n, dim int, mu, sigma float64) []tensor.Vector {
+	out := make([]tensor.Vector, n)
+	for i := range out {
+		out[i] = rng.NormVec(dim, mu, sigma)
+	}
+	return out
+}
+
+func TestMMDIdenticalSamplesNearZero(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	xs := gaussianSample(rng, 50, 4, 0, 1)
+	v, err := MMDAuto(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 1e-9 {
+		t.Fatalf("MMD(X,X) = %g, want ~0", v)
+	}
+}
+
+func TestMMDSeparatesShiftedDistributions(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	xs := gaussianSample(rng, 60, 4, 0, 1)
+	near := gaussianSample(rng, 60, 4, 0.1, 1)
+	far := gaussianSample(rng, 60, 4, 3, 1)
+
+	vNear, err := MMDAuto(xs, near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vFar, err := MMDAuto(xs, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vFar <= vNear {
+		t.Fatalf("MMD should grow with shift: near=%g far=%g", vNear, vFar)
+	}
+	if vFar < 0.1 {
+		t.Fatalf("large shift should produce large MMD, got %g", vFar)
+	}
+}
+
+func TestMMDSymmetry(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	xs := gaussianSample(rng, 20, 3, 0, 1)
+	ys := gaussianSample(rng, 25, 3, 1, 2)
+	k := RBFKernel{Gamma: 0.5}
+	a, err := MMD(xs, ys, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MMD(ys, xs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("MMD not symmetric: %g vs %g", a, b)
+	}
+}
+
+func TestMMDEmptySample(t *testing.T) {
+	if _, err := MMD(nil, nil, RBFKernel{Gamma: 1}); !errors.Is(err, ErrEmptySample) {
+		t.Fatalf("want ErrEmptySample, got %v", err)
+	}
+	if _, err := MMDUnbiased([]tensor.Vector{{1}}, []tensor.Vector{{1}, {2}}, RBFKernel{Gamma: 1}); !errors.Is(err, ErrEmptySample) {
+		t.Fatalf("want ErrEmptySample for unbiased with n<2, got %v", err)
+	}
+}
+
+func TestMMDUnbiasedTracksBiased(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	xs := gaussianSample(rng, 40, 3, 0, 1)
+	ys := gaussianSample(rng, 40, 3, 2, 1)
+	k := RBFKernel{Gamma: MedianHeuristicGamma(xs, ys)}
+	b, err := MMD(xs, ys, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := MMDUnbiased(xs, ys, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-u) > 0.1 {
+		t.Fatalf("biased %g and unbiased %g estimates diverge too much", b, u)
+	}
+}
+
+func TestMedianHeuristicGamma(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	xs := gaussianSample(rng, 30, 4, 0, 1)
+	g := MedianHeuristicGamma(xs, nil)
+	if g <= 0 || math.IsInf(g, 0) || math.IsNaN(g) {
+		t.Fatalf("gamma = %g", g)
+	}
+	// Degenerate cases fall back to 1.
+	if g := MedianHeuristicGamma(nil, nil); g != 1 {
+		t.Fatalf("empty gamma = %g, want 1", g)
+	}
+	same := []tensor.Vector{{1, 1}, {1, 1}, {1, 1}}
+	if g := MedianHeuristicGamma(same, nil); g != 1 {
+		t.Fatalf("identical-points gamma = %g, want 1", g)
+	}
+}
+
+func TestMeanEmbeddingMMD(t *testing.T) {
+	if d := MeanEmbeddingMMD(tensor.Vector{0, 0}, tensor.Vector{3, 4}); !almostEqual(d, 25, 1e-12) {
+		t.Fatalf("mean-embedding MMD = %g, want 25", d)
+	}
+	if d := MeanEmbeddingMMD(tensor.Vector{1}, tensor.Vector{1, 2}); !math.IsInf(d, 1) {
+		t.Fatalf("shape mismatch should be +Inf, got %g", d)
+	}
+}
+
+func TestPropertyMMDNonNegativeAndIdentity(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	f := func(seed uint64, shiftRaw float64) bool {
+		r := tensor.NewRNG(seed)
+		shift := math.Mod(math.Abs(shiftRaw), 5)
+		if math.IsNaN(shift) {
+			shift = 0
+		}
+		xs := gaussianSample(r, 15, 3, 0, 1)
+		ys := gaussianSample(r, 15, 3, shift, 1)
+		k := RBFKernel{Gamma: MedianHeuristicGamma(xs, ys)}
+		v, err := MMD(xs, ys, k)
+		if err != nil {
+			return false
+		}
+		if v < 0 {
+			return false
+		}
+		self, err := MMD(xs, xs, k)
+		if err != nil {
+			return false
+		}
+		return self <= 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: nil}
+	_ = rng
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Thresholds holds the calibrated shift-detection thresholds used by the
+// aggregator: a party whose window-over-window MMD exceeds DeltaCov is
+// flagged as covariate-shifted, and one whose JSD exceeds DeltaLabel as
+// label-shifted (§5 of the paper).
+type Thresholds struct {
+	DeltaCov   float64 `json:"deltaCov"`
+	DeltaLabel float64 `json:"deltaLabel"`
+}
+
+// CalibrateConfig controls bootstrap threshold calibration.
+type CalibrateConfig struct {
+	// Resamples is the number of bootstrap splits of the null sample.
+	Resamples int
+	// PValue is the upper-tail probability; the threshold is the
+	// (1-PValue) quantile of the null statistic distribution.
+	PValue float64
+	// SplitSize is the per-half sample size for each bootstrap split; 0
+	// means half the provided sample.
+	SplitSize int
+}
+
+// DefaultCalibrateConfig mirrors the paper's bootstrap protocol: thresholds
+// are the 95th percentile of the no-shift null distribution.
+func DefaultCalibrateConfig() CalibrateConfig {
+	return CalibrateConfig{Resamples: 100, PValue: 0.05}
+}
+
+// CalibrateCovThreshold estimates δ_cov by repeatedly splitting a no-shift
+// embedding sample into two pseudo-windows and recording the MMD between
+// them; δ_cov is the (1-p) quantile of those null MMD values.
+func CalibrateCovThreshold(embeddings []tensor.Vector, cfg CalibrateConfig, rng *tensor.RNG) (float64, error) {
+	if len(embeddings) < 4 {
+		return 0, fmt.Errorf("stats: need >=4 embeddings to calibrate, have %d", len(embeddings))
+	}
+	if cfg.Resamples <= 0 {
+		return 0, errors.New("stats: resamples must be positive")
+	}
+	half := cfg.SplitSize
+	if half <= 0 || half > len(embeddings)/2 {
+		half = len(embeddings) / 2
+	}
+	gamma := MedianHeuristicGamma(embeddings, nil)
+	k := RBFKernel{Gamma: gamma}
+	nulls := make([]float64, 0, cfg.Resamples)
+	for i := 0; i < cfg.Resamples; i++ {
+		perm := rng.Perm(len(embeddings))
+		xs := make([]tensor.Vector, half)
+		ys := make([]tensor.Vector, half)
+		for j := 0; j < half; j++ {
+			xs[j] = embeddings[perm[j]]
+			ys[j] = embeddings[perm[half+j]]
+		}
+		v, err := MMD(xs, ys, k)
+		if err != nil {
+			return 0, fmt.Errorf("calibrate cov: %w", err)
+		}
+		nulls = append(nulls, v)
+	}
+	return Quantile(nulls, 1-cfg.PValue), nil
+}
+
+// CalibrateLabelThreshold estimates δ_label from null JSD statistics between
+// bootstrap-resampled label histograms of a stable window.
+func CalibrateLabelThreshold(labels []int, numClasses int, cfg CalibrateConfig, rng *tensor.RNG) (float64, error) {
+	if len(labels) < 4 {
+		return 0, fmt.Errorf("stats: need >=4 labels to calibrate, have %d", len(labels))
+	}
+	if cfg.Resamples <= 0 {
+		return 0, errors.New("stats: resamples must be positive")
+	}
+	half := cfg.SplitSize
+	if half <= 0 || half > len(labels)/2 {
+		half = len(labels) / 2
+	}
+	nulls := make([]float64, 0, cfg.Resamples)
+	a := make([]int, half)
+	b := make([]int, half)
+	for i := 0; i < cfg.Resamples; i++ {
+		perm := rng.Perm(len(labels))
+		for j := 0; j < half; j++ {
+			a[j] = labels[perm[j]]
+			b[j] = labels[perm[half+j]]
+		}
+		j, err := JSD(NewHistogram(a, numClasses), NewHistogram(b, numClasses))
+		if err != nil {
+			return 0, fmt.Errorf("calibrate label: %w", err)
+		}
+		nulls = append(nulls, j)
+	}
+	return Quantile(nulls, 1-cfg.PValue), nil
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs using nearest-rank on a
+// sorted copy. An empty input yields NaN.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// Welford accumulates a running mean and variance in a single pass.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds a new observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with <2 observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestCalibrateCovThreshold(t *testing.T) {
+	rng := tensor.NewRNG(100)
+	stable := gaussianSample(rng, 80, 4, 0, 1)
+	delta, err := CalibrateCovThreshold(stable, DefaultCalibrateConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta <= 0 {
+		t.Fatalf("delta_cov = %g, want > 0", delta)
+	}
+
+	// A genuine shift must exceed the calibrated threshold.
+	shifted := gaussianSample(rng, 40, 4, 3, 1)
+	gamma := MedianHeuristicGamma(stable, nil)
+	v, err := MMD(stable[:40], shifted, RBFKernel{Gamma: gamma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= delta {
+		t.Fatalf("shifted MMD %g should exceed threshold %g", v, delta)
+	}
+
+	// A null split must usually stay below: verify with a fresh split.
+	a := gaussianSample(rng, 40, 4, 0, 1)
+	b := gaussianSample(rng, 40, 4, 0, 1)
+	vNull, err := MMD(a, b, RBFKernel{Gamma: gamma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vNull > delta*3 {
+		t.Fatalf("null MMD %g far exceeds threshold %g", vNull, delta)
+	}
+}
+
+func TestCalibrateCovThresholdErrors(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	if _, err := CalibrateCovThreshold(gaussianSample(rng, 2, 2, 0, 1), DefaultCalibrateConfig(), rng); err == nil {
+		t.Fatal("expected error for tiny sample")
+	}
+	cfg := DefaultCalibrateConfig()
+	cfg.Resamples = 0
+	if _, err := CalibrateCovThreshold(gaussianSample(rng, 10, 2, 0, 1), cfg, rng); err == nil {
+		t.Fatal("expected error for zero resamples")
+	}
+}
+
+func TestCalibrateLabelThreshold(t *testing.T) {
+	rng := tensor.NewRNG(200)
+	labels := make([]int, 400)
+	for i := range labels {
+		labels[i] = rng.Intn(10)
+	}
+	delta, err := CalibrateLabelThreshold(labels, 10, DefaultCalibrateConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta <= 0 || delta > math.Ln2 {
+		t.Fatalf("delta_label = %g out of (0, ln2]", delta)
+	}
+
+	// A strongly skewed window should exceed the threshold.
+	skewed := make([]int, 400)
+	for i := range skewed {
+		skewed[i] = rng.Intn(2) // only classes 0,1
+	}
+	j, err := JSD(NewHistogram(labels, 10), NewHistogram(skewed, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j <= delta {
+		t.Fatalf("skewed JSD %g should exceed threshold %g", j, delta)
+	}
+}
+
+func TestCalibrateLabelThresholdErrors(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	if _, err := CalibrateLabelThreshold([]int{1, 2}, 3, DefaultCalibrateConfig(), rng); err == nil {
+		t.Fatal("expected error for tiny sample")
+	}
+	cfg := DefaultCalibrateConfig()
+	cfg.Resamples = -1
+	if _, err := CalibrateLabelThreshold([]int{1, 2, 3, 4, 5}, 6, cfg, rng); err == nil {
+		t.Fatal("expected error for negative resamples")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 3}, {0.8, 4}, {1, 5}, {1.5, 5}, {-1, 1},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); got != tt.want {
+			t.Fatalf("Quantile(%g) = %g, want %g", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("zero-value Welford should report 0")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %g", w.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if !almostEqual(w.Variance(), 32.0/7.0, 1e-9) {
+		t.Fatalf("variance = %g", w.Variance())
+	}
+	if !almostEqual(w.StdDev(), math.Sqrt(32.0/7.0), 1e-9) {
+		t.Fatalf("stddev = %g", w.StdDev())
+	}
+}

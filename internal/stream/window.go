@@ -1,0 +1,209 @@
+// Package stream implements the windowed stream-processing substrate that
+// each ShiftEx party runs over its incoming data (§2 and §4 of the paper;
+// the paper deploys Kafka/Flink — this package provides the equivalent
+// tumbling- and sliding-window semantics in-process).
+//
+// A Windower consumes timestamped records and emits completed windows; the
+// party-side shift detector then compares consecutive windows.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Record is one timestamped observation in a party's stream.
+type Record struct {
+	Example   dataset.Example
+	Timestamp time.Time
+}
+
+// Window is a completed batch of records covering [Start, End).
+type Window struct {
+	Start, End time.Time
+	Records    []Record
+}
+
+// Examples extracts the window's examples.
+func (w *Window) Examples() []dataset.Example {
+	out := make([]dataset.Example, len(w.Records))
+	for i, r := range w.Records {
+		out[i] = r.Example
+	}
+	return out
+}
+
+// ErrOutOfOrder is returned when a record arrives with a timestamp earlier
+// than data already finalized into an emitted window.
+var ErrOutOfOrder = errors.New("stream: record older than emitted watermark")
+
+// Windower segments a stream of records into windows.
+type Windower interface {
+	// Offer adds a record and returns any windows completed by its
+	// arrival (possibly none).
+	Offer(r Record) ([]Window, error)
+	// Flush closes and returns the currently open window(s).
+	Flush() []Window
+}
+
+// Tumbling emits fixed-size, non-overlapping windows — the configuration the
+// paper uses for FMoW and Tiny-ImageNet-C.
+type Tumbling struct {
+	size      time.Duration
+	start     time.Time
+	started   bool
+	watermark time.Time
+	buf       []Record
+}
+
+var _ Windower = (*Tumbling)(nil)
+
+// NewTumbling returns a tumbling windower with the given window size.
+func NewTumbling(size time.Duration) (*Tumbling, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("stream: tumbling size must be positive, got %v", size)
+	}
+	return &Tumbling{size: size}, nil
+}
+
+// Offer implements Windower.
+func (t *Tumbling) Offer(r Record) ([]Window, error) {
+	if !t.started {
+		t.start = r.Timestamp
+		t.started = true
+	}
+	if r.Timestamp.Before(t.watermark) {
+		return nil, fmt.Errorf("%w: %v < %v", ErrOutOfOrder, r.Timestamp, t.watermark)
+	}
+	var out []Window
+	for !r.Timestamp.Before(t.start.Add(t.size)) {
+		out = append(out, Window{Start: t.start, End: t.start.Add(t.size), Records: t.buf})
+		t.buf = nil
+		t.start = t.start.Add(t.size)
+		t.watermark = t.start
+	}
+	t.buf = append(t.buf, r)
+	return out, nil
+}
+
+// Flush implements Windower.
+func (t *Tumbling) Flush() []Window {
+	if !t.started || len(t.buf) == 0 {
+		return nil
+	}
+	w := Window{Start: t.start, End: t.start.Add(t.size), Records: t.buf}
+	t.buf = nil
+	t.watermark = w.End
+	return []Window{w}
+}
+
+// Sliding emits overlapping windows of the given size every step — the
+// configuration the paper uses for CIFAR-10-C, FEMNIST, and Fashion-MNIST.
+type Sliding struct {
+	size, step time.Duration
+	start      time.Time
+	started    bool
+	watermark  time.Time
+	buf        []Record // all records still inside some open window
+}
+
+var _ Windower = (*Sliding)(nil)
+
+// NewSliding returns a sliding windower. step must not exceed size.
+func NewSliding(size, step time.Duration) (*Sliding, error) {
+	if size <= 0 || step <= 0 {
+		return nil, fmt.Errorf("stream: size and step must be positive, got %v/%v", size, step)
+	}
+	if step > size {
+		return nil, fmt.Errorf("stream: step %v exceeds size %v", step, size)
+	}
+	return &Sliding{size: size, step: step}, nil
+}
+
+// Offer implements Windower.
+func (s *Sliding) Offer(r Record) ([]Window, error) {
+	if !s.started {
+		s.start = r.Timestamp
+		s.started = true
+	}
+	if r.Timestamp.Before(s.watermark) {
+		return nil, fmt.Errorf("%w: %v < %v", ErrOutOfOrder, r.Timestamp, s.watermark)
+	}
+	var out []Window
+	// Emit every window whose end has passed.
+	for !r.Timestamp.Before(s.start.Add(s.size)) {
+		out = append(out, s.snapshot())
+		s.advance()
+	}
+	s.buf = append(s.buf, r)
+	return out, nil
+}
+
+// snapshot builds the window beginning at s.start from buffered records.
+func (s *Sliding) snapshot() Window {
+	end := s.start.Add(s.size)
+	w := Window{Start: s.start, End: end}
+	for _, r := range s.buf {
+		if !r.Timestamp.Before(s.start) && r.Timestamp.Before(end) {
+			w.Records = append(w.Records, r)
+		}
+	}
+	return w
+}
+
+// advance slides the open window by one step and drops expired records.
+func (s *Sliding) advance() {
+	s.start = s.start.Add(s.step)
+	s.watermark = s.start
+	keep := s.buf[:0]
+	for _, r := range s.buf {
+		if !r.Timestamp.Before(s.start) {
+			keep = append(keep, r)
+		}
+	}
+	s.buf = keep
+}
+
+// Flush implements Windower.
+func (s *Sliding) Flush() []Window {
+	if !s.started || len(s.buf) == 0 {
+		return nil
+	}
+	w := s.snapshot()
+	s.buf = nil
+	if len(w.Records) == 0 {
+		return nil
+	}
+	return []Window{w}
+}
+
+// Replay feeds a pre-windowed scenario slice through a Windower, assigning
+// synthetic timestamps so that each input batch lands in exactly one
+// tumbling window. It is the bridge between the scenario generator (which
+// produces logical windows) and the streaming path used by the live
+// binaries.
+func Replay(batches [][]dataset.Example, size time.Duration, w Windower) ([]Window, error) {
+	base := time.Unix(0, 0).UTC()
+	var out []Window
+	for bi, batch := range batches {
+		if len(batch) == 0 {
+			return nil, fmt.Errorf("stream: batch %d is empty", bi)
+		}
+		// The first record sits exactly at the window start so that the
+		// windower's boundaries align with batch boundaries.
+		windowStart := base.Add(time.Duration(bi) * size)
+		gap := size / time.Duration(len(batch))
+		for i, ex := range batch {
+			done, err := w.Offer(Record{Example: ex, Timestamp: windowStart.Add(time.Duration(i) * gap)})
+			if err != nil {
+				return nil, fmt.Errorf("replay batch %d: %w", bi, err)
+			}
+			out = append(out, done...)
+		}
+	}
+	out = append(out, w.Flush()...)
+	return out, nil
+}

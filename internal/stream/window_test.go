@@ -1,0 +1,248 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+func rec(sec int64, y int) Record {
+	return Record{
+		Example:   dataset.Example{X: tensor.Vector{float64(sec)}, Y: y},
+		Timestamp: time.Unix(sec, 0).UTC(),
+	}
+}
+
+func TestNewTumblingValidation(t *testing.T) {
+	if _, err := NewTumbling(0); err == nil {
+		t.Fatal("size=0 should error")
+	}
+	if _, err := NewTumbling(-time.Second); err == nil {
+		t.Fatal("negative size should error")
+	}
+}
+
+func TestTumblingBasic(t *testing.T) {
+	w, err := NewTumbling(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted []Window
+	for _, r := range []Record{rec(0, 0), rec(3, 1), rec(9, 2), rec(10, 3), rec(19, 4), rec(25, 5)} {
+		done, err := w.Offer(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitted = append(emitted, done...)
+	}
+	emitted = append(emitted, w.Flush()...)
+	if len(emitted) != 3 {
+		t.Fatalf("windows = %d, want 3", len(emitted))
+	}
+	if n := len(emitted[0].Records); n != 3 {
+		t.Fatalf("w0 records = %d, want 3", n)
+	}
+	if n := len(emitted[1].Records); n != 2 {
+		t.Fatalf("w1 records = %d, want 2", n)
+	}
+	if n := len(emitted[2].Records); n != 1 {
+		t.Fatalf("w2 records = %d, want 1", n)
+	}
+	// Windows must not overlap and must be contiguous.
+	if !emitted[0].End.Equal(emitted[1].Start) {
+		t.Fatal("tumbling windows must be contiguous")
+	}
+}
+
+func TestTumblingGapSkipsEmptyWindows(t *testing.T) {
+	w, err := NewTumbling(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Offer(rec(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	done, err := w.Offer(rec(23, 1)) // skips several empty windows
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First emitted window holds the first record; the rest are empty.
+	if len(done) == 0 || len(done[0].Records) != 1 {
+		t.Fatalf("emitted = %v", done)
+	}
+	last := w.Flush()
+	if len(last) != 1 || len(last[0].Records) != 1 {
+		t.Fatalf("flush = %v", last)
+	}
+	if got := last[0].Records[0].Example.Y; got != 1 {
+		t.Fatalf("flushed record label = %d", got)
+	}
+}
+
+func TestTumblingOutOfOrder(t *testing.T) {
+	w, err := NewTumbling(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Offer(rec(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Offer(rec(15, 1)); err != nil { // emits first window
+		t.Fatal(err)
+	}
+	if _, err := w.Offer(rec(8, 2)); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("want ErrOutOfOrder, got %v", err)
+	}
+	// Late-but-within-open-window records are fine.
+	if _, err := w.Offer(rec(16, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTumblingFlushEmpty(t *testing.T) {
+	w, err := NewTumbling(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Flush(); got != nil {
+		t.Fatalf("flush before any record = %v", got)
+	}
+}
+
+func TestNewSlidingValidation(t *testing.T) {
+	if _, err := NewSliding(0, 1); err == nil {
+		t.Fatal("size=0 should error")
+	}
+	if _, err := NewSliding(5*time.Second, 10*time.Second); err == nil {
+		t.Fatal("step>size should error")
+	}
+	if _, err := NewSliding(5*time.Second, -1); err == nil {
+		t.Fatal("negative step should error")
+	}
+}
+
+func TestSlidingOverlap(t *testing.T) {
+	w, err := NewSliding(10*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted []Window
+	for sec := int64(0); sec <= 20; sec += 2 {
+		done, err := w.Offer(rec(sec, int(sec)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitted = append(emitted, done...)
+	}
+	emitted = append(emitted, w.Flush()...)
+	if len(emitted) < 3 {
+		t.Fatalf("emitted %d windows, want >=3", len(emitted))
+	}
+	// First two windows must overlap: records in [5,10) appear in both.
+	inBoth := 0
+	for _, r := range emitted[0].Records {
+		ts := r.Timestamp
+		for _, r2 := range emitted[1].Records {
+			if r2.Timestamp.Equal(ts) {
+				inBoth++
+			}
+		}
+	}
+	if inBoth == 0 {
+		t.Fatal("sliding windows should share records")
+	}
+	// Window length must equal size.
+	if d := emitted[0].End.Sub(emitted[0].Start); d != 10*time.Second {
+		t.Fatalf("window span = %v", d)
+	}
+	// Consecutive windows advance by step.
+	if d := emitted[1].Start.Sub(emitted[0].Start); d != 5*time.Second {
+		t.Fatalf("window step = %v", d)
+	}
+}
+
+func TestSlidingOutOfOrder(t *testing.T) {
+	w, err := NewSliding(10*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Offer(rec(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Offer(rec(12, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Offer(rec(1, 2)); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("want ErrOutOfOrder, got %v", err)
+	}
+}
+
+func TestSlidingFlush(t *testing.T) {
+	w, err := NewSliding(10*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Flush(); got != nil {
+		t.Fatalf("flush before records = %v", got)
+	}
+	if _, err := w.Offer(rec(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	fl := w.Flush()
+	if len(fl) != 1 || len(fl[0].Records) != 1 {
+		t.Fatalf("flush = %+v", fl)
+	}
+}
+
+func TestWindowExamples(t *testing.T) {
+	w := Window{Records: []Record{rec(1, 7), rec(2, 8)}}
+	exs := w.Examples()
+	if len(exs) != 2 || exs[0].Y != 7 || exs[1].Y != 8 {
+		t.Fatalf("examples = %v", exs)
+	}
+}
+
+func TestReplayRoundTripsBatches(t *testing.T) {
+	mk := func(n, label int) []dataset.Example {
+		out := make([]dataset.Example, n)
+		for i := range out {
+			out[i] = dataset.Example{X: tensor.Vector{float64(i)}, Y: label}
+		}
+		return out
+	}
+	batches := [][]dataset.Example{mk(5, 0), mk(7, 1), mk(3, 2)}
+	tw, err := NewTumbling(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := Replay(batches, time.Minute, tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 3 {
+		t.Fatalf("windows = %d, want 3", len(windows))
+	}
+	for i, w := range windows {
+		if len(w.Records) != len(batches[i]) {
+			t.Fatalf("window %d has %d records, want %d", i, len(w.Records), len(batches[i]))
+		}
+		for _, r := range w.Records {
+			if r.Example.Y != i {
+				t.Fatalf("window %d contains label %d", i, r.Example.Y)
+			}
+		}
+	}
+}
+
+func TestReplayEmptyBatch(t *testing.T) {
+	tw, err := NewTumbling(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay([][]dataset.Example{{}}, time.Minute, tw); err == nil {
+		t.Fatal("empty batch should error")
+	}
+}

@@ -1,0 +1,126 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (i, j). Out-of-range indices yield NaN.
+func (m *Matrix) At(i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		return math.NaN()
+	}
+	return m.Data[i*m.Cols+j]
+}
+
+// Set writes the element at (i, j); out-of-range indices are ignored.
+func (m *Matrix) Set(i, j int, v float64) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		return
+	}
+	m.Data[i*m.Cols+j] = v
+}
+
+// Row returns row i as a Vector sharing m's storage.
+func (m *Matrix) Row(i int) Vector {
+	return Vector(m.Data[i*m.Cols : (i+1)*m.Cols])
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes y = m·x. It returns ErrShape when dimensions disagree.
+func (m *Matrix) MulVec(x Vector) (Vector, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("mulvec: %w: matrix %dx%d vs vector %d", ErrShape, m.Rows, m.Cols, len(x))
+	}
+	y := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// MulVecT computes y = mᵀ·x (x has length Rows, result length Cols).
+func (m *Matrix) MulVecT(x Vector) (Vector, error) {
+	if len(x) != m.Rows {
+		return nil, fmt.Errorf("mulvect: %w: matrix %dx%d vs vector %d", ErrShape, m.Rows, m.Cols, len(x))
+	}
+	y := NewVector(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			y[j] += v * xi
+		}
+	}
+	return y, nil
+}
+
+// AddOuter accumulates m += a · x·yᵀ, the rank-1 update used by dense-layer
+// gradients.
+func (m *Matrix) AddOuter(a float64, x, y Vector) error {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		return fmt.Errorf("addouter: %w: matrix %dx%d vs vectors %d,%d",
+			ErrShape, m.Rows, m.Cols, len(x), len(y))
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := a * xi
+		for j, yj := range y {
+			row[j] += s * yj
+		}
+	}
+	return nil
+}
+
+// Scale multiplies all elements in place.
+func (m *Matrix) Scale(a float64) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// Axpy computes m += a*n element-wise in place.
+func (m *Matrix) Axpy(a float64, n *Matrix) error {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return fmt.Errorf("matrix axpy: %w: %dx%d vs %dx%d", ErrShape, m.Rows, m.Cols, n.Rows, n.Cols)
+	}
+	for i, v := range n.Data {
+		m.Data[i] += a * v
+	}
+	return nil
+}
+
+// Zero resets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}

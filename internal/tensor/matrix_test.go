@@ -1,0 +1,131 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMatrixAtSet(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if got := m.At(1, 2); got != 7 {
+		t.Fatalf("At(1,2) = %g", got)
+	}
+	if got := m.At(5, 0); !math.IsNaN(got) {
+		t.Fatalf("out-of-range At = %g, want NaN", got)
+	}
+	m.Set(9, 9, 1) // must not panic or corrupt
+	if m.Data[0] != 0 {
+		t.Fatal("out-of-range Set corrupted data")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	y, err := m.MulVec(Vector{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	if _, err := m.MulVec(Vector{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("shape error = %v", err)
+	}
+}
+
+func TestMatrixMulVecT(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	y, err := m.MulVecT(Vector{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vector{9, 12, 15}
+	for i := range want {
+		if !almostEqual(y[i], want[i], 1e-12) {
+			t.Fatalf("MulVecT = %v, want %v", y, want)
+		}
+	}
+	if _, err := m.MulVecT(Vector{1, 2, 3}); !errors.Is(err, ErrShape) {
+		t.Fatalf("shape error = %v", err)
+	}
+}
+
+func TestMatrixAddOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	if err := m.AddOuter(2, Vector{1, 0}, Vector{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 6 || m.At(0, 1) != 8 || m.At(1, 0) != 0 {
+		t.Fatalf("AddOuter result %v", m.Data)
+	}
+	if err := m.AddOuter(1, Vector{1}, Vector{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("shape error = %v", err)
+	}
+}
+
+func TestMatrixAxpyZeroClone(t *testing.T) {
+	m := NewMatrix(1, 2)
+	n := NewMatrix(1, 2)
+	copy(n.Data, []float64{1, 2})
+	if err := m.Axpy(2, n); err != nil {
+		t.Fatal(err)
+	}
+	if m.Data[1] != 4 {
+		t.Fatalf("axpy = %v", m.Data)
+	}
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] == 99 {
+		t.Fatal("clone aliases storage")
+	}
+	m.Zero()
+	if m.Data[1] != 0 {
+		t.Fatal("zero did not reset")
+	}
+	if err := m.Axpy(1, NewMatrix(2, 2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("axpy shape error = %v", err)
+	}
+}
+
+func TestMatrixRowSharesStorage(t *testing.T) {
+	m := NewMatrix(2, 2)
+	r := m.Row(1)
+	r[0] = 5
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must alias matrix storage")
+	}
+}
+
+// MulVecT must agree with explicit transpose multiplication.
+func TestMulVecTMatchesTranspose(t *testing.T) {
+	rng := NewRNG(7)
+	m := NewMatrix(4, 3)
+	for i := range m.Data {
+		m.Data[i] = rng.Norm()
+	}
+	x := rng.NormVec(4, 0, 1)
+	got, err := m.MulVecT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit transpose.
+	tr := NewMatrix(3, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			tr.Set(j, i, m.At(i, j))
+		}
+	}
+	want, err := tr.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-9) {
+			t.Fatalf("MulVecT disagrees with transpose: %v vs %v", got, want)
+		}
+	}
+}

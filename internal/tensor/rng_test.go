@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield identical streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds yielded identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("norm mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("norm variance = %g, want ~1", variance)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(50)
+	seen := make(map[int]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatal("permutation not complete")
+	}
+}
+
+func TestRNGDirichlet(t *testing.T) {
+	r := NewRNG(11)
+	for _, alpha := range []float64{0.1, 0.5, 1, 5} {
+		v := r.Dirichlet(10, alpha)
+		if len(v) != 10 {
+			t.Fatalf("len = %d", len(v))
+		}
+		var sum float64
+		for _, x := range v {
+			if x < 0 {
+				t.Fatalf("negative component %g (alpha=%g)", x, alpha)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("dirichlet sums to %g (alpha=%g)", sum, alpha)
+		}
+	}
+	if r.Dirichlet(0, 1) != nil {
+		t.Fatal("k=0 should yield nil")
+	}
+}
+
+func TestRNGDirichletConcentration(t *testing.T) {
+	// Low alpha should concentrate mass; high alpha should flatten.
+	r := NewRNG(13)
+	maxOf := func(alpha float64) float64 {
+		var total float64
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			v := r.Dirichlet(10, alpha)
+			var m float64
+			for _, x := range v {
+				if x > m {
+					m = x
+				}
+			}
+			total += m
+		}
+		return total / trials
+	}
+	low, high := maxOf(0.1), maxOf(10)
+	if low <= high {
+		t.Fatalf("alpha=0.1 avg max %g should exceed alpha=10 avg max %g", low, high)
+	}
+}
+
+func TestRNGCategorical(t *testing.T) {
+	r := NewRNG(17)
+	counts := make([]int, 3)
+	w := Vector{1, 0, 3}
+	for i := 0; i < 40000; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight class drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Fatalf("ratio = %g, want ~3", ratio)
+	}
+	if got := r.Categorical(Vector{0, 0}); got != 0 {
+		t.Fatalf("all-zero weights should return 0, got %d", got)
+	}
+}
+
+func TestRNGSample(t *testing.T) {
+	r := NewRNG(19)
+	s := r.Sample(10, 4)
+	if len(s) != 4 {
+		t.Fatalf("sample size = %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[v] = true
+	}
+	if got := r.Sample(3, 10); len(got) != 3 {
+		t.Fatalf("oversized k should return n items, got %d", len(got))
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(23)
+	a := r.Split()
+	b := r.Split()
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("split RNGs produced identical streams")
+	}
+}
+
+func TestRNGIntnEdge(t *testing.T) {
+	r := NewRNG(29)
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Fatal("non-positive n must return 0")
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
