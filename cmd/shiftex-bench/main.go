@@ -11,13 +11,27 @@
 //	overheads                           §7 ShiftEx overhead measurements
 //	all                                 everything above
 //
+// Every experiment runs on the parallel grid engine: the benchmark ×
+// technique × seed cross product is scheduled on -workers goroutines with
+// results bit-identical to serial execution. -json DIR additionally writes
+// one versioned BENCH_<benchmark>.json artifact per benchmark (add
+// -deterministic to strip wall-clock fields so the bytes are reproducible).
+// -cell benchmark/technique/seed (with * wildcards, comma-separated) runs
+// just the matching grid cells; -replay FILE re-prints tables from a
+// previously written artifact without re-training.
+//
 // Scale and seeds are configurable; -paper approximates the full protocol.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,15 +49,39 @@ func main() {
 	}
 }
 
+// experimentIDs is the full -exp vocabulary, also used for usage hints.
+var experimentIDs = []string{
+	"table1-fmow", "table1-cifar", "table2-tinyimagenet",
+	"table2-femnist", "table2-fashion",
+	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "overheads",
+}
+
+// nameHint lists the valid grid vocabulary for error messages.
+func nameHint() string {
+	return fmt.Sprintf("\n  benchmarks: %s\n  techniques: %s",
+		strings.Join(experiments.BenchmarkNames(), ", "),
+		strings.Join(experiments.TechniqueNames(), ", "))
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("shiftex-bench", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment id (see package doc)")
 	paper := fs.Bool("paper", false, "use paper-scale protocol (slow)")
 	scale := fs.Float64("scale", 0, "override party/sample scale (0 = preset)")
 	seeds := fs.Int("seeds", 0, "override number of seeds (0 = preset)")
+	seedBase := fs.Uint64("seedbase", 0, "derive the -seeds seeds from this base via RNG splitting (0 = seeds 1..N)")
 	rounds := fs.Int("rounds", 0, "override rounds per window (0 = preset)")
+	workers := fs.Int("workers", 0, "concurrent grid cells (0 = all cores)")
+	jsonDir := fs.String("json", "", "directory to write BENCH_<benchmark>.json artifacts (empty = off)")
+	deterministic := fs.Bool("deterministic", false, "strip wall-clock timing from JSON artifacts so output bytes are reproducible")
+	cell := fs.String("cell", "", "run only matching grid cells: benchmark/technique/seed patterns (* wildcards, comma-separated)")
+	replay := fs.String("replay", "", "re-print tables from a BENCH_*.json artifact instead of running")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *replay != "" {
+		return replayArtifact(os.Stdout, *replay)
 	}
 
 	opts := experiments.QuickOptions()
@@ -54,28 +92,50 @@ func run(args []string) error {
 		opts.Scale = *scale
 	}
 	if *seeds > 0 {
-		opts.Seeds = opts.Seeds[:0]
-		for s := 1; s <= *seeds; s++ {
-			opts.Seeds = append(opts.Seeds, uint64(s))
+		if *seedBase != 0 {
+			opts.Seeds = experiments.SplitSeeds(*seedBase, *seeds)
+		} else {
+			opts.Seeds = opts.Seeds[:0]
+			for s := 1; s <= *seeds; s++ {
+				opts.Seeds = append(opts.Seeds, uint64(s))
+			}
 		}
+	} else if *seedBase != 0 {
+		return fmt.Errorf("-seedbase requires -seeds N")
 	}
 	if *rounds > 0 {
 		opts.RoundsPerWindow = *rounds
 		opts.BootstrapRounds = *rounds
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", *workers)
+	}
+	opts.Workers = *workers
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *cell != "" {
+		expSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "exp" {
+				expSet = true
+			}
+		})
+		if expSet {
+			return fmt.Errorf("cannot combine -exp with -cell: -cell runs raw grid cells, -exp runs table/figure experiments")
+		}
+		return runGridMode(ctx, *cell, opts, *jsonDir, *deterministic)
+	}
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{
-			"table1-fmow", "table1-cifar", "table2-tinyimagenet",
-			"table2-femnist", "table2-fashion",
-			"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "overheads",
-		}
+		ids = experimentIDs
 	}
-	cache := map[string]*experiments.Comparison{}
+	cache := map[string]*comparisonRun{}
 	for _, id := range ids {
 		start := time.Now()
-		if err := runExperiment(strings.TrimSpace(id), opts, cache); err != nil {
+		if err := runExperiment(ctx, strings.TrimSpace(id), opts, cache, *jsonDir, *deterministic); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
@@ -83,27 +143,162 @@ func run(args []string) error {
 	return nil
 }
 
+// replayArtifact prints the table and summary for a recorded grid run.
+func replayArtifact(w io.Writer, path string) error {
+	a, err := experiments.ReadArtifactFile(path)
+	if err != nil {
+		return err
+	}
+	cmp, err := experiments.ComparisonFromArtifact(a)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteTable(w, cmp); err != nil {
+		return err
+	}
+	return experiments.WriteSummary(w, cmp)
+}
+
+// runGridMode runs just the cells matching the -cell patterns, streaming a
+// result line per cell and optionally writing artifacts.
+func runGridMode(ctx context.Context, spec string, opts experiments.Options, jsonDir string, deterministic bool) error {
+	filter, err := parseCellFilter(spec, opts)
+	if err != nil {
+		return err
+	}
+	g := experiments.Grid{Benchmarks: experiments.Benchmarks(), Options: opts, Filter: filter}
+	if len(g.Cells()) == 0 {
+		return fmt.Errorf("no grid cells match -cell %q (note: the seed must be among the run's seeds; use -seeds to widen)%s", spec, nameHint())
+	}
+	cells, err := experiments.RunGrid(ctx, g, experiments.Pool{
+		Workers: opts.Workers,
+		OnCell: func(cr experiments.CellResult) {
+			_ = experiments.WriteCellResult(os.Stdout, cr)
+		},
+	})
+	// The grid keeps running healthy cells after a failure or cancellation,
+	// so write whatever completed before propagating the error.
+	return errors.Join(err, writeArtifacts(jsonDir, deterministic, opts, cells))
+}
+
+// parseCellFilter validates and compiles comma-separated
+// benchmark/technique/seed patterns (each component may be *).
+func parseCellFilter(spec string, opts experiments.Options) (func(experiments.Cell) bool, error) {
+	type pattern struct {
+		bench, tech string
+		seed        uint64
+		anySeed     bool
+	}
+	var pats []pattern
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		fields := strings.Split(part, "/")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad -cell pattern %q: want benchmark/technique/seed (use * as wildcard)%s", part, nameHint())
+		}
+		p := pattern{bench: fields[0], tech: fields[1]}
+		if p.bench != "*" {
+			if _, err := experiments.BenchmarkByName(p.bench); err != nil {
+				return nil, fmt.Errorf("%w%s", err, nameHint())
+			}
+		}
+		if p.tech != "*" {
+			if _, err := experiments.TechniqueByName(opts, p.tech); err != nil {
+				return nil, fmt.Errorf("%w%s", err, nameHint())
+			}
+		}
+		if fields[2] == "*" {
+			p.anySeed = true
+		} else {
+			seed, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad seed in -cell pattern %q: %w", part, err)
+			}
+			p.seed = seed
+		}
+		pats = append(pats, p)
+	}
+	return func(c experiments.Cell) bool {
+		for _, p := range pats {
+			if p.bench != "*" && p.bench != c.Benchmark.Name {
+				continue
+			}
+			if p.tech != "*" && p.tech != c.Technique.Name {
+				continue
+			}
+			if !p.anySeed && p.seed != c.Seed {
+				continue
+			}
+			return true
+		}
+		return false
+	}, nil
+}
+
+// writeArtifacts serializes finished cells as one BENCH_<benchmark>.json
+// per benchmark under dir (no-op when dir is empty).
+func writeArtifacts(dir string, deterministic bool, opts experiments.Options, cells []experiments.CellResult) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, a := range experiments.ArtifactsFromCells(opts, cells) {
+		if deterministic {
+			a.StripTiming()
+		}
+		path, err := experiments.WriteArtifactFile(dir, a)
+		if err != nil {
+			return err
+		}
+		// Stderr, like per-cell progress: stdout stays pure table output.
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// comparisonRun caches one benchmark's comparison together with its raw
+// grid cells (the cells carry per-cell timing for artifacts).
+type comparisonRun struct {
+	cmp   *experiments.Comparison
+	cells []experiments.CellResult
+}
+
 // compareCached runs (or reuses) the five-technique comparison for a
-// benchmark; figure experiments share table runs.
-func compareCached(name string, opts experiments.Options, cache map[string]*experiments.Comparison) (*experiments.Comparison, error) {
+// benchmark on the grid engine; figure experiments share table runs and
+// the artifact for each benchmark is written at most once.
+func compareCached(ctx context.Context, name string, opts experiments.Options, cache map[string]*comparisonRun, jsonDir string, deterministic bool) (*experiments.Comparison, error) {
 	if c, ok := cache[name]; ok {
-		return c, nil
+		return c.cmp, nil
 	}
 	b, err := experiments.BenchmarkByName(name)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w%s", err, nameHint())
 	}
-	c, err := experiments.Compare(b, opts)
+	pool := experiments.Pool{
+		Workers: opts.Workers,
+		OnCell: func(cr experiments.CellResult) {
+			// Progress goes to stderr so stdout stays pure table output.
+			_ = experiments.WriteCellResult(os.Stderr, cr)
+		},
+	}
+	cmp, cells, err := experiments.CompareGrid(ctx, b, opts, pool)
+	// Even a failed comparison writes the cells that did complete: long
+	// -paper runs must not lose finished training to one bad cell.
+	if werr := writeArtifacts(jsonDir, deterministic, opts, cells); werr != nil {
+		return nil, errors.Join(err, werr)
+	}
 	if err != nil {
 		return nil, err
 	}
-	cache[name] = c
-	return c, nil
+	cache[name] = &comparisonRun{cmp: cmp, cells: cells}
+	return cmp, nil
 }
 
-func runExperiment(id string, opts experiments.Options, cache map[string]*experiments.Comparison) error {
+func runExperiment(ctx context.Context, id string, opts experiments.Options, cache map[string]*comparisonRun, jsonDir string, deterministic bool) error {
 	table := func(name string) error {
-		c, err := compareCached(name, opts, cache)
+		c, err := compareCached(ctx, name, opts, cache, jsonDir, deterministic)
 		if err != nil {
 			return err
 		}
@@ -114,7 +309,7 @@ func runExperiment(id string, opts experiments.Options, cache map[string]*experi
 	}
 	figure := func(names []string, write func(*experiments.Comparison) error) error {
 		for _, name := range names {
-			c, err := compareCached(name, opts, cache)
+			c, err := compareCached(ctx, name, opts, cache, jsonDir, deterministic)
 			if err != nil {
 				return err
 			}
@@ -162,13 +357,13 @@ func runExperiment(id string, opts experiments.Options, cache map[string]*experi
 	case "overheads":
 		return overheads(os.Stdout)
 	default:
-		return fmt.Errorf("unknown experiment %q", id)
+		return fmt.Errorf("unknown experiment %q; valid ids: %s, all", id, strings.Join(experimentIDs, ", "))
 	}
 }
 
 // overheads measures the §7 aggregator-side costs on ResNet-50-scale
 // statistics: 200 parties, 2048-d embeddings.
-func overheads(w interface{ Write([]byte) (int, error) }) error {
+func overheads(w io.Writer) error {
 	const (
 		parties = 200
 		dim     = 2048

@@ -8,6 +8,7 @@ package baselines
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/federation"
 	"repro/internal/fl"
@@ -63,6 +64,29 @@ func sampleParties(ids []int, k int, rng *tensor.RNG) []int {
 	out := make([]int, len(idx))
 	for i, j := range idx {
 		out[i] = ids[j]
+	}
+	return out
+}
+
+// sortedKeys returns the map's keys in ascending order. Every loop that
+// draws randomness, accumulates floats, or breaks ties must iterate maps
+// through it: Go's map order is randomized per run, and the experiment
+// grid's parallel/serial parity contract requires bit-identical results.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// groupByModel groups parties by assigned model ID with each cohort's
+// members in ascending party order, so cohort sampling is deterministic.
+func groupByModel(assignment map[int]int) map[int][]int {
+	out := make(map[int][]int)
+	for _, p := range sortedKeys(assignment) {
+		out[assignment[p]] = append(out[assignment[p]], p)
 	}
 	return out
 }

@@ -76,9 +76,11 @@ func (t *FedDrift) route(f *federation.Federation, init tensor.Vector) error {
 	}
 	var drifted []int
 	for _, p := range f.PartyIDs() {
+		// Experts are visited in ID order so loss ties resolve to the
+		// lowest expert ID on every run.
 		bestID, bestLoss := -1, 0.0
-		for id, params := range t.experts {
-			loss, err := f.PartyLoss(p, params)
+		for _, id := range sortedKeys(t.experts) {
+			loss, err := f.PartyLoss(p, t.experts[id])
 			if err != nil {
 				return err
 			}
@@ -127,14 +129,12 @@ func (t *FedDrift) RunWindow(f *federation.Federation, w int) ([]float64, error)
 		return t.experts[id]
 	}
 
-	cohorts := make(map[int][]int)
-	for p, id := range t.assignment {
-		cohorts[id] = append(cohorts[id], p)
-	}
+	cohorts := groupByModel(t.assignment)
 	rounds := t.cfg.rounds(w)
 	trace := make([]float64, 0, rounds)
 	for r := 0; r < rounds; r++ {
-		for id, members := range cohorts {
+		for _, id := range sortedKeys(cohorts) {
+			members := cohorts[id]
 			if len(members) == 0 {
 				continue
 			}

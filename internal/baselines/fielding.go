@@ -85,9 +85,12 @@ func (t *Fielding) recluster(f *federation.Federation, init tensor.Vector) error
 	}
 
 	// Old cluster centroids (from surviving assignment) for matching.
+	// Parties are visited in sorted order so the float accumulation is
+	// associativity-stable across runs.
 	oldCentroid := make(map[int]stats.Histogram)
 	oldCount := make(map[int]int)
-	for p, c := range t.assignment {
+	for _, p := range sortedKeys(t.assignment) {
+		c := t.assignment[p]
 		if oldCentroid[c] == nil {
 			oldCentroid[c] = make(stats.Histogram, len(hists[p]))
 		}
@@ -103,10 +106,11 @@ func (t *Fielding) recluster(f *federation.Federation, init tensor.Vector) error
 	newExperts := make(map[int]tensor.Vector, len(groups))
 	newAssignment := make(map[int]int, f.NumParties())
 	for c, members := range groups {
-		// Carry over the old expert with the closest label centroid.
+		// Carry over the old expert with the closest label centroid; ties
+		// resolve to the lowest cluster ID.
 		bestOld, bestJSD := -1, 2.0
-		for oc, oh := range oldCentroid {
-			j, err := stats.JSD(newCentroid[c], oh)
+		for _, oc := range sortedKeys(oldCentroid) {
+			j, err := stats.JSD(newCentroid[c], oldCentroid[oc])
 			if err != nil {
 				continue
 			}
@@ -151,12 +155,10 @@ func (t *Fielding) RunWindow(f *federation.Federation, w int) ([]float64, error)
 
 	rounds := t.cfg.rounds(w)
 	trace := make([]float64, 0, rounds)
-	cohorts := make(map[int][]int)
-	for p, c := range t.assignment {
-		cohorts[c] = append(cohorts[c], p)
-	}
+	cohorts := groupByModel(t.assignment)
 	for r := 0; r < rounds; r++ {
-		for c, members := range cohorts {
+		for _, c := range sortedKeys(cohorts) {
+			members := cohorts[c]
 			selected := sampleParties(members, min(t.cfg.ParticipantsPerRound, len(members)), t.rng)
 			cfg := t.cfg.Train
 			cfg.Seed = t.rng.Uint64()

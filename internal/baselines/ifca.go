@@ -109,11 +109,9 @@ func (t *IFCA) RunWindow(f *federation.Federation, w int) ([]float64, error) {
 		if err := t.route(f); err != nil {
 			return nil, err
 		}
-		cohorts := make(map[int][]int)
-		for p, c := range t.assignment {
-			cohorts[c] = append(cohorts[c], p)
-		}
-		for c, members := range cohorts {
+		cohorts := groupByModel(t.assignment)
+		for _, c := range sortedKeys(cohorts) {
+			members := cohorts[c]
 			if len(members) == 0 {
 				continue
 			}

@@ -98,6 +98,16 @@ func Benchmarks() []Benchmark {
 	return []Benchmark{FMoW(), CIFAR10C(), TinyImageNetC(), FEMNIST(), FashionMNIST()}
 }
 
+// BenchmarkNames lists every preset name, for CLI validation and hints.
+func BenchmarkNames() []string {
+	bs := Benchmarks()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}
+
 // BenchmarkByName resolves a preset.
 func BenchmarkByName(name string) (Benchmark, error) {
 	for _, b := range Benchmarks() {
@@ -121,6 +131,9 @@ type Options struct {
 	RoundsPerWindow int
 	Participants    int
 	Epochs          int
+	// Workers bounds how many grid cells run concurrently; 0 means
+	// runtime.GOMAXPROCS(0). Results are bit-identical for any value.
+	Workers int
 }
 
 // QuickOptions is a minutes-scale configuration used by tests and the
@@ -162,6 +175,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("experiments: participants must be positive")
 	case o.Epochs <= 0:
 		return fmt.Errorf("experiments: epochs must be positive")
+	case o.Workers < 0:
+		return fmt.Errorf("experiments: workers must be non-negative, got %d", o.Workers)
 	}
 	return nil
 }
@@ -213,6 +228,17 @@ func StandardTechniques(opts Options) []TechniqueFactory {
 			return baselines.NewFedDrift(baseCfg(), 1.5, 6, seed)
 		}},
 	}
+}
+
+// TechniqueNames lists the standard technique names, for CLI validation
+// and hints.
+func TechniqueNames() []string {
+	tfs := StandardTechniques(PaperOptions())
+	names := make([]string, len(tfs))
+	for i, tf := range tfs {
+		names[i] = tf.Name
+	}
+	return names
 }
 
 // TechniqueByName resolves a single factory.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/shiftex"
@@ -116,6 +117,27 @@ func WriteExpertDistribution(w io.Writer, c *Comparison, technique string) error
 		fmt.Fprintln(w)
 	}
 	return nil
+}
+
+// WriteCellResult prints one grid cell's headline line — the streaming
+// progress format of shiftex-bench's grid mode: cell key, final accuracy,
+// windows recovered, and wall-clock.
+func WriteCellResult(w io.Writer, cr CellResult) error {
+	if cr.Err != nil {
+		_, err := fmt.Fprintf(w, "%-32s FAILED: %v\n", cr.Cell.Key(), cr.Err)
+		return err
+	}
+	recovered, windows := 0, 0
+	for wi := 1; wi < len(cr.Result.Windows); wi++ {
+		windows++
+		if cr.Result.Windows[wi].RecoveryRounds != metrics.NotRecovered {
+			recovered++
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-32s final %5.1f%%  recovered %d/%d  %v\n",
+		cr.Cell.Key(), 100*cr.Result.FinalAccuracy(), recovered, windows,
+		cr.Elapsed.Round(time.Millisecond))
+	return err
 }
 
 // WriteSummary prints the headline comparison the abstract quotes: final

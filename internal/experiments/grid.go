@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// The experiment grid treats every (benchmark, technique, seed) triple as an
+// independent cell. A cell is a pure function of its inputs: Run derives
+// every RNG in the cell from the cell's own seed (scenario, federation, and
+// technique streams are split per cell, never shared), so scheduling cells
+// on a worker pool produces bit-identical results to running them serially.
+// The parity test in grid_test.go enforces that contract under -race.
+
+// Cell identifies one independent unit of the experiment grid.
+type Cell struct {
+	Benchmark Benchmark
+	Technique TechniqueFactory
+	Seed      uint64
+}
+
+// Key formats the cell as "benchmark/technique/seed", the id used by
+// progress output and the shiftex-bench -cell filter.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/%s/%d", c.Benchmark.Name, c.Technique.Name, c.Seed)
+}
+
+// CellResult is one finished (or failed, or skipped) grid cell.
+type CellResult struct {
+	Cell Cell
+	// Index is the cell's position in the serial grid order
+	// (benchmark-major, then technique, then seed).
+	Index  int
+	Result metrics.RunResult
+	Err    error
+	// Elapsed is the cell's wall-clock training time. It is the only
+	// non-deterministic field of a result; artifact consumers that need
+	// byte-identical output strip it (see Artifact.StripTiming).
+	Elapsed time.Duration
+}
+
+// ErrCellSkipped marks cells that were never scheduled because the context
+// was cancelled first.
+var ErrCellSkipped = errors.New("experiments: cell skipped (context cancelled)")
+
+// Grid describes a set of cells: the cross product of benchmarks,
+// techniques, and the option seeds, optionally pruned by Filter.
+type Grid struct {
+	Benchmarks []Benchmark
+	// Techniques defaults to StandardTechniques(Options) when empty.
+	Techniques []TechniqueFactory
+	Options    Options
+	// Filter, when non-nil, keeps only cells for which it returns true.
+	Filter func(Cell) bool
+}
+
+// Cells expands the grid in serial order: benchmark-major, then technique,
+// then seed. This order defines CellResult.Index and artifact cell order.
+func (g Grid) Cells() []Cell {
+	techniques := g.Techniques
+	if len(techniques) == 0 {
+		techniques = StandardTechniques(g.Options)
+	}
+	var cells []Cell
+	for _, b := range g.Benchmarks {
+		for _, tf := range techniques {
+			for _, seed := range g.Options.Seeds {
+				c := Cell{Benchmark: b, Technique: tf, Seed: seed}
+				if g.Filter != nil && !g.Filter(c) {
+					continue
+				}
+				cells = append(cells, c)
+			}
+		}
+	}
+	return cells
+}
+
+// Pool configures grid execution.
+type Pool struct {
+	// Workers bounds concurrent cells; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// OnCell, when non-nil, is invoked once per cell as it finishes, in
+	// completion order. Calls are serialized; the callback never runs
+	// concurrently with itself.
+	OnCell func(CellResult)
+}
+
+func (p Pool) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunGrid executes every cell of the grid on a bounded worker pool and
+// returns all results in serial grid order regardless of completion order.
+//
+// Failed cells do not stop the rest of the grid; their errors are joined
+// into the returned error alongside any context error. Cells that were
+// never scheduled because the context was cancelled carry ErrCellSkipped.
+func RunGrid(ctx context.Context, g Grid, p Pool) ([]CellResult, error) {
+	if err := g.Options.Validate(); err != nil {
+		return nil, err
+	}
+	cells := g.Cells()
+	if len(cells) == 0 {
+		return nil, errors.New("experiments: empty grid (no cells after filtering)")
+	}
+
+	results := make([]CellResult, len(cells))
+	for i, c := range cells {
+		results[i] = CellResult{Cell: c, Index: i, Err: ErrCellSkipped}
+	}
+
+	workers := p.workers()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	jobs := make(chan int)
+	var cbMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				cell := cells[i]
+				start := time.Now()
+				res, err := Run(cell.Benchmark, cell.Technique, g.Options, cell.Seed)
+				cr := CellResult{
+					Cell:    cell,
+					Index:   i,
+					Result:  res,
+					Err:     err,
+					Elapsed: time.Since(start),
+				}
+				results[i] = cr
+				if p.OnCell != nil {
+					cbMu.Lock()
+					p.OnCell(cr)
+					cbMu.Unlock()
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range cells {
+		// Check cancellation before offering the job: select picks randomly
+		// among ready cases, so an already-cancelled context must not race
+		// an idle worker for the next cell.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			break feed
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	var errs []error
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	for _, r := range results {
+		if r.Err != nil && !errors.Is(r.Err, ErrCellSkipped) {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Cell.Key(), r.Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// CompareGrid runs the full technique grid for one benchmark on a worker
+// pool and returns both the assembled comparison and the raw cell results
+// (which carry per-cell timing for artifacts).
+func CompareGrid(ctx context.Context, b Benchmark, opts Options, p Pool, techniques ...TechniqueFactory) (*Comparison, []CellResult, error) {
+	if len(techniques) == 0 {
+		techniques = StandardTechniques(opts)
+	}
+	g := Grid{Benchmarks: []Benchmark{b}, Techniques: techniques, Options: opts}
+	cells, err := RunGrid(ctx, g, p)
+	if err != nil {
+		return nil, cells, err
+	}
+	cmp := &Comparison{
+		Benchmark: b,
+		Options:   opts,
+		Results:   make(map[string][]metrics.RunResult, len(techniques)),
+	}
+	for _, tf := range techniques {
+		cmp.Order = append(cmp.Order, tf.Name)
+	}
+	// Cells arrive in serial grid order (technique-major, seed-minor), so
+	// appending preserves the per-technique seed order of the serial path.
+	for _, cr := range cells {
+		name := cr.Cell.Technique.Name
+		cmp.Results[name] = append(cmp.Results[name], cr.Result)
+	}
+	return cmp, cells, nil
+}
+
+// SplitSeeds derives n independent run seeds from a base seed using the
+// tensor RNG's split semantics. Each derived seed opens a statistically
+// independent stream, so a grid over SplitSeeds cells never shares random
+// state between cells — the property that keeps parallel and serial
+// execution bit-identical.
+func SplitSeeds(base uint64, n int) []uint64 {
+	rng := tensor.NewRNG(base)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Split().Uint64()
+	}
+	return out
+}

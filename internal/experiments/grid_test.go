@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// gridOptions is the smallest workload that still exercises every window:
+// 5 parties on the FMoW preset, 3 rounds per window.
+func gridOptions() Options {
+	return Options{
+		Scale:           0.1,
+		Seeds:           []uint64{1, 2},
+		BootstrapRounds: 3,
+		RoundsPerWindow: 3,
+		Participants:    3,
+		Epochs:          1,
+	}
+}
+
+// cheapTechniques picks the two fastest methods for grid-engine tests.
+func cheapTechniques(t *testing.T, opts Options) []TechniqueFactory {
+	t.Helper()
+	var tfs []TechniqueFactory
+	for _, name := range []string{"fedprox", "fielding"} {
+		tf, err := TechniqueByName(opts, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tfs = append(tfs, tf)
+	}
+	return tfs
+}
+
+// comparable strips the wall-clock and the factory closures (func values
+// never compare equal) down to the value-comparable core of each cell.
+type comparableCell struct {
+	Key    string
+	Index  int
+	Result metrics.RunResult
+	Err    error
+}
+
+func comparableCells(cells []CellResult) []comparableCell {
+	out := make([]comparableCell, len(cells))
+	for i, cr := range cells {
+		out[i] = comparableCell{Key: cr.Cell.Key(), Index: cr.Index, Result: cr.Result, Err: cr.Err}
+	}
+	return out
+}
+
+// TestGridParitySerialVsParallel is the seed-splitting contract: the same
+// grid run with 1 worker and with 8 workers must produce bit-identical
+// RunResults, and both must match the plain serial Run loop. It covers all
+// five techniques — every one must be deterministic for the full-grid
+// BENCH artifacts to reproduce. CI runs this under -race.
+func TestGridParitySerialVsParallel(t *testing.T) {
+	opts := gridOptions()
+	g := Grid{Benchmarks: []Benchmark{FMoW()}, Techniques: StandardTechniques(opts), Options: opts}
+
+	serialCells, err := RunGrid(context.Background(), g, Pool{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelCells, err := RunGrid(context.Background(), g, Pool{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(comparableCells(serialCells), comparableCells(parallelCells)) {
+		t.Fatal("parallel grid results differ from serial grid results")
+	}
+
+	// Both must equal the pre-grid serial path: Run called cell by cell.
+	for i, cell := range g.Cells() {
+		want, err := Run(cell.Benchmark, cell.Technique, opts, cell.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, parallelCells[i].Result) {
+			t.Fatalf("cell %s: pooled result differs from direct Run", cell.Key())
+		}
+	}
+}
+
+func TestGridCellsOrderAndFilter(t *testing.T) {
+	opts := gridOptions()
+	tfs := cheapTechniques(t, opts)
+	g := Grid{Benchmarks: []Benchmark{FMoW(), CIFAR10C()}, Techniques: tfs, Options: opts}
+	cells := g.Cells()
+	if len(cells) != 2*2*2 {
+		t.Fatalf("cells = %d, want 8", len(cells))
+	}
+	// Benchmark-major, then technique, then seed.
+	wantKeys := []string{
+		"fmow/fedprox/1", "fmow/fedprox/2", "fmow/fielding/1", "fmow/fielding/2",
+		"cifar10c/fedprox/1", "cifar10c/fedprox/2", "cifar10c/fielding/1", "cifar10c/fielding/2",
+	}
+	for i, c := range cells {
+		if c.Key() != wantKeys[i] {
+			t.Fatalf("cell %d = %s, want %s", i, c.Key(), wantKeys[i])
+		}
+	}
+
+	g.Filter = func(c Cell) bool { return c.Technique.Name == "fielding" && c.Seed == 2 }
+	cells = g.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("filtered cells = %d, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if c.Technique.Name != "fielding" || c.Seed != 2 {
+			t.Fatalf("filter leaked cell %s", c.Key())
+		}
+	}
+}
+
+func TestGridProgressCallback(t *testing.T) {
+	opts := gridOptions()
+	g := Grid{Benchmarks: []Benchmark{FMoW()}, Techniques: cheapTechniques(t, opts), Options: opts}
+	var seen []string
+	cells, err := RunGrid(context.Background(), g, Pool{Workers: 4, OnCell: func(cr CellResult) {
+		// OnCell calls are serialized, so this append needs no lock even
+		// under -race.
+		seen = append(seen, cr.Cell.Key())
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(cells) {
+		t.Fatalf("callback fired %d times for %d cells", len(seen), len(cells))
+	}
+	uniq := map[string]bool{}
+	for _, k := range seen {
+		uniq[k] = true
+	}
+	if len(uniq) != len(cells) {
+		t.Fatalf("callback keys not unique: %v", seen)
+	}
+}
+
+func TestGridCancelledBeforeStart(t *testing.T) {
+	opts := gridOptions()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := Grid{Benchmarks: []Benchmark{FMoW()}, Techniques: cheapTechniques(t, opts), Options: opts}
+	start := time.Now()
+	cells, err := RunGrid(ctx, g, Pool{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled grid still ran for %v", elapsed)
+	}
+	for _, cr := range cells {
+		if !errors.Is(cr.Err, ErrCellSkipped) {
+			t.Fatalf("cell %s ran despite pre-cancelled context", cr.Cell.Key())
+		}
+	}
+}
+
+func TestGridCancelMidRun(t *testing.T) {
+	opts := gridOptions()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g := Grid{Benchmarks: []Benchmark{FMoW()}, Techniques: cheapTechniques(t, opts), Options: opts}
+	fired := 0
+	cells, err := RunGrid(ctx, g, Pool{Workers: 1, OnCell: func(CellResult) {
+		fired++
+		cancel()
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	finished := 0
+	for _, cr := range cells {
+		if cr.Err == nil {
+			finished++
+		} else if !errors.Is(cr.Err, ErrCellSkipped) {
+			t.Fatalf("cell %s: unexpected error %v", cr.Cell.Key(), cr.Err)
+		}
+	}
+	if finished == len(cells) {
+		t.Fatal("cancellation after the first cell should skip later cells")
+	}
+	if finished != fired {
+		t.Fatalf("finished %d cells but callback fired %d times", finished, fired)
+	}
+}
+
+func TestGridEmptyAndInvalid(t *testing.T) {
+	opts := gridOptions()
+	g := Grid{Benchmarks: []Benchmark{FMoW()}, Options: opts, Filter: func(Cell) bool { return false }}
+	if _, err := RunGrid(context.Background(), g, Pool{}); err == nil {
+		t.Fatal("empty grid should error")
+	}
+	bad := opts
+	bad.Workers = -1
+	if _, err := RunGrid(context.Background(), Grid{Benchmarks: []Benchmark{FMoW()}, Options: bad}, Pool{}); err == nil {
+		t.Fatal("invalid options should error")
+	}
+}
+
+func TestCompareGridMatchesCompare(t *testing.T) {
+	opts := gridOptions()
+	tfs := cheapTechniques(t, opts)
+	cmp, cells, err := CompareGrid(context.Background(), FMoW(), opts, Pool{Workers: 4}, tfs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(tfs)*len(opts.Seeds) {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	if len(cmp.Order) != 2 || cmp.Order[0] != "fedprox" || cmp.Order[1] != "fielding" {
+		t.Fatalf("order = %v", cmp.Order)
+	}
+	for _, name := range cmp.Order {
+		runs := cmp.Results[name]
+		if len(runs) != len(opts.Seeds) {
+			t.Fatalf("%s runs = %d", name, len(runs))
+		}
+		for i, run := range runs {
+			if run.Seed != opts.Seeds[i] {
+				t.Fatalf("%s run %d seed = %d, want %d (seed order must match serial path)", name, i, run.Seed, opts.Seeds[i])
+			}
+		}
+	}
+}
+
+func TestSplitSeeds(t *testing.T) {
+	a := SplitSeeds(42, 6)
+	b := SplitSeeds(42, 6)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SplitSeeds must be deterministic")
+	}
+	uniq := map[uint64]bool{}
+	for _, s := range a {
+		uniq[s] = true
+	}
+	if len(uniq) != 6 {
+		t.Fatalf("seeds not distinct: %v", a)
+	}
+	if c := SplitSeeds(43, 6); reflect.DeepEqual(a, c) {
+		t.Fatal("different bases must yield different seeds")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -55,15 +56,17 @@ func Run(b Benchmark, tf TechniqueFactory, opts Options, seed uint64) (metrics.R
 	return result, nil
 }
 
-// RunSeeds runs one technique across all option seeds.
+// RunSeeds runs one technique across all option seeds on the grid engine
+// (opts.Workers concurrent cells; results identical to a serial loop).
 func RunSeeds(b Benchmark, tf TechniqueFactory, opts Options) ([]metrics.RunResult, error) {
-	out := make([]metrics.RunResult, 0, len(opts.Seeds))
-	for _, seed := range opts.Seeds {
-		r, err := Run(b, tf, opts, seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	g := Grid{Benchmarks: []Benchmark{b}, Techniques: []TechniqueFactory{tf}, Options: opts}
+	cells, err := RunGrid(context.Background(), g, Pool{Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]metrics.RunResult, 0, len(cells))
+	for _, cr := range cells {
+		out = append(out, cr.Result)
 	}
 	return out, nil
 }
@@ -79,22 +82,12 @@ type Comparison struct {
 }
 
 // Compare runs the given techniques (default: all five) on a benchmark.
+// Cells execute on the grid engine with opts.Workers concurrency; the
+// result is bit-identical to the serial path for any worker count.
 func Compare(b Benchmark, opts Options, techniques ...TechniqueFactory) (*Comparison, error) {
-	if len(techniques) == 0 {
-		techniques = StandardTechniques(opts)
-	}
-	cmp := &Comparison{
-		Benchmark: b,
-		Options:   opts,
-		Results:   make(map[string][]metrics.RunResult, len(techniques)),
-	}
-	for _, tf := range techniques {
-		runs, err := RunSeeds(b, tf, opts)
-		if err != nil {
-			return nil, err
-		}
-		cmp.Results[tf.Name] = runs
-		cmp.Order = append(cmp.Order, tf.Name)
+	cmp, _, err := CompareGrid(context.Background(), b, opts, Pool{Workers: opts.Workers}, techniques...)
+	if err != nil {
+		return nil, err
 	}
 	return cmp, nil
 }

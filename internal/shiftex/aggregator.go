@@ -611,10 +611,14 @@ func (a *Aggregator) cohorts(f *federation.Federation) map[int][]int {
 func (a *Aggregator) trainExperts(f *federation.Federation, cohorts map[int][]int, rounds int) ([]float64, error) {
 	hists := f.PartyHists()
 
-	// Build a FLIPS selector per expert cohort.
+	// Build a FLIPS selector per expert cohort. Cohorts are visited in
+	// sorted order because flips.New draws from the aggregator RNG: map
+	// order would consume the stream differently on every run and break
+	// the experiment grid's bit-reproducibility contract.
 	selectors := make(map[int]*flips.Selector)
 	if !a.cfg.DisableFLIPS {
-		for id, members := range cohorts {
+		for _, id := range SortedKeys(cohorts) {
+			members := cohorts[id]
 			if len(members) < 2 {
 				continue
 			}
