@@ -1,23 +1,45 @@
-// Command shiftex-aggregator runs a minimal multi-process federation demo:
-// it dials a set of shiftex-party servers over TCP, trains a global model
-// with FedAvg for a number of rounds, collects Algorithm-1 shift statistics
-// from every party each "window", and prints per-party accuracy — the
-// cross-process counterpart of the in-process experiments.
+// Command shiftex-aggregator is the ShiftEx service daemon: it drives the
+// full shift-aware mixture-of-experts algorithm (detection → latent-memory
+// lookup → expert spawn/consolidation) over parties reached through TCP —
+// the deployable, cross-process counterpart of the in-process experiments,
+// making the same decisions for the same seed.
 //
-// Start parties first (each prints its address), then:
+// Start scenario-mode parties first, then point the aggregator at them:
 //
-//	shiftex-aggregator -parties 127.0.0.1:7001,127.0.0.1:7002 -rounds 10
+//	shiftex-party -addr 127.0.0.1:7001 -party 0 -nparties 2 -windows 3 -scenario-seed 42 &
+//	shiftex-party -addr 127.0.0.1:7002 -party 1 -nparties 2 -windows 3 -scenario-seed 42 &
+//	shiftex-aggregator -parties 127.0.0.1:7001,127.0.0.1:7002 -windows 3 -seed 42 \
+//	    -http 127.0.0.1:8080 -checkpoint shiftex.ckpt.json -quorum 0.5
+//
+// The i-th -parties address must serve party ID i.
+//
+// Alternatively, -load N spins N in-process parties (still over loopback
+// TCP) to exercise the daemon at scale without managing processes:
+//
+//	shiftex-aggregator -load 16 -windows 4 -seed 7
+//
+// A killed daemon restarted with -resume continues from its last completed
+// window and converges to the same final state as an uninterrupted run;
+// party processes keep their stream position and detector state on their
+// own. -http serves /healthz, /state, and Prometheus /metrics.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/fl"
-	"repro/internal/nn"
+	"repro/internal/service"
+	"repro/internal/shiftex"
 	"repro/internal/tensor"
 )
 
@@ -28,63 +50,244 @@ func main() {
 	}
 }
 
+// parseArch parses the -arch hidden-width list ("32,16").
+func parseArch(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	hidden := make([]int, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -arch %q: widths must be positive integers (e.g. -arch 32,16)", s)
+		}
+		hidden = append(hidden, w)
+	}
+	return hidden, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("shiftex-aggregator", flag.ContinueOnError)
-	partyList := fs.String("parties", "", "comma-separated party addresses")
-	rounds := fs.Int("rounds", 10, "federated rounds")
+	partyList := fs.String("parties", "", "comma-separated party addresses (i-th address serves party i)")
+	load := fs.Int("load", 0, "load-generator mode: spin N in-process parties over loopback TCP instead of -parties")
+	var windows int
+	fs.IntVar(&windows, "windows", 3, "stream windows including the W0 bootstrap")
+	fs.IntVar(&windows, "window", 3, "alias for -windows")
+	rounds := fs.Int("rounds", 6, "federated rounds per adaptive window")
+	bootstrap := fs.Int("bootstrap", 0, "bootstrap rounds in window 0 (0 = same as -rounds)")
+	participants := fs.Int("participants", 10, "per-expert cohort sample size per round")
 	epochs := fs.Int("epochs", 2, "local epochs per round")
 	lr := fs.Float64("lr", 0.02, "local learning rate")
+	seed := fs.Uint64("seed", 1, "run seed: roots the aggregator RNG, every per-party stream, and (with -load) the scenario")
+	archFlag := fs.String("arch", "32,16", "hidden layer widths, comma-separated")
+	samples := fs.Int("samples", 120, "scenario training samples per party per window (must match the parties'; with -load -resume, must match the original run — the checkpoint pins seed and windows but not data shape)")
+	testN := fs.Int("test", 60, "scenario test samples per party per window (same consistency rule as -samples)")
+	quorum := fs.Float64("quorum", 0.5, "fraction of selected parties that must report for a round to complete, in (0,1] (1 = all; use a small fraction to tolerate most dropouts)")
+	timeout := fs.Duration("timeout", time.Minute, "per-party call timeout (0 = transport default)")
+	retries := fs.Int("retries", 1, "extra attempts per failed party call")
+	workers := fs.Int("workers", 4, "concurrent party calls per fan-out")
+	checkpoint := fs.String("checkpoint", "", "checkpoint file written after every completed window")
+	resume := fs.Bool("resume", false, "resume from -checkpoint instead of starting at window 0")
+	httpAddr := fs.String("http", "", "serve /healthz, /state, /metrics on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	addrs := strings.Split(*partyList, ",")
-	if *partyList == "" || len(addrs) == 0 {
-		return fmt.Errorf("no parties given (use -parties host:port,host:port)")
-	}
 
-	spec := dataset.FMoWSpec()
-	arch := []int{spec.InputDim, 32, 16, spec.NumClasses}
-	model, err := nn.NewMLP(arch, tensor.NewRNG(1))
+	hidden, err := parseArch(*archFlag)
 	if err != nil {
 		return err
 	}
-	global := model.Params()
-
-	trainer := fl.NewTCPTrainer(nil)
-	selected := make([]int, 0, len(addrs))
-	for i, addr := range addrs {
-		trainer.Register(i, strings.TrimSpace(addr))
-		selected = append(selected, i)
+	if *resume && *checkpoint == "" {
+		return errors.New("-resume requires -checkpoint PATH")
 	}
-	engine := &fl.Engine{Arch: arch, Trainer: trainer, Workers: 4}
-
-	cfg := fl.TrainConfig{Epochs: *epochs, BatchSize: 16, LR: *lr, Momentum: 0.9}
-	for r := 0; r < *rounds; r++ {
-		cfg.Seed = uint64(r + 1)
-		next, updates, err := engine.Round(global, selected, cfg)
-		if err != nil {
-			return fmt.Errorf("round %d: %w", r, err)
-		}
-		global = next
-		var loss float64
-		for _, u := range updates {
-			loss += u.TrainLoss
-		}
-		fmt.Printf("round %2d: %d updates, mean local loss %.4f\n", r, len(updates), loss/float64(len(updates)))
+	if *quorum <= 0 || *quorum > 1 {
+		return fmt.Errorf("-quorum must be in (0,1], got %g (1 = all parties; a round always needs at least one update, so there is no 'no quorum' setting)", *quorum)
+	}
+	if (*partyList == "") == (*load == 0) {
+		return errors.New("exactly one of -parties or -load is required\n  usage: -parties host:port,host:port  |  -load N")
 	}
 
-	fmt.Println("collecting shift statistics and per-party accuracy:")
-	for _, id := range selected {
-		st, err := trainer.FetchStats(id, arch, global, spec.NumClasses)
-		if err != nil {
-			return fmt.Errorf("stats from party %d: %w", id, err)
+	// On resume the checkpoint pins the run's protocol. Peek it up front
+	// so everything built before service.Resume — the -load scenario, the
+	// usage hints — derives from the checkpointed seed and stream length
+	// rather than flag defaults that may not match the original run. An
+	// explicit -windows/-window flag still extends a finished stream.
+	windowsSet := false
+	fs.Visit(func(fg *flag.Flag) {
+		if fg.Name == "windows" || fg.Name == "window" {
+			windowsSet = true
 		}
-		acc, err := trainer.EvalParty(id, arch, global)
+	})
+	var cp *service.Checkpoint
+	if *resume {
+		cp, err = service.LoadCheckpoint(*checkpoint)
 		if err != nil {
-			return fmt.Errorf("eval party %d: %w", id, err)
+			return err
 		}
-		fmt.Printf("party %d: acc=%.3f  mmd=%.4f  jsd=%.4f  samples=%d\n",
-			id, acc, st.MMD, st.JSD, st.NumSamples)
+		*seed = cp.Seed
+		if !windowsSet {
+			windows = cp.NumWindows
+		}
 	}
+
+	// Assemble the party fleet.
+	var transport service.Transport
+	var nparties int
+	if *load > 0 {
+		nparties = *load
+		tr, closeFn, err := loadFleet(*load, windows, *samples, *testN, *seed)
+		if err != nil {
+			return err
+		}
+		defer closeFn()
+		transport = tr
+	} else {
+		addrs := strings.Split(*partyList, ",")
+		nparties = len(addrs)
+		m := make(map[int]string, len(addrs))
+		for i, a := range addrs {
+			m[i] = strings.TrimSpace(a)
+		}
+		tr, err := service.NewTCPTransport(m, 5*time.Second, *timeout)
+		if err != nil {
+			return err
+		}
+		// Fail fast with an actionable message before any training.
+		if err := tr.Ping(5 * time.Second); err != nil {
+			return fmt.Errorf("%w\n  start it with: shiftex-party -addr HOST:PORT -party ID -nparties %d -windows %d -scenario-seed %d",
+				err, nparties, windows, *seed)
+		}
+		transport = tr
+	}
+
+	spec := service.ScenarioSpec(nparties, *samples, *testN, windows)
+	cfg := shiftex.DefaultConfig()
+	cfg.RoundsPerWindow = *rounds
+	cfg.BootstrapRounds = *bootstrap
+	if cfg.BootstrapRounds <= 0 {
+		cfg.BootstrapRounds = *rounds
+	}
+	cfg.ParticipantsPerRound = *participants
+	cfg.Train.Epochs = *epochs
+	cfg.Train.LR = *lr
+
+	opts := service.Options{
+		Shiftex:    cfg,
+		Arch:       service.DefaultArch(spec, hidden),
+		NumClasses: spec.NumClasses,
+		Windows:    windows,
+		Seed:       *seed,
+		Fanout: service.FanoutConfig{
+			Workers: *workers,
+			Timeout: *timeout,
+			Retries: *retries,
+			Quorum:  *quorum,
+		},
+		CheckpointPath: *checkpoint,
+	}
+
+	var rt *service.Runtime
+	if *resume {
+		rt, err = service.ResumeFrom(transport, cp, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resumed from %s at window %d/%d\n", *checkpoint, rt.NextWindow(), rt.Windows())
+	} else {
+		rt, err = service.NewRuntime(transport, opts)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *httpAddr != "" {
+		srv := &http.Server{Addr: *httpAddr, Handler: rt.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "shiftex-aggregator: http:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("observability on http://%s (/healthz /state /metrics)\n", *httpAddr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	for w := rt.NextWindow(); w < rt.Windows(); w++ {
+		select {
+		case <-ctx.Done():
+			if *checkpoint != "" {
+				fmt.Println("interrupted; state is checkpointed through the last completed window")
+			} else {
+				fmt.Println("interrupted; no -checkpoint was set, progress is lost")
+			}
+			return nil
+		default:
+		}
+		rep, err := rt.RunWindow(w)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("window %d done: acc=%.3f shifted(cov=%d label=%d) experts=%d (new=%d merged=%d)\n",
+			w, last(rep.Trace), rep.ShiftedCov, rep.ShiftedLabel,
+			rep.ExpertsAfter, rep.NewExperts, rep.Merged)
+	}
+
+	m := rt.Metrics().Snapshot()
+	fmt.Printf("run complete: %d windows, %d rounds (mean %.2fs), %d experts, %d party failures tolerated\n",
+		m.WindowsDone, m.RoundsTotal, m.RoundLatencyMeanS, rt.Aggregator().Registry().Len(), m.PartyFailures)
 	return nil
+}
+
+func last(trace []float64) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	return trace[len(trace)-1]
+}
+
+// loadFleet starts n in-process scenario parties on loopback TCP — the
+// load-generator mode that exercises the full wire path in one process.
+func loadFleet(n, windows, samples, testN int, seed uint64) (*service.TCPTransport, func(), error) {
+	spec := service.ScenarioSpec(n, samples, testN, windows)
+	sc, err := dataset.BuildScenario(spec, dataset.DefaultShiftConfig(), seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	var servers []*fl.PartyServer
+	closeAll := func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}
+	addrs := make(map[int]string, n)
+	for p := 0; p < n; p++ {
+		provider, err := service.PartyWindows(sc, p)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		train, test, err := provider.PartyWindow(0)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		srv, err := fl.NewPartyServer("127.0.0.1:0", &fl.Party{ID: p, Train: train, Test: test}, spec.NumClasses, tensor.NewRNG(seed+uint64(p)))
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		srv.SetWindowProvider(provider)
+		servers = append(servers, srv)
+		addrs[p] = srv.Addr()
+	}
+	tr, err := service.NewTCPTransport(addrs, 0, 0)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	fmt.Printf("load mode: %d in-process parties on loopback TCP\n", n)
+	return tr, closeAll, nil
 }

@@ -9,8 +9,18 @@
 // against, and the full experiment harness that regenerates the paper's
 // tables and figures.
 //
+// Beyond the reproduction, internal/service makes the middleware claim
+// literal: a long-running ShiftEx runtime that drives the same aggregator
+// over pluggable in-process or TCP transports with bounded-parallel
+// fan-out, per-call timeouts, retries, and a round quorum; versioned
+// checkpoint/restore of the full aggregator state; and an HTTP
+// observability endpoint. cmd/shiftex-aggregator and cmd/shiftex-party are
+// its daemons; for the same seed the cross-process deployment makes
+// bit-identical decisions to the in-process run.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record. The benchmarks in bench_test.go regenerate each
+// paper-vs-measured record, the cross-process parity contract, and the
+// checkpoint schema. The benchmarks in bench_test.go regenerate each
 // table and figure at reduced scale; cmd/shiftex-bench produces them at any
 // scale.
 package repro

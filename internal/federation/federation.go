@@ -138,6 +138,26 @@ func (f *Federation) Stats(partyID int, params tensor.Vector) (detect.PartyStats
 	return f.detectors[partyID].Observe(model, p.Train, f.rng)
 }
 
+// StatsAll runs the shift detector for every party in ID order against the
+// given encoder parameters. Parties that cannot report (dropped out, empty
+// window) are skipped; an error is returned only when nobody reports.
+func (f *Federation) StatsAll(params tensor.Vector) ([]detect.PartyStats, error) {
+	out := make([]detect.PartyStats, 0, f.NumParties())
+	var errs []error
+	for _, p := range f.PartyIDs() {
+		st, err := f.Stats(p, params)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		out = append(out, st)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("federation: no party reported statistics: %w", errors.Join(errs...))
+	}
+	return out, nil
+}
+
 // ResetDetector clears a party's previous-window detection state.
 func (f *Federation) ResetDetector(partyID int) error {
 	if partyID < 0 || partyID >= len(f.detectors) {

@@ -67,6 +67,15 @@ type Update struct {
 	TrainLoss  float64       `json:"trainLoss"`
 }
 
+// DeriveRNG derives the deterministic per-party RNG for one assignment:
+// a pure function of (seed, partyID), independent of call order, scheduling,
+// and transport. Both the in-process runner and the TCP party server draw
+// through this, which is what makes an in-process federation and a
+// cross-process one produce bit-identical updates for the same seed.
+func DeriveRNG(seed uint64, partyID int) *tensor.RNG {
+	return tensor.NewRNG(seed ^ (uint64(partyID)+1)*0x9e3779b97f4a7c15)
+}
+
 // LocalTrain trains a fresh model initialized at the global parameters on
 // the party's data and returns the resulting update.
 func LocalTrain(p *Party, arch []int, global tensor.Vector, cfg TrainConfig, rng *tensor.RNG) (Update, error) {
@@ -172,7 +181,7 @@ func (r *LocalRunner) TrainParty(partyID int, arch []int, global tensor.Vector, 
 	if ok {
 		// Derive a per-call RNG under the lock; training itself runs
 		// unlocked so parties can train concurrently.
-		rng = tensor.NewRNG(cfg.Seed ^ (uint64(partyID)+1)*0x9e3779b97f4a7c15)
+		rng = DeriveRNG(cfg.Seed, partyID)
 	}
 	r.mu.Unlock()
 	if !ok {

@@ -8,8 +8,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/detect"
 	"repro/internal/nn"
+	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
@@ -25,6 +27,8 @@ const (
 	reqTrain reqKind = iota + 1
 	reqStats
 	reqEval
+	reqHist
+	reqAdvance
 )
 
 // request is the wire envelope sent by the aggregator.
@@ -33,9 +37,15 @@ type request struct {
 	Arch   []int
 	Global tensor.Vector
 	Cfg    TrainConfig
-	// NumClasses is used by stats requests.
+	// NumClasses is used by stats and histogram requests.
 	NumClasses int
-	Seed       uint64
+	// Seed makes party-side randomness (detector subsampling) a pure
+	// function of the request, so a remote party and an in-process one
+	// produce identical statistics. 0 falls back to the server's own
+	// stream (legacy behavior).
+	Seed uint64
+	// Window is the target stream window for advance requests.
+	Window int
 }
 
 // response is the wire envelope returned by a party.
@@ -43,21 +53,33 @@ type response struct {
 	Update Update
 	Stats  detect.PartyStats
 	Acc    float64
+	Hist   stats.Histogram
 	Err    string
+}
+
+// WindowProvider supplies a streaming party's per-window data. A party
+// server with a provider answers window-advance requests by swapping its
+// train/test splits; its detector state rolls forward across windows just
+// like the in-process federation's.
+type WindowProvider interface {
+	NumWindows() int
+	PartyWindow(w int) (train, test []dataset.Example, err error)
 }
 
 // PartyServer serves one party's training and shift-statistics endpoints
 // over TCP. It owns a background accept loop; stop it with Close.
 type PartyServer struct {
-	party    *Party
-	detector *detect.Detector
+	detector   *detect.Detector
+	numClasses int
 
 	ln   net.Listener
 	wg   sync.WaitGroup
 	stop chan struct{}
 
-	mu  sync.Mutex
-	rng *tensor.RNG
+	mu      sync.Mutex
+	party   *Party
+	windows WindowProvider
+	rng     *tensor.RNG
 }
 
 // NewPartyServer starts serving the party on addr (e.g. "127.0.0.1:0").
@@ -75,19 +97,36 @@ func NewPartyServer(addr string, party *Party, numClasses int, rng *tensor.RNG) 
 		return nil, fmt.Errorf("fl: listen %s: %w", addr, err)
 	}
 	s := &PartyServer{
-		party:    party,
-		detector: det,
-		ln:       ln,
-		stop:     make(chan struct{}),
-		rng:      rng,
+		party:      party,
+		detector:   det,
+		numClasses: numClasses,
+		ln:         ln,
+		stop:       make(chan struct{}),
+		rng:        rng,
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
 
+// SetWindowProvider attaches a stream of per-window data; the server then
+// honors window-advance requests from the aggregator.
+func (s *PartyServer) SetWindowProvider(p WindowProvider) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.windows = p
+}
+
 // Addr returns the server's bound address.
 func (s *PartyServer) Addr() string { return s.ln.Addr().String() }
+
+// snapshot returns a consistent copy of the party under the lock so
+// handlers can run unlocked while an advance swaps the window data.
+func (s *PartyServer) snapshot() *Party {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Party{ID: s.party.ID, Train: s.party.Train, Test: s.party.Test}
+}
 
 // Close stops the accept loop and waits for in-flight handlers.
 func (s *PartyServer) Close() error {
@@ -150,6 +189,17 @@ func (s *PartyServer) handle(conn net.Conn) {
 		} else {
 			resp.Acc = acc
 		}
+	case reqHist:
+		h, err := s.hist(req)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Hist = h
+		}
+	case reqAdvance:
+		if err := s.advance(req.Window); err != nil {
+			resp.Err = err.Error()
+		}
 	default:
 		resp.Err = fmt.Sprintf("fl: unknown request kind %d", req.Kind)
 	}
@@ -157,10 +207,10 @@ func (s *PartyServer) handle(conn net.Conn) {
 }
 
 func (s *PartyServer) train(req request) (Update, error) {
-	s.mu.Lock()
-	rng := s.rng.Split()
-	s.mu.Unlock()
-	return LocalTrain(s.party, req.Arch, req.Global, req.Cfg, rng)
+	p := s.snapshot()
+	// The same (seed, partyID) derivation the in-process runner uses, so
+	// updates are bit-identical across transports.
+	return LocalTrain(p, req.Arch, req.Global, req.Cfg, DeriveRNG(req.Cfg.Seed, p.ID))
 }
 
 func (s *PartyServer) computeStats(req request) (detect.PartyStats, error) {
@@ -173,14 +223,48 @@ func (s *PartyServer) computeStats(req request) (detect.PartyStats, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.detector.Observe(model, s.party.Train, s.rng)
+	rng := s.rng
+	if req.Seed != 0 {
+		rng = DeriveRNG(req.Seed, s.party.ID)
+	}
+	return s.detector.Observe(model, s.party.Train, rng)
 }
 
 func (s *PartyServer) eval(req request) (float64, error) {
+	return Evaluate(req.Arch, req.Global, s.snapshot().Test)
+}
+
+func (s *PartyServer) hist(req request) (stats.Histogram, error) {
+	n := req.NumClasses
+	if n <= 0 {
+		n = s.numClasses
+	}
+	return dataset.LabelHistogram(s.snapshot().Train, n), nil
+}
+
+func (s *PartyServer) advance(w int) error {
 	s.mu.Lock()
-	test := s.party.Test
-	s.mu.Unlock()
-	return Evaluate(req.Arch, req.Global, test)
+	defer s.mu.Unlock()
+	if s.windows == nil {
+		// A single-window (legacy) party already serves window 0, so
+		// advancing to it is a no-op — this keeps legacy parties drivable
+		// by the service aggregator, which always advances at window
+		// start.
+		if w == 0 {
+			return nil
+		}
+		return fmt.Errorf("fl: party %d has no window stream", s.party.ID)
+	}
+	if w < 0 || w >= s.windows.NumWindows() {
+		return fmt.Errorf("fl: party %d window %d out of range [0,%d)", s.party.ID, w, s.windows.NumWindows())
+	}
+	train, test, err := s.windows.PartyWindow(w)
+	if err != nil {
+		return fmt.Errorf("fl: party %d window %d: %w", s.party.ID, w, err)
+	}
+	s.party.Train = train
+	s.party.Test = test
+	return nil
 }
 
 // TCPTrainer is a Trainer that reaches parties over TCP.
@@ -189,6 +273,9 @@ type TCPTrainer struct {
 	addrs map[int]string
 	// DialTimeout bounds connection establishment; 0 means 5s.
 	DialTimeout time.Duration
+	// CallTimeout bounds one full request/response exchange (the
+	// connection deadline); 0 means 2m.
+	CallTimeout time.Duration
 }
 
 var _ Trainer = (*TCPTrainer)(nil)
@@ -233,7 +320,11 @@ func (t *TCPTrainer) roundTrip(partyID int, req request) (response, error) {
 		return response{}, fmt.Errorf("fl: dial party %d at %s: %w", partyID, addr, err)
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(2 * time.Minute))
+	callTimeout := t.CallTimeout
+	if callTimeout <= 0 {
+		callTimeout = 2 * time.Minute
+	}
+	_ = conn.SetDeadline(time.Now().Add(callTimeout))
 	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
 		return response{}, fmt.Errorf("fl: encode to party %d: %w", partyID, err)
 	}
@@ -257,13 +348,29 @@ func (t *TCPTrainer) TrainParty(partyID int, arch []int, global tensor.Vector, c
 }
 
 // FetchStats asks a remote party for its Algorithm-1 shift statistics
-// computed against the given encoder parameters.
-func (t *TCPTrainer) FetchStats(partyID int, arch []int, global tensor.Vector, numClasses int) (detect.PartyStats, error) {
-	resp, err := t.roundTrip(partyID, request{Kind: reqStats, Arch: arch, Global: global, NumClasses: numClasses})
+// computed against the given encoder parameters. A non-zero seed pins the
+// party-side subsampling RNG (see request.Seed).
+func (t *TCPTrainer) FetchStats(partyID int, arch []int, global tensor.Vector, numClasses int, seed uint64) (detect.PartyStats, error) {
+	resp, err := t.roundTrip(partyID, request{Kind: reqStats, Arch: arch, Global: global, NumClasses: numClasses, Seed: seed})
 	if err != nil {
 		return detect.PartyStats{}, err
 	}
 	return resp.Stats, nil
+}
+
+// HistParty asks a remote party for its current-window label histogram.
+func (t *TCPTrainer) HistParty(partyID, numClasses int) (stats.Histogram, error) {
+	resp, err := t.roundTrip(partyID, request{Kind: reqHist, NumClasses: numClasses})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Hist, nil
+}
+
+// AdvanceParty rolls a remote streaming party forward to window w.
+func (t *TCPTrainer) AdvanceParty(partyID, w int) error {
+	_, err := t.roundTrip(partyID, request{Kind: reqAdvance, Window: w})
+	return err
 }
 
 // EvalParty asks a remote party to evaluate parameters on its private test

@@ -81,7 +81,7 @@ func TestTCPStats(t *testing.T) {
 
 	trainer := NewTCPTrainer(map[int]string{p.ID: srv.Addr()})
 	global := initParams(t, a)
-	st, err := trainer.FetchStats(p.ID, a, global, spec.NumClasses)
+	st, err := trainer.FetchStats(p.ID, a, global, spec.NumClasses, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestTCPStats(t *testing.T) {
 		t.Fatalf("first-window MMD = %g, want 0", st.MMD)
 	}
 	// Second fetch compares against the first window's state.
-	st2, err := trainer.FetchStats(p.ID, a, global, spec.NumClasses)
+	st2, err := trainer.FetchStats(p.ID, a, global, spec.NumClasses, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/shiftex"
+)
+
+// CheckpointSchemaVersion is bumped on any incompatible change to the
+// checkpoint layout; Load refuses versions it does not understand.
+const CheckpointSchemaVersion = 1
+
+// Checkpoint is the versioned on-disk snapshot of a runtime, written
+// atomically after every completed window. It carries everything needed to
+// resume the stream with bit-identical decisions: the protocol (config,
+// arch, seed), the position (windows done), and the full aggregator state
+// including the RNG position. Party-side detector state lives with the
+// parties and survives an aggregator restart on its own.
+type Checkpoint struct {
+	SchemaVersion int                     `json:"schemaVersion"`
+	Seed          uint64                  `json:"seed"`
+	Arch          []int                   `json:"arch"`
+	NumClasses    int                     `json:"numClasses"`
+	NumWindows    int                     `json:"numWindows"`
+	WindowsDone   int                     `json:"windowsDone"` // next window to run
+	Config        shiftex.Config          `json:"config"`
+	Aggregator    shiftex.State           `json:"aggregator"`
+	Reports       []*shiftex.WindowReport `json:"reports,omitempty"`
+}
+
+// SaveCheckpoint writes the checkpoint via a temp file + rename so a crash
+// mid-write never corrupts the previous good checkpoint.
+func SaveCheckpoint(path string, cp *Checkpoint) error {
+	if cp.SchemaVersion == 0 {
+		cp.SchemaVersion = CheckpointSchemaVersion
+	}
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("service: encode checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.json")
+	if err != nil {
+		return fmt.Errorf("service: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("service: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("service: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("service: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: read checkpoint: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("service: decode checkpoint %s: %w", path, err)
+	}
+	if cp.SchemaVersion != CheckpointSchemaVersion {
+		return nil, fmt.Errorf("service: checkpoint %s has schema version %d, want %d",
+			path, cp.SchemaVersion, CheckpointSchemaVersion)
+	}
+	if cp.WindowsDone < 1 {
+		return nil, fmt.Errorf("service: checkpoint %s precedes bootstrap (windowsDone=%d)", path, cp.WindowsDone)
+	}
+	if len(cp.Arch) < 3 {
+		return nil, fmt.Errorf("service: checkpoint %s has invalid arch %v", path, cp.Arch)
+	}
+	return &cp, nil
+}

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCheckpointResumeParity enforces the satellite contract: save →
+// restore → continue produces bit-identical decisions to an uninterrupted
+// run on the same seed (the same discipline as
+// TestGridParitySerialVsParallel). The fleet survives the "crash" — parties
+// keep their stream and detector state, as they do when a real aggregator
+// process dies and restarts.
+func TestCheckpointResumeParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint parity is slow")
+	}
+	const seed = 7
+
+	// Reference: uninterrupted run.
+	scRef := testScenario(t, seed)
+	localRef, err := LocalTransportForScenario(scRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtRef := runAll(t, localRef, testOptions(scRef, seed))
+
+	// Interrupted run: same fleet object across the restart.
+	sc := testScenario(t, seed)
+	local, err := LocalTransportForScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions(sc, seed)
+	opts.CheckpointPath = filepath.Join(t.TempDir(), "shiftex.ckpt.json")
+
+	rt1, err := NewRuntime(local, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run bootstrap + first adaptive window, then "crash".
+	for w := 0; w < 2; w++ {
+		if _, err := rt1.RunWindow(w); err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+	}
+
+	rt2, err := Resume(local, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt2.NextWindow(); got != 2 {
+		t.Fatalf("resumed at window %d, want 2", got)
+	}
+	for w := rt2.NextWindow(); w < opts.Windows; w++ {
+		if _, err := rt2.RunWindow(w); err != nil {
+			t.Fatalf("resumed window %d: %v", w, err)
+		}
+	}
+
+	recRef, recResumed := record(rtRef), record(rt2)
+	if !reflect.DeepEqual(recRef, recResumed) {
+		t.Errorf("resumed run diverges from uninterrupted run:\nuninterrupted: %+v\n      resumed: %+v",
+			recRef, recResumed)
+	}
+	for _, id := range recRef.ExpertIDs {
+		a, _ := rtRef.Aggregator().Registry().Get(id)
+		b, ok := rt2.Aggregator().Registry().Get(id)
+		if !ok {
+			t.Errorf("expert %d missing after resume", id)
+			continue
+		}
+		if !reflect.DeepEqual(a.Params, b.Params) {
+			t.Errorf("expert %d parameters diverge after resume", id)
+		}
+		if !reflect.DeepEqual(a.Memory, b.Memory) {
+			t.Errorf("expert %d latent memory diverges after resume", id)
+		}
+	}
+}
+
+// TestResumeWindowsFallback: a resume that does not specify a stream
+// length inherits the checkpointed one instead of truncating the run.
+func TestResumeWindowsFallback(t *testing.T) {
+	sc := testScenario(t, 11)
+	local, err := LocalTransportForScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions(sc, 11)
+	opts.CheckpointPath = filepath.Join(t.TempDir(), "ckpt.json")
+	rt1, err := NewRuntime(local, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt1.RunWindow(0); err != nil {
+		t.Fatal(err)
+	}
+
+	resumeOpts := opts
+	resumeOpts.Windows = 0 // caller did not choose a length
+	rt2, err := Resume(local, resumeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt2.Windows() != opts.Windows {
+		t.Fatalf("resumed stream length %d, want checkpointed %d", rt2.Windows(), opts.Windows)
+	}
+	if rt2.NextWindow() != 1 {
+		t.Fatalf("resumed at %d, want 1", rt2.NextWindow())
+	}
+}
+
+func TestCheckpointFileValidation(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := LoadCheckpoint(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing checkpoint should fail")
+	}
+
+	garbled := filepath.Join(dir, "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(garbled); err == nil {
+		t.Error("garbled checkpoint should fail")
+	}
+
+	wrongVersion := filepath.Join(dir, "wrong-version.json")
+	if err := os.WriteFile(wrongVersion, []byte(`{"schemaVersion":999,"windowsDone":1,"arch":[4,3,2]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(wrongVersion); err == nil {
+		t.Error("future schema version should fail")
+	}
+
+	if err := SaveCheckpoint(filepath.Join(dir, "nested", "nope.json"), &Checkpoint{}); err == nil {
+		t.Error("save into missing directory should fail")
+	}
+}

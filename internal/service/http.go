@@ -1,0 +1,116 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the runtime's observability endpoint:
+//
+//	/healthz  liveness + stream position (JSON, always 200 while serving)
+//	/state    aggregator snapshot: experts, assignments, thresholds (JSON)
+//	/metrics  Prometheus text exposition of the runtime counters
+//
+// Handlers read locked snapshots only, so they are safe to serve while a
+// window is running.
+func (r *Runtime) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	mux.HandleFunc("/state", r.handleState)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (r *Runtime) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	r.mu.Lock()
+	next := r.nextWindow
+	r.mu.Unlock()
+	phase := "adapting"
+	switch {
+	case next == 0:
+		phase = "bootstrapping"
+	case next >= r.opts.Windows:
+		phase = "done"
+	}
+	writeJSON(w, map[string]any{
+		"status":        "ok",
+		"phase":         phase,
+		"nextWindow":    next,
+		"windowsTotal":  r.opts.Windows,
+		"parties":       r.fleet.NumParties(),
+		"uptimeSeconds": r.metrics.Snapshot().UptimeSeconds,
+	})
+}
+
+func (r *Runtime) handleState(w http.ResponseWriter, _ *http.Request) {
+	r.mu.Lock()
+	st := r.status
+	reports := len(r.reports)
+	r.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"window":       st.Window,
+		"windowsDone":  reports,
+		"experts":      st.Experts,
+		"distribution": st.Distribution,
+		"assignments":  st.Assignments,
+		"epsilon":      st.Epsilon,
+		"thresholds":   st.Thresholds,
+		"lastTrace":    st.Trace,
+	})
+}
+
+func (r *Runtime) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s := r.metrics.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b []byte
+	add := func(format string, args ...any) {
+		b = fmt.Appendf(b, format+"\n", args...)
+	}
+	add("# HELP shiftex_uptime_seconds Time since the runtime started.")
+	add("# TYPE shiftex_uptime_seconds gauge")
+	add("shiftex_uptime_seconds %g", s.UptimeSeconds)
+	add("# HELP shiftex_windows_completed Stream windows completed.")
+	add("# TYPE shiftex_windows_completed counter")
+	add("shiftex_windows_completed %d", s.WindowsDone)
+	add("# HELP shiftex_rounds_total Federated training rounds completed.")
+	add("# TYPE shiftex_rounds_total counter")
+	add("shiftex_rounds_total %d", s.RoundsTotal)
+	add("# HELP shiftex_rounds_failed_total Rounds that missed quorum.")
+	add("# TYPE shiftex_rounds_failed_total counter")
+	add("shiftex_rounds_failed_total %d", s.RoundsFailed)
+	add("# HELP shiftex_round_latency_seconds Wall-clock time of a training round.")
+	add("# TYPE shiftex_round_latency_seconds gauge")
+	add(`shiftex_round_latency_seconds{stat="last"} %g`, s.RoundLatencyLastS)
+	add(`shiftex_round_latency_seconds{stat="mean"} %g`, s.RoundLatencyMeanS)
+	add("# HELP shiftex_experts Expert-pool size after the last window.")
+	add("# TYPE shiftex_experts gauge")
+	add("shiftex_experts %d", s.ExpertPoolSize)
+	add("# HELP shiftex_experts_created_total Experts spawned for shifted clusters.")
+	add("# TYPE shiftex_experts_created_total counter")
+	add("shiftex_experts_created_total %d", s.ExpertsCreated)
+	add("# HELP shiftex_experts_merged_total Experts removed by consolidation.")
+	add("# TYPE shiftex_experts_merged_total counter")
+	add("shiftex_experts_merged_total %d", s.ExpertsMerged)
+	add("# HELP shiftex_shift_events_total Per-party shift detections.")
+	add("# TYPE shiftex_shift_events_total counter")
+	add(`shiftex_shift_events_total{kind="covariate"} %d`, s.ShiftEventsCov)
+	add(`shiftex_shift_events_total{kind="label"} %d`, s.ShiftEventsLabel)
+	add("# HELP shiftex_party_failures_total Party calls that exhausted retries.")
+	add("# TYPE shiftex_party_failures_total counter")
+	add("shiftex_party_failures_total %d", s.PartyFailures)
+	add("# HELP shiftex_round_stragglers_total Selected parties that missed rounds tolerated by quorum.")
+	add("# TYPE shiftex_round_stragglers_total counter")
+	add("shiftex_round_stragglers_total %d", s.StragglersTotal)
+	add("# HELP shiftex_checkpoints_written_total Checkpoint files committed.")
+	add("# TYPE shiftex_checkpoints_written_total counter")
+	add("shiftex_checkpoints_written_total %d", s.CheckpointsWritten)
+	_, _ = w.Write(b)
+}

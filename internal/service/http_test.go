@@ -1,0 +1,102 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestObservabilityEndpoints(t *testing.T) {
+	sc := testScenario(t, 3)
+	local, err := LocalTransportForScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(local, testOptions(sc, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Before any window: healthy, bootstrapping.
+	code, body := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if health["status"] != "ok" || health["phase"] != "bootstrapping" {
+		t.Fatalf("unexpected health: %v", health)
+	}
+
+	if _, err := rt.RunWindow(0); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body = get("/state")
+	if code != http.StatusOK {
+		t.Fatalf("/state = %d, want 200", code)
+	}
+	var state struct {
+		Window      int            `json:"window"`
+		WindowsDone int            `json:"windowsDone"`
+		Experts     []int          `json:"experts"`
+		Assignments map[string]int `json:"assignments"`
+		Epsilon     float64        `json:"epsilon"`
+	}
+	if err := json.Unmarshal([]byte(body), &state); err != nil {
+		t.Fatalf("/state not JSON: %v\n%s", err, body)
+	}
+	if state.WindowsDone != 1 || len(state.Experts) != 1 || len(state.Assignments) != sc.Spec.NumParties {
+		t.Fatalf("unexpected state after bootstrap: %s", body)
+	}
+	if state.Epsilon <= 0 {
+		t.Fatalf("epsilon not calibrated after bootstrap: %s", body)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", code)
+	}
+	for _, metric := range []string{
+		"shiftex_rounds_total", "shiftex_windows_completed", "shiftex_experts",
+		"shiftex_round_latency_seconds", "shiftex_shift_events_total",
+		"shiftex_party_failures_total",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+	if !strings.Contains(body, "shiftex_windows_completed 1") {
+		t.Errorf("window count not exported:\n%s", body)
+	}
+	if !strings.Contains(body, "shiftex_rounds_total 4") {
+		t.Errorf("4 bootstrap rounds should be counted:\n%s", body)
+	}
+
+	// /healthz reflects progress.
+	_, body = get("/healthz")
+	if !strings.Contains(body, `"phase": "adapting"`) {
+		t.Errorf("health phase should be adapting after bootstrap: %s", body)
+	}
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Metrics is the runtime's mutable observability state, exposed through the
+// /metrics endpoint. All methods are safe for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	start time.Time
+
+	roundsTotal      int
+	roundsFailed     int
+	roundLatencyLast time.Duration
+	roundLatencySum  time.Duration
+	stragglersTotal  int
+
+	partyFailures int
+
+	windowsDone     int
+	shiftEventsCov  int
+	shiftEventsLab  int
+	expertsCreated  int
+	expertsMerged   int
+	expertPoolSize  int
+	checkpointsSave int
+}
+
+// NewMetrics returns zeroed metrics with the clock started.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// ObserveRound records one completed training round and how many selected
+// parties failed to report (stragglers tolerated by the quorum).
+func (m *Metrics) ObserveRound(d time.Duration, stragglers int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.roundsTotal++
+	m.roundLatencyLast = d
+	m.roundLatencySum += d
+	m.stragglersTotal += stragglers
+}
+
+// RoundFailed records a round that missed quorum.
+func (m *Metrics) RoundFailed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.roundsFailed++
+}
+
+// PartyFailure records one exhausted-retry party call.
+func (m *Metrics) PartyFailure() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.partyFailures++
+}
+
+// ObserveWindow records one completed window's adaptation outcome.
+func (m *Metrics) ObserveWindow(shiftedCov, shiftedLabel, created, merged, poolSize int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.windowsDone++
+	m.shiftEventsCov += shiftedCov
+	m.shiftEventsLab += shiftedLabel
+	m.expertsCreated += created
+	m.expertsMerged += merged
+	m.expertPoolSize = poolSize
+}
+
+// ObserveCheckpoint records one checkpoint write.
+func (m *Metrics) ObserveCheckpoint() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checkpointsSave++
+}
+
+// MetricsSnapshot is a point-in-time copy for rendering.
+type MetricsSnapshot struct {
+	UptimeSeconds      float64
+	RoundsTotal        int
+	RoundsFailed       int
+	RoundLatencyLastS  float64
+	RoundLatencyMeanS  float64
+	StragglersTotal    int
+	PartyFailures      int
+	WindowsDone        int
+	ShiftEventsCov     int
+	ShiftEventsLabel   int
+	ExpertsCreated     int
+	ExpertsMerged      int
+	ExpertPoolSize     int
+	CheckpointsWritten int
+}
+
+// Snapshot copies the current counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		UptimeSeconds:      time.Since(m.start).Seconds(),
+		RoundsTotal:        m.roundsTotal,
+		RoundsFailed:       m.roundsFailed,
+		RoundLatencyLastS:  m.roundLatencyLast.Seconds(),
+		StragglersTotal:    m.stragglersTotal,
+		PartyFailures:      m.partyFailures,
+		WindowsDone:        m.windowsDone,
+		ShiftEventsCov:     m.shiftEventsCov,
+		ShiftEventsLabel:   m.shiftEventsLab,
+		ExpertsCreated:     m.expertsCreated,
+		ExpertsMerged:      m.expertsMerged,
+		ExpertPoolSize:     m.expertPoolSize,
+		CheckpointsWritten: m.checkpointsSave,
+	}
+	if m.roundsTotal > 0 {
+		s.RoundLatencyMeanS = m.roundLatencySum.Seconds() / float64(m.roundsTotal)
+	}
+	return s
+}

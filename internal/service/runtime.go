@@ -1,0 +1,241 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/shiftex"
+	"repro/internal/stats"
+)
+
+// Options configures a runtime.
+type Options struct {
+	// Shiftex is the Algorithm-2 protocol configuration.
+	Shiftex shiftex.Config
+	// Arch is the full model layer-width list (input..output).
+	Arch []int
+	// NumClasses is the label-space size.
+	NumClasses int
+	// Windows is the total stream length including the W0 bootstrap.
+	Windows int
+	// Seed roots the aggregator RNG and every per-party stream.
+	Seed uint64
+	// Fanout bounds party communication.
+	Fanout FanoutConfig
+	// CheckpointPath, when set, is written atomically after every
+	// completed window and read back by Resume.
+	CheckpointPath string
+}
+
+// Runtime is the long-running ShiftEx service: it owns the aggregator and a
+// fleet, runs the stream window by window, checkpoints after each, and
+// exposes its state over HTTP (see Handler).
+type Runtime struct {
+	opts    Options
+	fleet   *Fleet
+	agg     *shiftex.Aggregator
+	metrics *Metrics
+
+	mu         sync.Mutex
+	nextWindow int
+	reports    []*shiftex.WindowReport
+	status     statusSnapshot
+}
+
+// statusSnapshot is the last completed window's aggregator view, copied
+// under the runtime lock so HTTP reads never race a window in flight.
+type statusSnapshot struct {
+	Window       int
+	Experts      []int
+	Distribution map[int]int
+	Assignments  map[int]int
+	Epsilon      float64
+	Thresholds   stats.Thresholds
+	Trace        []float64
+}
+
+// NewRuntime builds a fresh runtime (stream starts at window 0).
+func NewRuntime(t Transport, opts Options) (*Runtime, error) {
+	if err := opts.Shiftex.Validate(); err != nil {
+		return nil, err
+	}
+	metrics := NewMetrics()
+	fleet, err := NewFleet(t, opts.Arch, opts.NumClasses, opts.Windows, opts.Seed, opts.Fanout, metrics)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := shiftex.New(opts.Shiftex, opts.Seed^0x7ec)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{opts: opts, fleet: fleet, agg: agg, metrics: metrics}, nil
+}
+
+// Resume rebuilds a runtime from opts.CheckpointPath. The checkpoint's
+// protocol (config, arch, seed, window count) overrides opts so a resumed
+// daemon cannot silently diverge from the run it is continuing; the party
+// fleet must be the same one the checkpointed run was driving (parties keep
+// their own stream and detector state across an aggregator restart).
+func Resume(t Transport, opts Options) (*Runtime, error) {
+	if opts.CheckpointPath == "" {
+		return nil, errors.New("service: resume needs a checkpoint path")
+	}
+	cp, err := LoadCheckpoint(opts.CheckpointPath)
+	if err != nil {
+		return nil, err
+	}
+	return ResumeFrom(t, cp, opts)
+}
+
+// ResumeFrom is Resume for an already-loaded checkpoint, so callers that
+// peeked at it (e.g. to build a matching party fleet) don't read and decode
+// the file — which carries every expert's parameters — twice.
+func ResumeFrom(t Transport, cp *Checkpoint, opts Options) (*Runtime, error) {
+	if opts.NumClasses != 0 && opts.NumClasses != cp.NumClasses {
+		return nil, fmt.Errorf("service: checkpoint has %d classes, flags say %d", cp.NumClasses, opts.NumClasses)
+	}
+	// The checkpointed assignment names every party the run was driving; a
+	// fleet of a different size is a different federation, not a resume.
+	if n := len(cp.Aggregator.Assignment); n > 0 && n != len(t.PartyIDs()) {
+		return nil, fmt.Errorf("service: checkpoint covers %d parties, fleet has %d", n, len(t.PartyIDs()))
+	}
+	opts.Shiftex = cp.Config
+	opts.Arch = cp.Arch
+	opts.NumClasses = cp.NumClasses
+	opts.Seed = cp.Seed
+	// The stream length is deployment config, not aggregator state (no
+	// decision looks ahead), so the caller may extend a finished stream;
+	// left at zero it falls back to the checkpointed length.
+	if opts.Windows <= 0 {
+		opts.Windows = cp.NumWindows
+	}
+
+	metrics := NewMetrics()
+	fleet, err := NewFleet(t, opts.Arch, opts.NumClasses, opts.Windows, opts.Seed, opts.Fanout, metrics)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := shiftex.Restore(cp.Config, cp.Aggregator)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{opts: opts, fleet: fleet, agg: agg, metrics: metrics, nextWindow: cp.WindowsDone}
+	r.reports = append(r.reports, cp.Reports...)
+	r.refreshStatus(cp.WindowsDone - 1)
+	return r, nil
+}
+
+// Metrics exposes the runtime's counters.
+func (r *Runtime) Metrics() *Metrics { return r.metrics }
+
+// Fleet exposes the runtime's party fleet.
+func (r *Runtime) Fleet() *Fleet { return r.fleet }
+
+// Aggregator exposes the underlying ShiftEx coordinator (read it only
+// between windows; Run mutates it).
+func (r *Runtime) Aggregator() *shiftex.Aggregator { return r.agg }
+
+// Windows returns the total stream length the runtime will run.
+func (r *Runtime) Windows() int { return r.opts.Windows }
+
+// NextWindow returns the next stream window the runtime will run.
+func (r *Runtime) NextWindow() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextWindow
+}
+
+// Reports returns the completed windows' reports.
+func (r *Runtime) Reports() []*shiftex.WindowReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*shiftex.WindowReport(nil), r.reports...)
+}
+
+// Done reports whether the stream is exhausted.
+func (r *Runtime) Done() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextWindow >= r.opts.Windows
+}
+
+// refreshStatus recomputes the HTTP-facing snapshot from the aggregator.
+// Callers must not be mid-window.
+func (r *Runtime) refreshStatus(window int) {
+	st := statusSnapshot{
+		Window:      window,
+		Experts:     r.agg.Registry().IDs(),
+		Assignments: r.agg.Assignments(),
+		Epsilon:     r.agg.Epsilon(),
+		Thresholds:  r.agg.Thresholds(),
+	}
+	st.Distribution = shiftex.Snapshot(st.Assignments)
+	if n := len(r.reports); n > 0 {
+		st.Trace = append([]float64(nil), r.reports[n-1].Trace...)
+	}
+	r.mu.Lock()
+	r.status = st
+	r.mu.Unlock()
+}
+
+// RunWindow runs exactly one stream window (bootstrap when w == 0),
+// checkpoints if configured, and returns the window report.
+func (r *Runtime) RunWindow(w int) (*shiftex.WindowReport, error) {
+	var rep *shiftex.WindowReport
+	var err error
+	if w == 0 {
+		rep, err = r.agg.Bootstrap(r.fleet)
+	} else {
+		if err = r.fleet.SetWindow(w); err != nil {
+			return nil, err
+		}
+		rep, err = r.agg.AdaptWindow(r.fleet, w)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: window %d: %w", w, err)
+	}
+	r.metrics.ObserveWindow(rep.ShiftedCov, rep.ShiftedLabel, rep.NewExperts, rep.Merged, r.agg.Registry().Len())
+
+	r.mu.Lock()
+	r.reports = append(r.reports, rep)
+	r.nextWindow = w + 1
+	r.mu.Unlock()
+	r.refreshStatus(w)
+
+	if r.opts.CheckpointPath != "" {
+		cp := &Checkpoint{
+			SchemaVersion: CheckpointSchemaVersion,
+			Seed:          r.opts.Seed,
+			Arch:          r.opts.Arch,
+			NumClasses:    r.opts.NumClasses,
+			NumWindows:    r.opts.Windows,
+			WindowsDone:   w + 1,
+			Config:        r.opts.Shiftex,
+			Aggregator:    r.agg.ExportState(),
+			Reports:       r.Reports(),
+		}
+		if err := SaveCheckpoint(r.opts.CheckpointPath, cp); err != nil {
+			return nil, err
+		}
+		r.metrics.ObserveCheckpoint()
+	}
+	return rep, nil
+}
+
+// Run drives the stream from the current position to the end, honoring
+// context cancellation at window granularity.
+func (r *Runtime) Run(ctx context.Context) error {
+	for w := r.NextWindow(); w < r.opts.Windows; w++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if _, err := r.RunWindow(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+)
+
+// ScenarioSpec derives the shared workload spec both sides of a deployment
+// build from the same flags. It is the FMoW setting resized; because the
+// scenario is regenerated deterministically from (spec, seed) on every
+// participant, aggregator and parties agree on the data without any of it
+// crossing the wire.
+func ScenarioSpec(parties, samplesPerParty, testPerParty, windows int) dataset.Spec {
+	spec := dataset.FMoWSpec()
+	spec.NumParties = parties
+	spec.SamplesPerParty = samplesPerParty
+	spec.TestPerParty = testPerParty
+	spec.Windows = windows
+	return spec
+}
+
+// DefaultArch returns the service model architecture for a spec with the
+// given hidden widths (default 32-16).
+func DefaultArch(spec dataset.Spec, hidden []int) []int {
+	if len(hidden) == 0 {
+		hidden = []int{32, 16}
+	}
+	arch := make([]int, 0, len(hidden)+2)
+	arch = append(arch, spec.InputDim)
+	arch = append(arch, hidden...)
+	arch = append(arch, spec.NumClasses)
+	return arch
+}
+
+// scenarioWindows adapts one party's slice of a scenario to
+// fl.WindowProvider.
+type scenarioWindows struct {
+	sc    *dataset.Scenario
+	party int
+}
+
+var _ fl.WindowProvider = scenarioWindows{}
+
+func (s scenarioWindows) NumWindows() int { return len(s.sc.Windows) }
+
+func (s scenarioWindows) PartyWindow(w int) ([]dataset.Example, []dataset.Example, error) {
+	if w < 0 || w >= len(s.sc.Windows) {
+		return nil, nil, fmt.Errorf("service: window %d out of range [0,%d)", w, len(s.sc.Windows))
+	}
+	pw := s.sc.Windows[w][s.party]
+	return pw.Train, pw.Test, nil
+}
+
+// PartyWindows returns the window stream of one party of a scenario.
+func PartyWindows(sc *dataset.Scenario, party int) (fl.WindowProvider, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("service: nil scenario")
+	}
+	if party < 0 || party >= sc.Spec.NumParties {
+		return nil, fmt.Errorf("service: party %d out of range [0,%d)", party, sc.Spec.NumParties)
+	}
+	return scenarioWindows{sc: sc, party: party}, nil
+}
+
+// LocalTransportForScenario builds an in-process fleet serving every party
+// of a scenario.
+func LocalTransportForScenario(sc *dataset.Scenario) (*LocalTransport, error) {
+	t := NewLocalTransport()
+	for p := 0; p < sc.Spec.NumParties; p++ {
+		windows, err := PartyWindows(sc, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddParty(p, sc.Spec.NumClasses, windows); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

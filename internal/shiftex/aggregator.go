@@ -93,6 +93,32 @@ func (c Config) Validate() error {
 	return c.Train.Validate()
 }
 
+// Fleet is the party substrate Algorithm 2 drives. The in-process
+// *federation.Federation satisfies it directly; internal/service provides a
+// transport-backed implementation that reaches parties in other processes.
+// Everything the aggregator decides is a function of the Fleet's answers
+// plus its own seeded RNG, so two Fleets that answer identically (same
+// data, same per-party seed derivation) yield bit-identical decisions.
+type Fleet interface {
+	Arch() []int
+	NumParties() int
+	PartyIDs() []int
+	InitialParams() (tensor.Vector, error)
+	SetWindow(w int) error
+	Round(params tensor.Vector, selected []int, cfg fl.TrainConfig) (tensor.Vector, []fl.Update, error)
+	// StatsAll collects Algorithm-1 statistics from every party through
+	// the given encoder parameters, in party-ID order. Parties that fail
+	// to report are skipped; an error is returned only when nobody
+	// reports. Batching lets a transport-backed fleet fan the collection
+	// out — it is the hot step of every post-bootstrap window.
+	StatsAll(params tensor.Vector) ([]detect.PartyStats, error)
+	EvalAssignment(paramsFor func(partyID int) tensor.Vector) (float64, error)
+	LocalFineTune(partyID int, params tensor.Vector, cfg fl.TrainConfig) (tensor.Vector, error)
+	PartyHists() []stats.Histogram
+}
+
+var _ Fleet = (*federation.Federation)(nil)
+
 // WindowReport summarizes one window's adaptation.
 type WindowReport struct {
 	Window        int
@@ -211,14 +237,14 @@ func (a *Aggregator) RunWindow(f *federation.Federation, w int) ([]float64, erro
 }
 
 // Bootstrap runs window 0 and returns the full report.
-func (a *Aggregator) Bootstrap(f *federation.Federation) (*WindowReport, error) {
+func (a *Aggregator) Bootstrap(f Fleet) (*WindowReport, error) {
 	if err := f.SetWindow(0); err != nil {
 		return nil, err
 	}
 	return a.bootstrap(f)
 }
 
-func (a *Aggregator) bootstrap(f *federation.Federation) (*WindowReport, error) {
+func (a *Aggregator) bootstrap(f Fleet) (*WindowReport, error) {
 	if a.registry.Len() != 0 {
 		return nil, errors.New("shiftex: bootstrap must run on an empty registry")
 	}
@@ -267,24 +293,11 @@ func (a *Aggregator) bootstrap(f *federation.Federation) (*WindowReport, error) 
 // Parties that fail to report (dropped out, empty window) are skipped —
 // they are treated as stable for this window, which is the safe default in
 // a live federation; an error is returned only when nobody reports.
-func (a *Aggregator) observeAll(f *federation.Federation) ([]detect.PartyStats, error) {
+func (a *Aggregator) observeAll(f Fleet) ([]detect.PartyStats, error) {
 	if a.encoder == nil {
 		return nil, errors.New("shiftex: encoder not initialized (bootstrap first)")
 	}
-	out := make([]detect.PartyStats, 0, f.NumParties())
-	var errs []error
-	for _, p := range f.PartyIDs() {
-		st, err := f.Stats(p, a.encoder)
-		if err != nil {
-			errs = append(errs, err)
-			continue
-		}
-		out = append(out, st)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("shiftex: no party reported statistics: %w", errors.Join(errs...))
-	}
-	return out, nil
+	return f.StatsAll(a.encoder)
 }
 
 // calibrate derives δ_cov, δ_label (bootstrap null distributions, §5) and,
@@ -390,7 +403,7 @@ func resampleHistogram(h stats.Histogram, n int, rng *tensor.RNG) stats.Histogra
 
 // AdaptWindow runs Algorithm 2 for one post-bootstrap window and returns
 // the full report. The federation must already be positioned at window w.
-func (a *Aggregator) AdaptWindow(f *federation.Federation, w int) (*WindowReport, error) {
+func (a *Aggregator) AdaptWindow(f Fleet, w int) (*WindowReport, error) {
 	if a.registry.Len() == 0 {
 		return nil, ErrNoExperts
 	}
@@ -456,7 +469,7 @@ func (a *Aggregator) AdaptWindow(f *federation.Federation, w int) (*WindowReport
 
 // reassign clusters the shifted parties and routes each cluster to an
 // existing or new expert via the facility-location solver (§5.1-5.2).
-func (a *Aggregator) reassign(f *federation.Federation, shifted []int, statByParty map[int]detect.PartyStats, rep *WindowReport) error {
+func (a *Aggregator) reassign(f Fleet, shifted []int, statByParty map[int]detect.PartyStats, rep *WindowReport) error {
 	points := make([]tensor.Vector, len(shifted))
 	for i, p := range shifted {
 		points[i] = statByParty[p].MeanEmbedding
@@ -593,7 +606,7 @@ func (a *Aggregator) reassign(f *federation.Federation, shifted []int, statByPar
 }
 
 // cohorts groups parties by assigned expert.
-func (a *Aggregator) cohorts(f *federation.Federation) map[int][]int {
+func (a *Aggregator) cohorts(f Fleet) map[int][]int {
 	out := make(map[int][]int)
 	for _, p := range f.PartyIDs() {
 		id, ok := a.assignment[p]
@@ -608,7 +621,7 @@ func (a *Aggregator) cohorts(f *federation.Federation) map[int][]int {
 // trainExperts runs `rounds` federated rounds for every expert with a
 // non-empty cohort, recording the global assignment accuracy after each
 // round. Participant selection uses FLIPS label clustering unless disabled.
-func (a *Aggregator) trainExperts(f *federation.Federation, cohorts map[int][]int, rounds int) ([]float64, error) {
+func (a *Aggregator) trainExperts(f Fleet, cohorts map[int][]int, rounds int) ([]float64, error) {
 	hists := f.PartyHists()
 
 	// Build a FLIPS selector per expert cohort. Cohorts are visited in
@@ -710,7 +723,7 @@ func (a *Aggregator) updateMemories(anchor []detect.PartyStats) error {
 
 // consolidate merges near-duplicate experts and rewires assignments,
 // returning the number of merges.
-func (a *Aggregator) consolidate(f *federation.Federation) (int, error) {
+func (a *Aggregator) consolidate(f Fleet) (int, error) {
 	sizes := Snapshot(a.assignment)
 	remap, err := a.registry.Consolidate(f.Arch(), a.cfg.Tau, a.epsilon, sizes)
 	if err != nil {

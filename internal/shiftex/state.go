@@ -1,0 +1,121 @@
+package shiftex
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// ExpertState is the serializable form of one expert.
+type ExpertState struct {
+	ID     int           `json:"id"`
+	Params tensor.Vector `json:"params"`
+	Memory tensor.Vector `json:"memory,omitempty"`
+}
+
+// State is the complete serializable snapshot of an Aggregator: the expert
+// pool with latent memories, the party→expert assignment, personalized
+// fine-tunes, calibrated thresholds, the frozen encoder and θ0, and the
+// exact RNG position. Restoring it and continuing the stream produces
+// bit-identical decisions to a run that was never interrupted — the
+// contract TestCheckpointResumeParity enforces.
+type State struct {
+	Experts      []ExpertState         `json:"experts"`
+	NextExpertID int                   `json:"nextExpertId"`
+	Assignment   map[int]int           `json:"assignment"`
+	Personalized map[int]tensor.Vector `json:"personalized,omitempty"`
+	Thresholds   stats.Thresholds      `json:"thresholds"`
+	Epsilon      float64               `json:"epsilon"`
+	BootParams   tensor.Vector         `json:"bootParams,omitempty"`
+	Encoder      tensor.Vector         `json:"encoder,omitempty"`
+	RNG          tensor.RNGState       `json:"rng"`
+}
+
+// ExportState deep-copies the aggregator's full mutable state.
+func (a *Aggregator) ExportState() State {
+	st := State{
+		NextExpertID: a.registry.nextID,
+		Assignment:   make(map[int]int, len(a.assignment)),
+		Thresholds:   a.thresholds,
+		Epsilon:      a.epsilon,
+		RNG:          a.rng.State(),
+	}
+	for _, e := range a.registry.Experts() {
+		es := ExpertState{ID: e.ID, Params: e.Params.Clone()}
+		if e.Memory != nil {
+			es.Memory = e.Memory.Clone()
+		}
+		st.Experts = append(st.Experts, es)
+	}
+	for p, id := range a.assignment {
+		st.Assignment[p] = id
+	}
+	if len(a.personalized) > 0 {
+		st.Personalized = make(map[int]tensor.Vector, len(a.personalized))
+		for p, v := range a.personalized {
+			st.Personalized[p] = v.Clone()
+		}
+	}
+	if a.bootParams != nil {
+		st.BootParams = a.bootParams.Clone()
+	}
+	if a.encoder != nil {
+		st.Encoder = a.encoder.Clone()
+	}
+	return st
+}
+
+// Restore rebuilds an aggregator from a snapshot taken by ExportState. The
+// config must be the one the snapshotted aggregator ran with (the snapshot
+// carries state, not protocol).
+func Restore(cfg Config, st State) (*Aggregator, error) {
+	// A live xoshiro256** state is never all-zero (that is the excluded
+	// fixed point), so a zero RNG always means a corrupt or hand-edited
+	// snapshot; substituting a fresh stream would silently break the
+	// bit-identical-resume contract.
+	if st.RNG.S == [4]uint64{} {
+		return nil, errors.New("shiftex: snapshot has a zero RNG state (corrupt or incomplete)")
+	}
+	a, err := New(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, es := range st.Experts {
+		if es.Params == nil {
+			return nil, fmt.Errorf("shiftex: expert %d has no parameters", es.ID)
+		}
+		e := &Expert{ID: es.ID, Params: es.Params.Clone()}
+		if es.Memory != nil {
+			e.Memory = es.Memory.Clone()
+		}
+		a.registry.experts[e.ID] = e
+		a.registry.order = append(a.registry.order, e.ID)
+		if e.ID >= a.registry.nextID {
+			a.registry.nextID = e.ID + 1
+		}
+	}
+	if st.NextExpertID > a.registry.nextID {
+		a.registry.nextID = st.NextExpertID
+	}
+	for p, id := range st.Assignment {
+		if _, ok := a.registry.experts[id]; !ok {
+			return nil, fmt.Errorf("shiftex: party %d assigned to unknown expert %d", p, id)
+		}
+		a.assignment[p] = id
+	}
+	for p, v := range st.Personalized {
+		a.personalized[p] = v.Clone()
+	}
+	a.thresholds = st.Thresholds
+	a.epsilon = st.Epsilon
+	if st.BootParams != nil {
+		a.bootParams = st.BootParams.Clone()
+	}
+	if st.Encoder != nil {
+		a.encoder = st.Encoder.Clone()
+	}
+	a.rng = tensor.RestoreRNG(st.RNG)
+	return a, nil
+}

@@ -1,0 +1,122 @@
+package shiftex
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// runTwoWindows produces an aggregator with non-trivial state: experts,
+// memories, thresholds, assignments.
+func runTwoWindows(t *testing.T, seed uint64) *Aggregator {
+	t.Helper()
+	_, fed := smallScenario(t, seed)
+	agg, err := New(quickConfig(), seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 2; w++ {
+		if _, err := agg.RunWindow(fed, w); err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+	}
+	return agg
+}
+
+func TestStateExportRestoreRoundTrip(t *testing.T) {
+	agg := runTwoWindows(t, 50)
+	st := agg.ExportState()
+
+	// JSON round trip — the on-disk checkpoint path. Go's float64 JSON
+	// encoding is shortest-round-trip, so equality must be exact.
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded State
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Restore(quickConfig(), decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(agg.Assignments(), restored.Assignments()) {
+		t.Error("assignments diverge after restore")
+	}
+	if agg.Epsilon() != restored.Epsilon() {
+		t.Errorf("epsilon %g != %g", agg.Epsilon(), restored.Epsilon())
+	}
+	if agg.Thresholds() != restored.Thresholds() {
+		t.Errorf("thresholds %+v != %+v", agg.Thresholds(), restored.Thresholds())
+	}
+	if !reflect.DeepEqual(agg.Registry().IDs(), restored.Registry().IDs()) {
+		t.Fatalf("expert IDs diverge: %v vs %v", agg.Registry().IDs(), restored.Registry().IDs())
+	}
+	for _, id := range agg.Registry().IDs() {
+		a, _ := agg.Registry().Get(id)
+		b, _ := restored.Registry().Get(id)
+		if !reflect.DeepEqual(a.Params, b.Params) || !reflect.DeepEqual(a.Memory, b.Memory) {
+			t.Errorf("expert %d state diverges", id)
+		}
+	}
+	// The RNG must resume at the exact same draw.
+	if agg.rng.Uint64() != restored.rng.Uint64() {
+		t.Error("RNG streams diverge after restore")
+	}
+	// Expert-ID allocation continues where it left off.
+	if agg.registry.nextID != restored.registry.nextID {
+		t.Errorf("nextID %d != %d", agg.registry.nextID, restored.registry.nextID)
+	}
+}
+
+func TestStateExportIsDeepCopy(t *testing.T) {
+	agg := runTwoWindows(t, 51)
+	st := agg.ExportState()
+
+	// Mutating the snapshot must not reach into the live aggregator.
+	for _, es := range st.Experts {
+		for i := range es.Params {
+			es.Params[i] = -1
+		}
+	}
+	for p := range st.Assignment {
+		st.Assignment[p] = 999
+	}
+	for _, e := range agg.Registry().Experts() {
+		for _, v := range e.Params {
+			if v == -1 {
+				t.Fatal("snapshot params alias live expert params")
+			}
+		}
+	}
+	for _, id := range agg.Assignments() {
+		if id == 999 {
+			t.Fatal("snapshot assignment aliases live assignment")
+		}
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	agg := runTwoWindows(t, 52)
+	st := agg.ExportState()
+
+	bad := st
+	bad.Assignment = map[int]int{0: 12345}
+	if _, err := Restore(quickConfig(), bad); err == nil {
+		t.Error("assignment to unknown expert should fail")
+	}
+
+	bad2 := st
+	bad2.Experts = []ExpertState{{ID: 0, Params: nil}}
+	bad2.Assignment = nil
+	if _, err := Restore(quickConfig(), bad2); err == nil {
+		t.Error("expert without params should fail")
+	}
+
+	if _, err := Restore(Config{}, st); err == nil {
+		t.Error("invalid config should fail restore")
+	}
+}

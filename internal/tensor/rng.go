@@ -41,6 +41,30 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xa0761d6478bd642f)
 }
 
+// RNGState is the serializable snapshot of an RNG: the xoshiro256** state
+// word plus the cached Box-Muller variate. Restoring it resumes the stream
+// at exactly the draw where State was taken, which is what lets a
+// checkpointed aggregator replay identically to an uninterrupted run.
+type RNGState struct {
+	S         [4]uint64 `json:"s"`
+	HaveGauss bool      `json:"haveGauss,omitempty"`
+	Gauss     float64   `json:"gauss,omitempty"`
+}
+
+// State captures the RNG's current position in its stream.
+func (r *RNG) State() RNGState {
+	return RNGState{S: r.s, HaveGauss: r.haveGauss, Gauss: r.gauss}
+}
+
+// RestoreRNG rebuilds an RNG positioned at the given state.
+func RestoreRNG(st RNGState) *RNG {
+	r := &RNG{s: st.S, haveGauss: st.HaveGauss, gauss: st.Gauss}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
