@@ -20,6 +20,13 @@
 // just the matching grid cells; -replay FILE re-prints tables from a
 // previously written artifact without re-training.
 //
+// -headline runs the standing perf-baseline grid (every benchmark ×
+// technique × quick-protocol seed) and writes BENCH_headline.json with
+// per-cell wall-clock data; -against FILE compares the run's total wall
+// time to a recorded baseline and prints a warning (exit stays 0) when it
+// regressed more than 20%. -cpuprofile/-memprofile attach pprof evidence to
+// any run.
+//
 // Scale and seeds are configurable; -paper approximates the full protocol.
 package main
 
@@ -31,6 +38,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -76,8 +85,46 @@ func run(args []string) error {
 	deterministic := fs.Bool("deterministic", false, "strip wall-clock timing from JSON artifacts so output bytes are reproducible")
 	cell := fs.String("cell", "", "run only matching grid cells: benchmark/technique/seed patterns (* wildcards, comma-separated)")
 	replay := fs.String("replay", "", "re-print tables from a BENCH_*.json artifact instead of running")
+	headline := fs.Bool("headline", false, "run the perf-baseline grid (all benchmarks x techniques x seeds) and write BENCH_headline.json")
+	against := fs.String("against", "", "compare total wall time against a recorded BENCH_headline.json; warn (exit 0) on >20% regression")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Flag-combination validation happens before any mode dispatch so that
+	// e.g. -replay cannot silently swallow a requested -against comparison.
+	if *headline && *cell != "" {
+		return errors.New("cannot combine -headline with -cell: -headline runs the fixed perf-baseline grid")
+	}
+	if *against != "" && !*headline {
+		return errors.New("-against requires -headline (it compares headline wall time)")
+	}
+	if *replay != "" && *headline {
+		return errors.New("cannot combine -replay with -headline: -replay re-prints a recorded artifact without running")
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, "shiftex-bench:", err)
+			}
+		}()
 	}
 
 	if *replay != "" {
@@ -114,6 +161,10 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *headline {
+		return runHeadline(ctx, opts, *jsonDir, *deterministic, *against)
+	}
 
 	if *cell != "" {
 		expSet := false
@@ -179,6 +230,81 @@ func runGridMode(ctx context.Context, spec string, opts experiments.Options, jso
 	// The grid keeps running healthy cells after a failure or cancellation,
 	// so write whatever completed before propagating the error.
 	return errors.Join(err, writeArtifacts(jsonDir, deterministic, opts, cells))
+}
+
+// runHeadline executes the perf-baseline grid and writes BENCH_headline.json
+// (with wall-clock data unless -deterministic) into jsonDir. When against
+// names a recorded baseline, the total wall time is compared and a warning
+// is printed on >20% regression — the exit code stays 0, making the CI
+// bench job soft-fail by construction.
+func runHeadline(ctx context.Context, opts experiments.Options, jsonDir string, deterministic bool, against string) error {
+	if jsonDir == "" {
+		jsonDir = "."
+	}
+	start := time.Now()
+	cells, err := experiments.RunGrid(ctx, experiments.HeadlineGrid(opts), experiments.Pool{
+		Workers: opts.Workers,
+		OnCell: func(cr experiments.CellResult) {
+			_ = experiments.WriteCellResult(os.Stderr, cr)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	a := experiments.HeadlineArtifact(opts, cells)
+	var totalMS float64
+	for _, cr := range cells {
+		totalMS += float64(cr.Elapsed.Microseconds()) / 1e3
+	}
+	fmt.Printf("headline grid: %d cells, %.0fms training wall clock (%v elapsed)\n", len(a.Cells), totalMS, elapsed.Round(time.Millisecond))
+
+	// Compare before any stripping so -deterministic and -against compose.
+	if against != "" {
+		baseline, err := experiments.ReadArtifactFile(against)
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", against, err)
+		}
+		_, regressed, summary, err := experiments.CompareWallClock(baseline, a, 0.20)
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", against, err)
+		}
+		fmt.Println(summary)
+		if regressed {
+			// GitHub Actions renders ::warning:: lines as annotations; the
+			// job itself stays green (soft fail).
+			fmt.Printf("::warning title=headline bench regression::%s exceeds the +20%% budget vs %s\n", summary, against)
+		}
+	}
+
+	if deterministic {
+		a.StripTiming()
+	}
+	if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+		return err
+	}
+	path, err := experiments.WriteArtifactFile(jsonDir, a)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// writeHeapProfile captures an end-of-run heap profile after a final GC so
+// live-object numbers are stable.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
 }
 
 // parseCellFilter validates and compiles comma-separated

@@ -45,6 +45,9 @@ type Detector struct {
 	window     int
 	prevSample []tensor.Vector
 	prevHist   stats.Histogram
+	// ws is the cached forward-pass workspace for the embedding loop,
+	// rebuilt only when the encoder architecture changes.
+	ws *nn.Workspace
 }
 
 // NewDetector builds a detector for one party. sampleCap bounds the number
@@ -85,13 +88,18 @@ func (d *Detector) Observe(model *nn.MLP, window []dataset.Example, rng *tensor.
 	if len(idx) > d.sampleCap {
 		idx = rng.Sample(len(window), d.sampleCap)
 	}
+	if d.ws == nil || !d.ws.Fits(model) {
+		d.ws = nn.NewWorkspace(model)
+	}
 	sample := make([]tensor.Vector, 0, len(idx))
 	for _, i := range idx {
-		e, err := model.Embed(window[i].X)
+		e, err := model.EmbedWS(d.ws, window[i].X)
 		if err != nil {
 			return PartyStats{}, fmt.Errorf("party %d embed: %w", d.partyID, err)
 		}
-		sample = append(sample, e)
+		// EmbedWS aliases workspace storage; the sample is retained and
+		// transmitted, so it owns a copy.
+		sample = append(sample, e.Clone())
 	}
 	mean, err := tensor.Mean(sample)
 	if err != nil {

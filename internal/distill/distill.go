@@ -55,12 +55,17 @@ type Teacher struct {
 }
 
 // softTargets computes the weighted soft distribution of the teachers at
-// temperature T for input x.
-func softTargets(teachers []Teacher, x tensor.Vector, temperature float64) (tensor.Vector, error) {
+// temperature T for input x. tws holds one forward workspace per teacher
+// (nil entries allocate on demand), so precomputing targets over a transfer
+// set reuses each teacher's buffers.
+func softTargets(teachers []Teacher, tws []*nn.Workspace, x tensor.Vector, temperature float64) (tensor.Vector, error) {
 	var mix tensor.Vector
 	var total float64
-	for _, t := range teachers {
-		logits, err := t.Model.Logits(x)
+	for i, t := range teachers {
+		if tws[i] == nil {
+			tws[i] = nn.NewWorkspace(t.Model)
+		}
+		logits, err := t.Model.ForwardWS(tws[i], x)
 		if err != nil {
 			return nil, err
 		}
@@ -109,15 +114,17 @@ func Distill(student *nn.MLP, teachers []Teacher, transfer []tensor.Vector, cfg 
 	cfg = cfg.withDefaults()
 
 	// Precompute soft targets once (teachers are frozen).
+	tws := make([]*nn.Workspace, len(teachers))
 	targets := make([]tensor.Vector, len(transfer))
 	for i, x := range transfer {
-		tgt, err := softTargets(teachers, x, cfg.Temperature)
+		tgt, err := softTargets(teachers, tws, x, cfg.Temperature)
 		if err != nil {
 			return 0, err
 		}
 		targets[i] = tgt
 	}
 
+	ws := nn.NewWorkspace(student)
 	opt := nn.NewSGD(cfg.LR)
 	opt.Momentum = cfg.Momentum
 	idx := make([]int, len(transfer))
@@ -134,7 +141,7 @@ func Distill(student *nn.MLP, teachers []Teacher, transfer []tensor.Vector, cfg 
 			if end > len(idx) {
 				end = len(idx)
 			}
-			loss, err := distillBatch(student, transfer, targets, idx[start:end], cfg.Temperature, opt)
+			loss, err := distillBatch(ws, student, transfer, targets, idx[start:end], cfg.Temperature, opt)
 			if err != nil {
 				return 0, err
 			}
@@ -149,24 +156,25 @@ func Distill(student *nn.MLP, teachers []Teacher, transfer []tensor.Vector, cfg 
 // distillBatch performs one soft-label gradient step. The gradient of
 // KL(q||p_student) w.r.t. student logits (at temperature T) is
 // (softmax(z/T) − q)/T per example; we push it through the model using the
-// same backpropagation machinery as hard labels by extending nn with a
-// soft-label gradient entry point.
-func distillBatch(student *nn.MLP, xs []tensor.Vector, targets []tensor.Vector, batch []int, temperature float64, opt *nn.SGD) (float64, error) {
-	grad := tensor.NewVector(student.NumParams())
+// same backpropagation machinery as hard labels via the workspace
+// soft-label gradient entry point, accumulating the batch gradient in
+// place.
+func distillBatch(ws *nn.Workspace, student *nn.MLP, xs []tensor.Vector, targets []tensor.Vector, batch []int, temperature float64, opt *nn.SGD) (float64, error) {
+	ws.ZeroGrads()
 	var total float64
 	for _, i := range batch {
-		g, loss, err := nn.SoftGradient(student, xs[i], targets[i], temperature)
+		loss, err := student.SoftGradientWS(ws, xs[i], targets[i], temperature)
 		if err != nil {
-			return 0, err
-		}
-		if err := grad.Add(g); err != nil {
 			return 0, err
 		}
 		total += loss
 	}
 	inv := 1 / float64(len(batch))
-	grad.Scale(inv)
-	if err := opt.Step(student, grad); err != nil {
+	for _, g := range ws.Grads() {
+		g.W.Scale(inv)
+		g.B.Scale(inv)
+	}
+	if err := opt.StepLayers(student, ws.Grads()); err != nil {
 		return 0, err
 	}
 	return total * inv, nil
@@ -179,13 +187,15 @@ func Agreement(student *nn.MLP, teachers []Teacher, transfer []tensor.Vector) (f
 	if len(transfer) == 0 {
 		return 0, errors.New("distill: empty transfer set")
 	}
+	tws := make([]*nn.Workspace, len(teachers))
+	sws := nn.NewWorkspace(student)
 	match := 0
 	for _, x := range transfer {
-		tgt, err := softTargets(teachers, x, 1)
+		tgt, err := softTargets(teachers, tws, x, 1)
 		if err != nil {
 			return 0, err
 		}
-		pred, err := student.Predict(x)
+		pred, err := student.PredictWS(sws, x)
 		if err != nil {
 			return 0, err
 		}

@@ -134,6 +134,11 @@ type Options struct {
 	// Workers bounds how many grid cells run concurrently; 0 means
 	// runtime.GOMAXPROCS(0). Results are bit-identical for any value.
 	Workers int
+	// RoundWorkers bounds the per-round party-training fan-out inside each
+	// cell; 0 lets the grid engine pick cores/Workers so a fully parallel
+	// grid does not oversubscribe the CPU (a single cell still fans out
+	// across every core). Results are bit-identical for any value.
+	RoundWorkers int
 }
 
 // QuickOptions is a minutes-scale configuration used by tests and the
@@ -177,6 +182,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("experiments: epochs must be positive")
 	case o.Workers < 0:
 		return fmt.Errorf("experiments: workers must be non-negative, got %d", o.Workers)
+	case o.RoundWorkers < 0:
+		return fmt.Errorf("experiments: round workers must be non-negative, got %d", o.RoundWorkers)
 	}
 	return nil
 }

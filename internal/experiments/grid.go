@@ -124,6 +124,18 @@ func RunGrid(ctx context.Context, g Grid, p Pool) ([]CellResult, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	// Split cores between across-cell and within-cell parallelism: cells
+	// already saturate the CPU when the pool is wide, so each cell's
+	// federated rounds get cores/workers training goroutines (at least 1).
+	// A single-cell run keeps the full per-round fan-out. Results are
+	// bit-identical either way; only scheduling changes.
+	if g.Options.RoundWorkers == 0 {
+		rw := runtime.GOMAXPROCS(0) / workers
+		if rw < 1 {
+			rw = 1
+		}
+		g.Options.RoundWorkers = rw
+	}
 	jobs := make(chan int)
 	var cbMu sync.Mutex
 	var wg sync.WaitGroup

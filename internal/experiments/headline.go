@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The headline grid is the repo's standing perf baseline: every benchmark ×
+// every technique × the quick-protocol seeds, recorded as one
+// BENCH_headline.json artifact whose per-cell wall-clock fields are the
+// numbers future performance PRs diff against. The committed baseline keeps
+// its timing (unlike -deterministic artifacts); CI regenerates it on every
+// push and warns when the total regresses.
+
+// HeadlineName is the artifact name of the perf baseline grid.
+const HeadlineName = "headline"
+
+// HeadlineOptions returns the protocol of the committed perf baseline.
+func HeadlineOptions() Options { return QuickOptions() }
+
+// HeadlineGrid expands to the full benchmark × technique × seed cross
+// product at the given options.
+func HeadlineGrid(opts Options) Grid {
+	return Grid{Benchmarks: Benchmarks(), Options: opts}
+}
+
+// HeadlineArtifact assembles all finished cells of a headline run into the
+// single cross-benchmark artifact (cells keep their per-benchmark tags).
+func HeadlineArtifact(opts Options, cells []CellResult) *Artifact {
+	return NewArtifact(HeadlineName, opts, cells)
+}
+
+// TotalWallClockMS sums the artifact's per-cell wall-clock fields. It
+// errors when the artifact carries no timing (e.g. written with
+// -deterministic): such an artifact cannot serve as a perf baseline.
+func (a *Artifact) TotalWallClockMS() (float64, error) {
+	var total float64
+	for _, c := range a.Cells {
+		total += c.WallClockMS
+	}
+	if total <= 0 {
+		return 0, errors.New("experiments: artifact has no wall-clock data (timing stripped?)")
+	}
+	return total, nil
+}
+
+// Equal reports whether two artifacts recorded the same experiment
+// protocol. Wall-time comparisons across different protocols are
+// meaningless, so CompareWallClock refuses them.
+func (o ArtifactOptions) Equal(p ArtifactOptions) bool {
+	if o.Scale != p.Scale || o.BootstrapRounds != p.BootstrapRounds ||
+		o.RoundsPerWindow != p.RoundsPerWindow || o.Participants != p.Participants ||
+		o.Epochs != p.Epochs || len(o.Seeds) != len(p.Seeds) {
+		return false
+	}
+	for i, s := range o.Seeds {
+		if s != p.Seeds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareWallClock reports how a fresh run's total wall time compares to a
+// recorded baseline artifact: the ratio new/old and a human-readable
+// verdict. tolerance is the fractional regression allowed before the
+// verdict flags a slowdown (e.g. 0.2 = warn beyond +20%). The fresh run's
+// artifact must record the same protocol as the baseline — a run at a
+// different scale/seed set would make the ratio meaningless (and a
+// committed baseline at the wrong protocol would poison every later
+// comparison).
+func CompareWallClock(baseline, fresh *Artifact, tolerance float64) (ratio float64, regressed bool, summary string, err error) {
+	if !baseline.Options.Equal(fresh.Options) {
+		return 0, false, "", fmt.Errorf("experiments: protocol mismatch: baseline ran %+v, this run %+v (pass matching -scale/-seeds/-rounds or drop -against)",
+			baseline.Options, fresh.Options)
+	}
+	newTotal, err := fresh.TotalWallClockMS()
+	if err != nil {
+		return 0, false, "", fmt.Errorf("experiments: fresh run: %w", err)
+	}
+	oldTotal, err := baseline.TotalWallClockMS()
+	if err != nil {
+		return 0, false, "", err
+	}
+	ratio = newTotal / oldTotal
+	regressed = ratio > 1+tolerance
+	summary = fmt.Sprintf("headline wall time %.0fms vs baseline %.0fms (%.2fx)", newTotal, oldTotal, ratio)
+	return ratio, regressed, summary, nil
+}

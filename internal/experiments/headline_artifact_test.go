@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func headlineCell(bench, tech string, seed uint64, elapsed time.Duration) CellResult {
+	return CellResult{
+		Cell: Cell{Benchmark: Benchmark{Name: bench}, Technique: TechniqueFactory{Name: tech}, Seed: seed},
+		Result: metrics.RunResult{
+			Technique: tech,
+			Seed:      seed,
+			Traces:    [][]float64{{0.5, 0.6}},
+		},
+		Elapsed: elapsed,
+	}
+}
+
+func TestHeadlineGridCoversEverything(t *testing.T) {
+	opts := HeadlineOptions()
+	cells := HeadlineGrid(opts).Cells()
+	want := len(Benchmarks()) * len(TechniqueNames()) * len(opts.Seeds)
+	if len(cells) != want {
+		t.Fatalf("headline grid has %d cells, want %d", len(cells), want)
+	}
+}
+
+func TestHeadlineArtifactKeepsBenchmarkTags(t *testing.T) {
+	opts := HeadlineOptions()
+	cells := []CellResult{
+		headlineCell("fmow", "shiftex", 1, 120*time.Millisecond),
+		headlineCell("cifar10c", "fedprox", 2, 80*time.Millisecond),
+	}
+	a := HeadlineArtifact(opts, cells)
+	if a.Name != HeadlineName {
+		t.Fatalf("artifact name %q", a.Name)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cells[0].Benchmark != "fmow" || a.Cells[1].Benchmark != "cifar10c" {
+		t.Fatalf("benchmark tags lost: %+v", a.Cells)
+	}
+	total, err := a.TotalWallClockMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 200 {
+		t.Fatalf("total wall clock %vms, want 200", total)
+	}
+}
+
+func TestTotalWallClockRejectsStripped(t *testing.T) {
+	a := HeadlineArtifact(HeadlineOptions(), []CellResult{headlineCell("fmow", "shiftex", 1, time.Second)})
+	a.StripTiming()
+	if _, err := a.TotalWallClockMS(); err == nil {
+		t.Fatal("stripped artifact must not serve as a perf baseline")
+	}
+}
+
+func TestCompareWallClock(t *testing.T) {
+	opts := HeadlineOptions()
+	baseline := HeadlineArtifact(opts, []CellResult{headlineCell("fmow", "shiftex", 1, time.Second)})
+	fresh := func(elapsed time.Duration) *Artifact {
+		return HeadlineArtifact(opts, []CellResult{headlineCell("fmow", "shiftex", 1, elapsed)})
+	}
+
+	ratio, regressed, summary, err := CompareWallClock(baseline, fresh(1100*time.Millisecond), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed || ratio != 1.1 {
+		t.Fatalf("+10%% flagged as regression (ratio %v)", ratio)
+	}
+	if !strings.Contains(summary, "1100ms") || !strings.Contains(summary, "1000ms") {
+		t.Fatalf("summary %q", summary)
+	}
+
+	_, regressed, _, err = CompareWallClock(baseline, fresh(1500*time.Millisecond), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("+50% not flagged as regression")
+	}
+
+	stripped := fresh(time.Second)
+	stripped.StripTiming()
+	if _, _, _, err := CompareWallClock(baseline, stripped, 0.20); err == nil {
+		t.Fatal("fresh run without wall-clock data should error")
+	}
+
+	// A run at a different protocol must be refused, not compared.
+	other := HeadlineOptions()
+	other.Scale = other.Scale / 2
+	mismatched := HeadlineArtifact(other, []CellResult{headlineCell("fmow", "shiftex", 1, time.Second)})
+	if _, _, _, err := CompareWallClock(baseline, mismatched, 0.20); err == nil {
+		t.Fatal("protocol mismatch should error")
+	}
+}

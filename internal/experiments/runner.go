@@ -32,6 +32,9 @@ func Run(b Benchmark, tf TechniqueFactory, opts Options, seed uint64) (metrics.R
 	if err != nil {
 		return metrics.RunResult{}, fmt.Errorf("%s: %w", b.Name, err)
 	}
+	if opts.RoundWorkers > 0 {
+		fed.SetRoundWorkers(opts.RoundWorkers)
+	}
 	tech, err := tf.New(seed ^ 0x7ec)
 	if err != nil {
 		return metrics.RunResult{}, fmt.Errorf("%s/%s: %w", b.Name, tf.Name, err)

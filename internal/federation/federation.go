@@ -19,7 +19,9 @@ import (
 	"repro/internal/tensor"
 )
 
-// Federation simulates all parties of one scenario.
+// Federation simulates all parties of one scenario. It is driven serially
+// by one technique at a time (rounds parallelize internally across parties;
+// the Federation's own methods are not safe for concurrent use).
 type Federation struct {
 	scenario  *dataset.Scenario
 	arch      []int
@@ -28,6 +30,12 @@ type Federation struct {
 	detectors []*detect.Detector
 	window    int
 	rng       *tensor.RNG
+	// eval is the shared evaluation scratch (cached model + workspace) for
+	// every per-party accuracy/loss/stats pass.
+	eval *fl.Evaluator
+	// initParams memoizes InitialParams: techniques re-request θ0 every
+	// window and it is a pure function of the architecture.
+	initParams tensor.Vector
 }
 
 // New builds a federation over a scenario. arch is the model architecture
@@ -62,13 +70,20 @@ func New(sc *dataset.Scenario, arch []int, seed uint64) (*Federation, error) {
 		detectors[p] = d
 	}
 	runner := fl.NewLocalRunner(parties, rng.Split())
+	eval, err := fl.NewEvaluator(arch)
+	if err != nil {
+		return nil, err
+	}
 	return &Federation{
-		scenario:  sc,
-		arch:      append([]int(nil), arch...),
-		runner:    runner,
-		engine:    &fl.Engine{Arch: arch, Trainer: runner, Workers: 2},
+		scenario: sc,
+		arch:     append([]int(nil), arch...),
+		runner:   runner,
+		// Workers 0 = one per core: simulated rounds train parties on every
+		// core, bit-identical to the serial path for any worker count.
+		engine:    &fl.Engine{Arch: arch, Trainer: runner},
 		detectors: detectors,
 		rng:       rng,
+		eval:      eval,
 	}, nil
 }
 
@@ -90,13 +105,21 @@ func (f *Federation) NumWindows() int { return len(f.scenario.Windows) }
 // RNG returns a fresh RNG derived from the federation's stream.
 func (f *Federation) RNG() *tensor.RNG { return f.rng.Split() }
 
+// SetRoundWorkers bounds the per-round party-training fan-out (0 = one
+// worker per core). The experiment grid uses this to divide cores between
+// concurrently running cells; results are bit-identical for any value.
+func (f *Federation) SetRoundWorkers(n int) { f.engine.Workers = n }
+
 // InitialParams returns deterministic initial model parameters.
 func (f *Federation) InitialParams() (tensor.Vector, error) {
-	m, err := nn.NewMLP(f.arch, tensor.NewRNG(0x1234))
-	if err != nil {
-		return nil, err
+	if f.initParams == nil {
+		m, err := nn.NewMLP(f.arch, tensor.NewRNG(0x1234))
+		if err != nil {
+			return nil, err
+		}
+		f.initParams = m.Params()
 	}
-	return m.Params(), nil
+	return f.initParams.Clone(), nil
 }
 
 // SetWindow rolls every party's data forward to window w.
@@ -128,11 +151,8 @@ func (f *Federation) Stats(partyID int, params tensor.Vector) (detect.PartyStats
 	if !ok {
 		return detect.PartyStats{}, fmt.Errorf("federation: unknown party %d", partyID)
 	}
-	model, err := nn.NewMLP(f.arch, tensor.NewRNG(0))
+	model, err := f.eval.Model(params)
 	if err != nil {
-		return detect.PartyStats{}, err
-	}
-	if err := model.SetParams(params); err != nil {
 		return detect.PartyStats{}, err
 	}
 	return f.detectors[partyID].Observe(model, p.Train, f.rng)
@@ -173,7 +193,7 @@ func (f *Federation) EvalParty(partyID int, params tensor.Vector) (float64, erro
 	if !ok {
 		return 0, fmt.Errorf("federation: unknown party %d", partyID)
 	}
-	return fl.Evaluate(f.arch, params, p.Test)
+	return f.eval.Accuracy(params, p.Test)
 }
 
 // EvalAssignment returns the mean test accuracy over all parties, each
@@ -242,14 +262,7 @@ func (f *Federation) PartyLoss(partyID int, params tensor.Vector) (float64, erro
 	if !ok {
 		return 0, fmt.Errorf("federation: unknown party %d", partyID)
 	}
-	model, err := nn.NewMLP(f.arch, tensor.NewRNG(0))
-	if err != nil {
-		return 0, err
-	}
-	if err := model.SetParams(params); err != nil {
-		return 0, err
-	}
-	return model.Loss(dataset.Inputs(p.Train), dataset.Labels(p.Train))
+	return f.eval.Loss(params, p.Train)
 }
 
 // LocalFineTune trains the given parameters on one party's local data only

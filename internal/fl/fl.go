@@ -9,6 +9,7 @@ package fl
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/dataset"
@@ -79,6 +80,16 @@ func DeriveRNG(seed uint64, partyID int) *tensor.RNG {
 // LocalTrain trains a fresh model initialized at the global parameters on
 // the party's data and returns the resulting update.
 func LocalTrain(p *Party, arch []int, global tensor.Vector, cfg TrainConfig, rng *tensor.RNG) (Update, error) {
+	return LocalTrainWS(p, arch, global, cfg, rng, nil)
+}
+
+// LocalTrainWS is LocalTrain with a caller-provided training workspace
+// (nil, or one that does not fit arch, allocates a fresh one). Worker pools
+// pass one workspace per worker so every epoch of every assignment reuses
+// the same buffers. The model itself is still freshly initialized from rng:
+// the He-init draws are part of the party's deterministic RNG stream, so
+// they must happen whether or not the values are immediately overwritten.
+func LocalTrainWS(p *Party, arch []int, global tensor.Vector, cfg TrainConfig, rng *tensor.RNG, ws *nn.Workspace) (Update, error) {
 	if err := cfg.Validate(); err != nil {
 		return Update{}, err
 	}
@@ -92,6 +103,9 @@ func LocalTrain(p *Party, arch []int, global tensor.Vector, cfg TrainConfig, rng
 	if err := model.SetParams(global); err != nil {
 		return Update{}, fmt.Errorf("party %d: %w", p.ID, err)
 	}
+	if ws == nil || !ws.Fits(model) {
+		ws = nn.NewWorkspace(model)
+	}
 	opt := nn.NewSGD(cfg.LR)
 	opt.Momentum = cfg.Momentum
 	opt.WeightDecay = cfg.WeightDecay
@@ -99,7 +113,7 @@ func LocalTrain(p *Party, arch []int, global tensor.Vector, cfg TrainConfig, rng
 		opt.ProxMu = cfg.ProxMu
 		opt.ProxRef = global.Clone()
 	}
-	loss, err := nn.TrainEpochs(model, dataset.Inputs(p.Train), dataset.Labels(p.Train), opt, cfg.Epochs, cfg.BatchSize, rng)
+	loss, err := nn.TrainEpochsWS(ws, model, dataset.Inputs(p.Train), dataset.Labels(p.Train), opt, cfg.Epochs, cfg.BatchSize, rng)
 	if err != nil {
 		return Update{}, fmt.Errorf("party %d: %w", p.ID, err)
 	}
@@ -139,6 +153,11 @@ type LocalRunner struct {
 	mu      sync.Mutex
 	parties map[int]*Party
 	rng     *tensor.RNG
+	// wsPool recycles training workspaces across TrainParty calls so a
+	// round's worker goroutines each reuse one workspace instead of
+	// allocating per assignment. Workspaces are architecture-specific;
+	// entries that do not fit the requested arch are dropped.
+	wsPool sync.Pool
 }
 
 var _ Trainer = (*LocalRunner)(nil)
@@ -187,14 +206,23 @@ func (r *LocalRunner) TrainParty(partyID int, arch []int, global tensor.Vector, 
 	if !ok {
 		return Update{}, fmt.Errorf("fl: unknown party %d", partyID)
 	}
-	return LocalTrain(p, arch, global, cfg, rng)
+	ws, _ := r.wsPool.Get().(*nn.Workspace)
+	if ws == nil || !ws.FitsDims(arch) {
+		ws = nn.NewWorkspaceDims(arch)
+	}
+	u, err := LocalTrainWS(p, arch, global, cfg, rng, ws)
+	r.wsPool.Put(ws)
+	return u, err
 }
 
 // Engine runs synchronous federated rounds over a Trainer.
 type Engine struct {
 	Arch    []int
 	Trainer Trainer
-	// Workers bounds concurrent party training; 0 means 4.
+	// Workers bounds concurrent party training; 0 means one per core
+	// (runtime.GOMAXPROCS(0)). Results are bit-identical for any value:
+	// per-party RNGs derive from (seed, partyID) alone and updates are
+	// merged in selection order.
 	Workers int
 }
 
@@ -208,7 +236,7 @@ func (e *Engine) Round(global tensor.Vector, selected []int, cfg TrainConfig) (t
 	}
 	workers := e.Workers
 	if workers <= 0 {
-		workers = 4
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(selected) {
 		workers = len(selected)
@@ -252,17 +280,80 @@ func (e *Engine) Round(global tensor.Vector, selected []int, cfg TrainConfig) (t
 	return agg, updates, nil
 }
 
-// Evaluate measures the accuracy of the given parameters on a test set.
-func Evaluate(arch []int, params tensor.Vector, test []dataset.Example) (float64, error) {
+// Evaluator measures parameter vectors against datasets through one cached
+// model and workspace, so repeated evaluations (per round, per party) stop
+// allocating model-sized buffers. Not safe for concurrent use.
+type Evaluator struct {
+	model *nn.MLP
+	ws    *nn.Workspace
+}
+
+// NewEvaluator builds an evaluator for one architecture.
+func NewEvaluator(arch []int) (*Evaluator, error) {
+	model, err := nn.NewMLP(arch, tensor.NewRNG(0))
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{model: model, ws: nn.NewWorkspace(model)}, nil
+}
+
+// Accuracy measures the accuracy of the given parameters on a test set.
+// Examples are consumed in place — no input/label slices are materialized.
+func (e *Evaluator) Accuracy(params tensor.Vector, test []dataset.Example) (float64, error) {
 	if len(test) == 0 {
 		return 0, errors.New("fl: empty test set")
 	}
-	model, err := nn.NewMLP(arch, tensor.NewRNG(0))
+	if err := e.model.SetParams(params); err != nil {
+		return 0, err
+	}
+	correct := 0
+	for _, ex := range test {
+		pred, err := e.model.PredictWS(e.ws, ex.X)
+		if err != nil {
+			return 0, err
+		}
+		if pred == ex.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test)), nil
+}
+
+// Loss measures the mean cross-entropy loss of the given parameters on a
+// set of examples.
+func (e *Evaluator) Loss(params tensor.Vector, examples []dataset.Example) (float64, error) {
+	if len(examples) == 0 {
+		return 0, errors.New("nn: empty batch")
+	}
+	if err := e.model.SetParams(params); err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, ex := range examples {
+		loss, err := e.model.LossExampleWS(e.ws, ex.X, ex.Y)
+		if err != nil {
+			return 0, err
+		}
+		total += loss
+	}
+	return total / float64(len(examples)), nil
+}
+
+// Model loads params into the evaluator's cached model and returns it. The
+// model is shared scratch state: it is valid until the next Evaluator call.
+func (e *Evaluator) Model(params tensor.Vector) (*nn.MLP, error) {
+	if err := e.model.SetParams(params); err != nil {
+		return nil, err
+	}
+	return e.model, nil
+}
+
+// Evaluate measures the accuracy of the given parameters on a test set.
+// Loops should hold an Evaluator instead.
+func Evaluate(arch []int, params tensor.Vector, test []dataset.Example) (float64, error) {
+	e, err := NewEvaluator(arch)
 	if err != nil {
 		return 0, err
 	}
-	if err := model.SetParams(params); err != nil {
-		return 0, err
-	}
-	return model.Accuracy(dataset.Inputs(test), dataset.Labels(test))
+	return e.Accuracy(params, test)
 }

@@ -1,0 +1,62 @@
+package fl
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestRoundWorkerCountParity is the golden-trace guarantee of the parallel
+// simulation round: a round scheduled across many workers produces
+// bit-identical aggregates and per-party updates to the serial (one-worker)
+// path, because every party RNG derives from (seed, partyID) alone and
+// updates merge in selection order. CI runs this under -race, so it also
+// proves the worker pool shares no training state.
+func TestRoundWorkerCountParity(t *testing.T) {
+	spec := testSpec()
+	a := arch(spec)
+	global := initParams(t, a)
+	selected := []int{3, 0, 7, 5, 1, 9, 2}
+
+	run := func(workers int) ([]float64, []Update) {
+		parties := buildParties(t, spec, 42)
+		runner := NewLocalRunner(parties, tensor.NewRNG(11))
+		engine := &Engine{Arch: a, Trainer: runner, Workers: workers}
+		agg, updates, err := engine.Round(global, selected, validCfg())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return agg, updates
+	}
+
+	serialAgg, serialUpdates := run(1)
+	for _, workers := range []int{2, 8, 0} {
+		agg, updates := run(workers)
+		if len(agg) != len(serialAgg) {
+			t.Fatalf("workers=%d: aggregate length %d vs %d", workers, len(agg), len(serialAgg))
+		}
+		for i := range agg {
+			if agg[i] != serialAgg[i] {
+				t.Fatalf("workers=%d: aggregate[%d] = %g, serial %g", workers, i, agg[i], serialAgg[i])
+			}
+		}
+		if len(updates) != len(serialUpdates) {
+			t.Fatalf("workers=%d: %d updates vs %d", workers, len(updates), len(serialUpdates))
+		}
+		for u := range updates {
+			if updates[u].PartyID != serialUpdates[u].PartyID {
+				t.Fatalf("workers=%d: update %d from party %d, serial from %d (selection order broken)",
+					workers, u, updates[u].PartyID, serialUpdates[u].PartyID)
+			}
+			if updates[u].TrainLoss != serialUpdates[u].TrainLoss {
+				t.Fatalf("workers=%d: update %d loss %g vs %g", workers, u, updates[u].TrainLoss, serialUpdates[u].TrainLoss)
+			}
+			for i := range updates[u].Params {
+				if updates[u].Params[i] != serialUpdates[u].Params[i] {
+					t.Fatalf("workers=%d: party %d param[%d] = %g, serial %g",
+						workers, updates[u].PartyID, i, updates[u].Params[i], serialUpdates[u].Params[i])
+				}
+			}
+		}
+	}
+}

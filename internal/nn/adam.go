@@ -10,9 +10,13 @@ import (
 
 // Optimizer applies a gradient step to a model. SGD and Adam implement it;
 // the federated layer treats optimizers opaquely so local-training recipes
-// can be swapped per deployment.
+// can be swapped per deployment. Step takes a flattened gradient;
+// StepLayers takes per-layer accumulators (e.g. Workspace.Grads()) and
+// updates the model in place without materializing flat copies — the two
+// are bit-identical on the same gradient values.
 type Optimizer interface {
 	Step(m *MLP, grad tensor.Vector) error
+	StepLayers(m *MLP, grads []*Dense) error
 }
 
 var (
@@ -56,47 +60,91 @@ func (o *Adam) defaults() (b1, b2, eps float64) {
 	return b1, b2, eps
 }
 
+// prepare validates the optimizer against a model with n parameters and
+// lazily sizes the moment state.
+func (o *Adam) prepare(n int) error {
+	if o.LR <= 0 {
+		return errors.New("nn: adam learning rate must be positive")
+	}
+	if o.ProxMu > 0 && len(o.ProxRef) != n {
+		return fmt.Errorf("adam step: %w: prox ref %d vs params %d", ErrDimension, len(o.ProxRef), n)
+	}
+	if o.m == nil {
+		o.m = tensor.NewVector(n)
+		o.v = tensor.NewVector(n)
+	}
+	if len(o.m) != n {
+		return fmt.Errorf("adam step: %w: state %d vs params %d", ErrDimension, len(o.m), n)
+	}
+	return nil
+}
+
+// stepSegment applies the Adam update rule to one contiguous parameter
+// segment p with gradient g, where off is the segment's offset into the
+// flattened parameter vector. c1/c2 are the bias-correction terms of the
+// current step.
+func (o *Adam) stepSegment(p, g []float64, off int, b1, b2, eps, c1, c2 float64) {
+	for i := range p {
+		eff := g[i]
+		if o.ProxMu > 0 {
+			eff += o.ProxMu * p[i]
+			eff -= o.ProxMu * o.ProxRef[off+i]
+		}
+		o.m[off+i] = b1*o.m[off+i] + (1-b1)*eff
+		o.v[off+i] = b2*o.v[off+i] + (1-b2)*eff*eff
+		mHat := o.m[off+i] / c1
+		vHat := o.v[off+i] / c2
+		p[i] -= o.LR * (mHat/(math.Sqrt(vHat)+eps) + o.WeightDecay*p[i])
+	}
+}
+
 // Step implements Optimizer.
 func (o *Adam) Step(model *MLP, grad tensor.Vector) error {
 	if o.LR <= 0 {
 		return errors.New("nn: adam learning rate must be positive")
 	}
-	p := model.Params()
-	if len(grad) != len(p) {
-		return fmt.Errorf("adam step: %w: grad %d vs params %d", ErrDimension, len(grad), len(p))
+	n := model.NumParams()
+	if len(grad) != n {
+		return fmt.Errorf("adam step: %w: grad %d vs params %d", ErrDimension, len(grad), n)
 	}
-	eff := grad.Clone()
-	if o.ProxMu > 0 {
-		if len(o.ProxRef) != len(p) {
-			return fmt.Errorf("adam step: %w: prox ref %d vs params %d", ErrDimension, len(o.ProxRef), len(p))
-		}
-		if err := eff.Axpy(o.ProxMu, p); err != nil {
-			return err
-		}
-		if err := eff.Axpy(-o.ProxMu, o.ProxRef); err != nil {
-			return err
-		}
-	}
-	if o.m == nil {
-		o.m = tensor.NewVector(len(p))
-		o.v = tensor.NewVector(len(p))
-	}
-	if len(o.m) != len(p) {
-		return fmt.Errorf("adam step: %w: state %d vs params %d", ErrDimension, len(o.m), len(p))
+	if err := o.prepare(n); err != nil {
+		return err
 	}
 	b1, b2, eps := o.defaults()
 	o.step++
 	c1 := 1 - math.Pow(b1, float64(o.step))
 	c2 := 1 - math.Pow(b2, float64(o.step))
-	for i := range p {
-		g := eff[i]
-		o.m[i] = b1*o.m[i] + (1-b1)*g
-		o.v[i] = b2*o.v[i] + (1-b2)*g*g
-		mHat := o.m[i] / c1
-		vHat := o.v[i] / c2
-		p[i] -= o.LR * (mHat/(math.Sqrt(vHat)+eps) + o.WeightDecay*p[i])
+	off := 0
+	for _, l := range model.layers {
+		o.stepSegment(l.W.Data, grad[off:off+len(l.W.Data)], off, b1, b2, eps, c1, c2)
+		off += len(l.W.Data)
+		o.stepSegment(l.B, grad[off:off+len(l.B)], off, b1, b2, eps, c1, c2)
+		off += len(l.B)
 	}
-	return model.SetParams(p)
+	return nil
+}
+
+// StepLayers implements Optimizer over per-layer gradient accumulators,
+// updating the model in place with zero allocations at steady state.
+func (o *Adam) StepLayers(model *MLP, grads []*Dense) error {
+	if err := checkGradShapes(model, grads); err != nil {
+		return err
+	}
+	if err := o.prepare(model.NumParams()); err != nil {
+		return err
+	}
+	b1, b2, eps := o.defaults()
+	o.step++
+	c1 := 1 - math.Pow(b1, float64(o.step))
+	c2 := 1 - math.Pow(b2, float64(o.step))
+	off := 0
+	for li, l := range model.layers {
+		o.stepSegment(l.W.Data, grads[li].W.Data, off, b1, b2, eps, c1, c2)
+		off += len(l.W.Data)
+		o.stepSegment(l.B, grads[li].B, off, b1, b2, eps, c1, c2)
+		off += len(l.B)
+	}
+	return nil
 }
 
 // LRSchedule maps a 0-based step index to a learning rate.
@@ -163,6 +211,7 @@ func TrainEpochsSched(m *MLP, xs []tensor.Vector, ys []int, opt *SGD, sched LRSc
 	for i := range idx {
 		idx[i] = i
 	}
+	ws := NewWorkspace(m)
 	step := 0
 	var lastLoss float64
 	bx := make([]tensor.Vector, 0, batchSize)
@@ -184,7 +233,7 @@ func TrainEpochsSched(m *MLP, xs []tensor.Vector, ys []int, opt *SGD, sched LRSc
 			}
 			opt.LR = sched.Rate(step)
 			step++
-			loss, err := TrainBatch(m, bx, by, opt)
+			loss, err := TrainBatchWS(ws, m, bx, by, opt)
 			if err != nil {
 				return 0, err
 			}

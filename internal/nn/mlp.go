@@ -81,26 +81,40 @@ func (m *MLP) NumClasses() int { return m.dims[len(m.dims)-1] }
 // EmbeddingDim returns the width of the penultimate (embedding) layer.
 func (m *MLP) EmbeddingDim() int { return m.dims[len(m.dims)-2] }
 
-// forward runs the network, returning per-layer post-activation values.
-// acts[0] is the input; acts[len(layers)] holds raw logits (no softmax).
-func (m *MLP) forward(x tensor.Vector) ([]tensor.Vector, error) {
+// forwardInto runs the network writing layer outputs into the caller-owned
+// activation buffers: acts[0] is set to alias the input, acts[i+1] (length
+// dims[i+1]) receives layer i's post-activation output, and the last entry
+// holds raw logits (no softmax). This is the single forward implementation;
+// the allocating wrappers and the Workspace path both run through it.
+func (m *MLP) forwardInto(acts []tensor.Vector, x tensor.Vector) error {
 	if len(x) != m.InputDim() {
-		return nil, fmt.Errorf("forward: %w: input %d, want %d", ErrDimension, len(x), m.InputDim())
+		return fmt.Errorf("forward: %w: input %d, want %d", ErrDimension, len(x), m.InputDim())
 	}
-	acts := make([]tensor.Vector, len(m.layers)+1)
 	acts[0] = x
 	for i, l := range m.layers {
-		z, err := l.W.MulVec(acts[i])
-		if err != nil {
-			return nil, err
+		z := acts[i+1]
+		if err := tensor.MatVecInto(z, l.W, acts[i]); err != nil {
+			return err
 		}
 		if err := z.Add(l.B); err != nil {
-			return nil, err
+			return err
 		}
 		if i < len(m.layers)-1 {
 			relu(z)
 		}
-		acts[i+1] = z
+	}
+	return nil
+}
+
+// forward runs the network into freshly allocated buffers, returning
+// per-layer post-activation values.
+func (m *MLP) forward(x tensor.Vector) ([]tensor.Vector, error) {
+	acts := make([]tensor.Vector, len(m.layers)+1)
+	for i := range m.layers {
+		acts[i+1] = tensor.NewVector(m.dims[i+1])
+	}
+	if err := m.forwardInto(acts, x); err != nil {
+		return nil, err
 	}
 	return acts, nil
 }
@@ -144,118 +158,90 @@ func (m *MLP) Embed(x tensor.Vector) (tensor.Vector, error) {
 // Softmax converts logits to a probability vector, numerically stabilized.
 func Softmax(logits tensor.Vector) tensor.Vector {
 	out := logits.Clone()
-	if len(out) == 0 {
-		return out
-	}
-	max := out[0]
-	for _, v := range out {
-		if v > max {
-			max = v
-		}
-	}
-	var sum float64
-	for i, v := range out {
-		e := exp(v - max)
-		out[i] = e
-		sum += e
-	}
-	if sum == 0 {
-		out.Fill(1 / float64(len(out)))
-		return out
-	}
-	out.Scale(1 / sum)
+	softmaxInto(out, out)
 	return out
 }
 
+// softmaxInto writes the stabilized softmax of v into dst (dst may alias
+// v). Both buffers must have equal length.
+func softmaxInto(dst, v tensor.Vector) {
+	if len(dst) == 0 {
+		return
+	}
+	max := v[0]
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+	}
+	var sum float64
+	for i, x := range v {
+		e := exp(x - max)
+		dst[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		dst.Fill(1 / float64(len(dst)))
+		return
+	}
+	dst.Scale(1 / sum)
+}
+
+// errEmptyBatch is the shared empty-input error of the batch entry points.
+var errEmptyBatch = errors.New("nn: empty batch")
+
 // Loss returns the mean cross-entropy loss of the model over a batch.
 func (m *MLP) Loss(xs []tensor.Vector, ys []int) (float64, error) {
-	if len(xs) == 0 {
-		return 0, errors.New("nn: empty batch")
-	}
-	if len(xs) != len(ys) {
-		return 0, fmt.Errorf("loss: %w: %d inputs vs %d labels", ErrDimension, len(xs), len(ys))
-	}
-	var total float64
-	for i, x := range xs {
-		logits, err := m.Logits(x)
-		if err != nil {
-			return 0, err
-		}
-		p := Softmax(logits)
-		y := ys[i]
-		if y < 0 || y >= len(p) {
-			return 0, fmt.Errorf("nn: label %d out of range [0,%d)", y, len(p))
-		}
-		total += -logp(p[y])
-	}
-	return total / float64(len(xs)), nil
+	return m.LossWS(NewWorkspace(m), xs, ys)
 }
 
 // Accuracy returns the fraction of correct argmax predictions over a batch.
 func (m *MLP) Accuracy(xs []tensor.Vector, ys []int) (float64, error) {
-	if len(xs) == 0 {
-		return 0, errors.New("nn: empty batch")
+	return m.AccuracyWS(NewWorkspace(m), xs, ys)
+}
+
+// hardGradInto accumulates one example's hard-label gradients into grads
+// using the caller-owned forward/backprop buffers, returning the example's
+// loss. It is the shared core of GradientsWS and the allocating gradients.
+func (m *MLP) hardGradInto(acts, deltas []tensor.Vector, prob tensor.Vector, grads []*Dense, x tensor.Vector, y int) (float64, error) {
+	if err := m.forwardInto(acts, x); err != nil {
+		return 0, err
 	}
-	if len(xs) != len(ys) {
-		return 0, fmt.Errorf("accuracy: %w: %d inputs vs %d labels", ErrDimension, len(xs), len(ys))
+	logits := acts[len(acts)-1]
+	softmaxInto(prob, logits)
+	if y < 0 || y >= len(prob) {
+		return 0, fmt.Errorf("nn: label %d out of range [0,%d)", y, len(prob))
 	}
-	correct := 0
-	for i, x := range xs {
-		pred, err := m.Predict(x)
-		if err != nil {
-			return 0, err
-		}
-		if pred == ys[i] {
-			correct++
-		}
+	loss := -logp(prob[y])
+
+	// delta at the output layer: softmax cross-entropy gradient.
+	delta := deltas[len(deltas)-1]
+	copy(delta, prob)
+	delta[y] -= 1
+
+	if err := m.backpropInto(acts, deltas, grads); err != nil {
+		return 0, err
 	}
-	return float64(correct) / float64(len(xs)), nil
+	return loss, nil
 }
 
 // gradients accumulates parameter gradients for one example into grads,
 // returning the example's loss. grads must have the same shapes as m.
 func (m *MLP) gradients(x tensor.Vector, y int, grads []*Dense) (float64, error) {
-	acts, err := m.forward(x)
-	if err != nil {
-		return 0, err
-	}
-	logits := acts[len(acts)-1]
-	p := Softmax(logits)
-	if y < 0 || y >= len(p) {
-		return 0, fmt.Errorf("nn: label %d out of range [0,%d)", y, len(p))
-	}
-	loss := -logp(p[y])
+	acts, deltas, prob := m.newBackpropBuffers()
+	return m.hardGradInto(acts, deltas, prob, grads, x, y)
+}
 
-	// delta at the output layer: softmax cross-entropy gradient.
-	delta := p.Clone()
-	delta[y] -= 1
-
-	for l := len(m.layers) - 1; l >= 0; l-- {
-		in := acts[l]
-		if err := grads[l].W.AddOuter(1, delta, in); err != nil {
-			return 0, err
-		}
-		if err := grads[l].B.Add(delta); err != nil {
-			return 0, err
-		}
-		if l == 0 {
-			break
-		}
-		// Propagate: delta_prev = Wᵀ·delta ⊙ relu'(pre-act).
-		prev, err := m.layers[l].W.MulVecT(delta)
-		if err != nil {
-			return 0, err
-		}
-		// acts[l] is the post-ReLU activation of layer l-1's output;
-		// ReLU' is 1 where the activation is positive.
-		for i := range prev {
-			if acts[l][i] <= 0 {
-				prev[i] = 0
-			}
-		}
-		delta = prev
+// newBackpropBuffers allocates one-shot forward/backprop buffers for the
+// non-workspace gradient paths.
+func (m *MLP) newBackpropBuffers() (acts, deltas []tensor.Vector, prob tensor.Vector) {
+	acts = make([]tensor.Vector, len(m.layers)+1)
+	deltas = make([]tensor.Vector, len(m.layers))
+	for i := range m.layers {
+		acts[i+1] = tensor.NewVector(m.dims[i+1])
+		deltas[i] = tensor.NewVector(m.dims[i+1])
 	}
-	return loss, nil
+	return acts, deltas, tensor.NewVector(m.NumClasses())
 }
 
 // Clone returns a deep copy of the model.
@@ -273,6 +259,16 @@ func (m *MLP) NumParams() int {
 	n := 0
 	for _, l := range m.layers {
 		n += len(l.W.Data) + len(l.B)
+	}
+	return n
+}
+
+// ParamCount returns the flattened parameter count of an architecture
+// without building a model: Σ (dims[i]+1)·dims[i+1].
+func ParamCount(dims []int) int {
+	n := 0
+	for i := 0; i+1 < len(dims); i++ {
+		n += (dims[i] + 1) * dims[i+1]
 	}
 	return n
 }

@@ -10,6 +10,11 @@ import (
 // SGD is a stochastic gradient descent optimizer with optional momentum,
 // weight decay, and a FedProx proximal term μ/2·||θ - θ_ref||² that pulls
 // local updates toward a reference (global) model.
+//
+// Steps mutate the model's parameters layer-wise in place; no flattened
+// copy of the parameters is ever materialized. Optimizer state (velocity)
+// is kept as one flat vector indexed by parameter offset, so Step and
+// StepLayers share state and produce bit-identical updates.
 type SGD struct {
 	LR          float64
 	Momentum    float64
@@ -26,91 +31,149 @@ type SGD struct {
 // NewSGD returns an optimizer with the given learning rate.
 func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
 
+// prepare validates the optimizer against a model with n parameters and
+// lazily sizes the velocity state.
+func (o *SGD) prepare(n int) error {
+	if o.LR <= 0 {
+		return errors.New("nn: learning rate must be positive")
+	}
+	if o.ProxMu > 0 && len(o.ProxRef) != n {
+		return fmt.Errorf("sgd step: %w: prox ref %d vs params %d", ErrDimension, len(o.ProxRef), n)
+	}
+	if o.Momentum > 0 {
+		if o.velocity == nil {
+			o.velocity = tensor.NewVector(n)
+		}
+		if len(o.velocity) != n {
+			return fmt.Errorf("sgd step: %w: velocity %d vs params %d", ErrDimension, len(o.velocity), n)
+		}
+	}
+	return nil
+}
+
+// stepSegment applies the SGD update rule to one contiguous parameter
+// segment p with gradient g, where off is the segment's offset into the
+// flattened parameter vector (indexing velocity and ProxRef). Per element:
+// eff = g + weightDecay·θ + μ·(θ − θ_ref); v = momentum·v + eff;
+// θ -= lr·(v or eff).
+func (o *SGD) stepSegment(p, g []float64, off int) {
+	for i := range p {
+		eff := g[i]
+		if o.WeightDecay > 0 {
+			eff += o.WeightDecay * p[i]
+		}
+		if o.ProxMu > 0 {
+			eff += o.ProxMu * p[i]
+			eff -= o.ProxMu * o.ProxRef[off+i]
+		}
+		if o.Momentum > 0 {
+			v := o.Momentum*o.velocity[off+i] + eff
+			o.velocity[off+i] = v
+			eff = v
+		}
+		p[i] -= o.LR * eff
+	}
+}
+
 // Step applies one gradient step to model m given the flattened gradient g
 // (already averaged over the batch).
 func (o *SGD) Step(m *MLP, g tensor.Vector) error {
 	if o.LR <= 0 {
 		return errors.New("nn: learning rate must be positive")
 	}
-	p := m.Params()
-	if len(g) != len(p) {
-		return fmt.Errorf("sgd step: %w: grad %d vs params %d", ErrDimension, len(g), len(p))
+	n := m.NumParams()
+	if len(g) != n {
+		return fmt.Errorf("sgd step: %w: grad %d vs params %d", ErrDimension, len(g), n)
 	}
-	// Effective gradient: g + weightDecay·θ + μ·(θ - θ_ref).
-	eff := g.Clone()
-	if o.WeightDecay > 0 {
-		if err := eff.Axpy(o.WeightDecay, p); err != nil {
-			return err
-		}
-	}
-	if o.ProxMu > 0 {
-		if len(o.ProxRef) != len(p) {
-			return fmt.Errorf("sgd step: %w: prox ref %d vs params %d", ErrDimension, len(o.ProxRef), len(p))
-		}
-		if err := eff.Axpy(o.ProxMu, p); err != nil {
-			return err
-		}
-		if err := eff.Axpy(-o.ProxMu, o.ProxRef); err != nil {
-			return err
-		}
-	}
-	if o.Momentum > 0 {
-		if o.velocity == nil {
-			o.velocity = tensor.NewVector(len(p))
-		}
-		if len(o.velocity) != len(p) {
-			return fmt.Errorf("sgd step: %w: velocity %d vs params %d", ErrDimension, len(o.velocity), len(p))
-		}
-		o.velocity.Scale(o.Momentum)
-		if err := o.velocity.Add(eff); err != nil {
-			return err
-		}
-		eff = o.velocity
-	}
-	if err := p.Axpy(-o.LR, eff); err != nil {
+	if err := o.prepare(n); err != nil {
 		return err
 	}
-	return m.SetParams(p)
+	off := 0
+	for _, l := range m.layers {
+		o.stepSegment(l.W.Data, g[off:off+len(l.W.Data)], off)
+		off += len(l.W.Data)
+		o.stepSegment(l.B, g[off:off+len(l.B)], off)
+		off += len(l.B)
+	}
+	return nil
 }
 
-// TrainBatch computes the average gradient of the model over a mini-batch
-// and applies one optimizer step, returning the pre-step mean loss.
-func TrainBatch(m *MLP, xs []tensor.Vector, ys []int, opt *SGD) (float64, error) {
+// StepLayers applies one gradient step from per-layer gradient accumulators
+// (e.g. Workspace.Grads()), updating the model in place with zero
+// allocations at steady state. Bit-identical to Step on the flattened
+// concatenation of grads.
+func (o *SGD) StepLayers(m *MLP, grads []*Dense) error {
+	if err := checkGradShapes(m, grads); err != nil {
+		return err
+	}
+	if err := o.prepare(m.NumParams()); err != nil {
+		return err
+	}
+	off := 0
+	for li, l := range m.layers {
+		o.stepSegment(l.W.Data, grads[li].W.Data, off)
+		off += len(l.W.Data)
+		o.stepSegment(l.B, grads[li].B, off)
+		off += len(l.B)
+	}
+	return nil
+}
+
+// checkGradShapes validates per-layer gradient accumulators against m.
+func checkGradShapes(m *MLP, grads []*Dense) error {
+	if len(grads) != len(m.layers) {
+		return fmt.Errorf("step: %w: %d gradient layers vs %d model layers", ErrDimension, len(grads), len(m.layers))
+	}
+	for i, l := range m.layers {
+		g := grads[i]
+		if g == nil || g.W.Rows != l.W.Rows || g.W.Cols != l.W.Cols || len(g.B) != len(l.B) {
+			return fmt.Errorf("step: %w: gradient layer %d shape mismatch", ErrDimension, i)
+		}
+	}
+	return nil
+}
+
+// TrainBatchWS computes the average gradient of the model over a mini-batch
+// into the workspace accumulators and applies one optimizer step, returning
+// the pre-step mean loss. The steady-state allocation count is zero.
+func TrainBatchWS(ws *Workspace, m *MLP, xs []tensor.Vector, ys []int, opt Optimizer) (float64, error) {
 	if len(xs) == 0 {
-		return 0, errors.New("nn: empty batch")
+		return 0, errEmptyBatch
 	}
 	if len(xs) != len(ys) {
 		return 0, fmt.Errorf("train: %w: %d inputs vs %d labels", ErrDimension, len(xs), len(ys))
 	}
-	grads := make([]*Dense, len(m.layers))
-	for i, l := range m.layers {
-		grads[i] = &Dense{W: tensor.NewMatrix(l.W.Rows, l.W.Cols), B: tensor.NewVector(len(l.B))}
-	}
+	ws.ZeroGrads()
 	var total float64
 	for i, x := range xs {
-		loss, err := m.gradients(x, ys[i], grads)
+		loss, err := m.GradientsWS(ws, x, ys[i])
 		if err != nil {
 			return 0, err
 		}
 		total += loss
 	}
 	inv := 1 / float64(len(xs))
-	flat := make(tensor.Vector, 0, m.NumParams())
-	for _, g := range grads {
+	for _, g := range ws.grads {
 		g.W.Scale(inv)
 		g.B.Scale(inv)
-		flat = append(flat, g.W.Data...)
-		flat = append(flat, g.B...)
 	}
-	if err := opt.Step(m, flat); err != nil {
+	if err := opt.StepLayers(m, ws.grads); err != nil {
 		return 0, err
 	}
 	return total * inv, nil
 }
 
-// TrainEpochs runs full passes of mini-batch SGD over a dataset, shuffling
-// each epoch, and returns the final epoch's mean loss.
-func TrainEpochs(m *MLP, xs []tensor.Vector, ys []int, opt *SGD, epochs, batchSize int, rng *tensor.RNG) (float64, error) {
+// TrainBatch computes the average gradient of the model over a mini-batch
+// and applies one optimizer step, returning the pre-step mean loss. It
+// allocates a workspace per call; loops should use TrainBatchWS.
+func TrainBatch(m *MLP, xs []tensor.Vector, ys []int, opt *SGD) (float64, error) {
+	return TrainBatchWS(NewWorkspace(m), m, xs, ys, opt)
+}
+
+// TrainEpochsWS runs full passes of mini-batch SGD over a dataset, shuffling
+// each epoch, and returns the final epoch's mean loss. All per-batch scratch
+// state lives in ws, so an epoch loop is allocation-free after warm-up.
+func TrainEpochsWS(ws *Workspace, m *MLP, xs []tensor.Vector, ys []int, opt *SGD, epochs, batchSize int, rng *tensor.RNG) (float64, error) {
 	if len(xs) == 0 {
 		return 0, errors.New("nn: empty dataset")
 	}
@@ -145,7 +208,7 @@ func TrainEpochs(m *MLP, xs []tensor.Vector, ys []int, opt *SGD, epochs, batchSi
 				bx = append(bx, xs[i])
 				by = append(by, ys[i])
 			}
-			loss, err := TrainBatch(m, bx, by, opt)
+			loss, err := TrainBatchWS(ws, m, bx, by, opt)
 			if err != nil {
 				return 0, err
 			}
@@ -155,6 +218,12 @@ func TrainEpochs(m *MLP, xs []tensor.Vector, ys []int, opt *SGD, epochs, batchSi
 		lastLoss = epochLoss / float64(batches)
 	}
 	return lastLoss, nil
+}
+
+// TrainEpochs runs full passes of mini-batch SGD over a dataset, shuffling
+// each epoch, and returns the final epoch's mean loss.
+func TrainEpochs(m *MLP, xs []tensor.Vector, ys []int, opt *SGD, epochs, batchSize int, rng *tensor.RNG) (float64, error) {
+	return TrainEpochsWS(NewWorkspace(m), m, xs, ys, opt, epochs, batchSize, rng)
 }
 
 // ModelSimilarity returns the cosine similarity between two models'

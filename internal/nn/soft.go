@@ -6,60 +6,79 @@ import (
 	"repro/internal/tensor"
 )
 
-// SoftGradient computes the flattened parameter gradient of the soft-label
-// distillation loss for one example: the cross-entropy between a target
-// distribution and the model's temperature-scaled softmax,
-// H(q, softmax(z/T)). It returns the gradient and the loss. This is the
-// entry point knowledge distillation uses (the output-layer delta is
-// (softmax(z/T) − q)/T instead of the hard-label delta).
-func SoftGradient(m *MLP, x tensor.Vector, target tensor.Vector, temperature float64) (tensor.Vector, float64, error) {
+// SoftGradientWS accumulates the soft-label distillation gradient for one
+// example into ws.Grads() and returns the example's loss: the cross-entropy
+// between a target distribution and the model's temperature-scaled softmax,
+// H(q, softmax(z/T)). The output-layer delta is (softmax(z/T) − q)/T
+// instead of the hard-label delta. Call ws.ZeroGrads() before a fresh
+// batch; successive calls accumulate.
+func (m *MLP) SoftGradientWS(ws *Workspace, x tensor.Vector, target tensor.Vector, temperature float64) (float64, error) {
 	if temperature <= 0 {
-		return nil, 0, fmt.Errorf("nn: temperature must be positive, got %g", temperature)
+		return 0, fmt.Errorf("nn: temperature must be positive, got %g", temperature)
 	}
 	if len(target) != m.NumClasses() {
-		return nil, 0, fmt.Errorf("soft gradient: %w: target %d vs classes %d", ErrDimension, len(target), m.NumClasses())
+		return 0, fmt.Errorf("soft gradient: %w: target %d vs classes %d", ErrDimension, len(target), m.NumClasses())
 	}
-	acts, err := m.forward(x)
-	if err != nil {
-		return nil, 0, err
+	if err := ws.check(m); err != nil {
+		return 0, err
 	}
-	logits := acts[len(acts)-1].Clone()
-	logits.Scale(1 / temperature)
-	p := Softmax(logits)
+	if err := m.forwardInto(ws.acts, x); err != nil {
+		return 0, err
+	}
+
+	// Temperature-scale the logits into the output delta buffer, softmax
+	// into prob.
+	delta := ws.deltas[len(ws.deltas)-1]
+	logits := ws.acts[len(ws.acts)-1]
+	if err := tensor.ScaleInto(delta, 1/temperature, logits); err != nil {
+		return 0, err
+	}
+	softmaxInto(ws.prob, delta)
 
 	var loss float64
 	for i, q := range target {
 		if q > 0 {
-			loss += -q * logp(p[i])
+			loss += -q * logp(ws.prob[i])
 		}
 	}
 
-	delta := p.Clone()
+	copy(delta, ws.prob)
 	if err := delta.Sub(target); err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	delta.Scale(1 / temperature)
 
-	grads := make([]*Dense, len(m.layers))
-	for i, l := range m.layers {
-		grads[i] = &Dense{W: tensor.NewMatrix(l.W.Rows, l.W.Cols), B: tensor.NewVector(len(l.B))}
+	if err := m.backpropInto(ws.acts, ws.deltas, ws.grads); err != nil {
+		return 0, err
 	}
-	if err := m.backpropFrom(acts, delta, grads); err != nil {
+	return loss, nil
+}
+
+// SoftGradient computes the flattened parameter gradient of the soft-label
+// distillation loss for one example, returning the gradient and the loss.
+// It is the allocating wrapper around SoftGradientWS; batch loops should
+// hold a Workspace and call SoftGradientWS directly.
+func SoftGradient(m *MLP, x tensor.Vector, target tensor.Vector, temperature float64) (tensor.Vector, float64, error) {
+	ws := NewWorkspace(m)
+	loss, err := m.SoftGradientWS(ws, x, target, temperature)
+	if err != nil {
 		return nil, 0, err
 	}
 	flat := make(tensor.Vector, 0, m.NumParams())
-	for _, g := range grads {
+	for _, g := range ws.grads {
 		flat = append(flat, g.W.Data...)
 		flat = append(flat, g.B...)
 	}
 	return flat, loss, nil
 }
 
-// backpropFrom propagates an output-layer delta through the network,
-// accumulating layer gradients — the shared tail of hard- and soft-label
-// backpropagation.
-func (m *MLP) backpropFrom(acts []tensor.Vector, delta tensor.Vector, grads []*Dense) error {
+// backpropInto propagates the output-layer delta (already stored in
+// deltas[len(deltas)-1]) through the network, accumulating layer gradients
+// into grads — the shared tail of hard- and soft-label backpropagation.
+// deltas[l] receives the delta at layer l's output.
+func (m *MLP) backpropInto(acts, deltas []tensor.Vector, grads []*Dense) error {
 	for l := len(m.layers) - 1; l >= 0; l-- {
+		delta := deltas[l]
 		in := acts[l]
 		if err := grads[l].W.AddOuter(1, delta, in); err != nil {
 			return err
@@ -70,8 +89,11 @@ func (m *MLP) backpropFrom(acts []tensor.Vector, delta tensor.Vector, grads []*D
 		if l == 0 {
 			break
 		}
-		prev, err := m.layers[l].W.MulVecT(delta)
-		if err != nil {
+		// Propagate: delta_prev = Wᵀ·delta ⊙ relu'(pre-act). acts[l] is the
+		// post-ReLU activation of layer l-1's output; ReLU' is 1 where the
+		// activation is positive.
+		prev := deltas[l-1]
+		if err := tensor.MatTVecInto(prev, m.layers[l].W, delta); err != nil {
 			return err
 		}
 		for i := range prev {
@@ -79,7 +101,6 @@ func (m *MLP) backpropFrom(acts []tensor.Vector, delta tensor.Vector, grads []*D
 				prev[i] = 0
 			}
 		}
-		delta = prev
 	}
 	return nil
 }

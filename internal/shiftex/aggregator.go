@@ -313,6 +313,7 @@ func (a *Aggregator) calibrate(anchor []detect.PartyStats) error {
 	// splits are slightly conservative (smaller samples inflate the
 	// biased MMD), which suppresses false positives.
 	covNulls := make([]float64, 0, resamples)
+	var xs, ys []tensor.Vector // split buffers reused across resamples
 	for i := 0; i < resamples; i++ {
 		st := anchor[a.rng.Intn(len(anchor))]
 		n := len(st.EmbeddingSample)
@@ -321,11 +322,10 @@ func (a *Aggregator) calibrate(anchor []detect.PartyStats) error {
 		}
 		perm := a.rng.Perm(n)
 		half := n / 2
-		xs := make([]tensor.Vector, half)
-		ys := make([]tensor.Vector, half)
+		xs, ys = xs[:0], ys[:0]
 		for j := 0; j < half; j++ {
-			xs[j] = st.EmbeddingSample[perm[j]]
-			ys[j] = st.EmbeddingSample[perm[half+j]]
+			xs = append(xs, st.EmbeddingSample[perm[j]])
+			ys = append(ys, st.EmbeddingSample[perm[half+j]])
 		}
 		v, err := stats.MMDAuto(xs, ys)
 		if err != nil {
@@ -738,13 +738,6 @@ func (a *Aggregator) consolidate(f Fleet) (int, error) {
 		}
 	}
 	return len(remap), nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // MeanAccuracy is a convenience over a trace.

@@ -191,7 +191,10 @@ func (r *Registry) Consolidate(arch []int, tau, epsilon float64, cohortSize map[
 }
 
 // merge folds expert b into expert a (weighted parameter average plus
-// latent-memory average) and removes b.
+// latent-memory average) and removes b. The average is computed directly on
+// the flattened parameter vectors — no model reconstruction — with the same
+// accumulation order as nn.MergeModels, so merged values are bit-identical
+// to the model-round-trip path this replaced.
 func (r *Registry) merge(arch []int, a, b *Expert, cohortSize map[int]int) error {
 	wa := float64(cohortSize[a.ID])
 	wb := float64(cohortSize[b.ID])
@@ -201,19 +204,14 @@ func (r *Registry) merge(arch []int, a, b *Expert, cohortSize map[int]int) error
 	if wb <= 0 {
 		wb = 1
 	}
-	ma, err := modelFromParams(arch, a.Params)
+	if want := nn.ParamCount(arch); len(a.Params) != want || len(b.Params) != want {
+		return fmt.Errorf("shiftex: merge params %d/%d vs arch %v (%d)", len(a.Params), len(b.Params), arch, want)
+	}
+	merged, err := tensor.WeightedMean([]tensor.Vector{a.Params, b.Params}, []float64{wa, wb})
 	if err != nil {
 		return err
 	}
-	mb, err := modelFromParams(arch, b.Params)
-	if err != nil {
-		return err
-	}
-	mergedModel, err := nn.MergeModels(ma, mb, wa, wb)
-	if err != nil {
-		return err
-	}
-	a.Params = mergedModel.Params()
+	a.Params = merged
 	switch {
 	case a.Memory == nil:
 		a.Memory = b.Memory
@@ -226,17 +224,6 @@ func (r *Registry) merge(arch []int, a, b *Expert, cohortSize map[int]int) error
 	}
 	r.Remove(b.ID)
 	return nil
-}
-
-func modelFromParams(arch []int, params tensor.Vector) (*nn.MLP, error) {
-	m, err := nn.NewMLP(arch, tensor.NewRNG(0))
-	if err != nil {
-		return nil, err
-	}
-	if err := m.SetParams(params); err != nil {
-		return nil, err
-	}
-	return m, nil
 }
 
 // Snapshot returns expert IDs sorted ascending with their cohort sizes —

@@ -1,0 +1,137 @@
+package tensor
+
+import "fmt"
+
+// In-place BLAS-level kernels. Every function writes into a caller-owned
+// destination and allocates nothing, so hot loops can reuse buffers across
+// iterations. Aliasing rules: dst must not alias any input unless a kernel
+// documents otherwise — the loops read inputs while writing dst.
+//
+// Each kernel performs element operations in exactly the same order as its
+// allocating counterpart (MulVec, Mean, ...), so replacing one with the
+// other never changes a single bit of the result. The parity tests in
+// kernels_test.go and the seed-pinned experiment traces both lean on that.
+
+// MatVecInto computes dst = m·x. dst must have length m.Rows and must not
+// alias x or m's storage.
+func MatVecInto(dst Vector, m *Matrix, x Vector) error {
+	if len(x) != m.Cols {
+		return fmt.Errorf("matvec: %w: matrix %dx%d vs vector %d", ErrShape, m.Rows, m.Cols, len(x))
+	}
+	if len(dst) != m.Rows {
+		return fmt.Errorf("matvec: %w: dst %d vs rows %d", ErrShape, len(dst), m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// MatTVecInto computes dst = mᵀ·x (x has length Rows, dst length Cols).
+// dst must not alias x or m's storage. Rows whose x component is zero are
+// skipped, mirroring MulVecT.
+func MatTVecInto(dst Vector, m *Matrix, x Vector) error {
+	if len(x) != m.Rows {
+		return fmt.Errorf("mattvec: %w: matrix %dx%d vs vector %d", ErrShape, m.Rows, m.Cols, len(x))
+	}
+	if len(dst) != m.Cols {
+		return fmt.Errorf("mattvec: %w: dst %d vs cols %d", ErrShape, len(dst), m.Cols)
+	}
+	dst.Fill(0)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			dst[j] += v * xi
+		}
+	}
+	return nil
+}
+
+// AxpyInto computes dst = x + a·y element-wise (the three-address form of
+// Vector.Axpy). dst may alias x (dst = dst + a·y reproduces Axpy) but must
+// not alias y unless a == 0.
+func AxpyInto(dst Vector, x Vector, a float64, y Vector) error {
+	if len(dst) != len(x) || len(dst) != len(y) {
+		return fmt.Errorf("axpyinto: %w: dst %d, x %d, y %d", ErrShape, len(dst), len(x), len(y))
+	}
+	for i := range dst {
+		dst[i] = x[i] + a*y[i]
+	}
+	return nil
+}
+
+// ScaleInto computes dst = a·x element-wise. dst may alias x.
+func ScaleInto(dst Vector, a float64, x Vector) error {
+	if len(dst) != len(x) {
+		return fmt.Errorf("scaleinto: %w: dst %d vs x %d", ErrShape, len(dst), len(x))
+	}
+	for i := range dst {
+		dst[i] = a * x[i]
+	}
+	return nil
+}
+
+// MeanInto computes the element-wise mean of vs into dst (same accumulation
+// order as Mean). dst must not alias any element of vs.
+func MeanInto(dst Vector, vs []Vector) error {
+	if len(vs) == 0 {
+		return fmt.Errorf("meaninto: empty vector set")
+	}
+	if len(dst) != len(vs[0]) {
+		return fmt.Errorf("meaninto: %w: dst %d vs input %d", ErrShape, len(dst), len(vs[0]))
+	}
+	dst.Fill(0)
+	for _, v := range vs {
+		if len(v) != len(dst) {
+			return fmt.Errorf("meaninto: %w: %d vs %d", ErrShape, len(v), len(dst))
+		}
+		for i, x := range v {
+			dst[i] += x
+		}
+	}
+	dst.Scale(1 / float64(len(vs)))
+	return nil
+}
+
+// WeightedMeanInto computes Σ wᵢ·vᵢ / Σ wᵢ into dst (same accumulation
+// order as WeightedMean). dst must not alias any element of vs.
+func WeightedMeanInto(dst Vector, vs []Vector, weights []float64) error {
+	if len(vs) == 0 {
+		return fmt.Errorf("weightedmeaninto: empty vector set")
+	}
+	if len(vs) != len(weights) {
+		return fmt.Errorf("weightedmeaninto: %w: %d vectors vs %d weights", ErrShape, len(vs), len(weights))
+	}
+	if len(dst) != len(vs[0]) {
+		return fmt.Errorf("weightedmeaninto: %w: dst %d vs input %d", ErrShape, len(dst), len(vs[0]))
+	}
+	dst.Fill(0)
+	var total float64
+	for j, v := range vs {
+		if len(v) != len(dst) {
+			return fmt.Errorf("weightedmeaninto: %w: %d vs %d", ErrShape, len(v), len(dst))
+		}
+		w := weights[j]
+		if w < 0 {
+			return fmt.Errorf("weightedmeaninto: negative weight %g at index %d", w, j)
+		}
+		total += w
+		for i, x := range v {
+			dst[i] += w * x
+		}
+	}
+	if total <= 0 {
+		return fmt.Errorf("weightedmeaninto: weights sum to zero")
+	}
+	dst.Scale(1 / total)
+	return nil
+}

@@ -1,0 +1,236 @@
+package tensor
+
+import (
+	"errors"
+	"testing"
+)
+
+func randVec(rng *RNG, n int) Vector {
+	return rng.NormVec(n, 0, 1)
+}
+
+func randMat(rng *RNG, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Norm()
+	}
+	return m
+}
+
+// Every Into kernel must be bit-identical to its allocating counterpart —
+// the property that lets the nn layer swap them in without perturbing any
+// seed-pinned trace.
+
+func TestMatVecIntoMatchesMulVec(t *testing.T) {
+	rng := NewRNG(1)
+	m := randMat(rng, 7, 5)
+	x := randVec(rng, 5)
+	want, err := m.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewVector(7)
+	if err := MatVecInto(dst, m, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %g, MulVec %g", i, dst[i], want[i])
+		}
+	}
+	if err := MatVecInto(NewVector(3), m, x); !errors.Is(err, ErrShape) {
+		t.Fatalf("short dst: %v", err)
+	}
+	if err := MatVecInto(dst, m, NewVector(2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("short x: %v", err)
+	}
+}
+
+func TestMatTVecIntoMatchesMulVecT(t *testing.T) {
+	rng := NewRNG(2)
+	m := randMat(rng, 6, 4)
+	x := randVec(rng, 6)
+	x[2] = 0 // exercise the zero-skip path
+	want, err := m.MulVecT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := randVec(rng, 4) // pre-filled: kernel must overwrite
+	if err := MatTVecInto(dst, m, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %g, MulVecT %g", i, dst[i], want[i])
+		}
+	}
+	if err := MatTVecInto(NewVector(9), m, x); !errors.Is(err, ErrShape) {
+		t.Fatalf("bad dst: %v", err)
+	}
+	if err := MatTVecInto(dst, m, NewVector(1)); !errors.Is(err, ErrShape) {
+		t.Fatalf("bad x: %v", err)
+	}
+}
+
+func TestAxpyIntoMatchesAxpy(t *testing.T) {
+	rng := NewRNG(3)
+	x := randVec(rng, 8)
+	y := randVec(rng, 8)
+	want := x.Clone()
+	if err := want.Axpy(0.37, y); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewVector(8)
+	if err := AxpyInto(dst, x, 0.37, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %g, Axpy %g", i, dst[i], want[i])
+		}
+	}
+	// Aliased form dst = dst + a·y.
+	alias := x.Clone()
+	if err := AxpyInto(alias, alias, 0.37, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if alias[i] != want[i] {
+			t.Fatalf("aliased dst[%d] = %g, want %g", i, alias[i], want[i])
+		}
+	}
+	if err := AxpyInto(NewVector(2), x, 1, y); !errors.Is(err, ErrShape) {
+		t.Fatalf("bad dst: %v", err)
+	}
+}
+
+func TestScaleIntoMatchesScale(t *testing.T) {
+	rng := NewRNG(4)
+	x := randVec(rng, 8)
+	want := x.Clone()
+	want.Scale(1 / 3.0)
+	dst := NewVector(8)
+	if err := ScaleInto(dst, 1/3.0, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %g, Scale %g", i, dst[i], want[i])
+		}
+	}
+	if err := ScaleInto(NewVector(2), 1, x); !errors.Is(err, ErrShape) {
+		t.Fatalf("bad dst: %v", err)
+	}
+}
+
+func TestMeanIntoMatchesMean(t *testing.T) {
+	rng := NewRNG(5)
+	vs := []Vector{randVec(rng, 6), randVec(rng, 6), randVec(rng, 6)}
+	want, err := Mean(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := randVec(rng, 6)
+	if err := MeanInto(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %g, Mean %g", i, dst[i], want[i])
+		}
+	}
+	if err := MeanInto(dst, nil); err == nil {
+		t.Fatal("empty set should error")
+	}
+	if err := MeanInto(NewVector(2), vs); !errors.Is(err, ErrShape) {
+		t.Fatalf("bad dst: %v", err)
+	}
+}
+
+func TestWeightedMeanIntoMatchesWeightedMean(t *testing.T) {
+	rng := NewRNG(6)
+	vs := []Vector{randVec(rng, 6), randVec(rng, 6), randVec(rng, 6)}
+	ws := []float64{1, 2.5, 0.5}
+	want, err := WeightedMean(vs, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := randVec(rng, 6)
+	if err := WeightedMeanInto(dst, vs, ws); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %g, WeightedMean %g", i, dst[i], want[i])
+		}
+	}
+	if err := WeightedMeanInto(dst, vs, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("weight mismatch: %v", err)
+	}
+	if err := WeightedMeanInto(dst, vs, []float64{0, 0, 0}); err == nil {
+		t.Fatal("zero weights should error")
+	}
+	if err := WeightedMeanInto(dst, vs, []float64{1, -1, 1}); err == nil {
+		t.Fatal("negative weight should error")
+	}
+}
+
+func TestWorkspaceCarveAndReset(t *testing.T) {
+	ws := NewWorkspace(4)
+	v := ws.Vec(3)
+	if len(v) != 3 || ws.InUse() != 3 {
+		t.Fatalf("Vec(3): len %d, in use %d", len(v), ws.InUse())
+	}
+	v[0] = 42
+	m := ws.Mat(2, 3) // forces growth past the initial 4
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("Mat(2,3): %dx%d data %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if v[0] != 42 {
+		t.Fatal("growth lost live buffer contents")
+	}
+	for _, x := range m.Data {
+		if x != 0 {
+			t.Fatal("carved matrix not zeroed")
+		}
+	}
+	ws.Reset()
+	if ws.InUse() != 0 {
+		t.Fatalf("in use after reset: %d", ws.InUse())
+	}
+	// Buffers carved after Reset must be zeroed even though the backing
+	// storage was dirtied before.
+	v2 := ws.Vec(3)
+	for _, x := range v2 {
+		if x != 0 {
+			t.Fatal("post-reset vector not zeroed")
+		}
+	}
+	// Carving the same shapes after Reset must not allocate.
+	if !raceEnabled {
+		ws.Reset()
+		if n := testing.AllocsPerRun(100, func() {
+			ws.Reset()
+			_ = ws.Vec(3)
+		}); n != 0 {
+			t.Fatalf("steady-state Vec allocates %v/op, want 0", n)
+		}
+	}
+}
+
+// TestWorkspaceCarvesAreDisjoint guards the three-index cap in take():
+// writing one carved buffer beyond its length must never bleed into the
+// next carve.
+func TestWorkspaceCarvesAreDisjoint(t *testing.T) {
+	ws := NewWorkspace(16)
+	a := ws.Vec(4)
+	b := ws.Vec(4)
+	if cap(a) != 4 {
+		t.Fatalf("carve cap = %d, want 4", cap(a))
+	}
+	a = append(a, 99) // must reallocate a, not overwrite b
+	if b[0] != 0 {
+		t.Fatalf("append through carve overwrote the next buffer: %g", b[0])
+	}
+	_ = a
+}

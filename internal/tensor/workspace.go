@@ -1,0 +1,62 @@
+package tensor
+
+// Workspace is a bump allocator for float64 buffers: callers carve vectors
+// and matrices out of one backing array, then Reset to reuse the storage on
+// the next iteration. A workspace grows monotonically to the high-water
+// mark of its users and never shrinks, so a steady-state loop that carves
+// the same shapes every iteration performs zero allocations.
+//
+// Buffers handed out by Vec/Mat are valid until the next Reset; retaining
+// one across Reset aliases whatever is carved afterwards. Workspaces are
+// not safe for concurrent use — give each goroutine its own.
+type Workspace struct {
+	buf  []float64
+	used int
+}
+
+// NewWorkspace returns a workspace with capacity for n floats (it grows on
+// demand; n is just the initial reservation).
+func NewWorkspace(n int) *Workspace {
+	if n < 0 {
+		n = 0
+	}
+	return &Workspace{buf: make([]float64, n)}
+}
+
+// Vec carves a zeroed vector of length n out of the workspace.
+func (w *Workspace) Vec(n int) Vector {
+	out := w.take(n)
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// Mat carves a zeroed rows×cols matrix out of the workspace. The Matrix
+// header itself is heap-allocated only when it escapes; the element storage
+// comes from the workspace.
+func (w *Workspace) Mat(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: w.take(rows * cols)}
+}
+
+// take returns n floats of backing storage, growing the buffer if needed.
+func (w *Workspace) take(n int) []float64 {
+	if w.used+n > len(w.buf) {
+		grown := make([]float64, max(2*len(w.buf), w.used+n))
+		copy(grown, w.buf[:w.used])
+		w.buf = grown
+	}
+	out := w.buf[w.used : w.used+n : w.used+n]
+	w.used += n
+	return out
+}
+
+// Reset makes the full backing store available again. Buffers carved before
+// the Reset must no longer be used.
+func (w *Workspace) Reset() { w.used = 0 }
+
+// Cap returns the workspace's current capacity in floats.
+func (w *Workspace) Cap() int { return len(w.buf) }
+
+// InUse returns how many floats are currently carved out.
+func (w *Workspace) InUse() int { return w.used }
