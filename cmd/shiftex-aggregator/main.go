@@ -34,6 +34,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/dataset"
@@ -212,7 +213,10 @@ func run(args []string) error {
 		fmt.Printf("observability on http://%s (/healthz /state /metrics)\n", *httpAddr)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM (the signal process managers send) drains like SIGINT: the
+	// current window completes and checkpoints before the loop observes
+	// cancellation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	for w := rt.NextWindow(); w < rt.Windows(); w++ {

@@ -1,0 +1,227 @@
+// Command shiftex-serve is the ShiftEx inference-serving daemon: it loads a
+// trained aggregator checkpoint (written by cmd/shiftex-aggregator) into an
+// immutable serving snapshot and answers prediction requests over HTTP,
+// routing each request to the expert whose latent memory matches the
+// request's embedding signature and micro-batching per expert onto a
+// zero-allocation worker pool.
+//
+//	shiftex-aggregator -load 8 -windows 3 -seed 42 -checkpoint ckpt.json
+//	shiftex-serve -checkpoint ckpt.json -http 127.0.0.1:8090
+//	curl -s -X POST -d '{"x":[0.1, ...]}' http://127.0.0.1:8090/predict
+//
+// A running server picks up retrained checkpoints without dropping a
+// request: POST /snapshot {"path":"ckpt.json"} hot-swaps atomically, and
+// SIGHUP re-reads the -checkpoint path in place. SIGINT/SIGTERM drain every
+// in-flight batch before exit and write a final serving-metrics snapshot
+// (-metrics-out).
+//
+// -loadgen switches to load-generation mode: the server runs in-process,
+// the checkpoint run's scenario stream is replayed against it at -qps
+// (0 = open loop), and the run is recorded as a versioned BENCH_serving.json
+// artifact (throughput, latency quantiles, per-regime routing accuracy
+// under the scenario's injected shift).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "shiftex-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("shiftex-serve", flag.ContinueOnError)
+	checkpoint := fs.String("checkpoint", "", "aggregator checkpoint to serve (required; written by shiftex-aggregator -checkpoint)")
+	httpAddr := fs.String("http", "127.0.0.1:8090", "serve /predict, /snapshot, /healthz, /metrics on this address")
+	workers := fs.Int("workers", 0, "prediction workers (0 = one per core)")
+	maxBatch := fs.Int("max-batch", 32, "flush an expert's queue at this many requests")
+	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "flush an expert's queue when its oldest request has waited this long")
+	queueDepth := fs.Int("queue", 4096, "admission bound; requests beyond it are rejected with 503")
+	cacheSize := fs.Int("cache", 4096, "LRU route-cache entries (negative = disable)")
+	epsScale := fs.Float64("route-eps-scale", 4, "widen the latent-memory match radius to this multiple of the calibrated ε (single-request embeddings are noisier than the window means ε was calibrated on; negative = use ε unscaled)")
+	metricsOut := fs.String("metrics-out", "", "write the final serving-metrics snapshot to this JSON file on shutdown")
+
+	loadgen := fs.Bool("loadgen", false, "load-generation mode: replay the checkpoint's scenario against an in-process server and write BENCH_serving.json")
+	qps := fs.Float64("qps", 0, "loadgen target aggregate QPS (0 = open loop, as fast as possible)")
+	concurrency := fs.Int("concurrency", 0, "loadgen client goroutines (0 = two per core)")
+	repeat := fs.Int("repeat", 3, "loadgen passes over the scenario's request stream (later passes exercise the route cache)")
+	duration := fs.Duration("duration", 0, "loadgen time budget (0 = run the full stream)")
+	samples := fs.Int("samples", 120, "scenario training samples per party per window (must match the checkpointed run)")
+	testN := fs.Int("test", 60, "scenario test samples per party per window (must match the checkpointed run)")
+	swapMid := fs.Bool("swap-mid-load", false, "loadgen: hot-swap a fresh snapshot of the same checkpoint halfway through")
+	jsonDir := fs.String("json", "", "loadgen: write BENCH_serving.json into this directory (empty = don't write)")
+	check := fs.String("check", "", "validate a BENCH_serving.json artifact, print its headline numbers, and exit")
+	minThroughput := fs.Float64("min-throughput", 0, "with -check: fail unless the artifact reports at least this many predictions/sec")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *check != "" {
+		return checkArtifact(*check, *minThroughput)
+	}
+	if *checkpoint == "" {
+		return errors.New("-checkpoint PATH is required\n  produce one with: shiftex-aggregator -load 8 -windows 3 -seed 42 -checkpoint ckpt.json")
+	}
+
+	cp, err := service.LoadCheckpoint(*checkpoint)
+	if err != nil {
+		return err
+	}
+	snap, err := serve.SnapshotFromCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Workers:    *workers,
+		MaxBatch:   *maxBatch,
+		MaxDelay:   *maxDelay,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cacheSize,
+
+		RouteEpsilonScale: *epsScale,
+	}
+	srv, err := serve.NewServer(snap, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %d experts (snapshot v%d, %d windows trained, ε=%.4g) from %s\n",
+		snap.NumExperts(), snap.Version, cp.WindowsDone, snap.Epsilon, *checkpoint)
+
+	if *loadgen {
+		return runLoadgen(srv, cp, cfg, serve.LoadConfig{
+			TargetQPS:       *qps,
+			Concurrency:     *concurrency,
+			Repeat:          *repeat,
+			MaxDuration:     *duration,
+			SamplesPerParty: *samples,
+			TestPerParty:    *testN,
+			SwapMidLoad:     *swapMid,
+		}, *jsonDir)
+	}
+
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			httpErr <- err
+		}
+	}()
+	fmt.Printf("listening on http://%s (/predict /snapshot /healthz /metrics)\n", *httpAddr)
+
+	// SIGHUP reloads the checkpoint in place; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for {
+		select {
+		case err := <-httpErr:
+			_ = srv.Close()
+			return fmt.Errorf("http: %w", err)
+		case <-hup:
+			if err := srv.SwapFromCheckpoint(*checkpoint); err != nil {
+				fmt.Fprintln(os.Stderr, "shiftex-serve: reload:", err)
+				continue
+			}
+			fmt.Printf("reloaded %s as snapshot v%d\n", *checkpoint, srv.Snapshot().Version)
+		case <-ctx.Done():
+			// Stop accepting HTTP traffic, then drain the batching
+			// pipeline so every admitted request is answered.
+			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err := httpSrv.Shutdown(shutCtx)
+			cancel()
+			if closeErr := srv.Close(); err == nil {
+				err = closeErr
+			}
+			m := srv.Metrics().Snapshot()
+			fmt.Printf("drained: %d requests served (p50=%.3gms p99=%.3gms), %d matched / %d fallback, %d swaps\n",
+				m.Requests, m.P50Seconds*1e3, m.P99Seconds*1e3, m.Matched, m.Fallbacks, m.Swaps)
+			if *metricsOut != "" {
+				if werr := writeMetrics(*metricsOut, m); werr != nil && err == nil {
+					err = werr
+				}
+			}
+			return err
+		}
+	}
+}
+
+// checkArtifact validates a serving artifact and prints its headline
+// numbers — the smoke tests' machine-checkable gate on the benchmark.
+func checkArtifact(path string, minThroughput float64) error {
+	a, err := experiments.ReadServingArtifactFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving artifact ok: requests=%d errors=%d throughputPerSec=%.0f p99Ms=%.3g accuracy=%.3f routing=%.3f regimes=%d swaps=%d\n",
+		a.Requests, a.Errors, a.ThroughputPerSec, a.LatencyMsP99, a.Accuracy, a.RoutedToAssigned, len(a.Regimes), a.Swaps)
+	if a.Errors > 0 {
+		return fmt.Errorf("artifact records %d errored requests", a.Errors)
+	}
+	if minThroughput > 0 && a.ThroughputPerSec < minThroughput {
+		return fmt.Errorf("throughput %.0f/s below required %.0f/s", a.ThroughputPerSec, minThroughput)
+	}
+	return nil
+}
+
+// writeMetrics records the final serving counters as indented JSON.
+func writeMetrics(path string, m serve.MetricsSnapshot) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runLoadgen drives the in-process load-generation mode.
+func runLoadgen(srv *serve.Server, cp *service.Checkpoint, cfg serve.Config, lcfg serve.LoadConfig, jsonDir string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := serve.RunLoad(ctx, srv, cp, lcfg)
+	if err != nil {
+		return err
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d predictions in %.2fs (%.0f/s), p50=%s p90=%s p99=%s, accuracy=%.3f routing=%.3f\n",
+		res.Requests, res.Duration.Seconds(), res.Throughput(),
+		res.LatencyP50, res.LatencyP90, res.LatencyP99, res.Accuracy(), res.RoutingAccuracy())
+	for _, g := range res.Regimes {
+		fmt.Printf("  regime %-10s %6d requests  accuracy=%.3f  routed-to-assigned=%.3f  matched=%.3f\n",
+			g.Regime, g.Requests,
+			float64(g.Correct)/float64(g.Requests),
+			float64(g.RoutedToAssigned)/float64(g.Requests),
+			float64(g.Matched)/float64(g.Requests))
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("loadgen: %d requests errored", res.Errors)
+	}
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return err
+		}
+		path, err := experiments.WriteServingArtifactFile(jsonDir, res.Artifact(cp, lcfg, cfg))
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}

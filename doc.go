@@ -18,6 +18,15 @@
 // its daemons; for the same seed the cross-process deployment makes
 // bit-identical decisions to the in-process run.
 //
+// internal/serve closes the loop with the request path: cmd/shiftex-serve
+// loads an aggregator checkpoint into an immutable, atomically hot-swappable
+// snapshot and serves predictions over HTTP, routing each request to the
+// expert whose latent memory matches the request's embedding signature
+// (with the global model as fallback) through a micro-batching pool of
+// zero-allocation workspaces. Its load generator replays the training
+// scenario against the server and records throughput, latency quantiles,
+// and per-regime routing accuracy as the committed BENCH_serving.json.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record, the cross-process parity contract, and the
 // checkpoint schema. The benchmarks in bench_test.go regenerate each

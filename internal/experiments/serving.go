@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ServingSchemaVersion is bumped whenever the BENCH_serving.json layout
+// changes incompatibly; decoders reject other versions.
+const ServingSchemaVersion = 1
+
+// ServingArtifactName keys the serving benchmark's artifact file
+// (BENCH_serving.json via ArtifactFileName).
+const ServingArtifactName = "serving"
+
+// ServingOptions records the load-generation protocol: the checkpoint the
+// server ran from, the regenerated scenario shape, and the pipeline knobs.
+// Unlike grid ArtifactOptions, most serving results (throughput, latency)
+// are inherently machine-dependent, so there is no StripTiming analogue —
+// the artifact is a performance record, not a determinism contract.
+type ServingOptions struct {
+	CheckpointWindows int     `json:"checkpointWindows"` // stream position the snapshot was taken at
+	Parties           int     `json:"parties"`
+	SamplesPerParty   int     `json:"samplesPerParty"`
+	TestPerParty      int     `json:"testPerParty"`
+	Seed              uint64  `json:"seed"`
+	TargetQPS         float64 `json:"targetQps"` // 0 = open loop (as fast as possible)
+	Concurrency       int     `json:"concurrency"`
+	Repeat            int     `json:"repeat"`
+	Workers           int     `json:"workers"`
+	MaxBatch          int     `json:"maxBatch"`
+	MaxDelayMs        float64 `json:"maxDelayMs"`
+	CacheSize         int     `json:"cacheSize"`
+	RouteEpsilonScale float64 `json:"routeEpsilonScale"`
+	SwapMidLoad       bool    `json:"swapMidLoad"`
+}
+
+// ServingRegime is one covariate regime's serving quality: how accurately
+// its requests were predicted and how often they were routed to the expert
+// the training run had assigned to their party — the per-regime routing
+// accuracy under injected shift.
+type ServingRegime struct {
+	Regime           string  `json:"regime"` // e.g. "clean", "fog:3"
+	Requests         int     `json:"requests"`
+	Accuracy         float64 `json:"accuracy"`
+	RoutedToAssigned float64 `json:"routedToAssigned"`
+	MatchedFraction  float64 `json:"matchedFraction"` // latent-memory match (vs fallback) rate
+}
+
+// ServingArtifact is the versioned, machine-readable record of one serving
+// load-generation run: aggregate throughput, latency quantiles, prediction
+// accuracy, and per-regime routing quality.
+type ServingArtifact struct {
+	Schema  int            `json:"schema"`
+	Name    string         `json:"name"`
+	Options ServingOptions `json:"options"`
+
+	Requests         uint64  `json:"requests"` // completed predictions
+	Errors           uint64  `json:"errors"`
+	Rejected         uint64  `json:"rejected"` // admission-queue rejections
+	DurationMs       float64 `json:"durationMs"`
+	ThroughputPerSec float64 `json:"throughputPerSec"`
+
+	LatencyMsP50 float64 `json:"latencyMsP50"`
+	LatencyMsP90 float64 `json:"latencyMsP90"`
+	LatencyMsP99 float64 `json:"latencyMsP99"`
+	LatencyMsMax float64 `json:"latencyMsMax"`
+
+	Accuracy         float64 `json:"accuracy"`
+	RoutedToAssigned float64 `json:"routedToAssigned"`
+	CacheHitRate     float64 `json:"cacheHitRate"`
+	Swaps            uint64  `json:"swaps"`
+	MeanBatch        float64 `json:"meanBatch"`
+
+	Regimes []ServingRegime `json:"regimes"`
+}
+
+// Validate checks schema version and structural coherence.
+func (a *ServingArtifact) Validate() error {
+	switch {
+	case a.Schema != ServingSchemaVersion:
+		return fmt.Errorf("experiments: serving artifact schema %d, want %d", a.Schema, ServingSchemaVersion)
+	case a.Name != ServingArtifactName:
+		return fmt.Errorf("experiments: serving artifact name %q, want %q", a.Name, ServingArtifactName)
+	case a.Requests == 0:
+		return errors.New("experiments: serving artifact records no completed requests")
+	case a.DurationMs <= 0:
+		return errors.New("experiments: serving artifact has no duration")
+	case len(a.Regimes) == 0:
+		return errors.New("experiments: serving artifact has no per-regime breakdown")
+	}
+	for i, r := range a.Regimes {
+		if r.Regime == "" {
+			return fmt.Errorf("experiments: serving regime %d has no name", i)
+		}
+		if r.Requests <= 0 {
+			return fmt.Errorf("experiments: serving regime %q records no requests", r.Regime)
+		}
+	}
+	return nil
+}
+
+// Encode writes the artifact as indented, newline-terminated JSON.
+func (a *ServingArtifact) Encode(w io.Writer) error {
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: encode serving artifact: %w", err)
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// DecodeServingArtifact reads and validates one serving artifact. Unknown
+// fields are rejected so schema drift fails loudly.
+func DecodeServingArtifact(r io.Reader) (*ServingArtifact, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var a ServingArtifact
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("experiments: decode serving artifact: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// WriteServingArtifactFile encodes the artifact into dir under the
+// canonical BENCH_serving.json name and returns the written path.
+func WriteServingArtifactFile(dir string, a *ServingArtifact) (string, error) {
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, ArtifactFileName(a.Name))
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return "", fmt.Errorf("experiments: write serving artifact: %w", err)
+	}
+	return path, nil
+}
+
+// ReadServingArtifactFile decodes one serving artifact from disk.
+func ReadServingArtifactFile(path string) (*ServingArtifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: read serving artifact: %w", err)
+	}
+	defer f.Close()
+	return DecodeServingArtifact(f)
+}

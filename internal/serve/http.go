@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Handler returns the serving API:
+//
+//	POST /predict   {"x":[...]} → {"class","expert","matched","cached","snapshot"}
+//	GET  /snapshot  serving-snapshot summary (version, experts, ε, position)
+//	POST /snapshot  {"path":"ckpt.json"} → hot-swap to that checkpoint
+//	GET  /healthz   liveness (always 200 while serving)
+//	GET  /metrics   Prometheus text: request counts, p50/p90/p99 latency,
+//	                cache and batching counters
+//
+// /predict answers 503 with Retry-After when the pipeline is saturated and
+// 410 after shutdown has begun, so load balancers can react correctly.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// predictRequest is the /predict wire format.
+type predictRequest struct {
+	X tensor.Vector `json:"x"`
+}
+
+// predictResponse is the /predict reply.
+type predictResponse struct {
+	Class    int  `json:"class"`
+	Expert   int  `json:"expert"`
+	Matched  bool `json:"matched"`
+	Cached   bool `json:"cached"`
+	Snapshot int  `json:"snapshot"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+		return
+	}
+	var req predictRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	res, err := s.Predict(r.Context(), req.X)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusGone, map[string]string{"error": err.Error()})
+		return
+	case errors.Is(err, nn.ErrDimension):
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	case err != nil:
+		// Anything else is a server-side failure (worker error, canceled
+		// context): 500 so balancers and alerting treat it as ours, not
+		// the client's.
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{
+		Class: res.Class, Expert: res.Expert, Matched: res.Matched,
+		Cached: res.Cached, Snapshot: res.Version,
+	})
+}
+
+// snapshotSummary is the GET /snapshot (and POST reply) wire format.
+type snapshotSummary struct {
+	Version     int     `json:"version"`
+	Experts     int     `json:"experts"`
+	ExpertIDs   []int   `json:"expertIds"`
+	Fallback    int     `json:"fallback"`
+	Epsilon     float64 `json:"epsilon"`
+	WindowsDone int     `json:"windowsDone"`
+	InputDim    int     `json:"inputDim"`
+}
+
+func summarize(snap *Snapshot) snapshotSummary {
+	ids := make([]int, 0, snap.NumExperts())
+	for _, e := range snap.Experts() {
+		ids = append(ids, e.ID)
+	}
+	return snapshotSummary{
+		Version:     snap.Version,
+		Experts:     snap.NumExperts(),
+		ExpertIDs:   ids,
+		Fallback:    snap.Fallback().ID,
+		Epsilon:     snap.Epsilon,
+		WindowsDone: snap.WindowsDone,
+		InputDim:    snap.InputDim(),
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, summarize(s.Snapshot()))
+	case http.MethodPost:
+		var req struct {
+			Path string `json:"path"`
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil || req.Path == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": `body must be {"path":"checkpoint.json"}`})
+			return
+		}
+		if err := s.SwapFromCheckpoint(req.Path); err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, summarize(s.Snapshot()))
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET or POST required"})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Snapshot()
+	m := s.metrics.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"snapshot":      snap.Version,
+		"experts":       snap.NumExperts(),
+		"requests":      m.Requests,
+		"inflight":      m.Inflight,
+		"uptimeSeconds": m.UptimeSeconds,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.metrics.Snapshot()
+	snap := s.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b []byte
+	add := func(format string, args ...any) {
+		b = fmt.Appendf(b, format+"\n", args...)
+	}
+	add("# HELP shiftex_serve_uptime_seconds Time since the server started.")
+	add("# TYPE shiftex_serve_uptime_seconds gauge")
+	add("shiftex_serve_uptime_seconds %g", m.UptimeSeconds)
+	add("# HELP shiftex_serve_requests_total Predictions served, by outcome.")
+	add("# TYPE shiftex_serve_requests_total counter")
+	add(`shiftex_serve_requests_total{outcome="ok"} %d`, m.Requests)
+	add(`shiftex_serve_requests_total{outcome="error"} %d`, m.Errored)
+	add(`shiftex_serve_requests_total{outcome="rejected"} %d`, m.Rejected)
+	add("# HELP shiftex_serve_inflight Requests admitted but not yet answered.")
+	add("# TYPE shiftex_serve_inflight gauge")
+	add("shiftex_serve_inflight %d", m.Inflight)
+	add("# HELP shiftex_serve_latency_seconds Request latency quantiles.")
+	add("# TYPE shiftex_serve_latency_seconds gauge")
+	add(`shiftex_serve_latency_seconds{quantile="0.5"} %g`, m.P50Seconds)
+	add(`shiftex_serve_latency_seconds{quantile="0.9"} %g`, m.P90Seconds)
+	add(`shiftex_serve_latency_seconds{quantile="0.99"} %g`, m.P99Seconds)
+	add("# HELP shiftex_serve_routed_total Routing decisions, by kind.")
+	add("# TYPE shiftex_serve_routed_total counter")
+	add(`shiftex_serve_routed_total{kind="matched"} %d`, m.Matched)
+	add(`shiftex_serve_routed_total{kind="fallback"} %d`, m.Fallbacks)
+	add("# HELP shiftex_serve_route_cache_total LRU route-cache lookups.")
+	add("# TYPE shiftex_serve_route_cache_total counter")
+	add(`shiftex_serve_route_cache_total{result="hit"} %d`, m.CacheHits)
+	add(`shiftex_serve_route_cache_total{result="miss"} %d`, m.CacheMisses)
+	add("# HELP shiftex_serve_snapshot_version Serving snapshot version (increments on hot swap).")
+	add("# TYPE shiftex_serve_snapshot_version gauge")
+	add("shiftex_serve_snapshot_version %d", snap.Version)
+	add("# HELP shiftex_serve_experts Experts in the serving snapshot.")
+	add("# TYPE shiftex_serve_experts gauge")
+	add("shiftex_serve_experts %d", snap.NumExperts())
+	add("# HELP shiftex_serve_batches_total Micro-batches drained by the worker pool.")
+	add("# TYPE shiftex_serve_batches_total counter")
+	add("shiftex_serve_batches_total %d", m.Batches)
+	add("# HELP shiftex_serve_batch_mean_size Mean requests per drained batch.")
+	add("# TYPE shiftex_serve_batch_mean_size gauge")
+	add("shiftex_serve_batch_mean_size %g", m.MeanBatch)
+	_, _ = w.Write(b)
+}

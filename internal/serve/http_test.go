@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+func TestHTTPPredictAndHealth(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2, MaxDelay: 500 * time.Microsecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	x := tensor.NewRNG(21).NormVec(srv.Snapshot().InputDim(), 0, 1)
+	body, _ := json.Marshal(map[string]any{"x": x})
+	resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := srv.Snapshot().ExpertByID(pr.Expert); !ok {
+		t.Fatalf("predict answered with unknown expert %d", pr.Expert)
+	}
+
+	// Wrong dimension → 400.
+	bad, _ := json.Marshal(map[string]any{"x": []float64{1}})
+	resp2, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad input status %d, want 400", resp2.StatusCode)
+	}
+
+	// GET /predict → 405.
+	resp3, err := http.Get(ts.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict status %d, want 405", resp3.StatusCode)
+	}
+
+	for _, path := range []string{"/healthz", "/snapshot"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`shiftex_serve_requests_total{outcome="ok"} 1`,
+		"shiftex_serve_latency_seconds",
+		"shiftex_serve_snapshot_version 1",
+		"shiftex_serve_experts",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestHTTPSnapshotSwap(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]string{"path": tinyCheckpoint})
+	resp, err := http.Post(ts.URL+"/snapshot", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap status %d", resp.StatusCode)
+	}
+	var sum snapshotSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Version != 2 {
+		t.Fatalf("post-swap version %d, want 2", sum.Version)
+	}
+
+	// Bad path → 422, serving keeps the old snapshot.
+	bad, _ := json.Marshal(map[string]string{"path": "testdata/nope.json"})
+	resp2, err := http.Post(ts.URL+"/snapshot", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad swap status %d, want 422", resp2.StatusCode)
+	}
+	if srv.Snapshot().Version != 2 {
+		t.Fatal("failed swap must not disturb the serving snapshot")
+	}
+}

@@ -1,0 +1,425 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/service"
+	"repro/internal/tensor"
+)
+
+// LoadConfig tunes the load generator.
+type LoadConfig struct {
+	// TargetQPS paces requests at this aggregate rate; 0 runs open loop
+	// (as fast as the pipeline accepts).
+	TargetQPS float64
+	// Concurrency is the number of client goroutines (default: 2 per core).
+	Concurrency int
+	// Repeat is how many passes over the window's request stream to replay
+	// (default 1). Later passes exercise the LRU route cache.
+	Repeat int
+	// MaxDuration stops the run early when positive.
+	MaxDuration time.Duration
+	// SamplesPerParty / TestPerParty reproduce the scenario shape of the
+	// training run (the checkpoint pins seed and windows but not data
+	// shape); defaults match cmd/shiftex-aggregator's defaults (120/60).
+	SamplesPerParty int
+	TestPerParty    int
+	// SwapMidLoad hot-swaps a freshly built snapshot of the same
+	// checkpoint halfway through the run, exercising the zero-drop swap
+	// path under live traffic.
+	SwapMidLoad bool
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.Repeat <= 0 {
+		c.Repeat = 1
+	}
+	if c.SamplesPerParty <= 0 {
+		c.SamplesPerParty = 120
+	}
+	if c.TestPerParty <= 0 {
+		c.TestPerParty = 60
+	}
+	return c
+}
+
+// ErrSwapTooLate reports that the workload drained before the mid-load
+// swap could fire, so SwapMidLoad could not be honored: the run is too
+// short to serve as hot-swap-under-load evidence. Lengthen it (higher
+// Repeat or a MaxDuration) instead of trusting the artifact.
+var ErrSwapTooLate = errors.New("serve: load finished before the mid-load swap could fire")
+
+// RegimeResult is one covariate regime's serving quality under load.
+type RegimeResult struct {
+	Regime           string
+	Requests         int
+	Correct          int
+	AssignedKnown    int // requests whose party has a recorded assignment
+	RoutedToAssigned int
+	Matched          int
+}
+
+// LoadResult aggregates one load-generation run.
+type LoadResult struct {
+	Requests uint64 // completed predictions
+	Errors   uint64
+	Rejected uint64
+	Duration time.Duration
+	LatencyP50, LatencyP90,
+	LatencyP99, LatencyMax time.Duration
+	Correct          uint64 // requests predicted correctly
+	RoutedToAssigned uint64 // requests routed to the party's trained expert
+	AssignedKnown    uint64 // requests whose party has a recorded assignment
+	Regimes          []RegimeResult
+	Server           MetricsSnapshot // server-side counters at run end
+}
+
+// Throughput returns completed predictions per second.
+func (r *LoadResult) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Duration.Seconds()
+}
+
+// Accuracy returns the fraction of completed predictions that were correct.
+func (r *LoadResult) Accuracy() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Requests)
+}
+
+// RoutingAccuracy returns the fraction of assignment-known requests routed
+// to the expert the training run assigned to the originating party.
+func (r *LoadResult) RoutingAccuracy() float64 {
+	if r.AssignedKnown == 0 {
+		return 0
+	}
+	return float64(r.RoutedToAssigned) / float64(r.AssignedKnown)
+}
+
+// workItem is one replayable request with its scoring ground truth.
+type workItem struct {
+	x        tensor.Vector
+	y        int
+	party    int
+	assigned int // expert ID the training run assigned to party; -1 unknown
+	regime   string
+}
+
+// buildWorkload regenerates the checkpoint run's scenario and extracts the
+// adapted window's test stream — the mixture of clean and injected-shift
+// regimes the snapshot's experts were trained for. Items interleave across
+// parties so consecutive requests hit different experts, the worst case for
+// the per-expert batcher.
+func buildWorkload(cp *service.Checkpoint, cfg LoadConfig) ([]workItem, error) {
+	parties := len(cp.Aggregator.Assignment)
+	if parties == 0 {
+		return nil, errors.New("serve: checkpoint has no party assignments")
+	}
+	spec := service.ScenarioSpec(parties, cfg.SamplesPerParty, cfg.TestPerParty, cp.NumWindows)
+	sc, err := dataset.BuildScenario(spec, dataset.DefaultShiftConfig(), cp.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("serve: regenerate scenario: %w", err)
+	}
+	widx := cp.WindowsDone - 1
+	if widx >= len(sc.Windows) {
+		widx = len(sc.Windows) - 1
+	}
+	row := sc.Windows[widx]
+
+	var items []workItem
+	for i := 0; i < cfg.TestPerParty; i++ {
+		for p, pw := range row {
+			if i >= len(pw.Test) {
+				continue
+			}
+			assigned := -1
+			if id, ok := cp.Aggregator.Assignment[p]; ok {
+				assigned = id
+			}
+			items = append(items, workItem{
+				x:        pw.Test[i].X,
+				y:        pw.Test[i].Y,
+				party:    p,
+				assigned: assigned,
+				regime:   pw.Regime.Corruption.String(),
+			})
+		}
+	}
+	if len(items) == 0 {
+		return nil, errors.New("serve: scenario window has no test examples")
+	}
+	return items, nil
+}
+
+// RunLoad replays the checkpoint's scenario stream against srv at the
+// configured rate and returns the aggregate result. srv must be serving a
+// snapshot built from cp (the workload and routing ground truth are
+// regenerated from the checkpoint's seed and assignment).
+func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadConfig) (*LoadResult, error) {
+	cfg = cfg.withDefaults()
+	items, err := buildWorkload(cp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	total := int64(len(items)) * int64(cfg.Repeat)
+
+	type tally struct {
+		requests, correct, known, routed, matched int
+	}
+	var (
+		next      atomic.Int64
+		requests  atomic.Uint64
+		errorsN   atomic.Uint64
+		rejected  atomic.Uint64
+		correct   atomic.Uint64
+		routedOK  atomic.Uint64
+		known     atomic.Uint64
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		regimes   = map[string]*tally{}
+		latencies = make([][]time.Duration, cfg.Concurrency)
+	)
+	start := time.Now()
+	deadline := time.Time{}
+	if cfg.MaxDuration > 0 {
+		deadline = start.Add(cfg.MaxDuration)
+	}
+	interval := time.Duration(0)
+	if cfg.TargetQPS > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.TargetQPS)
+	}
+
+	// Optional mid-load hot swap, triggered off the shared work counter so
+	// it genuinely lands while clients are issuing requests: the snapshot
+	// is pre-built, then swapped the moment half the stream has been
+	// claimed (or half the time budget has elapsed, whichever comes
+	// first — the counter alone never crosses half when a deadline cuts a
+	// huge Repeat short).
+	swapDone := make(chan error, 1)
+	if cfg.SwapMidLoad {
+		go func() {
+			snap, err := SnapshotFromCheckpoint(cp)
+			if err != nil {
+				swapDone <- err
+				return
+			}
+			halfTime := time.Time{}
+			if cfg.MaxDuration > 0 {
+				halfTime = start.Add(cfg.MaxDuration / 2)
+			}
+			for next.Load() < total/2 && (halfTime.IsZero() || time.Now().Before(halfTime)) {
+				if ctx.Err() != nil {
+					swapDone <- nil
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+			if ctx.Err() == nil && next.Load() >= total {
+				// Every request has already been claimed: swapping now
+				// would land on an idle server, and the artifact would
+				// falsely present it as zero-drop-under-load evidence.
+				swapDone <- ErrSwapTooLate
+				return
+			}
+			swapDone <- srv.Swap(snap)
+		}()
+	}
+
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := map[string]*tally{}
+			var lats []time.Duration
+			for {
+				i := next.Add(1) - 1
+				if i >= total {
+					break
+				}
+				if ctx.Err() != nil {
+					break
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					break
+				}
+				if interval > 0 {
+					sched := start.Add(time.Duration(i) * interval)
+					if d := time.Until(sched); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				item := items[i%int64(len(items))]
+				t0 := time.Now()
+				res, err := srv.Predict(ctx, item.x)
+				switch {
+				case errors.Is(err, ErrOverloaded):
+					rejected.Add(1)
+					continue
+				case err != nil:
+					errorsN.Add(1)
+					continue
+				}
+				lat := time.Since(t0)
+				lats = append(lats, lat)
+				requests.Add(1)
+				tl := local[item.regime]
+				if tl == nil {
+					tl = &tally{}
+					local[item.regime] = tl
+				}
+				tl.requests++
+				if res.Class == item.y {
+					correct.Add(1)
+					tl.correct++
+				}
+				if res.Matched {
+					tl.matched++
+				}
+				if item.assigned >= 0 {
+					known.Add(1)
+					tl.known++
+					if res.Expert == item.assigned {
+						routedOK.Add(1)
+						tl.routed++
+					}
+				}
+			}
+			mu.Lock()
+			for k, v := range local {
+				g := regimes[k]
+				if g == nil {
+					g = &tally{}
+					regimes[k] = g
+				}
+				g.requests += v.requests
+				g.correct += v.correct
+				g.routed += v.routed
+				g.matched += v.matched
+			}
+			latencies[w] = lats
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	// Duration is the load window itself; waiting out the swap goroutine
+	// below must not count, or throughput would read deflated.
+	elapsed := time.Since(start)
+	if cfg.SwapMidLoad {
+		if err := <-swapDone; err != nil {
+			return nil, fmt.Errorf("serve: mid-load swap: %w", err)
+		}
+	}
+
+	out := &LoadResult{
+		Requests:         requests.Load(),
+		Errors:           errorsN.Load(),
+		Rejected:         rejected.Load(),
+		Duration:         elapsed,
+		Correct:          correct.Load(),
+		RoutedToAssigned: routedOK.Load(),
+		AssignedKnown:    known.Load(),
+		Server:           srv.Metrics().Snapshot(),
+	}
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(all)))
+			if i >= len(all) {
+				i = len(all) - 1
+			}
+			return all[i]
+		}
+		out.LatencyP50, out.LatencyP90, out.LatencyP99 = q(0.50), q(0.90), q(0.99)
+		out.LatencyMax = all[len(all)-1]
+	}
+	names := make([]string, 0, len(regimes))
+	for k := range regimes {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		t := regimes[k]
+		out.Regimes = append(out.Regimes, RegimeResult{
+			Regime: k, Requests: t.requests, Correct: t.correct,
+			AssignedKnown: t.known, RoutedToAssigned: t.routed, Matched: t.matched,
+		})
+	}
+	return out, nil
+}
+
+// Artifact converts a load result into the versioned BENCH_serving.json
+// form, recording the protocol that produced it.
+func (r *LoadResult) Artifact(cp *service.Checkpoint, cfg LoadConfig, srvCfg Config) *experiments.ServingArtifact {
+	cfg = cfg.withDefaults()
+	srvCfg = srvCfg.withDefaults()
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+	a := &experiments.ServingArtifact{
+		Schema: experiments.ServingSchemaVersion,
+		Name:   experiments.ServingArtifactName,
+		Options: experiments.ServingOptions{
+			CheckpointWindows: cp.WindowsDone,
+			Parties:           len(cp.Aggregator.Assignment),
+			SamplesPerParty:   cfg.SamplesPerParty,
+			TestPerParty:      cfg.TestPerParty,
+			Seed:              cp.Seed,
+			TargetQPS:         cfg.TargetQPS,
+			Concurrency:       cfg.Concurrency,
+			Repeat:            cfg.Repeat,
+			Workers:           srvCfg.Workers,
+			MaxBatch:          srvCfg.MaxBatch,
+			MaxDelayMs:        ms(srvCfg.MaxDelay),
+			CacheSize:         srvCfg.CacheSize,
+			RouteEpsilonScale: srvCfg.RouteEpsilonScale,
+			SwapMidLoad:       cfg.SwapMidLoad,
+		},
+		Requests:         r.Requests,
+		Errors:           r.Errors,
+		Rejected:         r.Rejected,
+		DurationMs:       ms(r.Duration),
+		ThroughputPerSec: r.Throughput(),
+		LatencyMsP50:     ms(r.LatencyP50),
+		LatencyMsP90:     ms(r.LatencyP90),
+		LatencyMsP99:     ms(r.LatencyP99),
+		LatencyMsMax:     ms(r.LatencyMax),
+		Accuracy:         r.Accuracy(),
+		RoutedToAssigned: r.RoutingAccuracy(),
+		Swaps:            r.Server.Swaps,
+		MeanBatch:        r.Server.MeanBatch,
+	}
+	if hits, misses := r.Server.CacheHits, r.Server.CacheMisses; hits+misses > 0 {
+		a.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	for _, g := range r.Regimes {
+		reg := experiments.ServingRegime{Regime: g.Regime, Requests: g.Requests}
+		if g.Requests > 0 {
+			reg.Accuracy = float64(g.Correct) / float64(g.Requests)
+			reg.MatchedFraction = float64(g.Matched) / float64(g.Requests)
+		}
+		// Same denominator as the aggregate RoutingAccuracy: only the
+		// requests whose party has a recorded assignment.
+		if g.AssignedKnown > 0 {
+			reg.RoutedToAssigned = float64(g.RoutedToAssigned) / float64(g.AssignedKnown)
+		}
+		a.Regimes = append(a.Regimes, reg)
+	}
+	return a
+}

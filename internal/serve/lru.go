@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"container/list"
+	"math"
+	"slices"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// routeCache is a concurrency-safe LRU from request input to routing
+// decision. It exists to keep the hot path off the embedding network:
+// a repeated input skips the encoder forward pass and the memory scan
+// entirely. Entries carry the snapshot version they were computed against
+// and are ignored (then overwritten) after a hot swap, so a stale cache can
+// never route into a retired snapshot.
+//
+// Keys are FNV-1a hashes of the raw float bits; the full input is kept in
+// the entry and compared on lookup, so hash collisions degrade to misses,
+// never to wrong answers.
+type routeCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[uint64]*list.Element
+	l   *list.List // front = most recently used
+}
+
+type routeEntry struct {
+	key     uint64
+	x       tensor.Vector // cloned input (collision guard)
+	expert  int           // index into Snapshot.Experts()
+	matched bool
+	version int // snapshot version the decision belongs to
+}
+
+// newRouteCache builds a cache holding up to capacity decisions;
+// capacity <= 0 disables caching (every lookup misses).
+func newRouteCache(capacity int) *routeCache {
+	return &routeCache{cap: capacity, m: make(map[uint64]*list.Element), l: list.New()}
+}
+
+// hashInput is FNV-1a 64 over the float64 bit patterns of x.
+func hashInput(x tensor.Vector) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range x {
+		b := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= b & 0xff
+			h *= prime
+			b >>= 8
+		}
+	}
+	return h
+}
+
+// get returns the cached decision for x under the given snapshot version.
+func (c *routeCache) get(x tensor.Vector, version int) (expert int, matched, ok bool) {
+	if c.cap <= 0 {
+		return 0, false, false
+	}
+	key := hashInput(x)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.m[key]
+	if !found {
+		return 0, false, false
+	}
+	e := el.Value.(*routeEntry)
+	if e.version != version || !sameInput(e.x, x) {
+		return 0, false, false
+	}
+	c.l.MoveToFront(el)
+	return e.expert, e.matched, true
+}
+
+// put records a routing decision, evicting the least recently used entry
+// when full. A same-key entry is overwritten (this is how post-swap entries
+// replace stale ones).
+func (c *routeCache) put(x tensor.Vector, version, expert int, matched bool) {
+	if c.cap <= 0 {
+		return
+	}
+	key := hashInput(x)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.m[key]; found {
+		e := el.Value.(*routeEntry)
+		e.x = x.Clone()
+		e.expert, e.matched, e.version = expert, matched, version
+		c.l.MoveToFront(el)
+		return
+	}
+	for c.l.Len() >= c.cap {
+		oldest := c.l.Back()
+		c.l.Remove(oldest)
+		delete(c.m, oldest.Value.(*routeEntry).key)
+	}
+	c.m[key] = c.l.PushFront(&routeEntry{key: key, x: x.Clone(), expert: expert, matched: matched, version: version})
+}
+
+// sameInput reports element-equal inputs (NaN-bearing inputs compare
+// unequal and degrade to cache misses, which is safe).
+func sameInput(a, b tensor.Vector) bool { return slices.Equal(a, b) }
+
+// len returns the number of cached decisions.
+func (c *routeCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latency histogram: exponential buckets from 1µs doubling up to ~4s, plus
+// an overflow bucket. Bucket i covers (2^(i-1)µs, 2^i µs]; bucket 0 covers
+// everything up to 1µs.
+const (
+	histBuckets   = 23
+	histBaseMicro = 1
+)
+
+// Metrics is the serving tier's observability state. All fields are atomic
+// so the request hot path never takes a lock.
+type Metrics struct {
+	start time.Time
+
+	requests  atomic.Uint64 // completed successfully
+	admitted  atomic.Uint64 // accepted into the batching pipeline
+	errored   atomic.Uint64 // failed (bad input, closed server)
+	rejected  atomic.Uint64 // refused at admission (queue full)
+	inflight  atomic.Int64
+	matched   atomic.Uint64 // routed via latent-memory match
+	fallbacks atomic.Uint64 // routed to the global fallback
+	cacheHits atomic.Uint64
+	cacheMiss atomic.Uint64
+	swaps     atomic.Uint64
+	batches   atomic.Uint64 // drained batches
+	batched   atomic.Uint64 // requests across all drained batches
+
+	hist [histBuckets]atomic.Uint64
+}
+
+// NewMetrics returns zeroed metrics with the clock started.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// ObserveLatency records one completed request's end-to-end latency.
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for limit := int64(histBaseMicro); us > limit && b < histBuckets-1; limit *= 2 {
+		b++
+	}
+	m.hist[b].Add(1)
+}
+
+// Quantile returns the latency quantile q in seconds, estimated as the
+// upper bound of the histogram bucket containing it (conservative: the
+// true quantile is at most the reported value). Zero when nothing has been
+// recorded.
+func (m *Metrics) Quantile(q float64) float64 {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range m.hist {
+		counts[i] = m.hist[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum > target {
+			return bucketUpperSeconds(i)
+		}
+	}
+	return bucketUpperSeconds(histBuckets - 1)
+}
+
+func bucketUpperSeconds(i int) float64 {
+	return float64(int64(histBaseMicro)<<uint(i)) / 1e6
+}
+
+// MetricsSnapshot is a point-in-time copy for rendering.
+type MetricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Requests      uint64  `json:"requests"`
+	Admitted      uint64  `json:"admitted"`
+	Errored       uint64  `json:"errored"`
+	Rejected      uint64  `json:"rejected"`
+	Inflight      int64   `json:"inflight"`
+	Matched       uint64  `json:"matched"`
+	Fallbacks     uint64  `json:"fallbacks"`
+	CacheHits     uint64  `json:"cacheHits"`
+	CacheMisses   uint64  `json:"cacheMisses"`
+	Swaps         uint64  `json:"swaps"`
+	Batches       uint64  `json:"batches"`
+	MeanBatch     float64 `json:"meanBatch"`
+	P50Seconds    float64 `json:"p50Seconds"`
+	P90Seconds    float64 `json:"p90Seconds"`
+	P99Seconds    float64 `json:"p99Seconds"`
+}
+
+// Snapshot copies the current counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      m.requests.Load(),
+		Admitted:      m.admitted.Load(),
+		Errored:       m.errored.Load(),
+		Rejected:      m.rejected.Load(),
+		Inflight:      m.inflight.Load(),
+		Matched:       m.matched.Load(),
+		Fallbacks:     m.fallbacks.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		CacheMisses:   m.cacheMiss.Load(),
+		Swaps:         m.swaps.Load(),
+		Batches:       m.batches.Load(),
+		P50Seconds:    m.Quantile(0.50),
+		P90Seconds:    m.Quantile(0.90),
+		P99Seconds:    m.Quantile(0.99),
+	}
+	if s.Batches > 0 {
+		s.MeanBatch = float64(m.batched.Load()) / float64(s.Batches)
+	}
+	return s
+}

@@ -1,0 +1,418 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config tunes the serving pipeline. Zero values select the defaults.
+type Config struct {
+	// Workers is the number of prediction workers (default: one per core).
+	Workers int
+	// MaxBatch flushes an expert's queue when it reaches this many requests
+	// (default 32).
+	MaxBatch int
+	// MaxDelay flushes an expert's queue when its oldest request has waited
+	// this long (default 2ms) — the latency cost of batching is bounded by
+	// MaxDelay plus one flush tick.
+	MaxDelay time.Duration
+	// QueueDepth bounds the admission queue; admission beyond it fails
+	// fast with ErrOverloaded (default 4096). Requests already handed to
+	// the dispatcher's buckets and the worker pool (up to roughly
+	// 2×Workers×MaxBatch more) are not counted against it.
+	QueueDepth int
+	// CacheSize bounds the LRU route cache (default 4096; negative
+	// disables caching).
+	CacheSize int
+	// RouteEpsilonScale inflates the snapshot's reuse threshold ε for
+	// routing (default 4). Training calibrates ε on window-mean
+	// embeddings; a single request's embedding is a sample of that mean
+	// and sits farther from the expert memories, so serving needs a wider
+	// acceptance radius before the latent-memory match fires. Negative
+	// uses ε unscaled.
+	RouteEpsilonScale float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	switch {
+	case c.RouteEpsilonScale == 0:
+		c.RouteEpsilonScale = 4
+	case c.RouteEpsilonScale < 0:
+		c.RouteEpsilonScale = 1
+	}
+	return c
+}
+
+// Result is one served prediction.
+type Result struct {
+	// Class is the predicted label.
+	Class int
+	// Expert is the training-time ID of the expert that served the request.
+	Expert int
+	// Matched reports a latent-memory match; false means the global
+	// fallback served the request.
+	Matched bool
+	// Cached reports that routing came from the LRU cache (no encoder pass).
+	Cached bool
+	// Version is the snapshot version that served the request.
+	Version int
+}
+
+var (
+	// ErrClosed is returned by Predict after Close has begun.
+	ErrClosed = errors.New("serve: server is shut down")
+	// ErrOverloaded is returned when the admission queue is full.
+	ErrOverloaded = errors.New("serve: admission queue full")
+)
+
+// outcome is what a worker reports back to the waiting Predict call.
+type outcome struct {
+	class int
+	err   error
+}
+
+// pending is one admitted request travelling through the pipeline.
+type pending struct {
+	x       tensor.Vector
+	snap    *Snapshot
+	expert  int // index into snap.Experts()
+	matched bool
+	cached  bool
+	start   time.Time
+	done    chan outcome // buffered(1); the worker's send never blocks
+}
+
+// bucketKey identifies a per-expert queue. Snapshots are part of the key so
+// a hot swap simply starts new buckets: requests admitted against the old
+// snapshot drain from its buckets onto its (still immutable) models, which
+// is why a swap can never drop or corrupt an in-flight request.
+type bucketKey struct {
+	snap   *Snapshot
+	expert int
+}
+
+// bucket accumulates one expert's queued requests until a flush.
+type bucket struct {
+	reqs   []*pending
+	oldest time.Time
+}
+
+// batchMsg is one flushed batch handed to the worker pool.
+type batchMsg struct {
+	snap   *Snapshot
+	expert int
+	reqs   []*pending
+}
+
+// Server is the shift-aware inference server: an atomically swappable
+// ModelSnapshot behind a routing stage and a micro-batching worker pool.
+// All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *routeCache
+
+	snap atomic.Pointer[Snapshot]
+	// swapMu serializes Swap's stamp-then-store sequence so concurrent
+	// swaps cannot publish versions out of order; readers never take it.
+	swapMu sync.Mutex
+	swaps  atomic.Int64 // snapshot version counter
+
+	// wsPool recycles one nn.Workspace per concurrent user (router calls
+	// and prediction workers); each Get/Put span owns the workspace
+	// exclusively, honoring the one-goroutine-per-workspace rule.
+	wsPool sync.Pool
+
+	admit chan *pending
+	// closeMu serializes admission against Close: Predict sends under
+	// RLock after checking closed, so close(admit) can never race a send.
+	closeMu sync.RWMutex
+	closed  bool
+
+	batches chan batchMsg
+	workers sync.WaitGroup
+	drained chan struct{} // closed once every worker has exited
+}
+
+// NewServer starts a serving pipeline over the given snapshot. The
+// snapshot's Version is stamped from the server's swap counter. Call Close
+// to drain and stop.
+func NewServer(snap *Snapshot, cfg Config) (*Server, error) {
+	if snap == nil {
+		return nil, errors.New("serve: nil snapshot")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		cache:   newRouteCache(cfg.CacheSize),
+		admit:   make(chan *pending, cfg.QueueDepth),
+		batches: make(chan batchMsg, 2*cfg.Workers),
+		drained: make(chan struct{}),
+	}
+	snap.Version = int(s.swaps.Add(1))
+	snap.routeEps = snap.Epsilon * cfg.RouteEpsilonScale
+	s.snap.Store(snap)
+	arch := snap.Arch
+	s.wsPool.New = func() any { return nn.NewWorkspaceDims(arch) }
+
+	go s.dispatch()
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	go func() {
+		s.workers.Wait()
+		close(s.drained)
+	}()
+	return s, nil
+}
+
+// Snapshot returns the currently serving snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Metrics exposes the serving counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Swap atomically replaces the serving snapshot. The new snapshot must
+// share the running architecture (the workspace pool and route cache are
+// arch-shaped); in-flight requests finish on the snapshot they were routed
+// against, so no request is ever dropped by a swap.
+func (s *Server) Swap(next *Snapshot) error {
+	if next == nil {
+		return errors.New("serve: nil snapshot")
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.snap.Load()
+	if next == cur {
+		// Re-stamping the published snapshot would race its readers.
+		return errors.New("serve: cannot swap in the currently serving snapshot; build a fresh one")
+	}
+	if !sameArch(cur.Arch, next.Arch) {
+		return fmt.Errorf("serve: snapshot arch %v does not match serving arch %v", next.Arch, cur.Arch)
+	}
+	next.Version = int(s.swaps.Add(1))
+	next.routeEps = next.Epsilon * s.cfg.RouteEpsilonScale
+	s.snap.Store(next)
+	s.metrics.swaps.Add(1)
+	return nil
+}
+
+// SwapFromCheckpoint loads a checkpoint file and swaps it in.
+func (s *Server) SwapFromCheckpoint(path string) error {
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		return err
+	}
+	return s.Swap(snap)
+}
+
+func sameArch(a, b []int) bool { return slices.Equal(a, b) }
+
+// Predict serves one request end to end: route (cache or encoder
+// embedding + latent-memory match), enqueue on the expert's micro-batch,
+// and wait for the worker's prediction. It returns ErrOverloaded without
+// queueing when the pipeline is saturated and ErrClosed after Close.
+func (s *Server) Predict(ctx context.Context, x tensor.Vector) (Result, error) {
+	snap := s.snap.Load()
+	if len(x) != snap.InputDim() {
+		s.metrics.errored.Add(1)
+		return Result{}, fmt.Errorf("serve: input dim %d, want %d: %w", len(x), snap.InputDim(), nn.ErrDimension)
+	}
+	// Fail fast before the expensive routing stage: a saturated or closed
+	// server must not burn an encoder forward pass per refused request
+	// (that would turn rejection into an overload amplifier). Both
+	// conditions are re-checked authoritatively at the admission point.
+	if len(s.admit) == cap(s.admit) {
+		s.metrics.rejected.Add(1)
+		return Result{}, ErrOverloaded
+	}
+	s.closeMu.RLock()
+	closed := s.closed
+	s.closeMu.RUnlock()
+	if closed {
+		s.metrics.errored.Add(1)
+		return Result{}, ErrClosed
+	}
+
+	start := time.Now()
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	expert, matched, cached := s.cache.get(x, snap.Version)
+	if cached {
+		s.metrics.cacheHits.Add(1)
+	} else {
+		s.metrics.cacheMiss.Add(1)
+		ws := s.wsPool.Get().(*nn.Workspace)
+		var err error
+		expert, matched, err = snap.Route(ws, x)
+		s.wsPool.Put(ws)
+		if err != nil {
+			s.metrics.errored.Add(1)
+			return Result{}, err
+		}
+		s.cache.put(x, snap.Version, expert, matched)
+	}
+
+	p := &pending{x: x, snap: snap, expert: expert, matched: matched, cached: cached, start: start, done: make(chan outcome, 1)}
+
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		s.metrics.errored.Add(1)
+		return Result{}, ErrClosed
+	}
+	select {
+	case s.admit <- p:
+		s.metrics.admitted.Add(1)
+		s.closeMu.RUnlock()
+	default:
+		s.closeMu.RUnlock()
+		s.metrics.rejected.Add(1)
+		return Result{}, ErrOverloaded
+	}
+
+	select {
+	case out := <-p.done:
+		if out.err != nil {
+			return Result{}, out.err
+		}
+		return Result{
+			Class:   out.class,
+			Expert:  snap.Experts()[expert].ID,
+			Matched: matched,
+			Cached:  cached,
+			Version: snap.Version,
+		}, nil
+	case <-ctx.Done():
+		// The worker will still complete the request into the buffered
+		// done channel; only this caller stops waiting.
+		return Result{}, ctx.Err()
+	}
+}
+
+// Close stops admission, drains every queued batch through the workers,
+// and returns once all in-flight requests have completed.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		<-s.drained
+		return nil
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	close(s.admit) // dispatcher flushes remaining buckets, then closes batches
+	<-s.drained
+	return nil
+}
+
+// dispatch is the single batching goroutine: it owns the per-expert
+// buckets, flushing each when it reaches MaxBatch requests or its oldest
+// request has waited MaxDelay.
+func (s *Server) dispatch() {
+	buckets := make(map[bucketKey]*bucket)
+	tick := s.cfg.MaxDelay / 2
+	if tick < 100*time.Microsecond {
+		tick = 100 * time.Microsecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	flush := func(k bucketKey, b *bucket) {
+		s.batches <- batchMsg{snap: k.snap, expert: k.expert, reqs: b.reqs}
+		delete(buckets, k)
+	}
+
+	for {
+		select {
+		case p, ok := <-s.admit:
+			if !ok {
+				for k, b := range buckets {
+					flush(k, b)
+				}
+				close(s.batches)
+				return
+			}
+			k := bucketKey{snap: p.snap, expert: p.expert}
+			b := buckets[k]
+			if b == nil {
+				capHint := s.cfg.MaxBatch
+				if capHint > 64 {
+					capHint = 64 // grow on demand; huge MaxBatch must not preallocate
+				}
+				b = &bucket{reqs: make([]*pending, 0, capHint), oldest: p.start}
+				buckets[k] = b
+			}
+			b.reqs = append(b.reqs, p)
+			// Flush on a full batch — or eagerly when the admission
+			// queue is empty: with nothing left to coalesce, delaying
+			// buys no batching, only latency. Under backlog the queue is
+			// non-empty and batches fill toward MaxBatch before flushing.
+			if len(b.reqs) >= s.cfg.MaxBatch || len(s.admit) == 0 {
+				flush(k, b)
+			}
+		case <-ticker.C:
+			now := time.Now()
+			for k, b := range buckets {
+				if now.Sub(b.oldest) >= s.cfg.MaxDelay {
+					flush(k, b)
+				}
+			}
+		}
+	}
+}
+
+// worker drains flushed batches, running the zero-allocation prediction
+// kernel over each request with a pool-recycled workspace.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for batch := range s.batches {
+		ws := s.wsPool.Get().(*nn.Workspace)
+		model := batch.snap.Experts()[batch.expert].Model
+		for _, p := range batch.reqs {
+			class, err := model.PredictWS(ws, p.x)
+			if err != nil {
+				s.metrics.errored.Add(1)
+			} else {
+				s.metrics.requests.Add(1)
+				if p.matched {
+					s.metrics.matched.Add(1)
+				} else {
+					s.metrics.fallbacks.Add(1)
+				}
+				s.metrics.ObserveLatency(time.Since(p.start))
+			}
+			p.done <- outcome{class: class, err: err}
+		}
+		s.metrics.batches.Add(1)
+		s.metrics.batched.Add(uint64(len(batch.reqs)))
+		s.wsPool.Put(ws)
+	}
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	_, snap := loadTiny(t)
+	srv, err := NewServer(snap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+func TestPredictBasic(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2, MaxBatch: 4, MaxDelay: time.Millisecond})
+	rng := tensor.NewRNG(11)
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		x := rng.NormVec(srv.Snapshot().InputDim(), 0, 1)
+		res, err := srv.Predict(ctx, x)
+		if err != nil {
+			t.Fatalf("predict %d: %v", i, err)
+		}
+		if res.Class < 0 || res.Class >= srv.Snapshot().Arch[len(srv.Snapshot().Arch)-1] {
+			t.Fatalf("class %d out of range", res.Class)
+		}
+		if _, ok := srv.Snapshot().ExpertByID(res.Expert); !ok {
+			t.Fatalf("served by unknown expert %d", res.Expert)
+		}
+	}
+	m := srv.Metrics().Snapshot()
+	if m.Requests != 50 {
+		t.Fatalf("requests=%d, want 50", m.Requests)
+	}
+	if m.Matched+m.Fallbacks != 50 {
+		t.Fatalf("matched+fallbacks=%d, want 50", m.Matched+m.Fallbacks)
+	}
+	if m.P50Seconds <= 0 || m.P99Seconds < m.P50Seconds {
+		t.Fatalf("latency quantiles not recorded: p50=%g p99=%g", m.P50Seconds, m.P99Seconds)
+	}
+}
+
+func TestPredictBadInput(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	if _, err := srv.Predict(context.Background(), tensor.Vector{1, 2}); err == nil {
+		t.Fatal("wrong input dim must error")
+	}
+	if got := srv.Metrics().Snapshot().Errored; got != 1 {
+		t.Fatalf("errored=%d, want 1", got)
+	}
+}
+
+func TestRouteCacheAcrossSwap(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, CacheSize: 64, MaxDelay: 200 * time.Microsecond})
+	ctx := context.Background()
+	x := tensor.NewRNG(3).NormVec(srv.Snapshot().InputDim(), 0, 1)
+
+	first, err := srv.Predict(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first request cannot be a cache hit")
+	}
+	second, err := srv.Predict(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeated input must hit the route cache")
+	}
+	if second.Expert != first.Expert {
+		t.Fatalf("cache changed routing: %d vs %d", second.Expert, first.Expert)
+	}
+
+	// A hot swap invalidates cached decisions (version mismatch).
+	snap, err := LoadSnapshot(tinyCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Swap(snap); err != nil {
+		t.Fatal(err)
+	}
+	third, err := srv.Predict(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Fatal("post-swap request must re-route (stale version)")
+	}
+	if third.Version == first.Version {
+		t.Fatal("post-swap version must change")
+	}
+	fourth, err := srv.Predict(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fourth.Cached {
+		t.Fatal("re-cached decision must hit again")
+	}
+}
+
+func TestSwapRejectsArchMismatch(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	cp, _ := loadTiny(t)
+	badArch := append([]int(nil), cp.Arch...)
+	badArch[1]++
+	if err := srv.Swap(&Snapshot{Arch: badArch}); err == nil {
+		t.Fatal("arch mismatch must be rejected")
+	}
+}
+
+// TestHotSwapUnderLoadDropsNothing is the zero-drop contract: concurrent
+// clients hammer Predict while the snapshot is hot-swapped repeatedly; every
+// single request must complete successfully, each served by a coherent
+// snapshot version.
+func TestHotSwapUnderLoadDropsNothing(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 4, MaxBatch: 8, MaxDelay: 500 * time.Microsecond, QueueDepth: 1 << 16})
+	const (
+		clients    = 8
+		perClient  = 300
+		totalSwaps = 20
+	)
+	ctx := context.Background()
+	var ok, failed atomic.Uint64
+	var wg sync.WaitGroup
+	stopSwaps := make(chan struct{})
+	swapsDone := make(chan error, 1)
+	go func() {
+		defer close(swapsDone)
+		for i := 0; i < totalSwaps; i++ {
+			select {
+			case <-stopSwaps:
+				return
+			default:
+			}
+			snap, err := LoadSnapshot(tinyCheckpoint)
+			if err == nil {
+				err = srv.Swap(snap)
+			}
+			if err != nil {
+				swapsDone <- err
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := tensor.NewRNG(uint64(100 + c))
+			dim := srv.Snapshot().InputDim()
+			for i := 0; i < perClient; i++ {
+				x := rng.NormVec(dim, 0, 1)
+				if _, err := srv.Predict(ctx, x); err != nil {
+					t.Errorf("client %d request %d: %v", c, i, err)
+					failed.Add(1)
+					continue
+				}
+				ok.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stopSwaps)
+	if err := <-swapsDone; err != nil {
+		t.Fatalf("swap failed: %v", err)
+	}
+
+	if got := ok.Load(); got != clients*perClient {
+		t.Fatalf("completed %d of %d requests (%d failed) across hot swaps", got, clients*perClient, failed.Load())
+	}
+	m := srv.Metrics().Snapshot()
+	if m.Requests != clients*perClient {
+		t.Fatalf("server counted %d requests, want %d", m.Requests, clients*perClient)
+	}
+	if m.Swaps == 0 {
+		t.Fatal("no swap happened during the load window; tighten the test")
+	}
+	if m.Rejected != 0 || m.Errored != 0 {
+		t.Fatalf("rejected=%d errored=%d, want 0/0", m.Rejected, m.Errored)
+	}
+}
+
+// TestCloseDrains pins the graceful-shutdown contract: Close answers every
+// admitted request, and later Predicts fail with ErrClosed.
+func TestCloseDrains(t *testing.T) {
+	_, snap := loadTiny(t)
+	// A long MaxDelay parks admitted requests in dispatcher buckets, so
+	// drain-on-close is what flushes them.
+	srv, err := NewServer(snap, Config{Workers: 2, MaxBatch: 1 << 20, MaxDelay: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	var wg sync.WaitGroup
+	var completed atomic.Uint64
+	rng := tensor.NewRNG(17)
+	inputs := make([]tensor.Vector, n)
+	for i := range inputs {
+		inputs[i] = rng.NormVec(snap.InputDim(), 0, 1)
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := srv.Predict(context.Background(), inputs[i]); err == nil {
+				completed.Add(1)
+			}
+		}(i)
+	}
+	// Wait until every request is inside the batching pipeline before
+	// closing, so the drain path is what answers them.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().admitted.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never became admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if completed.Load() != n {
+		t.Fatalf("close drained %d of %d requests", completed.Load(), n)
+	}
+	if _, err := srv.Predict(context.Background(), inputs[0]); err != ErrClosed {
+		t.Fatalf("post-close Predict: %v, want ErrClosed", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package serve is the inference-serving tier of the ShiftEx middleware:
+// it loads a trained aggregator checkpoint into an immutable ModelSnapshot,
+// routes each prediction request to the expert whose latent memory best
+// matches the request's embedding signature (falling back to the global
+// bootstrap model), and runs predictions through a micro-batching worker
+// pool of zero-allocation nn workspaces. Snapshots hot-swap atomically, so
+// a running server picks up new checkpoints without dropping a request.
+//
+// The training side of the system (internal/service) answers "does the
+// middleware adapt"; this package answers "does the adapted mixture serve"
+// — it is the request path in front of the expert pool, mirroring the
+// paper's deployment story of a routing tier over backend models.
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/service"
+	"repro/internal/shiftex"
+	"repro/internal/tensor"
+)
+
+// Expert is one immutable serving model: the trained parameters
+// materialized as an MLP plus the latent-memory signature routing matches
+// against. Fields are never mutated after the snapshot is built.
+type Expert struct {
+	ID     int
+	Model  *nn.MLP
+	Memory tensor.Vector // nil when the expert has no signature (never routed to by match)
+}
+
+// Snapshot is the immutable serving view of one aggregator checkpoint: all
+// experts, the frozen encoder used for request embedding, the latent-memory
+// reuse threshold ε, and the party→expert assignment recorded at training
+// time (used by the load generator to score routing decisions). A Snapshot
+// is safe for unbounded concurrent readers; hot swap replaces the whole
+// pointer (Server.Swap), and requests already routed against the old
+// snapshot finish on it.
+type Snapshot struct {
+	// Version distinguishes snapshots across hot swaps (monotonic per
+	// server, assigned at swap time; 1 for a server's first snapshot).
+	Version int
+	// Arch is the full layer-width list shared by encoder and experts.
+	Arch []int
+	// Epsilon is the reuse threshold a match distance is compared against.
+	Epsilon float64
+	// WindowsDone is the stream position the checkpoint was taken at.
+	WindowsDone int
+	// Seed is the training run's seed (the load generator regenerates the
+	// run's scenario from it).
+	Seed uint64
+
+	experts  []Expert
+	byID     map[int]int     // expert ID -> index into experts
+	memories []tensor.Vector // parallel to experts, nil where signature-less
+	encoder  *nn.MLP
+	fallback int // index of the global fallback expert (lowest ID)
+	// routeEps is the effective match threshold Route compares against:
+	// Epsilon times the server's RouteEpsilonScale. Zero (a snapshot not
+	// yet adopted by a server) means raw Epsilon.
+	routeEps float64
+
+	assignment map[int]int // party -> expert ID at checkpoint time
+}
+
+// NewSnapshot builds a serving snapshot from an exported aggregator state.
+// The state must be post-bootstrap: it needs at least one expert and the
+// frozen encoder (routing embeds requests through it). Expert parameters
+// are cloned into fresh models, so the snapshot shares no storage with the
+// aggregator that produced the state.
+func NewSnapshot(arch []int, st shiftex.State) (*Snapshot, error) {
+	if len(arch) < 3 {
+		return nil, fmt.Errorf("serve: invalid arch %v", arch)
+	}
+	if len(st.Experts) == 0 {
+		return nil, errors.New("serve: state has no experts (checkpoint precedes bootstrap?)")
+	}
+	if st.Encoder == nil {
+		return nil, errors.New("serve: state has no frozen encoder (required for request routing)")
+	}
+	s := &Snapshot{
+		Arch:    append([]int(nil), arch...),
+		Epsilon: st.Epsilon,
+		byID:    make(map[int]int, len(st.Experts)),
+	}
+	var err error
+	if s.encoder, err = modelFromParams(arch, st.Encoder); err != nil {
+		return nil, fmt.Errorf("serve: encoder: %w", err)
+	}
+	s.fallback = -1
+	for _, es := range st.Experts {
+		m, err := modelFromParams(arch, es.Params)
+		if err != nil {
+			return nil, fmt.Errorf("serve: expert %d: %w", es.ID, err)
+		}
+		e := Expert{ID: es.ID, Model: m}
+		if es.Memory != nil {
+			e.Memory = es.Memory.Clone()
+		}
+		s.byID[e.ID] = len(s.experts)
+		s.experts = append(s.experts, e)
+		s.memories = append(s.memories, e.Memory)
+		if s.fallback < 0 || e.ID < s.experts[s.fallback].ID {
+			s.fallback = len(s.experts) - 1
+		}
+	}
+	if len(st.Assignment) > 0 {
+		s.assignment = make(map[int]int, len(st.Assignment))
+		for p, id := range st.Assignment {
+			s.assignment[p] = id
+		}
+	}
+	return s, nil
+}
+
+// SnapshotFromCheckpoint builds a serving snapshot from a service
+// checkpoint (the file cmd/shiftex-aggregator writes after every window).
+func SnapshotFromCheckpoint(cp *service.Checkpoint) (*Snapshot, error) {
+	s, err := NewSnapshot(cp.Arch, cp.Aggregator)
+	if err != nil {
+		return nil, err
+	}
+	s.WindowsDone = cp.WindowsDone
+	s.Seed = cp.Seed
+	return s, nil
+}
+
+// LoadSnapshot reads a checkpoint file and builds its serving snapshot.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	cp, err := service.LoadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	return SnapshotFromCheckpoint(cp)
+}
+
+// modelFromParams materializes a flattened parameter vector as an MLP.
+func modelFromParams(arch []int, params tensor.Vector) (*nn.MLP, error) {
+	if want := nn.ParamCount(arch); len(params) != want {
+		return nil, fmt.Errorf("serve: %d params for arch %v (want %d)", len(params), arch, want)
+	}
+	m, err := nn.NewMLP(arch, tensor.NewRNG(1))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetParams(params); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NumExperts returns the expert-pool size.
+func (s *Snapshot) NumExperts() int { return len(s.experts) }
+
+// Experts returns the snapshot's experts (shared storage — read only).
+func (s *Snapshot) Experts() []Expert { return s.experts }
+
+// ExpertByID returns the expert with the given training-time ID.
+func (s *Snapshot) ExpertByID(id int) (Expert, bool) {
+	i, ok := s.byID[id]
+	if !ok {
+		return Expert{}, false
+	}
+	return s.experts[i], true
+}
+
+// Fallback returns the global fallback expert: the lowest-ID expert in the
+// pool, which is the bootstrap global model unless it was consolidated
+// away — in which case its merge survivor inherits the role.
+func (s *Snapshot) Fallback() Expert { return s.experts[s.fallback] }
+
+// AssignedExpert returns the expert the checkpointed aggregator had
+// assigned to the given party, if any.
+func (s *Snapshot) AssignedExpert(party int) (int, bool) {
+	id, ok := s.assignment[party]
+	return id, ok
+}
+
+// InputDim returns the request feature width.
+func (s *Snapshot) InputDim() int { return s.Arch[0] }
+
+// NewWorkspace allocates a workspace fitting the snapshot's architecture —
+// one serves both encoder embedding and expert prediction, since all models
+// share the arch.
+func (s *Snapshot) NewWorkspace() *nn.Workspace { return nn.NewWorkspaceDims(s.Arch) }
+
+// Route picks the serving expert for one request input: it embeds x through
+// the frozen encoder (into ws), matches the embedding against the expert
+// memories with the same shared helper the aggregator uses, and falls back
+// to the global model when no memory is within ε (or none exists). The
+// returned index points into Experts(). matched reports whether a
+// latent-memory match won over the fallback.
+func (s *Snapshot) Route(ws *nn.Workspace, x tensor.Vector) (idx int, matched bool, err error) {
+	sig, err := s.encoder.EmbedWS(ws, x)
+	if err != nil {
+		return 0, false, err
+	}
+	eps := s.routeEps
+	if eps == 0 {
+		eps = s.Epsilon
+	}
+	i, dist, ok := shiftex.MatchSignatures(sig, s.memories)
+	if ok && dist <= eps {
+		return i, true, nil
+	}
+	return s.fallback, false, nil
+}
+
+// RouteEpsilon returns the effective match threshold Route uses.
+func (s *Snapshot) RouteEpsilon() float64 {
+	if s.routeEps != 0 {
+		return s.routeEps
+	}
+	return s.Epsilon
+}

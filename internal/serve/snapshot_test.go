@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/shiftex"
+	"repro/internal/tensor"
+)
+
+const tinyCheckpoint = "testdata/checkpoint_tiny.json"
+
+func loadTiny(t *testing.T) (*service.Checkpoint, *Snapshot) {
+	t.Helper()
+	cp, err := service.LoadCheckpoint(tinyCheckpoint)
+	if err != nil {
+		t.Fatalf("load checkpoint: %v", err)
+	}
+	snap, err := SnapshotFromCheckpoint(cp)
+	if err != nil {
+		t.Fatalf("build snapshot: %v", err)
+	}
+	return cp, snap
+}
+
+func TestSnapshotFromCheckpoint(t *testing.T) {
+	cp, snap := loadTiny(t)
+	if snap.NumExperts() != len(cp.Aggregator.Experts) {
+		t.Fatalf("snapshot has %d experts, checkpoint %d", snap.NumExperts(), len(cp.Aggregator.Experts))
+	}
+	if snap.Epsilon != cp.Aggregator.Epsilon {
+		t.Fatalf("epsilon %g vs %g", snap.Epsilon, cp.Aggregator.Epsilon)
+	}
+	if snap.WindowsDone != cp.WindowsDone || snap.Seed != cp.Seed {
+		t.Fatalf("position/seed not carried over")
+	}
+	// The fallback is the lowest-ID expert (the bootstrap global model).
+	min := snap.Experts()[0].ID
+	for _, e := range snap.Experts() {
+		if e.ID < min {
+			min = e.ID
+		}
+	}
+	if snap.Fallback().ID != min {
+		t.Fatalf("fallback ID %d, want lowest %d", snap.Fallback().ID, min)
+	}
+	for _, e := range snap.Experts() {
+		got, ok := snap.ExpertByID(e.ID)
+		if !ok || got.Model != e.Model {
+			t.Fatalf("ExpertByID(%d) broken", e.ID)
+		}
+	}
+	// Every checkpointed assignment must be resolvable.
+	for p := range cp.Aggregator.Assignment {
+		if id, ok := snap.AssignedExpert(p); !ok {
+			t.Fatalf("party %d has no assigned expert", p)
+		} else if _, ok := snap.ExpertByID(id); !ok {
+			t.Fatalf("party %d assigned to unknown expert %d", p, id)
+		}
+	}
+}
+
+func TestSnapshotRejectsBadStates(t *testing.T) {
+	cp, _ := loadTiny(t)
+	if _, err := NewSnapshot([]int{3}, cp.Aggregator); err == nil {
+		t.Fatal("short arch must be rejected")
+	}
+	st := cp.Aggregator
+	st.Encoder = nil
+	if _, err := NewSnapshot(cp.Arch, st); err == nil {
+		t.Fatal("state without encoder must be rejected")
+	}
+	st = cp.Aggregator
+	st.Experts = nil
+	if _, err := NewSnapshot(cp.Arch, st); err == nil {
+		t.Fatal("state without experts must be rejected")
+	}
+	st = cp.Aggregator
+	st.Experts = append([]shiftex.ExpertState(nil), st.Experts...)
+	st.Experts[0] = shiftex.ExpertState{ID: 0, Params: tensor.Vector{1, 2, 3}}
+	if _, err := NewSnapshot(cp.Arch, st); err == nil {
+		t.Fatal("wrong param count must be rejected")
+	}
+}
+
+// TestRouteParityWithAggregatorMatch pins that the serving router makes the
+// same latent-memory decision the aggregator's Registry.Match would make on
+// an identical pool: same winning expert under ε, fallback otherwise.
+func TestRouteParityWithAggregatorMatch(t *testing.T) {
+	cp, snap := loadTiny(t)
+	agg, err := shiftex.Restore(cp.Config, cp.Aggregator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := agg.Registry()
+	ws := snap.NewWorkspace()
+	refWs := snap.NewWorkspace()
+	rng := tensor.NewRNG(5)
+	for i := 0; i < 200; i++ {
+		x := rng.NormVec(snap.InputDim(), 0, 1)
+		idx, matched, err := snap.Route(ws, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: embed through the same frozen encoder, then ask the
+		// live registry.
+		sig, err := snap.encoder.EmbedWS(refWs, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, dist, ok := reg.Match(sig)
+		wantMatched := ok && dist <= snap.Epsilon
+		if matched != wantMatched {
+			t.Fatalf("input %d: matched=%v, registry says %v (dist=%g eps=%g)", i, matched, wantMatched, dist, snap.Epsilon)
+		}
+		got := snap.Experts()[idx]
+		if wantMatched && got.ID != best.ID {
+			t.Fatalf("input %d: routed to expert %d, registry matched %d", i, got.ID, best.ID)
+		}
+		if !wantMatched && got.ID != snap.Fallback().ID {
+			t.Fatalf("input %d: no-match must fall back, got expert %d", i, got.ID)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package shiftex
+
+import (
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// MatchSignatures scans memories for the one nearest to signature under the
+// squared mean-embedding distance (§5.2.2) and returns its index. Nil
+// entries are skipped, ties keep the earliest index, and ok is false when
+// every entry is nil. The scan is allocation-free, which makes it usable on
+// both sides of the system: Registry.Match feeds it the live expert pool
+// during aggregation, and the read-only serving snapshot feeds it a frozen
+// copy on every request-routing decision.
+func MatchSignatures(signature tensor.Vector, memories []tensor.Vector) (best int, dist float64, ok bool) {
+	best = -1
+	for i, m := range memories {
+		if m == nil {
+			continue
+		}
+		d := stats.MeanEmbeddingMMD(signature, m)
+		if !ok || d < dist {
+			best, dist, ok = i, d, true
+		}
+	}
+	return best, dist, ok
+}

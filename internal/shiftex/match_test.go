@@ -1,0 +1,92 @@
+package shiftex
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// legacyMatch is the pre-extraction Registry.Match loop, kept verbatim as
+// the parity reference for the shared MatchSignatures helper.
+func legacyMatch(r *Registry, signature tensor.Vector) (best *Expert, dist float64, ok bool) {
+	for _, e := range r.Experts() {
+		if e.Memory == nil {
+			continue
+		}
+		d := stats.MeanEmbeddingMMD(signature, e.Memory)
+		if !ok || d < dist {
+			best, dist, ok = e, d, true
+		}
+	}
+	return best, dist, ok
+}
+
+func randomRegistry(t *testing.T, rng *tensor.RNG, n, dim int) *Registry {
+	t.Helper()
+	r, err := NewRegistry(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		var mem tensor.Vector
+		if rng.Float64() < 0.7 { // leave some experts signature-less
+			mem = rng.NormVec(dim, 0, 1)
+		}
+		r.Create(rng.NormVec(4, 0, 1), mem)
+	}
+	return r
+}
+
+// TestMatchSignaturesParity pins that the extracted helper makes the exact
+// decisions (winner, distance, ok) the original Registry.Match loop made,
+// including nil-memory skipping, removed experts, and ties.
+func TestMatchSignaturesParity(t *testing.T) {
+	rng := tensor.NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		r := randomRegistry(t, rng, 1+rng.Intn(8), 6)
+		if trial%3 == 0 && r.Len() > 1 {
+			r.Remove(r.IDs()[rng.Intn(r.Len())])
+		}
+		sig := rng.NormVec(6, 0, 1)
+		wantE, wantD, wantOK := legacyMatch(r, sig)
+		gotE, gotD, gotOK := r.Match(sig)
+		if gotOK != wantOK || gotD != wantD || gotE != wantE {
+			t.Fatalf("trial %d: Match=(%v,%v,%v) legacy=(%v,%v,%v)",
+				trial, gotE, gotD, gotOK, wantE, wantD, wantOK)
+		}
+	}
+}
+
+// TestMatchSignaturesTiesAndNil covers the helper's contract directly:
+// earliest index wins ties, nil entries are skipped, all-nil reports !ok.
+func TestMatchSignaturesTiesAndNil(t *testing.T) {
+	a := tensor.Vector{1, 0}
+	mems := []tensor.Vector{nil, {1, 0}, {1, 0}, {0, 1}}
+	idx, dist, ok := MatchSignatures(a, mems)
+	if !ok || idx != 1 || dist != 0 {
+		t.Fatalf("got (%d,%g,%v), want (1,0,true)", idx, dist, ok)
+	}
+	if _, _, ok := MatchSignatures(a, []tensor.Vector{nil, nil}); ok {
+		t.Fatal("all-nil memories must report ok=false")
+	}
+	if _, _, ok := MatchSignatures(a, nil); ok {
+		t.Fatal("empty memories must report ok=false")
+	}
+}
+
+// TestMatchSignaturesZeroAlloc pins the allocation-free contract the serving
+// hot path relies on.
+func TestMatchSignaturesZeroAlloc(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	mems := make([]tensor.Vector, 16)
+	for i := range mems {
+		mems[i] = rng.NormVec(8, 0, 1)
+	}
+	sig := rng.NormVec(8, 0, 1)
+	if n := testing.AllocsPerRun(100, func() {
+		MatchSignatures(sig, mems)
+	}); n != 0 {
+		t.Fatalf("MatchSignatures allocates %.1f per run, want 0", n)
+	}
+}

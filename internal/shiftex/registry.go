@@ -115,19 +115,22 @@ func (r *Registry) UpdateMemory(id int, signature tensor.Vector) error {
 // together with the squared mean-embedding distance, implementing the
 // latent-memory matching rule of §5.2.2: the caller compares the distance
 // to ε to decide reuse vs creation. Experts without a memory signature are
-// skipped. ok is false when no expert has a signature.
+// skipped. ok is false when no expert has a signature. The distance scan is
+// the shared MatchSignatures helper, so the aggregator and the read-only
+// serving snapshot make identical decisions from identical pools. (Serving
+// runs the helper on a frozen memories slice; this once-per-window path
+// builds its view locally.)
 func (r *Registry) Match(signature tensor.Vector) (best *Expert, dist float64, ok bool) {
-	dist = 0
-	for _, e := range r.Experts() {
-		if e.Memory == nil {
-			continue
-		}
-		d := stats.MeanEmbeddingMMD(signature, e.Memory)
-		if !ok || d < dist {
-			best, dist, ok = e, d, true
-		}
+	experts := r.Experts()
+	memories := make([]tensor.Vector, len(experts))
+	for i, e := range experts {
+		memories[i] = e.Memory
 	}
-	return best, dist, ok
+	idx, dist, ok := MatchSignatures(signature, memories)
+	if !ok {
+		return nil, dist, false
+	}
+	return experts[idx], dist, true
 }
 
 // Remove deletes an expert.

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -244,5 +245,85 @@ func TestReplayEmptyBatch(t *testing.T) {
 	}
 	if _, err := Replay([][]dataset.Example{{}}, time.Minute, tw); err == nil {
 		t.Fatal("empty batch should error")
+	}
+}
+
+// TestSlidingFlushPartialWindow covers the flush of a half-open window
+// after earlier windows have already been emitted: the snapshot must cover
+// [start, start+size) of the advanced position and contain only the records
+// still inside it — not the ones already expired by advance.
+func TestSlidingFlushPartialWindow(t *testing.T) {
+	w, err := NewSliding(10*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted []Window
+	for _, sec := range []int64{0, 3, 6, 11} {
+		out, err := w.Offer(rec(sec, int(sec)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitted = append(emitted, out...)
+	}
+	// The record at t=11 closed [0,10): records 0,3,6.
+	if len(emitted) != 1 || len(emitted[0].Records) != 3 {
+		t.Fatalf("emitted = %+v, want one window of 3 records", emitted)
+	}
+
+	fl := w.Flush()
+	if len(fl) != 1 {
+		t.Fatalf("flush = %+v, want one partial window", fl)
+	}
+	got := fl[0]
+	wantStart := time.Unix(5, 0).UTC()
+	if !got.Start.Equal(wantStart) || !got.End.Equal(wantStart.Add(10*time.Second)) {
+		t.Fatalf("partial window spans [%v,%v), want [%v,%v)", got.Start, got.End, wantStart, wantStart.Add(10*time.Second))
+	}
+	// Only 6 and 11 are inside [5,15); 0 and 3 expired with the advance.
+	if len(got.Records) != 2 || got.Records[0].Example.Y != 6 || got.Records[1].Example.Y != 11 {
+		t.Fatalf("partial window records = %+v, want labels 6 and 11", got.Records)
+	}
+
+	// Flush consumed the buffer: a second flush has nothing to emit.
+	if again := w.Flush(); again != nil {
+		t.Fatalf("second flush = %+v, want nil", again)
+	}
+}
+
+// TestReplayEmptyBatchMiddle pins that an empty batch anywhere in the
+// stream fails loudly, naming the offending batch, instead of silently
+// emitting a hole the detector would misread as a quiet window.
+func TestReplayEmptyBatchMiddle(t *testing.T) {
+	tw, err := NewTumbling(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]dataset.Example{
+		{{X: tensor.Vector{1}, Y: 0}},
+		{},
+		{{X: tensor.Vector{2}, Y: 1}},
+	}
+	_, err = Replay(batches, time.Minute, tw)
+	if err == nil {
+		t.Fatal("empty middle batch should error")
+	}
+	if want := "batch 1"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name %q", err, want)
+	}
+}
+
+// TestReplayNoBatches covers the degenerate empty stream: nothing to emit,
+// no error, and the windower's flush contributes nothing.
+func TestReplayNoBatches(t *testing.T) {
+	tw, err := NewTumbling(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := Replay(nil, time.Minute, tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 0 {
+		t.Fatalf("windows = %+v, want none", windows)
 	}
 }

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Serving-tier smoke: start shiftex-serve from the committed tiny
+# checkpoint, assert /predict and /healthz answer 200, hot-swap the
+# snapshot over HTTP, verify graceful SIGTERM drain, then run the load
+# generator for ~2 seconds and assert the BENCH_serving.json artifact
+# parses and clears the 10k predictions/sec floor. CI runs this on every
+# commit; it is also runnable locally: ./scripts/smoke_serve.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORKDIR=$(mktemp -d)
+BIN="$WORKDIR/bin"
+LOG="$WORKDIR/log"
+mkdir -p "$BIN" "$LOG"
+HTTP_ADDR="127.0.0.1:18641"
+CKPT=internal/serve/testdata/checkpoint_tiny.json
+# The committed checkpoint was trained with -samples 40 -test 20 (see
+# EXPERIMENTS.md "Serving benchmark"); the loadgen must regenerate the
+# same scenario shape.
+SAMPLES=40
+TEST=20
+SERVE_PID=""
+
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "SMOKE FAIL: $1" >&2
+    echo "--- serve log ---" >&2; cat "$LOG/serve.log" >&2 || true
+    exit 1
+}
+
+echo "== building shiftex-serve"
+go build -o "$BIN" ./cmd/shiftex-serve
+
+echo "== starting the serving daemon from $CKPT"
+"$BIN/shiftex-serve" -checkpoint "$CKPT" -http "$HTTP_ADDR" \
+    -metrics-out "$WORKDIR/final_metrics.json" >"$LOG/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for i in $(seq 1 50); do
+    curl -sf "http://$HTTP_ADDR/healthz" >/dev/null 2>&1 && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+
+echo "== /healthz"
+code=$(curl -s -o "$WORKDIR/health.json" -w '%{http_code}' "http://$HTTP_ADDR/healthz")
+[ "$code" = 200 ] || fail "/healthz returned $code"
+grep -q '"status": "ok"' "$WORKDIR/health.json" || fail "/healthz body unexpected: $(cat "$WORKDIR/health.json")"
+
+echo "== /predict"
+# The committed checkpoint serves 32-dimensional inputs (FMoW spec).
+X=$(seq 1 32 | awk '{printf "%s%.2f", (NR==1 ? "" : ","), $1/32}')
+code=$(curl -s -o "$WORKDIR/predict.json" -w '%{http_code}' \
+    -X POST -d "{\"x\":[$X]}" "http://$HTTP_ADDR/predict")
+[ "$code" = 200 ] || fail "/predict returned $code: $(cat "$WORKDIR/predict.json")"
+grep -q '"class"' "$WORKDIR/predict.json" || fail "/predict body unexpected: $(cat "$WORKDIR/predict.json")"
+
+echo "== hot swap over HTTP"
+code=$(curl -s -o "$WORKDIR/swap.json" -w '%{http_code}' \
+    -X POST -d "{\"path\":\"$CKPT\"}" "http://$HTTP_ADDR/snapshot")
+[ "$code" = 200 ] || fail "POST /snapshot returned $code: $(cat "$WORKDIR/swap.json")"
+grep -q '"version": 2' "$WORKDIR/swap.json" || fail "swap did not bump the snapshot version"
+
+echo "== graceful SIGTERM drain"
+kill -TERM "$SERVE_PID"
+drain_ok=0
+for i in $(seq 1 100); do
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then drain_ok=1; break; fi
+    sleep 0.1
+done
+[ "$drain_ok" = 1 ] || fail "daemon did not exit on SIGTERM"
+SERVE_PID=""
+grep -q "drained:" "$LOG/serve.log" || fail "daemon exited without draining"
+[ -s "$WORKDIR/final_metrics.json" ] || fail "final metrics snapshot missing"
+
+echo "== load generation (~2s, mid-load hot swap)"
+"$BIN/shiftex-serve" -checkpoint "$CKPT" -loadgen \
+    -samples "$SAMPLES" -test "$TEST" -repeat 1000000 -duration 2s \
+    -concurrency 8 -swap-mid-load -json "$WORKDIR" >"$LOG/serve.log" 2>&1 \
+    || fail "load generation failed"
+
+echo "== artifact gate (parses, zero errors, >=10k predictions/sec)"
+"$BIN/shiftex-serve" -check "$WORKDIR/BENCH_serving.json" -min-throughput 10000 \
+    || fail "serving artifact did not validate"
+
+echo "SMOKE OK"
