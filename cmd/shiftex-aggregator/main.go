@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/dataset"
 	"repro/internal/fl"
 	"repro/internal/service"
@@ -90,6 +91,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 4, "concurrent party calls per fan-out")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file written after every completed window")
 	resume := fs.Bool("resume", false, "resume from -checkpoint instead of starting at window 0")
+	policyName := fs.String("policy", "", "adaptation policy the aggregator runs (empty = default); on -resume the checkpoint's policy is pinned and a conflicting flag is an error")
 	httpAddr := fs.String("http", "", "serve /healthz, /state, /metrics on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,6 +103,11 @@ func run(args []string) error {
 	}
 	if *resume && *checkpoint == "" {
 		return errors.New("-resume requires -checkpoint PATH")
+	}
+	// Resolve the policy up front so a typo fails with the live registry
+	// listing before any party is contacted.
+	if _, err := adapt.NewPolicy(*policyName); err != nil {
+		return err
 	}
 	if *quorum <= 0 || *quorum > 1 {
 		return fmt.Errorf("-quorum must be in (0,1], got %g (1 = all parties; a round always needs at least one update, so there is no 'no quorum' setting)", *quorum)
@@ -175,6 +182,7 @@ func run(args []string) error {
 
 	opts := service.Options{
 		Shiftex:    cfg,
+		Policy:     *policyName,
 		Arch:       service.DefaultArch(spec, hidden),
 		NumClasses: spec.NumClasses,
 		Windows:    windows,
@@ -194,12 +202,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("resumed from %s at window %d/%d\n", *checkpoint, rt.NextWindow(), rt.Windows())
+		fmt.Printf("resumed from %s at window %d/%d (policy %s)\n", *checkpoint, rt.NextWindow(), rt.Windows(), rt.Aggregator().PolicyName())
 	} else {
 		rt, err = service.NewRuntime(transport, opts)
 		if err != nil {
 			return err
 		}
+		fmt.Printf("adaptation policy: %s\n", rt.Aggregator().PolicyName())
 	}
 
 	if *httpAddr != "" {

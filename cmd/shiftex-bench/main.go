@@ -20,6 +20,13 @@
 // just the matching grid cells; -replay FILE re-prints tables from a
 // previously written artifact without re-training.
 //
+// -policy a,b,... sweeps adaptation policies (internal/adapt registry):
+// the technique set becomes every policied technique (shiftex) under each
+// named policy — cell keys read benchmark/shiftex@policy/seed — and
+// artifacts gain a "-policies" name suffix so they never overwrite the
+// standard per-benchmark files. Unknown policy or technique names exit
+// non-zero with the live registry listing.
+//
 // -headline runs the standing perf-baseline grid (every benchmark ×
 // technique × quick-protocol seed) and writes BENCH_headline.json with
 // per-cell wall-clock data; -against FILE compares the run's total wall
@@ -65,11 +72,13 @@ var experimentIDs = []string{
 	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "overheads",
 }
 
-// nameHint lists the valid grid vocabulary for error messages.
+// nameHint lists the valid grid vocabulary for error messages, read live
+// from the benchmark presets and the adapt registries.
 func nameHint() string {
-	return fmt.Sprintf("\n  benchmarks: %s\n  techniques: %s",
+	return fmt.Sprintf("\n  benchmarks: %s\n  techniques: %s\n  policies: %s",
 		strings.Join(experiments.BenchmarkNames(), ", "),
-		strings.Join(experiments.TechniqueNames(), ", "))
+		strings.Join(experiments.TechniqueNames(), ", "),
+		strings.Join(experiments.PolicyNames(), ", "))
 }
 
 func run(args []string) error {
@@ -84,6 +93,7 @@ func run(args []string) error {
 	jsonDir := fs.String("json", "", "directory to write BENCH_<benchmark>.json artifacts (empty = off)")
 	deterministic := fs.Bool("deterministic", false, "strip wall-clock timing from JSON artifacts so output bytes are reproducible")
 	cell := fs.String("cell", "", "run only matching grid cells: benchmark/technique/seed patterns (* wildcards, comma-separated)")
+	policy := fs.String("policy", "", "comma-separated adaptation policies: sweep every policied technique (shiftex) under each, replacing the standard technique set; artifacts gain a -policies name suffix")
 	replay := fs.String("replay", "", "re-print tables from a BENCH_*.json artifact instead of running")
 	headline := fs.Bool("headline", false, "run the perf-baseline grid (all benchmarks x techniques x seeds) and write BENCH_headline.json")
 	against := fs.String("against", "", "compare total wall time against a recorded BENCH_headline.json; warn (exit 0) on >20% regression")
@@ -103,6 +113,12 @@ func run(args []string) error {
 	}
 	if *replay != "" && *headline {
 		return errors.New("cannot combine -replay with -headline: -replay re-prints a recorded artifact without running")
+	}
+	if *policy != "" && *headline {
+		return errors.New("cannot combine -policy with -headline: -headline runs the fixed perf-baseline grid")
+	}
+	if *policy != "" && *replay != "" {
+		return errors.New("cannot combine -policy with -replay: -replay re-prints a recorded artifact without running")
 	}
 
 	if *cpuprofile != "" {
@@ -159,6 +175,25 @@ func run(args []string) error {
 	}
 	opts.Workers = *workers
 
+	// A -policy sweep replaces the technique set: every policied technique
+	// (shiftex) under each named policy, so one grid run compares policies
+	// on identical scenarios. Sweep artifacts get a "-policies" name suffix
+	// so they never overwrite the standard per-benchmark artifacts.
+	var techniques []experiments.TechniqueFactory
+	artifactSuffix := ""
+	if *policy != "" {
+		names := strings.Split(*policy, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		swept, err := experiments.PolicyTechniques(opts, names)
+		if err != nil {
+			return fmt.Errorf("%w%s", err, nameHint())
+		}
+		techniques = swept
+		artifactSuffix = "-policies"
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -176,7 +211,7 @@ func run(args []string) error {
 		if expSet {
 			return fmt.Errorf("cannot combine -exp with -cell: -cell runs raw grid cells, -exp runs table/figure experiments")
 		}
-		return runGridMode(ctx, *cell, opts, *jsonDir, *deterministic)
+		return runGridMode(ctx, *cell, opts, techniques, artifactSuffix, *jsonDir, *deterministic)
 	}
 
 	ids := strings.Split(*exp, ",")
@@ -184,14 +219,42 @@ func run(args []string) error {
 		ids = experimentIDs
 	}
 	cache := map[string]*comparisonRun{}
+	run := runConfig{
+		opts:          opts,
+		techniques:    techniques,
+		suffix:        artifactSuffix,
+		jsonDir:       *jsonDir,
+		deterministic: *deterministic,
+	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := runExperiment(ctx, strings.TrimSpace(id), opts, cache, *jsonDir, *deterministic); err != nil {
+		if err := runExperiment(ctx, strings.TrimSpace(id), run, cache); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// runConfig carries the shared execution settings of table/figure
+// experiments: the protocol options, the (possibly policy-swept) technique
+// set, and artifact output configuration.
+type runConfig struct {
+	opts          experiments.Options
+	techniques    []experiments.TechniqueFactory // nil = standard set
+	suffix        string                         // artifact name suffix ("-policies" for sweeps)
+	jsonDir       string
+	deterministic bool
+}
+
+// distributionTechnique names the technique whose expert distributions the
+// figure experiments print: plain "shiftex" on the standard set, the first
+// swept variant under -policy.
+func (rc runConfig) distributionTechnique() string {
+	if len(rc.techniques) > 0 {
+		return rc.techniques[0].Name
+	}
+	return "shiftex"
 }
 
 // replayArtifact prints the table and summary for a recorded grid run.
@@ -210,16 +273,23 @@ func replayArtifact(w io.Writer, path string) error {
 	return experiments.WriteSummary(w, cmp)
 }
 
-// runGridMode runs just the cells matching the -cell patterns, streaming a
-// result line per cell and optionally writing artifacts.
-func runGridMode(ctx context.Context, spec string, opts experiments.Options, jsonDir string, deterministic bool) error {
+// runGridMode runs just the cells matching the -cell patterns (over the
+// standard or policy-swept technique set), streaming a result line per
+// cell and optionally writing artifacts.
+func runGridMode(ctx context.Context, spec string, opts experiments.Options, techniques []experiments.TechniqueFactory, suffix, jsonDir string, deterministic bool) error {
 	filter, err := parseCellFilter(spec, opts)
 	if err != nil {
 		return err
 	}
-	g := experiments.Grid{Benchmarks: experiments.Benchmarks(), Options: opts, Filter: filter}
+	g := experiments.Grid{Benchmarks: experiments.Benchmarks(), Techniques: techniques, Options: opts, Filter: filter}
 	if len(g.Cells()) == 0 {
-		return fmt.Errorf("no grid cells match -cell %q (note: the seed must be among the run's seeds; use -seeds to widen)%s", spec, nameHint())
+		// The technique key depends on the mode: -policy sweeps key cells
+		// as technique@policy, standard runs as the plain name.
+		keyHint := "this run's cells are keyed by plain technique names (add -policy to run technique@policy cells)"
+		if len(techniques) > 0 {
+			keyHint = "this -policy sweep keys cells as technique@policy, e.g. " + techniques[0].Name
+		}
+		return fmt.Errorf("no grid cells match -cell %q (note: %s, and the seed must be among the run's seeds; use -seeds to widen)%s", spec, keyHint, nameHint())
 	}
 	cells, err := experiments.RunGrid(ctx, g, experiments.Pool{
 		Workers: opts.Workers,
@@ -229,7 +299,7 @@ func runGridMode(ctx context.Context, spec string, opts experiments.Options, jso
 	})
 	// The grid keeps running healthy cells after a failure or cancellation,
 	// so write whatever completed before propagating the error.
-	return errors.Join(err, writeArtifacts(jsonDir, deterministic, opts, cells))
+	return errors.Join(err, writeArtifacts(jsonDir, deterministic, opts, cells, suffix))
 }
 
 // runHeadline executes the perf-baseline grid and writes BENCH_headline.json
@@ -329,9 +399,13 @@ func parseCellFilter(spec string, opts experiments.Options) (func(experiments.Ce
 			}
 		}
 		if p.tech != "*" {
-			if _, err := experiments.TechniqueByName(opts, p.tech); err != nil {
+			tf, err := experiments.TechniqueByName(opts, p.tech)
+			if err != nil {
 				return nil, fmt.Errorf("%w%s", err, nameHint())
 			}
+			// Match on the resolved display name so normalized forms
+			// (e.g. "fedprox@default" → "fedprox") still hit their cells.
+			p.tech = tf.Name
 		}
 		if fields[2] == "*" {
 			p.anySeed = true
@@ -362,8 +436,10 @@ func parseCellFilter(spec string, opts experiments.Options) (func(experiments.Ce
 }
 
 // writeArtifacts serializes finished cells as one BENCH_<benchmark>.json
-// per benchmark under dir (no-op when dir is empty).
-func writeArtifacts(dir string, deterministic bool, opts experiments.Options, cells []experiments.CellResult) error {
+// per benchmark under dir (no-op when dir is empty). suffix is appended to
+// every artifact name (policy sweeps write BENCH_<benchmark>-policies.json
+// so they never clobber the standard artifacts).
+func writeArtifacts(dir string, deterministic bool, opts experiments.Options, cells []experiments.CellResult, suffix string) error {
 	if dir == "" {
 		return nil
 	}
@@ -371,6 +447,7 @@ func writeArtifacts(dir string, deterministic bool, opts experiments.Options, ce
 		return err
 	}
 	for _, a := range experiments.ArtifactsFromCells(opts, cells) {
+		a.Name += suffix
 		if deterministic {
 			a.StripTiming()
 		}
@@ -391,10 +468,11 @@ type comparisonRun struct {
 	cells []experiments.CellResult
 }
 
-// compareCached runs (or reuses) the five-technique comparison for a
-// benchmark on the grid engine; figure experiments share table runs and
-// the artifact for each benchmark is written at most once.
-func compareCached(ctx context.Context, name string, opts experiments.Options, cache map[string]*comparisonRun, jsonDir string, deterministic bool) (*experiments.Comparison, error) {
+// compareCached runs (or reuses) the technique comparison for a benchmark
+// on the grid engine (the standard five methods, or the policy-swept set
+// under -policy); figure experiments share table runs and the artifact for
+// each benchmark is written at most once.
+func compareCached(ctx context.Context, name string, rc runConfig, cache map[string]*comparisonRun) (*experiments.Comparison, error) {
 	if c, ok := cache[name]; ok {
 		return c.cmp, nil
 	}
@@ -403,16 +481,16 @@ func compareCached(ctx context.Context, name string, opts experiments.Options, c
 		return nil, fmt.Errorf("%w%s", err, nameHint())
 	}
 	pool := experiments.Pool{
-		Workers: opts.Workers,
+		Workers: rc.opts.Workers,
 		OnCell: func(cr experiments.CellResult) {
 			// Progress goes to stderr so stdout stays pure table output.
 			_ = experiments.WriteCellResult(os.Stderr, cr)
 		},
 	}
-	cmp, cells, err := experiments.CompareGrid(ctx, b, opts, pool)
+	cmp, cells, err := experiments.CompareGrid(ctx, b, rc.opts, pool, rc.techniques...)
 	// Even a failed comparison writes the cells that did complete: long
 	// -paper runs must not lose finished training to one bad cell.
-	if werr := writeArtifacts(jsonDir, deterministic, opts, cells); werr != nil {
+	if werr := writeArtifacts(rc.jsonDir, rc.deterministic, rc.opts, cells, rc.suffix); werr != nil {
 		return nil, errors.Join(err, werr)
 	}
 	if err != nil {
@@ -422,9 +500,9 @@ func compareCached(ctx context.Context, name string, opts experiments.Options, c
 	return cmp, nil
 }
 
-func runExperiment(ctx context.Context, id string, opts experiments.Options, cache map[string]*comparisonRun, jsonDir string, deterministic bool) error {
+func runExperiment(ctx context.Context, id string, rc runConfig, cache map[string]*comparisonRun) error {
 	table := func(name string) error {
-		c, err := compareCached(ctx, name, opts, cache, jsonDir, deterministic)
+		c, err := compareCached(ctx, name, rc, cache)
 		if err != nil {
 			return err
 		}
@@ -435,7 +513,7 @@ func runExperiment(ctx context.Context, id string, opts experiments.Options, cac
 	}
 	figure := func(names []string, write func(*experiments.Comparison) error) error {
 		for _, name := range names {
-			c, err := compareCached(ctx, name, opts, cache, jsonDir, deterministic)
+			c, err := compareCached(ctx, name, rc, cache)
 			if err != nil {
 				return err
 			}
@@ -474,11 +552,11 @@ func runExperiment(ctx context.Context, id string, opts experiments.Options, cac
 		})
 	case "fig7":
 		return figure([]string{"fmow", "tinyimagenetc", "cifar10c"}, func(c *experiments.Comparison) error {
-			return experiments.WriteExpertDistribution(os.Stdout, c, "shiftex")
+			return experiments.WriteExpertDistribution(os.Stdout, c, rc.distributionTechnique())
 		})
 	case "fig8":
 		return figure([]string{"femnist", "fashionmnist"}, func(c *experiments.Comparison) error {
-			return experiments.WriteExpertDistribution(os.Stdout, c, "shiftex")
+			return experiments.WriteExpertDistribution(os.Stdout, c, rc.distributionTechnique())
 		})
 	case "overheads":
 		return overheads(os.Stdout)

@@ -9,6 +9,16 @@
 // against, and the full experiment harness that regenerates the paper's
 // tables and figures.
 //
+// The adaptation logic itself is policy-driven: internal/adapt decomposes
+// Algorithm 2 into typed pipeline stages (shift detection, calibration,
+// expert assignment, training planning, consolidation) bundled into named,
+// registered policies, and a technique registry through which shiftex and
+// every baseline are constructed — one code path for construction, flag
+// parsing, and error listings across the CLIs and the experiment grid. New
+// detectors, solvers, or lifecycle rules compose into new policies without
+// touching the aggregator, and the grid sweeps them side by side
+// (shiftex-bench -policy).
+//
 // Beyond the reproduction, internal/service makes the middleware claim
 // literal: a long-running ShiftEx runtime that drives the same aggregator
 // over pluggable in-process or TCP transports with bounded-parallel

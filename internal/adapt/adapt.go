@@ -1,0 +1,101 @@
+// Package adapt defines the adaptation-policy API of the ShiftEx
+// middleware: the per-window adaptation loop (Algorithm 2) decomposed into
+// typed pipeline stages — shift detection, bootstrap calibration, expert
+// assignment, training planning, and expert consolidation — plus a Policy
+// that bundles one implementation of each stage, and name→factory
+// registries through which every policy and every federation technique is
+// constructed.
+//
+// The stage interfaces are the contract between the aggregator (the
+// pipeline driver, internal/shiftex) and the adaptation logic: new
+// detectors, solvers, or lifecycle rules compose into new policies without
+// touching the aggregator. Two ownership rules keep that safe:
+//
+//   - Stages are stateless between calls (any per-window state, like the
+//     FLIPS selectors a TrainingPlanner builds, lives in the value the
+//     stage returns). A Policy value may therefore be shared by concurrent
+//     aggregators.
+//   - All randomness is drawn from the *tensor.RNG the driver passes in,
+//     never from stage-private sources, so a (policy, seed) pair is fully
+//     deterministic and the experiment grid's bit-reproducibility contract
+//     extends to every policy.
+//
+// Package catalog (internal/adapt/catalog) registers the standard
+// technique set (shiftex plus the four baselines); importing it wires the
+// full registry.
+package adapt
+
+import (
+	"repro/internal/detect"
+	"repro/internal/facility"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// ShiftDetector decides, from one party's transmitted statistics and the
+// calibrated thresholds, whether the party is covariate- and/or
+// label-shifted this window (Algorithm 2, lines 4-7). Implementations must
+// be pure functions of their arguments.
+type ShiftDetector interface {
+	Detect(st detect.PartyStats, th stats.Thresholds) (cov, label bool)
+}
+
+// Calibrator derives the detection thresholds δ_cov/δ_label and the
+// latent-memory reuse threshold ε from the bootstrap window's anchor
+// statistics (§5). epsilon is the configured reuse threshold; 0 asks the
+// calibrator to auto-derive one, and the returned value is the effective
+// threshold either way. Randomness (resampling) must come from rng only.
+type Calibrator interface {
+	Calibrate(anchor []detect.PartyStats, cfg stats.CalibrateConfig, epsilon float64, rng *tensor.RNG) (stats.Thresholds, float64, error)
+}
+
+// AssignmentSolver solves one facility-location instance (Eq. 2): which
+// shifted cluster reuses which existing expert, and which opens a new one.
+// The returned assignment must be feasible for the instance (the driver
+// materializes it directly into expert creations and reassignments).
+type AssignmentSolver interface {
+	Solve(in *facility.Instance) (*facility.Assignment, error)
+}
+
+// TrainingPlanner builds the participant-selection plan for one window's
+// federated rounds. cohorts maps expert ID to its member parties; hists is
+// indexed by party ID. Any randomness drawn while planning (e.g. FLIPS
+// cluster seeding) must come from rng, in a deterministic cohort order.
+type TrainingPlanner interface {
+	Plan(cohorts map[int][]int, hists []stats.Histogram, rng *tensor.RNG) (ParticipantSelector, error)
+}
+
+// ParticipantSelector draws one round's cohort sample for one expert.
+// k is the configured per-round sample size; implementations cap it at
+// len(members) and return party IDs (not indices).
+type ParticipantSelector interface {
+	Select(expertID int, members []int, k int, rng *tensor.RNG) ([]int, error)
+}
+
+// ExpertPool is the minimal mutable view of an expert registry a
+// Consolidator operates on. It is implemented by *shiftex.Registry. The
+// pool owns the experts: a consolidator mutates it only through Merge and
+// must treat vectors returned by Params/Signature as read-only shared
+// storage.
+type ExpertPool interface {
+	// IDs returns the live expert IDs in insertion order.
+	IDs() []int
+	// Params returns an expert's parameter vector (shared storage).
+	Params(id int) (tensor.Vector, bool)
+	// Signature returns an expert's latent-memory signature, nil when the
+	// expert has none.
+	Signature(id int) tensor.Vector
+	// Merge folds expert drop into expert keep, weighting by the given
+	// cohort sizes, and removes drop from the pool.
+	Merge(arch []int, keep, drop int, cohortSize map[int]int) error
+}
+
+// Consolidator runs the end-of-window expert-lifecycle rule (§5.2.5):
+// merging redundant experts. It returns a remap from every removed expert
+// ID to its surviving expert ID (transitively collapsed), which the driver
+// applies to party assignments. tau is the parameter-similarity threshold
+// and epsilon the latent-memory agreement threshold from the run's config;
+// implementations may ignore either.
+type Consolidator interface {
+	Consolidate(pool ExpertPool, arch []int, tau, epsilon float64, cohortSize map[int]int) (map[int]int, error)
+}

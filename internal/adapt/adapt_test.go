@@ -1,0 +1,314 @@
+package adapt_test
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/detect"
+	"repro/internal/facility"
+	"repro/internal/fl"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+
+	// Populate the technique registry with the standard set.
+	_ "repro/internal/adapt/catalog"
+)
+
+func flTrainConfig() fl.TrainConfig {
+	return fl.TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.02, Momentum: 0.9}
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	names := adapt.PolicyNames()
+	if len(names) < 2 {
+		t.Fatalf("need >=2 registered policies, got %v", names)
+	}
+	if names[0] != adapt.DefaultPolicyName {
+		t.Fatalf("default policy must register first, got %v", names)
+	}
+	for _, name := range names {
+		p, err := adapt.NewPolicy(name)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("policy %q built with name %q", name, p.Name)
+		}
+		if p.Version != adapt.PolicyVersion {
+			t.Fatalf("policy %q version %d, want %d", name, p.Version, adapt.PolicyVersion)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("policy %q invalid: %v", name, err)
+		}
+	}
+
+	// "" resolves to the default.
+	p, err := adapt.NewPolicy("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != adapt.DefaultPolicyName {
+		t.Fatalf("empty name resolved to %q", p.Name)
+	}
+
+	// Unknown names carry the live registry listing.
+	_, err = adapt.NewPolicy("nope")
+	if err == nil {
+		t.Fatal("unknown policy should error")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered policy %q", err, name)
+		}
+	}
+
+	if len(adapt.PolicyDescriptions()) != len(names) {
+		t.Fatal("descriptions out of sync with names")
+	}
+}
+
+func TestPolicyValidateRejectsMissingStage(t *testing.T) {
+	p, err := adapt.NewPolicy("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Solver = nil
+	if err := p.Validate(); err == nil {
+		t.Fatal("policy without a solver should not validate")
+	}
+	var nilPolicy *adapt.Policy
+	if err := nilPolicy.Validate(); err == nil {
+		t.Fatal("nil policy should not validate")
+	}
+}
+
+func TestDetectorVariants(t *testing.T) {
+	th := stats.Thresholds{DeltaCov: 0.5, DeltaLabel: 0.5}
+	both := detect.PartyStats{MMD: 0.9, JSD: 0.9}
+	labelOnly := detect.PartyStats{MMD: 0.1, JSD: 0.9}
+
+	cov, lab := adapt.ThresholdDetector{}.Detect(both, th)
+	if !cov || !lab {
+		t.Fatalf("default detector: cov=%v lab=%v, want both", cov, lab)
+	}
+	cov, lab = adapt.ThresholdDetector{}.Detect(labelOnly, th)
+	if cov || !lab {
+		t.Fatalf("default detector on label-only shift: cov=%v lab=%v", cov, lab)
+	}
+
+	cov, lab = adapt.CovariateThresholdDetector{}.Detect(both, th)
+	if !cov || lab {
+		t.Fatalf("cov-only detector: cov=%v lab=%v, want cov only", cov, lab)
+	}
+	cov, lab = adapt.CovariateThresholdDetector{}.Detect(labelOnly, th)
+	if cov || lab {
+		t.Fatalf("cov-only detector must ignore label shift, got cov=%v lab=%v", cov, lab)
+	}
+}
+
+// randomInstance builds a small facility instance with well-separated
+// client groups so both solvers face non-trivial reuse-vs-create choices.
+func randomInstance(rng *tensor.RNG, clients, existing int) *facility.Instance {
+	in := &facility.Instance{
+		NewCost:     0.4,
+		LabelWeight: 0.3,
+		Epsilon:     2.0,
+	}
+	for i := 0; i < clients; i++ {
+		center := float64(i % 3)
+		in.Clients = append(in.Clients, facility.Client{
+			ID:        i,
+			Embedding: rng.NormVec(6, center, 0.2),
+			LabelHist: stats.Uniform(4),
+			Weight:    1 + float64(i%2),
+		})
+	}
+	for j := 0; j < existing; j++ {
+		in.Existing = append(in.Existing, facility.Facility{
+			ID:        j,
+			Signature: rng.NormVec(6, float64(j%3), 0.2),
+		})
+	}
+	return in
+}
+
+// TestExactAssignmentParityOnSmallInstances is the solver-level half of
+// the exact-solver parity check: on every instance the exact stage can
+// enumerate, its objective must match facility.SolveExact and never exceed
+// the greedy stage's.
+func TestExactAssignmentParityOnSmallInstances(t *testing.T) {
+	rng := tensor.NewRNG(400)
+	for trial := 0; trial < 30; trial++ {
+		clients := 2 + rng.Intn(4)
+		existing := rng.Intn(3)
+		in := randomInstance(rng, clients, existing)
+
+		exactStage, err := adapt.ExactAssignment{}.Solve(in)
+		if err != nil {
+			t.Fatalf("trial %d: exact stage: %v", trial, err)
+		}
+		ref, err := facility.SolveExact(in)
+		if err != nil {
+			t.Fatalf("trial %d: reference exact: %v", trial, err)
+		}
+		if !reflect.DeepEqual(exactStage.Slots, ref.Slots) || exactStage.Cost != ref.Cost {
+			t.Fatalf("trial %d: exact stage diverges from SolveExact: %+v vs %+v", trial, exactStage, ref)
+		}
+
+		greedy, err := adapt.GreedyAssignment{}.Solve(in)
+		if err != nil {
+			t.Fatalf("trial %d: greedy stage: %v", trial, err)
+		}
+		if exactStage.Cost > greedy.Cost+1e-12 {
+			t.Fatalf("trial %d: exact cost %g exceeds greedy cost %g", trial, exactStage.Cost, greedy.Cost)
+		}
+		if math.IsInf(exactStage.Cost, 1) || math.IsInf(greedy.Cost, 1) {
+			t.Fatalf("trial %d: infeasible solution returned", trial)
+		}
+	}
+}
+
+func TestExactAssignmentOversizedInstances(t *testing.T) {
+	rng := tensor.NewRNG(401)
+	in := randomInstance(rng, facility.MaxExactClients+2, 1)
+
+	// Default: fall back to greedy, bit-identical to the greedy stage.
+	fb, err := adapt.ExactAssignment{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := adapt.GreedyAssignment{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fb.Slots, greedy.Slots) {
+		t.Fatalf("oversized fallback diverges from greedy: %v vs %v", fb.Slots, greedy.Slots)
+	}
+
+	// NoFallback: explicit error.
+	if _, err := (adapt.ExactAssignment{NoFallback: true}).Solve(in); err == nil {
+		t.Fatal("oversized instance with NoFallback should error")
+	}
+}
+
+func TestPlannersDrawDeterministically(t *testing.T) {
+	cohorts := map[int][]int{0: {0, 1, 2, 3}, 1: {4, 5}}
+	hists := make([]stats.Histogram, 6)
+	for i := range hists {
+		h := make(stats.Histogram, 4)
+		h[i%4] = 1
+		hists[i] = h
+	}
+
+	pick := func(planner adapt.TrainingPlanner, seed uint64) [][]int {
+		rng := tensor.NewRNG(seed)
+		sel, err := planner.Plan(cohorts, hists, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]int
+		for round := 0; round < 3; round++ {
+			for _, id := range []int{0, 1} {
+				members := cohorts[id]
+				s, err := sel.Select(id, members, 3, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(s) == 0 || len(s) > len(members) {
+					t.Fatalf("selection size %d for cohort %v", len(s), members)
+				}
+				for _, p := range s {
+					found := false
+					for _, m := range members {
+						if m == p {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("selected %d outside cohort %v", p, members)
+					}
+				}
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	for _, planner := range []adapt.TrainingPlanner{adapt.FLIPSPlanner{}, adapt.UniformPlanner{}} {
+		a := pick(planner, 77)
+		b := pick(planner, 77)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%T: same seed produced different selections:\n%v\n%v", planner, a, b)
+		}
+	}
+}
+
+func TestBudgetValidate(t *testing.T) {
+	good := adapt.Budget{BootstrapRounds: 5, RoundsPerWindow: 5, ParticipantsPerRound: 4,
+		Train: flTrainConfig()}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.RoundsPerWindow = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero rounds should fail")
+	}
+	bad = good
+	bad.ParticipantsPerRound = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero participants should fail")
+	}
+}
+
+func TestTechniqueRegistry(t *testing.T) {
+	want := []string{"shiftex", "fedprox", "oort", "fielding", "feddrift"}
+	if got := adapt.TechniqueNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("technique registration order %v, want %v", got, want)
+	}
+	if got := adapt.PoliciedTechniqueNames(); !reflect.DeepEqual(got, []string{"shiftex"}) {
+		t.Fatalf("policied techniques %v, want [shiftex]", got)
+	}
+
+	_, err := adapt.Technique("nope")
+	if err == nil {
+		t.Fatal("unknown technique should error")
+	}
+	for _, name := range want {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered technique %q", err, name)
+		}
+	}
+
+	b := adapt.Budget{BootstrapRounds: 2, RoundsPerWindow: 2, ParticipantsPerRound: 2, Train: flTrainConfig()}
+
+	// Every registered technique constructs under its default policy.
+	for _, name := range want {
+		tech, err := adapt.NewTechnique(name, b, "", 1)
+		if err != nil {
+			t.Fatalf("NewTechnique(%q): %v", name, err)
+		}
+		if tech.Name() != name {
+			t.Fatalf("technique %q reports name %q", name, tech.Name())
+		}
+	}
+
+	// Policied techniques accept registered policies, reject unknown ones.
+	if _, err := adapt.NewTechnique("shiftex", b, "exact-assign", 1); err != nil {
+		t.Fatalf("shiftex under exact-assign: %v", err)
+	}
+	if _, err := adapt.NewTechnique("shiftex", b, "nope", 1); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+
+	// Policy-free techniques reject a non-default policy up front.
+	if _, err := adapt.NewTechnique("fedprox", b, "exact-assign", 1); err == nil {
+		t.Fatal("policy on a policy-free technique should error")
+	}
+	if _, err := adapt.NewTechnique("fedprox", b, "default", 1); err != nil {
+		t.Fatalf("default policy name on a policy-free technique should pass: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package catalog wires the standard technique set into the adapt
+// registry: the ShiftEx mixture-of-experts aggregator (policied — it runs
+// whichever adaptation policy it is constructed with) and the paper's four
+// baselines (policy-free single pipelines). Importing this package for its
+// side effects is what populates adapt.TechniqueNames(); it is a separate
+// package so adapt itself stays importable from internal/shiftex without a
+// cycle.
+package catalog
+
+import (
+	"repro/internal/adapt"
+	"repro/internal/baselines"
+	"repro/internal/federation"
+	"repro/internal/shiftex"
+)
+
+// baseConfig maps the shared budget onto the baselines' config.
+func baseConfig(b adapt.Budget) baselines.Config {
+	return baselines.Config{
+		BootstrapRounds:      b.BootstrapRounds,
+		RoundsPerWindow:      b.RoundsPerWindow,
+		ParticipantsPerRound: b.ParticipantsPerRound,
+		Train:                b.Train,
+	}
+}
+
+func init() {
+	// Registration order is the paper's comparison order (Tables 1-2):
+	// it defines the default technique ordering of the experiment grid
+	// and therefore the cell order of BENCH artifacts.
+	adapt.RegisterTechnique(adapt.TechniqueFactory{
+		Name:        "shiftex",
+		Description: "shift-aware mixture of experts (Algorithm 2) running the constructed adaptation policy",
+		Policied:    true,
+		New: func(b adapt.Budget, policy *adapt.Policy, seed uint64) (federation.Technique, error) {
+			cfg := shiftex.DefaultConfig()
+			cfg.BootstrapRounds = b.BootstrapRounds
+			cfg.RoundsPerWindow = b.RoundsPerWindow
+			cfg.ParticipantsPerRound = b.ParticipantsPerRound
+			cfg.Train = b.Train
+			return shiftex.NewWithPolicy(cfg, policy, seed)
+		},
+	})
+	adapt.RegisterTechnique(adapt.TechniqueFactory{
+		Name:        "fedprox",
+		Description: "single global model with a proximal term",
+		New: func(b adapt.Budget, _ *adapt.Policy, seed uint64) (federation.Technique, error) {
+			return baselines.NewFedProx(baseConfig(b), 0.1, seed)
+		},
+	})
+	adapt.RegisterTechnique(adapt.TechniqueFactory{
+		Name:        "oort",
+		Description: "utility-guided participant selection over a single global model",
+		New: func(b adapt.Budget, _ *adapt.Policy, seed uint64) (federation.Technique, error) {
+			return baselines.NewOORT(baseConfig(b), 0.2, seed)
+		},
+	})
+	adapt.RegisterTechnique(adapt.TechniqueFactory{
+		Name:        "fielding",
+		Description: "label-distribution re-clustering into experts",
+		New: func(b adapt.Budget, _ *adapt.Policy, seed uint64) (federation.Technique, error) {
+			return baselines.NewFielding(baseConfig(b), 5, seed)
+		},
+	})
+	adapt.RegisterTechnique(adapt.TechniqueFactory{
+		Name:        "feddrift",
+		Description: "loss-pattern expert clustering",
+		New: func(b adapt.Budget, _ *adapt.Policy, seed uint64) (federation.Technique, error) {
+			return baselines.NewFedDrift(baseConfig(b), 1.5, 6, seed)
+		},
+	})
+}

@@ -1,0 +1,204 @@
+package adapt
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// PolicyVersion is the version of the stage contracts a Policy bundles.
+// It is bumped whenever a stage interface changes incompatibly, and is
+// recorded on every constructed Policy so long-lived state (checkpoints)
+// can name the contract it was produced under.
+const PolicyVersion = 1
+
+// DefaultPolicyName is the policy every pre-policy call site resolves to;
+// it reproduces the paper's Algorithm 2 exactly.
+const DefaultPolicyName = "default"
+
+// Policy bundles one implementation of every pipeline stage. A Policy is
+// immutable after construction and safe to share across aggregators.
+type Policy struct {
+	// Name is the registry name the policy was constructed under.
+	Name string
+	// Version is the stage-contract version (PolicyVersion at build).
+	Version int
+
+	Detector     ShiftDetector
+	Calibrator   Calibrator
+	Solver       AssignmentSolver
+	Planner      TrainingPlanner
+	Consolidator Consolidator
+}
+
+// Validate reports whether the policy is complete: every stage present and
+// the name non-empty. A policy from NewPolicy always validates; hand-built
+// stage sets go through this before driving a pipeline.
+func (p *Policy) Validate() error {
+	switch {
+	case p == nil:
+		return errors.New("adapt: nil policy")
+	case p.Name == "":
+		return errors.New("adapt: policy has no name")
+	case p.Detector == nil:
+		return fmt.Errorf("adapt: policy %q has no ShiftDetector", p.Name)
+	case p.Calibrator == nil:
+		return fmt.Errorf("adapt: policy %q has no Calibrator", p.Name)
+	case p.Solver == nil:
+		return fmt.Errorf("adapt: policy %q has no AssignmentSolver", p.Name)
+	case p.Planner == nil:
+		return fmt.Errorf("adapt: policy %q has no TrainingPlanner", p.Name)
+	case p.Consolidator == nil:
+		return fmt.Errorf("adapt: policy %q has no Consolidator", p.Name)
+	}
+	return nil
+}
+
+// PolicyFactory constructs one named policy.
+type PolicyFactory struct {
+	Name        string
+	Description string
+	New         func() (*Policy, error)
+}
+
+var (
+	policyMu    sync.RWMutex
+	policies    = make(map[string]PolicyFactory)
+	policyOrder []string
+)
+
+// RegisterPolicy adds a policy factory to the registry. Registering an
+// empty or duplicate name panics: registration happens at init time and a
+// collision is a programmer error.
+func RegisterPolicy(f PolicyFactory) {
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	if f.Name == "" || f.New == nil {
+		panic("adapt: RegisterPolicy needs a name and a constructor")
+	}
+	if _, dup := policies[f.Name]; dup {
+		panic(fmt.Sprintf("adapt: policy %q registered twice", f.Name))
+	}
+	policies[f.Name] = f
+	policyOrder = append(policyOrder, f.Name)
+}
+
+// PolicyNames lists the registered policies in registration order.
+func PolicyNames() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	return append([]string(nil), policyOrder...)
+}
+
+// PolicyDescriptions returns "name — description" lines in registration
+// order, for CLI help text.
+func PolicyDescriptions() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	out := make([]string, 0, len(policyOrder))
+	for _, name := range policyOrder {
+		out = append(out, fmt.Sprintf("%s — %s", name, policies[name].Description))
+	}
+	return out
+}
+
+// NewPolicy constructs a registered policy by name ("" resolves to
+// DefaultPolicyName). Unknown names error with the live registry listing,
+// so every CLI and config surface reports the same vocabulary.
+func NewPolicy(name string) (*Policy, error) {
+	if name == "" {
+		name = DefaultPolicyName
+	}
+	policyMu.RLock()
+	f, ok := policies[name]
+	policyMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("adapt: unknown policy %q (registered: %s)", name, strings.Join(PolicyNames(), ", "))
+	}
+	built, err := f.New()
+	if err != nil {
+		return nil, fmt.Errorf("adapt: build policy %q: %w", name, err)
+	}
+	if built == nil {
+		return nil, fmt.Errorf("adapt: policy factory %q returned nil", name)
+	}
+	// Stamp name and version on a copy: a factory may legitimately return
+	// a shared value (policies are documented immutable), so the registry
+	// never writes into factory-owned storage.
+	p := *built
+	p.Name = f.Name
+	if p.Version == 0 {
+		p.Version = PolicyVersion
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// DefaultPolicy returns the default policy (never fails: the default is
+// registered by this package).
+func DefaultPolicy() *Policy {
+	p, err := NewPolicy(DefaultPolicyName)
+	if err != nil {
+		panic(err) // unreachable: registered below
+	}
+	return p
+}
+
+// defaultStages is the Algorithm-2 stage set shared by the built-in
+// policies; each variant swaps exactly one stage.
+func defaultStages() *Policy {
+	return &Policy{
+		Detector:     ThresholdDetector{},
+		Calibrator:   BootstrapCalibrator{},
+		Solver:       GreedyAssignment{},
+		Planner:      FLIPSPlanner{},
+		Consolidator: SimilarityConsolidator{},
+	}
+}
+
+func init() {
+	RegisterPolicy(PolicyFactory{
+		Name:        DefaultPolicyName,
+		Description: "the paper's Algorithm 2: threshold detection, greedy Eq. 2 assignment, FLIPS selection, similarity consolidation",
+		New:         func() (*Policy, error) { return defaultStages(), nil },
+	})
+	RegisterPolicy(PolicyFactory{
+		Name:        "exact-assign",
+		Description: "default pipeline with the exact facility-location solver (optimal Eq. 2 on instances of <=7 clusters, greedy fallback above)",
+		New: func() (*Policy, error) {
+			p := defaultStages()
+			p.Solver = ExactAssignment{}
+			return p, nil
+		},
+	})
+	RegisterPolicy(PolicyFactory{
+		Name:        "cov-detect",
+		Description: "default pipeline with covariate-threshold-only detection (label shifts never trigger reassignment)",
+		New: func() (*Policy, error) {
+			p := defaultStages()
+			p.Detector = CovariateThresholdDetector{}
+			return p, nil
+		},
+	})
+	RegisterPolicy(PolicyFactory{
+		Name:        "uniform-select",
+		Description: "default pipeline with uniform participant selection instead of FLIPS label clustering",
+		New: func() (*Policy, error) {
+			p := defaultStages()
+			p.Planner = UniformPlanner{}
+			return p, nil
+		},
+	})
+	RegisterPolicy(PolicyFactory{
+		Name:        "no-consolidate",
+		Description: "default pipeline that never merges experts (the pool only grows)",
+		New: func() (*Policy, error) {
+			p := defaultStages()
+			p.Consolidator = NoConsolidator{}
+			return p, nil
+		},
+	})
+}

@@ -1,0 +1,317 @@
+package adapt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/facility"
+	"repro/internal/flips"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// ThresholdDetector is the default ShiftDetector: a party is
+// covariate-shifted when its MMD exceeds δ_cov and label-shifted when its
+// JSD exceeds δ_label — the paper's Algorithm 2 detection rule.
+type ThresholdDetector struct{}
+
+// Detect implements ShiftDetector.
+func (ThresholdDetector) Detect(st detect.PartyStats, th stats.Thresholds) (bool, bool) {
+	return st.MMD > th.DeltaCov, st.JSD > th.DeltaLabel
+}
+
+// CovariateThresholdDetector flags covariate shift only: the JSD statistic
+// is ignored, so label-only shifts never trigger reassignment. It is the
+// cheap variant for deployments whose label mixture is stable (or whose
+// parties cannot afford label-histogram reporting): clustering and
+// assignment then run strictly less often.
+type CovariateThresholdDetector struct{}
+
+// Detect implements ShiftDetector.
+func (CovariateThresholdDetector) Detect(st detect.PartyStats, th stats.Thresholds) (bool, bool) {
+	return st.MMD > th.DeltaCov, false
+}
+
+// BootstrapCalibrator is the default Calibrator: δ_cov from same-party
+// split-half MMD resamples, δ_label from label-histogram resamples, and —
+// when epsilon is 0 — ε from the window-0 dispersion of party mean
+// embeddings around their common centroid (3× the median distance).
+type BootstrapCalibrator struct{}
+
+// Calibrate implements Calibrator. The resampling order is part of the
+// bit-reproducibility contract: δ_cov resamples first, then δ_label, then
+// the ε derivation (which draws no randomness).
+func (BootstrapCalibrator) Calibrate(anchor []detect.PartyStats, cfg stats.CalibrateConfig, epsilon float64, rng *tensor.RNG) (stats.Thresholds, float64, error) {
+	resamples := cfg.Resamples
+	if resamples <= 0 {
+		resamples = 100
+	}
+	// Covariate threshold: the null statistic must match the per-party
+	// detector — MMD between same-party samples at window sample size —
+	// so resample each party's own embeddings into two halves. Half-size
+	// splits are slightly conservative (smaller samples inflate the
+	// biased MMD), which suppresses false positives.
+	covNulls := make([]float64, 0, resamples)
+	var xs, ys []tensor.Vector // split buffers reused across resamples
+	for i := 0; i < resamples; i++ {
+		st := anchor[rng.Intn(len(anchor))]
+		n := len(st.EmbeddingSample)
+		if n < 4 {
+			continue
+		}
+		perm := rng.Perm(n)
+		half := n / 2
+		xs, ys = xs[:0], ys[:0]
+		for j := 0; j < half; j++ {
+			xs = append(xs, st.EmbeddingSample[perm[j]])
+			ys = append(ys, st.EmbeddingSample[perm[half+j]])
+		}
+		v, err := stats.MMDAuto(xs, ys)
+		if err != nil {
+			return stats.Thresholds{}, 0, err
+		}
+		covNulls = append(covNulls, v)
+	}
+	if len(covNulls) == 0 {
+		return stats.Thresholds{}, 0, errors.New("adapt: not enough embeddings to calibrate δ_cov")
+	}
+	pv := cfg.PValue
+	if pv <= 0 {
+		pv = 0.05
+	}
+	deltaCov := stats.Quantile(covNulls, 1-pv)
+	nulls := make([]float64, 0, resamples)
+	for i := 0; i < resamples; i++ {
+		st := anchor[rng.Intn(len(anchor))]
+		n := st.NumSamples
+		if n < 4 {
+			n = 4
+		}
+		h1 := resampleHistogram(st.LabelHist, n, rng)
+		h2 := resampleHistogram(st.LabelHist, n, rng)
+		j, err := stats.JSD(h1, h2)
+		if err != nil {
+			return stats.Thresholds{}, 0, err
+		}
+		nulls = append(nulls, j)
+	}
+	th := stats.Thresholds{
+		DeltaCov:   deltaCov,
+		DeltaLabel: stats.Quantile(nulls, 1-pv),
+	}
+
+	if epsilon == 0 {
+		// Auto ε: the within-regime dispersion of party mean embeddings
+		// around their common centroid at window 0 (all parties share one
+		// clean regime), scaled so recurring regimes match their expert's
+		// memory while genuinely new regimes fall outside.
+		if len(anchor) < 2 {
+			return stats.Thresholds{}, 0, errors.New("adapt: cannot auto-calibrate epsilon with one party")
+		}
+		means := make([]tensor.Vector, len(anchor))
+		for i, st := range anchor {
+			means[i] = st.MeanEmbedding
+		}
+		centroid, err := tensor.Mean(means)
+		if err != nil {
+			return stats.Thresholds{}, 0, err
+		}
+		dists := make([]float64, len(means))
+		for i, m := range means {
+			dists[i] = stats.MeanEmbeddingMMD(m, centroid)
+		}
+		// 3× the median distance: robust to the label-mix outliers that
+		// dominate the upper tail with few parties.
+		epsilon = 3 * stats.Quantile(dists, 0.5)
+	}
+	return th, epsilon, nil
+}
+
+// resampleHistogram draws n labels from h and re-normalizes.
+func resampleHistogram(h stats.Histogram, n int, rng *tensor.RNG) stats.Histogram {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Categorical(tensor.Vector(h))
+	}
+	return stats.NewHistogram(labels, len(h))
+}
+
+// GreedyAssignment is the default AssignmentSolver: the paper's modular
+// greedy approximation with bounded local search (facility.SolveGreedy).
+type GreedyAssignment struct{}
+
+// Solve implements AssignmentSolver.
+func (GreedyAssignment) Solve(in *facility.Instance) (*facility.Assignment, error) {
+	return facility.SolveGreedy(in)
+}
+
+// ExactAssignment solves Eq. 2 by exact enumeration when the instance is
+// small enough (at most facility.MaxExactClients clusters — shifted-party
+// clustering is bounded by MaxClusters, so typical instances qualify) and
+// otherwise falls back to the greedy approximation, unless NoFallback is
+// set, in which case oversized instances are an error. The exact optimum
+// can only lower the Eq. 2 objective relative to greedy.
+type ExactAssignment struct {
+	// NoFallback makes oversized instances an error instead of silently
+	// degrading to the greedy solution.
+	NoFallback bool
+}
+
+// Solve implements AssignmentSolver.
+func (e ExactAssignment) Solve(in *facility.Instance) (*facility.Assignment, error) {
+	if len(in.Clients) <= facility.MaxExactClients {
+		return facility.SolveExact(in)
+	}
+	if e.NoFallback {
+		return nil, fmt.Errorf("adapt: exact assignment limited to %d clusters, got %d (enable fallback or raise gamma)",
+			facility.MaxExactClients, len(in.Clients))
+	}
+	return facility.SolveGreedy(in)
+}
+
+// FLIPSPlanner is the default TrainingPlanner: per-cohort FLIPS selectors
+// (label-clustered stratified participant selection, §4.1) for cohorts of
+// at least two parties, uniform sampling below that.
+type FLIPSPlanner struct{}
+
+// Plan implements TrainingPlanner. Cohorts are visited in ascending expert
+// ID because flips.New draws from rng: map order would consume the stream
+// differently on every run and break bit-reproducibility.
+func (FLIPSPlanner) Plan(cohorts map[int][]int, hists []stats.Histogram, rng *tensor.RNG) (ParticipantSelector, error) {
+	selectors := make(map[int]*flips.Selector)
+	for _, id := range sortedCohortIDs(cohorts) {
+		members := cohorts[id]
+		if len(members) < 2 {
+			continue
+		}
+		hs := make([]stats.Histogram, len(members))
+		for i, p := range members {
+			hs[i] = hists[p]
+		}
+		sel, err := flips.New(members, hs, 0, rng)
+		if err != nil {
+			return nil, fmt.Errorf("flips for expert %d: %w", id, err)
+		}
+		selectors[id] = sel
+	}
+	return flipsSelector{selectors: selectors}, nil
+}
+
+type flipsSelector struct {
+	selectors map[int]*flips.Selector
+}
+
+// Select implements ParticipantSelector.
+func (s flipsSelector) Select(expertID int, members []int, k int, rng *tensor.RNG) ([]int, error) {
+	if sel, ok := s.selectors[expertID]; ok {
+		return sel.Select(min(k, len(members)), rng)
+	}
+	return uniformSelect(members, k, rng)
+}
+
+// UniformPlanner selects participants uniformly at random without any
+// label stratification — the DisableFLIPS ablation as a first-class stage.
+type UniformPlanner struct{}
+
+// Plan implements TrainingPlanner (draws nothing from rng at plan time).
+func (UniformPlanner) Plan(map[int][]int, []stats.Histogram, *tensor.RNG) (ParticipantSelector, error) {
+	return uniformSelector{}, nil
+}
+
+type uniformSelector struct{}
+
+// Select implements ParticipantSelector.
+func (uniformSelector) Select(_ int, members []int, k int, rng *tensor.RNG) ([]int, error) {
+	return uniformSelect(members, k, rng)
+}
+
+func uniformSelect(members []int, k int, rng *tensor.RNG) ([]int, error) {
+	idx := rng.Sample(len(members), min(k, len(members)))
+	selected := make([]int, len(idx))
+	for i, j := range idx {
+		selected[i] = members[j]
+	}
+	return selected, nil
+}
+
+func sortedCohortIDs(cohorts map[int][]int) []int {
+	out := make([]int, 0, len(cohorts))
+	for id := range cohorts {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SimilarityConsolidator is the default Consolidator: it merges every pair
+// of experts whose parameter cosine similarity exceeds tau AND whose
+// latent-memory signatures agree within epsilon (§5.2.5 — parameter
+// similarity alone is not sufficient, because an expert freshly
+// warm-started from another remains parameter-similar even while serving a
+// different regime). epsilon <= 0 disables the memory guard.
+type SimilarityConsolidator struct{}
+
+// Consolidate implements Consolidator. Merges are weighted by cohortSize,
+// and the returned remap is transitively collapsed (c→b→a becomes c→a).
+func (SimilarityConsolidator) Consolidate(pool ExpertPool, arch []int, tau, epsilon float64, cohortSize map[int]int) (map[int]int, error) {
+	if tau <= 0 || tau > 1 {
+		return nil, fmt.Errorf("adapt: tau must be in (0,1], got %g", tau)
+	}
+	sameRegime := func(a, b int) bool {
+		ma, mb := pool.Signature(a), pool.Signature(b)
+		if epsilon <= 0 || ma == nil || mb == nil {
+			return true
+		}
+		return stats.MeanEmbeddingMMD(ma, mb) <= epsilon
+	}
+	remap := make(map[int]int)
+	for {
+		ids := pool.IDs()
+		merged := false
+		for i := 0; i < len(ids) && !merged; i++ {
+			for j := i + 1; j < len(ids) && !merged; j++ {
+				pa, aok := pool.Params(ids[i])
+				pb, bok := pool.Params(ids[j])
+				if !aok || !bok {
+					continue
+				}
+				sim := tensor.CosineSimilarity(pa, pb)
+				if sim <= tau || !sameRegime(ids[i], ids[j]) {
+					continue
+				}
+				if err := pool.Merge(arch, ids[i], ids[j], cohortSize); err != nil {
+					return nil, err
+				}
+				remap[ids[j]] = ids[i]
+				merged = true
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	// Collapse transitive remaps (c→b→a becomes c→a).
+	for from, to := range remap {
+		for {
+			next, ok := remap[to]
+			if !ok {
+				break
+			}
+			to = next
+		}
+		remap[from] = to
+	}
+	return remap, nil
+}
+
+// NoConsolidator never merges experts — the DisableConsolidation ablation
+// as a first-class stage; the pool only grows (or stays fixed) over the
+// stream.
+type NoConsolidator struct{}
+
+// Consolidate implements Consolidator.
+func (NoConsolidator) Consolidate(ExpertPool, []int, float64, float64, map[int]int) (map[int]int, error) {
+	return nil, nil
+}

@@ -1,0 +1,128 @@
+package adapt
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/federation"
+	"repro/internal/fl"
+)
+
+// Budget is the shared training budget every technique is constructed
+// with, so cross-technique comparisons stay matched (§6).
+type Budget struct {
+	// BootstrapRounds is the number of FL rounds in window 0.
+	BootstrapRounds int
+	// RoundsPerWindow is the number of FL rounds in each later window.
+	RoundsPerWindow int
+	// ParticipantsPerRound is the per-cohort sample size per round.
+	ParticipantsPerRound int
+	// Train is the local-training configuration sent to parties.
+	Train fl.TrainConfig
+}
+
+// Validate reports whether the budget is usable.
+func (b Budget) Validate() error {
+	switch {
+	case b.BootstrapRounds <= 0 || b.RoundsPerWindow <= 0:
+		return fmt.Errorf("adapt: rounds must be positive (bootstrap=%d window=%d)", b.BootstrapRounds, b.RoundsPerWindow)
+	case b.ParticipantsPerRound <= 0:
+		return fmt.Errorf("adapt: participants per round must be positive, got %d", b.ParticipantsPerRound)
+	}
+	return b.Train.Validate()
+}
+
+// TechniqueFactory constructs one continual-FL technique. Policied
+// techniques receive the adaptation policy to run (nil resolves to the
+// default); policy-free techniques (the single-pipeline baselines) ignore
+// the policy argument, and NewTechnique rejects a non-default policy name
+// for them up front.
+type TechniqueFactory struct {
+	Name        string
+	Description string
+	// Policied reports whether the technique runs an adaptation policy
+	// (and therefore participates in -policy sweeps).
+	Policied bool
+	New      func(b Budget, policy *Policy, seed uint64) (federation.Technique, error)
+}
+
+var (
+	techniqueMu    sync.RWMutex
+	techniques     = make(map[string]TechniqueFactory)
+	techniqueOrder []string
+)
+
+// RegisterTechnique adds a technique factory to the registry (normally
+// from internal/adapt/catalog's init). Empty or duplicate names panic:
+// registration is init-time wiring and a collision is a programmer error.
+func RegisterTechnique(f TechniqueFactory) {
+	techniqueMu.Lock()
+	defer techniqueMu.Unlock()
+	if f.Name == "" || f.New == nil {
+		panic("adapt: RegisterTechnique needs a name and a constructor")
+	}
+	if _, dup := techniques[f.Name]; dup {
+		panic(fmt.Sprintf("adapt: technique %q registered twice", f.Name))
+	}
+	techniques[f.Name] = f
+	techniqueOrder = append(techniqueOrder, f.Name)
+}
+
+// TechniqueNames lists the registered techniques in registration order
+// (the catalog registers the paper's comparison order: shiftex first, then
+// the baselines).
+func TechniqueNames() []string {
+	techniqueMu.RLock()
+	defer techniqueMu.RUnlock()
+	return append([]string(nil), techniqueOrder...)
+}
+
+// Technique resolves a registered factory by name. Unknown names error
+// with the live registry listing — the one "unknown technique" message
+// every CLI and the experiment grid share.
+func Technique(name string) (TechniqueFactory, error) {
+	techniqueMu.RLock()
+	f, ok := techniques[name]
+	techniqueMu.RUnlock()
+	if !ok {
+		return TechniqueFactory{}, fmt.Errorf("adapt: unknown technique %q (registered: %s)", name, strings.Join(TechniqueNames(), ", "))
+	}
+	return f, nil
+}
+
+// NewTechnique constructs a registered technique under the given budget,
+// policy name ("" = default for policied techniques), and seed.
+func NewTechnique(name string, b Budget, policyName string, seed uint64) (federation.Technique, error) {
+	f, err := Technique(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	var pol *Policy
+	if f.Policied {
+		if pol, err = NewPolicy(policyName); err != nil {
+			return nil, err
+		}
+	} else if policyName != "" && policyName != DefaultPolicyName {
+		return nil, fmt.Errorf("adapt: technique %q is policy-free (cannot run policy %q); policied techniques: %s",
+			name, policyName, strings.Join(PoliciedTechniqueNames(), ", "))
+	}
+	return f.New(b, pol, seed)
+}
+
+// PoliciedTechniqueNames lists the registered techniques that run an
+// adaptation policy.
+func PoliciedTechniqueNames() []string {
+	techniqueMu.RLock()
+	defer techniqueMu.RUnlock()
+	var out []string
+	for _, name := range techniqueOrder {
+		if techniques[name].Policied {
+			out = append(out, name)
+		}
+	}
+	return out
+}

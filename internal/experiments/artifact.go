@@ -66,8 +66,14 @@ type WindowArtifact struct {
 // CellArtifact is one grid cell's serialized RunResult.
 type CellArtifact struct {
 	Benchmark string `json:"benchmark"`
+	// Technique is the cell's display name: the registered technique,
+	// suffixed "@<policy>" when the cell ran a policy-swept variant.
 	Technique string `json:"technique"`
-	Seed      uint64 `json:"seed"`
+	// Policy is the adaptation policy the cell ran under; empty for the
+	// technique's default (keeps default-run artifacts byte-identical to
+	// the pre-policy layout).
+	Policy string `json:"policy,omitempty"`
+	Seed   uint64 `json:"seed"`
 	// Traces[w] is window w's per-round mean accuracy.
 	Traces [][]float64 `json:"traces"`
 	// Windows[w] holds derived metrics for w >= 1 (index 0 is burn-in).
@@ -101,6 +107,7 @@ func cellArtifact(cr CellResult) CellArtifact {
 	c := CellArtifact{
 		Benchmark:     cr.Cell.Benchmark.Name,
 		Technique:     r.Technique,
+		Policy:        cr.Cell.Technique.Policy,
 		Seed:          r.Seed,
 		Traces:        r.Traces,
 		Distributions: r.Distributions,
@@ -255,12 +262,15 @@ func ReadArtifactFile(path string) (*Artifact, error) {
 
 // ComparisonFromArtifact rebuilds a Comparison from a decoded artifact so
 // every formatter (tables, convergence, summaries) can replay a recorded
-// run without re-training.
+// run without re-training. The benchmark is resolved from the cells (not
+// the artifact name, which is a free-form grid label — e.g.
+// "fmow-policies" for a policy sweep); artifacts spanning several
+// benchmarks (the headline artifact) cannot be replayed as one comparison.
 func ComparisonFromArtifact(a *Artifact) (*Comparison, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
-	b, err := BenchmarkByName(a.Name)
+	b, err := BenchmarkByName(a.Cells[0].Benchmark)
 	if err != nil {
 		return nil, err
 	}
@@ -270,8 +280,8 @@ func ComparisonFromArtifact(a *Artifact) (*Comparison, error) {
 		Results:   make(map[string][]metrics.RunResult),
 	}
 	for _, c := range a.Cells {
-		if c.Benchmark != a.Name {
-			return nil, fmt.Errorf("experiments: artifact %q contains cell for benchmark %q", a.Name, c.Benchmark)
+		if c.Benchmark != b.Name {
+			return nil, fmt.Errorf("experiments: artifact %q spans benchmarks %q and %q; replay handles one benchmark per artifact", a.Name, b.Name, c.Benchmark)
 		}
 		if _, ok := cmp.Results[c.Technique]; !ok {
 			cmp.Order = append(cmp.Order, c.Technique)

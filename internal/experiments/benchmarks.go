@@ -5,13 +5,18 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
-	"repro/internal/baselines"
+	"repro/internal/adapt"
 	"repro/internal/dataset"
 	"repro/internal/federation"
 	"repro/internal/fl"
-	"repro/internal/shiftex"
+
+	// The catalog registers the standard technique set (shiftex + the four
+	// baselines) into the adapt registry this package resolves names from.
+	_ "repro/internal/adapt/catalog"
 )
 
 // Benchmark is one dataset scenario preset.
@@ -192,68 +197,128 @@ func (o Options) trainConfig() fl.TrainConfig {
 	return fl.TrainConfig{Epochs: o.Epochs, BatchSize: 16, LR: 0.02, Momentum: 0.9}
 }
 
+// budget maps the options onto the shared training budget every registered
+// technique is constructed with.
+func (o Options) budget() adapt.Budget {
+	return adapt.Budget{
+		BootstrapRounds:      o.BootstrapRounds,
+		RoundsPerWindow:      o.RoundsPerWindow,
+		ParticipantsPerRound: o.Participants,
+		Train:                o.trainConfig(),
+	}
+}
+
 // TechniqueFactory creates a fresh technique instance per (benchmark, seed)
 // run so runs stay independent.
 type TechniqueFactory struct {
+	// Name is the display name and grid-cell key: the registered technique
+	// name, suffixed "@<policy>" for policy-swept variants
+	// (e.g. "shiftex@exact-assign").
 	Name string
-	New  func(seed uint64) (federation.Technique, error)
+	// Policy is the adaptation policy the factory constructs the technique
+	// under; empty means the technique's default.
+	Policy string
+	New    func(seed uint64) (federation.Technique, error)
 }
 
-// StandardTechniques returns the five methods of the paper's comparison
-// with matched training budgets.
+// techniqueFactory builds a grid factory for one (technique, policy) pair;
+// construction goes through the central adapt registry.
+func techniqueFactory(opts Options, name, policyName string) TechniqueFactory {
+	display := name
+	if policyName != "" {
+		display = name + "@" + policyName
+	}
+	return TechniqueFactory{
+		Name:   display,
+		Policy: policyName,
+		New: func(seed uint64) (federation.Technique, error) {
+			return adapt.NewTechnique(name, opts.budget(), policyName, seed)
+		},
+	}
+}
+
+// StandardTechniques returns the registered comparison set (the paper's
+// five methods, in the catalog's registration order) with matched training
+// budgets, each under its default adaptation policy.
 func StandardTechniques(opts Options) []TechniqueFactory {
-	shiftexCfg := func() shiftex.Config {
-		cfg := shiftex.DefaultConfig()
-		cfg.BootstrapRounds = opts.BootstrapRounds
-		cfg.RoundsPerWindow = opts.RoundsPerWindow
-		cfg.ParticipantsPerRound = opts.Participants
-		cfg.Train = opts.trainConfig()
-		return cfg
+	names := adapt.TechniqueNames()
+	out := make([]TechniqueFactory, 0, len(names))
+	for _, name := range names {
+		out = append(out, techniqueFactory(opts, name, ""))
 	}
-	baseCfg := func() baselines.Config {
-		return baselines.Config{
-			BootstrapRounds:      opts.BootstrapRounds,
-			RoundsPerWindow:      opts.RoundsPerWindow,
-			ParticipantsPerRound: opts.Participants,
-			Train:                opts.trainConfig(),
-		}
-	}
-	return []TechniqueFactory{
-		{Name: "shiftex", New: func(seed uint64) (federation.Technique, error) {
-			return shiftex.New(shiftexCfg(), seed)
-		}},
-		{Name: "fedprox", New: func(seed uint64) (federation.Technique, error) {
-			return baselines.NewFedProx(baseCfg(), 0.1, seed)
-		}},
-		{Name: "oort", New: func(seed uint64) (federation.Technique, error) {
-			return baselines.NewOORT(baseCfg(), 0.2, seed)
-		}},
-		{Name: "fielding", New: func(seed uint64) (federation.Technique, error) {
-			return baselines.NewFielding(baseCfg(), 5, seed)
-		}},
-		{Name: "feddrift", New: func(seed uint64) (federation.Technique, error) {
-			return baselines.NewFedDrift(baseCfg(), 1.5, 6, seed)
-		}},
-	}
+	return out
 }
 
-// TechniqueNames lists the standard technique names, for CLI validation
+// PolicyTechniques returns the -policy sweep set: every policied technique
+// (shiftex) under each named adaptation policy, so one grid run compares
+// policies on identical scenarios. Policy names are validated up front
+// against the live registry.
+func PolicyTechniques(opts Options, policyNames []string) ([]TechniqueFactory, error) {
+	if len(policyNames) == 0 {
+		return nil, errors.New("experiments: policy sweep needs at least one policy name")
+	}
+	seen := make(map[string]bool, len(policyNames))
+	for _, p := range policyNames {
+		// An empty entry (e.g. a trailing comma in -policy) would silently
+		// resolve to the default policy and add an unrequested cell whose
+		// artifact entry is indistinguishable from a standard run's.
+		if p == "" {
+			return nil, errors.New("experiments: empty policy name in sweep (trailing comma?)")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("experiments: policy %q listed twice in sweep (duplicate cells would collide on their grid keys)", p)
+		}
+		seen[p] = true
+		if _, err := adapt.NewPolicy(p); err != nil {
+			return nil, err
+		}
+	}
+	var out []TechniqueFactory
+	for _, tech := range adapt.PoliciedTechniqueNames() {
+		for _, p := range policyNames {
+			out = append(out, techniqueFactory(opts, tech, p))
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("experiments: no policied technique registered")
+	}
+	return out, nil
+}
+
+// TechniqueNames lists the registered technique names, for CLI validation
 // and hints.
-func TechniqueNames() []string {
-	tfs := StandardTechniques(PaperOptions())
-	names := make([]string, len(tfs))
-	for i, tf := range tfs {
-		names[i] = tf.Name
-	}
-	return names
-}
+func TechniqueNames() []string { return adapt.TechniqueNames() }
 
-// TechniqueByName resolves a single factory.
+// PolicyNames lists the registered adaptation-policy names, for CLI
+// validation and hints.
+func PolicyNames() []string { return adapt.PolicyNames() }
+
+// TechniqueByName resolves a single factory from "technique" or
+// "technique@policy" form; unknown names error with the live registry
+// listing.
 func TechniqueByName(opts Options, name string) (TechniqueFactory, error) {
-	for _, tf := range StandardTechniques(opts) {
-		if tf.Name == name {
-			return tf, nil
+	base, policyName, hasPolicy := strings.Cut(name, "@")
+	tf, err := adapt.Technique(base)
+	if err != nil {
+		return TechniqueFactory{}, err
+	}
+	if hasPolicy && policyName == "" {
+		// "shiftex@" would resolve to the plain technique here but never
+		// match any cell key — reject it instead of misleading the caller.
+		return TechniqueFactory{}, fmt.Errorf("experiments: empty policy in %q (want technique@policy)", name)
+	}
+	if policyName != "" {
+		if _, err := adapt.NewPolicy(policyName); err != nil {
+			return TechniqueFactory{}, err
+		}
+		if !tf.Policied {
+			// Mirror adapt.NewTechnique: the default policy is a no-op on a
+			// policy-free technique, anything else is an error.
+			if policyName != adapt.DefaultPolicyName {
+				return TechniqueFactory{}, fmt.Errorf("experiments: technique %q is policy-free (cannot run policy %q)", base, policyName)
+			}
+			policyName = ""
 		}
 	}
-	return TechniqueFactory{}, fmt.Errorf("experiments: unknown technique %q", name)
+	return techniqueFactory(opts, base, policyName), nil
 }

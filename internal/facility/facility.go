@@ -216,19 +216,21 @@ func cohortMix(in *Instance, members []int) (stats.Histogram, error) {
 	return stats.MergeHistograms(hs, counts)
 }
 
-// maxExactClients bounds the exact solver's instance size; enumeration is
-// (|E|+n)^n.
-const maxExactClients = 7
+// MaxExactClients bounds the exact solver's instance size; enumeration is
+// (|E|+n)^n. Callers that want the exact solver on the production path
+// (adapt.ExactAssignment) compare instance sizes against it to decide when
+// to fall back to the greedy approximation.
+const MaxExactClients = 7
 
 // SolveExact enumerates all canonical assignments and returns the optimum.
-// It errors for instances larger than maxExactClients.
+// It errors for instances larger than MaxExactClients.
 func SolveExact(in *Instance) (*Assignment, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(in.Clients)
-	if n > maxExactClients {
-		return nil, fmt.Errorf("facility: exact solver limited to %d clients, got %d", maxExactClients, n)
+	if n > MaxExactClients {
+		return nil, fmt.Errorf("facility: exact solver limited to %d clients, got %d", MaxExactClients, n)
 	}
 	nExist := len(in.Existing)
 

@@ -177,7 +177,7 @@ func TestLabelImbalancePenalty(t *testing.T) {
 }
 
 func TestExactSizeGuard(t *testing.T) {
-	clients := make([]Client, maxExactClients+1)
+	clients := make([]Client, MaxExactClients+1)
 	for i := range clients {
 		clients[i] = client(i, float64(i))
 	}

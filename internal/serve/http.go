@@ -98,6 +98,9 @@ type snapshotSummary struct {
 	Epsilon     float64 `json:"epsilon"`
 	WindowsDone int     `json:"windowsDone"`
 	InputDim    int     `json:"inputDim"`
+	// Policy is the adaptation policy of the training run that produced
+	// the snapshot's checkpoint.
+	Policy string `json:"policy,omitempty"`
 }
 
 func summarize(snap *Snapshot) snapshotSummary {
@@ -113,6 +116,7 @@ func summarize(snap *Snapshot) snapshotSummary {
 		Epsilon:     snap.Epsilon,
 		WindowsDone: snap.WindowsDone,
 		InputDim:    snap.InputDim(),
+		Policy:      snap.Policy,
 	}
 }
 

@@ -51,6 +51,11 @@ type Snapshot struct {
 	// Seed is the training run's seed (the load generator regenerates the
 	// run's scenario from it).
 	Seed uint64
+	// Policy is the adaptation policy the checkpointed run executed
+	// (schema-1 checkpoints resolve to the default policy name). Serving
+	// never runs the policy — the snapshot is frozen — but records it so
+	// operators can tell which stage set produced the expert pool.
+	Policy string
 
 	experts  []Expert
 	byID     map[int]int     // expert ID -> index into experts
@@ -124,6 +129,7 @@ func SnapshotFromCheckpoint(cp *service.Checkpoint) (*Snapshot, error) {
 	}
 	s.WindowsDone = cp.WindowsDone
 	s.Seed = cp.Seed
+	s.Policy = cp.PolicyName()
 	return s, nil
 }
 

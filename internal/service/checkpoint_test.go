@@ -1,10 +1,13 @@
 package service
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"repro/internal/adapt"
 )
 
 // TestCheckpointResumeParity enforces the satellite contract: save →
@@ -81,6 +84,117 @@ func TestCheckpointResumeParity(t *testing.T) {
 	}
 }
 
+// TestLegacyCheckpointResume: a schema-1 checkpoint — written before the
+// adaptation-policy axis existed, so it carries no policy field — still
+// loads, resolves to the default policy, and resumes bit-identically to an
+// uninterrupted run.
+func TestLegacyCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint parity is slow")
+	}
+	const seed = 13
+
+	// Reference: uninterrupted run.
+	scRef := testScenario(t, seed)
+	localRef, err := LocalTransportForScenario(scRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtRef := runAll(t, localRef, testOptions(scRef, seed))
+
+	// Interrupted run: bootstrap + one adaptive window, then "crash".
+	sc := testScenario(t, seed)
+	local, err := LocalTransportForScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions(sc, seed)
+	opts.CheckpointPath = filepath.Join(t.TempDir(), "legacy.ckpt.json")
+	rt1, err := NewRuntime(local, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 2; w++ {
+		if _, err := rt1.RunWindow(w); err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+	}
+
+	// Downgrade the file to the v1 layout: no policy key, schemaVersion 1 —
+	// exactly what a pre-policy daemon wrote. The surgery keeps every other
+	// field's raw bytes (a float64 round trip would corrupt the uint64 RNG
+	// state words).
+	data, err := os.ReadFile(opts.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if string(m["policy"]) != `"`+adapt.DefaultPolicyName+`"` {
+		t.Fatalf("fresh checkpoint records policy %s, want %q", m["policy"], adapt.DefaultPolicyName)
+	}
+	delete(m, "policy")
+	delete(m, "policyVersion")
+	m["schemaVersion"] = json.RawMessage("1")
+	legacy, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(opts.CheckpointPath, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := LoadCheckpoint(opts.CheckpointPath)
+	if err != nil {
+		t.Fatalf("legacy checkpoint should load: %v", err)
+	}
+	if cp.SchemaVersion != 1 || cp.Policy != "" {
+		t.Fatalf("legacy checkpoint decoded as version=%d policy=%q", cp.SchemaVersion, cp.Policy)
+	}
+	if cp.PolicyName() != adapt.DefaultPolicyName {
+		t.Fatalf("legacy checkpoint resolves to policy %q, want %q", cp.PolicyName(), adapt.DefaultPolicyName)
+	}
+
+	// A conflicting explicit policy must be rejected, not silently applied.
+	badOpts := opts
+	badOpts.Policy = "exact-assign"
+	if _, err := ResumeFrom(local, cp, badOpts); err == nil {
+		t.Fatal("resume under a different policy than the checkpoint's should fail")
+	}
+
+	rt2, err := Resume(local, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt2.Aggregator().PolicyName(); got != adapt.DefaultPolicyName {
+		t.Fatalf("legacy resume runs policy %q, want %q", got, adapt.DefaultPolicyName)
+	}
+	for w := rt2.NextWindow(); w < opts.Windows; w++ {
+		if _, err := rt2.RunWindow(w); err != nil {
+			t.Fatalf("resumed window %d: %v", w, err)
+		}
+	}
+
+	recRef, recResumed := record(rtRef), record(rt2)
+	if !reflect.DeepEqual(recRef, recResumed) {
+		t.Errorf("legacy resume diverges from uninterrupted run:\nuninterrupted: %+v\n      resumed: %+v",
+			recRef, recResumed)
+	}
+
+	// The re-written checkpoint from the resumed run is back on the current
+	// schema, carrying the policy forward.
+	cp2, err := LoadCheckpoint(opts.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.SchemaVersion != CheckpointSchemaVersion || cp2.Policy != adapt.DefaultPolicyName {
+		t.Fatalf("resumed checkpoint has version=%d policy=%q, want %d/%q",
+			cp2.SchemaVersion, cp2.Policy, CheckpointSchemaVersion, adapt.DefaultPolicyName)
+	}
+}
+
 // TestResumeWindowsFallback: a resume that does not specify a stream
 // length inherits the checkpointed one instead of truncating the run.
 func TestResumeWindowsFallback(t *testing.T) {
@@ -134,6 +248,14 @@ func TestCheckpointFileValidation(t *testing.T) {
 	}
 	if _, err := LoadCheckpoint(wrongVersion); err == nil {
 		t.Error("future schema version should fail")
+	}
+
+	futurePolicy := filepath.Join(dir, "future-policy.json")
+	if err := os.WriteFile(futurePolicy, []byte(`{"schemaVersion":2,"policyVersion":999,"windowsDone":1,"arch":[4,3,2]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(futurePolicy); err == nil {
+		t.Error("future stage-contract version should fail")
 	}
 
 	if err := SaveCheckpoint(filepath.Join(dir, "nested", "nope.json"), &Checkpoint{}); err == nil {

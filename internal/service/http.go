@@ -58,6 +58,7 @@ func (r *Runtime) handleState(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{
 		"window":       st.Window,
 		"windowsDone":  reports,
+		"policy":       r.agg.PolicyName(),
 		"experts":      st.Experts,
 		"distribution": st.Distribution,
 		"assignments":  st.Assignments,

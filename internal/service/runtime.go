@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/adapt"
 	"repro/internal/shiftex"
 	"repro/internal/stats"
 )
@@ -14,6 +15,10 @@ import (
 type Options struct {
 	// Shiftex is the Algorithm-2 protocol configuration.
 	Shiftex shiftex.Config
+	// Policy names the adaptation policy the aggregator runs (adapt
+	// registry name); empty means the default. Like Shiftex, it is
+	// protocol: a resumed run must keep the checkpointed policy.
+	Policy string
 	// Arch is the full model layer-width list (input..output).
 	Arch []int
 	// NumClasses is the label-space size.
@@ -56,17 +61,24 @@ type statusSnapshot struct {
 	Trace        []float64
 }
 
-// NewRuntime builds a fresh runtime (stream starts at window 0).
+// NewRuntime builds a fresh runtime (stream starts at window 0) running
+// opts.Policy (default when empty); unknown policy names error with the
+// live registry listing.
 func NewRuntime(t Transport, opts Options) (*Runtime, error) {
 	if err := opts.Shiftex.Validate(); err != nil {
 		return nil, err
 	}
+	pol, err := adapt.NewPolicy(opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+	opts.Policy = pol.Name
 	metrics := NewMetrics()
 	fleet, err := NewFleet(t, opts.Arch, opts.NumClasses, opts.Windows, opts.Seed, opts.Fanout, metrics)
 	if err != nil {
 		return nil, err
 	}
-	agg, err := shiftex.New(opts.Shiftex, opts.Seed^0x7ec)
+	agg, err := shiftex.NewWithPolicy(opts.Shiftex, pol, opts.Seed^0x7ec)
 	if err != nil {
 		return nil, err
 	}
@@ -96,11 +108,22 @@ func ResumeFrom(t Transport, cp *Checkpoint, opts Options) (*Runtime, error) {
 	if opts.NumClasses != 0 && opts.NumClasses != cp.NumClasses {
 		return nil, fmt.Errorf("service: checkpoint has %d classes, flags say %d", cp.NumClasses, opts.NumClasses)
 	}
+	// The policy is protocol: resuming under a different stage set would
+	// silently diverge from the run being continued, so an explicit
+	// conflicting request is an error rather than an override.
+	if opts.Policy != "" && opts.Policy != cp.PolicyName() {
+		return nil, fmt.Errorf("service: checkpoint ran policy %q, flags say %q (the policy is pinned by the run)", cp.PolicyName(), opts.Policy)
+	}
 	// The checkpointed assignment names every party the run was driving; a
 	// fleet of a different size is a different federation, not a resume.
 	if n := len(cp.Aggregator.Assignment); n > 0 && n != len(t.PartyIDs()) {
 		return nil, fmt.Errorf("service: checkpoint covers %d parties, fleet has %d", n, len(t.PartyIDs()))
 	}
+	pol, err := adapt.NewPolicy(cp.PolicyName())
+	if err != nil {
+		return nil, fmt.Errorf("service: checkpoint policy: %w", err)
+	}
+	opts.Policy = pol.Name
 	opts.Shiftex = cp.Config
 	opts.Arch = cp.Arch
 	opts.NumClasses = cp.NumClasses
@@ -117,7 +140,7 @@ func ResumeFrom(t Transport, cp *Checkpoint, opts Options) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	agg, err := shiftex.Restore(cp.Config, cp.Aggregator)
+	agg, err := shiftex.RestoreWithPolicy(cp.Config, pol, cp.Aggregator)
 	if err != nil {
 		return nil, err
 	}
@@ -212,6 +235,8 @@ func (r *Runtime) RunWindow(w int) (*shiftex.WindowReport, error) {
 			NumClasses:    r.opts.NumClasses,
 			NumWindows:    r.opts.Windows,
 			WindowsDone:   w + 1,
+			Policy:        r.agg.PolicyName(),
+			PolicyVersion: adapt.PolicyVersion,
 			Config:        r.opts.Shiftex,
 			Aggregator:    r.agg.ExportState(),
 			Reports:       r.Reports(),

@@ -5,12 +5,12 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/adapt"
 	"repro/internal/cluster"
 	"repro/internal/detect"
 	"repro/internal/facility"
 	"repro/internal/federation"
 	"repro/internal/fl"
-	"repro/internal/flips"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
@@ -134,9 +134,14 @@ type WindowReport struct {
 	Distribution map[int]int
 }
 
-// Aggregator is the ShiftEx coordinator.
+// Aggregator is the ShiftEx coordinator: the driver of the adaptation
+// pipeline. Every adaptation decision is delegated to the stages of its
+// adapt.Policy — detection, calibration, assignment solving, training
+// planning, and consolidation — while the aggregator owns the state those
+// stages act on (expert registry, party assignment, thresholds, RNG).
 type Aggregator struct {
 	cfg        Config
+	policy     *adapt.Policy
 	registry   *Registry
 	assignment map[int]int // party -> expert ID
 	// personalized holds locally fine-tuned parameter overrides for
@@ -156,9 +161,25 @@ type Aggregator struct {
 
 var _ federation.Technique = (*Aggregator)(nil)
 
-// New builds a ShiftEx aggregator.
+// New builds a ShiftEx aggregator running the default adaptation policy
+// (the paper's Algorithm 2).
 func New(cfg Config, seed uint64) (*Aggregator, error) {
+	return NewWithPolicy(cfg, nil, seed)
+}
+
+// NewWithPolicy builds a ShiftEx aggregator running the given adaptation
+// policy; nil resolves to adapt.DefaultPolicy(). The policy must validate
+// (every stage present). The cfg ablation switches still apply on top of
+// any policy: DisableFLIPS forces uniform selection and
+// DisableConsolidation skips the consolidation stage entirely.
+func NewWithPolicy(cfg Config, policy *adapt.Policy, seed uint64) (*Aggregator, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		policy = adapt.DefaultPolicy()
+	}
+	if err := policy.Validate(); err != nil {
 		return nil, err
 	}
 	reg, err := NewRegistry(cfg.MemoryBeta)
@@ -167,6 +188,7 @@ func New(cfg Config, seed uint64) (*Aggregator, error) {
 	}
 	return &Aggregator{
 		cfg:          cfg,
+		policy:       policy,
 		registry:     reg,
 		assignment:   make(map[int]int),
 		personalized: make(map[int]tensor.Vector),
@@ -177,6 +199,10 @@ func New(cfg Config, seed uint64) (*Aggregator, error) {
 
 // Name implements federation.Technique.
 func (a *Aggregator) Name() string { return "shiftex" }
+
+// PolicyName returns the name of the adaptation policy the aggregator
+// runs; it is recorded in service checkpoints and serving snapshots.
+func (a *Aggregator) PolicyName() string { return a.policy.Name }
 
 // Assignments implements federation.Technique.
 func (a *Aggregator) Assignments() map[int]int {
@@ -244,7 +270,24 @@ func (a *Aggregator) Bootstrap(f Fleet) (*WindowReport, error) {
 	return a.bootstrap(f)
 }
 
+// bootstrap wraps runBootstrap with the pipeline's atomicity guarantee:
+// if any stage fails, the aggregator rolls back to its pre-window state
+// (including the RNG position) so the caller can retry or shut down with
+// nothing half-applied. Fleet-side effects (detector observations already
+// consumed) are outside the aggregator and are not rolled back.
 func (a *Aggregator) bootstrap(f Fleet) (*WindowReport, error) {
+	saved := a.ExportState()
+	rep, err := a.runBootstrap(f)
+	if err != nil {
+		if rerr := a.restoreState(saved); rerr != nil {
+			return nil, errors.Join(err, fmt.Errorf("shiftex: rollback after bootstrap failure: %w", rerr))
+		}
+		return nil, err
+	}
+	return rep, nil
+}
+
+func (a *Aggregator) runBootstrap(f Fleet) (*WindowReport, error) {
 	if a.registry.Len() != 0 {
 		return nil, errors.New("shiftex: bootstrap must run on an empty registry")
 	}
@@ -273,9 +316,11 @@ func (a *Aggregator) bootstrap(f Fleet) (*WindowReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bootstrap anchor: %w", err)
 	}
-	if err := a.calibrate(anchor); err != nil {
+	th, eps, err := a.policy.Calibrator.Calibrate(anchor, a.cfg.Calibration, a.cfg.Epsilon, a.rng)
+	if err != nil {
 		return nil, fmt.Errorf("bootstrap calibration: %w", err)
 	}
+	a.thresholds, a.epsilon = th, eps
 	if err := a.updateMemories(anchor); err != nil {
 		return nil, err
 	}
@@ -300,113 +345,30 @@ func (a *Aggregator) observeAll(f Fleet) ([]detect.PartyStats, error) {
 	return f.StatsAll(a.encoder)
 }
 
-// calibrate derives δ_cov, δ_label (bootstrap null distributions, §5) and,
-// when not explicitly configured, ε from window-0 statistics.
-func (a *Aggregator) calibrate(anchor []detect.PartyStats) error {
-	resamples := a.cfg.Calibration.Resamples
-	if resamples <= 0 {
-		resamples = 100
-	}
-	// Covariate threshold: the null statistic must match the per-party
-	// detector — MMD between same-party samples at window sample size —
-	// so resample each party's own embeddings into two halves. Half-size
-	// splits are slightly conservative (smaller samples inflate the
-	// biased MMD), which suppresses false positives.
-	covNulls := make([]float64, 0, resamples)
-	var xs, ys []tensor.Vector // split buffers reused across resamples
-	for i := 0; i < resamples; i++ {
-		st := anchor[a.rng.Intn(len(anchor))]
-		n := len(st.EmbeddingSample)
-		if n < 4 {
-			continue
-		}
-		perm := a.rng.Perm(n)
-		half := n / 2
-		xs, ys = xs[:0], ys[:0]
-		for j := 0; j < half; j++ {
-			xs = append(xs, st.EmbeddingSample[perm[j]])
-			ys = append(ys, st.EmbeddingSample[perm[half+j]])
-		}
-		v, err := stats.MMDAuto(xs, ys)
-		if err != nil {
-			return err
-		}
-		covNulls = append(covNulls, v)
-	}
-	if len(covNulls) == 0 {
-		return errors.New("shiftex: not enough embeddings to calibrate δ_cov")
-	}
-	pv := a.cfg.Calibration.PValue
-	if pv <= 0 {
-		pv = 0.05
-	}
-	deltaCov := stats.Quantile(covNulls, 1-pv)
-	nulls := make([]float64, 0, resamples)
-	for i := 0; i < resamples; i++ {
-		st := anchor[a.rng.Intn(len(anchor))]
-		n := st.NumSamples
-		if n < 4 {
-			n = 4
-		}
-		h1 := resampleHistogram(st.LabelHist, n, a.rng)
-		h2 := resampleHistogram(st.LabelHist, n, a.rng)
-		j, err := stats.JSD(h1, h2)
-		if err != nil {
-			return err
-		}
-		nulls = append(nulls, j)
-	}
-	p := a.cfg.Calibration.PValue
-	if p <= 0 {
-		p = 0.05
-	}
-	a.thresholds = stats.Thresholds{
-		DeltaCov:   deltaCov,
-		DeltaLabel: stats.Quantile(nulls, 1-p),
-	}
-
-	if a.epsilon == 0 {
-		// Auto ε: the within-regime dispersion of party mean embeddings
-		// around their common centroid at window 0 (all parties share one
-		// clean regime), scaled so recurring regimes match their expert's
-		// memory while genuinely new regimes fall outside.
-		if len(anchor) < 2 {
-			return errors.New("shiftex: cannot auto-calibrate epsilon with one party")
-		}
-		means := make([]tensor.Vector, len(anchor))
-		for i, st := range anchor {
-			means[i] = st.MeanEmbedding
-		}
-		centroid, err := tensor.Mean(means)
-		if err != nil {
-			return err
-		}
-		dists := make([]float64, len(means))
-		for i, m := range means {
-			dists[i] = stats.MeanEmbeddingMMD(m, centroid)
-		}
-		// 3× the median distance: robust to the label-mix outliers that
-		// dominate the upper tail with few parties.
-		a.epsilon = 3 * stats.Quantile(dists, 0.5)
-	}
-	return nil
-}
-
-// resampleHistogram draws n labels from h and re-normalizes.
-func resampleHistogram(h stats.Histogram, n int, rng *tensor.RNG) stats.Histogram {
-	labels := make([]int, n)
-	for i := range labels {
-		labels[i] = rng.Categorical(tensor.Vector(h))
-	}
-	return stats.NewHistogram(labels, len(h))
-}
-
-// AdaptWindow runs Algorithm 2 for one post-bootstrap window and returns
-// the full report. The federation must already be positioned at window w.
+// AdaptWindow runs the adaptation pipeline for one post-bootstrap window
+// and returns the full report. The federation must already be positioned
+// at window w. If any stage fails mid-window, the aggregator rolls back to
+// its pre-window state (registry, assignments, personalization, RNG — see
+// restoreState), so a failed window leaves nothing half-applied and the
+// caller can retry or resume from the last checkpoint.
 func (a *Aggregator) AdaptWindow(f Fleet, w int) (*WindowReport, error) {
 	if a.registry.Len() == 0 {
 		return nil, ErrNoExperts
 	}
+	saved := a.ExportState()
+	rep, err := a.runAdaptWindow(f, w)
+	if err != nil {
+		if rerr := a.restoreState(saved); rerr != nil {
+			return nil, errors.Join(err, fmt.Errorf("shiftex: rollback after window %d failure: %w", w, rerr))
+		}
+		return nil, err
+	}
+	return rep, nil
+}
+
+// runAdaptWindow is Algorithm 2 for one window, expressed over the
+// policy's stages.
+func (a *Aggregator) runAdaptWindow(f Fleet, w int) (*WindowReport, error) {
 	rep := &WindowReport{Window: w, ExpertsBefore: a.registry.Len()}
 
 	// Lines 4-7: receive statistics, detect shifted parties.
@@ -418,8 +380,7 @@ func (a *Aggregator) AdaptWindow(f Fleet, w int) (*WindowReport, error) {
 	var shifted []int
 	for _, st := range allStats {
 		statByParty[st.PartyID] = st
-		cov := st.MMD > a.thresholds.DeltaCov
-		lab := st.JSD > a.thresholds.DeltaLabel
+		cov, lab := a.policy.Detector.Detect(st, a.thresholds)
 		if cov {
 			rep.ShiftedCov++
 		}
@@ -553,7 +514,7 @@ func (a *Aggregator) reassign(f Fleet, shifted []int, statByParty map[int]detect
 			CapacityMax: a.cfg.CapacityMax,
 			Epsilon:     a.epsilon,
 		}
-		sol, err := facility.SolveGreedy(inst)
+		sol, err := a.policy.Solver.Solve(inst)
 		if err != nil {
 			return fmt.Errorf("facility assignment: %w", err)
 		}
@@ -620,31 +581,22 @@ func (a *Aggregator) cohorts(f Fleet) map[int][]int {
 
 // trainExperts runs `rounds` federated rounds for every expert with a
 // non-empty cohort, recording the global assignment accuracy after each
-// round. Participant selection uses FLIPS label clustering unless disabled.
+// round. Participant selection comes from the policy's TrainingPlanner
+// (FLIPS label clustering by default; cfg.DisableFLIPS forces uniform).
 func (a *Aggregator) trainExperts(f Fleet, cohorts map[int][]int, rounds int) ([]float64, error) {
 	hists := f.PartyHists()
 
-	// Build a FLIPS selector per expert cohort. Cohorts are visited in
-	// sorted order because flips.New draws from the aggregator RNG: map
-	// order would consume the stream differently on every run and break
-	// the experiment grid's bit-reproducibility contract.
-	selectors := make(map[int]*flips.Selector)
-	if !a.cfg.DisableFLIPS {
-		for _, id := range SortedKeys(cohorts) {
-			members := cohorts[id]
-			if len(members) < 2 {
-				continue
-			}
-			hs := make([]stats.Histogram, len(members))
-			for i, p := range members {
-				hs[i] = hists[p]
-			}
-			sel, err := flips.New(members, hs, 0, a.rng)
-			if err != nil {
-				return nil, fmt.Errorf("flips for expert %d: %w", id, err)
-			}
-			selectors[id] = sel
-		}
+	// The planner builds any per-cohort selection state (e.g. FLIPS
+	// selectors) up front; everything it draws comes from the aggregator
+	// RNG, in deterministic cohort order, so planning is part of the
+	// bit-reproducible stream.
+	planner := a.policy.Planner
+	if a.cfg.DisableFLIPS {
+		planner = adapt.UniformPlanner{}
+	}
+	selector, err := planner.Plan(cohorts, hists, a.rng)
+	if err != nil {
+		return nil, err
 	}
 
 	trace := make([]float64, 0, rounds)
@@ -658,19 +610,9 @@ func (a *Aggregator) trainExperts(f Fleet, cohorts map[int][]int, rounds int) ([
 			if !ok {
 				continue
 			}
-			var selected []int
-			var err error
-			if sel, hasSel := selectors[id]; hasSel {
-				selected, err = sel.Select(min(a.cfg.ParticipantsPerRound, len(members)), a.rng)
-				if err != nil {
-					return nil, err
-				}
-			} else {
-				idx := a.rng.Sample(len(members), min(a.cfg.ParticipantsPerRound, len(members)))
-				selected = make([]int, len(idx))
-				for i, j := range idx {
-					selected[i] = members[j]
-				}
+			selected, err := selector.Select(id, members, a.cfg.ParticipantsPerRound, a.rng)
+			if err != nil {
+				return nil, err
 			}
 			cfg := a.cfg.Train
 			cfg.Seed = a.rng.Uint64()
@@ -721,11 +663,11 @@ func (a *Aggregator) updateMemories(anchor []detect.PartyStats) error {
 	return nil
 }
 
-// consolidate merges near-duplicate experts and rewires assignments,
-// returning the number of merges.
+// consolidate runs the policy's expert-lifecycle stage and rewires
+// assignments, returning the number of merges.
 func (a *Aggregator) consolidate(f Fleet) (int, error) {
 	sizes := Snapshot(a.assignment)
-	remap, err := a.registry.Consolidate(f.Arch(), a.cfg.Tau, a.epsilon, sizes)
+	remap, err := a.policy.Consolidator.Consolidate(a.registry, f.Arch(), a.cfg.Tau, a.epsilon, sizes)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,296 @@
+package shiftex
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/detect"
+	"repro/internal/facility"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Failure injection for the adaptation pipeline: a stage returning an
+// error mid-window must leave the aggregator state fully restorable — no
+// half-applied registry/assignment/RNG mutations — so the caller can retry
+// the window or resume from the last checkpoint.
+
+var errStageBoom = errors.New("injected stage failure")
+
+// countdownPlanner delegates to the default planner for okCalls windows,
+// then fails once before recovering.
+type countdownPlanner struct {
+	okCalls int
+	calls   int
+}
+
+func (p *countdownPlanner) Plan(cohorts map[int][]int, hists []stats.Histogram, rng *tensor.RNG) (adapt.ParticipantSelector, error) {
+	p.calls++
+	if p.calls == p.okCalls+1 {
+		return nil, errStageBoom
+	}
+	return adapt.FLIPSPlanner{}.Plan(cohorts, hists, rng)
+}
+
+// failingConsolidator fails on its first use (consolidation runs at the
+// very end of a window, after training and memory updates — the deepest
+// point a stage can fail at).
+type failingConsolidator struct {
+	calls int
+}
+
+func (c *failingConsolidator) Consolidate(pool adapt.ExpertPool, arch []int, tau, epsilon float64, sizes map[int]int) (map[int]int, error) {
+	c.calls++
+	if c.calls == 1 {
+		return nil, errStageBoom
+	}
+	return adapt.SimilarityConsolidator{}.Consolidate(pool, arch, tau, epsilon, sizes)
+}
+
+// countdownCalibrator fails the first bootstrap calibration, then recovers.
+type countdownCalibrator struct {
+	calls int
+}
+
+func (c *countdownCalibrator) Calibrate(anchor []detect.PartyStats, cfg stats.CalibrateConfig, epsilon float64, rng *tensor.RNG) (stats.Thresholds, float64, error) {
+	c.calls++
+	if c.calls == 1 {
+		return stats.Thresholds{}, 0, errStageBoom
+	}
+	return adapt.BootstrapCalibrator{}.Calibrate(anchor, cfg, epsilon, rng)
+}
+
+// failingSolver always fails: it proves an error in the middle of
+// reassign (after clustering, before any materialization) rolls back too.
+type failingSolver struct{}
+
+func (failingSolver) Solve(*facility.Instance) (*facility.Assignment, error) {
+	return nil, errStageBoom
+}
+
+func testPolicy(t *testing.T, mutate func(*adapt.Policy)) *adapt.Policy {
+	t.Helper()
+	p, err := adapt.NewPolicy("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Name = "test-injected"
+	mutate(p)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlannerErrorRollsBackWindow(t *testing.T) {
+	_, fed := smallScenario(t, 500)
+	planner := &countdownPlanner{okCalls: 1} // bootstrap plans fine, window 1 fails
+	agg, err := NewWithPolicy(quickConfig(), testPolicy(t, func(p *adapt.Policy) { p.Planner = planner }), 501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Bootstrap(fed); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.SetWindow(1); err != nil {
+		t.Fatal(err)
+	}
+
+	before := agg.ExportState()
+	if _, err := agg.AdaptWindow(fed, 1); !errors.Is(err, errStageBoom) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	after := agg.ExportState()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("planner failure left half-applied state:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+
+	// The window is retryable: the planner recovered, and the rolled-back
+	// RNG means the aggregator decides from exactly where it stood.
+	rep, err := agg.AdaptWindow(fed, 1)
+	if err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatal("retried window trained nothing")
+	}
+}
+
+func TestConsolidatorErrorRollsBackWindow(t *testing.T) {
+	_, fed := smallScenario(t, 510)
+	cons := &failingConsolidator{}
+	agg, err := NewWithPolicy(quickConfig(), testPolicy(t, func(p *adapt.Policy) { p.Consolidator = cons }), 511)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Bootstrap(fed); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.SetWindow(1); err != nil {
+		t.Fatal(err)
+	}
+
+	before := agg.ExportState()
+	if _, err := agg.AdaptWindow(fed, 1); !errors.Is(err, errStageBoom) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	if cons.calls != 1 {
+		t.Fatalf("consolidator ran %d times, want 1", cons.calls)
+	}
+	// Consolidation fails at the END of the window — training, assignment
+	// changes, and memory updates all happened — yet every mutation must be
+	// rolled back, including the RNG position.
+	after := agg.ExportState()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("consolidator failure left half-applied state (training/assignment mutations survived rollback)")
+	}
+
+	rep, err := agg.AdaptWindow(fed, 1)
+	if err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	if rep.ExpertsAfter == 0 {
+		t.Fatal("retried window lost the expert pool")
+	}
+}
+
+func TestSolverErrorRollsBackWindow(t *testing.T) {
+	// Drive windows until the solver is actually invoked (it only runs
+	// when shifted clusters reach gamma); every invocation must fail the
+	// window atomically.
+	_, fed := smallScenario(t, 520)
+	agg, err := NewWithPolicy(quickConfig(), testPolicy(t, func(p *adapt.Policy) { p.Solver = failingSolver{} }), 521)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Bootstrap(fed); err != nil {
+		t.Fatal(err)
+	}
+	solverHit := false
+	for w := 1; w <= 2; w++ {
+		if err := fed.SetWindow(w); err != nil {
+			t.Fatal(err)
+		}
+		before := agg.ExportState()
+		_, err := agg.AdaptWindow(fed, w)
+		if err == nil {
+			continue // no cluster reached the solver this window
+		}
+		if !errors.Is(err, errStageBoom) {
+			t.Fatalf("window %d: want injected failure, got %v", w, err)
+		}
+		solverHit = true
+		after := agg.ExportState()
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("window %d: solver failure left half-applied state", w)
+		}
+		break
+	}
+	if !solverHit {
+		t.Skip("scenario produced no federated cluster; solver never ran")
+	}
+}
+
+func TestCalibratorErrorKeepsBootstrapRetryable(t *testing.T) {
+	_, fed := smallScenario(t, 530)
+	agg, err := NewWithPolicy(quickConfig(), testPolicy(t, func(p *adapt.Policy) { p.Calibrator = &countdownCalibrator{} }), 531)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := agg.ExportState()
+	if _, err := agg.Bootstrap(fed); !errors.Is(err, errStageBoom) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	after := agg.ExportState()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("bootstrap failure left half-applied state")
+	}
+	if agg.Registry().Len() != 0 {
+		t.Fatal("failed bootstrap left experts behind")
+	}
+
+	// Bootstrap is retryable on the rolled-back aggregator.
+	rep, err := agg.Bootstrap(fed)
+	if err != nil {
+		t.Fatalf("bootstrap retry: %v", err)
+	}
+	if agg.Thresholds().DeltaCov <= 0 {
+		t.Fatal("retry did not calibrate thresholds")
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatal("retry trained nothing")
+	}
+}
+
+// TestDefaultPolicyMatchesLegacyConstructor pins the refactor's core
+// contract at the unit level (the committed BENCH artifacts pin it at grid
+// level): New and NewWithPolicy(default) drive bit-identical streams.
+func TestDefaultPolicyMatchesLegacyConstructor(t *testing.T) {
+	run := func(build func() (*Aggregator, error)) State {
+		t.Helper()
+		_, fed := smallScenario(t, 540)
+		agg, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := agg.Bootstrap(fed); err != nil {
+			t.Fatal(err)
+		}
+		for w := 1; w <= 2; w++ {
+			if err := fed.SetWindow(w); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := agg.AdaptWindow(fed, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return agg.ExportState()
+	}
+	legacy := run(func() (*Aggregator, error) { return New(quickConfig(), 541) })
+	policied := run(func() (*Aggregator, error) { return NewWithPolicy(quickConfig(), adapt.DefaultPolicy(), 541) })
+	if !reflect.DeepEqual(legacy, policied) {
+		t.Fatal("default policy diverges from the legacy constructor")
+	}
+}
+
+// TestPolicyVariantsCompleteStream: every registered policy drives the
+// full pipeline to completion, and its stage swap is observable where it
+// should be (no-consolidate never merges).
+func TestPolicyVariantsCompleteStream(t *testing.T) {
+	for _, name := range adapt.PolicyNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			_, fed := smallScenario(t, 550)
+			pol, err := adapt.NewPolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg, err := NewWithPolicy(quickConfig(), pol, 551)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := agg.PolicyName(); got != name {
+				t.Fatalf("PolicyName() = %q, want %q", got, name)
+			}
+			if _, err := agg.Bootstrap(fed); err != nil {
+				t.Fatal(err)
+			}
+			merged := 0
+			for w := 1; w <= 2; w++ {
+				if err := fed.SetWindow(w); err != nil {
+					t.Fatal(err)
+				}
+				rep, err := agg.AdaptWindow(fed, w)
+				if err != nil {
+					t.Fatalf("window %d: %v", w, err)
+				}
+				merged += rep.Merged
+			}
+			if name == "no-consolidate" && merged != 0 {
+				t.Fatalf("no-consolidate policy merged %d experts", merged)
+			}
+		})
+	}
+}

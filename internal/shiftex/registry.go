@@ -13,8 +13,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/adapt"
 	"repro/internal/nn"
-	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
@@ -138,67 +138,54 @@ func (r *Registry) Remove(id int) {
 	delete(r.experts, id)
 }
 
-// Consolidate merges every pair of experts whose parameter cosine
-// similarity exceeds tau AND whose latent-memory signatures agree within
-// epsilon (§5.2.5: consolidation eliminates models "that specialize in
-// nearly identical covariate regimes" — parameter similarity alone is not
-// sufficient, because an expert freshly warm-started from another remains
-// parameter-similar even while serving a different regime). epsilon <= 0
-// disables the memory guard. Merges are weighted by cohortSize. It returns
-// a remap from old expert ID to surviving expert ID for every removed
-// expert. arch is needed to interpret the parameter vectors.
-func (r *Registry) Consolidate(arch []int, tau, epsilon float64, cohortSize map[int]int) (map[int]int, error) {
-	if tau <= 0 || tau > 1 {
-		return nil, fmt.Errorf("shiftex: tau must be in (0,1], got %g", tau)
+// Params returns an expert's parameter vector (shared storage), satisfying
+// adapt.ExpertPool.
+func (r *Registry) Params(id int) (tensor.Vector, bool) {
+	e, ok := r.experts[id]
+	if !ok {
+		return nil, false
 	}
-	sameRegime := func(a, b *Expert) bool {
-		if epsilon <= 0 || a.Memory == nil || b.Memory == nil {
-			return true
-		}
-		return stats.MeanEmbeddingMMD(a.Memory, b.Memory) <= epsilon
-	}
-	remap := make(map[int]int)
-	for {
-		ids := r.IDs()
-		merged := false
-		for i := 0; i < len(ids) && !merged; i++ {
-			for j := i + 1; j < len(ids) && !merged; j++ {
-				a, b := r.experts[ids[i]], r.experts[ids[j]]
-				sim := tensor.CosineSimilarity(a.Params, b.Params)
-				if sim <= tau || !sameRegime(a, b) {
-					continue
-				}
-				if err := r.merge(arch, a, b, cohortSize); err != nil {
-					return nil, err
-				}
-				remap[b.ID] = a.ID
-				merged = true
-			}
-		}
-		if !merged {
-			break
-		}
-	}
-	// Collapse transitive remaps (c→b→a becomes c→a).
-	for from, to := range remap {
-		for {
-			next, ok := remap[to]
-			if !ok {
-				break
-			}
-			to = next
-		}
-		remap[from] = to
-	}
-	return remap, nil
+	return e.Params, true
 }
 
-// merge folds expert b into expert a (weighted parameter average plus
-// latent-memory average) and removes b. The average is computed directly on
-// the flattened parameter vectors — no model reconstruction — with the same
-// accumulation order as nn.MergeModels, so merged values are bit-identical
-// to the model-round-trip path this replaced.
-func (r *Registry) merge(arch []int, a, b *Expert, cohortSize map[int]int) error {
+// Signature returns an expert's latent-memory signature (nil when absent
+// or unknown), satisfying adapt.ExpertPool.
+func (r *Registry) Signature(id int) tensor.Vector {
+	e, ok := r.experts[id]
+	if !ok {
+		return nil
+	}
+	return e.Memory
+}
+
+// Consolidate merges near-duplicate experts under the default lifecycle
+// rule (adapt.SimilarityConsolidator): parameter cosine similarity above
+// tau AND latent-memory agreement within epsilon (epsilon <= 0 disables
+// the memory guard). Merges are weighted by cohortSize. It returns a remap
+// from old expert ID to surviving expert ID for every removed expert. arch
+// is needed to interpret the parameter vectors. The aggregator goes
+// through its policy's Consolidator stage instead; this method remains the
+// direct registry-level entry point.
+func (r *Registry) Consolidate(arch []int, tau, epsilon float64, cohortSize map[int]int) (map[int]int, error) {
+	return adapt.SimilarityConsolidator{}.Consolidate(r, arch, tau, epsilon, cohortSize)
+}
+
+// Merge folds expert drop into expert keep (weighted parameter average
+// plus latent-memory average) and removes drop, satisfying
+// adapt.ExpertPool. Weights come from cohortSize (minimum 1 each). The
+// average is computed directly on the flattened parameter vectors — no
+// model reconstruction — with the same accumulation order as
+// nn.MergeModels, so merged values are bit-identical to the
+// model-round-trip path this replaced.
+func (r *Registry) Merge(arch []int, keep, drop int, cohortSize map[int]int) error {
+	a, ok := r.experts[keep]
+	if !ok {
+		return fmt.Errorf("shiftex: merge into unknown expert %d", keep)
+	}
+	b, ok := r.experts[drop]
+	if !ok {
+		return fmt.Errorf("shiftex: merge of unknown expert %d", drop)
+	}
 	wa := float64(cohortSize[a.ID])
 	wb := float64(cohortSize[b.ID])
 	if wa <= 0 {
@@ -228,6 +215,8 @@ func (r *Registry) merge(arch []int, a, b *Expert, cohortSize map[int]int) error
 	r.Remove(b.ID)
 	return nil
 }
+
+var _ adapt.ExpertPool = (*Registry)(nil)
 
 // Snapshot returns expert IDs sorted ascending with their cohort sizes —
 // the per-window expert-distribution data behind Figures 7 and 8.

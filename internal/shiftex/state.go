@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/adapt"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
@@ -67,10 +68,19 @@ func (a *Aggregator) ExportState() State {
 	return st
 }
 
-// Restore rebuilds an aggregator from a snapshot taken by ExportState. The
-// config must be the one the snapshotted aggregator ran with (the snapshot
-// carries state, not protocol).
+// Restore rebuilds an aggregator from a snapshot taken by ExportState,
+// running the default adaptation policy. The config must be the one the
+// snapshotted aggregator ran with (the snapshot carries state, not
+// protocol).
 func Restore(cfg Config, st State) (*Aggregator, error) {
+	return RestoreWithPolicy(cfg, nil, st)
+}
+
+// RestoreWithPolicy is Restore under an explicit adaptation policy (nil =
+// default). The policy, like the config, is protocol: it must be the one
+// the snapshotted aggregator ran with for the resumed stream to be
+// bit-identical (checkpoints record the policy name for exactly this).
+func RestoreWithPolicy(cfg Config, policy *adapt.Policy, st State) (*Aggregator, error) {
 	// A live xoshiro256** state is never all-zero (that is the excluded
 	// fixed point), so a zero RNG always means a corrupt or hand-edited
 	// snapshot; substituting a fresh stream would silently break the
@@ -78,7 +88,7 @@ func Restore(cfg Config, st State) (*Aggregator, error) {
 	if st.RNG.S == [4]uint64{} {
 		return nil, errors.New("shiftex: snapshot has a zero RNG state (corrupt or incomplete)")
 	}
-	a, err := New(cfg, 0)
+	a, err := NewWithPolicy(cfg, policy, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -118,4 +128,26 @@ func Restore(cfg Config, st State) (*Aggregator, error) {
 	}
 	a.rng = tensor.RestoreRNG(st.RNG)
 	return a, nil
+}
+
+// restoreState rewinds the aggregator in place to a snapshot previously
+// taken with ExportState — the rollback path when a pipeline stage fails
+// mid-window. The snapshot came from this aggregator, so the rebuild
+// cannot fail for any state ExportState produces; an error here means the
+// snapshot was mutated in between and is surfaced rather than applied
+// half-way (the rebuild happens on a scratch aggregator first).
+func (a *Aggregator) restoreState(st State) error {
+	b, err := RestoreWithPolicy(a.cfg, a.policy, st)
+	if err != nil {
+		return err
+	}
+	a.registry = b.registry
+	a.assignment = b.assignment
+	a.personalized = b.personalized
+	a.thresholds = b.thresholds
+	a.epsilon = b.epsilon
+	a.bootParams = b.bootParams
+	a.encoder = b.encoder
+	a.rng = b.rng
+	return nil
 }

@@ -13,6 +13,10 @@ HTTP_ADDR="127.0.0.1:18431"
 SEED=42
 WINDOWS=4
 NPARTIES=2
+# The adaptation policy is threaded through the aggregator flags so the
+# smoke exercises the policy registry end to end (POLICY=cov-detect etc.
+# work too; default keeps the quorum timings this script was tuned on).
+POLICY="${POLICY:-default}"
 # Sized so each window takes a few seconds: the party kill below must land
 # while windows are still running for the quorum assertion to mean anything.
 SAMPLES=240
@@ -53,6 +57,7 @@ echo "== starting aggregator"
     -windows "$WINDOWS" -rounds "$ROUNDS" -epochs "$EPOCHS" -participants 4 \
     -samples "$SAMPLES" -test 40 \
     -seed "$SEED" -quorum 0.5 -retries 0 -timeout 30s \
+    -policy "$POLICY" \
     -http "$HTTP_ADDR" -checkpoint "$WORKDIR/shiftex.ckpt.json" \
     >"$LOG/agg.log" 2>&1 &
 AGG_PID=$!
@@ -79,6 +84,10 @@ for _ in $(seq 1 600); do
     sleep 0.1
 done
 grep -q "window 1 done" "$LOG/agg.log" || fail "window 1 never completed"
+
+# The -policy flag must have reached the aggregator's policy registry.
+grep -q "adaptation policy: $POLICY" "$LOG/agg.log" || fail "aggregator did not report policy $POLICY"
+grep -q "\"policy\": \"$POLICY\"" <(curl -fsS "http://$HTTP_ADDR/state") || fail "/state does not report policy $POLICY"
 
 # Rounds are observable over HTTP while the run is live.
 curl -fsS "http://$HTTP_ADDR/metrics" >"$WORKDIR/metrics.txt" || fail "/metrics unreachable mid-run"
