@@ -219,7 +219,7 @@ func run(args []string) error {
 			}
 		}()
 		defer srv.Close()
-		fmt.Printf("observability on http://%s (/healthz /state /metrics)\n", *httpAddr)
+		fmt.Printf("observability on http://%s (/v1/healthz /v1/state /v1/metrics; unversioned aliases deprecated)\n", *httpAddr)
 	}
 
 	// SIGTERM (the signal process managers send) drains like SIGINT: the

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -31,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,13 +51,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("shiftex-serve", flag.ContinueOnError)
 	checkpoint := fs.String("checkpoint", "", "aggregator checkpoint to serve (required; written by shiftex-aggregator -checkpoint)")
-	httpAddr := fs.String("http", "127.0.0.1:8090", "serve /predict, /snapshot, /healthz, /metrics on this address")
+	httpAddr := fs.String("http", "127.0.0.1:8090", "serve the /v1 API (plus deprecated unversioned aliases) on this address")
+	model := fs.String("model", "", "model name this replica serves under (default \"default\"; must match the gateway registry entry)")
+	gatewayURL := fs.String("gateway", "", "self-register with this shiftex-gateway base URL at startup (POST /v1/replicas)")
+	advertise := fs.String("advertise", "", "address to register at the gateway (default: the -http address)")
 	workers := fs.Int("workers", 0, "prediction workers (0 = one per core)")
 	maxBatch := fs.Int("max-batch", 32, "flush an expert's queue at this many requests")
 	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "flush an expert's queue when its oldest request has waited this long")
 	queueDepth := fs.Int("queue", 4096, "admission bound; requests beyond it are rejected with 503")
 	cacheSize := fs.Int("cache", 4096, "LRU route-cache entries (negative = disable)")
-	epsScale := fs.Float64("route-eps-scale", 4, "widen the latent-memory match radius to this multiple of the calibrated ε (single-request embeddings are noisier than the window means ε was calibrated on; negative = use ε unscaled)")
+	epsScale := fs.Float64("route-eps-scale", 4, "set the EFFECTIVE match radius to calibrated ε × this scale (single-request embeddings are noisier than the window means ε was calibrated on; negative = use ε unscaled; the resulting radius is visible as routeEpsilon on /v1/snapshot and as shiftex_serve_route_epsilon / shiftex_serve_expert_route_epsilon on /v1/metrics)")
 	metricsOut := fs.String("metrics-out", "", "write the final serving-metrics snapshot to this JSON file on shutdown")
 
 	loadgen := fs.Bool("loadgen", false, "load-generation mode: replay the checkpoint's scenario against an in-process server and write BENCH_serving.json")
@@ -93,6 +98,7 @@ func run(args []string) error {
 		MaxDelay:   *maxDelay,
 		QueueDepth: *queueDepth,
 		CacheSize:  *cacheSize,
+		Model:      *model,
 
 		RouteEpsilonScale: *epsScale,
 	}
@@ -100,8 +106,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %d experts (snapshot v%d, %d windows trained, ε=%.4g) from %s\n",
-		snap.NumExperts(), snap.Version, cp.WindowsDone, snap.Epsilon, *checkpoint)
+	// Both radii are printed: ε is what training calibrated, the effective
+	// radius is what routing actually compares against. The old line only
+	// showed ε, which made -route-eps-scale invisible at startup.
+	fmt.Printf("serving model %q: %d experts (snapshot v%d, %d windows trained, ε=%.4g, effective route ε=%.4g) from %s\n",
+		srv.Model(), snap.NumExperts(), snap.Version, cp.WindowsDone,
+		snap.Epsilon, srv.Snapshot().RouteEpsilon(), *checkpoint)
 
 	if *loadgen {
 		return runLoadgen(srv, cp, cfg, serve.LoadConfig{
@@ -122,7 +132,17 @@ func run(args []string) error {
 			httpErr <- err
 		}
 	}()
-	fmt.Printf("listening on http://%s (/predict /snapshot /healthz /metrics)\n", *httpAddr)
+	fmt.Printf("listening on http://%s (/v1/predict /v1/snapshot /v1/models/{name} /v1/state /v1/healthz /v1/metrics + deprecated unversioned aliases)\n", *httpAddr)
+
+	if *gatewayURL != "" {
+		regAddr := *advertise
+		if regAddr == "" {
+			regAddr = *httpAddr
+		}
+		// Registration is best-effort in the background: the gateway may
+		// still be starting, and its health prober re-admits us anyway.
+		go registerWithGateway(*gatewayURL, srv.Model(), regAddr)
+	}
 
 	// SIGHUP reloads the checkpoint in place; SIGINT/SIGTERM drain and exit.
 	hup := make(chan os.Signal, 1)
@@ -160,6 +180,26 @@ func run(args []string) error {
 			return err
 		}
 	}
+}
+
+// registerWithGateway announces this replica to a shiftex-gateway,
+// retrying briefly so "start everything at once" deployments converge.
+func registerWithGateway(gatewayURL, model, addr string) {
+	body, _ := json.Marshal(map[string]string{"model": model, "addr": addr})
+	client := &http.Client{Timeout: 2 * time.Second}
+	for attempt := 0; attempt < 10; attempt++ {
+		res, err := client.Post(strings.TrimRight(gatewayURL, "/")+"/v1/replicas",
+			"application/json", bytes.NewReader(body))
+		if err == nil {
+			res.Body.Close()
+			if res.StatusCode == http.StatusOK || res.StatusCode == http.StatusAccepted {
+				fmt.Printf("registered with gateway %s as model %q replica %s\n", gatewayURL, model, addr)
+				return
+			}
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "shiftex-serve: could not register with gateway %s (gave up after 10 attempts)\n", gatewayURL)
 }
 
 // checkArtifact validates a serving artifact and prints its headline

@@ -37,6 +37,18 @@
 // scenario against the server and records throughput, latency quantiles,
 // and per-regime routing accuracy as the committed BENCH_serving.json.
 //
+// internal/gateway scales that to a fleet: cmd/shiftex-gateway fronts many
+// named models, each served by multiple shiftex-serve replicas, routing
+// requests with consistent-hash affinity, health-probed failover, and a
+// middleware chain (auth, per-tenant rate limiting, admission control,
+// logging) selected by name from config per route group. Every daemon
+// speaks the same versioned /v1 HTTP surface defined in internal/httpapi
+// — one predict/state/metrics schema across aggregator, serve, and
+// gateway, with deprecated unversioned aliases. The gateway's
+// multi-process load generator SIGKILLs a replica mid-load and records
+// the run as the committed BENCH_gateway.json (zero dropped requests,
+// full affinity retention for surviving replicas).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record, the cross-process parity contract, and the
 // checkpoint schema. The benchmarks in bench_test.go regenerate each

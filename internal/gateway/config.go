@@ -1,0 +1,150 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Config is the gateway's startup configuration, loadable from JSON
+// (LoadConfigFile). The middleware chains are selected here BY NAME from
+// the availableMiddlewares table — the same convention the adaptation
+// policy registry uses — so a deployment turns auth or load-shedding on
+// per route group without recompiling, and a typo fails startup with the
+// live name listing rather than silently serving unprotected.
+type Config struct {
+	// Listen is the gateway's bind address (cmd-level concern, carried
+	// here so one JSON file describes the deployment).
+	Listen string `json:"listen,omitempty"`
+
+	// Models maps model name → static serve-replica addresses
+	// ("host:port"). Replicas may also join at runtime via
+	// POST /v1/replicas. Empty is valid when every replica registers.
+	Models map[string][]string `json:"models,omitempty"`
+
+	// Middlewares selects, per route group, the named middlewares to run
+	// in order. Route groups: "predict" (the hot path) and "admin"
+	// (snapshot swap + replica registration). Unknown names fail startup.
+	// Nil selects DefaultChains; an explicit empty list disables the
+	// group's chain.
+	Middlewares map[string][]string `json:"middlewares,omitempty"`
+
+	// AuthTokens are the bearer tokens the "auth" middleware accepts.
+	// With no tokens configured the auth middleware rejects everything —
+	// turning auth on without credentials is a config error made visible
+	// at request time, not an open door.
+	AuthTokens []string `json:"authTokens,omitempty"`
+
+	// RatePerSecond and RateBurst parameterize the per-tenant token
+	// bucket of the "ratelimit" middleware. Zero RatePerSecond means 100.
+	// Zero RateBurst means 2×RatePerSecond.
+	RatePerSecond float64 `json:"ratePerSecond,omitempty"`
+	RateBurst     float64 `json:"rateBurst,omitempty"`
+
+	// MaxInflight bounds concurrently admitted requests for the
+	// "admission" middleware; excess load is shed with 503 + Retry-After.
+	// Zero means 256.
+	MaxInflight int `json:"maxInflight,omitempty"`
+
+	// ProbeEveryMs is the replica health-probe period; 0 means 500ms.
+	ProbeEveryMs int `json:"probeEveryMs,omitempty"`
+
+	// EvictAfter is the consecutive-failure count that evicts a replica
+	// from its ring (health probes keep running; a succeeding probe
+	// re-admits it). 0 means 2.
+	EvictAfter int `json:"evictAfter,omitempty"`
+
+	// Vnodes is the per-replica virtual-node count; 0 means DefaultVnodes.
+	Vnodes int `json:"vnodes,omitempty"`
+
+	// SessionCache is the per-gateway session-cache capacity in entries;
+	// 0 means 4096, negative disables the cache.
+	SessionCache int `json:"sessionCache,omitempty"`
+
+	// Fanout bounds replica calls: per-call timeout, failover retries,
+	// and the quorum for snapshot broadcasts.
+	Fanout FanoutJSON `json:"fanout,omitempty"`
+}
+
+// FanoutJSON is service.FanoutConfig with wire-friendly fields (JSON has
+// no duration type; milliseconds are unambiguous).
+type FanoutJSON struct {
+	Workers   int     `json:"workers,omitempty"`
+	TimeoutMs int     `json:"timeoutMs,omitempty"`
+	Retries   int     `json:"retries,omitempty"`
+	Quorum    float64 `json:"quorum,omitempty"`
+}
+
+func (f FanoutJSON) toService() service.FanoutConfig {
+	fan := service.FanoutConfig{
+		Workers: f.Workers,
+		Timeout: time.Duration(f.TimeoutMs) * time.Millisecond,
+		Retries: f.Retries,
+		Quorum:  f.Quorum,
+	}
+	if fan.Timeout == 0 {
+		fan.Timeout = 2 * time.Second
+	}
+	return fan
+}
+
+// Route groups a middleware chain can be attached to.
+const (
+	RoutePredict = "predict"
+	RouteAdmin   = "admin"
+)
+
+// DefaultChains is the middleware selection used when Config.Middlewares
+// is nil: log everything, shed overload on the hot path, keep admin
+// surface open (deployments add "auth" in config).
+func DefaultChains() map[string][]string {
+	return map[string][]string{
+		RoutePredict: {"logging", "admission"},
+		RouteAdmin:   {"logging"},
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Middlewares == nil {
+		c.Middlewares = DefaultChains()
+	}
+	if c.RatePerSecond <= 0 {
+		c.RatePerSecond = 100
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = 2 * c.RatePerSecond
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.ProbeEveryMs <= 0 {
+		c.ProbeEveryMs = 500
+	}
+	if c.EvictAfter <= 0 {
+		c.EvictAfter = 2
+	}
+	if c.SessionCache == 0 {
+		c.SessionCache = 4096
+	}
+	return c
+}
+
+// LoadConfigFile reads a Config from a JSON file, rejecting unknown keys
+// so a misspelled middleware table cannot silently select the defaults.
+func LoadConfigFile(path string) (Config, error) {
+	var c Config
+	f, err := os.Open(path)
+	if err != nil {
+		return c, fmt.Errorf("gateway: config: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return c, fmt.Errorf("gateway: config %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,259 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/httpapi"
+)
+
+func newTestGateway(t *testing.T, cfg Config) *Gateway {
+	t.Helper()
+	g, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+// TestMiddlewareOrdering pins that chains run in config order, outermost
+// first, by registering two tracer middlewares and watching the
+// before/after interleaving.
+func TestMiddlewareOrdering(t *testing.T) {
+	var mu sync.Mutex
+	var trace []string
+	tracer := func(name string) func(*Gateway) Middleware {
+		return func(*Gateway) Middleware {
+			return func(next http.Handler) http.Handler {
+				return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					mu.Lock()
+					trace = append(trace, name+":before")
+					mu.Unlock()
+					next.ServeHTTP(w, r)
+					mu.Lock()
+					trace = append(trace, name+":after")
+					mu.Unlock()
+				})
+			}
+		}
+	}
+	availableMiddlewares["test-outer"] = tracer("outer")
+	availableMiddlewares["test-inner"] = tracer("inner")
+	defer delete(availableMiddlewares, "test-outer")
+	defer delete(availableMiddlewares, "test-inner")
+
+	g := newTestGateway(t, Config{
+		Middlewares: map[string][]string{RoutePredict: {"test-outer", "test-inner"}},
+	})
+	chain, err := buildChain(g, []string{"test-outer", "test-inner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		trace = append(trace, "handler")
+		mu.Unlock()
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/v1/predict", nil))
+
+	want := []string{"outer:before", "inner:before", "handler", "inner:after", "outer:after"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+// TestMiddlewareUnknownNameFailsStartup pins the registry convention: a
+// misspelled middleware is a startup error that names the live set.
+func TestMiddlewareUnknownNameFailsStartup(t *testing.T) {
+	_, err := New(Config{
+		Middlewares: map[string][]string{RoutePredict: {"logging", "authz"}},
+	}, nil)
+	if err == nil {
+		t.Fatal("unknown middleware name must fail startup")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown middleware "authz"`) {
+		t.Errorf("error does not name the offender: %v", err)
+	}
+	for _, name := range AvailableMiddlewares() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list available middleware %q: %v", name, err)
+		}
+	}
+
+	// Unknown route groups fail too (a typo would silently drop a chain).
+	_, err = New(Config{Middlewares: map[string][]string{"predictions": {"logging"}}}, nil)
+	if err == nil || !strings.Contains(err.Error(), `unknown middleware route group "predictions"`) {
+		t.Errorf("unknown route group error = %v", err)
+	}
+}
+
+// TestAuthShortCircuits pins the 401 short-circuit: without a valid
+// bearer token the chain answers before any routing happens, and the
+// admin group — configured without auth — stays open.
+func TestAuthShortCircuits(t *testing.T) {
+	g := newTestGateway(t, Config{
+		Models: map[string][]string{"default": {"127.0.0.1:1"}}, // nothing listens; auth rejects first
+		Middlewares: map[string][]string{
+			RoutePredict: {"auth"},
+			RouteAdmin:   {},
+		},
+		AuthTokens: []string{"s3cret"},
+	})
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	body := `{"x":[1,2,3]}`
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless predict = %d, want 401", resp.StatusCode)
+	}
+	if resp.Header.Get("WWW-Authenticate") == "" {
+		t.Error("401 must carry WWW-Authenticate")
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict", strings.NewReader(body))
+	req.Header.Set("Authorization", "Bearer wrong")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong-token predict = %d, want 401", resp.StatusCode)
+	}
+
+	// Per-route selection: the admin group has no auth middleware, so a
+	// tokenless snapshot request is NOT 401 (it fails later, on the dead
+	// replica — 503).
+	resp, err = http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		t.Fatal("admin group must not inherit the predict group's auth")
+	}
+
+	// A valid token clears auth and reaches routing (which 502s/503s on
+	// the dead replica — anything but 401 proves the chain passed).
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/predict", strings.NewReader(body))
+	req.Header.Set("Authorization", "Bearer s3cret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		t.Fatalf("valid token still rejected: %d", resp.StatusCode)
+	}
+}
+
+// TestRateLimitShortCircuits pins the 429 + Retry-After short-circuit and
+// the per-tenant isolation of the token bucket.
+func TestRateLimitShortCircuits(t *testing.T) {
+	g := newTestGateway(t, Config{
+		Middlewares:   map[string][]string{RoutePredict: {"ratelimit"}},
+		RatePerSecond: 0.001, // effectively no refill within the test
+		RateBurst:     2,
+		AuthTokens:    []string{"a", "b"},
+	})
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	do := func(token string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict", strings.NewReader(`{"x":[1]}`))
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	// Burst of 2 for tenant "a": third request is shed.
+	if s := do("a").StatusCode; s == http.StatusTooManyRequests {
+		t.Fatalf("first request already limited")
+	}
+	do("a")
+	resp := do("a")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third request = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+	// Tenant "b" has its own bucket.
+	if s := do("b").StatusCode; s == http.StatusTooManyRequests {
+		t.Error("tenant b throttled by tenant a's bucket")
+	}
+	var before = g.metrics.rejected.Load()
+	if before == 0 {
+		t.Error("rejections not counted in gateway metrics")
+	}
+}
+
+// TestAdmissionShedsOverload pins the 503 + Retry-After short-circuit
+// when the inflight bound is hit.
+func TestAdmissionShedsOverload(t *testing.T) {
+	g := newTestGateway(t, Config{MaxInflight: 1})
+	mw := admissionMiddleware(g)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	h := mw(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+	}))
+
+	go func() {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/v1/predict", nil))
+	}()
+	select {
+	case <-started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first request never started")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", nil))
+	close(release)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("second inflight request = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 must carry Retry-After")
+	}
+	var eb httpapi.ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+		t.Errorf("shed response is not the uniform error body: %q", rec.Body.String())
+	}
+}
+
+// TestDefaultChainsApplied pins that a nil Middlewares config selects
+// DefaultChains and reports them on /v1/state.
+func TestDefaultChainsApplied(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	st := g.State()
+	if len(st.Middlewares[RoutePredict]) == 0 {
+		t.Fatalf("default predict chain missing: %v", st.Middlewares)
+	}
+	for _, name := range st.Middlewares[RoutePredict] {
+		if _, ok := availableMiddlewares[name]; !ok {
+			t.Errorf("default chain references unregistered middleware %q", name)
+		}
+	}
+}

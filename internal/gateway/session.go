@@ -1,0 +1,102 @@
+package gateway
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/httpapi"
+)
+
+// sessionCache is the gateway-level answer cache: (model, input-hash) →
+// the full PredictResponse a replica produced. It sits in front of the
+// whole replica fleet, so a repeated input costs zero network hops — the
+// fleet-wide analogue of the replica-local route cache.
+//
+// Entries carry the snapshot version they were answered under and are
+// rejected once the model's fleet is known to serve a NEWER snapshot
+// (lazy invalidation: the health prober and every proxied answer advance
+// the model's known version, and get compares against it). A gateway can
+// therefore never keep answering from a retired snapshot after a hot swap,
+// without any explicit flush protocol.
+//
+// Collisions: keys are 64-bit input hashes without the full input retained
+// (the gateway does not want to hold every tensor it proxied). A collision
+// returns the colliding entry's answer — acceptable for a cache keyed on
+// 64-bit FNV over float bits, where accidental collisions are ~2^-32 even
+// at million-entry scale, and the same tradeoff a CDN makes.
+type sessionCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[sessionKey]*list.Element
+	l   *list.List // front = most recently used
+}
+
+type sessionKey struct {
+	model string
+	key   uint64
+}
+
+type sessionEntry struct {
+	k       sessionKey
+	resp    httpapi.PredictResponse
+	version int
+}
+
+// newSessionCache builds a cache holding up to capacity answers;
+// capacity <= 0 disables caching.
+func newSessionCache(capacity int) *sessionCache {
+	return &sessionCache{cap: capacity, m: make(map[sessionKey]*list.Element), l: list.New()}
+}
+
+// get returns the cached answer for (model, key) if it was produced under
+// the model's current snapshot version. Stale entries are evicted on
+// sight.
+func (c *sessionCache) get(model string, key uint64, currentVersion int) (httpapi.PredictResponse, bool) {
+	if c.cap <= 0 {
+		return httpapi.PredictResponse{}, false
+	}
+	sk := sessionKey{model, key}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[sk]
+	if !ok {
+		return httpapi.PredictResponse{}, false
+	}
+	e := el.Value.(*sessionEntry)
+	if e.version < currentVersion {
+		c.l.Remove(el)
+		delete(c.m, sk)
+		return httpapi.PredictResponse{}, false
+	}
+	c.l.MoveToFront(el)
+	return e.resp, true
+}
+
+// put records a replica answer under the snapshot version it reported.
+func (c *sessionCache) put(model string, key uint64, version int, resp httpapi.PredictResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	sk := sessionKey{model, key}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[sk]; ok {
+		e := el.Value.(*sessionEntry)
+		e.resp, e.version = resp, version
+		c.l.MoveToFront(el)
+		return
+	}
+	for c.l.Len() >= c.cap {
+		oldest := c.l.Back()
+		c.l.Remove(oldest)
+		delete(c.m, oldest.Value.(*sessionEntry).k)
+	}
+	c.m[sk] = c.l.PushFront(&sessionEntry{k: sk, resp: resp, version: version})
+}
+
+// len returns the number of cached answers.
+func (c *sessionCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}

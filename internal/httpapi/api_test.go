@@ -1,0 +1,135 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAPIVersionedRoutesAndAliases(t *testing.T) {
+	api := NewAPI()
+	api.Handle("/v1/ping", func(w http.ResponseWriter, _ *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"pong": "v1"})
+	})
+	api.Deprecated("/ping", "/v1/ping", func(w http.ResponseWriter, _ *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"pong": "legacy"})
+	})
+	ts := httptest.NewServer(api.Handler())
+	defer ts.Close()
+
+	// Live v1 route: no deprecation headers.
+	resp, err := http.Get(ts.URL + "/v1/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/ping = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "" {
+		t.Error("/v1/ping unexpectedly marked deprecated")
+	}
+
+	// Alias: still serves, but flagged with Deprecation + successor Link.
+	resp, err = http.Get(ts.URL + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/ping = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("alias missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/ping") || !strings.Contains(link, "successor-version") {
+		t.Errorf("alias Link header %q does not name the successor", link)
+	}
+}
+
+func TestAPIUnknownRouteListsLiveSurface(t *testing.T) {
+	api := NewAPI()
+	api.Handle("/v1/predict", func(w http.ResponseWriter, _ *http.Request) {})
+	api.Handle("/v1/models/{name}", func(w http.ResponseWriter, _ *http.Request) {})
+	ts := httptest.NewServer(api.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown route = %d, want 404", resp.StatusCode)
+	}
+	var body ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Routes) != 2 || body.Routes[0] != "/v1/models/{name}" || body.Routes[1] != "/v1/predict" {
+		t.Errorf("404 routes = %v, want sorted live surface", body.Routes)
+	}
+	if !strings.Contains(body.Error, "/v1") {
+		t.Errorf("404 error %q does not point at /v1", body.Error)
+	}
+}
+
+func TestAPIRejectsUnversionedHandle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Handle outside /v1 should panic")
+		}
+	}()
+	NewAPI().Handle("/predict", func(http.ResponseWriter, *http.Request) {})
+}
+
+func TestMetricsBuilderPromAndJSONAgree(t *testing.T) {
+	build := func() *MetricsBuilder {
+		return NewMetricsBuilder("serve").
+			Gauge("x_uptime_seconds", "Uptime.", 1.5).
+			CounterVec("x_requests_total", "Requests.",
+				Sample{Labels: `outcome="ok"`, Value: 3},
+				Sample{Labels: `outcome="error"`, Value: 1})
+	}
+	text := string(build().Prom())
+	for _, want := range []string{
+		"# HELP x_uptime_seconds Uptime.",
+		"# TYPE x_uptime_seconds gauge",
+		"x_uptime_seconds 1.5",
+		"# TYPE x_requests_total counter",
+		`x_requests_total{outcome="ok"} 3`,
+		`x_requests_total{outcome="error"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prom text missing %q in:\n%s", want, text)
+		}
+	}
+
+	p := build().Payload()
+	if p.SchemaVersion != SchemaVersion || p.Daemon != "serve" {
+		t.Errorf("payload envelope = %+v", p)
+	}
+	if len(p.Metrics) != 2 || p.Metrics[1].Samples[0].Labels != `outcome="ok"` {
+		t.Errorf("payload families = %+v", p.Metrics)
+	}
+
+	// The HTTP switch: text by default, JSON on ?format=json.
+	rec := httptest.NewRecorder()
+	build().ServeMetrics(rec, httptest.NewRequest("GET", "/v1/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+		t.Errorf("default content type = %q", got)
+	}
+	rec = httptest.NewRecorder()
+	build().ServeMetrics(rec, httptest.NewRequest("GET", "/v1/metrics?format=json", nil))
+	var payload MetricsPayload
+	if err := json.NewDecoder(rec.Body).Decode(&payload); err != nil {
+		t.Fatalf("json form: %v", err)
+	}
+	if payload.Daemon != "serve" || len(payload.Metrics) != 2 {
+		t.Errorf("json form = %+v", payload)
+	}
+	_ = io.Discard
+}

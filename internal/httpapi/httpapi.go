@@ -1,0 +1,216 @@
+// Package httpapi is the versioned HTTP surface shared by every ShiftEx
+// daemon (shiftex-aggregator, shiftex-serve, shiftex-gateway). It owns three
+// things so the daemons cannot drift apart:
+//
+//   - the wire schema: one struct per endpoint payload (PredictRequest,
+//     PredictResponse, SnapshotSummary, ModelInfo, the State envelope), each
+//     stamped with SchemaVersion, so operators scrape all daemons
+//     identically and a gateway can proxy a replica's response verbatim;
+//   - the /v1 route table: API registers handlers under /v1, keeps the
+//     pre-versioning routes alive as deprecated aliases (Deprecation +
+//     successor Link headers), and answers unknown paths with a 404 that
+//     lists the live /v1 surface;
+//   - the metrics encoder: MetricsBuilder renders one metric set as both
+//     Prometheus text exposition and the JSON schema (?format=json).
+//
+// The package depends only on the tensor wire types — service, serve, and
+// gateway all import it, never the other way around.
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/tensor"
+)
+
+// SchemaVersion is the version of the shared daemon HTTP schema: the /v1
+// route shapes and the JSON payload layouts below. It is bumped whenever
+// either changes incompatibly, and every envelope payload carries it.
+const SchemaVersion = 1
+
+// V1Prefix is the path prefix of the current API version.
+const V1Prefix = "/v1"
+
+// DefaultModel is the model name a single-model daemon serves under when
+// none is configured, and the name model-less predict requests resolve to.
+const DefaultModel = "default"
+
+// WriteJSON writes v as indented JSON with the given status code.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// ErrorBody is the uniform error payload. Models/Routes carry the live
+// vocabulary when the error is "unknown name" — the same convention the
+// adaptation-policy registry uses on the CLI.
+type ErrorBody struct {
+	Error  string   `json:"error"`
+	Models []string `json:"models,omitempty"` // live model names on unknown-model errors
+	Routes []string `json:"routes,omitempty"` // live /v1 surface on unknown-route errors
+}
+
+// WriteError writes the uniform error payload.
+func WriteError(w http.ResponseWriter, code int, msg string) {
+	WriteJSON(w, code, ErrorBody{Error: msg})
+}
+
+// PredictRequest is the POST /v1/predict wire format. Model is optional: a
+// single-model daemon rejects a mismatching name with 404, the gateway uses
+// it to pick the target model ("" resolves to DefaultModel on both).
+type PredictRequest struct {
+	X     tensor.Vector `json:"x"`
+	Model string        `json:"model,omitempty"`
+}
+
+// PredictResponse is the POST /v1/predict reply. Serve replicas leave
+// Replica and GatewayCached zero; the gateway fills Replica with the serving
+// replica's address and sets GatewayCached when the fleet-wide session cache
+// answered without touching any replica. Cached reports the replica-local
+// route cache.
+type PredictResponse struct {
+	Class    int    `json:"class"`
+	Expert   int    `json:"expert"`
+	Matched  bool   `json:"matched"`
+	Cached   bool   `json:"cached"`
+	Snapshot int    `json:"snapshot"`
+	Model    string `json:"model"`
+	// Gateway-only fields.
+	Replica       string `json:"replica,omitempty"`
+	GatewayCached bool   `json:"gatewayCached,omitempty"`
+}
+
+// SwapRequest is the POST /v1/snapshot wire format: hot-swap the serving
+// snapshot to the given checkpoint path. Model is optional, as in
+// PredictRequest; on the gateway the swap fans out to the model's replicas.
+type SwapRequest struct {
+	Path  string `json:"path"`
+	Model string `json:"model,omitempty"`
+}
+
+// SnapshotSummary is the GET /v1/snapshot payload (and the POST reply): the
+// serving snapshot's identity and routing parameters. The gateway proxies a
+// healthy replica's summary, so single-model deployments see identical
+// bodies from both tiers.
+type SnapshotSummary struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	Model         string `json:"model"`
+	Version       int    `json:"version"`
+	Experts       int    `json:"experts"`
+	ExpertIDs     []int  `json:"expertIds"`
+	Fallback      int    `json:"fallback"`
+	// Epsilon is the calibrated reuse threshold from training;
+	// RouteEpsilon is the effective match radius serving actually compares
+	// against (Epsilon × route-eps-scale) — keeping both visible is what
+	// makes routing numbers debuggable.
+	Epsilon      float64 `json:"epsilon"`
+	RouteEpsilon float64 `json:"routeEpsilon"`
+	WindowsDone  int     `json:"windowsDone"`
+	InputDim     int     `json:"inputDim"`
+	Policy       string  `json:"policy,omitempty"`
+}
+
+// ReplicaInfo is one serve replica's standing inside a gateway model entry.
+type ReplicaInfo struct {
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Snapshot int    `json:"snapshot"` // last snapshot version observed by probing
+	Failures int    `json:"failures"` // consecutive call/probe failures
+}
+
+// ModelInfo is the GET /v1/models/{name} payload. A serve replica reports
+// itself (Replicas empty); the gateway adds the replica fleet view.
+type ModelInfo struct {
+	SchemaVersion int     `json:"schemaVersion"`
+	Name          string  `json:"name"`
+	Snapshot      int     `json:"snapshot"`
+	Experts       int     `json:"experts"`
+	Epsilon       float64 `json:"epsilon"`
+	RouteEpsilon  float64 `json:"routeEpsilon"`
+	WindowsDone   int     `json:"windowsDone"`
+	InputDim      int     `json:"inputDim"`
+	Policy        string  `json:"policy,omitempty"`
+	// Gateway-only fields.
+	Replicas []ReplicaInfo `json:"replicas,omitempty"`
+}
+
+// State is the shared /v1/state envelope: one struct scraped identically
+// from every daemon, with exactly one daemon-specific section populated.
+type State struct {
+	SchemaVersion int     `json:"schemaVersion"`
+	Daemon        string  `json:"daemon"` // "aggregator" | "serve" | "gateway"
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+
+	Aggregator *AggregatorState `json:"aggregator,omitempty"`
+	Serve      *ServeState      `json:"serve,omitempty"`
+	Gateway    *GatewayState    `json:"gateway,omitempty"`
+}
+
+// AggregatorState is the aggregator runtime's /v1/state section.
+type AggregatorState struct {
+	Phase        string      `json:"phase"`
+	Window       int         `json:"window"`
+	WindowsDone  int         `json:"windowsDone"`
+	WindowsTotal int         `json:"windowsTotal"`
+	Parties      int         `json:"parties"`
+	Policy       string      `json:"policy"`
+	Experts      []int       `json:"experts"`
+	Distribution map[int]int `json:"distribution"`
+	Assignments  map[int]int `json:"assignments"`
+	Epsilon      float64     `json:"epsilon"`
+	Thresholds   any         `json:"thresholds,omitempty"`
+	LastTrace    []float64   `json:"lastTrace,omitempty"`
+}
+
+// ServeState is the serving replica's /v1/state section.
+type ServeState struct {
+	Model        string  `json:"model"`
+	Snapshot     int     `json:"snapshot"`
+	Experts      int     `json:"experts"`
+	Epsilon      float64 `json:"epsilon"`
+	RouteEpsilon float64 `json:"routeEpsilon"`
+	WindowsDone  int     `json:"windowsDone"`
+	Requests     uint64  `json:"requests"`
+	Inflight     int64   `json:"inflight"`
+}
+
+// GatewayModelState is one model's standing in the gateway's /v1/state.
+type GatewayModelState struct {
+	Name            string        `json:"name"`
+	Snapshot        int           `json:"snapshot"`
+	Replicas        []ReplicaInfo `json:"replicas"`
+	HealthyReplicas int           `json:"healthyReplicas"`
+	// Ring-affinity record of the last fleet shrink: of the keys tracked
+	// when a replica left the ring, how many stayed with their original
+	// owner. RetainedOfSurvivors counts only keys whose original owner is
+	// still in the ring — the consistent-hashing guarantee under test.
+	LastShrink *ShrinkStats `json:"lastShrink,omitempty"`
+}
+
+// ShrinkStats records key movement across one ring-membership shrink.
+type ShrinkStats struct {
+	Removed             string  `json:"removed"` // replica that left
+	KeysTracked         int     `json:"keysTracked"`
+	KeysMoved           int     `json:"keysMoved"`
+	MovedFraction       float64 `json:"movedFraction"`
+	RetainedOfSurvivors float64 `json:"retainedOfSurvivors"`
+}
+
+// GatewayState is the gateway's /v1/state section.
+type GatewayState struct {
+	Models        []GatewayModelState `json:"models"`
+	Requests      uint64              `json:"requests"`
+	Errors        uint64              `json:"errors"`
+	Rejected      uint64              `json:"rejected"`
+	SessionHits   uint64              `json:"sessionHits"`
+	SessionMisses uint64              `json:"sessionMisses"`
+	Failovers     uint64              `json:"failovers"`
+	Evictions     uint64              `json:"evictions"`
+	Readmissions  uint64              `json:"readmissions"`
+	Middlewares   map[string][]string `json:"middlewares"` // route group -> chain
+}

@@ -5,150 +5,203 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
+	"repro/internal/httpapi"
 	"repro/internal/nn"
-	"repro/internal/tensor"
 )
 
-// Handler returns the serving API:
+// Handler returns the serving API, versioned under /v1:
 //
-//	POST /predict   {"x":[...]} → {"class","expert","matched","cached","snapshot"}
-//	GET  /snapshot  serving-snapshot summary (version, experts, ε, position)
-//	POST /snapshot  {"path":"ckpt.json"} → hot-swap to that checkpoint
-//	GET  /healthz   liveness (always 200 while serving)
-//	GET  /metrics   Prometheus text: request counts, p50/p90/p99 latency,
-//	                cache and batching counters
+//	POST /v1/predict        {"x":[...],"model":"name"?} → httpapi.PredictResponse
+//	GET  /v1/snapshot       serving-snapshot summary (version, experts, ε, effective ε)
+//	POST /v1/snapshot       {"path":"ckpt.json"} → hot-swap to that checkpoint
+//	GET  /v1/models/{name}  this replica's model card (404 for other names)
+//	GET  /v1/state          shared httpapi.State envelope with the serve section
+//	GET  /v1/healthz        liveness (always 200 while serving)
+//	GET  /v1/metrics        Prometheus text (shared JSON schema with ?format=json)
 //
-// /predict answers 503 with Retry-After when the pipeline is saturated and
-// 410 after shutdown has begun, so load balancers can react correctly.
+// The pre-versioning routes (/predict /snapshot /healthz /metrics) stay
+// reachable as deprecated aliases carrying a Deprecation header; unknown
+// routes answer 404 with the live /v1 listing.
+//
+// /v1/predict answers 503 with Retry-After when the pipeline is saturated
+// and 410 after shutdown has begun, so load balancers can react correctly.
+// The same surface is exposed by the gateway tier, so single-model clients
+// cannot tell a replica from a fleet.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	api := httpapi.NewAPI()
+	api.Handle("/v1/predict", s.handlePredict)
+	api.Handle("/v1/snapshot", s.handleSnapshot)
+	api.Handle("/v1/models/{name}", s.handleModel)
+	api.Handle("/v1/state", s.handleState)
+	api.Handle("/v1/healthz", s.handleHealthz)
+	api.Handle("/v1/metrics", s.handleMetrics)
+	api.Deprecated("/predict", "/v1/predict", s.handlePredict)
+	api.Deprecated("/snapshot", "/v1/snapshot", s.handleSnapshot)
+	api.Deprecated("/healthz", "/v1/healthz", s.handleHealthz)
+	api.Deprecated("/metrics", "/v1/metrics", s.handleMetrics)
+	return api.Handler()
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
+// Model returns the model name this server serves under.
+func (s *Server) Model() string { return s.cfg.Model }
 
-// predictRequest is the /predict wire format.
-type predictRequest struct {
-	X tensor.Vector `json:"x"`
-}
-
-// predictResponse is the /predict reply.
-type predictResponse struct {
-	Class    int  `json:"class"`
-	Expert   int  `json:"expert"`
-	Matched  bool `json:"matched"`
-	Cached   bool `json:"cached"`
-	Snapshot int  `json:"snapshot"`
+// checkModel rejects requests addressed to a model this replica does not
+// host, listing the live (single-entry) vocabulary — mirroring the
+// gateway's unknown-model answer so the two tiers respond identically.
+func (s *Server) checkModel(w http.ResponseWriter, name string) bool {
+	if name == "" || name == s.cfg.Model {
+		return true
+	}
+	httpapi.WriteJSON(w, http.StatusNotFound, httpapi.ErrorBody{
+		Error:  fmt.Sprintf("unknown model %q", name),
+		Models: []string{s.cfg.Model},
+	})
+	return false
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+		httpapi.WriteError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	var req predictRequest
+	var req httpapi.PredictRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		httpapi.WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if !s.checkModel(w, req.Model) {
 		return
 	}
 	res, err := s.Predict(r.Context(), req.X)
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		httpapi.WriteError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case errors.Is(err, ErrClosed):
-		writeJSON(w, http.StatusGone, map[string]string{"error": err.Error()})
+		httpapi.WriteError(w, http.StatusGone, err.Error())
 		return
 	case errors.Is(err, nn.ErrDimension):
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		httpapi.WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	case err != nil:
 		// Anything else is a server-side failure (worker error, canceled
 		// context): 500 so balancers and alerting treat it as ours, not
 		// the client's.
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		httpapi.WriteError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, predictResponse{
+	httpapi.WriteJSON(w, http.StatusOK, httpapi.PredictResponse{
 		Class: res.Class, Expert: res.Expert, Matched: res.Matched,
-		Cached: res.Cached, Snapshot: res.Version,
+		Cached: res.Cached, Snapshot: res.Version, Model: s.cfg.Model,
 	})
 }
 
-// snapshotSummary is the GET /snapshot (and POST reply) wire format.
-type snapshotSummary struct {
-	Version     int     `json:"version"`
-	Experts     int     `json:"experts"`
-	ExpertIDs   []int   `json:"expertIds"`
-	Fallback    int     `json:"fallback"`
-	Epsilon     float64 `json:"epsilon"`
-	WindowsDone int     `json:"windowsDone"`
-	InputDim    int     `json:"inputDim"`
-	// Policy is the adaptation policy of the training run that produced
-	// the snapshot's checkpoint.
-	Policy string `json:"policy,omitempty"`
-}
-
-func summarize(snap *Snapshot) snapshotSummary {
+// summarize renders the snapshot as the shared wire summary. Both the
+// calibrated ε and the effective routing radius (ε × route-eps-scale) are
+// reported — the widened radius used to be invisible, which made serving
+// routing numbers impossible to reconcile with training calibration.
+func (s *Server) summarize(snap *Snapshot) httpapi.SnapshotSummary {
 	ids := make([]int, 0, snap.NumExperts())
 	for _, e := range snap.Experts() {
 		ids = append(ids, e.ID)
 	}
-	return snapshotSummary{
-		Version:     snap.Version,
-		Experts:     snap.NumExperts(),
-		ExpertIDs:   ids,
-		Fallback:    snap.Fallback().ID,
-		Epsilon:     snap.Epsilon,
-		WindowsDone: snap.WindowsDone,
-		InputDim:    snap.InputDim(),
-		Policy:      snap.Policy,
+	return httpapi.SnapshotSummary{
+		SchemaVersion: httpapi.SchemaVersion,
+		Model:         s.cfg.Model,
+		Version:       snap.Version,
+		Experts:       snap.NumExperts(),
+		ExpertIDs:     ids,
+		Fallback:      snap.Fallback().ID,
+		Epsilon:       snap.Epsilon,
+		RouteEpsilon:  snap.RouteEpsilon(),
+		WindowsDone:   snap.WindowsDone,
+		InputDim:      snap.InputDim(),
+		Policy:        snap.Policy,
 	}
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, summarize(s.Snapshot()))
+		httpapi.WriteJSON(w, http.StatusOK, s.summarize(s.Snapshot()))
 	case http.MethodPost:
-		var req struct {
-			Path string `json:"path"`
-		}
+		var req httpapi.SwapRequest
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil || req.Path == "" {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": `body must be {"path":"checkpoint.json"}`})
+			httpapi.WriteError(w, http.StatusBadRequest, `body must be {"path":"checkpoint.json"}`)
+			return
+		}
+		if !s.checkModel(w, req.Model) {
 			return
 		}
 		if err := s.SwapFromCheckpoint(req.Path); err != nil {
-			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			httpapi.WriteError(w, http.StatusUnprocessableEntity, err.Error())
 			return
 		}
-		writeJSON(w, http.StatusOK, summarize(s.Snapshot()))
+		httpapi.WriteJSON(w, http.StatusOK, s.summarize(s.Snapshot()))
 	default:
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET or POST required"})
+		httpapi.WriteError(w, http.StatusMethodNotAllowed, "GET or POST required")
 	}
+}
+
+// handleModel answers GET /v1/models/{name}: the model card of the one
+// model this replica hosts. The gateway serves the same card (plus its
+// replica fleet view) for every registered model.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpapi.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if !s.checkModel(w, r.PathValue("name")) {
+		return
+	}
+	snap := s.Snapshot()
+	httpapi.WriteJSON(w, http.StatusOK, httpapi.ModelInfo{
+		SchemaVersion: httpapi.SchemaVersion,
+		Name:          s.cfg.Model,
+		Snapshot:      snap.Version,
+		Experts:       snap.NumExperts(),
+		Epsilon:       snap.Epsilon,
+		RouteEpsilon:  snap.RouteEpsilon(),
+		WindowsDone:   snap.WindowsDone,
+		InputDim:      snap.InputDim(),
+		Policy:        snap.Policy,
+	})
+}
+
+func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Snapshot()
+	m := s.metrics.Snapshot()
+	httpapi.WriteJSON(w, http.StatusOK, httpapi.State{
+		SchemaVersion: httpapi.SchemaVersion,
+		Daemon:        "serve",
+		Status:        "ok",
+		UptimeSeconds: m.UptimeSeconds,
+		Serve: &httpapi.ServeState{
+			Model:        s.cfg.Model,
+			Snapshot:     snap.Version,
+			Experts:      snap.NumExperts(),
+			Epsilon:      snap.Epsilon,
+			RouteEpsilon: snap.RouteEpsilon(),
+			WindowsDone:  snap.WindowsDone,
+			Requests:     m.Requests,
+			Inflight:     m.Inflight,
+		},
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	snap := s.Snapshot()
 	m := s.metrics.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
+	httpapi.WriteJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
+		"model":         s.cfg.Model,
 		"snapshot":      snap.Version,
 		"experts":       snap.NumExperts(),
 		"requests":      m.Requests,
@@ -157,49 +210,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics.Snapshot()
 	snap := s.Snapshot()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var b []byte
-	add := func(format string, args ...any) {
-		b = fmt.Appendf(b, format+"\n", args...)
+	// Per-expert effective match radius: experts with a latent-memory
+	// signature are matchable within routeEps; signature-less experts are
+	// reported at 0 (they can only serve as the fallback). This is the
+	// observable form of -route-eps-scale, whose widening used to be
+	// invisible to operators.
+	experts := snap.Experts()
+	epsSamples := make([]httpapi.Sample, 0, len(experts))
+	for _, e := range experts {
+		eps := 0.0
+		if e.Memory != nil {
+			eps = snap.RouteEpsilon()
+		}
+		epsSamples = append(epsSamples, httpapi.Sample{
+			Labels: fmt.Sprintf("expert=%q", strconv.Itoa(e.ID)), Value: eps,
+		})
 	}
-	add("# HELP shiftex_serve_uptime_seconds Time since the server started.")
-	add("# TYPE shiftex_serve_uptime_seconds gauge")
-	add("shiftex_serve_uptime_seconds %g", m.UptimeSeconds)
-	add("# HELP shiftex_serve_requests_total Predictions served, by outcome.")
-	add("# TYPE shiftex_serve_requests_total counter")
-	add(`shiftex_serve_requests_total{outcome="ok"} %d`, m.Requests)
-	add(`shiftex_serve_requests_total{outcome="error"} %d`, m.Errored)
-	add(`shiftex_serve_requests_total{outcome="rejected"} %d`, m.Rejected)
-	add("# HELP shiftex_serve_inflight Requests admitted but not yet answered.")
-	add("# TYPE shiftex_serve_inflight gauge")
-	add("shiftex_serve_inflight %d", m.Inflight)
-	add("# HELP shiftex_serve_latency_seconds Request latency quantiles.")
-	add("# TYPE shiftex_serve_latency_seconds gauge")
-	add(`shiftex_serve_latency_seconds{quantile="0.5"} %g`, m.P50Seconds)
-	add(`shiftex_serve_latency_seconds{quantile="0.9"} %g`, m.P90Seconds)
-	add(`shiftex_serve_latency_seconds{quantile="0.99"} %g`, m.P99Seconds)
-	add("# HELP shiftex_serve_routed_total Routing decisions, by kind.")
-	add("# TYPE shiftex_serve_routed_total counter")
-	add(`shiftex_serve_routed_total{kind="matched"} %d`, m.Matched)
-	add(`shiftex_serve_routed_total{kind="fallback"} %d`, m.Fallbacks)
-	add("# HELP shiftex_serve_route_cache_total LRU route-cache lookups.")
-	add("# TYPE shiftex_serve_route_cache_total counter")
-	add(`shiftex_serve_route_cache_total{result="hit"} %d`, m.CacheHits)
-	add(`shiftex_serve_route_cache_total{result="miss"} %d`, m.CacheMisses)
-	add("# HELP shiftex_serve_snapshot_version Serving snapshot version (increments on hot swap).")
-	add("# TYPE shiftex_serve_snapshot_version gauge")
-	add("shiftex_serve_snapshot_version %d", snap.Version)
-	add("# HELP shiftex_serve_experts Experts in the serving snapshot.")
-	add("# TYPE shiftex_serve_experts gauge")
-	add("shiftex_serve_experts %d", snap.NumExperts())
-	add("# HELP shiftex_serve_batches_total Micro-batches drained by the worker pool.")
-	add("# TYPE shiftex_serve_batches_total counter")
-	add("shiftex_serve_batches_total %d", m.Batches)
-	add("# HELP shiftex_serve_batch_mean_size Mean requests per drained batch.")
-	add("# TYPE shiftex_serve_batch_mean_size gauge")
-	add("shiftex_serve_batch_mean_size %g", m.MeanBatch)
-	_, _ = w.Write(b)
+	b := httpapi.NewMetricsBuilder("serve").
+		Gauge("shiftex_serve_uptime_seconds", "Time since the server started.", m.UptimeSeconds).
+		CounterVec("shiftex_serve_requests_total", "Predictions served, by outcome.",
+			httpapi.Sample{Labels: `outcome="ok"`, Value: float64(m.Requests)},
+			httpapi.Sample{Labels: `outcome="error"`, Value: float64(m.Errored)},
+			httpapi.Sample{Labels: `outcome="rejected"`, Value: float64(m.Rejected)}).
+		Gauge("shiftex_serve_inflight", "Requests admitted but not yet answered.", float64(m.Inflight)).
+		GaugeVec("shiftex_serve_latency_seconds", "Request latency quantiles.",
+			httpapi.Sample{Labels: `quantile="0.5"`, Value: m.P50Seconds},
+			httpapi.Sample{Labels: `quantile="0.9"`, Value: m.P90Seconds},
+			httpapi.Sample{Labels: `quantile="0.99"`, Value: m.P99Seconds}).
+		CounterVec("shiftex_serve_routed_total", "Routing decisions, by kind.",
+			httpapi.Sample{Labels: `kind="matched"`, Value: float64(m.Matched)},
+			httpapi.Sample{Labels: `kind="fallback"`, Value: float64(m.Fallbacks)}).
+		CounterVec("shiftex_serve_route_cache_total", "LRU route-cache lookups.",
+			httpapi.Sample{Labels: `result="hit"`, Value: float64(m.CacheHits)},
+			httpapi.Sample{Labels: `result="miss"`, Value: float64(m.CacheMisses)}).
+		GaugeVec("shiftex_serve_route_epsilon", "Match radius, calibrated (training ε) vs effective (ε × route-eps-scale, what routing compares against).",
+			httpapi.Sample{Labels: `scope="calibrated"`, Value: snap.Epsilon},
+			httpapi.Sample{Labels: `scope="effective"`, Value: snap.RouteEpsilon()}).
+		GaugeVec("shiftex_serve_expert_route_epsilon", "Effective match radius per expert (0 = no latent-memory signature, fallback-only).", epsSamples...).
+		Gauge("shiftex_serve_snapshot_version", "Serving snapshot version (increments on hot swap).", float64(snap.Version)).
+		Gauge("shiftex_serve_experts", "Experts in the serving snapshot.", float64(snap.NumExperts())).
+		Counter("shiftex_serve_batches_total", "Micro-batches drained by the worker pool.", float64(m.Batches)).
+		Gauge("shiftex_serve_batch_mean_size", "Mean requests per drained batch.", m.MeanBatch)
+	b.ServeMetrics(w, r)
 }

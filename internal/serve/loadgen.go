@@ -111,21 +111,25 @@ func (r *LoadResult) RoutingAccuracy() float64 {
 	return float64(r.RoutedToAssigned) / float64(r.AssignedKnown)
 }
 
-// workItem is one replayable request with its scoring ground truth.
-type workItem struct {
-	x        tensor.Vector
-	y        int
-	party    int
-	assigned int // expert ID the training run assigned to party; -1 unknown
-	regime   string
+// WorkItem is one replayable request with its scoring ground truth. The
+// serve loadgen replays items in-process; the gateway loadgen replays the
+// same items over HTTP against a replica fleet.
+type WorkItem struct {
+	X        tensor.Vector
+	Y        int
+	Party    int
+	Assigned int // expert ID the training run assigned to Party; -1 unknown
+	Regime   string
 }
 
-// buildWorkload regenerates the checkpoint run's scenario and extracts the
+// Workload regenerates the checkpoint run's scenario and extracts the
 // adapted window's test stream — the mixture of clean and injected-shift
 // regimes the snapshot's experts were trained for. Items interleave across
 // parties so consecutive requests hit different experts, the worst case for
-// the per-expert batcher.
-func buildWorkload(cp *service.Checkpoint, cfg LoadConfig) ([]workItem, error) {
+// the per-expert batcher (and, at the gateway, the worst case for
+// consistent-hash locality).
+func Workload(cp *service.Checkpoint, cfg LoadConfig) ([]WorkItem, error) {
+	cfg = cfg.withDefaults()
 	parties := len(cp.Aggregator.Assignment)
 	if parties == 0 {
 		return nil, errors.New("serve: checkpoint has no party assignments")
@@ -141,7 +145,7 @@ func buildWorkload(cp *service.Checkpoint, cfg LoadConfig) ([]workItem, error) {
 	}
 	row := sc.Windows[widx]
 
-	var items []workItem
+	var items []WorkItem
 	for i := 0; i < cfg.TestPerParty; i++ {
 		for p, pw := range row {
 			if i >= len(pw.Test) {
@@ -151,12 +155,12 @@ func buildWorkload(cp *service.Checkpoint, cfg LoadConfig) ([]workItem, error) {
 			if id, ok := cp.Aggregator.Assignment[p]; ok {
 				assigned = id
 			}
-			items = append(items, workItem{
-				x:        pw.Test[i].X,
-				y:        pw.Test[i].Y,
-				party:    p,
-				assigned: assigned,
-				regime:   pw.Regime.Corruption.String(),
+			items = append(items, WorkItem{
+				X:        pw.Test[i].X,
+				Y:        pw.Test[i].Y,
+				Party:    p,
+				Assigned: assigned,
+				Regime:   pw.Regime.Corruption.String(),
 			})
 		}
 	}
@@ -172,7 +176,7 @@ func buildWorkload(cp *service.Checkpoint, cfg LoadConfig) ([]workItem, error) {
 // regenerated from the checkpoint's seed and assignment).
 func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadConfig) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
-	items, err := buildWorkload(cp, cfg)
+	items, err := Workload(cp, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +269,7 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 				}
 				item := items[i%int64(len(items))]
 				t0 := time.Now()
-				res, err := srv.Predict(ctx, item.x)
+				res, err := srv.Predict(ctx, item.X)
 				switch {
 				case errors.Is(err, ErrOverloaded):
 					rejected.Add(1)
@@ -277,23 +281,23 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 				lat := time.Since(t0)
 				lats = append(lats, lat)
 				requests.Add(1)
-				tl := local[item.regime]
+				tl := local[item.Regime]
 				if tl == nil {
 					tl = &tally{}
-					local[item.regime] = tl
+					local[item.Regime] = tl
 				}
 				tl.requests++
-				if res.Class == item.y {
+				if res.Class == item.Y {
 					correct.Add(1)
 					tl.correct++
 				}
 				if res.Matched {
 					tl.matched++
 				}
-				if item.assigned >= 0 {
+				if item.Assigned >= 0 {
 					known.Add(1)
 					tl.known++
-					if res.Expert == item.assigned {
+					if res.Expert == item.Assigned {
 						routedOK.Add(1)
 						tl.routed++
 					}

@@ -118,7 +118,7 @@ func TestLoadResultArtifact(t *testing.T) {
 func TestBuildWorkloadRejectsEmptyAssignment(t *testing.T) {
 	cp, _ := loadTiny(t)
 	cp.Aggregator.Assignment = nil
-	if _, err := buildWorkload(cp, tinyLoadConfig()); err == nil {
+	if _, err := Workload(cp, tinyLoadConfig()); err == nil {
 		t.Fatal("empty assignment must be rejected")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -38,8 +39,13 @@ type Config struct {
 	// embeddings; a single request's embedding is a sample of that mean
 	// and sits farther from the expert memories, so serving needs a wider
 	// acceptance radius before the latent-memory match fires. Negative
-	// uses ε unscaled.
+	// uses ε unscaled. The effective radius (ε × scale) is visible on
+	// GET /v1/snapshot (routeEpsilon) and in /metrics.
 	RouteEpsilonScale float64
+	// Model is the model name this replica serves under (default
+	// httpapi.DefaultModel). Requests addressed to another model are
+	// answered 404, and the gateway registers the replica under this name.
+	Model string
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +69,9 @@ func (c Config) withDefaults() Config {
 		c.RouteEpsilonScale = 4
 	case c.RouteEpsilonScale < 0:
 		c.RouteEpsilonScale = 1
+	}
+	if c.Model == "" {
+		c.Model = httpapi.DefaultModel
 	}
 	return c
 }

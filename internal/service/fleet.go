@@ -3,7 +3,6 @@ package service
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"time"
 
@@ -15,46 +14,11 @@ import (
 	"repro/internal/tensor"
 )
 
-// FanoutConfig bounds how the fleet reaches parties.
-type FanoutConfig struct {
-	// Workers bounds concurrent party calls per fan-out; 0 means 4.
-	Workers int
-	// Timeout bounds one party call (including retrial-free transport
-	// time); 0 disables the fleet-side timeout and relies on transport
-	// deadlines.
-	Timeout time.Duration
-	// Retries is the number of extra attempts after a failed call.
-	Retries int
-	// Quorum is the fraction of selected parties that must return an
-	// update for a training round to complete; 0 means 1.0 (all). Rounds
-	// below quorum fail; parties that drop are skipped, not retried
-	// forever — straggler tolerance, not exactly-once delivery.
-	Quorum float64
-}
-
-func (c FanoutConfig) workers() int {
-	if c.Workers <= 0 {
-		return 4
-	}
-	return c.Workers
-}
-
-// quorumNeed returns how many of n selected parties must succeed. The
-// epsilon absorbs float error in q*n (0.28*25 is 7.0000000000000009 in
-// float64; exactly meeting the requested fraction must pass).
-func (c FanoutConfig) quorumNeed(n int) int {
-	q := c.Quorum
-	if q <= 0 || q > 1 {
-		q = 1
-	}
-	need := int(math.Ceil(q*float64(n) - 1e-9))
-	if need < 1 {
-		need = 1
-	}
-	if need > n {
-		need = n
-	}
-	return need
+// fanOut runs fn for every party on the shared fan-out machinery
+// (FanOut), describing failed slots as "<op> party <id>" and counting each
+// exhausted-retry failure into the fleet metrics.
+func fanOut[T any](f *Fleet, fan FanoutConfig, ids []int, op string, fn func(id int) (T, error)) ([]T, []error) {
+	return FanOut(fan, ids, op, func(id int) string { return fmt.Sprintf("party %d", id) }, f.metrics.PartyFailure, fn)
 }
 
 // Fleet adapts a Transport to the shiftex.Fleet contract the aggregator
@@ -170,80 +134,6 @@ func (f *Fleet) statsSeed(window int) uint64 {
 	return s
 }
 
-// errCallTimeout marks a fleet-side timeout: the abandoned call is still
-// running on the party until the transport deadline fires.
-var errCallTimeout = errors.New("service: call timed out")
-
-// callTimeout runs fn under the fleet's per-call timeout. A timed-out call
-// keeps running in its goroutine until the transport deadline fires; its
-// result is discarded.
-func callTimeout[T any](d time.Duration, fn func() (T, error)) (T, error) {
-	if d <= 0 {
-		return fn()
-	}
-	type res struct {
-		v   T
-		err error
-	}
-	ch := make(chan res, 1)
-	go func() {
-		v, err := fn()
-		ch <- res{v, err}
-	}()
-	select {
-	case r := <-ch:
-		return r.v, r.err
-	case <-time.After(d):
-		var zero T
-		return zero, fmt.Errorf("%w after %s", errCallTimeout, d)
-	}
-}
-
-// attempt runs fn with the fleet's timeout and retry policy. Timeouts are
-// not retried: the abandoned call is still running on the party, so a
-// retry would stack duplicate work on the member that is already too slow.
-func attempt[T any](fan FanoutConfig, fn func() (T, error)) (T, error) {
-	var v T
-	var err error
-	for i := 0; i <= fan.Retries; i++ {
-		v, err = callTimeout(fan.Timeout, fn)
-		if err == nil {
-			return v, nil
-		}
-		if errors.Is(err, errCallTimeout) {
-			return v, err
-		}
-	}
-	return v, err
-}
-
-// fanOut runs fn for every id on a bounded worker pool under the given
-// timeout/retry policy and returns results in input order. Failed slots
-// carry their error.
-func fanOut[T any](f *Fleet, fan FanoutConfig, ids []int, op string, fn func(id int) (T, error)) ([]T, []error) {
-	results := make([]T, len(ids))
-	errs := make([]error, len(ids))
-	sem := make(chan struct{}, fan.workers())
-	var wg sync.WaitGroup
-	for i, id := range ids {
-		wg.Add(1)
-		go func(slot, partyID int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			v, err := attempt(fan, func() (T, error) { return fn(partyID) })
-			if err != nil {
-				errs[slot] = fmt.Errorf("%s party %d: %w", op, partyID, err)
-				f.metrics.PartyFailure()
-				return
-			}
-			results[slot] = v
-		}(i, id)
-	}
-	wg.Wait()
-	return results, errs
-}
-
 // SetWindow implements shiftex.Fleet: it advances every party's stream.
 // Parties that fail to advance are tolerated but marked stale — every call
 // to them fails fast until a later advance succeeds, so a live party with
@@ -302,7 +192,7 @@ func (f *Fleet) Round(params tensor.Vector, selected []int, cfg fl.TrainConfig) 
 		}
 		updates = append(updates, results[i])
 	}
-	need := f.fan.quorumNeed(len(selected))
+	need := f.fan.QuorumNeed(len(selected))
 	if len(updates) < need {
 		f.metrics.RoundFailed()
 		return nil, nil, fmt.Errorf("service: round below quorum: %d of %d updates (need %d): %w",
@@ -399,7 +289,7 @@ func (f *Fleet) EvalAssignment(paramsFor func(partyID int) tensor.Vector) (float
 // than failing the whole window — personalization is best-effort in a live
 // federation.
 func (f *Fleet) LocalFineTune(partyID int, params tensor.Vector, cfg fl.TrainConfig) (tensor.Vector, error) {
-	u, err := attempt(f.fan, func() (fl.Update, error) {
+	u, err := Attempt(f.fan, func() (fl.Update, error) {
 		if err := f.checkFresh(partyID); err != nil {
 			return fl.Update{}, err
 		}

@@ -380,7 +380,7 @@ func TestQuorumNeed(t *testing.T) {
 		{2.0, 4, 4},  // out of range → all
 	}
 	for _, tt := range tests {
-		if got := (FanoutConfig{Quorum: tt.q}).quorumNeed(tt.n); got != tt.want {
+		if got := (FanoutConfig{Quorum: tt.q}).QuorumNeed(tt.n); got != tt.want {
 			t.Errorf("quorumNeed(q=%g, n=%d) = %d, want %d", tt.q, tt.n, got, tt.want)
 		}
 	}

@@ -1,46 +1,51 @@
 package service
 
 import (
-	"encoding/json"
-	"fmt"
 	"net/http"
+
+	"repro/internal/httpapi"
 )
 
-// Handler returns the runtime's observability endpoint:
+// Handler returns the runtime's observability surface, versioned under /v1:
 //
-//	/healthz  liveness + stream position (JSON, always 200 while serving)
-//	/state    aggregator snapshot: experts, assignments, thresholds (JSON)
-//	/metrics  Prometheus text exposition of the runtime counters
+//	/v1/healthz  liveness + stream position (JSON, always 200 while serving)
+//	/v1/state    shared httpapi.State envelope with the aggregator section
+//	/v1/metrics  Prometheus text (or shared JSON schema with ?format=json)
 //
-// Handlers read locked snapshots only, so they are safe to serve while a
-// window is running.
+// The pre-versioning paths (/healthz /state /metrics) stay reachable as
+// deprecated aliases carrying a Deprecation header; unknown routes answer
+// 404 with the live /v1 listing. Handlers read locked snapshots only, so
+// they are safe to serve while a window is running.
 func (r *Runtime) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", r.handleHealthz)
-	mux.HandleFunc("/state", r.handleState)
-	mux.HandleFunc("/metrics", r.handleMetrics)
-	return mux
+	api := httpapi.NewAPI()
+	api.Handle("/v1/healthz", r.handleHealthz)
+	api.Handle("/v1/state", r.handleState)
+	api.Handle("/v1/metrics", r.handleMetrics)
+	api.Deprecated("/healthz", "/v1/healthz", r.handleHealthz)
+	api.Deprecated("/state", "/v1/state", r.handleState)
+	api.Deprecated("/metrics", "/v1/metrics", r.handleMetrics)
+	return api.Handler()
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func (r *Runtime) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// phase reports where the runtime is in its stream: bootstrapping before
+// window 0 completes, adapting during the stream, done after the last
+// window.
+func (r *Runtime) phase() (string, int) {
 	r.mu.Lock()
 	next := r.nextWindow
 	r.mu.Unlock()
-	phase := "adapting"
 	switch {
 	case next == 0:
-		phase = "bootstrapping"
+		return "bootstrapping", next
 	case next >= r.opts.Windows:
-		phase = "done"
+		return "done", next
 	}
-	writeJSON(w, map[string]any{
+	return "adapting", next
+}
+
+func (r *Runtime) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	phase, next := r.phase()
+	httpapi.WriteJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
 		"phase":         phase,
 		"nextWindow":    next,
@@ -51,67 +56,52 @@ func (r *Runtime) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (r *Runtime) handleState(w http.ResponseWriter, _ *http.Request) {
+	phase, _ := r.phase()
 	r.mu.Lock()
 	st := r.status
 	reports := len(r.reports)
 	r.mu.Unlock()
-	writeJSON(w, map[string]any{
-		"window":       st.Window,
-		"windowsDone":  reports,
-		"policy":       r.agg.PolicyName(),
-		"experts":      st.Experts,
-		"distribution": st.Distribution,
-		"assignments":  st.Assignments,
-		"epsilon":      st.Epsilon,
-		"thresholds":   st.Thresholds,
-		"lastTrace":    st.Trace,
+	m := r.metrics.Snapshot()
+	httpapi.WriteJSON(w, http.StatusOK, httpapi.State{
+		SchemaVersion: httpapi.SchemaVersion,
+		Daemon:        "aggregator",
+		Status:        "ok",
+		UptimeSeconds: m.UptimeSeconds,
+		Aggregator: &httpapi.AggregatorState{
+			Phase:        phase,
+			Window:       st.Window,
+			WindowsDone:  reports,
+			WindowsTotal: r.opts.Windows,
+			Parties:      r.fleet.NumParties(),
+			Policy:       r.agg.PolicyName(),
+			Experts:      st.Experts,
+			Distribution: st.Distribution,
+			Assignments:  st.Assignments,
+			Epsilon:      st.Epsilon,
+			Thresholds:   st.Thresholds,
+			LastTrace:    st.Trace,
+		},
 	})
 }
 
-func (r *Runtime) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (r *Runtime) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	s := r.metrics.Snapshot()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var b []byte
-	add := func(format string, args ...any) {
-		b = fmt.Appendf(b, format+"\n", args...)
-	}
-	add("# HELP shiftex_uptime_seconds Time since the runtime started.")
-	add("# TYPE shiftex_uptime_seconds gauge")
-	add("shiftex_uptime_seconds %g", s.UptimeSeconds)
-	add("# HELP shiftex_windows_completed Stream windows completed.")
-	add("# TYPE shiftex_windows_completed counter")
-	add("shiftex_windows_completed %d", s.WindowsDone)
-	add("# HELP shiftex_rounds_total Federated training rounds completed.")
-	add("# TYPE shiftex_rounds_total counter")
-	add("shiftex_rounds_total %d", s.RoundsTotal)
-	add("# HELP shiftex_rounds_failed_total Rounds that missed quorum.")
-	add("# TYPE shiftex_rounds_failed_total counter")
-	add("shiftex_rounds_failed_total %d", s.RoundsFailed)
-	add("# HELP shiftex_round_latency_seconds Wall-clock time of a training round.")
-	add("# TYPE shiftex_round_latency_seconds gauge")
-	add(`shiftex_round_latency_seconds{stat="last"} %g`, s.RoundLatencyLastS)
-	add(`shiftex_round_latency_seconds{stat="mean"} %g`, s.RoundLatencyMeanS)
-	add("# HELP shiftex_experts Expert-pool size after the last window.")
-	add("# TYPE shiftex_experts gauge")
-	add("shiftex_experts %d", s.ExpertPoolSize)
-	add("# HELP shiftex_experts_created_total Experts spawned for shifted clusters.")
-	add("# TYPE shiftex_experts_created_total counter")
-	add("shiftex_experts_created_total %d", s.ExpertsCreated)
-	add("# HELP shiftex_experts_merged_total Experts removed by consolidation.")
-	add("# TYPE shiftex_experts_merged_total counter")
-	add("shiftex_experts_merged_total %d", s.ExpertsMerged)
-	add("# HELP shiftex_shift_events_total Per-party shift detections.")
-	add("# TYPE shiftex_shift_events_total counter")
-	add(`shiftex_shift_events_total{kind="covariate"} %d`, s.ShiftEventsCov)
-	add(`shiftex_shift_events_total{kind="label"} %d`, s.ShiftEventsLabel)
-	add("# HELP shiftex_party_failures_total Party calls that exhausted retries.")
-	add("# TYPE shiftex_party_failures_total counter")
-	add("shiftex_party_failures_total %d", s.PartyFailures)
-	add("# HELP shiftex_round_stragglers_total Selected parties that missed rounds tolerated by quorum.")
-	add("# TYPE shiftex_round_stragglers_total counter")
-	add("shiftex_round_stragglers_total %d", s.StragglersTotal)
-	add("# HELP shiftex_checkpoints_written_total Checkpoint files committed.")
-	add("# TYPE shiftex_checkpoints_written_total counter")
-	add("shiftex_checkpoints_written_total %d", s.CheckpointsWritten)
-	_, _ = w.Write(b)
+	b := httpapi.NewMetricsBuilder("aggregator").
+		Gauge("shiftex_uptime_seconds", "Time since the runtime started.", s.UptimeSeconds).
+		Counter("shiftex_windows_completed", "Stream windows completed.", float64(s.WindowsDone)).
+		Counter("shiftex_rounds_total", "Federated training rounds completed.", float64(s.RoundsTotal)).
+		Counter("shiftex_rounds_failed_total", "Rounds that missed quorum.", float64(s.RoundsFailed)).
+		GaugeVec("shiftex_round_latency_seconds", "Wall-clock time of a training round.",
+			httpapi.Sample{Labels: `stat="last"`, Value: s.RoundLatencyLastS},
+			httpapi.Sample{Labels: `stat="mean"`, Value: s.RoundLatencyMeanS}).
+		Gauge("shiftex_experts", "Expert-pool size after the last window.", float64(s.ExpertPoolSize)).
+		Counter("shiftex_experts_created_total", "Experts spawned for shifted clusters.", float64(s.ExpertsCreated)).
+		Counter("shiftex_experts_merged_total", "Experts removed by consolidation.", float64(s.ExpertsMerged)).
+		CounterVec("shiftex_shift_events_total", "Per-party shift detections.",
+			httpapi.Sample{Labels: `kind="covariate"`, Value: float64(s.ShiftEventsCov)},
+			httpapi.Sample{Labels: `kind="label"`, Value: float64(s.ShiftEventsLabel)}).
+		Counter("shiftex_party_failures_total", "Party calls that exhausted retries.", float64(s.PartyFailures)).
+		Counter("shiftex_round_stragglers_total", "Selected parties that missed rounds tolerated by quorum.", float64(s.StragglersTotal)).
+		Counter("shiftex_checkpoints_written_total", "Checkpoint files committed.", float64(s.CheckpointsWritten))
+	b.ServeMetrics(w, req)
 }

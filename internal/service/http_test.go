@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/httpapi"
 )
 
 func TestObservabilityEndpoints(t *testing.T) {
@@ -53,25 +55,38 @@ func TestObservabilityEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	code, body = get("/state")
+	code, body = get("/v1/state")
 	if code != http.StatusOK {
-		t.Fatalf("/state = %d, want 200", code)
+		t.Fatalf("/v1/state = %d, want 200", code)
 	}
-	var state struct {
-		Window      int            `json:"window"`
-		WindowsDone int            `json:"windowsDone"`
-		Experts     []int          `json:"experts"`
-		Assignments map[string]int `json:"assignments"`
-		Epsilon     float64        `json:"epsilon"`
-	}
+	var state httpapi.State
 	if err := json.Unmarshal([]byte(body), &state); err != nil {
-		t.Fatalf("/state not JSON: %v\n%s", err, body)
+		t.Fatalf("/v1/state not JSON: %v\n%s", err, body)
 	}
-	if state.WindowsDone != 1 || len(state.Experts) != 1 || len(state.Assignments) != sc.Spec.NumParties {
+	if state.SchemaVersion != httpapi.SchemaVersion || state.Daemon != "aggregator" || state.Aggregator == nil {
+		t.Fatalf("state envelope wrong: %s", body)
+	}
+	agg := state.Aggregator
+	if agg.WindowsDone != 1 || len(agg.Experts) != 1 || len(agg.Assignments) != sc.Spec.NumParties {
 		t.Fatalf("unexpected state after bootstrap: %s", body)
 	}
-	if state.Epsilon <= 0 {
+	if agg.Epsilon <= 0 {
 		t.Fatalf("epsilon not calibrated after bootstrap: %s", body)
+	}
+
+	// The pre-versioning alias answers the same payload, flagged deprecated.
+	resp, err := http.Get(srv.URL + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliasBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("/state alias missing Deprecation header")
+	}
+	var aliasState httpapi.State
+	if err := json.Unmarshal(aliasBody, &aliasState); err != nil || aliasState.Daemon != "aggregator" {
+		t.Fatalf("/state alias payload diverged: %v\n%s", err, aliasBody)
 	}
 
 	code, body = get("/metrics")
@@ -94,9 +109,32 @@ func TestObservabilityEndpoints(t *testing.T) {
 		t.Errorf("4 bootstrap rounds should be counted:\n%s", body)
 	}
 
-	// /healthz reflects progress.
-	_, body = get("/healthz")
+	// /healthz reflects progress (via the v1 route).
+	_, body = get("/v1/healthz")
 	if !strings.Contains(body, `"phase": "adapting"`) {
 		t.Errorf("health phase should be adapting after bootstrap: %s", body)
+	}
+
+	// The JSON metrics form shares the schema envelope.
+	code, body = get("/v1/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/metrics?format=json = %d, want 200", code)
+	}
+	var payload httpapi.MetricsPayload
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, body)
+	}
+	if payload.SchemaVersion != httpapi.SchemaVersion || payload.Daemon != "aggregator" || len(payload.Metrics) == 0 {
+		t.Fatalf("metrics payload wrong: %s", body)
+	}
+
+	// Unknown routes answer 404 with the live /v1 surface.
+	code, body = get("/status")
+	if code != http.StatusNotFound {
+		t.Fatalf("/status = %d, want 404", code)
+	}
+	var e httpapi.ErrorBody
+	if err := json.Unmarshal([]byte(body), &e); err != nil || len(e.Routes) == 0 {
+		t.Fatalf("404 should list live routes: %s", body)
 	}
 }
