@@ -42,6 +42,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/service"
 	"repro/internal/shiftex"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -93,6 +94,8 @@ func run(args []string) error {
 	resume := fs.Bool("resume", false, "resume from -checkpoint instead of starting at window 0")
 	policyName := fs.String("policy", "", "adaptation policy the aggregator runs (empty = default); on -resume the checkpoint's policy is pinned and a conflicting flag is an error")
 	httpAddr := fs.String("http", "", "serve /healthz, /state, /metrics on this address (empty = off)")
+	debugAddr := fs.String("debug-addr", "", "serve /v1/debug/pprof/ and /v1/debug/traces on this extra address (empty = off)")
+	traceBuffer := fs.Int("trace-buffer", telemetry.DefaultRingSize, "span ring-buffer capacity for /v1/debug/traces")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,16 +142,25 @@ func run(args []string) error {
 		}
 	}
 
+	logger := telemetry.NewLogger(os.Stderr, "aggregator")
+	tracer := telemetry.NewTracer("aggregator", *traceBuffer)
+	if *debugAddr != "" {
+		telemetry.ServeDebug(*debugAddr, tracer, func(err error) {
+			logger.Error("debug listener failed", "error", err)
+		})
+	}
+
 	// Assemble the party fleet.
 	var transport service.Transport
 	var nparties int
 	if *load > 0 {
 		nparties = *load
-		tr, closeFn, err := loadFleet(*load, windows, *samples, *testN, *seed)
+		tr, closeFn, err := loadFleet(*load, windows, *samples, *testN, *seed, tracer)
 		if err != nil {
 			return err
 		}
 		defer closeFn()
+		tr.SetTracer(tracer)
 		transport = tr
 	} else {
 		addrs := strings.Split(*partyList, ",")
@@ -166,6 +178,7 @@ func run(args []string) error {
 			return fmt.Errorf("%w\n  start it with: shiftex-party -addr HOST:PORT -party ID -nparties %d -windows %d -scenario-seed %d",
 				err, nparties, windows, *seed)
 		}
+		tr.SetTracer(tracer)
 		transport = tr
 	}
 
@@ -194,6 +207,7 @@ func run(args []string) error {
 			Quorum:  *quorum,
 		},
 		CheckpointPath: *checkpoint,
+		Tracer:         tracer,
 	}
 
 	var rt *service.Runtime
@@ -221,6 +235,9 @@ func run(args []string) error {
 		defer srv.Close()
 		fmt.Printf("observability on http://%s (/v1/healthz /v1/state /v1/metrics; unversioned aliases deprecated)\n", *httpAddr)
 	}
+	logger.Info("listening", "addr", *httpAddr, "parties", nparties,
+		"windows", windows, "policy", rt.Aggregator().PolicyName(),
+		"nextWindow", rt.NextWindow(), "debugAddr", *debugAddr)
 
 	// SIGTERM (the signal process managers send) drains like SIGINT: the
 	// current window completes and checkpoints before the loop observes
@@ -236,6 +253,10 @@ func run(args []string) error {
 			} else {
 				fmt.Println("interrupted; no -checkpoint was set, progress is lost")
 			}
+			mi := rt.Metrics().Snapshot()
+			logger.Info("drained", "windowsDone", mi.WindowsDone,
+				"rounds", mi.RoundsTotal, "partyFailures", mi.PartyFailures,
+				"spans", tracer.SpanCount())
 			return nil
 		default:
 		}
@@ -251,6 +272,8 @@ func run(args []string) error {
 	m := rt.Metrics().Snapshot()
 	fmt.Printf("run complete: %d windows, %d rounds (mean %.2fs), %d experts, %d party failures tolerated\n",
 		m.WindowsDone, m.RoundsTotal, m.RoundLatencyMeanS, rt.Aggregator().Registry().Len(), m.PartyFailures)
+	logger.Info("drained", "windowsDone", m.WindowsDone, "rounds", m.RoundsTotal,
+		"partyFailures", m.PartyFailures, "spans", tracer.SpanCount())
 	return nil
 }
 
@@ -263,7 +286,7 @@ func last(trace []float64) float64 {
 
 // loadFleet starts n in-process scenario parties on loopback TCP — the
 // load-generator mode that exercises the full wire path in one process.
-func loadFleet(n, windows, samples, testN int, seed uint64) (*service.TCPTransport, func(), error) {
+func loadFleet(n, windows, samples, testN int, seed uint64, tracer *telemetry.Tracer) (*service.TCPTransport, func(), error) {
 	spec := service.ScenarioSpec(n, samples, testN, windows)
 	sc, err := dataset.BuildScenario(spec, dataset.DefaultShiftConfig(), seed)
 	if err != nil {
@@ -293,6 +316,9 @@ func loadFleet(n, windows, samples, testN int, seed uint64) (*service.TCPTranspo
 			return nil, nil, err
 		}
 		srv.SetWindowProvider(provider)
+		// In-process parties share the daemon's ring: their party.<kind>
+		// spans land next to the fl.<kind> client spans they answer.
+		srv.SetTracer(tracer)
 		servers = append(servers, srv)
 		addrs[p] = srv.Addr()
 	}

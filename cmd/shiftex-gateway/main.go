@@ -27,7 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,6 +38,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gateway"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -53,6 +54,8 @@ func run(args []string) error {
 	httpAddr := fs.String("http", "", "bind address (overrides config listen; default 127.0.0.1:8080)")
 	backends := fs.String("backends", "", "comma-separated serve replica addresses for the default model (config-free single-model mode)")
 	verbose := fs.Bool("v", false, "log each request and replica eviction/re-admission")
+	debugAddr := fs.String("debug-addr", "", "serve /v1/debug/pprof/ and /v1/debug/traces on this extra address (empty = off)")
+	traceBuffer := fs.Int("trace-buffer", telemetry.DefaultRingSize, "span ring-buffer capacity for /v1/debug/traces")
 
 	loadgen := fs.Bool("loadgen", false, "load-generation mode: replay the checkpoint's scenario over HTTP against -url and write BENCH_gateway.json")
 	checkpoint := fs.String("checkpoint", "", "loadgen: aggregator checkpoint the replicas serve (ground-truth source)")
@@ -131,13 +134,21 @@ func run(args []string) error {
 	if addr == "" {
 		addr = "127.0.0.1:8080"
 	}
-	var logger *log.Logger
+	logger := telemetry.NewLogger(os.Stderr, "gateway")
+	var gwLogger *slog.Logger
 	if *verbose {
-		logger = log.New(os.Stderr, "gateway: ", log.LstdFlags|log.Lmicroseconds)
+		gwLogger = logger
 	}
-	g, err := gateway.New(cfg, logger)
+	g, err := gateway.New(cfg, gwLogger)
 	if err != nil {
 		return err
+	}
+	tracer := telemetry.NewTracer("gateway", *traceBuffer)
+	g.SetTracer(tracer)
+	if *debugAddr != "" {
+		telemetry.ServeDebug(*debugAddr, tracer, func(err error) {
+			logger.Error("debug listener failed", "error", err)
+		})
 	}
 	g.Start()
 	defer g.Close()
@@ -152,6 +163,8 @@ func run(args []string) error {
 	st := g.State()
 	fmt.Printf("gateway listening on http://%s: %d model(s), middlewares %v (available: %s)\n",
 		addr, len(st.Models), st.Middlewares, strings.Join(gateway.AvailableMiddlewares(), ", "))
+	logger.Info("listening", "addr", addr, "models", len(st.Models),
+		"middlewares", fmt.Sprint(st.Middlewares), "debugAddr", *debugAddr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -166,6 +179,9 @@ func run(args []string) error {
 		fmt.Printf("gateway drained: %d requests (%d errors, %d rejected), %d failovers, %d evictions, %d re-admissions, session cache %d/%d hits\n",
 			st.Requests, st.Errors, st.Rejected, st.Failovers, st.Evictions, st.Readmissions,
 			st.SessionHits, st.SessionHits+st.SessionMisses)
+		logger.Info("drained", "requests", st.Requests, "errors", st.Errors,
+			"rejected", st.Rejected, "failovers", st.Failovers,
+			"spans", tracer.SpanCount())
 		return err
 	}
 }

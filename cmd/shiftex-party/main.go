@@ -32,6 +32,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/service"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -72,6 +73,8 @@ func run(args []string) error {
 	windows := fs.Int("windows", 1, "scenario mode: number of stream windows (>1 enables scenario mode)")
 	nparties := fs.Int("nparties", 0, "scenario mode: total parties in the shared scenario")
 	scenarioSeed := fs.Uint64("scenario-seed", 1, "scenario mode: shared scenario seed")
+	debugAddr := fs.String("debug-addr", "", "serve /v1/debug/pprof/ and /v1/debug/traces on this extra address (empty = off)")
+	traceBuffer := fs.Int("trace-buffer", telemetry.DefaultRingSize, "span ring-buffer capacity for /v1/debug/traces")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,12 +89,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	logger := telemetry.NewLogger(os.Stderr, "party")
+	tracer := telemetry.NewTracer("party", *traceBuffer)
+	srv.SetTracer(tracer)
+	if *debugAddr != "" {
+		telemetry.ServeDebug(*debugAddr, tracer, func(err error) {
+			logger.Error("debug listener failed", "error", err)
+		})
+	}
+	logger.Info("listening", "addr", srv.Addr(), "party", *partyID,
+		"windows", *windows, "debugAddr", *debugAddr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
-	return srv.Close()
+	err = srv.Close()
+	logger.Info("drained", "requests", srv.Requests(), "spans", tracer.SpanCount())
+	return err
 }
 
 // scenarioServer serves one party's slice of the shared multi-window shift

@@ -39,6 +39,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/serve"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -62,6 +63,8 @@ func run(args []string) error {
 	cacheSize := fs.Int("cache", 4096, "LRU route-cache entries (negative = disable)")
 	epsScale := fs.Float64("route-eps-scale", 4, "set the EFFECTIVE match radius to calibrated ε × this scale (single-request embeddings are noisier than the window means ε was calibrated on; negative = use ε unscaled; the resulting radius is visible as routeEpsilon on /v1/snapshot and as shiftex_serve_route_epsilon / shiftex_serve_expert_route_epsilon on /v1/metrics)")
 	metricsOut := fs.String("metrics-out", "", "write the final serving-metrics snapshot to this JSON file on shutdown")
+	debugAddr := fs.String("debug-addr", "", "serve /v1/debug/pprof/ and /v1/debug/traces on this extra address (empty = off)")
+	traceBuffer := fs.Int("trace-buffer", telemetry.DefaultRingSize, "span ring-buffer capacity for /v1/debug/traces")
 
 	loadgen := fs.Bool("loadgen", false, "load-generation mode: replay the checkpoint's scenario against an in-process server and write BENCH_serving.json")
 	qps := fs.Float64("qps", 0, "loadgen target aggregate QPS (0 = open loop, as fast as possible)")
@@ -74,11 +77,19 @@ func run(args []string) error {
 	jsonDir := fs.String("json", "", "loadgen: write BENCH_serving.json into this directory (empty = don't write)")
 	check := fs.String("check", "", "validate a BENCH_serving.json artifact, print its headline numbers, and exit")
 	minThroughput := fs.Float64("min-throughput", 0, "with -check: fail unless the artifact reports at least this many predictions/sec")
+
+	tracebench := fs.Bool("tracebench", false, "tracing-overhead benchmark: replay the loadgen workload as interleaved untraced/traced trial pairs against in-process servers and write BENCH_tracing.json")
+	trials := fs.Int("trials", serve.DefaultTracingTrials, "with -tracebench: interleaved baseline/traced trial pairs; each side reports its best trial")
+	checkTracing := fs.String("check-tracing", "", "validate a BENCH_tracing.json artifact, print its headline numbers, and exit")
+	maxOverhead := fs.Float64("max-overhead", 5, "with -tracebench or -check-tracing: fail when tracing costs more than this percent of baseline throughput")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *check != "" {
 		return checkArtifact(*check, *minThroughput)
+	}
+	if *checkTracing != "" {
+		return checkTracingArtifact(*checkTracing, *maxOverhead)
 	}
 	if *checkpoint == "" {
 		return errors.New("-checkpoint PATH is required\n  produce one with: shiftex-aggregator -load 8 -windows 3 -seed 42 -checkpoint ckpt.json")
@@ -102,6 +113,26 @@ func run(args []string) error {
 
 		RouteEpsilonScale: *epsScale,
 	}
+	lcfg := serve.LoadConfig{
+		TargetQPS:       *qps,
+		Concurrency:     *concurrency,
+		Repeat:          *repeat,
+		MaxDuration:     *duration,
+		SamplesPerParty: *samples,
+		TestPerParty:    *testN,
+		SwapMidLoad:     *swapMid,
+	}
+	if *tracebench {
+		return runTracebench(cp, lcfg, cfg, *traceBuffer, *trials, *maxOverhead, *jsonDir)
+	}
+	logger := telemetry.NewLogger(os.Stderr, "serve")
+	tracer := telemetry.NewTracer("serve", *traceBuffer)
+	cfg.Tracer = tracer
+	if *debugAddr != "" {
+		telemetry.ServeDebug(*debugAddr, tracer, func(err error) {
+			logger.Error("debug listener failed", "error", err)
+		})
+	}
 	srv, err := serve.NewServer(snap, cfg)
 	if err != nil {
 		return err
@@ -114,15 +145,7 @@ func run(args []string) error {
 		snap.Epsilon, srv.Snapshot().RouteEpsilon(), *checkpoint)
 
 	if *loadgen {
-		return runLoadgen(srv, cp, cfg, serve.LoadConfig{
-			TargetQPS:       *qps,
-			Concurrency:     *concurrency,
-			Repeat:          *repeat,
-			MaxDuration:     *duration,
-			SamplesPerParty: *samples,
-			TestPerParty:    *testN,
-			SwapMidLoad:     *swapMid,
-		}, *jsonDir)
+		return runLoadgen(srv, cp, cfg, lcfg, *jsonDir)
 	}
 
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
@@ -133,6 +156,9 @@ func run(args []string) error {
 		}
 	}()
 	fmt.Printf("listening on http://%s (/v1/predict /v1/snapshot /v1/models/{name} /v1/state /v1/healthz /v1/metrics + deprecated unversioned aliases)\n", *httpAddr)
+	logger.Info("listening", "addr", *httpAddr, "model", srv.Model(),
+		"snapshot", int64(srv.Snapshot().Version), "experts", snap.NumExperts(),
+		"debugAddr", *debugAddr)
 
 	if *gatewayURL != "" {
 		regAddr := *advertise
@@ -172,6 +198,9 @@ func run(args []string) error {
 			m := srv.Metrics().Snapshot()
 			fmt.Printf("drained: %d requests served (p50=%.3gms p99=%.3gms), %d matched / %d fallback, %d swaps\n",
 				m.Requests, m.P50Seconds*1e3, m.P99Seconds*1e3, m.Matched, m.Fallbacks, m.Swaps)
+			logger.Info("drained", "requests", m.Requests,
+				"matched", m.Matched, "fallbacks", m.Fallbacks, "swaps", m.Swaps,
+				"spans", tracer.SpanCount())
 			if *metricsOut != "" {
 				if werr := writeMetrics(*metricsOut, m); werr != nil && err == nil {
 					err = werr
@@ -218,6 +247,54 @@ func checkArtifact(path string, minThroughput float64) error {
 		return fmt.Errorf("throughput %.0f/s below required %.0f/s", a.ThroughputPerSec, minThroughput)
 	}
 	return nil
+}
+
+// runTracebench measures tracing overhead against in-process servers,
+// prints the headline numbers, optionally records the artifact, and
+// applies the overhead gate.
+func runTracebench(cp *service.Checkpoint, lcfg serve.LoadConfig, cfg serve.Config, ringSize, trials int, maxOverhead float64, jsonDir string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	a, err := serve.RunTracingBench(ctx, cp, lcfg, cfg, ringSize, trials)
+	if err != nil {
+		return err
+	}
+	printTracing(a)
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return err
+		}
+		path, err := experiments.WriteTracingArtifactFile(jsonDir, a)
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	if maxOverhead > 0 {
+		return a.CheckOverhead(maxOverhead)
+	}
+	return nil
+}
+
+// checkTracingArtifact validates a tracing artifact and applies the
+// overhead gate — the smoke tests' machine-checkable gate on the
+// "tracing is near-free" claim.
+func checkTracingArtifact(path string, maxOverhead float64) error {
+	a, err := experiments.ReadTracingArtifactFile(path)
+	if err != nil {
+		return err
+	}
+	printTracing(a)
+	if maxOverhead > 0 {
+		return a.CheckOverhead(maxOverhead)
+	}
+	return nil
+}
+
+func printTracing(a *experiments.TracingArtifact) {
+	fmt.Printf("tracing artifact ok: baseline=%.0f/s traced=%.0f/s overhead=%.2f%% spans=%d (baseline p99=%.3gms traced p99=%.3gms)\n",
+		a.BaselineThroughputPerSec, a.TracedThroughputPerSec, a.OverheadPercent,
+		a.SpansRecorded, a.BaselineLatencyMsP99, a.TracedLatencyMsP99)
 }
 
 // writeMetrics records the final serving counters as indented JSON.

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/detect"
 	"repro/internal/nn"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -31,6 +33,23 @@ const (
 	reqAdvance
 )
 
+func (k reqKind) String() string {
+	switch k {
+	case reqTrain:
+		return "train"
+	case reqStats:
+		return "stats"
+	case reqEval:
+		return "eval"
+	case reqHist:
+		return "hist"
+	case reqAdvance:
+		return "advance"
+	default:
+		return fmt.Sprintf("kind%d", int(k))
+	}
+}
+
 // request is the wire envelope sent by the aggregator.
 type request struct {
 	Kind   reqKind
@@ -46,6 +65,11 @@ type request struct {
 	Seed uint64
 	// Window is the target stream window for advance requests.
 	Window int
+	// Traceparent carries the aggregator-side trace context (W3C
+	// traceparent format) so a party-side span joins the same trace.
+	// Empty when the aggregator runs untraced; gob tolerates the field
+	// being absent on older peers.
+	Traceparent string
 }
 
 // response is the wire envelope returned by a party.
@@ -76,11 +100,22 @@ type PartyServer struct {
 	wg   sync.WaitGroup
 	stop chan struct{}
 
+	tracer   atomic.Pointer[telemetry.Tracer]
+	requests atomic.Int64
+
 	mu      sync.Mutex
 	party   *Party
 	windows WindowProvider
 	rng     *tensor.RNG
 }
+
+// SetTracer attaches a tracer; each wire request then records a
+// party.<kind> span, continuing the aggregator's trace when the request
+// carries a valid traceparent.
+func (s *PartyServer) SetTracer(t *telemetry.Tracer) { s.tracer.Store(t) }
+
+// Requests reports how many wire requests the server has handled.
+func (s *PartyServer) Requests() int64 { return s.requests.Load() }
 
 // NewPartyServer starts serving the party on addr (e.g. "127.0.0.1:0").
 // The returned server is already accepting connections.
@@ -166,6 +201,17 @@ func (s *PartyServer) handle(conn net.Conn) {
 	if err := dec.Decode(&req); err != nil {
 		return
 	}
+	s.requests.Add(1)
+	var span *telemetry.Span
+	if tr := s.tracer.Load(); tr != nil {
+		// A malformed traceparent is replaced with a fresh root, never
+		// propagated (same policy as the HTTP tiers).
+		parent, _ := telemetry.ParseTraceparent(req.Traceparent)
+		span = tr.StartSpan("party."+req.Kind.String(), parent)
+		s.mu.Lock()
+		span.SetAttrInt("party", int64(s.party.ID))
+		s.mu.Unlock()
+	}
 	var resp response
 	switch req.Kind {
 	case reqTrain:
@@ -202,6 +248,12 @@ func (s *PartyServer) handle(conn net.Conn) {
 		}
 	default:
 		resp.Err = fmt.Sprintf("fl: unknown request kind %d", req.Kind)
+	}
+	if span != nil {
+		if resp.Err != "" {
+			span.SetError(errors.New(resp.Err))
+		}
+		span.End()
 	}
 	_ = enc.Encode(&resp)
 }
@@ -276,7 +328,15 @@ type TCPTrainer struct {
 	// CallTimeout bounds one full request/response exchange (the
 	// connection deadline); 0 means 2m.
 	CallTimeout time.Duration
+
+	tracer atomic.Pointer[telemetry.Tracer]
 }
+
+// SetTracer attaches a tracer; each wire call then records an fl.<kind>
+// span parented under the tracer's active context (the Trainer interface
+// carries no ctx, so the aggregator publishes its current stage span via
+// Tracer.SetActive) and stamps its traceparent onto the wire request.
+func (t *TCPTrainer) SetTracer(tr *telemetry.Tracer) { t.tracer.Store(tr) }
 
 var _ Trainer = (*TCPTrainer)(nil)
 
@@ -307,6 +367,18 @@ func (t *TCPTrainer) addr(partyID int) (string, error) {
 }
 
 func (t *TCPTrainer) roundTrip(partyID int, req request) (response, error) {
+	if tr := t.tracer.Load(); tr != nil {
+		span := tr.StartSpan("fl."+req.Kind.String(), tr.Active())
+		span.SetAttrInt("party", int64(partyID))
+		req.Traceparent = telemetry.Traceparent(span.Context())
+		resp, err := t.doRoundTrip(partyID, req)
+		span.EndErr(err)
+		return resp, err
+	}
+	return t.doRoundTrip(partyID, req)
+}
+
+func (t *TCPTrainer) doRoundTrip(partyID int, req request) (response, error) {
 	addr, err := t.addr(partyID)
 	if err != nil {
 		return response{}, err

@@ -27,14 +27,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/httpapi"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -47,7 +49,8 @@ type Gateway struct {
 	reg     *registry
 	session *sessionCache
 	client  *http.Client
-	logger  *log.Logger
+	logger  *slog.Logger
+	tracer  *telemetry.Tracer
 	start   time.Time
 	metrics gwMetrics
 
@@ -76,7 +79,7 @@ type gwMetrics struct {
 // an unknown middleware name or route group is a startup error naming the
 // live vocabulary, so a misconfigured deployment never comes up half
 // protected.
-func New(cfg Config, logger *log.Logger) (*Gateway, error) {
+func New(cfg Config, logger *slog.Logger) (*Gateway, error) {
 	cfg = cfg.withDefaults()
 	g := &Gateway{
 		cfg:     cfg,
@@ -109,9 +112,24 @@ func New(cfg Config, logger *log.Logger) (*Gateway, error) {
 	return g, nil
 }
 
-func (g *Gateway) logf(format string, args ...any) {
+// SetTracer installs the span recorder. Call before Handler; a nil
+// tracer (the default) disables tracing.
+func (g *Gateway) SetTracer(t *telemetry.Tracer) { g.tracer = t }
+
+// Tracer returns the installed span recorder (nil when tracing is off).
+func (g *Gateway) Tracer() *telemetry.Tracer { return g.tracer }
+
+// logInfo and logWarn emit structured records when a logger is
+// configured; the context correlates them with the active trace.
+func (g *Gateway) logInfo(ctx context.Context, msg string, args ...any) {
 	if g.logger != nil {
-		g.logger.Printf(format, args...)
+		g.logger.InfoContext(ctx, msg, args...)
+	}
+}
+
+func (g *Gateway) logWarn(ctx context.Context, msg string, args ...any) {
+	if g.logger != nil {
+		g.logger.WarnContext(ctx, msg, args...)
 	}
 }
 
@@ -155,13 +173,15 @@ func (g *Gateway) ProbeAll() {
 				if err != nil {
 					if m.noteFailure(addr, g.cfg.EvictAfter) {
 						g.metrics.evictions.Add(1)
-						g.logf("gateway: evicted %s from %s: %v", addr, m, err)
+						g.logWarn(context.Background(), "replica evicted",
+							"replica", addr, "model", m.name, "error", err.Error())
 					}
 					return struct{}{}, err
 				}
 				if m.noteSuccess(addr, sum.Version) {
 					g.metrics.readmissions.Add(1)
-					g.logf("gateway: re-admitted %s to %s at snapshot %d", addr, m, sum.Version)
+					g.logInfo(context.Background(), "replica re-admitted",
+						"replica", addr, "model", m.name, "snapshot", sum.Version)
 				}
 				return struct{}{}, nil
 			})
@@ -187,28 +207,44 @@ var errUnknownModel = errors.New("gateway: unknown model")
 // the caller should answer with.
 func (g *Gateway) Predict(ctx context.Context, modelName string, x tensor.Vector) (httpapi.PredictResponse, int, error) {
 	g.metrics.requests.Add(1)
+	// span is nil on untraced requests; every call below no-ops then.
+	span := telemetry.SpanFromContext(ctx).Child("gateway.route")
+	defer span.End()
+	// Downstream replica calls propagate the route span, so the serve
+	// tier's spans parent under it.
+	ctx = telemetry.ContextWithSpan(ctx, span)
 	m := g.reg.model(modelName)
 	if m == nil {
 		g.metrics.errors.Add(1)
+		span.SetError(errUnknownModel)
 		return httpapi.PredictResponse{}, http.StatusNotFound, errUnknownModel
 	}
+	span.SetAttr("model", m.name)
 
 	key := KeyHash(x)
 	if resp, ok := g.session.get(m.name, key, m.knownVersion()); ok {
 		g.metrics.sessionHits.Add(1)
 		resp.GatewayCached = true
+		span.SetAttrBool("session.hit", true)
 		return resp, http.StatusOK, nil
 	}
 	g.metrics.sessionMisses.Add(1)
+	span.SetAttrBool("session.hit", false)
 
 	// Owner records the affinity assignment; Successors is the failover
 	// order starting from that owner.
-	m.ring.Owner(key)
+	owner := m.ring.Owner(key)
+	span.SetAttr("ring.owner", owner)
 	candidates := m.ring.Successors(key, m.ring.Len())
+	if span != nil {
+		// The failover chain the request would walk, owner first.
+		span.SetAttr("ring.successors", strings.Join(candidates, ","))
+	}
 	if len(candidates) == 0 {
 		g.metrics.errors.Add(1)
-		return httpapi.PredictResponse{}, http.StatusServiceUnavailable,
-			fmt.Errorf("gateway: no healthy replicas for model %q", m.name)
+		err := fmt.Errorf("gateway: no healthy replicas for model %q", m.name)
+		span.SetError(err)
+		return httpapi.PredictResponse{}, http.StatusServiceUnavailable, err
 	}
 
 	var failures []error
@@ -223,6 +259,8 @@ func (g *Gateway) Predict(ctx context.Context, modelName string, x tensor.Vector
 			}
 			resp.Replica = addr
 			g.session.put(m.name, key, resp.Snapshot, resp)
+			span.SetAttr("replica", addr)
+			span.SetAttrInt("failover.attempts", int64(i))
 			return resp, http.StatusOK, nil
 		}
 		var ce *clientError
@@ -230,18 +268,21 @@ func (g *Gateway) Predict(ctx context.Context, modelName string, x tensor.Vector
 			// The request is at fault; no other replica would answer
 			// differently and this is not a replica health signal.
 			g.metrics.errors.Add(1)
+			span.SetError(err)
 			return httpapi.PredictResponse{}, ce.status, err
 		}
 		failures = append(failures, fmt.Errorf("replica %s: %w", addr, err))
 		if m.noteFailure(addr, g.cfg.EvictAfter) {
 			g.metrics.evictions.Add(1)
-			g.logf("gateway: evicted %s from %s: %v", addr, m, err)
+			g.logWarn(ctx, "replica evicted",
+				"replica", addr, "model", m.name, "error", err.Error())
 		}
 	}
 	g.metrics.errors.Add(1)
-	return httpapi.PredictResponse{}, http.StatusBadGateway,
-		fmt.Errorf("gateway: all %d replicas failed for model %q: %w",
-			len(candidates), m.name, errors.Join(failures...))
+	err := fmt.Errorf("gateway: all %d replicas failed for model %q: %w",
+		len(candidates), m.name, errors.Join(failures...))
+	span.SetError(err)
+	return httpapi.PredictResponse{}, http.StatusBadGateway, err
 }
 
 // callPredict proxies one predict to one replica under the per-call
@@ -309,6 +350,10 @@ func (g *Gateway) post(ctx context.Context, addr, path string, body []byte) (int
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the active trace to the replica so its spans join ours.
+	if c := telemetry.SpanFromContext(ctx).Context(); c.Valid() {
+		telemetry.Inject(req.Header, c)
+	}
 	res, err := g.client.Do(req)
 	if err != nil {
 		return 0, nil, err

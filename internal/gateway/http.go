@@ -1,13 +1,16 @@
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/telemetry"
 )
 
 // Handler returns the gateway API — the same /v1 surface a single serve
@@ -28,19 +31,65 @@ import (
 // limit can never blind the operator diagnosing it.
 func (g *Gateway) Handler() http.Handler {
 	api := httpapi.NewAPI()
-	predict := g.chains[RoutePredict](http.HandlerFunc(g.handlePredict))
-	admin := g.chains[RouteAdmin]
+	predict := g.traceWrap(RoutePredict, g.chains[RoutePredict], http.HandlerFunc(g.handlePredict))
+	admin := func(h http.HandlerFunc) http.Handler {
+		return g.traceWrap(RouteAdmin, g.chains[RouteAdmin], h)
+	}
 	api.Handle("/v1/predict", predict.ServeHTTP)
-	api.Handle("/v1/snapshot", admin(http.HandlerFunc(g.handleSnapshot)).ServeHTTP)
+	api.Handle("/v1/snapshot", admin(g.handleSnapshot).ServeHTTP)
 	api.Handle("/v1/models/{name}", g.handleModel)
-	api.Handle("/v1/replicas", admin(http.HandlerFunc(g.handleReplicas)).ServeHTTP)
+	api.Handle("/v1/replicas", admin(g.handleReplicas).ServeHTTP)
 	api.Handle("/v1/state", g.handleState)
 	api.Handle("/v1/healthz", g.handleHealthz)
 	api.Handle("/v1/metrics", g.handleMetrics)
+	api.Handle("/v1/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		// Read g.tracer per request: SetTracer may run after Handler.
+		telemetry.TracesHandler(g.tracer).ServeHTTP(w, r)
+	})
 	api.Deprecated("/predict", "/v1/predict", predict.ServeHTTP)
 	api.Deprecated("/healthz", "/v1/healthz", g.handleHealthz)
 	api.Deprecated("/metrics", "/v1/metrics", g.handleMetrics)
 	return api.Handler()
+}
+
+// mwSpanKey carries the middleware span from traceWrap's outer layer to
+// the boundary handler that closes it with an "allowed" verdict.
+type mwSpanKey struct{}
+
+// traceWrap runs a middleware chain inside a trace: the request roots
+// (or continues, via an inbound traceparent) a gateway.<group> span, a
+// gateway.middleware child measures chain traversal, and the verdict
+// attribute records whether the chain admitted the request or which
+// status it was rejected with. A malformed inbound traceparent is
+// replaced with a fresh trace, never propagated.
+func (g *Gateway) traceWrap(group string, chain Middleware, final http.Handler) http.Handler {
+	boundary := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if mw, _ := r.Context().Value(mwSpanKey{}).(*telemetry.Span); mw != nil {
+			mw.SetAttr("verdict", "allowed")
+			mw.End()
+		}
+		final.ServeHTTP(w, r)
+	})
+	inner := chain(boundary)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if g.tracer == nil {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		root := g.tracer.StartFromRequest("gateway."+group, r)
+		mw := root.Child("gateway.middleware")
+		mw.SetAttr("chain", strings.Join(g.cfg.Middlewares[group], ","))
+		ctx := telemetry.ContextWithSpan(r.Context(), root)
+		ctx = context.WithValue(ctx, mwSpanKey{}, mw)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		inner.ServeHTTP(rec, r.WithContext(ctx))
+		// If the boundary never ran, the chain rejected the request; the
+		// idempotent End makes this a no-op on the allowed path.
+		mw.SetAttr("verdict", fmt.Sprintf("rejected:%d", rec.status))
+		mw.End()
+		root.SetAttrInt("http.status", int64(rec.status))
+		root.End()
+	})
 }
 
 // writeUnknownModel answers an unknown-model error with the live model
@@ -214,6 +263,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	b := httpapi.NewMetricsBuilder("gateway").
+		Runtime(g.start).
 		Gauge("shiftex_gateway_uptime_seconds", "Time since the gateway started.", g.uptimeSeconds()).
 		CounterVec("shiftex_gateway_requests_total", "Predict requests, by outcome.",
 			httpapi.Sample{Labels: `outcome="ok"`, Value: float64(st.Requests - st.Errors)},

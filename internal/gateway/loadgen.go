@@ -19,6 +19,7 @@ import (
 	"repro/internal/httpapi"
 	"repro/internal/serve"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // LoadConfig tunes the gateway load generator — an HTTP client fleet
@@ -55,6 +56,10 @@ type LoadConfig struct {
 	// scenario's shape, as in serve.LoadConfig.
 	SamplesPerParty int
 	TestPerParty    int
+	// Tracer, when set, roots a loadgen.predict span per request and
+	// sends its traceparent with the HTTP request, so a gateway trace
+	// can be followed from the client side.
+	Tracer *telemetry.Tracer
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -222,8 +227,15 @@ func RunLoad(ctx context.Context, cp *service.Checkpoint, cfg LoadConfig) (*Load
 				}
 				item := items[i%int64(len(items))]
 				modelName := cfg.Models[int(i)%len(cfg.Models)]
+				reqCtx := ctx
+				var span *telemetry.Span
+				if cfg.Tracer != nil {
+					span = cfg.Tracer.StartRoot("loadgen.predict")
+					span.SetAttr("model", modelName)
+					reqCtx = telemetry.ContextWithSpan(ctx, span)
+				}
 				t0 := time.Now()
-				resp, status, err := predictOnce(ctx, client, cfg, modelName, item.X)
+				resp, status, err := predictOnce(reqCtx, client, cfg, modelName, item.X)
 				for attempt := 0; err != nil && attempt < cfg.Retries; attempt++ {
 					if ctx.Err() != nil {
 						break
@@ -233,8 +245,9 @@ func RunLoad(ctx context.Context, cp *service.Checkpoint, cfg LoadConfig) (*Load
 						rejected.Add(1)
 						time.Sleep(50 * time.Millisecond)
 					}
-					resp, status, err = predictOnce(ctx, client, cfg, modelName, item.X)
+					resp, status, err = predictOnce(reqCtx, client, cfg, modelName, item.X)
 				}
+				span.EndErr(err)
 				if err != nil {
 					errorsN.Add(1)
 					continue
@@ -347,6 +360,9 @@ func predictOnce(ctx context.Context, client *http.Client, cfg LoadConfig, model
 	req.Header.Set("Content-Type", "application/json")
 	if cfg.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+cfg.Token)
+	}
+	if c := telemetry.SpanFromContext(ctx).Context(); c.Valid() {
+		telemetry.Inject(req.Header, c)
 	}
 	res, err := client.Do(req)
 	if err != nil {

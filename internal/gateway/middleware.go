@@ -189,7 +189,9 @@ func loggingMiddleware(g *Gateway) Middleware {
 			start := time.Now()
 			next.ServeHTTP(rec, r)
 			g.metrics.logged.Add(1)
-			g.logf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+			g.logInfo(r.Context(), "request",
+				"method", r.Method, "path", r.URL.Path, "status", rec.status,
+				"durationUs", time.Since(start).Microseconds())
 		})
 	}
 }

@@ -1,0 +1,160 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/httpapi"
+	"repro/internal/serve"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// startTracedReplica is startReplica with a tracer attached, so the
+// serve-side spans a gateway hop produces can be inspected.
+func startTracedReplica(t *testing.T, model string) (string, *telemetry.Tracer) {
+	t.Helper()
+	cp, err := service.LoadCheckpoint(tinyCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := serve.SnapshotFromCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewTracer("serve", 256)
+	srv, err := serve.NewServer(snap, serve.Config{Workers: 1, Model: model, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); _ = srv.Close() })
+	return strings.TrimPrefix(ts.URL, "http://"), tr
+}
+
+func tracedPredict(t *testing.T, url, traceparent string, x tensor.Vector) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(httpapi.PredictRequest{X: x})
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(telemetry.TraceparentHeader, traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestTracePropagationGatewayToServe pins the tentpole contract: one
+// trace ID sent by a client is visible on both tiers, with the gateway
+// recording middleware + routing spans and the replica recording its
+// request under the same trace.
+func TestTracePropagationGatewayToServe(t *testing.T) {
+	addr, serveTracer := startTracedReplica(t, "default")
+	g := newTestGateway(t, Config{
+		Models:      map[string][]string{"default": {addr}},
+		Middlewares: map[string][]string{RoutePredict: {"logging"}, RouteAdmin: {}},
+	})
+	gwTracer := telemetry.NewTracer("gateway", 256)
+	g.SetTracer(gwTracer)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	const header = "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	want, ok := telemetry.ParseTraceparent(header)
+	if !ok {
+		t.Fatalf("test header %q did not parse", header)
+	}
+	x := tensor.NewRNG(7).NormVec(inputDim(t), 0, 1)
+	if resp := tracedPredict(t, ts.URL, header, x); resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced predict = %d", resp.StatusCode)
+	}
+
+	gwSpans := gwTracer.Spans(telemetry.Filter{TraceID: want.TraceID})
+	names := map[string]bool{}
+	for _, s := range gwSpans {
+		names[s.Name] = true
+	}
+	for _, n := range []string{"gateway." + RoutePredict, "gateway.middleware", "gateway.route"} {
+		if !names[n] {
+			t.Errorf("gateway recorded no %q span for the inbound trace (got %v)", n, names)
+		}
+	}
+
+	srvSpans := serveTracer.Spans(telemetry.Filter{TraceID: want.TraceID})
+	if len(srvSpans) == 0 {
+		t.Fatal("serve replica recorded no spans under the gateway's trace ID")
+	}
+	srvNames := map[string]bool{}
+	for _, s := range srvSpans {
+		srvNames[s.Name] = true
+		if s.TraceID != want.TraceID {
+			t.Errorf("serve span %q trace %s, want %s", s.Name, s.TraceID, want.TraceID)
+		}
+	}
+	for _, n := range []string{"serve.predict", "serve.route", "serve.batch"} {
+		if !srvNames[n] {
+			t.Errorf("serve replica recorded no %q span (got %v)", n, srvNames)
+		}
+	}
+
+	// The serve-side debug endpoint must surface the same trace: this is
+	// what the smoke test curls across tiers.
+	res, err := http.Get("http://" + addr + "/v1/debug/traces?trace=" + want.TraceID.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var payload telemetry.TracesPayload
+	if err := json.NewDecoder(res.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Spans) == 0 {
+		t.Error("/v1/debug/traces returned no spans for the propagated trace ID")
+	}
+}
+
+// TestMalformedTraceparentReplaced pins the W3C failure policy: junk in
+// the inbound header must not fail the request and must not leak into
+// recorded spans — the gateway roots a fresh trace instead.
+func TestMalformedTraceparentReplaced(t *testing.T) {
+	addr, _ := startTracedReplica(t, "default")
+	g := newTestGateway(t, Config{Models: map[string][]string{"default": {addr}}})
+	gwTracer := telemetry.NewTracer("gateway", 256)
+	g.SetTracer(gwTracer)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	x := tensor.NewRNG(11).NormVec(inputDim(t), 0, 1)
+	if resp := tracedPredict(t, ts.URL, "00-abc-def-01", x); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict with malformed traceparent = %d, want 200", resp.StatusCode)
+	}
+
+	var root *telemetry.SpanRecord
+	for _, s := range gwTracer.Spans(telemetry.Filter{}) {
+		if s.Name == "gateway."+RoutePredict {
+			root = s
+		}
+	}
+	if root == nil {
+		t.Fatal("no gateway.predict span recorded")
+	}
+	var zero telemetry.TraceID
+	if root.TraceID == zero {
+		t.Error("replacement trace ID is zero — fresh IDs were not generated")
+	}
+	if !root.ParentID.IsZero() {
+		t.Errorf("root span has parent %s — malformed context was propagated", root.ParentID)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestAPIVersionedRoutesAndAliases(t *testing.T) {
@@ -132,4 +133,36 @@ func TestMetricsBuilderPromAndJSONAgree(t *testing.T) {
 		t.Errorf("json form = %+v", payload)
 	}
 	_ = io.Discard
+}
+
+func TestMetricsBuilderExemplar(t *testing.T) {
+	text := string(NewMetricsBuilder("serve").
+		GaugeVec("x_latency_seconds", "Latency.",
+			Sample{Labels: `quantile="0.99"`, Value: 0.004,
+				Exemplar: &Exemplar{TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", Value: 0.012}}).
+		Prom())
+	want := `x_latency_seconds{quantile="0.99"} 0.004 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.012`
+	if !strings.Contains(text, want) {
+		t.Errorf("prom text missing exemplar %q in:\n%s", want, text)
+	}
+}
+
+func TestMetricsBuilderRuntime(t *testing.T) {
+	b := NewMetricsBuilder("serve").Runtime(time.Now().Add(-2 * time.Second))
+	text := string(b.Prom())
+	for _, want := range []string{
+		"shiftex_build_info{version=\"" + Version + "\"",
+		"goversion=",
+		"shiftex_process_uptime_seconds",
+		"shiftex_goroutines",
+		"shiftex_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("runtime families missing %q in:\n%s", want, text)
+		}
+	}
+	p := b.Payload()
+	if len(p.Metrics) != 4 || p.Metrics[0].Samples[0].Value != 1 {
+		t.Errorf("runtime payload = %+v", p.Metrics)
+	}
 }

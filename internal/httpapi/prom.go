@@ -3,7 +3,14 @@ package httpapi
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"time"
 )
+
+// Version identifies the build in shiftex_build_info. There is no
+// release pipeline stamping ldflags yet, so it tracks the PR sequence
+// by hand.
+const Version = "0.7.0"
 
 // Metric is one exposition family: a name, HELP/TYPE metadata, and its
 // samples in insertion order.
@@ -17,8 +24,19 @@ type Metric struct {
 // Sample is one labeled value. Labels is the literal Prometheus label set,
 // e.g. `outcome="ok"`, empty for the unlabeled sample.
 type Sample struct {
-	Labels string  `json:"labels,omitempty"`
-	Value  float64 `json:"value"`
+	Labels   string    `json:"labels,omitempty"`
+	Value    float64   `json:"value"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
+}
+
+// Exemplar ties a sample to one concrete trace — OpenMetrics-style,
+// rendered as a `# {trace_id="..."} value` suffix in the text
+// exposition. The serving tier attaches the slowest observed request
+// to its latency quantiles so "p99 regressed" comes with a trace ID
+// to pull from /v1/debug/traces.
+type Exemplar struct {
+	TraceID string  `json:"traceId"`
+	Value   float64 `json:"value"`
 }
 
 // MetricsPayload is the ?format=json rendering of one daemon's /v1/metrics:
@@ -68,6 +86,28 @@ func (b *MetricsBuilder) add(name, help, typ string, samples ...Sample) *Metrics
 	return b
 }
 
+// Runtime appends the process-level families every daemon exposes
+// uniformly: shiftex_build_info (value always 1, metadata in labels),
+// uptime, live goroutine count, and cumulative GC pause time. One
+// helper, four daemons — the families stay structurally identical.
+func (b *MetricsBuilder) Runtime(start time.Time) *MetricsBuilder {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return b.
+		GaugeVec("shiftex_build_info",
+			"Build metadata for this daemon; the value is always 1.",
+			Sample{
+				Labels: fmt.Sprintf("version=%q,goversion=%q", Version, runtime.Version()),
+				Value:  1,
+			}).
+		Gauge("shiftex_process_uptime_seconds", "Seconds since the daemon started.",
+			time.Since(start).Seconds()).
+		Gauge("shiftex_goroutines", "Live goroutines in this process.",
+			float64(runtime.NumGoroutine())).
+		Counter("shiftex_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+			float64(ms.PauseTotalNs)/1e9)
+}
+
 // Prom renders the Prometheus text exposition (version 0.0.4).
 func (b *MetricsBuilder) Prom() []byte {
 	var out []byte
@@ -75,10 +115,14 @@ func (b *MetricsBuilder) Prom() []byte {
 		out = fmt.Appendf(out, "# HELP %s %s\n# TYPE %s %s\n", f.Name, f.Help, f.Name, f.Type)
 		for _, s := range f.Samples {
 			if s.Labels == "" {
-				out = fmt.Appendf(out, "%s %g\n", f.Name, s.Value)
+				out = fmt.Appendf(out, "%s %g", f.Name, s.Value)
 			} else {
-				out = fmt.Appendf(out, "%s{%s} %g\n", f.Name, s.Labels, s.Value)
+				out = fmt.Appendf(out, "%s{%s} %g", f.Name, s.Labels, s.Value)
 			}
+			if s.Exemplar != nil {
+				out = fmt.Appendf(out, " # {trace_id=%q} %g", s.Exemplar.TraceID, s.Exemplar.Value)
+			}
+			out = append(out, '\n')
 		}
 	}
 	return out

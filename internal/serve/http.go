@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/httpapi"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 )
 
 // Handler returns the serving API, versioned under /v1:
@@ -37,6 +39,7 @@ func (s *Server) Handler() http.Handler {
 	api.Handle("/v1/state", s.handleState)
 	api.Handle("/v1/healthz", s.handleHealthz)
 	api.Handle("/v1/metrics", s.handleMetrics)
+	api.Handle("/v1/debug/traces", telemetry.TracesHandler(s.cfg.Tracer).ServeHTTP)
 	api.Deprecated("/predict", "/v1/predict", s.handlePredict)
 	api.Deprecated("/snapshot", "/v1/snapshot", s.handleSnapshot)
 	api.Deprecated("/healthz", "/v1/healthz", s.handleHealthz)
@@ -76,7 +79,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !s.checkModel(w, req.Model) {
 		return
 	}
-	res, err := s.Predict(r.Context(), req.X)
+	// Continue the caller's trace (the gateway injects traceparent) or
+	// root a fresh one; a malformed header is replaced, never forwarded.
+	span := s.cfg.Tracer.StartFromRequest("serve.predict", r)
+	start := time.Now()
+	ctx := telemetry.ContextWithSpan(r.Context(), span)
+	res, err := s.Predict(ctx, req.X)
+	if span != nil {
+		span.SetAttr("model", s.cfg.Model)
+		span.EndErr(err)
+		if err == nil {
+			s.metrics.NoteSlowest(time.Since(start), span.Context().TraceID.String())
+		}
+	}
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
@@ -229,17 +244,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Labels: fmt.Sprintf("expert=%q", strconv.Itoa(e.ID)), Value: eps,
 		})
 	}
+	// The latency quantiles carry the slowest traced request as an
+	// OpenMetrics exemplar: "p99 regressed" comes with a trace ID to
+	// pull from /v1/debug/traces.
+	var exemplar *httpapi.Exemplar
+	if slowDur, slowTrace := s.metrics.Slowest(); slowTrace != "" {
+		exemplar = &httpapi.Exemplar{TraceID: slowTrace, Value: slowDur.Seconds()}
+	}
 	b := httpapi.NewMetricsBuilder("serve").
+		Runtime(s.metrics.start).
 		Gauge("shiftex_serve_uptime_seconds", "Time since the server started.", m.UptimeSeconds).
 		CounterVec("shiftex_serve_requests_total", "Predictions served, by outcome.",
 			httpapi.Sample{Labels: `outcome="ok"`, Value: float64(m.Requests)},
 			httpapi.Sample{Labels: `outcome="error"`, Value: float64(m.Errored)},
 			httpapi.Sample{Labels: `outcome="rejected"`, Value: float64(m.Rejected)}).
 		Gauge("shiftex_serve_inflight", "Requests admitted but not yet answered.", float64(m.Inflight)).
-		GaugeVec("shiftex_serve_latency_seconds", "Request latency quantiles.",
+		GaugeVec("shiftex_serve_latency_seconds", "Request latency quantiles (exemplar: slowest traced request).",
 			httpapi.Sample{Labels: `quantile="0.5"`, Value: m.P50Seconds},
 			httpapi.Sample{Labels: `quantile="0.9"`, Value: m.P90Seconds},
-			httpapi.Sample{Labels: `quantile="0.99"`, Value: m.P99Seconds}).
+			httpapi.Sample{Labels: `quantile="0.99"`, Value: m.P99Seconds, Exemplar: exemplar}).
 		CounterVec("shiftex_serve_routed_total", "Routing decisions, by kind.",
 			httpapi.Sample{Labels: `kind="matched"`, Value: float64(m.Matched)},
 			httpapi.Sample{Labels: `kind="fallback"`, Value: float64(m.Fallbacks)}).

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -37,6 +38,11 @@ type LoadConfig struct {
 	// checkpoint halfway through the run, exercising the zero-drop swap
 	// path under live traffic.
 	SwapMidLoad bool
+	// Tracer, when set, roots one span per generated request, which in
+	// turn makes the serving pipeline record its route and batch spans —
+	// the traced phase of the tracing-overhead benchmark. Nil generates
+	// untraced load.
+	Tracer *telemetry.Tracer
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -250,6 +256,10 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 			defer wg.Done()
 			local := map[string]*tally{}
 			var lats []time.Duration
+			// root is reused across iterations: End copies the record
+			// into the tracer's ring, so the traced path allocates
+			// nothing per request.
+			var root telemetry.Span
 			for {
 				i := next.Add(1) - 1
 				if i >= total {
@@ -269,7 +279,18 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 				}
 				item := items[i%int64(len(items))]
 				t0 := time.Now()
-				res, err := srv.Predict(ctx, item.X)
+				// The root span rides the timestamps the load generator
+				// takes anyway (t0 and the latency measurement), so the
+				// traced phase adds no clock reads here; PredictSpan
+				// takes the parent explicitly to skip a per-request
+				// context allocation.
+				cfg.Tracer.BeginAt(&root, "loadgen.predict", telemetry.SpanContext{}, t0)
+				res, err := srv.PredictSpan(ctx, item.X, &root)
+				lat := time.Since(t0)
+				if cfg.Tracer != nil {
+					root.SetError(err)
+					root.EndAt(t0.Add(lat))
+				}
 				switch {
 				case errors.Is(err, ErrOverloaded):
 					rejected.Add(1)
@@ -278,7 +299,6 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 					errorsN.Add(1)
 					continue
 				}
-				lat := time.Since(t0)
 				lats = append(lats, lat)
 				requests.Add(1)
 				tl := local[item.Regime]

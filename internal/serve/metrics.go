@@ -32,6 +32,16 @@ type Metrics struct {
 	batched   atomic.Uint64 // requests across all drained batches
 
 	hist [histBuckets]atomic.Uint64
+
+	// slow is the slowest traced request seen so far — the exemplar the
+	// latency quantiles point at on /v1/metrics.
+	slow atomic.Pointer[slowTrace]
+}
+
+// slowTrace ties a latency observation to the trace that produced it.
+type slowTrace struct {
+	durUs   int64
+	traceID string
 }
 
 // NewMetrics returns zeroed metrics with the clock started.
@@ -77,6 +87,32 @@ func (m *Metrics) Quantile(q float64) float64 {
 
 func bucketUpperSeconds(i int) float64 {
 	return float64(int64(histBaseMicro)<<uint(i)) / 1e6
+}
+
+// NoteSlowest records a traced request as the slowest-so-far exemplar if
+// it exceeds the current one. Lock-free: losers of the CAS retry, so
+// the final value is the true maximum.
+func (m *Metrics) NoteSlowest(d time.Duration, traceID string) {
+	us := d.Microseconds()
+	for {
+		cur := m.slow.Load()
+		if cur != nil && cur.durUs >= us {
+			return
+		}
+		if m.slow.CompareAndSwap(cur, &slowTrace{durUs: us, traceID: traceID}) {
+			return
+		}
+	}
+}
+
+// Slowest returns the slowest traced request and its trace ID, or zero
+// when no traced request has completed.
+func (m *Metrics) Slowest() (time.Duration, string) {
+	cur := m.slow.Load()
+	if cur == nil {
+		return 0, ""
+	}
+	return time.Duration(cur.durUs) * time.Microsecond, cur.traceID
 }
 
 // MetricsSnapshot is a point-in-time copy for rendering.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/httpapi"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -46,6 +47,10 @@ type Config struct {
 	// httpapi.DefaultModel). Requests addressed to another model are
 	// answered 404, and the gateway registers the replica under this name.
 	Model string
+	// Tracer records request spans (routing decision, batch queue wait)
+	// and backs GET /v1/debug/traces. Nil disables tracing; the request
+	// path then pays one nil check per span site.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +107,14 @@ var (
 type outcome struct {
 	class int
 	err   error
+	// total is the worker-measured latency since pending.start (zero on
+	// errors); traced requests reuse it to close their batch span
+	// without another clock read.
+	total time.Duration
+	// batchSize and queueWait describe the batch that executed the
+	// request; they are only populated for traced requests (enq set).
+	batchSize int
+	queueWait time.Duration
 }
 
 // pending is one admitted request travelling through the pipeline.
@@ -112,6 +125,7 @@ type pending struct {
 	matched bool
 	cached  bool
 	start   time.Time
+	enq     time.Time    // enqueue instant; zero unless the request is traced
 	done    chan outcome // buffered(1); the worker's send never blocks
 }
 
@@ -248,6 +262,14 @@ func sameArch(a, b []int) bool { return slices.Equal(a, b) }
 // and wait for the worker's prediction. It returns ErrOverloaded without
 // queueing when the pipeline is saturated and ErrClosed after Close.
 func (s *Server) Predict(ctx context.Context, x tensor.Vector) (Result, error) {
+	return s.PredictSpan(ctx, x, telemetry.SpanFromContext(ctx))
+}
+
+// PredictSpan is Predict with the parent span passed explicitly, for
+// callers (the in-process load generator) that already hold it —
+// skipping the context.WithValue allocation Predict would need to
+// carry the span. A nil parent serves the request untraced.
+func (s *Server) PredictSpan(ctx context.Context, x tensor.Vector, parent *telemetry.Span) (Result, error) {
 	snap := s.snap.Load()
 	if len(x) != snap.InputDim() {
 		s.metrics.errored.Add(1)
@@ -273,6 +295,20 @@ func (s *Server) Predict(ctx context.Context, x tensor.Vector) (Result, error) {
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 
+	// tr is nil on untraced requests, and every span call below no-ops
+	// on the zero Span. The traced path is built to be allocation-free
+	// (both spans live on this frame; End copies into the tracer's
+	// ring) and to add zero extra clock reads per request: span starts
+	// reuse the request-entry instant the pipeline measures anyway, and
+	// the batch span is closed from the worker's latency measurement.
+	// Routing takes well under the 1µs span-duration resolution, so
+	// anchoring both spans (and the queue-wait measurement) at request
+	// entry rather than at the true route/enqueue boundary costs no
+	// observable precision.
+	tr := parent.Tracer()
+	var routeSpan, batchSpan telemetry.Span
+	tr.BeginAt(&routeSpan, "serve.route", parent.Context(), start)
+
 	expert, matched, cached := s.cache.get(x, snap.Version)
 	if cached {
 		s.metrics.cacheHits.Add(1)
@@ -284,17 +320,27 @@ func (s *Server) Predict(ctx context.Context, x tensor.Vector) (Result, error) {
 		s.wsPool.Put(ws)
 		if err != nil {
 			s.metrics.errored.Add(1)
+			routeSpan.EndErr(err)
 			return Result{}, err
 		}
 		s.cache.put(x, snap.Version, expert, matched)
 	}
-
 	p := &pending{x: x, snap: snap, expert: expert, matched: matched, cached: cached, start: start, done: make(chan outcome, 1)}
+	if tr != nil {
+		routeSpan.SetAttrBool("cache.hit", cached)
+		routeSpan.SetAttrInt("expert", int64(snap.Experts()[expert].ID))
+		routeSpan.SetAttrBool("matched", matched)
+		routeSpan.SetAttrInt("snapshot", int64(snap.Version))
+		routeSpan.EndAt(start)
+		tr.BeginAt(&batchSpan, "serve.batch", parent.Context(), start)
+		p.enq = start
+	}
 
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
 		s.metrics.errored.Add(1)
+		batchSpan.EndErr(ErrClosed)
 		return Result{}, ErrClosed
 	}
 	select {
@@ -304,11 +350,24 @@ func (s *Server) Predict(ctx context.Context, x tensor.Vector) (Result, error) {
 	default:
 		s.closeMu.RUnlock()
 		s.metrics.rejected.Add(1)
+		batchSpan.EndErr(ErrOverloaded)
 		return Result{}, ErrOverloaded
 	}
 
 	select {
 	case out := <-p.done:
+		if tr != nil {
+			batchSpan.SetAttrInt("batch.size", int64(out.batchSize))
+			batchSpan.SetAttrInt("queue.us", out.queueWait.Microseconds())
+			if out.err == nil && out.total > 0 {
+				// The worker already measured this request's total
+				// latency for the histogram; ending the span at
+				// start+total spares another clock read.
+				batchSpan.EndAt(start.Add(out.total))
+			} else {
+				batchSpan.EndErr(out.err)
+			}
+		}
 		if out.err != nil {
 			return Result{}, out.err
 		}
@@ -322,6 +381,7 @@ func (s *Server) Predict(ctx context.Context, x tensor.Vector) (Result, error) {
 	case <-ctx.Done():
 		// The worker will still complete the request into the buffered
 		// done channel; only this caller stops waiting.
+		batchSpan.EndErr(ctx.Err())
 		return Result{}, ctx.Err()
 	}
 }
@@ -405,20 +465,38 @@ func (s *Server) worker() {
 	for batch := range s.batches {
 		ws := s.wsPool.Get().(*nn.Workspace)
 		model := batch.snap.Experts()[batch.expert].Model
+		// batchStart is resolved lazily: only traced requests (enq set)
+		// need it, and most batches carry none. When the latency
+		// histogram measurement is at hand, start+total IS the current
+		// instant, so the traced path normally costs no clock read here.
+		var batchStart time.Time
 		for _, p := range batch.reqs {
 			class, err := model.PredictWS(ws, p.x)
+			out := outcome{class: class, err: err}
 			if err != nil {
 				s.metrics.errored.Add(1)
 			} else {
+				out.total = time.Since(p.start)
 				s.metrics.requests.Add(1)
 				if p.matched {
 					s.metrics.matched.Add(1)
 				} else {
 					s.metrics.fallbacks.Add(1)
 				}
-				s.metrics.ObserveLatency(time.Since(p.start))
+				s.metrics.ObserveLatency(out.total)
 			}
-			p.done <- outcome{class: class, err: err}
+			if !p.enq.IsZero() {
+				if batchStart.IsZero() {
+					if out.total > 0 {
+						batchStart = p.start.Add(out.total)
+					} else {
+						batchStart = time.Now()
+					}
+				}
+				out.batchSize = len(batch.reqs)
+				out.queueWait = batchStart.Sub(p.enq)
+			}
+			p.done <- out
 		}
 		s.metrics.batches.Add(1)
 		s.metrics.batched.Add(uint64(len(batch.reqs)))

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// DefaultTracingTrials is the number of interleaved baseline/traced
+// trial pairs RunTracingBench runs when the caller does not choose.
+const DefaultTracingTrials = 5
+
+// RunTracingBench measures the request-path cost of tracing: the same
+// in-process workload is replayed against a fresh server as trials
+// interleaved pairs — an untraced baseline trial, then a traced trial
+// where every request roots a span and the pipeline records route and
+// batch spans into a ring of ringSize — preceded by one untraced
+// warmup (discarded; it absorbs scheduler and frequency ramp-up so
+// the baseline is not unfairly slow). Each side reports its best
+// trial: ambient interference (other tenants, GC of unrelated heaps)
+// only ever slows a trial down, so the per-side maximum is the
+// cleanest estimate of each configuration's capability, and
+// interleaving keeps slow drift from landing on one side. The
+// returned artifact carries both throughputs and the overhead
+// percentage the -check gate enforces.
+func RunTracingBench(ctx context.Context, cp *service.Checkpoint, cfg LoadConfig, srvCfg Config, ringSize, trials int) (*experiments.TracingArtifact, error) {
+	cfg = cfg.withDefaults()
+	cfg.SwapMidLoad = false
+	srvCfg = srvCfg.withDefaults()
+	if ringSize <= 0 {
+		ringSize = telemetry.DefaultRingSize
+	}
+	if trials <= 0 {
+		trials = DefaultTracingTrials
+	}
+
+	phase := func(tr *telemetry.Tracer) (*LoadResult, error) {
+		snap, err := SnapshotFromCheckpoint(cp)
+		if err != nil {
+			return nil, err
+		}
+		pcfg := srvCfg
+		pcfg.Tracer = tr
+		srv, err := NewServer(snap, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		lcfg := cfg
+		lcfg.Tracer = tr
+		return RunLoad(ctx, srv, cp, lcfg)
+	}
+
+	if _, err := phase(nil); err != nil {
+		return nil, fmt.Errorf("serve: tracing bench warmup: %w", err)
+	}
+	var base, traced *LoadResult
+	var spans uint64
+	for i := 0; i < trials; i++ {
+		b, err := phase(nil)
+		if err != nil {
+			return nil, fmt.Errorf("serve: tracing bench baseline trial %d: %w", i+1, err)
+		}
+		tracer := telemetry.NewTracer("serve", ringSize)
+		t, err := phase(tracer)
+		if err != nil {
+			return nil, fmt.Errorf("serve: tracing bench traced trial %d: %w", i+1, err)
+		}
+		if base == nil || b.Throughput() > base.Throughput() {
+			base = b
+		}
+		if traced == nil || t.Throughput() > traced.Throughput() {
+			traced = t
+			spans = tracer.SpanCount()
+		}
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+	a := &experiments.TracingArtifact{
+		Schema: experiments.TracingSchemaVersion,
+		Name:   experiments.TracingArtifactName,
+		Options: experiments.TracingOptions{
+			CheckpointWindows: cp.WindowsDone,
+			Arch:              cp.Arch,
+			Parties:           len(cp.Aggregator.Assignment),
+			SamplesPerParty:   cfg.SamplesPerParty,
+			TestPerParty:      cfg.TestPerParty,
+			Seed:              cp.Seed,
+			Concurrency:       cfg.Concurrency,
+			Repeat:            cfg.Repeat,
+			Workers:           srvCfg.Workers,
+			MaxBatch:          srvCfg.MaxBatch,
+			MaxDelayMs:        ms(srvCfg.MaxDelay),
+			CacheSize:         srvCfg.CacheSize,
+			RingSize:          ringSize,
+			Trials:            trials,
+		},
+		BaselineRequests:         base.Requests,
+		BaselineDurationMs:       ms(base.Duration),
+		BaselineThroughputPerSec: base.Throughput(),
+		BaselineLatencyMsP99:     ms(base.LatencyP99),
+		TracedRequests:           traced.Requests,
+		TracedDurationMs:         ms(traced.Duration),
+		TracedThroughputPerSec:   traced.Throughput(),
+		TracedLatencyMsP99:       ms(traced.LatencyP99),
+		SpansRecorded:            spans,
+	}
+	if a.BaselineThroughputPerSec > 0 {
+		a.OverheadPercent = (1 - a.TracedThroughputPerSec/a.BaselineThroughputPerSec) * 100
+	}
+	return a, nil
+}

@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"repro/internal/httpapi"
+	"repro/internal/telemetry"
 )
 
 // Handler returns the runtime's observability surface, versioned under /v1:
@@ -21,6 +22,7 @@ func (r *Runtime) Handler() http.Handler {
 	api.Handle("/v1/healthz", r.handleHealthz)
 	api.Handle("/v1/state", r.handleState)
 	api.Handle("/v1/metrics", r.handleMetrics)
+	api.Handle("/v1/debug/traces", telemetry.TracesHandler(r.opts.Tracer).ServeHTTP)
 	api.Deprecated("/healthz", "/v1/healthz", r.handleHealthz)
 	api.Deprecated("/state", "/v1/state", r.handleState)
 	api.Deprecated("/metrics", "/v1/metrics", r.handleMetrics)
@@ -87,6 +89,7 @@ func (r *Runtime) handleState(w http.ResponseWriter, _ *http.Request) {
 func (r *Runtime) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	s := r.metrics.Snapshot()
 	b := httpapi.NewMetricsBuilder("aggregator").
+		Runtime(r.metrics.start).
 		Gauge("shiftex_uptime_seconds", "Time since the runtime started.", s.UptimeSeconds).
 		Counter("shiftex_windows_completed", "Stream windows completed.", float64(s.WindowsDone)).
 		Counter("shiftex_rounds_total", "Federated training rounds completed.", float64(s.RoundsTotal)).

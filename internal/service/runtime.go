@@ -9,6 +9,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/shiftex"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Options configures a runtime.
@@ -32,6 +33,9 @@ type Options struct {
 	// CheckpointPath, when set, is written atomically after every
 	// completed window and read back by Resume.
 	CheckpointPath string
+	// Tracer, when set, records per-window adaptation-stage spans (and,
+	// through a TCP transport, per-party wire spans) for /v1/debug/traces.
+	Tracer *telemetry.Tracer
 }
 
 // Runtime is the long-running ShiftEx service: it owns the aggregator and a
@@ -82,6 +86,7 @@ func NewRuntime(t Transport, opts Options) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	agg.SetTracer(opts.Tracer)
 	return &Runtime{opts: opts, fleet: fleet, agg: agg, metrics: metrics}, nil
 }
 
@@ -144,6 +149,7 @@ func ResumeFrom(t Transport, cp *Checkpoint, opts Options) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	agg.SetTracer(opts.Tracer)
 	r := &Runtime{opts: opts, fleet: fleet, agg: agg, metrics: metrics, nextWindow: cp.WindowsDone}
 	r.reports = append(r.reports, cp.Reports...)
 	r.refreshStatus(cp.WindowsDone - 1)

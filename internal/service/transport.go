@@ -26,6 +26,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/nn"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -211,6 +212,11 @@ type TCPTransport struct {
 }
 
 var _ Transport = (*TCPTransport)(nil)
+
+// SetTracer forwards a tracer to the underlying fl trainer so every wire
+// call records an fl.<kind> span and propagates its traceparent to the
+// party process.
+func (t *TCPTransport) SetTracer(tr *telemetry.Tracer) { t.trainer.SetTracer(tr) }
 
 // NewTCPTransport builds a transport over a party-ID → address map.
 // dialTimeout and callTimeout of 0 keep the fl defaults (5s / 2m).

@@ -12,6 +12,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/fl"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -157,6 +158,45 @@ type Aggregator struct {
 	// encoders" among its assumptions, §9).
 	encoder tensor.Vector
 	rng     *tensor.RNG
+	tracer  *telemetry.Tracer
+}
+
+// SetTracer attaches a tracer: each window then records an adapt.window
+// (or adapt.bootstrap) root span with one child per pipeline stage, plus
+// an adapt.rollback span when a failed window restores the saved state.
+// Call before driving windows; the aggregator is single-threaded per
+// window so no locking is needed.
+func (a *Aggregator) SetTracer(t *telemetry.Tracer) { a.tracer = t }
+
+// startStage opens a stage span and publishes it as the tracer's active
+// context, so the ctx-less Trainer interface (the fl wire) parents its
+// fl.<kind> spans under the running stage.
+func (a *Aggregator) startStage(parent *telemetry.Span, name string) *telemetry.Span {
+	if a.tracer == nil {
+		return nil
+	}
+	var s *telemetry.Span
+	if parent == nil {
+		s = a.tracer.StartRoot(name)
+	} else {
+		s = parent.Child(name)
+	}
+	a.tracer.SetActive(s.Context())
+	return s
+}
+
+// endStage closes a stage span and restores the window root as the
+// active context (or clears it when the root itself ends).
+func (a *Aggregator) endStage(s, root *telemetry.Span, err error) {
+	if s == nil {
+		return
+	}
+	s.EndErr(err)
+	if root != nil && s != root {
+		a.tracer.SetActive(root.Context())
+	} else {
+		a.tracer.ClearActive()
+	}
 }
 
 var _ federation.Technique = (*Aggregator)(nil)
@@ -276,18 +316,24 @@ func (a *Aggregator) Bootstrap(f Fleet) (*WindowReport, error) {
 // nothing half-applied. Fleet-side effects (detector observations already
 // consumed) are outside the aggregator and are not rolled back.
 func (a *Aggregator) bootstrap(f Fleet) (*WindowReport, error) {
+	root := a.startStage(nil, "adapt.bootstrap")
 	saved := a.ExportState()
-	rep, err := a.runBootstrap(f)
+	rep, err := a.runBootstrap(f, root)
 	if err != nil {
-		if rerr := a.restoreState(saved); rerr != nil {
+		rb := a.startStage(root, "adapt.rollback")
+		rerr := a.restoreState(saved)
+		a.endStage(rb, root, rerr)
+		a.endStage(root, root, err)
+		if rerr != nil {
 			return nil, errors.Join(err, fmt.Errorf("shiftex: rollback after bootstrap failure: %w", rerr))
 		}
 		return nil, err
 	}
+	a.endStage(root, root, nil)
 	return rep, nil
 }
 
-func (a *Aggregator) runBootstrap(f Fleet) (*WindowReport, error) {
+func (a *Aggregator) runBootstrap(f Fleet, root *telemetry.Span) (*WindowReport, error) {
 	if a.registry.Len() != 0 {
 		return nil, errors.New("shiftex: bootstrap must run on an empty registry")
 	}
@@ -303,7 +349,10 @@ func (a *Aggregator) runBootstrap(f Fleet) (*WindowReport, error) {
 
 	// Train the initial global model with FLIPS participant selection
 	// (§4.1).
+	st := a.startStage(root, "adapt.train")
+	st.SetAttrInt("rounds", int64(a.cfg.BootstrapRounds))
 	trace, err := a.trainExperts(f, map[int][]int{e0.ID: f.PartyIDs()}, a.cfg.BootstrapRounds)
+	a.endStage(st, root, err)
 	if err != nil {
 		return nil, fmt.Errorf("bootstrap training: %w", err)
 	}
@@ -312,18 +361,23 @@ func (a *Aggregator) runBootstrap(f Fleet) (*WindowReport, error) {
 	// window 0 through it, and calibrate thresholds and ε from the
 	// resulting null statistics.
 	a.encoder = e0.Params.Clone()
+	st = a.startStage(root, "adapt.calibrate")
 	anchor, err := a.observeAll(f)
 	if err != nil {
+		a.endStage(st, root, err)
 		return nil, fmt.Errorf("bootstrap anchor: %w", err)
 	}
 	th, eps, err := a.policy.Calibrator.Calibrate(anchor, a.cfg.Calibration, a.cfg.Epsilon, a.rng)
 	if err != nil {
+		a.endStage(st, root, err)
 		return nil, fmt.Errorf("bootstrap calibration: %w", err)
 	}
 	a.thresholds, a.epsilon = th, eps
 	if err := a.updateMemories(anchor); err != nil {
+		a.endStage(st, root, err)
 		return nil, err
 	}
+	a.endStage(st, root, nil)
 
 	return &WindowReport{
 		Window:       0,
@@ -355,25 +409,34 @@ func (a *Aggregator) AdaptWindow(f Fleet, w int) (*WindowReport, error) {
 	if a.registry.Len() == 0 {
 		return nil, ErrNoExperts
 	}
+	root := a.startStage(nil, "adapt.window")
+	root.SetAttrInt("window", int64(w))
 	saved := a.ExportState()
-	rep, err := a.runAdaptWindow(f, w)
+	rep, err := a.runAdaptWindow(f, w, root)
 	if err != nil {
-		if rerr := a.restoreState(saved); rerr != nil {
+		rb := a.startStage(root, "adapt.rollback")
+		rerr := a.restoreState(saved)
+		a.endStage(rb, root, rerr)
+		a.endStage(root, root, err)
+		if rerr != nil {
 			return nil, errors.Join(err, fmt.Errorf("shiftex: rollback after window %d failure: %w", w, rerr))
 		}
 		return nil, err
 	}
+	a.endStage(root, root, nil)
 	return rep, nil
 }
 
 // runAdaptWindow is Algorithm 2 for one window, expressed over the
 // policy's stages.
-func (a *Aggregator) runAdaptWindow(f Fleet, w int) (*WindowReport, error) {
+func (a *Aggregator) runAdaptWindow(f Fleet, w int, root *telemetry.Span) (*WindowReport, error) {
 	rep := &WindowReport{Window: w, ExpertsBefore: a.registry.Len()}
 
 	// Lines 4-7: receive statistics, detect shifted parties.
+	stage := a.startStage(root, "adapt.detect")
 	allStats, err := a.observeAll(f)
 	if err != nil {
+		a.endStage(stage, root, err)
 		return nil, err
 	}
 	statByParty := make(map[int]detect.PartyStats, len(allStats))
@@ -391,17 +454,30 @@ func (a *Aggregator) runAdaptWindow(f Fleet, w int) (*WindowReport, error) {
 			shifted = append(shifted, st.PartyID)
 		}
 	}
+	stage.SetAttrInt("shifted", int64(len(shifted)))
+	stage.SetAttrInt("shifted.cov", int64(rep.ShiftedCov))
+	stage.SetAttrInt("shifted.label", int64(rep.ShiftedLabel))
+	a.endStage(stage, root, nil)
 
 	// Lines 8-31: cluster shifted parties and (re)assign experts.
 	if len(shifted) > 0 {
-		if err := a.reassign(f, shifted, statByParty, rep); err != nil {
+		stage = a.startStage(root, "adapt.assign")
+		stage.SetAttrInt("parties", int64(len(shifted)))
+		err := a.reassign(f, shifted, statByParty, rep)
+		stage.SetAttrInt("experts.new", int64(rep.NewExperts))
+		a.endStage(stage, root, err)
+		if err != nil {
 			return nil, err
 		}
 	}
 
 	// Train every expert on its current cohort.
 	cohorts := a.cohorts(f)
+	stage = a.startStage(root, "adapt.train")
+	stage.SetAttrInt("experts", int64(len(cohorts)))
+	stage.SetAttrInt("rounds", int64(a.cfg.RoundsPerWindow))
 	trace, err := a.trainExperts(f, cohorts, a.cfg.RoundsPerWindow)
+	a.endStage(stage, root, err)
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +492,10 @@ func (a *Aggregator) runAdaptWindow(f Fleet, w int) (*WindowReport, error) {
 
 	// Lines 33-40: consolidation.
 	if !a.cfg.DisableConsolidation {
+		stage = a.startStage(root, "adapt.consolidate")
 		merged, err := a.consolidate(f)
+		stage.SetAttrInt("merged", int64(merged))
+		a.endStage(stage, root, err)
 		if err != nil {
 			return nil, err
 		}

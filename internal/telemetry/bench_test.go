@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// The serving tier records up to three spans per traced request, so
+// per-span cost is the unit the BENCH_tracing.json overhead gate is
+// built from. These benchmarks pin the two span shapes the request
+// path mints (run with -benchmem: both must report 0 allocs/op) and
+// the untraced no-op path.
+
+func BenchmarkSpanWithAttrs(b *testing.B) {
+	tr := NewTracer("bench", DefaultRingSize)
+	start := time.Now()
+	var s Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.BeginAt(&s, "serve.route", SpanContext{}, start)
+		s.SetAttrBool("cache.hit", true)
+		s.SetAttrInt("expert", 3)
+		s.SetAttrBool("matched", true)
+		s.SetAttrInt("snapshot", 7)
+		s.EndAt(start)
+	}
+}
+
+func BenchmarkSpanBare(b *testing.B) {
+	tr := NewTracer("bench", DefaultRingSize)
+	start := time.Now()
+	var s Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.BeginAt(&s, "loadgen.predict", SpanContext{}, start)
+		s.EndAt(start)
+	}
+}
+
+func BenchmarkSpanUntraced(b *testing.B) {
+	var tr *Tracer
+	start := time.Now()
+	var s Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.BeginAt(&s, "serve.route", SpanContext{}, start)
+		s.SetAttrBool("cache.hit", true)
+		s.EndAt(start)
+	}
+}

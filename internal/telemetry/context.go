@@ -1,0 +1,20 @@
+package telemetry
+
+import "context"
+
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying span. A nil span returns
+// ctx unchanged so disabled tracing allocates nothing.
+func ContextWithSpan(ctx context.Context, span *Span) context.Context {
+	if span == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	span, _ := ctx.Value(ctxKey{}).(*Span)
+	return span
+}

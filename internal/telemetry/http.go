@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/httpapi"
+)
+
+// TracesSchemaVersion versions the /v1/debug/traces payload.
+const TracesSchemaVersion = 1
+
+// TracesPayload is the JSON body of GET /v1/debug/traces.
+type TracesPayload struct {
+	SchemaVersion int           `json:"schemaVersion"`
+	Daemon        string        `json:"daemon"`
+	SpanCount     uint64        `json:"spanCount"` // total recorded, including evicted
+	Spans         []*SpanRecord `json:"spans"`
+}
+
+// TracesHandler serves the span ring as JSON, filterable with
+// ?trace=<32 hex trace id> and ?min_duration=<Go duration or
+// microseconds>. It degrades to an empty span list on a nil tracer so
+// the route can be registered unconditionally.
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var f Filter
+		q := r.URL.Query()
+		if v := q.Get("trace"); v != "" {
+			id, ok := parseTraceID(v)
+			if !ok {
+				httpapi.WriteError(w, http.StatusBadRequest, "trace must be 32 hex chars")
+				return
+			}
+			f.TraceID = id
+		}
+		if v := q.Get("min_duration"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				// Bare numbers are microseconds, matching durationUs
+				// in the span records.
+				us, uerr := strconv.ParseInt(v, 10, 64)
+				if uerr != nil {
+					httpapi.WriteError(w, http.StatusBadRequest,
+						"min_duration must be a Go duration (\"1ms\") or microseconds")
+					return
+				}
+				d = time.Duration(us) * time.Microsecond
+			}
+			f.MinDuration = d
+		}
+		spans := t.Spans(f)
+		if spans == nil {
+			spans = []*SpanRecord{}
+		}
+		httpapi.WriteJSON(w, http.StatusOK, TracesPayload{
+			SchemaVersion: TracesSchemaVersion,
+			Daemon:        t.Daemon(),
+			SpanCount:     t.SpanCount(),
+			Spans:         spans,
+		})
+	})
+}
+
+// DebugHandler is the handler for the -debug-addr listener every
+// daemon can optionally open: the span ring under /v1/debug/traces
+// and net/http/pprof under /v1/debug/pprof/. pprof is only ever
+// mounted here, never on the public API listener.
+func DebugHandler(t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/debug/traces", TracesHandler(t))
+	// pprof.Index keys sub-profiles off the /debug/pprof/ path prefix,
+	// so strip the version segment before delegating.
+	mux.Handle("/v1/debug/pprof/", http.StripPrefix("/v1", http.HandlerFunc(pprof.Index)))
+	mux.HandleFunc("/v1/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/v1/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/v1/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/v1/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug opens the debug listener on addr and serves DebugHandler
+// until the process exits. It returns the server so callers can Close
+// it during shutdown; errors after startup are reported through errFn
+// (nil means ignore).
+func ServeDebug(addr string, t *Tracer, errFn func(error)) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: DebugHandler(t)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if errFn != nil {
+				errFn(err)
+			}
+		}
+	}()
+	return srv
+}

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// handler wraps a slog JSON handler and stamps every record with the
+// trace and span IDs found in the logging context, correlating log
+// lines with /v1/debug/traces output.
+type handler struct {
+	inner slog.Handler
+}
+
+func (h handler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+func (h handler) Handle(ctx context.Context, rec slog.Record) error {
+	if span := SpanFromContext(ctx); span != nil {
+		c := span.Context()
+		rec.AddAttrs(
+			slog.String("traceId", c.TraceID.String()),
+			slog.String("spanId", c.SpanID.String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return handler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h handler) WithGroup(name string) slog.Handler {
+	return handler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger returns a structured JSON logger for the named daemon.
+// Every record carries a "daemon" attribute; records logged with a
+// context holding a span (ContextWithSpan) additionally carry
+// traceId/spanId.
+func NewLogger(w io.Writer, daemon string) *slog.Logger {
+	inner := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelDebug})
+	return slog.New(handler{inner: inner}).With(slog.String("daemon", daemon))
+}

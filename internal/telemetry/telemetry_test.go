@@ -1,0 +1,346 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer("test", 16)
+	span := tr.StartRoot("op")
+	c := span.Context()
+	if !c.Valid() {
+		t.Fatal("root span has invalid context")
+	}
+	hdr := Traceparent(c)
+	if len(hdr) != 55 || !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("bad traceparent form: %q", hdr)
+	}
+	got, ok := ParseTraceparent(hdr)
+	if !ok || got != c {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, c)
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",     // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-",    // truncated flags
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // bad version
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  // zero span id
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",  // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", // trailing junk, v00
+		"not a traceparent at all",
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", s)
+		}
+	}
+	// Future versions may carry suffixes after a dash.
+	if _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Error("version 01 with dash suffix should parse")
+	}
+}
+
+func TestSpanParentChild(t *testing.T) {
+	tr := NewTracer("test", 16)
+	root := tr.StartRoot("parent")
+	child := root.Child("child")
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Fatal("child does not share the parent's trace ID")
+	}
+	if child.Context().SpanID == root.Context().SpanID {
+		t.Fatal("child reused the parent's span ID")
+	}
+	child.End()
+	root.End()
+	recs := tr.Spans(Filter{})
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	var childRec *SpanRecord
+	for _, r := range recs {
+		if r.Name == "child" {
+			childRec = r
+		}
+	}
+	if childRec == nil || childRec.ParentID != root.Context().SpanID {
+		t.Fatalf("child record parent = %v, want %v", childRec, root.Context().SpanID)
+	}
+}
+
+func TestNilTracerAndSpanNoOp(t *testing.T) {
+	var tr *Tracer
+	span := tr.StartRoot("op")
+	if span != nil {
+		t.Fatal("nil tracer returned a non-nil span")
+	}
+	// All of these must be safe no-ops.
+	span.SetAttr("k", "v")
+	span.SetAttrInt("n", 7)
+	span.SetAttrBool("b", true)
+	span.SetError(errors.New("x"))
+	span.End()
+	span.EndErr(nil)
+	if c := span.Context(); c.Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+	if span.Child("c") != nil {
+		t.Fatal("nil span produced a child")
+	}
+	tr.SetActive(SpanContext{})
+	tr.ClearActive()
+	if tr.Active().Valid() {
+		t.Fatal("nil tracer has an active context")
+	}
+	if tr.Spans(Filter{}) != nil {
+		t.Fatal("nil tracer returned spans")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := NewTracer("test", 16)
+	span := tr.StartRoot("op")
+	span.End()
+	span.End()
+	span.EndErr(errors.New("late"))
+	recs := tr.Spans(Filter{})
+	if len(recs) != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", len(recs))
+	}
+	if recs[0].Error != "" {
+		t.Fatal("error recorded after End")
+	}
+	if tr.SpanCount() != 1 {
+		t.Fatalf("SpanCount = %d, want 1", tr.SpanCount())
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer("test", 8)
+	for i := 0; i < 20; i++ {
+		s := tr.StartRoot("op")
+		s.SetAttrInt("i", int64(i))
+		s.End()
+	}
+	recs := tr.Spans(Filter{})
+	if len(recs) != 8 {
+		t.Fatalf("ring holds %d records, want 8", len(recs))
+	}
+	if tr.SpanCount() != 20 {
+		t.Fatalf("SpanCount = %d, want 20", tr.SpanCount())
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	tr := NewTracer("test", 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := tr.StartRoot("op")
+				s.SetAttrInt("i", int64(i))
+				s.End()
+				_ = tr.Spans(Filter{})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.SpanCount(); got != 1600 {
+		t.Fatalf("SpanCount = %d, want 1600", got)
+	}
+}
+
+func TestSpansFilter(t *testing.T) {
+	tr := NewTracer("test", 16)
+	slow := tr.StartRoot("slow")
+	time.Sleep(2 * time.Millisecond)
+	slow.End()
+	fast := tr.StartRoot("fast")
+	fast.End()
+	if got := len(tr.Spans(Filter{})); got != 2 {
+		t.Fatalf("unfiltered = %d spans, want 2", got)
+	}
+	byTrace := tr.Spans(Filter{TraceID: slow.Context().TraceID})
+	if len(byTrace) != 1 || byTrace[0].Name != "slow" {
+		t.Fatalf("trace filter returned %+v", byTrace)
+	}
+	byDur := tr.Spans(Filter{MinDuration: time.Millisecond})
+	if len(byDur) != 1 || byDur[0].Name != "slow" {
+		t.Fatalf("duration filter returned %+v", byDur)
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tr := NewTracer("testd", 16)
+	span := tr.StartRoot("op")
+	span.SetAttr("expert", "3")
+	span.End()
+	h := TracesHandler(tr)
+
+	get := func(url string) (*httptest.ResponseRecorder, TracesPayload) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var p TracesPayload
+		if rec.Code == http.StatusOK {
+			if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+				t.Fatalf("bad payload: %v", err)
+			}
+		}
+		return rec, p
+	}
+
+	rec, p := get("/v1/debug/traces")
+	if rec.Code != http.StatusOK || p.Daemon != "testd" || len(p.Spans) != 1 {
+		t.Fatalf("traces = %d %+v", rec.Code, p)
+	}
+	if p.Spans[0].TraceID != span.Context().TraceID {
+		t.Fatal("payload trace ID does not round-trip")
+	}
+
+	_, p = get("/v1/debug/traces?trace=" + span.Context().TraceID.String())
+	if len(p.Spans) != 1 {
+		t.Fatalf("trace filter returned %d spans, want 1", len(p.Spans))
+	}
+	_, p = get("/v1/debug/traces?trace=ffffffffffffffffffffffffffffffff")
+	if len(p.Spans) != 0 {
+		t.Fatal("bogus trace ID matched spans")
+	}
+	rec, _ = get("/v1/debug/traces?trace=nothex")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed trace filter = %d, want 400", rec.Code)
+	}
+	_, p = get("/v1/debug/traces?min_duration=10s")
+	if len(p.Spans) != 0 {
+		t.Fatal("min_duration=10s matched a fast span")
+	}
+	_, p = get("/v1/debug/traces?min_duration=0")
+	if len(p.Spans) != 1 {
+		t.Fatal("numeric min_duration rejected")
+	}
+	rec, _ = get("/v1/debug/traces?min_duration=bogus")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed min_duration = %d, want 400", rec.Code)
+	}
+}
+
+func TestTracesHandlerNilTracer(t *testing.T) {
+	rec := httptest.NewRecorder()
+	TracesHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("nil tracer traces = %d, want 200", rec.Code)
+	}
+	var p TracesPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil || len(p.Spans) != 0 {
+		t.Fatalf("nil tracer payload: %v %+v", err, p)
+	}
+}
+
+func TestDebugHandlerPprof(t *testing.T) {
+	h := DebugHandler(NewTracer("testd", 16))
+	for _, path := range []string{"/v1/debug/pprof/", "/v1/debug/pprof/cmdline", "/v1/debug/traces"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, rec.Code)
+		}
+	}
+}
+
+func TestStartFromRequestMalformedHeader(t *testing.T) {
+	tr := NewTracer("test", 16)
+	r := httptest.NewRequest("POST", "/v1/predict", nil)
+	r.Header.Set(TraceparentHeader, "00-junkjunkjunk-junk-01")
+	span := tr.StartFromRequest("op", r)
+	if !span.Context().Valid() {
+		t.Fatal("span context invalid after malformed header")
+	}
+	// The malformed trace ID must not leak into the fresh trace.
+	if strings.Contains(Traceparent(span.Context()), "junk") {
+		t.Fatal("malformed header content propagated")
+	}
+	span.End()
+}
+
+func TestLoggerTraceCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, "testd")
+	tr := NewTracer("testd", 16)
+	span := tr.StartRoot("op")
+	ctx := ContextWithSpan(t.Context(), span)
+	logger.InfoContext(ctx, "hello", "k", "v")
+	logger.Info("plain")
+	span.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, lines[0])
+	}
+	if first["daemon"] != "testd" || first["msg"] != "hello" || first["k"] != "v" {
+		t.Fatalf("unexpected log record: %v", first)
+	}
+	if first["traceId"] != span.Context().TraceID.String() {
+		t.Fatalf("traceId = %v, want %s", first["traceId"], span.Context().TraceID)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := second["traceId"]; ok {
+		t.Fatal("span-less log line carries a traceId")
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	tr := NewTracer("test", 16)
+	span := tr.StartRoot("op")
+	h := http.Header{}
+	Inject(h, span.Context())
+	got, ok := Extract(h)
+	if !ok || got != span.Context() {
+		t.Fatalf("Extract = %+v ok=%v", got, ok)
+	}
+	Inject(h, SpanContext{})
+	if h.Get(TraceparentHeader) != "" {
+		t.Fatal("zero context left a stale header")
+	}
+	if _, ok := Extract(http.Header{}); ok {
+		t.Fatal("Extract accepted an absent header")
+	}
+}
+
+func TestTraceIDJSONRoundTrip(t *testing.T) {
+	tr := NewTracer("test", 16)
+	c := tr.StartRoot("op").Context()
+	b, err := json.Marshal(c.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%q", c.TraceID.String())
+	if string(b) != want {
+		t.Fatalf("marshal = %s, want %s", b, want)
+	}
+	var back TraceID
+	if err := json.Unmarshal(b, &back); err != nil || back != c.TraceID {
+		t.Fatalf("unmarshal = %v %v", back, err)
+	}
+}

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"encoding/hex"
+	"errors"
+	"net/http"
+)
+
+// TraceparentHeader is the W3C Trace Context header name. Header keys
+// are case-insensitive in net/http; the canonical lowercase form is
+// what the spec writes on the wire.
+const TraceparentHeader = "traceparent"
+
+var errMalformed = errors.New("telemetry: malformed trace id")
+
+// Traceparent renders a span context in W3C form:
+//
+//	00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// The flags byte is always 01 (sampled): this tracer records
+// everything that fits in the ring.
+func Traceparent(c SpanContext) string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, '0', '0', '-')
+	buf = hex.AppendEncode(buf, c.TraceID[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, c.SpanID[:])
+	buf = append(buf, '-', '0', '1')
+	return string(buf)
+}
+
+// ParseTraceparent parses a W3C traceparent value. It accepts any
+// version byte other than ff (per spec, future versions must stay
+// parseable as version 00 prefixes) and rejects zero IDs. The second
+// return is false for anything malformed — callers must then mint a
+// fresh context rather than propagate junk.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	if len(s) < 55 {
+		return SpanContext{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if !isHex(s[:2]) || s[:2] == "ff" {
+		return SpanContext{}, false
+	}
+	// Version 00 is exactly 55 chars; later versions may append
+	// -suffixes but never change the prefix layout.
+	if len(s) > 55 && (s[:2] == "00" || s[55] != '-') {
+		return SpanContext{}, false
+	}
+	// hex.Decode accepts uppercase, the W3C grammar does not.
+	if !isHex(s[3:35]) || !isHex(s[36:52]) {
+		return SpanContext{}, false
+	}
+	var c SpanContext
+	if _, err := hex.Decode(c.TraceID[:], []byte(s[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(c.SpanID[:], []byte(s[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	if !isHex(s[53:55]) {
+		return SpanContext{}, false
+	}
+	if !c.Valid() {
+		return SpanContext{}, false
+	}
+	return c, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseTraceID and parseSpanID parse bare hex IDs (query parameters,
+// JSON payloads). Unlike ParseTraceparent they accept the all-zero
+// form: a root span's JSON record carries a zero parent ID.
+func parseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 || !isHex(s) {
+		return id, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, false
+	}
+	return id, true
+}
+
+func parseSpanID(s string) (SpanID, bool) {
+	var id SpanID
+	if len(s) != 16 || !isHex(s) {
+		return id, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, false
+	}
+	return id, true
+}
+
+// Inject writes the span context into an outgoing header set. A zero
+// context removes any stale header instead of propagating junk.
+func Inject(h http.Header, c SpanContext) {
+	if !c.Valid() {
+		h.Del(TraceparentHeader)
+		return
+	}
+	h.Set(TraceparentHeader, Traceparent(c))
+}
+
+// Extract parses the traceparent header of an incoming request. The
+// zero context (with ok=false) is returned for absent or malformed
+// headers; per spec the receiver must then restart the trace, never
+// forward the malformed value.
+func Extract(h http.Header) (SpanContext, bool) {
+	v := h.Get(TraceparentHeader)
+	if v == "" {
+		return SpanContext{}, false
+	}
+	return ParseTraceparent(v)
+}
+
+// StartFromRequest starts a server-side span continuing the trace in
+// r's traceparent header, or rooting a new trace when the header is
+// absent or malformed.
+func (t *Tracer) StartFromRequest(name string, r *http.Request) *Span {
+	if t == nil {
+		return nil
+	}
+	parent, _ := Extract(r.Header)
+	return t.StartSpan(name, parent)
+}

@@ -8,6 +8,10 @@
 # middleware name fails startup listing the available set. Then SIGKILL
 # one replica mid-loadgen and gate the BENCH_gateway.json artifact on
 # zero dropped requests and >=90% consistent-hash affinity retention.
+# Finally assert distributed tracing end to end: a request carrying a
+# known traceparent must surface spans under that trace ID on BOTH tiers
+# (/v1/debug/traces on the gateway and the surviving replica), and the
+# gateway's -debug-addr listener must answer /v1/debug/pprof/cmdline.
 # CI runs this on every commit; also runnable locally:
 # ./scripts/smoke_gateway.sh
 set -euo pipefail
@@ -20,6 +24,7 @@ mkdir -p "$BIN" "$LOG"
 GW_ADDR="127.0.0.1:18650"
 REP1_ADDR="127.0.0.1:18651"
 REP2_ADDR="127.0.0.1:18652"
+GW_DEBUG_ADDR="127.0.0.1:18654"
 CKPT=internal/serve/testdata/checkpoint_tiny.json
 # The committed checkpoint was trained with -samples 40 -test 20 (see
 # EXPERIMENTS.md "Serving benchmark"); the loadgen must regenerate the
@@ -78,7 +83,8 @@ cat >"$WORKDIR/gateway.json" <<EOF
   "evictAfter": 1
 }
 EOF
-"$BIN/shiftex-gateway" -config "$WORKDIR/gateway.json" -http "$GW_ADDR" >"$LOG/gateway.log" 2>&1 &
+"$BIN/shiftex-gateway" -config "$WORKDIR/gateway.json" -http "$GW_ADDR" \
+    -debug-addr "$GW_DEBUG_ADDR" >"$LOG/gateway.log" 2>&1 &
 GW_PID=$!
 PIDS="$PIDS $GW_PID"
 for i in $(seq 1 50); do
@@ -135,5 +141,31 @@ cat "$LOG/loadgen.log"
 echo "== artifact gate (zero dropped requests, affinity >= 0.9)"
 "$BIN/shiftex-gateway" -check "$WORKDIR/BENCH_gateway.json" -min-affinity 0.9 \
     || fail "gateway artifact did not validate"
+
+echo "== distributed trace crosses both tiers"
+# A fresh input vector (different from $X) so the gateway's session cache
+# cannot short-circuit the hop to the replica; replica2 is dead by now,
+# so the trace must land on replica1.
+X2=$(seq 1 32 | awk '{printf "%s%.2f", (NR==1 ? "" : ","), $1/16}')
+TRACE_ID=deadbeefdeadbeefdeadbeefdeadbeef
+code=$(curl -s -o "$WORKDIR/traced.json" -w '%{http_code}' \
+    -H "Authorization: Bearer $TOKEN" \
+    -H "traceparent: 00-$TRACE_ID-00f067aa0ba902b7-01" \
+    -X POST -d "{\"x\":[$X2]}" "http://$GW_ADDR/v1/predict")
+[ "$code" = 200 ] || fail "traced /v1/predict returned $code: $(cat "$WORKDIR/traced.json")"
+curl -s "http://$GW_ADDR/v1/debug/traces?trace=$TRACE_ID" >"$WORKDIR/gw_traces.json"
+grep -q "$TRACE_ID" "$WORKDIR/gw_traces.json" \
+    || fail "gateway /v1/debug/traces has no spans for $TRACE_ID: $(cat "$WORKDIR/gw_traces.json")"
+grep -q '"gateway.route"' "$WORKDIR/gw_traces.json" \
+    || fail "gateway trace is missing the routing span: $(cat "$WORKDIR/gw_traces.json")"
+curl -s "http://$REP1_ADDR/v1/debug/traces?trace=$TRACE_ID" >"$WORKDIR/rep_traces.json"
+grep -q "$TRACE_ID" "$WORKDIR/rep_traces.json" \
+    || fail "replica /v1/debug/traces has no spans for $TRACE_ID: $(cat "$WORKDIR/rep_traces.json")"
+grep -q '"serve.batch"' "$WORKDIR/rep_traces.json" \
+    || fail "replica trace is missing the batch span: $(cat "$WORKDIR/rep_traces.json")"
+
+echo "== pprof answers on the gateway debug port"
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$GW_DEBUG_ADDR/v1/debug/pprof/cmdline")
+[ "$code" = 200 ] || fail "/v1/debug/pprof/cmdline on $GW_DEBUG_ADDR returned $code, want 200"
 
 echo "SMOKE OK"
