@@ -67,6 +67,7 @@ func run(args []string) error {
 	traceBuffer := fs.Int("trace-buffer", telemetry.DefaultRingSize, "span ring-buffer capacity for /v1/debug/traces")
 
 	loadgen := fs.Bool("loadgen", false, "load-generation mode: replay the checkpoint's scenario against an in-process server and write BENCH_serving.json")
+	cold := fs.Bool("cold", false, "loadgen: disable the route cache so every request pays the full batched routing + inference path; the artifact is written as BENCH_serving-cold.json")
 	qps := fs.Float64("qps", 0, "loadgen target aggregate QPS (0 = open loop, as fast as possible)")
 	concurrency := fs.Int("concurrency", 0, "loadgen client goroutines (0 = two per core)")
 	repeat := fs.Int("repeat", 3, "loadgen passes over the scenario's request stream (later passes exercise the route cache)")
@@ -75,8 +76,10 @@ func run(args []string) error {
 	testN := fs.Int("test", 60, "scenario test samples per party per window (must match the checkpointed run)")
 	swapMid := fs.Bool("swap-mid-load", false, "loadgen: hot-swap a fresh snapshot of the same checkpoint halfway through")
 	jsonDir := fs.String("json", "", "loadgen: write BENCH_serving.json into this directory (empty = don't write)")
-	check := fs.String("check", "", "validate a BENCH_serving.json artifact, print its headline numbers, and exit")
+	check := fs.String("check", "", "validate a BENCH_serving.json / BENCH_serving-cold.json artifact, print its headline numbers, and exit")
 	minThroughput := fs.Float64("min-throughput", 0, "with -check: fail unless the artifact reports at least this many predictions/sec")
+	minMeanBatch := fs.Float64("min-mean-batch", 0, "with -check: fail unless the artifact's mean micro-batch size is at least this (proves batching engaged under load)")
+	against := fs.String("against", "", "with -check: compare throughput against this baseline artifact and warn when it regressed by more than 20%")
 
 	tracebench := fs.Bool("tracebench", false, "tracing-overhead benchmark: replay the loadgen workload as interleaved untraced/traced trial pairs against in-process servers and write BENCH_tracing.json")
 	trials := fs.Int("trials", serve.DefaultTracingTrials, "with -tracebench: interleaved baseline/traced trial pairs; each side reports its best trial")
@@ -86,7 +89,7 @@ func run(args []string) error {
 		return err
 	}
 	if *check != "" {
-		return checkArtifact(*check, *minThroughput)
+		return checkArtifact(*check, *minThroughput, *minMeanBatch, *against)
 	}
 	if *checkTracing != "" {
 		return checkTracingArtifact(*checkTracing, *maxOverhead)
@@ -102,6 +105,11 @@ func run(args []string) error {
 	snap, err := serve.SnapshotFromCheckpoint(cp)
 	if err != nil {
 		return err
+	}
+	if *cold {
+		// Cold-traffic mode: a disabled cache is what makes the benchmark
+		// honest about compute throughput, so -cold overrides -cache.
+		*cacheSize = -1
 	}
 	cfg := serve.Config{
 		Workers:    *workers,
@@ -233,18 +241,41 @@ func registerWithGateway(gatewayURL, model, addr string) {
 
 // checkArtifact validates a serving artifact and prints its headline
 // numbers — the smoke tests' machine-checkable gate on the benchmark.
-func checkArtifact(path string, minThroughput float64) error {
+// minMeanBatch gates the mean micro-batch size (batching actually engaged);
+// against, when set, compares throughput to a committed baseline artifact
+// and emits a GitHub-annotation warning on a >20% regression — a warning,
+// not a failure, because absolute throughput is machine-dependent.
+func checkArtifact(path string, minThroughput, minMeanBatch float64, against string) error {
 	a, err := experiments.ReadServingArtifactFile(path)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving artifact ok: requests=%d errors=%d throughputPerSec=%.0f p99Ms=%.3g accuracy=%.3f routing=%.3f regimes=%d swaps=%d\n",
-		a.Requests, a.Errors, a.ThroughputPerSec, a.LatencyMsP99, a.Accuracy, a.RoutedToAssigned, len(a.Regimes), a.Swaps)
+	fmt.Printf("serving artifact ok: name=%s requests=%d errors=%d throughputPerSec=%.0f p99Ms=%.3g accuracy=%.3f routing=%.3f meanBatch=%.2f regimes=%d swaps=%d\n",
+		a.Name, a.Requests, a.Errors, a.ThroughputPerSec, a.LatencyMsP99, a.Accuracy, a.RoutedToAssigned, a.MeanBatch, len(a.Regimes), a.Swaps)
 	if a.Errors > 0 {
 		return fmt.Errorf("artifact records %d errored requests", a.Errors)
 	}
 	if minThroughput > 0 && a.ThroughputPerSec < minThroughput {
 		return fmt.Errorf("throughput %.0f/s below required %.0f/s", a.ThroughputPerSec, minThroughput)
+	}
+	if minMeanBatch > 0 && a.MeanBatch < minMeanBatch {
+		return fmt.Errorf("mean batch size %.2f below required %.2f (micro-batching did not engage)", a.MeanBatch, minMeanBatch)
+	}
+	if against != "" {
+		base, err := experiments.ReadServingArtifactFile(against)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if base.Name != a.Name {
+			return fmt.Errorf("baseline %s is a %q artifact, cannot compare against %q", against, base.Name, a.Name)
+		}
+		ratio := a.ThroughputPerSec / base.ThroughputPerSec
+		fmt.Printf("vs baseline %s: %.0f/s -> %.0f/s (%+.1f%%)\n",
+			against, base.ThroughputPerSec, a.ThroughputPerSec, (ratio-1)*100)
+		if ratio < 0.8 {
+			fmt.Printf("::warning file=%s::serving throughput regressed %.1f%% vs committed baseline (%.0f/s -> %.0f/s)\n",
+				against, (1-ratio)*100, base.ThroughputPerSec, a.ThroughputPerSec)
+		}
 	}
 	return nil
 }
@@ -317,9 +348,9 @@ func runLoadgen(srv *serve.Server, cp *service.Checkpoint, cfg serve.Config, lcf
 	if err := srv.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("loadgen: %d predictions in %.2fs (%.0f/s), p50=%s p90=%s p99=%s, accuracy=%.3f routing=%.3f\n",
+	fmt.Printf("loadgen: %d predictions in %.2fs (%.0f/s), p50=%s p90=%s p99=%s, accuracy=%.3f routing=%.3f meanBatch=%.2f\n",
 		res.Requests, res.Duration.Seconds(), res.Throughput(),
-		res.LatencyP50, res.LatencyP90, res.LatencyP99, res.Accuracy(), res.RoutingAccuracy())
+		res.LatencyP50, res.LatencyP90, res.LatencyP99, res.Accuracy(), res.RoutingAccuracy(), res.Server.MeanBatch)
 	for _, g := range res.Regimes {
 		fmt.Printf("  regime %-10s %6d requests  accuracy=%.3f  routed-to-assigned=%.3f  matched=%.3f\n",
 			g.Regime, g.Requests,

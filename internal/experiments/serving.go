@@ -18,6 +18,13 @@ const ServingSchemaVersion = 1
 // (BENCH_serving.json via ArtifactFileName).
 const ServingArtifactName = "serving"
 
+// ServingColdArtifactName keys the cold-traffic variant
+// (BENCH_serving-cold.json): the same protocol with the route cache
+// disabled, so every request pays the full batched routing + inference
+// path. The warm artifact's throughput is dominated by cache hits; the
+// cold one is the honest compute-throughput number.
+const ServingColdArtifactName = "serving-cold"
+
 // ServingOptions records the load-generation protocol: the checkpoint the
 // server ran from, the regenerated scenario shape, and the pipeline knobs.
 // Unlike grid ArtifactOptions, most serving results (throughput, latency)
@@ -38,6 +45,10 @@ type ServingOptions struct {
 	CacheSize         int     `json:"cacheSize"`
 	RouteEpsilonScale float64 `json:"routeEpsilonScale"`
 	SwapMidLoad       bool    `json:"swapMidLoad"`
+	// ColdTraffic marks a run with the route cache disabled (CacheSize
+	// < 0): every request was routed through the encoder. Mirrors the
+	// "serving-cold" artifact name; Validate cross-checks the two.
+	ColdTraffic bool `json:"coldTraffic,omitempty"`
 }
 
 // ServingRegime is one covariate regime's serving quality: how accurately
@@ -85,8 +96,10 @@ func (a *ServingArtifact) Validate() error {
 	switch {
 	case a.Schema != ServingSchemaVersion:
 		return fmt.Errorf("experiments: serving artifact schema %d, want %d", a.Schema, ServingSchemaVersion)
-	case a.Name != ServingArtifactName:
-		return fmt.Errorf("experiments: serving artifact name %q, want %q", a.Name, ServingArtifactName)
+	case a.Name != ServingArtifactName && a.Name != ServingColdArtifactName:
+		return fmt.Errorf("experiments: serving artifact name %q, want %q or %q", a.Name, ServingArtifactName, ServingColdArtifactName)
+	case a.Options.ColdTraffic != (a.Name == ServingColdArtifactName):
+		return fmt.Errorf("experiments: serving artifact name %q disagrees with coldTraffic=%v", a.Name, a.Options.ColdTraffic)
 	case a.Requests == 0:
 		return errors.New("experiments: serving artifact records no completed requests")
 	case a.DurationMs <= 0:

@@ -65,6 +65,8 @@ func TestServingArtifactValidation(t *testing.T) {
 	}{
 		{"wrong schema", func(a *ServingArtifact) { a.Schema = 99 }, "schema"},
 		{"wrong name", func(a *ServingArtifact) { a.Name = "grid" }, "name"},
+		{"cold name without flag", func(a *ServingArtifact) { a.Name = ServingColdArtifactName }, "coldTraffic"},
+		{"cold flag without name", func(a *ServingArtifact) { a.Options.ColdTraffic = true }, "coldTraffic"},
 		{"no requests", func(a *ServingArtifact) { a.Requests = 0 }, "requests"},
 		{"no duration", func(a *ServingArtifact) { a.DurationMs = 0 }, "duration"},
 		{"no regimes", func(a *ServingArtifact) { a.Regimes = nil }, "regime"},
@@ -78,6 +80,29 @@ func TestServingArtifactValidation(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Fatalf("%s: err=%v, want mention of %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+func TestServingColdArtifactFile(t *testing.T) {
+	a := validServingArtifact()
+	a.Name = ServingColdArtifactName
+	a.Options.ColdTraffic = true
+	a.Options.CacheSize = -1
+	a.CacheHitRate = 0
+	dir := t.TempDir()
+	path, err := WriteServingArtifactFile(dir, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_serving-cold.json" {
+		t.Fatalf("wrote %s, want BENCH_serving-cold.json", path)
+	}
+	got, err := ReadServingArtifactFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Options.ColdTraffic || got.Name != ServingColdArtifactName {
+		t.Fatalf("cold round trip lost the marker: %+v", got)
 	}
 }
 

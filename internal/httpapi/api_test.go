@@ -147,6 +147,36 @@ func TestMetricsBuilderExemplar(t *testing.T) {
 	}
 }
 
+func TestMetricsBuilderHistogram(t *testing.T) {
+	// Per-bucket counts in, cumulative le-labeled series out: buckets
+	// {≤1: 5, ≤4: 2, ≤8: 0, +Inf: 1}, sum of observations 23.
+	b := NewMetricsBuilder("serve").
+		Histogram("x_batch_size", "Batch sizes.",
+			[]float64{1, 4, 8}, []uint64{5, 2, 0, 1}, 23)
+	text := string(b.Prom())
+	for _, want := range []string{
+		"# TYPE x_batch_size histogram",
+		`x_batch_size_bucket{le="1"} 5`,
+		`x_batch_size_bucket{le="4"} 7`,
+		`x_batch_size_bucket{le="8"} 7`,
+		`x_batch_size_bucket{le="+Inf"} 8`,
+		"x_batch_size_sum 23",
+		"x_batch_size_count 8",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("histogram text missing %q in:\n%s", want, text)
+		}
+	}
+	p := b.Payload()
+	if len(p.Metrics) != 1 || p.Metrics[0].Type != "histogram" {
+		t.Fatalf("histogram payload = %+v", p.Metrics)
+	}
+	samples := p.Metrics[0].Samples
+	if len(samples) != 6 || samples[0].Suffix != "_bucket" || samples[5].Suffix != "_count" {
+		t.Errorf("histogram samples = %+v", samples)
+	}
+}
+
 func TestMetricsBuilderRuntime(t *testing.T) {
 	b := NewMetricsBuilder("serve").Runtime(time.Now().Add(-2 * time.Second))
 	text := string(b.Prom())

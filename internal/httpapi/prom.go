@@ -22,8 +22,11 @@ type Metric struct {
 }
 
 // Sample is one labeled value. Labels is the literal Prometheus label set,
-// e.g. `outcome="ok"`, empty for the unlabeled sample.
+// e.g. `outcome="ok"`, empty for the unlabeled sample. Suffix, when set, is
+// appended to the family name in the exposition — how histogram families
+// render their _bucket/_sum/_count series under one TYPE header.
 type Sample struct {
+	Suffix   string    `json:"suffix,omitempty"`
 	Labels   string    `json:"labels,omitempty"`
 	Value    float64   `json:"value"`
 	Exemplar *Exemplar `json:"exemplar,omitempty"`
@@ -81,6 +84,28 @@ func (b *MetricsBuilder) GaugeVec(name, help string, samples ...Sample) *Metrics
 	return b.add(name, help, "gauge", samples...)
 }
 
+// Histogram adds a Prometheus histogram family. counts are per-bucket
+// observation counts with one entry per bound plus a trailing +Inf bucket
+// (len(counts) == len(bounds)+1); the method accumulates them into the
+// cumulative le-labeled _bucket series and appends the _sum and _count
+// series, so callers keep plain per-bucket counters.
+func (b *MetricsBuilder) Histogram(name, help string, bounds []float64, counts []uint64, sum float64) *MetricsBuilder {
+	samples := make([]Sample, 0, len(counts)+2)
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		label := `le="+Inf"`
+		if i < len(bounds) {
+			label = fmt.Sprintf(`le="%g"`, bounds[i])
+		}
+		samples = append(samples, Sample{Suffix: "_bucket", Labels: label, Value: float64(cum)})
+	}
+	samples = append(samples,
+		Sample{Suffix: "_sum", Value: sum},
+		Sample{Suffix: "_count", Value: float64(cum)})
+	return b.add(name, help, "histogram", samples...)
+}
+
 func (b *MetricsBuilder) add(name, help, typ string, samples ...Sample) *MetricsBuilder {
 	b.families = append(b.families, Metric{Name: name, Help: help, Type: typ, Samples: samples})
 	return b
@@ -115,9 +140,9 @@ func (b *MetricsBuilder) Prom() []byte {
 		out = fmt.Appendf(out, "# HELP %s %s\n# TYPE %s %s\n", f.Name, f.Help, f.Name, f.Type)
 		for _, s := range f.Samples {
 			if s.Labels == "" {
-				out = fmt.Appendf(out, "%s %g", f.Name, s.Value)
+				out = fmt.Appendf(out, "%s%s %g", f.Name, s.Suffix, s.Value)
 			} else {
-				out = fmt.Appendf(out, "%s{%s} %g", f.Name, s.Labels, s.Value)
+				out = fmt.Appendf(out, "%s%s{%s} %g", f.Name, s.Suffix, s.Labels, s.Value)
 			}
 			if s.Exemplar != nil {
 				out = fmt.Appendf(out, " # {trace_id=%q} %g", s.Exemplar.TraceID, s.Exemplar.Value)

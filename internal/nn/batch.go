@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// BatchWorkspace owns the activation matrices a whole-batch forward pass
+// needs: one rows×width matrix per layer output plus the packed input
+// matrix, all carved from a single tensor.Workspace arena. The *BatchWS
+// methods run an entire batch through each Dense layer as one blocked GEMM
+// (tensor.MatMulTransInto) instead of a per-sample MatVecInto loop — the
+// serving tier's compute hot path.
+//
+// Ownership and aliasing rules (matching Workspace):
+//
+//   - Matrices returned by ForwardBatchWS/EmbedBatchWS alias workspace
+//     storage and are valid until the next call that uses the workspace.
+//     Clone rows that must be retained.
+//   - A batch workspace fits any model with the same layer widths; one
+//     can serve every expert of a snapshot, one call at a time.
+//   - Not safe for concurrent use — give each goroutine its own.
+//
+// Capacity grows to the largest batch ever passed and never shrinks, so a
+// steady-state loop over bounded batches performs zero heap allocations
+// (pinned by TestBatchForwardAllocateNothing).
+type BatchWorkspace struct {
+	dims    []int
+	capRows int
+	// full[0] is the packed input (capRows×dims[0]); full[l+1] holds layer
+	// l's post-activation output. views are the same matrices re-headed to
+	// the live batch size, mutated in place by setBatch so per-call view
+	// construction allocates nothing.
+	full  []*tensor.Matrix
+	views []*tensor.Matrix
+}
+
+// NewBatchWorkspace allocates a batch workspace fitting m's architecture
+// with initial capacity for maxBatch rows.
+func NewBatchWorkspace(m *MLP, maxBatch int) *BatchWorkspace {
+	return NewBatchWorkspaceDims(m.dims, maxBatch)
+}
+
+// NewBatchWorkspaceDims allocates a batch workspace for the given layer
+// widths (the same slice NewMLP takes).
+func NewBatchWorkspaceDims(dims []int, maxBatch int) *BatchWorkspace {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	bw := &BatchWorkspace{dims: append([]int(nil), dims...)}
+	bw.grow(maxBatch)
+	return bw
+}
+
+// grow (re)carves all activation matrices with capacity for rows batches.
+func (bw *BatchWorkspace) grow(rows int) {
+	need := 0
+	for _, d := range bw.dims {
+		need += rows * d
+	}
+	arena := tensor.NewWorkspace(need)
+	bw.capRows = rows
+	bw.full = make([]*tensor.Matrix, len(bw.dims))
+	bw.views = make([]*tensor.Matrix, len(bw.dims))
+	for i, d := range bw.dims {
+		bw.full[i] = arena.Mat(rows, d)
+		bw.views[i] = &tensor.Matrix{Rows: rows, Cols: d, Data: bw.full[i].Data}
+	}
+}
+
+// setBatch points the views at the first n rows, growing capacity if the
+// batch exceeds it (a doubling grow, so repeated ragged sizes settle).
+func (bw *BatchWorkspace) setBatch(n int) {
+	if n > bw.capRows {
+		rows := 2 * bw.capRows
+		if rows < n {
+			rows = n
+		}
+		bw.grow(rows)
+	}
+	for i, v := range bw.views {
+		v.Rows = n
+		v.Data = bw.full[i].Data[:n*v.Cols]
+	}
+}
+
+// Cap returns the current row capacity.
+func (bw *BatchWorkspace) Cap() int { return bw.capRows }
+
+// FitsDims reports whether the workspace matches the given layer widths.
+func (bw *BatchWorkspace) FitsDims(dims []int) bool {
+	if len(bw.dims) != len(dims) {
+		return false
+	}
+	for i, d := range bw.dims {
+		if d != dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// check returns an error when the workspace does not fit m.
+func (bw *BatchWorkspace) check(m *MLP) error {
+	if !bw.FitsDims(m.dims) {
+		return fmt.Errorf("nn: batch workspace dims %v do not fit model dims %v: %w", bw.dims, m.dims, ErrDimension)
+	}
+	return nil
+}
+
+// forwardBatch packs xs into the input matrix and runs the first nLayers
+// layers over the whole batch: one GEMM against each layer's W, then a bias
+// add and (on hidden layers) ReLU per row. Each output element accumulates
+// in the same order as the per-sample forwardInto path, so the batched
+// activations are bit-identical to running ForwardWS per sample. Passing
+// nLayers < len(m.layers) stops early — the embedding path skips the final
+// layer entirely, which cannot change the penultimate activations.
+func (m *MLP) forwardBatch(bw *BatchWorkspace, xs []tensor.Vector, nLayers int) error {
+	if len(xs) == 0 {
+		return errEmptyBatch
+	}
+	if err := bw.check(m); err != nil {
+		return err
+	}
+	for i, x := range xs {
+		if len(x) != m.InputDim() {
+			return fmt.Errorf("forwardbatch: %w: input %d is %d-dimensional, want %d",
+				ErrDimension, i, len(x), m.InputDim())
+		}
+	}
+	bw.setBatch(len(xs))
+	in := bw.views[0]
+	for i, x := range xs {
+		copy(in.Row(i), x)
+	}
+	cur := in
+	for l := 0; l < nLayers; l++ {
+		layer := m.layers[l]
+		z := bw.views[l+1]
+		if err := tensor.MatMulTransInto(z, cur, layer.W); err != nil {
+			return err
+		}
+		last := l == len(m.layers)-1
+		for i := 0; i < z.Rows; i++ {
+			row := z.Row(i)
+			if err := row.Add(layer.B); err != nil {
+				return err
+			}
+			if !last {
+				relu(row)
+			}
+		}
+		cur = z
+	}
+	return nil
+}
+
+// ForwardBatchWS runs the whole batch through the network, returning the
+// len(xs)×NumClasses logits matrix. The matrix aliases workspace storage
+// and is valid until the next use of bw.
+func (m *MLP) ForwardBatchWS(bw *BatchWorkspace, xs []tensor.Vector) (*tensor.Matrix, error) {
+	if err := m.forwardBatch(bw, xs, len(m.layers)); err != nil {
+		return nil, err
+	}
+	return bw.views[len(bw.views)-1], nil
+}
+
+// EmbedBatchWS runs the whole batch and returns the len(xs)×EmbeddingDim
+// matrix of penultimate-layer activations — the batched form of EmbedWS,
+// used by the serving tier to route a full batch through the encoder in one
+// GEMM. The final layer is skipped (its output is unused and cannot affect
+// the penultimate activations), so the values stay bit-identical to EmbedWS
+// while costing one GEMM less. The matrix aliases workspace storage.
+func (m *MLP) EmbedBatchWS(bw *BatchWorkspace, xs []tensor.Vector) (*tensor.Matrix, error) {
+	if err := m.forwardBatch(bw, xs, len(m.layers)-1); err != nil {
+		return nil, err
+	}
+	return bw.views[len(bw.views)-2], nil
+}
+
+// PredictBatchWS writes the argmax class of each input into classes, which
+// must have the batch's length. Results are bit-identical to calling
+// PredictWS per sample.
+func (m *MLP) PredictBatchWS(bw *BatchWorkspace, xs []tensor.Vector, classes []int) error {
+	if len(classes) != len(xs) {
+		return fmt.Errorf("predictbatch: %w: %d inputs vs %d class slots", ErrDimension, len(xs), len(classes))
+	}
+	logits, err := m.ForwardBatchWS(bw, xs)
+	if err != nil {
+		return err
+	}
+	for i := range xs {
+		classes[i] = logits.Row(i).ArgMax()
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The batched-forward contract: every *BatchWS path is bit-identical to
+// running the per-sample *WS path over the batch (the GEMM kernels preserve
+// per-element accumulation order), including batch=1 and ragged sizes, and
+// a warm workspace performs zero heap allocations.
+
+func TestForwardBatchWSMatchesPerSample(t *testing.T) {
+	m, xs, _ := testModelAndBatch(t)
+	ws := NewWorkspace(m)
+	bw := NewBatchWorkspace(m, 8) // smaller than len(xs): exercises growth
+	for _, n := range []int{1, 3, 8, 24} {
+		batch := xs[:n]
+		logits, err := m.ForwardBatchWS(bw, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if logits.Rows != n || logits.Cols != m.NumClasses() {
+			t.Fatalf("batch %d: logits %dx%d, want %dx%d", n, logits.Rows, logits.Cols, n, m.NumClasses())
+		}
+		for i, x := range batch {
+			want, err := m.ForwardWS(ws, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := logits.Row(i)
+			for j := range want {
+				if row[j] != want[j] {
+					t.Fatalf("batch %d: logits[%d][%d] = %g, per-sample %g", n, i, j, row[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestEmbedBatchWSMatchesPerSample(t *testing.T) {
+	m, xs, _ := testModelAndBatch(t)
+	ws := NewWorkspace(m)
+	bw := NewBatchWorkspace(m, len(xs))
+	emb, err := m.EmbedBatchWS(bw, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Rows != len(xs) || emb.Cols != m.EmbeddingDim() {
+		t.Fatalf("embeddings %dx%d, want %dx%d", emb.Rows, emb.Cols, len(xs), m.EmbeddingDim())
+	}
+	for i, x := range xs {
+		want, err := m.EmbedWS(ws, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := emb.Row(i)
+		for j := range want {
+			if row[j] != want[j] {
+				t.Fatalf("embedding[%d][%d] = %g, per-sample %g", i, j, row[j], want[j])
+			}
+		}
+	}
+}
+
+func TestPredictBatchWSMatchesPerSample(t *testing.T) {
+	m, xs, _ := testModelAndBatch(t)
+	ws := NewWorkspace(m)
+	bw := NewBatchWorkspace(m, 4)
+	classes := make([]int, len(xs))
+	// Ragged drain: consume the batch in uneven chunks like the serving
+	// dispatcher's final flush does.
+	for start := 0; start < len(xs); {
+		n := 5
+		if start+n > len(xs) {
+			n = len(xs) - start // ragged final batch
+		}
+		if err := m.PredictBatchWS(bw, xs[start:start+n], classes[start:start+n]); err != nil {
+			t.Fatal(err)
+		}
+		start += n
+	}
+	for i, x := range xs {
+		want, err := m.PredictWS(ws, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if classes[i] != want {
+			t.Fatalf("class[%d] = %d, per-sample %d", i, classes[i], want)
+		}
+	}
+}
+
+func TestBatchWorkspaceErrors(t *testing.T) {
+	m, xs, _ := testModelAndBatch(t)
+	bw := NewBatchWorkspace(m, 4)
+	if _, err := m.ForwardBatchWS(bw, nil); !errors.Is(err, errEmptyBatch) {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := m.PredictBatchWS(bw, xs[:2], make([]int, 3)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("classes length mismatch: %v", err)
+	}
+	if _, err := m.ForwardBatchWS(bw, []tensor.Vector{tensor.NewVector(3)}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("bad input dim: %v", err)
+	}
+	other, err := NewMLP([]int{12, 10, 8, 5}, tensor.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.ForwardBatchWS(bw, xs[:1]); !errors.Is(err, ErrDimension) {
+		t.Fatalf("wrong arch workspace: %v", err)
+	}
+	if !bw.FitsDims(m.Dims()) || bw.FitsDims(other.Dims()) {
+		t.Fatal("FitsDims disagrees with check")
+	}
+}
+
+func TestBatchWorkspaceGrowth(t *testing.T) {
+	m, xs, _ := testModelAndBatch(t)
+	bw := NewBatchWorkspace(m, 2)
+	if bw.Cap() != 2 {
+		t.Fatalf("cap = %d, want 2", bw.Cap())
+	}
+	classes := make([]int, len(xs))
+	if err := m.PredictBatchWS(bw, xs, classes); err != nil {
+		t.Fatal(err)
+	}
+	if bw.Cap() < len(xs) {
+		t.Fatalf("cap = %d after batch of %d", bw.Cap(), len(xs))
+	}
+	// Shrinking back to a small batch reuses the grown storage.
+	if err := m.PredictBatchWS(bw, xs[:1], classes[:1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchForwardAllocateNothing(t *testing.T) {
+	m, xs, _ := testModelAndBatch(t)
+	bw := NewBatchWorkspace(m, len(xs))
+	classes := make([]int, len(xs))
+	if n := testing.AllocsPerRun(20, func() {
+		if err := m.PredictBatchWS(bw, xs, classes); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("PredictBatchWS allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := m.EmbedBatchWS(bw, xs[:7]); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("EmbedBatchWS allocates %v per run, want 0", n)
+	}
+}
+
+// BenchmarkPredictBatchWS measures whole-batch inference across batch
+// sizes against the per-sample PredictWS loop it replaces, on the
+// realistic 128-wide arch the tracing benchmark uses.
+func BenchmarkPredictBatchWS(b *testing.B) {
+	m, err := NewMLP([]int{32, 128, 64, 10}, tensor.NewRNG(31))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := tensor.NewRNG(32)
+	for _, bs := range []int{1, 8, 32, 128} {
+		xs := make([]tensor.Vector, bs)
+		for i := range xs {
+			xs[i] = rng.NormVec(32, 0, 1)
+		}
+		classes := make([]int, bs)
+		bw := NewBatchWorkspace(m, bs)
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := m.PredictBatchWS(bw, xs, classes); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(bs)/b.Elapsed().Seconds(), "preds/s")
+		})
+		ws := NewWorkspace(m)
+		b.Run(fmt.Sprintf("persample/batch=%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, x := range xs {
+					if _, err := m.PredictWS(ws, x); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(bs)/b.Elapsed().Seconds(), "preds/s")
+		})
+	}
+}

@@ -266,9 +266,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CounterVec("shiftex_serve_routed_total", "Routing decisions, by kind.",
 			httpapi.Sample{Labels: `kind="matched"`, Value: float64(m.Matched)},
 			httpapi.Sample{Labels: `kind="fallback"`, Value: float64(m.Fallbacks)}).
-		CounterVec("shiftex_serve_route_cache_total", "LRU route-cache lookups.",
+		CounterVec("shiftex_serve_route_cache_total", "LRU route-cache lookups (bypass = cache disabled, request routed by the batched encoder).",
 			httpapi.Sample{Labels: `result="hit"`, Value: float64(m.CacheHits)},
-			httpapi.Sample{Labels: `result="miss"`, Value: float64(m.CacheMisses)}).
+			httpapi.Sample{Labels: `result="miss"`, Value: float64(m.CacheMisses)},
+			httpapi.Sample{Labels: `result="bypass"`, Value: float64(m.CacheBypass)}).
 		GaugeVec("shiftex_serve_route_epsilon", "Match radius, calibrated (training ε) vs effective (ε × route-eps-scale, what routing compares against).",
 			httpapi.Sample{Labels: `scope="calibrated"`, Value: snap.Epsilon},
 			httpapi.Sample{Labels: `scope="effective"`, Value: snap.RouteEpsilon()}).
@@ -277,5 +278,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Gauge("shiftex_serve_experts", "Experts in the serving snapshot.", float64(snap.NumExperts())).
 		Counter("shiftex_serve_batches_total", "Micro-batches drained by the worker pool.", float64(m.Batches)).
 		Gauge("shiftex_serve_batch_mean_size", "Mean requests per drained batch.", m.MeanBatch)
+	// Batch-size distribution: the pipeline's honesty meter. Mass in the
+	// le="1" bucket means the server is not actually batching, whatever
+	// its throughput numbers claim.
+	bounds, counts, batchedSum, _ := s.metrics.BatchSizeHistogram()
+	fb := make([]float64, len(bounds))
+	for i, v := range bounds {
+		fb[i] = float64(v)
+	}
+	b.Histogram("shiftex_serve_batch_size", "Requests per drained micro-batch.", fb, counts, float64(batchedSum))
 	b.ServeMetrics(w, r)
 }

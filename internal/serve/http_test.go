@@ -83,6 +83,11 @@ func TestHTTPPredictAndHealth(t *testing.T) {
 		"shiftex_serve_latency_seconds",
 		"shiftex_serve_snapshot_version 1",
 		"shiftex_serve_experts",
+		`shiftex_serve_route_cache_total{result="bypass"}`,
+		"# TYPE shiftex_serve_batch_size histogram",
+		`shiftex_serve_batch_size_bucket{le="1"} 1`,
+		`shiftex_serve_batch_size_bucket{le="+Inf"} 1`,
+		"shiftex_serve_batch_size_count 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, text)

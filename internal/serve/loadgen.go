@@ -250,6 +250,12 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 		}()
 	}
 
+	// Requests are issued with an uncancellable context: the client loop
+	// checks ctx between iterations, so cancellation still lands within one
+	// request (microseconds), and predictAt's result wait can take the
+	// plain channel receive instead of selectgo — measurably cheaper at
+	// batched-pipeline throughput.
+	reqCtx := context.Background()
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -260,6 +266,12 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 			// into the tracer's ring, so the traced path allocates
 			// nothing per request.
 			var root telemetry.Span
+			// The deadline is checked against the previous iteration's
+			// completion instant (t0 + lat) instead of a fresh clock
+			// read: at batched-pipeline throughput an extra time.Now
+			// per request is a measurable tax, and the deadline only
+			// needs request-granularity precision anyway.
+			var now time.Time
 			for {
 				i := next.Add(1) - 1
 				if i >= total {
@@ -268,7 +280,7 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 				if ctx.Err() != nil {
 					break
 				}
-				if !deadline.IsZero() && time.Now().After(deadline) {
+				if !deadline.IsZero() && !now.IsZero() && now.After(deadline) {
 					break
 				}
 				if interval > 0 {
@@ -285,8 +297,9 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 				// takes the parent explicitly to skip a per-request
 				// context allocation.
 				cfg.Tracer.BeginAt(&root, "loadgen.predict", telemetry.SpanContext{}, t0)
-				res, err := srv.PredictSpan(ctx, item.X, &root)
+				res, err := srv.predictAt(reqCtx, item.X, &root, t0)
 				lat := time.Since(t0)
+				now = t0.Add(lat)
 				if cfg.Tracer != nil {
 					root.SetError(err)
 					root.EndAt(t0.Add(lat))
@@ -332,6 +345,7 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 				}
 				g.requests += v.requests
 				g.correct += v.correct
+				g.known += v.known
 				g.routed += v.routed
 				g.matched += v.matched
 			}
@@ -391,14 +405,23 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 }
 
 // Artifact converts a load result into the versioned BENCH_serving.json
-// form, recording the protocol that produced it.
+// form, recording the protocol that produced it. A run with the route
+// cache disabled (CacheSize < 0) is a cold-traffic run and takes the
+// "serving-cold" name — it lands in BENCH_serving-cold.json and carries
+// the coldTraffic option flag, so the honest no-cache number can never be
+// mistaken for the warm one.
 func (r *LoadResult) Artifact(cp *service.Checkpoint, cfg LoadConfig, srvCfg Config) *experiments.ServingArtifact {
 	cfg = cfg.withDefaults()
 	srvCfg = srvCfg.withDefaults()
+	cold := srvCfg.CacheSize < 0
+	name := experiments.ServingArtifactName
+	if cold {
+		name = experiments.ServingColdArtifactName
+	}
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 	a := &experiments.ServingArtifact{
 		Schema: experiments.ServingSchemaVersion,
-		Name:   experiments.ServingArtifactName,
+		Name:   name,
 		Options: experiments.ServingOptions{
 			CheckpointWindows: cp.WindowsDone,
 			Parties:           len(cp.Aggregator.Assignment),
@@ -414,6 +437,7 @@ func (r *LoadResult) Artifact(cp *service.Checkpoint, cfg LoadConfig, srvCfg Con
 			CacheSize:         srvCfg.CacheSize,
 			RouteEpsilonScale: srvCfg.RouteEpsilonScale,
 			SwapMidLoad:       cfg.SwapMidLoad,
+			ColdTraffic:       cold,
 		},
 		Requests:         r.Requests,
 		Errors:           r.Errors,

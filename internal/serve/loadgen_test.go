@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/experiments"
 )
 
 // tinyLoadConfig matches the scenario shape checkpoint_tiny.json was
@@ -47,12 +49,19 @@ func TestRunLoadAgainstTinyCheckpoint(t *testing.T) {
 	if len(res.Regimes) == 0 {
 		t.Fatal("no per-regime breakdown")
 	}
-	var regimeReqs int
+	var regimeReqs, regimeKnown int
 	for _, g := range res.Regimes {
 		regimeReqs += g.Requests
+		regimeKnown += g.AssignedKnown
 	}
 	if uint64(regimeReqs) != res.Requests {
 		t.Fatalf("regime breakdown covers %d of %d requests", regimeReqs, res.Requests)
+	}
+	// The per-regime AssignedKnown tallies must add up to the aggregate —
+	// they used to be dropped in the worker merge, which zeroed every
+	// regime's routedToAssigned in the committed artifact.
+	if uint64(regimeKnown) != res.AssignedKnown {
+		t.Fatalf("regime AssignedKnown sums to %d, aggregate is %d", regimeKnown, res.AssignedKnown)
 	}
 	// Second pass over the same stream must have hit the route cache.
 	if res.Server.CacheHits == 0 {
@@ -112,6 +121,42 @@ func TestLoadResultArtifact(t *testing.T) {
 	}
 	if a.Options.Seed != cp.Seed || a.Options.CheckpointWindows != cp.WindowsDone {
 		t.Fatal("artifact options do not pin the checkpoint protocol")
+	}
+	if a.Name != experiments.ServingArtifactName || a.Options.ColdTraffic {
+		t.Fatalf("cache-enabled run must produce the warm artifact, got %q cold=%v", a.Name, a.Options.ColdTraffic)
+	}
+}
+
+// TestLoadResultArtifactCold pins the cold-traffic artifact contract: a run
+// with the cache disabled names itself "serving-cold", carries the
+// coldTraffic flag, and still validates.
+func TestLoadResultArtifactCold(t *testing.T) {
+	cp, snap := loadTiny(t)
+	srvCfg := Config{Workers: 2, MaxDelay: 500 * time.Microsecond, CacheSize: -1}
+	srv, err := NewServer(snap, srvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cfg := tinyLoadConfig()
+	res, err := RunLoad(context.Background(), srv, cp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Artifact(cp, cfg, srvCfg)
+	if a.Name != experiments.ServingColdArtifactName || !a.Options.ColdTraffic {
+		t.Fatalf("cold run artifact = %q cold=%v", a.Name, a.Options.ColdTraffic)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("cold artifact invalid: %v", err)
+	}
+	if a.CacheHitRate != 0 {
+		t.Fatalf("cold run reports cacheHitRate %g, want 0", a.CacheHitRate)
+	}
+	if res.Server.CacheBypass != res.Server.Requests {
+		t.Fatalf("bypass=%d requests=%d, every cold request must bypass the cache",
+			res.Server.CacheBypass, res.Server.Requests)
 	}
 }
 

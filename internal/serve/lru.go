@@ -103,6 +103,11 @@ func (c *routeCache) put(x tensor.Vector, version, expert int, matched bool) {
 	c.m[key] = c.l.PushFront(&routeEntry{key: key, x: x.Clone(), expert: expert, matched: matched, version: version})
 }
 
+// enabled reports whether the cache stores anything at all (capacity > 0).
+// A disabled cache turns every request into a bypass, which the metrics
+// count separately from genuine misses.
+func (c *routeCache) enabled() bool { return c.cap > 0 }
+
 // sameInput reports element-equal inputs (NaN-bearing inputs compare
 // unequal and degrade to cache misses, which is safe).
 func sameInput(a, b tensor.Vector) bool { return slices.Equal(a, b) }

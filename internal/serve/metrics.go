@@ -18,20 +18,22 @@ const (
 type Metrics struct {
 	start time.Time
 
-	requests  atomic.Uint64 // completed successfully
-	admitted  atomic.Uint64 // accepted into the batching pipeline
-	errored   atomic.Uint64 // failed (bad input, closed server)
-	rejected  atomic.Uint64 // refused at admission (queue full)
-	inflight  atomic.Int64
-	matched   atomic.Uint64 // routed via latent-memory match
-	fallbacks atomic.Uint64 // routed to the global fallback
-	cacheHits atomic.Uint64
-	cacheMiss atomic.Uint64
-	swaps     atomic.Uint64
-	batches   atomic.Uint64 // drained batches
-	batched   atomic.Uint64 // requests across all drained batches
+	requests    atomic.Uint64 // completed successfully
+	admitted    atomic.Uint64 // accepted into the batching pipeline
+	errored     atomic.Uint64 // failed (bad input, closed server)
+	rejected    atomic.Uint64 // refused at admission (queue full)
+	inflight    atomic.Int64
+	matched     atomic.Uint64 // routed via latent-memory match
+	fallbacks   atomic.Uint64 // routed to the global fallback
+	cacheHits   atomic.Uint64
+	cacheMiss   atomic.Uint64
+	cacheBypass atomic.Uint64 // cache disabled: request went straight to batched routing
+	swaps       atomic.Uint64
+	batches     atomic.Uint64 // drained batches
+	batched     atomic.Uint64 // requests across all drained batches
 
-	hist [histBuckets]atomic.Uint64
+	hist      [histBuckets]atomic.Uint64
+	batchHist [len(batchSizeBounds) + 1]atomic.Uint64
 
 	// slow is the slowest traced request seen so far — the exemplar the
 	// latency quantiles point at on /v1/metrics.
@@ -44,8 +46,39 @@ type slowTrace struct {
 	traceID string
 }
 
+// batchSizeBounds are the upper bounds of the batch-size histogram buckets
+// (a final +Inf bucket catches anything beyond MaxBatch=128 configs). The
+// distribution is the pipeline's honesty meter: a serving run whose mass
+// sits in the le=1 bucket is not batching, whatever its throughput says.
+var batchSizeBounds = [...]uint64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // NewMetrics returns zeroed metrics with the clock started.
 func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// ObserveBatchSize records one drained batch's request count in the
+// batch-size histogram.
+func (m *Metrics) ObserveBatchSize(n int) {
+	b := len(batchSizeBounds) // +Inf bucket
+	for i, bound := range batchSizeBounds {
+		if uint64(n) <= bound {
+			b = i
+			break
+		}
+	}
+	m.batchHist[b].Add(1)
+}
+
+// BatchSizeHistogram returns the per-bucket counts (parallel to
+// batchSizeBounds, with a trailing +Inf bucket) plus the sum of observed
+// batch sizes and the observation count, in Prometheus histogram terms.
+func (m *Metrics) BatchSizeHistogram() (bounds []uint64, counts []uint64, sum, count uint64) {
+	bounds = batchSizeBounds[:]
+	counts = make([]uint64, len(m.batchHist))
+	for i := range m.batchHist {
+		counts[i] = m.batchHist[i].Load()
+	}
+	return bounds, counts, m.batched.Load(), m.batches.Load()
+}
 
 // ObserveLatency records one completed request's end-to-end latency.
 func (m *Metrics) ObserveLatency(d time.Duration) {
@@ -127,6 +160,7 @@ type MetricsSnapshot struct {
 	Fallbacks     uint64  `json:"fallbacks"`
 	CacheHits     uint64  `json:"cacheHits"`
 	CacheMisses   uint64  `json:"cacheMisses"`
+	CacheBypass   uint64  `json:"cacheBypass,omitempty"`
 	Swaps         uint64  `json:"swaps"`
 	Batches       uint64  `json:"batches"`
 	MeanBatch     float64 `json:"meanBatch"`
@@ -148,6 +182,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Fallbacks:     m.fallbacks.Load(),
 		CacheHits:     m.cacheHits.Load(),
 		CacheMisses:   m.cacheMiss.Load(),
+		CacheBypass:   m.cacheBypass.Load(),
 		Swaps:         m.swaps.Load(),
 		Batches:       m.batches.Load(),
 		P50Seconds:    m.Quantile(0.50),

@@ -106,7 +106,12 @@ var (
 // outcome is what a worker reports back to the waiting Predict call.
 type outcome struct {
 	class int
-	err   error
+	// expert (an index into snap.Experts()) and matched echo the routing
+	// decision: resolved at admission for cache hits, by the worker's
+	// batched embedding for everything else.
+	expert  int
+	matched bool
+	err     error
 	// total is the worker-measured latency since pending.start (zero on
 	// errors); traced requests reuse it to close their batch span
 	// without another clock read.
@@ -117,11 +122,17 @@ type outcome struct {
 	queueWait time.Duration
 }
 
+// unrouted marks a pending request whose expert is not yet known: the
+// worker routes it (batched through the encoder) before predicting.
+const unrouted = -1
+
 // pending is one admitted request travelling through the pipeline.
 type pending struct {
-	x       tensor.Vector
-	snap    *Snapshot
-	expert  int // index into snap.Experts()
+	x    tensor.Vector
+	snap *Snapshot
+	// expert is the index into snap.Experts(), or unrouted when the route
+	// cache missed and the worker owns the (batched) routing decision.
+	expert  int
 	matched bool
 	cached  bool
 	start   time.Time
@@ -129,10 +140,11 @@ type pending struct {
 	done    chan outcome // buffered(1); the worker's send never blocks
 }
 
-// bucketKey identifies a per-expert queue. Snapshots are part of the key so
-// a hot swap simply starts new buckets: requests admitted against the old
-// snapshot drain from its buckets onto its (still immutable) models, which
-// is why a swap can never drop or corrupt an in-flight request.
+// bucketKey identifies a per-expert queue (expert == unrouted keys the
+// shared routing queue). Snapshots are part of the key so a hot swap simply
+// starts new buckets: requests admitted against the old snapshot drain from
+// its buckets onto its (still immutable) models, which is why a swap can
+// never drop or corrupt an in-flight request.
 type bucketKey struct {
 	snap   *Snapshot
 	expert int
@@ -165,11 +177,6 @@ type Server struct {
 	swapMu sync.Mutex
 	swaps  atomic.Int64 // snapshot version counter
 
-	// wsPool recycles one nn.Workspace per concurrent user (router calls
-	// and prediction workers); each Get/Put span owns the workspace
-	// exclusively, honoring the one-goroutine-per-workspace rule.
-	wsPool sync.Pool
-
 	admit chan *pending
 	// closeMu serializes admission against Close: Predict sends under
 	// RLock after checking closed, so close(admit) can never race a send.
@@ -200,8 +207,6 @@ func NewServer(snap *Snapshot, cfg Config) (*Server, error) {
 	snap.Version = int(s.swaps.Add(1))
 	snap.routeEps = snap.Epsilon * cfg.RouteEpsilonScale
 	s.snap.Store(snap)
-	arch := snap.Arch
-	s.wsPool.New = func() any { return nn.NewWorkspaceDims(arch) }
 
 	go s.dispatch()
 	s.workers.Add(cfg.Workers)
@@ -270,6 +275,15 @@ func (s *Server) Predict(ctx context.Context, x tensor.Vector) (Result, error) {
 // skipping the context.WithValue allocation Predict would need to
 // carry the span. A nil parent serves the request untraced.
 func (s *Server) PredictSpan(ctx context.Context, x tensor.Vector, parent *telemetry.Span) (Result, error) {
+	return s.predictAt(ctx, x, parent, time.Time{})
+}
+
+// predictAt is the pipeline entry with the request-start instant supplied
+// by the caller — the in-process load generator already reads the clock for
+// its own latency measurement, and at batched throughput a second read per
+// request is a measurable tax. A zero start is read fresh after the
+// fast-fail checks (so refused requests never pay for it).
+func (s *Server) predictAt(ctx context.Context, x tensor.Vector, parent *telemetry.Span, start time.Time) (Result, error) {
 	snap := s.snap.Load()
 	if len(x) != snap.InputDim() {
 		s.metrics.errored.Add(1)
@@ -291,7 +305,9 @@ func (s *Server) PredictSpan(ctx context.Context, x tensor.Vector, parent *telem
 		return Result{}, ErrClosed
 	}
 
-	start := time.Now()
+	if start.IsZero() {
+		start = time.Now()
+	}
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 
@@ -301,35 +317,36 @@ func (s *Server) PredictSpan(ctx context.Context, x tensor.Vector, parent *telem
 	// ring) and to add zero extra clock reads per request: span starts
 	// reuse the request-entry instant the pipeline measures anyway, and
 	// the batch span is closed from the worker's latency measurement.
-	// Routing takes well under the 1µs span-duration resolution, so
-	// anchoring both spans (and the queue-wait measurement) at request
-	// entry rather than at the true route/enqueue boundary costs no
-	// observable precision.
+	// The cache lookup takes well under the 1µs span-duration
+	// resolution, so anchoring both spans (and the queue-wait
+	// measurement) at request entry rather than at the true
+	// route/enqueue boundary costs no observable precision.
 	tr := parent.Tracer()
 	var routeSpan, batchSpan telemetry.Span
 	tr.BeginAt(&routeSpan, "serve.route", parent.Context(), start)
 
+	// Only the cache is consulted here. On a miss the request is admitted
+	// unrouted and a worker batches it through the encoder — one GEMM for
+	// the whole batch — so the cold path never pays a per-request forward
+	// pass on the caller's goroutine.
 	expert, matched, cached := s.cache.get(x, snap.Version)
-	if cached {
+	switch {
+	case cached:
 		s.metrics.cacheHits.Add(1)
-	} else {
+	case s.cache.enabled():
 		s.metrics.cacheMiss.Add(1)
-		ws := s.wsPool.Get().(*nn.Workspace)
-		var err error
-		expert, matched, err = snap.Route(ws, x)
-		s.wsPool.Put(ws)
-		if err != nil {
-			s.metrics.errored.Add(1)
-			routeSpan.EndErr(err)
-			return Result{}, err
-		}
-		s.cache.put(x, snap.Version, expert, matched)
+		expert = unrouted
+	default:
+		s.metrics.cacheBypass.Add(1)
+		expert = unrouted
 	}
 	p := &pending{x: x, snap: snap, expert: expert, matched: matched, cached: cached, start: start, done: make(chan outcome, 1)}
 	if tr != nil {
 		routeSpan.SetAttrBool("cache.hit", cached)
-		routeSpan.SetAttrInt("expert", int64(snap.Experts()[expert].ID))
-		routeSpan.SetAttrBool("matched", matched)
+		if cached {
+			routeSpan.SetAttrInt("expert", int64(snap.Experts()[expert].ID))
+			routeSpan.SetAttrBool("matched", matched)
+		}
 		routeSpan.SetAttrInt("snapshot", int64(snap.Version))
 		routeSpan.EndAt(start)
 		tr.BeginAt(&batchSpan, "serve.batch", parent.Context(), start)
@@ -354,36 +371,48 @@ func (s *Server) PredictSpan(ctx context.Context, x tensor.Vector, parent *telem
 		return Result{}, ErrOverloaded
 	}
 
-	select {
-	case out := <-p.done:
-		if tr != nil {
-			batchSpan.SetAttrInt("batch.size", int64(out.batchSize))
-			batchSpan.SetAttrInt("queue.us", out.queueWait.Microseconds())
-			if out.err == nil && out.total > 0 {
-				// The worker already measured this request's total
-				// latency for the histogram; ending the span at
-				// start+total spares another clock read.
-				batchSpan.EndAt(start.Add(out.total))
-			} else {
-				batchSpan.EndErr(out.err)
-			}
+	var out outcome
+	if cancel := ctx.Done(); cancel == nil {
+		// No cancellation to watch (context.Background, the in-process
+		// load generator): a plain channel receive skips selectgo
+		// entirely, which is measurable at batched-pipeline throughput.
+		out = <-p.done
+	} else {
+		select {
+		case out = <-p.done:
+		case <-cancel:
+			// The worker will still complete the request into the
+			// buffered done channel; only this caller stops waiting.
+			batchSpan.EndErr(ctx.Err())
+			return Result{}, ctx.Err()
 		}
-		if out.err != nil {
-			return Result{}, out.err
-		}
-		return Result{
-			Class:   out.class,
-			Expert:  snap.Experts()[expert].ID,
-			Matched: matched,
-			Cached:  cached,
-			Version: snap.Version,
-		}, nil
-	case <-ctx.Done():
-		// The worker will still complete the request into the buffered
-		// done channel; only this caller stops waiting.
-		batchSpan.EndErr(ctx.Err())
-		return Result{}, ctx.Err()
 	}
+	if tr != nil {
+		batchSpan.SetAttrInt("batch.size", int64(out.batchSize))
+		batchSpan.SetAttrInt("queue.us", out.queueWait.Microseconds())
+		if out.err == nil {
+			batchSpan.SetAttrInt("expert", int64(snap.Experts()[out.expert].ID))
+			batchSpan.SetAttrBool("matched", out.matched)
+		}
+		if out.err == nil && out.total > 0 {
+			// The worker already measured this request's total
+			// latency for the histogram; ending the span at
+			// start+total spares another clock read.
+			batchSpan.EndAt(start.Add(out.total))
+		} else {
+			batchSpan.EndErr(out.err)
+		}
+	}
+	if out.err != nil {
+		return Result{}, out.err
+	}
+	return Result{
+		Class:   out.class,
+		Expert:  snap.Experts()[out.expert].ID,
+		Matched: out.matched,
+		Cached:  cached,
+		Version: snap.Version,
+	}, nil
 }
 
 // Close stops admission, drains every queued batch through the workers,
@@ -407,6 +436,7 @@ func (s *Server) Close() error {
 // request has waited MaxDelay.
 func (s *Server) dispatch() {
 	buckets := make(map[bucketKey]*bucket)
+	buffered := 0 // requests across all buckets, not yet flushed
 	tick := s.cfg.MaxDelay / 2
 	if tick < 100*time.Microsecond {
 		tick = 100 * time.Microsecond
@@ -415,37 +445,69 @@ func (s *Server) dispatch() {
 	defer ticker.Stop()
 
 	flush := func(k bucketKey, b *bucket) {
+		buffered -= len(b.reqs)
 		s.batches <- batchMsg{snap: k.snap, expert: k.expert, reqs: b.reqs}
 		delete(buckets, k)
+	}
+
+	admit := func(p *pending) {
+		k := bucketKey{snap: p.snap, expert: p.expert}
+		b := buckets[k]
+		if b == nil {
+			capHint := s.cfg.MaxBatch
+			if capHint > 64 {
+				capHint = 64 // grow on demand; huge MaxBatch must not preallocate
+			}
+			b = &bucket{reqs: make([]*pending, 0, capHint), oldest: p.start}
+			buckets[k] = b
+		}
+		b.reqs = append(b.reqs, p)
+		buffered++
+		// Adaptive flush. A full bucket always goes. Otherwise flush
+		// eagerly only when every request known to be in flight is
+		// already buffered here: more inflight than buffered means
+		// stragglers are mid-admission (their Predict has started but
+		// their enqueue hasn't landed), and waiting for them is what
+		// lets meanBatch track the offered concurrency instead of
+		// pinning at 1. The admission-queue length alone can't see
+		// them — on a single-P runtime the channel wakeup runs the
+		// dispatcher before the next client even enqueues, so the
+		// queue reads empty under heavy concurrent load. A lone
+		// sequential caller still flushes immediately (its one request
+		// IS the whole inflight set), and the ticker bounds the wait
+		// for stragglers that never arrive at MaxDelay.
+		switch {
+		case len(b.reqs) >= s.cfg.MaxBatch:
+			flush(k, b)
+		case len(s.admit) == 0 && int64(buffered) >= s.metrics.inflight.Load():
+			for k, b := range buckets {
+				flush(k, b)
+			}
+		}
 	}
 
 	for {
 		select {
 		case p, ok := <-s.admit:
+			// Drain the admission queue with non-blocking receives
+			// before falling back to the two-case select: selectgo per
+			// request is a measurable tax at batched throughput, and
+			// the ticker only matters when the queue has gone quiet.
+			for ok {
+				admit(p)
+				select {
+				case p, ok = <-s.admit:
+					continue
+				default:
+				}
+				break
+			}
 			if !ok {
 				for k, b := range buckets {
 					flush(k, b)
 				}
 				close(s.batches)
 				return
-			}
-			k := bucketKey{snap: p.snap, expert: p.expert}
-			b := buckets[k]
-			if b == nil {
-				capHint := s.cfg.MaxBatch
-				if capHint > 64 {
-					capHint = 64 // grow on demand; huge MaxBatch must not preallocate
-				}
-				b = &bucket{reqs: make([]*pending, 0, capHint), oldest: p.start}
-				buckets[k] = b
-			}
-			b.reqs = append(b.reqs, p)
-			// Flush on a full batch — or eagerly when the admission
-			// queue is empty: with nothing left to coalesce, delaying
-			// buys no batching, only latency. Under backlog the queue is
-			// non-empty and batches fill toward MaxBatch before flushing.
-			if len(b.reqs) >= s.cfg.MaxBatch || len(s.admit) == 0 {
-				flush(k, b)
 			}
 		case <-ticker.C:
 			now := time.Now()
@@ -458,48 +520,163 @@ func (s *Server) dispatch() {
 	}
 }
 
-// worker drains flushed batches, running the zero-allocation prediction
-// kernel over each request with a pool-recycled workspace.
+// batchScratch is one worker's reusable state for batched execution: the
+// GEMM workspace plus the gather/group slices. All of it is warm after the
+// first few batches, so steady-state batch execution allocates nothing
+// beyond the per-request done channels.
+type batchScratch struct {
+	bw      *nn.BatchWorkspace
+	xs      []tensor.Vector // gathered batch inputs (headers only)
+	classes []int           // per-request predicted class, batch order
+	order   []int           // request indices grouped by routed expert
+	starts  []int           // per-expert counting-sort offsets
+	groupXs []tensor.Vector // one expert group's inputs
+	groupCl []int           // one expert group's classes
+}
+
+func (s *Server) newScratch() *batchScratch {
+	return &batchScratch{bw: nn.NewBatchWorkspaceDims(s.snap.Load().Arch, s.cfg.MaxBatch)}
+}
+
+// worker drains flushed batches. A routed batch (cache hits) runs straight
+// through its expert's batched forward; an unrouted batch is first embedded
+// through the encoder — one GEMM for the whole batch — matched against the
+// latent memories per row, then grouped by chosen expert and predicted
+// group-by-group. Either way every Dense layer runs as one blocked GEMM
+// over the batch instead of a per-sample MatVecInto loop.
 func (s *Server) worker() {
 	defer s.workers.Done()
+	sc := s.newScratch()
 	for batch := range s.batches {
-		ws := s.wsPool.Get().(*nn.Workspace)
-		model := batch.snap.Experts()[batch.expert].Model
-		// batchStart is resolved lazily: only traced requests (enq set)
-		// need it, and most batches carry none. When the latency
-		// histogram measurement is at hand, start+total IS the current
-		// instant, so the traced path normally costs no clock read here.
-		var batchStart time.Time
-		for _, p := range batch.reqs {
-			class, err := model.PredictWS(ws, p.x)
-			out := outcome{class: class, err: err}
-			if err != nil {
-				s.metrics.errored.Add(1)
-			} else {
-				out.total = time.Since(p.start)
-				s.metrics.requests.Add(1)
-				if p.matched {
-					s.metrics.matched.Add(1)
-				} else {
-					s.metrics.fallbacks.Add(1)
-				}
-				s.metrics.ObserveLatency(out.total)
-			}
-			if !p.enq.IsZero() {
-				if batchStart.IsZero() {
-					if out.total > 0 {
-						batchStart = p.start.Add(out.total)
-					} else {
-						batchStart = time.Now()
-					}
-				}
-				out.batchSize = len(batch.reqs)
-				out.queueWait = batchStart.Sub(p.enq)
-			}
-			p.done <- out
+		var err error
+		if batch.expert == unrouted {
+			err = s.routeBatch(sc, batch)
+		} else {
+			err = s.predictBatch(sc, batch, batch.reqs)
 		}
+		s.finish(batch, sc.classes, err)
 		s.metrics.batches.Add(1)
 		s.metrics.batched.Add(uint64(len(batch.reqs)))
-		s.wsPool.Put(ws)
+		s.metrics.ObserveBatchSize(len(batch.reqs))
 	}
+}
+
+// predictBatch runs one expert's batched forward over reqs, writing classes
+// into sc.classes[:len(reqs)] in request order.
+func (s *Server) predictBatch(sc *batchScratch, batch batchMsg, reqs []*pending) error {
+	sc.xs = sc.xs[:0]
+	for _, p := range reqs {
+		sc.xs = append(sc.xs, p.x)
+	}
+	sc.classes = grow(sc.classes, len(reqs))
+	model := batch.snap.Experts()[reqs[0].expert].Model
+	return model.PredictBatchWS(sc.bw, sc.xs, sc.classes[:len(reqs)])
+}
+
+// routeBatch embeds the whole unrouted batch through the encoder in one
+// GEMM, matches each row against the expert memories, records the
+// decisions in the route cache, then predicts expert group by expert
+// group. Classes land in sc.classes in request order.
+func (s *Server) routeBatch(sc *batchScratch, batch batchMsg) error {
+	reqs := batch.reqs
+	snap := batch.snap
+	sc.xs = sc.xs[:0]
+	for _, p := range reqs {
+		sc.xs = append(sc.xs, p.x)
+	}
+	emb, err := snap.encoder.EmbedBatchWS(sc.bw, sc.xs)
+	if err != nil {
+		return err
+	}
+	for i, p := range reqs {
+		p.expert, p.matched = snap.matchSignature(emb.Row(i))
+		s.cache.put(p.x, snap.Version, p.expert, p.matched)
+	}
+
+	// Group requests by routed expert with a counting pass (experts are
+	// few and batches small — a comparison sort would dominate the batch
+	// bookkeeping). Stable by construction: arrival order is preserved
+	// within each expert. The embedding matrix is dead at this point, so
+	// the same workspace is reused for the expert GEMMs.
+	starts := grow(sc.starts, snap.NumExperts())
+	sc.starts = starts
+	for i := range starts {
+		starts[i] = 0
+	}
+	for _, p := range reqs {
+		starts[p.expert]++
+	}
+	pos := 0
+	for e, n := range starts {
+		starts[e] = pos
+		pos += n
+	}
+	sc.order = grow(sc.order, len(reqs))
+	order := sc.order[:len(reqs)]
+	for i, p := range reqs {
+		order[starts[p.expert]] = i
+		starts[p.expert]++
+	}
+	sc.classes = grow(sc.classes, len(reqs))
+	for lo := 0; lo < len(order); {
+		hi := lo + 1
+		for hi < len(order) && reqs[order[hi]].expert == reqs[order[lo]].expert {
+			hi++
+		}
+		sc.groupXs = sc.groupXs[:0]
+		for _, oi := range order[lo:hi] {
+			sc.groupXs = append(sc.groupXs, reqs[oi].x)
+		}
+		sc.groupCl = grow(sc.groupCl, hi-lo)
+		model := snap.Experts()[reqs[order[lo]].expert].Model
+		if err := model.PredictBatchWS(sc.bw, sc.groupXs, sc.groupCl[:hi-lo]); err != nil {
+			return err
+		}
+		for gi, oi := range order[lo:hi] {
+			sc.classes[oi] = sc.groupCl[gi]
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// finish reports one executed batch back to its waiting Predict calls.
+// One clock read covers the whole batch: every request's latency ends at
+// the batch's completion instant, which is also the traced queue-wait
+// anchor (the old per-request time.Since was a measurable per-request cost
+// at batch sizes this pipeline now reaches).
+func (s *Server) finish(batch batchMsg, classes []int, err error) {
+	end := time.Now()
+	for i, p := range batch.reqs {
+		out := outcome{err: err}
+		if err != nil {
+			s.metrics.errored.Add(1)
+		} else {
+			out.class = classes[i]
+			out.expert = p.expert
+			out.matched = p.matched
+			out.total = end.Sub(p.start)
+			s.metrics.requests.Add(1)
+			if p.matched {
+				s.metrics.matched.Add(1)
+			} else {
+				s.metrics.fallbacks.Add(1)
+			}
+			s.metrics.ObserveLatency(out.total)
+		}
+		if !p.enq.IsZero() {
+			out.batchSize = len(batch.reqs)
+			out.queueWait = end.Sub(p.enq)
+		}
+		p.done <- out
+	}
+}
+
+// grow returns s with capacity (and length) at least n, reusing the backing
+// array whenever it already fits.
+func grow(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n, max(n, 2*cap(s)))
+	}
+	return s[:n]
 }

@@ -194,6 +194,99 @@ func TestHotSwapUnderLoadDropsNothing(t *testing.T) {
 	}
 }
 
+// TestPredictColdMatchesRoute pins the batched cold path: with the route
+// cache disabled, every request is routed by a worker (batched encoder
+// embedding + per-row signature match) and predicted through the batched
+// GEMM forward — the result must be identical to the per-sample
+// Route + PredictWS reference, since the GEMM kernels are bit-exact.
+func TestPredictColdMatchesRoute(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2, MaxBatch: 8, MaxDelay: 200 * time.Microsecond, CacheSize: -1})
+	snap := srv.Snapshot()
+	ws := snap.NewWorkspace()
+	rng := tensor.NewRNG(23)
+	ctx := context.Background()
+	for i := 0; i < 64; i++ {
+		x := rng.NormVec(snap.InputDim(), 0, 1)
+		res, err := srv.Predict(ctx, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Fatal("disabled cache must never report a hit")
+		}
+		idx, matched, err := snap.Route(ws, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Expert != snap.Experts()[idx].ID || res.Matched != matched {
+			t.Fatalf("request %d: served expert=%d matched=%v, reference expert=%d matched=%v",
+				i, res.Expert, res.Matched, snap.Experts()[idx].ID, matched)
+		}
+		want, err := snap.Experts()[idx].Model.PredictWS(ws, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Class != want {
+			t.Fatalf("request %d: class %d, per-sample reference %d", i, res.Class, want)
+		}
+	}
+	m := srv.Metrics().Snapshot()
+	if m.CacheBypass != 64 || m.CacheHits != 0 || m.CacheMisses != 0 {
+		t.Fatalf("bypass=%d hits=%d misses=%d, want 64/0/0", m.CacheBypass, m.CacheHits, m.CacheMisses)
+	}
+}
+
+// TestBatchingUnderConcurrentLoad pins the adaptive flush: with many
+// concurrent closed-loop clients on one worker, the dispatcher must
+// coalesce requests instead of flushing every request alone.
+func TestBatchingUnderConcurrentLoad(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, MaxBatch: 32, MaxDelay: 2 * time.Millisecond, CacheSize: -1})
+	const clients = 16
+	const perClient = 200
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := tensor.NewRNG(uint64(300 + c))
+			dim := srv.Snapshot().InputDim()
+			for i := 0; i < perClient; i++ {
+				if _, err := srv.Predict(ctx, rng.NormVec(dim, 0, 1)); err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	m := srv.Metrics().Snapshot()
+	if m.Requests != clients*perClient {
+		t.Fatalf("requests=%d, want %d", m.Requests, clients*perClient)
+	}
+	if m.MeanBatch < 2 {
+		t.Fatalf("meanBatch=%.2f under %d concurrent clients, want >= 2", m.MeanBatch, clients)
+	}
+}
+
+func TestObserveBatchSize(t *testing.T) {
+	m := NewMetrics()
+	for _, n := range []int{1, 1, 2, 5, 32, 200} {
+		m.ObserveBatchSize(n)
+	}
+	bounds, counts, _, _ := m.BatchSizeHistogram()
+	if len(counts) != len(bounds)+1 {
+		t.Fatalf("%d counts for %d bounds", len(counts), len(bounds))
+	}
+	// bounds {1,2,4,8,16,32,64,128}: 1→b0 (×2), 2→b1, 5→b3, 32→b5, 200→+Inf.
+	want := []uint64{2, 1, 0, 1, 0, 1, 0, 0, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], w, counts)
+		}
+	}
+}
+
 // TestCloseDrains pins the graceful-shutdown contract: Close answers every
 // admitted request, and later Predicts fail with ErrClosed.
 func TestCloseDrains(t *testing.T) {

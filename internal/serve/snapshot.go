@@ -203,15 +203,24 @@ func (s *Snapshot) Route(ws *nn.Workspace, x tensor.Vector) (idx int, matched bo
 	if err != nil {
 		return 0, false, err
 	}
+	idx, matched = s.matchSignature(sig)
+	return idx, matched, nil
+}
+
+// matchSignature resolves an already-computed embedding signature to a
+// serving expert: the matching half of Route, shared with the worker pool's
+// batched routing path (which embeds a whole batch in one GEMM and then
+// matches row by row).
+func (s *Snapshot) matchSignature(sig tensor.Vector) (idx int, matched bool) {
 	eps := s.routeEps
 	if eps == 0 {
 		eps = s.Epsilon
 	}
 	i, dist, ok := shiftex.MatchSignatures(sig, s.memories)
 	if ok && dist <= eps {
-		return i, true, nil
+		return i, true
 	}
-	return s.fallback, false, nil
+	return s.fallback, false
 }
 
 // RouteEpsilon returns the effective match threshold Route uses.

@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// Blocked Mat×Mat (GEMM) kernels for whole-batch inference. Like the other
+// in-place kernels, they write into caller-owned destinations and allocate
+// nothing. dst must not alias a or b: both loops read the inputs while
+// writing dst.
+//
+// The loops are tiled for cache locality, but every destination element
+// still accumulates its k-products in strictly ascending k order — the same
+// order MatVecInto uses — so a batched forward pass is bit-identical to the
+// per-sample loop it replaces. Tiling only changes WHICH elements are in
+// flight together, never the addition order within one element; the parity
+// tests in matmul_test.go pin this down to the last bit.
+
+// matMulBlock is the tile edge. 32 rows of a 256-wide f64 operand are
+// 64 KiB — the tile of b reused across a whole tile of a stays resident in
+// L1/L2 for every architecture this repo trains, while the tight dot-product
+// inner loops run over contiguous rows.
+const matMulBlock = 32
+
+// MatMulInto computes dst = a·b (a is n×k, b is k×m, dst n×m), overwriting
+// dst. Accumulation over k ascends for every element, so column j of dst is
+// bit-identical to MatVecInto(col, a, b[:,j]). dst must not alias a or b.
+func MatMulInto(dst, a, b *Matrix) error {
+	if a.Cols != b.Rows {
+		return fmt.Errorf("matmul: %w: a %dx%d vs b %dx%d", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return fmt.Errorf("matmul: %w: dst %dx%d, want %dx%d", ErrShape, dst.Rows, dst.Cols, a.Rows, b.Cols)
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	// j/k-tiled ikj order: for one column tile, each k tile of b (a
+	// matMulBlock×matMulBlock block) is reused across every row of a
+	// before the next is loaded. k tiles ascend, and the inner k loop
+	// ascends within a tile, so per-element accumulation order is plain
+	// ascending k.
+	for j0 := 0; j0 < b.Cols; j0 += matMulBlock {
+		j1 := min(j0+matMulBlock, b.Cols)
+		for k0 := 0; k0 < a.Cols; k0 += matMulBlock {
+			k1 := min(k0+matMulBlock, a.Cols)
+			for i := 0; i < a.Rows; i++ {
+				arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+				drow := dst.Data[i*dst.Cols+j0 : i*dst.Cols+j1]
+				for k := k0; k < k1; k++ {
+					aik := arow[k]
+					brow := b.Data[k*b.Cols+j0 : k*b.Cols+j1]
+					for j, bv := range brow {
+						drow[j] += aik * bv
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MatMulTransInto computes dst = a·bᵀ (a is n×k, b is m×k, dst n×m),
+// overwriting dst. This is the batched-forward shape: a batch of row-major
+// inputs times a Dense layer's row-major W runs each dot product over two
+// contiguous rows. Row i of dst is bit-identical to MatVecInto(row, b,
+// a.Row(i)) — the per-sample forward kernel — because each dot product
+// accumulates in ascending k exactly as MatVecInto does. dst must not alias
+// a or b.
+func MatMulTransInto(dst, a, b *Matrix) error {
+	if a.Cols != b.Cols {
+		return fmt.Errorf("matmultrans: %w: a %dx%d vs bᵀ %dx%d", ErrShape, a.Rows, a.Cols, b.Cols, b.Rows)
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		return fmt.Errorf("matmultrans: %w: dst %dx%d, want %dx%d", ErrShape, dst.Rows, dst.Cols, a.Rows, b.Rows)
+	}
+	// Tiles over (rows of a) × (rows of b): one tile of b rows is reused
+	// across a whole tile of a rows while both stay cache-resident. The
+	// inner kernel computes four output elements at once — four
+	// independent accumulator chains hide the FP-add latency of a single
+	// sequential dot product. Each accumulator still sums its k-products
+	// in strictly ascending order (unrolling is across OUTPUT elements,
+	// never within one), so bit parity with MatVecInto is preserved.
+	for i0 := 0; i0 < a.Rows; i0 += matMulBlock {
+		i1 := min(i0+matMulBlock, a.Rows)
+		for j0 := 0; j0 < b.Rows; j0 += matMulBlock {
+			j1 := min(j0+matMulBlock, b.Rows)
+			for i := i0; i < i1; i++ {
+				arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+				drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+				j := j0
+				for ; j+3 < j1; j += 4 {
+					n := len(arow)
+					b0 := b.Data[j*b.Cols:][:n]
+					b1 := b.Data[(j+1)*b.Cols:][:n]
+					b2 := b.Data[(j+2)*b.Cols:][:n]
+					b3 := b.Data[(j+3)*b.Cols:][:n]
+					var s0, s1, s2, s3 float64
+					for k, av := range arow {
+						s0 += av * b0[k]
+						s1 += av * b1[k]
+						s2 += av * b2[k]
+						s3 += av * b3[k]
+					}
+					drow[j] = s0
+					drow[j+1] = s1
+					drow[j+2] = s2
+					drow[j+3] = s3
+				}
+				for ; j < j1; j++ {
+					brow := b.Data[j*b.Cols:][:len(arow)]
+					var s float64
+					for k, av := range arow {
+						s += av * brow[k]
+					}
+					drow[j] = s
+				}
+			}
+		}
+	}
+	return nil
+}

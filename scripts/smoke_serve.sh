@@ -3,8 +3,12 @@
 # checkpoint, assert /predict and /healthz answer 200, hot-swap the
 # snapshot over HTTP, verify graceful SIGTERM drain, then run the load
 # generator for ~2 seconds and assert the BENCH_serving.json artifact
-# parses and clears the 10k predictions/sec floor. CI runs this on every
-# commit; it is also runnable locally: ./scripts/smoke_serve.sh
+# parses and clears the 10k predictions/sec floor. A second, cold-traffic
+# loadgen pass (route cache disabled) regenerates BENCH_serving-cold.json
+# and additionally gates on the mean micro-batch size — proof that the
+# batched GEMM pipeline engages when every request pays the full routing
+# path. CI runs this on every commit; it is also runnable locally:
+# ./scripts/smoke_serve.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -87,5 +91,16 @@ echo "== load generation (~2s, mid-load hot swap)"
 echo "== artifact gate (parses, zero errors, >=10k predictions/sec)"
 "$BIN/shiftex-serve" -check "$WORKDIR/BENCH_serving.json" -min-throughput 10000 \
     || fail "serving artifact did not validate"
+
+echo "== cold-traffic load generation (~2s, route cache disabled)"
+"$BIN/shiftex-serve" -checkpoint "$CKPT" -loadgen -cold \
+    -samples "$SAMPLES" -test "$TEST" -repeat 1000000 -duration 2s \
+    -concurrency 32 -json "$WORKDIR" >"$LOG/serve.log" 2>&1 \
+    || fail "cold load generation failed"
+
+echo "== cold artifact gate (>=10k predictions/sec, mean batch >= 2, vs committed baseline)"
+"$BIN/shiftex-serve" -check "$WORKDIR/BENCH_serving-cold.json" \
+    -min-throughput 10000 -min-mean-batch 2 -against BENCH_serving-cold.json \
+    || fail "cold serving artifact did not validate"
 
 echo "SMOKE OK"
