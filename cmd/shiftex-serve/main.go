@@ -20,6 +20,16 @@
 // (0 = open loop), and the run is recorded as a versioned BENCH_serving.json
 // artifact (throughput, latency quantiles, per-regime routing accuracy
 // under the scenario's injected shift).
+//
+// The daemon runs a live drift monitor by default (-monitor=false disables
+// it): the batched routing path tees every routed embedding off-path into
+// bounded sketches scored against the checkpoint's latent memories, surfaced
+// on /v1/debug/drift and as shiftex_monitor_* metrics. -loadgen -shift-at F
+// injects a covariate regime change (-shift-kind/-shift-severity) after
+// fraction F of the run and reports whether the monitor caught it;
+// -driftbench measures detection latency and monitoring overhead against an
+// unmonitored baseline and writes BENCH_drift.json, gated by
+// -max-drift-overhead.
 package main
 
 import (
@@ -36,9 +46,12 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/monitor"
 	"repro/internal/serve"
 	"repro/internal/service"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
 
@@ -82,9 +95,23 @@ func run(args []string) error {
 	against := fs.String("against", "", "with -check: compare throughput against this baseline artifact and warn when it regressed by more than 20%")
 
 	tracebench := fs.Bool("tracebench", false, "tracing-overhead benchmark: replay the loadgen workload as interleaved untraced/traced trial pairs against in-process servers and write BENCH_tracing.json")
-	trials := fs.Int("trials", serve.DefaultTracingTrials, "with -tracebench: interleaved baseline/traced trial pairs; each side reports its best trial")
+	trials := fs.Int("trials", serve.DefaultTracingTrials, "with -tracebench or -driftbench: interleaved baseline/treated trial pairs; each side reports its best trial")
 	checkTracing := fs.String("check-tracing", "", "validate a BENCH_tracing.json artifact, print its headline numbers, and exit")
 	maxOverhead := fs.Float64("max-overhead", 5, "with -tracebench or -check-tracing: fail when tracing costs more than this percent of baseline throughput")
+
+	monitorOn := fs.Bool("monitor", true, "enable the live drift monitor (off-path tee of routed embeddings; surfaced on /v1/debug/drift and as shiftex_monitor_* metrics)")
+	monEvalEvery := fs.Int("monitor-eval-every", 0, "drift monitor: run a drift evaluation every this many folded samples (0 = package default)")
+	monBaseline := fs.Int("monitor-baseline", 0, "drift monitor: baseline reservoir size frozen as the no-shift reference (0 = package default)")
+	monWindow := fs.Int("monitor-window", 0, "drift monitor: sliding recent-embedding window scored against the baseline (0 = package default)")
+	monThreshold := fs.Float64("monitor-threshold", 0, "drift monitor: normalized-score crossing level (0 = package default)")
+	monSample := fs.Int("monitor-sample", 0, "drift monitor: fold only every Nth teed block — the monitor's CPU governor on saturated hosts (0 = package default, every block)")
+	monResamples := fs.Int("monitor-resamples", 0, "drift monitor: bootstrap resamples calibrating the null threshold δ (0 = package default; each resample costs one detector pass over the baseline)")
+	shiftAt := fs.Float64("shift-at", 0, "loadgen/driftbench: inject a covariate regime change after this fraction of the run (0 = no shift)")
+	shiftKind := fs.String("shift-kind", "frost", "with -shift-at: corruption family to inject (fog, rain, snow, frost, blur, noise, rotate, scale, jitter)")
+	shiftSeverity := fs.Int("shift-severity", 5, "with -shift-at: corruption severity, 1 (mild) to 5 (harsh)")
+	driftbench := fs.Bool("driftbench", false, "drift-detection benchmark: interleaved unmonitored/monitored cold trials with an injected shift; writes BENCH_drift.json")
+	checkDrift := fs.String("check-drift", "", "validate a BENCH_drift.json artifact, print its headline numbers, and exit")
+	maxDriftOverhead := fs.Float64("max-drift-overhead", 3, "with -driftbench or -check-drift: fail when monitoring costs more than this percent of baseline throughput, the shift went undetected, or any pre-shift false positive crossed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +120,9 @@ func run(args []string) error {
 	}
 	if *checkTracing != "" {
 		return checkTracingArtifact(*checkTracing, *maxOverhead)
+	}
+	if *checkDrift != "" {
+		return checkDriftArtifact(*checkDrift, *maxDriftOverhead)
 	}
 	if *checkpoint == "" {
 		return errors.New("-checkpoint PATH is required\n  produce one with: shiftex-aggregator -load 8 -windows 3 -seed 42 -checkpoint ckpt.json")
@@ -130,8 +160,34 @@ func run(args []string) error {
 		TestPerParty:    *testN,
 		SwapMidLoad:     *swapMid,
 	}
+	if *shiftAt > 0 {
+		kind, err := parseCorruptionKind(*shiftKind)
+		if err != nil {
+			return err
+		}
+		lcfg.ShiftAt = *shiftAt
+		lcfg.ShiftCorruption = dataset.Corruption{Kind: kind, Severity: *shiftSeverity}
+	}
+	monCfg := monitor.Config{
+		EvalEvery:    *monEvalEvery,
+		SampleEvery:  *monSample,
+		BaselineSize: *monBaseline,
+		WindowSize:   *monWindow,
+		Threshold:    *monThreshold,
+		Calibrate:    stats.CalibrateConfig{Resamples: *monResamples},
+	}
+	if *driftbench {
+		return runDriftbench(cp, lcfg, cfg, monCfg, *trials, *maxDriftOverhead, *jsonDir)
+	}
 	if *tracebench {
 		return runTracebench(cp, lcfg, cfg, *traceBuffer, *trials, *maxOverhead, *jsonDir)
+	}
+	// The daemon monitors by default; loadgen attaches the monitor only on
+	// shift-injection runs, so plain benchmark replays stay untouched.
+	var mon *monitor.Monitor
+	if *monitorOn && (!*loadgen || *shiftAt > 0) {
+		mon = monitor.New(monCfg)
+		cfg.Monitor = mon
 	}
 	logger := telemetry.NewLogger(os.Stderr, "serve")
 	tracer := telemetry.NewTracer("serve", *traceBuffer)
@@ -153,7 +209,10 @@ func run(args []string) error {
 		snap.Epsilon, srv.Snapshot().RouteEpsilon(), *checkpoint)
 
 	if *loadgen {
-		return runLoadgen(srv, cp, cfg, lcfg, *jsonDir)
+		return runLoadgen(srv, cp, cfg, lcfg, mon, *jsonDir)
+	}
+	if mon != nil {
+		fmt.Printf("drift monitor enabled: /v1/debug/drift, shiftex_monitor_* on /v1/metrics\n")
 	}
 
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
@@ -206,6 +265,13 @@ func run(args []string) error {
 			m := srv.Metrics().Snapshot()
 			fmt.Printf("drained: %d requests served (p50=%.3gms p99=%.3gms), %d matched / %d fallback, %d swaps\n",
 				m.Requests, m.P50Seconds*1e3, m.P99Seconds*1e3, m.Matched, m.Fallbacks, m.Swaps)
+			if mon != nil {
+				mon.Flush()
+				sum := mon.Summary()
+				fmt.Printf("drift monitor: %d samples folded (%d teed, %d dropped), %d evals, score=%.3f, crossings=%d\n",
+					sum.Samples, sum.Teed, sum.Dropped, sum.Evals, sum.Score, sum.Crossings)
+				mon.Close()
+			}
 			logger.Info("drained", "requests", m.Requests,
 				"matched", m.Matched, "fallbacks", m.Fallbacks, "swaps", m.Swaps,
 				"spans", tracer.SpanCount())
@@ -328,6 +394,76 @@ func printTracing(a *experiments.TracingArtifact) {
 		a.SpansRecorded, a.BaselineLatencyMsP99, a.TracedLatencyMsP99)
 }
 
+// parseCorruptionKind resolves a corruption family by its String() name.
+func parseCorruptionKind(name string) (dataset.CorruptionKind, error) {
+	kinds := []dataset.CorruptionKind{
+		dataset.CorruptFog, dataset.CorruptRain, dataset.CorruptSnow,
+		dataset.CorruptFrost, dataset.CorruptBlur, dataset.CorruptNoise,
+		dataset.CorruptRotate, dataset.CorruptScale, dataset.CorruptJitter,
+	}
+	valid := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		if k.String() == name {
+			return k, nil
+		}
+		valid = append(valid, k.String())
+	}
+	return dataset.CorruptNone, fmt.Errorf("unknown -shift-kind %q (valid: %s)", name, strings.Join(valid, ", "))
+}
+
+// runDriftbench measures drift-detection latency and monitoring overhead
+// against in-process servers, prints the headline numbers, optionally
+// records the artifact, and applies the detection + overhead gate.
+func runDriftbench(cp *service.Checkpoint, lcfg serve.LoadConfig, cfg serve.Config, monCfg monitor.Config, trials int, maxOverhead float64, jsonDir string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	a, err := serve.RunDriftBench(ctx, cp, lcfg, cfg, monCfg, trials)
+	if err != nil {
+		return err
+	}
+	printDrift(a)
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return err
+		}
+		path, err := experiments.WriteDriftArtifactFile(jsonDir, a)
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	if maxOverhead > 0 {
+		return a.CheckDrift(maxOverhead)
+	}
+	return nil
+}
+
+// checkDriftArtifact validates a drift artifact and applies the detection +
+// overhead gate — the smoke tests' machine-checkable gate on the "the
+// monitor catches shifts and is near-free" claim.
+func checkDriftArtifact(path string, maxOverhead float64) error {
+	a, err := experiments.ReadDriftArtifactFile(path)
+	if err != nil {
+		return err
+	}
+	printDrift(a)
+	if maxOverhead > 0 {
+		return a.CheckDrift(maxOverhead)
+	}
+	return nil
+}
+
+func printDrift(a *experiments.DriftArtifact) {
+	verdict := "shift NOT detected"
+	if a.Detected {
+		verdict = fmt.Sprintf("detected at sample %d (latency %d samples, score %.2f)",
+			a.DetectedAtSample, a.DetectionLatencySamples, a.ScoreAtDetection)
+	}
+	fmt.Printf("drift artifact ok: baseline=%.0f/s monitored=%.0f/s overhead=%.2f%% samples=%d dropped=%d evals=%d shiftAtSample=%d falsePositives=%d maxScore=%.2f — %s\n",
+		a.BaselineThroughputPerSec, a.MonitoredThroughputPerSec, a.OverheadPercent,
+		a.SamplesSeen, a.SamplesDropped, a.Evals, a.ShiftAtSample, a.FalsePositives, a.MaxScore, verdict)
+}
+
 // writeMetrics records the final serving counters as indented JSON.
 func writeMetrics(path string, m serve.MetricsSnapshot) error {
 	data, err := json.MarshalIndent(m, "", "  ")
@@ -337,8 +473,10 @@ func writeMetrics(path string, m serve.MetricsSnapshot) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// runLoadgen drives the in-process load-generation mode.
-func runLoadgen(srv *serve.Server, cp *service.Checkpoint, cfg serve.Config, lcfg serve.LoadConfig, jsonDir string) error {
+// runLoadgen drives the in-process load-generation mode. When a monitor is
+// attached (shift-injection runs), the run additionally reports whether the
+// injected regime change was detected, in the monitor's tee clock.
+func runLoadgen(srv *serve.Server, cp *service.Checkpoint, cfg serve.Config, lcfg serve.LoadConfig, mon *monitor.Monitor, jsonDir string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := serve.RunLoad(ctx, srv, cp, lcfg)
@@ -347,6 +485,28 @@ func runLoadgen(srv *serve.Server, cp *service.Checkpoint, cfg serve.Config, lcf
 	}
 	if err := srv.Close(); err != nil {
 		return err
+	}
+	if mon != nil {
+		mon.Flush()
+		sum := mon.Summary()
+		fmt.Printf("drift monitor: %d samples folded (%d teed, %d dropped), %d evals, calibrated=%t, score=%.3f/%.3g\n",
+			sum.Samples, sum.Teed, sum.Dropped, sum.Evals, sum.Calibrated, sum.Score, sum.Threshold)
+		if res.ShiftInjected {
+			detectedAt := uint64(0)
+			for _, ev := range mon.Evaluations(0, -1) {
+				if ev.Err == "" && ev.Crossed && ev.TeedAt > res.ShiftTeedSamples {
+					detectedAt = ev.TeedAt
+					break
+				}
+			}
+			if detectedAt != 0 {
+				fmt.Printf("drift detected: shift at sample %d, crossed at sample %d (latency %d samples)\n",
+					res.ShiftTeedSamples, detectedAt, detectedAt-res.ShiftTeedSamples)
+			} else {
+				fmt.Printf("drift NOT detected: shift at sample %d, max score %.3f\n", res.ShiftTeedSamples, sum.Score)
+			}
+		}
+		mon.Close()
 	}
 	fmt.Printf("loadgen: %d predictions in %.2fs (%.0f/s), p50=%s p90=%s p99=%s, accuracy=%.3f routing=%.3f meanBatch=%.2f\n",
 		res.Requests, res.Duration.Seconds(), res.Throughput(),

@@ -49,6 +49,15 @@
 // the run as the committed BENCH_gateway.json (zero dropped requests,
 // full affinity retention for surviving replicas).
 //
+// internal/monitor watches that serving traffic drift: the batched routing
+// path tees each routed embedding off-path into bounded sketches scored
+// against the snapshot's training-time latent memories (self-calibrated
+// MMD), surfaced as /v1/debug/drift, shiftex_monitor_* metrics, and a
+// gateway fleet view (max/mean drift across replicas, snapshot version
+// skew). The committed BENCH_drift.json pins the plane's contract: an
+// injected covariate shift is detected with zero pre-shift false positives
+// at under 3% throughput overhead.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record, the cross-process parity contract, and the
 // checkpoint schema. The benchmarks in bench_test.go regenerate each

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/monitor"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -182,6 +183,13 @@ func (g *Gateway) ProbeAll() {
 					g.metrics.readmissions.Add(1)
 					g.logInfo(context.Background(), "replica re-admitted",
 						"replica", addr, "model", m.name, "snapshot", sum.Version)
+				}
+				// Best-effort drift scrape: fleet aggregation rides the
+				// probe cycle, and a replica without a monitor (or one
+				// still calibrating) simply contributes nothing.
+				if ds, err := g.fetchDrift(context.Background(), addr); err == nil &&
+					ds.Enabled && ds.Summary != nil && ds.Summary.Calibrated {
+					m.noteDrift(addr, ds.Summary.Score)
 				}
 				return struct{}{}, nil
 			})
@@ -341,6 +349,32 @@ func (g *Gateway) fetchSnapshot(ctx context.Context, addr, modelName string) (ht
 		return sum, fmt.Errorf("replica serves model %q, registered under %q", sum.Model, modelName)
 	}
 	return sum, nil
+}
+
+// fetchDrift scrapes a replica's drift-plane summary (?n=0: no eval ring,
+// just the aggregate) for fleet aggregation.
+func (g *Gateway) fetchDrift(ctx context.Context, addr string) (monitor.DriftState, error) {
+	var ds monitor.DriftState
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/debug/drift?n=0", nil)
+	if err != nil {
+		return ds, err
+	}
+	res, err := g.client.Do(req)
+	if err != nil {
+		return ds, err
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		return ds, err
+	}
+	if res.StatusCode != http.StatusOK {
+		return ds, fmt.Errorf("replica status %d: %s", res.StatusCode, bytes.TrimSpace(raw))
+	}
+	if err := json.Unmarshal(raw, &ds); err != nil {
+		return ds, fmt.Errorf("bad drift state: %w", err)
+	}
+	return ds, nil
 }
 
 // post issues one JSON POST to a replica path and returns status + body.

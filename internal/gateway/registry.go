@@ -38,6 +38,11 @@ type replica struct {
 	healthy  bool
 	failures int
 	snapshot int
+	// driftScore is the replica's latest calibrated drift score, scraped
+	// best-effort from /v1/debug/drift by the probe loop; driftSeen marks
+	// that at least one scrape found a live, calibrated monitor.
+	driftScore float64
+	driftSeen  bool
 }
 
 func newRegistry(static map[string][]string, vnodes int) *registry {
@@ -137,6 +142,18 @@ func (m *model) noteSuccess(addr string, snapshot int) (readmitted bool) {
 	return false
 }
 
+// noteDrift records a drift-score scrape against addr. The probe loop
+// calls it only when the replica's monitor is enabled and calibrated, so
+// a recorded 0 is a genuine "no drift" reading.
+func (m *model) noteDrift(addr string, score float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rep, ok := m.replicas[addr]; ok {
+		rep.driftScore = score
+		rep.driftSeen = true
+	}
+}
+
 // noteFailure records a failed call or probe against addr. Once the
 // consecutive-failure count reaches evictAfter the replica leaves the
 // ring, and the key movement that causes is captured as the model's
@@ -179,12 +196,30 @@ func (m *model) state() httpapi.GatewayModelState {
 	defer m.mu.Unlock()
 	reps := make([]httpapi.ReplicaInfo, 0, len(m.replicas))
 	healthy := 0
+	drifted := 0
+	var driftSum, driftMax float64
+	skew := false
 	for _, rep := range m.replicas {
 		if rep.healthy {
 			healthy++
+			// Version skew: a healthy replica serving a snapshot older
+			// than the fleet watermark (a partial rollout or failed
+			// broadcast swap). Unprobed replicas (snapshot 0) don't
+			// count — skew needs two observed, disagreeing versions.
+			if rep.snapshot != 0 && rep.snapshot != m.version {
+				skew = true
+			}
+			if rep.driftSeen {
+				drifted++
+				driftSum += rep.driftScore
+				if rep.driftScore > driftMax {
+					driftMax = rep.driftScore
+				}
+			}
 		}
 		reps = append(reps, httpapi.ReplicaInfo{
 			Addr: rep.addr, Healthy: rep.healthy, Snapshot: rep.snapshot, Failures: rep.failures,
+			DriftScore: rep.driftScore, DriftSeen: rep.driftSeen,
 		})
 	}
 	sort.Slice(reps, func(i, j int) bool { return reps[i].Addr < reps[j].Addr })
@@ -193,13 +228,19 @@ func (m *model) state() httpapi.GatewayModelState {
 		s := *m.lastShrink
 		shrink = &s
 	}
-	return httpapi.GatewayModelState{
+	st := httpapi.GatewayModelState{
 		Name:            m.name,
 		Snapshot:        m.version,
 		Replicas:        reps,
 		HealthyReplicas: healthy,
+		VersionSkew:     skew,
+		DriftMax:        driftMax,
 		LastShrink:      shrink,
 	}
+	if drifted > 0 {
+		st.DriftMean = driftSum / float64(drifted)
+	}
+	return st
 }
 
 func (m *model) String() string { return fmt.Sprintf("model %q (%d replicas)", m.name, m.ring.Len()) }

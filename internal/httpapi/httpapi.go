@@ -120,6 +120,12 @@ type ReplicaInfo struct {
 	Healthy  bool   `json:"healthy"`
 	Snapshot int    `json:"snapshot"` // last snapshot version observed by probing
 	Failures int    `json:"failures"` // consecutive call/probe failures
+	// DriftScore is the replica's latest calibrated drift score scraped
+	// from /v1/debug/drift (score ≥ threshold means the replica's live
+	// traffic has left its training distribution). DriftSeen distinguishes
+	// a genuine 0 score from a replica with no monitor or no scrape yet.
+	DriftScore float64 `json:"driftScore,omitempty"`
+	DriftSeen  bool    `json:"driftSeen,omitempty"`
 }
 
 // ModelInfo is the GET /v1/models/{name} payload. A serve replica reports
@@ -185,6 +191,15 @@ type GatewayModelState struct {
 	Snapshot        int           `json:"snapshot"`
 	Replicas        []ReplicaInfo `json:"replicas"`
 	HealthyReplicas int           `json:"healthyReplicas"`
+	// VersionSkew reports that healthy replicas disagree on the snapshot
+	// version they serve — a partial rollout or a failed broadcast swap;
+	// affinity then decides which snapshot a client sees.
+	VersionSkew bool `json:"versionSkew,omitempty"`
+	// DriftMax / DriftMean aggregate the healthy replicas' scraped drift
+	// scores into the fleet view (only replicas whose monitor has been
+	// scraped count; both zero when none has).
+	DriftMax  float64 `json:"driftMax,omitempty"`
+	DriftMean float64 `json:"driftMean,omitempty"`
 	// Ring-affinity record of the last fleet shrink: of the keys tracked
 	// when a replica left the ring, how many stayed with their original
 	// owner. RetainedOfSurvivors counts only keys whose original owner is

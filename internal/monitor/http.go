@@ -1,0 +1,85 @@
+package monitor
+
+import (
+	"net/http"
+	"strconv"
+
+	"repro/internal/httpapi"
+)
+
+// DriftState is the GET /v1/debug/drift payload: the monitor's aggregate
+// summary plus the ring of recent drift evaluations. The gateway's probe
+// loop scrapes the same body (with ?n=0) for fleet-wide aggregation.
+type DriftState struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	Model         string `json:"model"`
+	// Enabled is false when the daemon runs without a monitor; the endpoint
+	// still answers 200 so scrapers need no special-casing.
+	Enabled       bool         `json:"enabled"`
+	QueueDepth    int          `json:"queueDepth"`
+	QueueCapacity int          `json:"queueCapacity"`
+	Summary       *Summary     `json:"summary,omitempty"`
+	Evals         []Evaluation `json:"evals,omitempty"`
+}
+
+// DefaultEvalsReturned bounds how many ring entries one unparameterized
+// /v1/debug/drift request returns.
+const DefaultEvalsReturned = 32
+
+// State assembles the drift endpoint payload: up to n evaluations (n < 0
+// selects the default page size, n == 0 none — the gateway's summary-only
+// scrape), optionally filtered to one expert ID (-1 keeps all).
+func (m *Monitor) State(model string, n, expert int) DriftState {
+	st := DriftState{
+		SchemaVersion: httpapi.SchemaVersion,
+		Model:         model,
+		Enabled:       true,
+		QueueDepth:    m.QueueDepth(),
+		QueueCapacity: m.QueueCapacity(),
+		Summary:       m.Summary(),
+	}
+	if n != 0 {
+		if n < 0 {
+			n = DefaultEvalsReturned
+		}
+		st.Evals = m.Evaluations(n, expert)
+	}
+	return st
+}
+
+// Handler serves GET /v1/debug/drift for the given monitor (nil answers an
+// Enabled:false body, still 200). Query parameters: ?n=<int> bounds the
+// evaluation page (0 = summary only), ?expert=<id> filters per-expert
+// entries.
+func Handler(model string, m *Monitor) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpapi.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		if m == nil {
+			httpapi.WriteJSON(w, http.StatusOK, DriftState{
+				SchemaVersion: httpapi.SchemaVersion, Model: model,
+			})
+			return
+		}
+		n, expert := -1, -1
+		if v := r.URL.Query().Get("n"); v != "" {
+			i, err := strconv.Atoi(v)
+			if err != nil || i < 0 {
+				httpapi.WriteError(w, http.StatusBadRequest, "n must be a non-negative integer")
+				return
+			}
+			n = i
+		}
+		if v := r.URL.Query().Get("expert"); v != "" {
+			i, err := strconv.Atoi(v)
+			if err != nil || i < 0 {
+				httpapi.WriteError(w, http.StatusBadRequest, "expert must be a non-negative expert ID")
+				return
+			}
+			expert = i
+		}
+		httpapi.WriteJSON(w, http.StatusOK, m.State(model, n, expert))
+	}
+}

@@ -1,0 +1,359 @@
+package monitor
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// testConfig keeps the reservoirs and calibration small enough that a test
+// can fill and score them with a few hundred samples.
+func testConfig() Config {
+	return Config{
+		QueueBlocks:  8,
+		BlockRows:    16,
+		EvalEvery:    64,
+		BaselineSize: 64,
+		WindowSize:   32,
+		Threshold:    2,
+		HistoryLen:   64,
+		Calibrate:    stats.CalibrateConfig{Resamples: 30, PValue: 0.05},
+		Seed:         7,
+	}
+}
+
+func testReference(dim int) Reference {
+	memA := make(tensor.Vector, dim)
+	memB := make(tensor.Vector, dim)
+	for i := range memB {
+		memB[i] = 3
+	}
+	return Reference{
+		SnapshotVersion: 1,
+		Dim:             dim,
+		Epsilon:         0.25,
+		RouteEpsilon:    1,
+		Experts:         []ExpertRef{{ID: 0, Memory: memA}, {ID: 2, Memory: memB}},
+	}
+}
+
+// feed pushes n samples drawn from N(mean, sigma²) per dim through the
+// producer API, attributing them to expertID.
+func feed(t *testing.T, m *Monitor, rng *tensor.RNG, mean, sigma float64, n, expertID int, matched bool) {
+	t.Helper()
+	dim := m.ref.Load().Dim
+	emb := make(tensor.Vector, dim)
+	blk := m.Acquire()
+	for i := 0; i < n; i++ {
+		for d := range emb {
+			emb[d] = rng.Norm()*sigma + mean
+		}
+		if blk == nil {
+			blk = m.Acquire()
+		}
+		if blk == nil {
+			t.Fatal("freelist exhausted mid-feed")
+		}
+		blk.Add(emb, expertID, 0.5, matched)
+		if blk.Full() {
+			m.Offer(blk)
+			// Serialize with the consumer: a real producer would keep
+			// going (drop-oldest absorbs bursts), but these tests assert
+			// exact sample counts.
+			m.Flush()
+			blk = nil
+		}
+	}
+	if blk != nil {
+		if blk.Len() > 0 {
+			m.Offer(blk)
+		} else {
+			m.Recycle(blk)
+		}
+	}
+	m.Flush()
+}
+
+func TestDropOldestBackpressure(t *testing.T) {
+	m := New(testConfig())
+	m.SetReference(testReference(4))
+	m.Close() // stop the consumer so the queue genuinely fills
+
+	emb := tensor.Vector{1, 2, 3, 4}
+	offered := 0
+	for i := 0; i < m.QueueCapacity()+3; i++ {
+		b := m.Acquire()
+		if b == nil {
+			t.Fatalf("no free block at offer %d", i)
+		}
+		for !b.Full() {
+			b.Add(emb, 0, 0.5, true)
+		}
+		offered += b.Len()
+		m.Offer(b)
+	}
+	if got := m.QueueDepth(); got != m.QueueCapacity() {
+		t.Fatalf("queue depth %d, want full (%d)", got, m.QueueCapacity())
+	}
+	wantDropped := uint64(3 * m.cfg.BlockRows)
+	if got := m.Dropped(); got != wantDropped {
+		t.Fatalf("dropped %d samples, want %d (drop-oldest eviction)", got, wantDropped)
+	}
+	if got := m.Teed(); got != uint64(offered) {
+		t.Fatalf("teed %d, want %d", got, offered)
+	}
+}
+
+func TestProducerPathAllocationFree(t *testing.T) {
+	m := New(testConfig())
+	m.SetReference(testReference(8))
+	m.Close() // no consumer: the drop-oldest path recycles blocks for us
+
+	emb := make(tensor.Vector, 8)
+	if n := testing.AllocsPerRun(2000, func() {
+		b := m.Acquire()
+		if b == nil {
+			panic("no free block")
+		}
+		for !b.Full() {
+			b.Add(emb, 2, 0.5, true)
+		}
+		b.SetHits(0)
+		m.Offer(b)
+	}); n != 0 {
+		t.Fatalf("producer tee allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestSketchesAndEvaluation(t *testing.T) {
+	m := New(testConfig())
+	defer m.Close()
+	m.SetReference(testReference(8))
+	rng := tensor.NewRNG(42)
+
+	// Clean phase: enough to fill the baseline, calibrate, and fill the
+	// recent window around expert 2's memory (mean 3).
+	feed(t, m, rng, 3, 0.1, 200, 2, true)
+	s := m.Summary()
+	if s.Samples != 200 {
+		t.Fatalf("folded %d samples, want 200", s.Samples)
+	}
+	if !s.BaselineFilled || !s.Calibrated {
+		t.Fatalf("baseline/calibration not ready: %+v", s)
+	}
+	if s.Evals == 0 {
+		t.Fatal("no evaluation ran")
+	}
+	if s.Crossings != 0 {
+		t.Fatalf("clean traffic produced %d threshold crossings (score %.2f)", s.Crossings, s.Score)
+	}
+	if s.FallbackRate != 0 {
+		t.Fatalf("fallback rate %.2f for fully matched traffic", s.FallbackRate)
+	}
+	var bucketSum uint64
+	for _, c := range s.MarginBuckets {
+		bucketSum += c
+	}
+	if bucketSum != s.Samples {
+		t.Fatalf("margin histogram holds %d observations, want %d", bucketSum, s.Samples)
+	}
+	// dist 0.5 against routeEps 1 lands every sample in the (0.25, 0.5] bucket.
+	if s.MarginBuckets[1] != s.Samples {
+		t.Fatalf("margin mass not in the 0.5 bucket: %v", s.MarginBuckets)
+	}
+	found := false
+	for _, e := range s.Experts {
+		if e.ID == 2 {
+			found = true
+			if e.Score > 1 {
+				t.Fatalf("expert 2 on-memory traffic scored %.2f (>1 = outside radius)", e.Score)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no drift entry for expert 2: %+v", s.Experts)
+	}
+
+	// Shifted phase: traffic jumps far from the baseline; the global score
+	// must cross and expert 2's live mean must leave its radius.
+	feed(t, m, rng, 9, 0.1, 200, 2, false)
+	s = m.Summary()
+	if !s.Crossed || s.Crossings == 0 {
+		t.Fatalf("injected shift not detected: score %.2f (δ %.3g, threshold %.1f)", s.Score, s.Delta, s.Threshold)
+	}
+	if s.FallbackRate == 0 {
+		t.Fatal("fallback EWMA did not move on unmatched traffic")
+	}
+	if s.MaxExpertID != 2 || s.MaxExpertScore <= 1 {
+		t.Fatalf("expert drift not surfaced: maxExpert=%d score=%.2f", s.MaxExpertID, s.MaxExpertScore)
+	}
+
+	evs := m.Evaluations(0, -1)
+	if len(evs) == 0 {
+		t.Fatal("evaluation ring empty")
+	}
+	for i, ev := range evs {
+		if ev.Err != "" {
+			t.Fatalf("eval %d errored: %s", i, ev.Err)
+		}
+		if math.IsNaN(ev.Score) {
+			t.Fatalf("eval %d has NaN score", i)
+		}
+	}
+	// Filtered view keeps only the requested expert's entries.
+	for _, ev := range m.Evaluations(0, 2) {
+		for _, e := range ev.Experts {
+			if e.ID != 2 {
+				t.Fatalf("expert filter leaked ID %d", e.ID)
+			}
+		}
+	}
+}
+
+func TestSetReferenceResetsSketches(t *testing.T) {
+	m := New(testConfig())
+	defer m.Close()
+	m.SetReference(testReference(8))
+	rng := tensor.NewRNG(9)
+	feed(t, m, rng, 3, 0.1, 120, 2, true)
+	if s := m.Summary(); s.Samples != 120 {
+		t.Fatalf("folded %d, want 120", s.Samples)
+	}
+
+	// Blocks acquired against the old reference must be discarded as stale.
+	stale := m.Acquire()
+	emb := make(tensor.Vector, 8)
+	stale.Add(emb, 2, 0.5, true)
+
+	next := testReference(8)
+	next.SnapshotVersion = 2
+	m.SetReference(next)
+	m.Offer(stale)
+	feed(t, m, rng, 3, 0.1, 40, 2, true)
+
+	s := m.Summary()
+	if s.SnapshotVersion != 2 {
+		t.Fatalf("summary still on snapshot %d", s.SnapshotVersion)
+	}
+	if s.Samples != 40 {
+		t.Fatalf("sketches not reset: %d samples (want 40)", s.Samples)
+	}
+	if s.Stale != 1 {
+		t.Fatalf("stale pre-swap sample not counted: stale=%d", s.Stale)
+	}
+	if s.BaselineFilled {
+		t.Fatal("baseline survived the reference change")
+	}
+}
+
+func TestPoisonedEmbeddingsRejected(t *testing.T) {
+	m := New(testConfig())
+	defer m.Close()
+	m.SetReference(testReference(4))
+	b := m.Acquire()
+	b.Add(tensor.Vector{1, 2, 3, 4}, 0, 0.5, true)
+	b.Add(tensor.Vector{1, math.NaN(), 3, 4}, 0, 0.5, true)
+	m.Offer(b)
+	m.Flush()
+	s := m.Summary()
+	if s.Samples != 1 || s.Poisoned != 1 {
+		t.Fatalf("samples=%d poisoned=%d, want 1/1", s.Samples, s.Poisoned)
+	}
+}
+
+// TestSampleEverySubsamples pins the CPU governor: with SampleEvery=4 only
+// every fourth queued block is folded, the rest are recycled with their
+// samples counted as dropped, and the tee clock still counts everything.
+func TestSampleEverySubsamples(t *testing.T) {
+	cfg := testConfig()
+	cfg.SampleEvery = 4
+	m := New(cfg)
+	defer m.Close()
+	m.SetReference(testReference(4))
+
+	emb := tensor.Vector{1, 2, 3, 4}
+	const blocks = 8
+	for i := 0; i < blocks; i++ {
+		b := m.Acquire()
+		if b == nil {
+			t.Fatalf("no free block at %d", i)
+		}
+		for !b.Full() {
+			b.Add(emb, 0, 0.5, true)
+		}
+		m.Offer(b)
+		m.Flush() // serialize so the every-Nth pattern is deterministic
+	}
+	rows := uint64(cfg.BlockRows)
+	s := m.Summary()
+	if want := (blocks / 4) * rows; s.Samples != want {
+		t.Fatalf("folded %d samples, want %d (every 4th of %d blocks)", s.Samples, want, blocks)
+	}
+	if want := (blocks - blocks/4) * rows; s.Dropped != want {
+		t.Fatalf("dropped %d samples, want %d", s.Dropped, want)
+	}
+	if want := blocks * rows; s.Teed != want {
+		t.Fatalf("teed %d, want %d — sampling must not touch the tee clock", s.Teed, want)
+	}
+}
+
+func TestDriftHandler(t *testing.T) {
+	m := New(testConfig())
+	defer m.Close()
+	m.SetReference(testReference(8))
+	feed(t, m, tensor.NewRNG(3), 3, 0.1, 150, 2, true)
+
+	h := Handler("default", m)
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/v1/debug/drift", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d, want 200", rec.Code)
+	}
+	var st DriftState
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("bad body: %v", err)
+	}
+	if !st.Enabled || st.Model != "default" || st.SchemaVersion != 1 {
+		t.Fatalf("bad envelope: %+v", st)
+	}
+	if st.Summary == nil || st.Summary.Samples != 150 {
+		t.Fatalf("bad summary: %+v", st.Summary)
+	}
+	if len(st.Evals) == 0 {
+		t.Fatal("no evaluations in the page")
+	}
+
+	// Summary-only page for the gateway scrape.
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/v1/debug/drift?n=0", nil))
+	var only DriftState
+	if err := json.Unmarshal(rec.Body.Bytes(), &only); err != nil || len(only.Evals) != 0 {
+		t.Fatalf("n=0 page returned evals (err %v): %+v", err, only.Evals)
+	}
+
+	// Disabled daemon still answers 200 with a schema-sane body.
+	rec = httptest.NewRecorder()
+	Handler("default", nil)(rec, httptest.NewRequest("GET", "/v1/debug/drift", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil-monitor status %d, want 200", rec.Code)
+	}
+	var off DriftState
+	if err := json.Unmarshal(rec.Body.Bytes(), &off); err != nil || off.Enabled {
+		t.Fatalf("nil-monitor body wrong (err %v): %+v", err, off)
+	}
+
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/v1/debug/drift?n=bogus", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad n: status %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/v1/debug/drift?expert=-2", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad expert: status %d, want 400", rec.Code)
+	}
+}

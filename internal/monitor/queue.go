@@ -1,0 +1,149 @@
+package monitor
+
+import (
+	"repro/internal/tensor"
+)
+
+// Block is one batch-granular hand-off unit between the serving hot path and
+// the monitor goroutine: a fixed-capacity, preallocated buffer of routed
+// samples (embedding copy, chosen expert, raw match distance, fallback
+// verdict). Blocks cycle between a freelist and the monitor queue, so the
+// steady-state tee allocates nothing.
+type Block struct {
+	gen     uint64 // reference generation stamped at Acquire
+	dim     int
+	rows    int
+	embs    []float64 // rows × dim, flat
+	experts []int32   // training-time expert IDs
+	dists   []float64 // raw best-signature squared distances
+	matched []bool
+	// hits is the cumulative route-cache hit counter at hand-off, letting
+	// the monitor estimate what share of total traffic bypasses the cache
+	// (and therefore reaches the monitor at all).
+	hits uint64
+	// teedAt is the tee-clock position of the block's newest sample: the
+	// cumulative teed counter right after Offer counted this block. Folds
+	// carry it into evaluations so detection latency can be measured in
+	// the same clock the shift watermark is read in (Teed) — the folded
+	// count lags it whenever backpressure drops samples.
+	teedAt uint64
+}
+
+func newBlock(dim, rows int) *Block {
+	return &Block{
+		dim:     dim,
+		embs:    make([]float64, rows*dim),
+		experts: make([]int32, rows),
+		dists:   make([]float64, rows),
+		matched: make([]bool, rows),
+	}
+}
+
+// Len returns the number of samples currently in the block.
+func (b *Block) Len() int { return b.rows }
+
+// Full reports whether the block has no room for another sample.
+func (b *Block) Full() bool { return b.rows == len(b.experts) }
+
+// Add copies one routed sample into the block. It returns false when the
+// block is full; embeddings of the wrong dimensionality are discarded
+// (returning true) — they cannot be folded into the reference's sketches.
+// Allocation-free.
+func (b *Block) Add(emb tensor.Vector, expertID int, dist float64, matched bool) bool {
+	if b.Full() {
+		return false
+	}
+	if len(emb) != b.dim {
+		return true
+	}
+	copy(b.embs[b.rows*b.dim:(b.rows+1)*b.dim], emb)
+	b.experts[b.rows] = int32(expertID)
+	b.dists[b.rows] = dist
+	b.matched[b.rows] = matched
+	b.rows++
+	return true
+}
+
+// SetHits records the producer's cumulative route-cache hit counter at
+// hand-off time.
+func (b *Block) SetHits(h uint64) { b.hits = h }
+
+func (b *Block) row(i int) tensor.Vector {
+	return b.embs[i*b.dim : (i+1)*b.dim]
+}
+
+func (b *Block) reset() { b.rows = 0 }
+
+// Acquire takes a free block, stamping it with the current reference
+// generation. It returns nil — never blocks — when the freelist is empty
+// (monitor saturated or no reference installed yet); the caller should
+// count the samples it cannot tee via NoteDropped. Allocation-free.
+func (m *Monitor) Acquire() *Block {
+	select {
+	case b := <-m.free:
+		b.gen = m.gen.Load()
+		return b
+	default:
+		return nil
+	}
+}
+
+// Offer hands a filled block to the monitor goroutine. The queue is bounded
+// with drop-oldest backpressure: when full, the oldest queued block is
+// evicted (its samples counted as dropped) to make room, so producers never
+// block and the monitor always sees the freshest traffic. Allocation-free.
+func (m *Monitor) Offer(b *Block) {
+	b.teedAt = m.teed.Add(uint64(b.rows))
+	for {
+		select {
+		case m.queue <- b:
+			return
+		default:
+		}
+		select {
+		case old := <-m.queue:
+			m.dropped.Add(uint64(old.rows))
+			m.release(old)
+		default:
+			// The monitor drained the queue between our two attempts;
+			// retry the send.
+		}
+	}
+}
+
+// Recycle returns an unused (or partially filled but unwanted) block to the
+// freelist without queueing its samples.
+func (m *Monitor) Recycle(b *Block) { m.release(b) }
+
+// NoteDropped counts samples the producer could not tee because no free
+// block was available.
+func (m *Monitor) NoteDropped(n int) { m.dropped.Add(uint64(n)) }
+
+// release resets a block and returns it to the freelist. Blocks whose
+// dimensionality no longer matches the installed reference (possible only
+// across a reference change to a different architecture) are discarded.
+func (m *Monitor) release(b *Block) {
+	if ref := m.ref.Load(); ref != nil && ref.Dim != b.dim {
+		return
+	}
+	b.reset()
+	select {
+	case m.free <- b:
+	default:
+	}
+}
+
+// Teed returns the cumulative count of samples handed off to the queue
+// (including any later evicted by backpressure). The drift benchmark reads
+// it at the shift-injection instant as the detection-latency watermark.
+func (m *Monitor) Teed() uint64 { return m.teed.Load() }
+
+// Dropped returns the cumulative count of samples lost to backpressure,
+// freelist exhaustion, or SampleEvery subsampling.
+func (m *Monitor) Dropped() uint64 { return m.dropped.Load() }
+
+// QueueDepth returns the number of blocks currently queued.
+func (m *Monitor) QueueDepth() int { return len(m.queue) }
+
+// QueueCapacity returns the queue's block capacity.
+func (m *Monitor) QueueCapacity() int { return cap(m.queue) }

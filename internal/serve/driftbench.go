@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/monitor"
+	"repro/internal/service"
+)
+
+// DefaultDriftTrials is the number of interleaved unmonitored/monitored
+// trial pairs RunDriftBench runs when the caller does not choose.
+const DefaultDriftTrials = 3
+
+// RunDriftBench measures the drift monitor end to end: the same cold
+// (cache-disabled) workload with a corruption injected at ShiftAt of the
+// run is replayed as trials interleaved pairs — an unmonitored baseline
+// trial, then a monitored trial whose batched routing path tees every
+// embedding into the monitor — preceded by one unmonitored warmup
+// (discarded). Each side reports its best trial, the same
+// interference-cancelling protocol as RunTracingBench. The cache is
+// forced off because cache hits skip embedding and so are invisible to
+// the monitor; cold traffic is the honest coverage condition (and what
+// the committed cold serving baseline measures).
+//
+// Detection is read from the best monitored trial: the watermark is the
+// monitor's teed-sample count at the injection instant, detection is
+// the first evaluation past the watermark whose score crossed the
+// threshold, and any crossing at or before the watermark is a false
+// positive the CheckDrift gate rejects.
+func RunDriftBench(ctx context.Context, cp *service.Checkpoint, cfg LoadConfig, srvCfg Config, monCfg monitor.Config, trials int) (*experiments.DriftArtifact, error) {
+	cfg = cfg.withDefaults()
+	cfg.SwapMidLoad = false
+	if cfg.ShiftAt <= 0 {
+		cfg.ShiftAt = 0.5
+	}
+	if cfg.ShiftCorruption.IsIdentity() {
+		cfg.ShiftCorruption = dataset.Corruption{Kind: dataset.CorruptFrost, Severity: 5}
+	}
+	srvCfg = srvCfg.withDefaults()
+	srvCfg.CacheSize = -1
+	if trials <= 0 {
+		trials = DefaultDriftTrials
+	}
+
+	phase := func(mon *monitor.Monitor) (*LoadResult, error) {
+		snap, err := SnapshotFromCheckpoint(cp)
+		if err != nil {
+			return nil, err
+		}
+		pcfg := srvCfg
+		pcfg.Monitor = mon
+		srv, err := NewServer(snap, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		return RunLoad(ctx, srv, cp, cfg)
+	}
+
+	if _, err := phase(nil); err != nil {
+		return nil, fmt.Errorf("serve: drift bench warmup: %w", err)
+	}
+	var (
+		base, monitored *LoadResult
+		bestSum         *monitor.Summary
+		bestEvals       []monitor.Evaluation
+		effCfg          monitor.Config
+	)
+	for i := 0; i < trials; i++ {
+		b, err := phase(nil)
+		if err != nil {
+			return nil, fmt.Errorf("serve: drift bench baseline trial %d: %w", i+1, err)
+		}
+		mon := monitor.New(monCfg)
+		m, err := phase(mon)
+		if err != nil {
+			mon.Close()
+			return nil, fmt.Errorf("serve: drift bench monitored trial %d: %w", i+1, err)
+		}
+		// Drain everything still queued and force a final evaluation so
+		// the trial's verdict covers its whole stream, then snapshot the
+		// monitor state before tearing it down.
+		mon.Flush()
+		sum := mon.Summary()
+		evals := mon.Evaluations(0, -1)
+		effCfg = mon.Config()
+		mon.Close()
+		if b != nil && (base == nil || b.Throughput() > base.Throughput()) {
+			base = b
+		}
+		if monitored == nil || m.Throughput() > monitored.Throughput() {
+			monitored = m
+			bestSum = sum
+			bestEvals = evals
+		}
+	}
+	if bestSum.Samples == 0 {
+		return nil, fmt.Errorf("serve: drift bench monitor folded no samples (teed %d, dropped %d)", bestSum.Teed, bestSum.Dropped)
+	}
+	if !bestSum.Calibrated {
+		return nil, fmt.Errorf("serve: drift bench monitor never calibrated (%d samples folded, baseline needs %d): %s",
+			bestSum.Samples, effCfg.BaselineSize, bestSum.CalibrationError)
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+	a := &experiments.DriftArtifact{
+		Schema: experiments.DriftSchemaVersion,
+		Name:   experiments.DriftArtifactName,
+		Options: experiments.DriftOptions{
+			CheckpointWindows: cp.WindowsDone,
+			Arch:              cp.Arch,
+			Parties:           len(cp.Aggregator.Assignment),
+			SamplesPerParty:   cfg.SamplesPerParty,
+			TestPerParty:      cfg.TestPerParty,
+			Seed:              cp.Seed,
+			Concurrency:       cfg.Concurrency,
+			Repeat:            cfg.Repeat,
+			Workers:           srvCfg.Workers,
+			MaxBatch:          srvCfg.MaxBatch,
+			MaxDelayMs:        ms(srvCfg.MaxDelay),
+			ShiftAt:           cfg.ShiftAt,
+			ShiftKind:         cfg.ShiftCorruption.String(),
+			ShiftSeverity:     cfg.ShiftCorruption.Severity,
+			EvalEvery:         effCfg.EvalEvery,
+			SampleEvery:       effCfg.SampleEvery,
+			BaselineSize:      effCfg.BaselineSize,
+			WindowSize:        effCfg.WindowSize,
+			Threshold:         effCfg.Threshold,
+			Resamples:         effCfg.Calibrate.Resamples,
+			Trials:            trials,
+		},
+		BaselineRequests:          base.Requests,
+		BaselineDurationMs:        ms(base.Duration),
+		BaselineThroughputPerSec:  base.Throughput(),
+		MonitoredRequests:         monitored.Requests,
+		MonitoredDurationMs:       ms(monitored.Duration),
+		MonitoredThroughputPerSec: monitored.Throughput(),
+		SamplesSeen:               bestSum.Samples,
+		SamplesDropped:            bestSum.Dropped,
+		Evals:                     bestSum.Evals,
+		ShiftAtSample:             monitored.ShiftTeedSamples,
+		Delta:                     bestSum.Delta,
+	}
+	if a.BaselineThroughputPerSec > 0 {
+		a.OverheadPercent = (1 - a.MonitoredThroughputPerSec/a.BaselineThroughputPerSec) * 100
+	}
+	for _, ev := range bestEvals {
+		if ev.Err != "" {
+			continue
+		}
+		if ev.Score > a.MaxScore {
+			a.MaxScore = ev.Score
+		}
+		if !ev.Crossed {
+			continue
+		}
+		// Compare in the tee clock (ev.TeedAt), the clock the watermark was
+		// read in — the folded count lags it when backpressure drops.
+		if ev.TeedAt <= a.ShiftAtSample {
+			a.FalsePositives++
+			continue
+		}
+		if !a.Detected {
+			a.Detected = true
+			a.DetectedAtSample = ev.TeedAt
+			a.DetectionLatencySamples = ev.TeedAt - a.ShiftAtSample
+			a.ScoreAtDetection = ev.Score
+		}
+	}
+	return a, nil
+}

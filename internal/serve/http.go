@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/monitor"
 	"repro/internal/nn"
 	"repro/internal/telemetry"
 )
@@ -22,6 +23,7 @@ import (
 //	GET  /v1/state          shared httpapi.State envelope with the serve section
 //	GET  /v1/healthz        liveness (always 200 while serving)
 //	GET  /v1/metrics        Prometheus text (shared JSON schema with ?format=json)
+//	GET  /v1/debug/drift    drift monitor summary + recent evaluations (?n=, ?expert=)
 //
 // The pre-versioning routes (/predict /snapshot /healthz /metrics) stay
 // reachable as deprecated aliases carrying a Deprecation header; unknown
@@ -40,6 +42,7 @@ func (s *Server) Handler() http.Handler {
 	api.Handle("/v1/healthz", s.handleHealthz)
 	api.Handle("/v1/metrics", s.handleMetrics)
 	api.Handle("/v1/debug/traces", telemetry.TracesHandler(s.cfg.Tracer).ServeHTTP)
+	api.Handle("/v1/debug/drift", monitor.Handler(s.cfg.Model, s.cfg.Monitor))
 	api.Deprecated("/predict", "/v1/predict", s.handlePredict)
 	api.Deprecated("/snapshot", "/v1/snapshot", s.handleSnapshot)
 	api.Deprecated("/healthz", "/v1/healthz", s.handleHealthz)
@@ -287,5 +290,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fb[i] = float64(v)
 	}
 	b.Histogram("shiftex_serve_batch_size", "Requests per drained micro-batch.", fb, counts, float64(batchedSum))
+	// Per-expert traffic share: the denominator drift series are read
+	// against. Every completed request counts under its serving expert's
+	// training-time ID, fallback-served included.
+	if ids, reqCounts := s.metrics.ExpertRequests(); len(ids) > 0 {
+		reqSamples := make([]httpapi.Sample, len(ids))
+		for i, id := range ids {
+			reqSamples[i] = httpapi.Sample{
+				Labels: fmt.Sprintf("expert=%q", strconv.Itoa(id)), Value: float64(reqCounts[i]),
+			}
+		}
+		b.CounterVec("shiftex_serve_expert_requests_total", "Predictions served per expert (by training-time ID), fallback-served included.", reqSamples...)
+	}
+	if mon := s.cfg.Monitor; mon != nil {
+		sum := mon.Summary()
+		expSamples := make([]httpapi.Sample, 0, len(sum.Experts))
+		for _, e := range sum.Experts {
+			expSamples = append(expSamples, httpapi.Sample{
+				Labels: fmt.Sprintf("expert=%q", strconv.Itoa(e.ID)), Value: e.Score,
+			})
+		}
+		b.Gauge("shiftex_monitor_drift_score", "Latest global drift score: detector statistic over the recent embedding window vs the post-swap baseline, normalized by the self-calibrated null quantile δ.", sum.Score).
+			Gauge("shiftex_monitor_drift_threshold", "Normalized score level that counts as a drift crossing.", sum.Threshold).
+			Counter("shiftex_monitor_crossings_total", "Drift evaluations whose score crossed the threshold.", float64(sum.Crossings)).
+			Counter("shiftex_monitor_evals_total", "Drift evaluations run.", float64(sum.Evals)).
+			Counter("shiftex_monitor_samples_total", "Routed samples folded into the monitor's sketches.", float64(sum.Samples)).
+			Counter("shiftex_monitor_dropped_total", "Samples lost to monitor backpressure (drop-oldest queue or freelist exhaustion).", float64(sum.Dropped)).
+			Gauge("shiftex_monitor_queue_depth", "Blocks waiting in the monitor hand-off queue.", float64(mon.QueueDepth())).
+			Gauge("shiftex_monitor_fallback_rate", "EWMA of the per-batch fallback-served fraction seen by the monitor.", sum.FallbackRate).
+			Gauge("shiftex_monitor_cache_bypass_share", "EWMA share of traffic reaching batched routing (and therefore the monitor) rather than the route cache.", sum.CacheBypassShare)
+		if len(expSamples) > 0 {
+			b.GaugeVec("shiftex_monitor_expert_drift_score", "Per-expert drift: squared distance of the expert's live embedding mean from its latent memory, over the effective routing radius (≥1 = live mean outside the radius).", expSamples...)
+		}
+		if len(sum.MarginBuckets) > 0 {
+			b.Histogram("shiftex_monitor_margin", "Match margin per routed sample: best-signature squared distance over the effective radius (≤1 matched inside the radius).", monitor.MarginBounds(), sum.MarginBuckets, sum.MarginSum)
+		}
+	}
 	b.ServeMetrics(w, r)
 }

@@ -38,6 +38,17 @@ type LoadConfig struct {
 	// checkpoint halfway through the run, exercising the zero-drop swap
 	// path under live traffic.
 	SwapMidLoad bool
+	// ShiftAt, in (0, 1), injects a covariate regime change after that
+	// fraction of the run: requests issued beyond the shift point replay
+	// ShiftCorruption-transformed inputs. The fraction is measured against
+	// MaxDuration when one is set (a deadline, not the request counter,
+	// decides where a huge Repeat ends), otherwise against the total
+	// request count. Zero disables injection.
+	ShiftAt float64
+	// ShiftCorruption is the transform injected at the shift point.
+	// The identity (zero value) selects frost/5 — fully deterministic per
+	// input, so replayed passes of the shifted stream are identical.
+	ShiftCorruption dataset.Corruption
 	// Tracer, when set, roots one span per generated request, which in
 	// turn makes the serving pipeline record its route and batch spans —
 	// the traced phase of the tracing-overhead benchmark. Nil generates
@@ -67,6 +78,11 @@ func (c LoadConfig) withDefaults() LoadConfig {
 // Repeat or a MaxDuration) instead of trusting the artifact.
 var ErrSwapTooLate = errors.New("serve: load finished before the mid-load swap could fire")
 
+// ErrShiftTooLate is the ShiftAt analog of ErrSwapTooLate: the workload
+// drained before the injection point, so the run holds no post-shift
+// traffic and cannot serve as drift-detection evidence.
+var ErrShiftTooLate = errors.New("serve: load finished before the shift could be injected")
+
 // RegimeResult is one covariate regime's serving quality under load.
 type RegimeResult struct {
 	Regime           string
@@ -90,6 +106,14 @@ type LoadResult struct {
 	AssignedKnown    uint64 // requests whose party has a recorded assignment
 	Regimes          []RegimeResult
 	Server           MetricsSnapshot // server-side counters at run end
+
+	// Shift-injection record (ShiftAt runs only). ShiftAtRequest is the
+	// claimed-request watermark at the injection instant; ShiftTeedSamples
+	// is the monitor's cumulative teed-sample counter at the same instant —
+	// the zero point detection latency is measured from.
+	ShiftInjected    bool
+	ShiftAtRequest   uint64
+	ShiftTeedSamples uint64
 }
 
 // Throughput returns completed predictions per second.
@@ -188,6 +212,28 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 	}
 	total := int64(len(items)) * int64(cfg.Repeat)
 
+	// Pre-transform the shifted replica of the stream so the injection is a
+	// flag flip, not per-request work: after the shift point workers index
+	// the shifted slice instead of the clean one.
+	var shifted []WorkItem
+	if cfg.ShiftAt > 0 {
+		if cfg.ShiftAt >= 1 {
+			return nil, fmt.Errorf("serve: -shift-at must be in (0,1), got %g", cfg.ShiftAt)
+		}
+		corr := cfg.ShiftCorruption
+		if corr.IsIdentity() {
+			corr = dataset.Corruption{Kind: dataset.CorruptFrost, Severity: 5}
+		}
+		srng := tensor.NewRNG(cp.Seed ^ 0xd21f7)
+		regime := "shifted:" + corr.String()
+		shifted = make([]WorkItem, len(items))
+		for i, it := range items {
+			it.X = corr.Apply(it.X, srng)
+			it.Regime = regime
+			shifted[i] = it
+		}
+	}
+
 	type tally struct {
 		requests, correct, known, routed, matched int
 	}
@@ -250,6 +296,49 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 		}()
 	}
 
+	// Shift watcher: flips the regime the moment the injection point passes
+	// and records the watermarks detection latency is measured against. The
+	// flip is a single atomic the request loop reads — injection costs the
+	// hot path nothing until it fires, and one load afterwards.
+	var (
+		shiftOn      atomic.Bool
+		shiftClaimed uint64
+		shiftTeed    uint64
+	)
+	shiftDone := make(chan struct{})
+	if shifted != nil {
+		go func() {
+			defer close(shiftDone)
+			if cfg.MaxDuration > 0 {
+				at := start.Add(time.Duration(cfg.ShiftAt * float64(cfg.MaxDuration)))
+				for time.Now().Before(at) {
+					if ctx.Err() != nil || next.Load() >= total {
+						return
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			} else {
+				at := int64(cfg.ShiftAt * float64(total))
+				for next.Load() < at {
+					if ctx.Err() != nil {
+						return
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+			if next.Load() >= total {
+				return // drained before the injection point: too late
+			}
+			shiftClaimed = uint64(next.Load())
+			if mon := srv.cfg.Monitor; mon != nil {
+				shiftTeed = mon.Teed()
+			}
+			shiftOn.Store(true)
+		}()
+	} else {
+		close(shiftDone)
+	}
+
 	// Requests are issued with an uncancellable context: the client loop
 	// checks ctx between iterations, so cancellation still lands within one
 	// request (microseconds), and predictAt's result wait can take the
@@ -290,6 +379,9 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 					}
 				}
 				item := items[i%int64(len(items))]
+				if shifted != nil && shiftOn.Load() {
+					item = shifted[i%int64(len(items))]
+				}
 				t0 := time.Now()
 				// The root span rides the timestamps the load generator
 				// takes anyway (t0 and the latency measurement), so the
@@ -362,6 +454,12 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 			return nil, fmt.Errorf("serve: mid-load swap: %w", err)
 		}
 	}
+	<-shiftDone
+	if shifted != nil && !shiftOn.Load() {
+		if ctx.Err() == nil {
+			return nil, ErrShiftTooLate
+		}
+	}
 
 	out := &LoadResult{
 		Requests:         requests.Load(),
@@ -372,6 +470,9 @@ func RunLoad(ctx context.Context, srv *Server, cp *service.Checkpoint, cfg LoadC
 		RoutedToAssigned: routedOK.Load(),
 		AssignedKnown:    known.Load(),
 		Server:           srv.Metrics().Snapshot(),
+		ShiftInjected:    shiftOn.Load(),
+		ShiftAtRequest:   shiftClaimed,
+		ShiftTeedSamples: shiftTeed,
 	}
 	var all []time.Duration
 	for _, l := range latencies {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -38,6 +39,19 @@ type Metrics struct {
 	// slow is the slowest traced request seen so far — the exemplar the
 	// latency quantiles point at on /v1/metrics.
 	slow atomic.Pointer[slowTrace]
+
+	// experts is the per-expert routed-request counter set, keyed by
+	// training-time expert ID. The map itself is immutable once published
+	// (lock-free reads on the hot path); a hot swap installs a fresh map
+	// that shares the counter cells of retained IDs, so in-flight requests
+	// finishing on the old snapshot still land in the right counter.
+	experts atomic.Pointer[expertCounters]
+}
+
+// expertCounters is one immutable per-expert counter generation.
+type expertCounters struct {
+	ids  []int // sorted, for stable exposition order
+	byID map[int]*atomic.Uint64
 }
 
 // slowTrace ties a latency observation to the trace that produced it.
@@ -54,6 +68,55 @@ var batchSizeBounds = [...]uint64{1, 2, 4, 8, 16, 32, 64, 128}
 
 // NewMetrics returns zeroed metrics with the clock started.
 func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// InstallExperts publishes the counter set for a (new) snapshot's expert
+// IDs. Counters for IDs already tracked are carried over — a hot swap must
+// not zero an expert's request history, and requests still draining on the
+// old snapshot keep counting into the shared cells.
+func (m *Metrics) InstallExperts(ids []int) {
+	next := &expertCounters{byID: make(map[int]*atomic.Uint64, len(ids))}
+	prev := m.experts.Load()
+	for _, id := range ids {
+		if next.byID[id] != nil {
+			continue
+		}
+		if prev != nil {
+			if c := prev.byID[id]; c != nil {
+				next.byID[id] = c
+				next.ids = append(next.ids, id)
+				continue
+			}
+		}
+		next.byID[id] = &atomic.Uint64{}
+		next.ids = append(next.ids, id)
+	}
+	sort.Ints(next.ids)
+	m.experts.Store(next)
+}
+
+// CountExpert increments the routed-request counter for one expert ID.
+// Lock-free and allocation-free: the published map is never mutated.
+func (m *Metrics) CountExpert(id int) {
+	if cs := m.experts.Load(); cs != nil {
+		if c := cs.byID[id]; c != nil {
+			c.Add(1)
+		}
+	}
+}
+
+// ExpertRequests returns the tracked expert IDs (ascending) and their
+// routed-request counts.
+func (m *Metrics) ExpertRequests() ([]int, []uint64) {
+	cs := m.experts.Load()
+	if cs == nil {
+		return nil, nil
+	}
+	counts := make([]uint64, len(cs.ids))
+	for i, id := range cs.ids {
+		counts[i] = cs.byID[id].Load()
+	}
+	return cs.ids, counts
+}
 
 // ObserveBatchSize records one drained batch's request count in the
 // batch-size histogram.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/monitor"
 	"repro/internal/nn"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -51,6 +52,17 @@ type Config struct {
 	// and backs GET /v1/debug/traces. Nil disables tracing; the request
 	// path then pays one nil check per span site.
 	Tracer *telemetry.Tracer
+	// Monitor, when set, receives every batch-routed request's embedding,
+	// match margin, chosen expert, and fallback verdict — the drift
+	// observability plane behind /v1/debug/drift. The tee is off the
+	// request path: samples are copied into preallocated blocks at batch
+	// granularity and handed off through a bounded drop-oldest queue, so
+	// the hot path never blocks and never allocates for it. Cache-hit
+	// requests carry no embedding and are not teed (run the cache disabled
+	// for full coverage). The server owns the reference: it installs the
+	// snapshot's latent memories on adoption and on every hot swap. Nil
+	// disables monitoring.
+	Monitor *monitor.Monitor
 }
 
 func (c Config) withDefaults() Config {
@@ -207,6 +219,10 @@ func NewServer(snap *Snapshot, cfg Config) (*Server, error) {
 	snap.Version = int(s.swaps.Add(1))
 	snap.routeEps = snap.Epsilon * cfg.RouteEpsilonScale
 	s.snap.Store(snap)
+	s.metrics.InstallExperts(snap.ExpertIDs())
+	if cfg.Monitor != nil {
+		cfg.Monitor.SetReference(snap.MonitorReference())
+	}
 
 	go s.dispatch()
 	s.workers.Add(cfg.Workers)
@@ -248,6 +264,10 @@ func (s *Server) Swap(next *Snapshot) error {
 	next.routeEps = next.Epsilon * s.cfg.RouteEpsilonScale
 	s.snap.Store(next)
 	s.metrics.swaps.Add(1)
+	s.metrics.InstallExperts(next.ExpertIDs())
+	if s.cfg.Monitor != nil {
+		s.cfg.Monitor.SetReference(next.MonitorReference())
+	}
 	return nil
 }
 
@@ -588,9 +608,38 @@ func (s *Server) routeBatch(sc *batchScratch, batch batchMsg) error {
 	if err != nil {
 		return err
 	}
+	// Tee every routed sample into the drift monitor at batch granularity:
+	// Acquire/Add/Offer are non-blocking and allocation-free, and a
+	// saturated monitor costs only a dropped-sample count — never a stall.
+	mon := s.cfg.Monitor
+	var blk *monitor.Block
 	for i, p := range reqs {
-		p.expert, p.matched = snap.matchSignature(emb.Row(i))
-		s.cache.put(p.x, snap.Version, p.expert, p.matched)
+		idx, dist, matched := snap.matchSignature(emb.Row(i))
+		p.expert, p.matched = idx, matched
+		s.cache.put(p.x, snap.Version, idx, matched)
+		if mon == nil {
+			continue
+		}
+		if blk == nil {
+			if blk = mon.Acquire(); blk == nil {
+				mon.NoteDropped(1)
+				continue
+			}
+		}
+		blk.Add(emb.Row(i), snap.experts[idx].ID, dist, matched)
+		if blk.Full() {
+			blk.SetHits(s.metrics.cacheHits.Load())
+			mon.Offer(blk)
+			blk = nil
+		}
+	}
+	if blk != nil {
+		if blk.Len() > 0 {
+			blk.SetHits(s.metrics.cacheHits.Load())
+			mon.Offer(blk)
+		} else {
+			mon.Recycle(blk)
+		}
 	}
 
 	// Group requests by routed expert with a counting pass (experts are
@@ -662,6 +711,7 @@ func (s *Server) finish(batch batchMsg, classes []int, err error) {
 			} else {
 				s.metrics.fallbacks.Add(1)
 			}
+			s.metrics.CountExpert(batch.snap.Experts()[p.expert].ID)
 			s.metrics.ObserveLatency(out.total)
 		}
 		if !p.enq.IsZero() {

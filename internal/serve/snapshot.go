@@ -15,7 +15,9 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"repro/internal/monitor"
 	"repro/internal/nn"
 	"repro/internal/service"
 	"repro/internal/shiftex"
@@ -163,6 +165,15 @@ func (s *Snapshot) NumExperts() int { return len(s.experts) }
 // Experts returns the snapshot's experts (shared storage — read only).
 func (s *Snapshot) Experts() []Expert { return s.experts }
 
+// ExpertIDs returns the training-time IDs of all experts, in pool order.
+func (s *Snapshot) ExpertIDs() []int {
+	ids := make([]int, len(s.experts))
+	for i, e := range s.experts {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
 // ExpertByID returns the expert with the given training-time ID.
 func (s *Snapshot) ExpertByID(id int) (Expert, bool) {
 	i, ok := s.byID[id]
@@ -203,24 +214,47 @@ func (s *Snapshot) Route(ws *nn.Workspace, x tensor.Vector) (idx int, matched bo
 	if err != nil {
 		return 0, false, err
 	}
-	idx, matched = s.matchSignature(sig)
+	idx, _, matched = s.matchSignature(sig)
 	return idx, matched, nil
 }
 
 // matchSignature resolves an already-computed embedding signature to a
 // serving expert: the matching half of Route, shared with the worker pool's
 // batched routing path (which embeds a whole batch in one GEMM and then
-// matches row by row).
-func (s *Snapshot) matchSignature(sig tensor.Vector) (idx int, matched bool) {
+// matches row by row). dist is the best squared signature distance — the
+// match margin the drift monitor compares against the effective radius
+// (+Inf when no expert has a memory to match).
+func (s *Snapshot) matchSignature(sig tensor.Vector) (idx int, dist float64, matched bool) {
 	eps := s.routeEps
 	if eps == 0 {
 		eps = s.Epsilon
 	}
 	i, dist, ok := shiftex.MatchSignatures(sig, s.memories)
-	if ok && dist <= eps {
-		return i, true
+	if !ok {
+		return s.fallback, math.Inf(1), false
 	}
-	return s.fallback, false
+	if dist <= eps {
+		return i, dist, true
+	}
+	return s.fallback, dist, false
+}
+
+// MonitorReference builds the drift monitor's scoring reference from this
+// snapshot: embedding dimensionality, effective routing radius, and every
+// expert's latent memory. The server installs it on adoption and on every
+// hot swap, which resets the monitor's sketches to the new snapshot.
+func (s *Snapshot) MonitorReference() monitor.Reference {
+	ref := monitor.Reference{
+		SnapshotVersion: s.Version,
+		Dim:             s.Arch[len(s.Arch)-2],
+		Epsilon:         s.Epsilon,
+		RouteEpsilon:    s.RouteEpsilon(),
+		Experts:         make([]monitor.ExpertRef, 0, len(s.experts)),
+	}
+	for _, e := range s.experts {
+		ref.Experts = append(ref.Experts, monitor.ExpertRef{ID: e.ID, Memory: e.Memory})
+	}
+	return ref
 }
 
 // RouteEpsilon returns the effective match threshold Route uses.

@@ -53,6 +53,9 @@ func (EnergyDistance) Distance(xs, ys []tensor.Vector) (float64, error) {
 	if len(xs) == 0 || len(ys) == 0 {
 		return 0, fmt.Errorf("energy: %w", ErrEmptySample)
 	}
+	if HasNaN(xs) || HasNaN(ys) {
+		return 0, fmt.Errorf("energy: %w", ErrNaNInput)
+	}
 	var cross, withinX, withinY float64
 	for i := range xs {
 		for j := range ys {
@@ -113,6 +116,9 @@ func (k *KSDistance) Name() string { return "ks" }
 func (k *KSDistance) Distance(xs, ys []tensor.Vector) (float64, error) {
 	if len(xs) == 0 || len(ys) == 0 {
 		return 0, fmt.Errorf("ks: %w", ErrEmptySample)
+	}
+	if HasNaN(xs) || HasNaN(ys) {
+		return 0, fmt.Errorf("ks: %w", ErrNaNInput)
 	}
 	var worst float64
 	for _, proj := range k.projections {

@@ -75,6 +75,9 @@ func MMD(xs, ys []tensor.Vector, k RBFKernel) (float64, error) {
 	if len(xs) == 0 || len(ys) == 0 {
 		return 0, fmt.Errorf("mmd: %w", ErrEmptySample)
 	}
+	if HasNaN(xs) || HasNaN(ys) {
+		return 0, fmt.Errorf("mmd: %w", ErrNaNInput)
+	}
 	var kxx, kyy, kxy float64
 	for i := range xs {
 		for j := range xs {
@@ -105,6 +108,9 @@ func MMD(xs, ys []tensor.Vector, k RBFKernel) (float64, error) {
 func MMDUnbiased(xs, ys []tensor.Vector, k RBFKernel) (float64, error) {
 	if len(xs) < 2 || len(ys) < 2 {
 		return 0, fmt.Errorf("mmd unbiased: need >=2 points per sample: %w", ErrEmptySample)
+	}
+	if HasNaN(xs) || HasNaN(ys) {
+		return 0, fmt.Errorf("mmd unbiased: %w", ErrNaNInput)
 	}
 	var kxx, kyy, kxy float64
 	for i := range xs {

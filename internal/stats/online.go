@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ErrNaNInput indicates a sample containing NaN reached a detector. The
+// online monitoring plane feeds detectors from live traffic, where a single
+// poisoned request must not silently turn a drift score into NaN (NaN
+// comparisons are always false, so a NaN score would never cross a
+// threshold — the worst possible failure mode for a detector).
+var ErrNaNInput = fmt.Errorf("stats: sample contains NaN")
+
+// HasNaN reports whether any component of any vector in the sample is NaN.
+func HasNaN(xs []tensor.Vector) bool {
+	for _, x := range xs {
+		for _, v := range x {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// VecWelford is a per-dimension streaming mean/variance accumulator: the
+// vector form of Welford, used by the serving monitor to sketch live
+// embedding statistics without retaining the embeddings themselves. The
+// zero value is unusable; build with NewVecWelford.
+type VecWelford struct {
+	n    int
+	mean []float64
+	m2   []float64
+}
+
+// NewVecWelford returns an accumulator over dim-dimensional observations.
+func NewVecWelford(dim int) *VecWelford {
+	return &VecWelford{mean: make([]float64, dim), m2: make([]float64, dim)}
+}
+
+// Dim returns the observation dimensionality.
+func (w *VecWelford) Dim() int { return len(w.mean) }
+
+// N returns the number of accepted observations.
+func (w *VecWelford) N() int { return w.n }
+
+// Add folds one observation into the accumulator. Observations of the
+// wrong dimensionality or containing NaN are rejected (returning false)
+// rather than corrupting the running moments — one poisoned embedding must
+// not NaN-poison every statistic derived from the sketch afterwards.
+func (w *VecWelford) Add(x tensor.Vector) bool {
+	if len(x) != len(w.mean) {
+		return false
+	}
+	for _, v := range x {
+		if math.IsNaN(v) {
+			return false
+		}
+	}
+	w.n++
+	inv := 1 / float64(w.n)
+	for i, v := range x {
+		d := v - w.mean[i]
+		w.mean[i] += d * inv
+		w.m2[i] += d * (v - w.mean[i])
+	}
+	return true
+}
+
+// MeanInto writes the running per-dimension mean into dst (which must have
+// the accumulator's dimensionality) and returns it; allocation-free.
+func (w *VecWelford) MeanInto(dst tensor.Vector) tensor.Vector {
+	copy(dst, w.mean)
+	return dst
+}
+
+// Mean returns a copy of the running per-dimension mean.
+func (w *VecWelford) Mean() tensor.Vector {
+	return w.MeanInto(make(tensor.Vector, len(w.mean)))
+}
+
+// Variance returns the unbiased per-dimension sample variance (zeros with
+// fewer than two observations).
+func (w *VecWelford) Variance() tensor.Vector {
+	out := make(tensor.Vector, len(w.m2))
+	if w.n < 2 {
+		return out
+	}
+	inv := 1 / float64(w.n-1)
+	for i, v := range w.m2 {
+		out[i] = v * inv
+	}
+	return out
+}
+
+// TotalVariance returns the trace of the diagonal covariance — a scalar
+// spread measure the monitor compares across evaluation windows.
+func (w *VecWelford) TotalVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	var t float64
+	for _, v := range w.m2 {
+		t += v
+	}
+	return t / float64(w.n-1)
+}
+
+// Reset clears the accumulator in place, keeping its dimensionality.
+func (w *VecWelford) Reset() {
+	w.n = 0
+	for i := range w.mean {
+		w.mean[i] = 0
+		w.m2[i] = 0
+	}
+}
+
+// EWMA is an exponentially weighted moving average. The first observation
+// seeds the average directly, so early values are not biased toward zero.
+// The zero value with Alpha set is ready to use.
+type EWMA struct {
+	// Alpha is the per-observation weight in (0, 1]; higher tracks faster.
+	Alpha float64
+
+	value  float64
+	seeded bool
+}
+
+// Observe folds one observation in. NaN observations are rejected
+// (returning false) so a single poisoned value cannot wipe the average.
+func (e *EWMA) Observe(x float64) bool {
+	if math.IsNaN(x) {
+		return false
+	}
+	if !e.seeded {
+		e.value = x
+		e.seeded = true
+		return true
+	}
+	e.value += e.Alpha * (x - e.value)
+	return true
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Seeded reports whether at least one observation has been folded in.
+func (e *EWMA) Seeded() bool { return e.seeded }
+
+// Reset clears the average.
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.seeded = false
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestWelfordMatchesBatch pins the streaming scalar accumulator to the
+// one-shot two-pass computation: the monitor folds observations in one at a
+// time and must land on the same moments a batch recomputation would.
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	xs := make([]float64, 501)
+	for i := range xs {
+		xs[i] = rng.Norm()*3 + 1.5
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var m2 float64
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+	}
+	variance := m2 / float64(len(xs)-1)
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Fatalf("streaming mean %g, batch %g", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-9 {
+		t.Fatalf("streaming variance %g, batch %g", w.Variance(), variance)
+	}
+}
+
+// TestVecWelfordMatchesBatch pins the vector accumulator per dimension.
+func TestVecWelfordMatchesBatch(t *testing.T) {
+	const dim, n = 8, 300
+	rng := tensor.NewRNG(11)
+	xs := make([]tensor.Vector, n)
+	for i := range xs {
+		xs[i] = rng.NormVec(dim, 0.5, 2)
+	}
+	w := NewVecWelford(dim)
+	for _, x := range xs {
+		if !w.Add(x) {
+			t.Fatal("clean observation rejected")
+		}
+	}
+	if w.N() != n {
+		t.Fatalf("n=%d, want %d", w.N(), n)
+	}
+	mean := make(tensor.Vector, dim)
+	for _, x := range xs {
+		for d, v := range x {
+			mean[d] += v
+		}
+	}
+	for d := range mean {
+		mean[d] /= n
+	}
+	variance := make(tensor.Vector, dim)
+	for _, x := range xs {
+		for d, v := range x {
+			variance[d] += (v - mean[d]) * (v - mean[d])
+		}
+	}
+	gotMean, gotVar := w.Mean(), w.Variance()
+	var wantTotal float64
+	for d := range mean {
+		variance[d] /= n - 1
+		wantTotal += variance[d]
+		if math.Abs(gotMean[d]-mean[d]) > 1e-9 {
+			t.Fatalf("dim %d: streaming mean %g, batch %g", d, gotMean[d], mean[d])
+		}
+		if math.Abs(gotVar[d]-variance[d]) > 1e-9 {
+			t.Fatalf("dim %d: streaming variance %g, batch %g", d, gotVar[d], variance[d])
+		}
+	}
+	if math.Abs(w.TotalVariance()-wantTotal) > 1e-9 {
+		t.Fatalf("total variance %g, batch %g", w.TotalVariance(), wantTotal)
+	}
+}
+
+func TestVecWelfordRejectsBadObservations(t *testing.T) {
+	w := NewVecWelford(3)
+	if w.Add(tensor.Vector{1, 2}) {
+		t.Fatal("wrong-dim observation accepted")
+	}
+	if w.Add(tensor.Vector{1, math.NaN(), 3}) {
+		t.Fatal("NaN observation accepted")
+	}
+	if w.N() != 0 {
+		t.Fatalf("rejected observations counted: n=%d", w.N())
+	}
+	if !w.Add(tensor.Vector{1, 2, 3}) {
+		t.Fatal("clean observation rejected")
+	}
+	w.Reset()
+	if w.N() != 0 || w.Mean()[0] != 0 {
+		t.Fatal("reset did not clear the accumulator")
+	}
+	if w.Dim() != 3 {
+		t.Fatalf("reset changed dim to %d", w.Dim())
+	}
+}
+
+func TestVecWelfordMeanIntoAllocFree(t *testing.T) {
+	w := NewVecWelford(4)
+	w.Add(tensor.Vector{1, 2, 3, 4})
+	dst := make(tensor.Vector, 4)
+	if n := testing.AllocsPerRun(100, func() { w.MeanInto(dst) }); n != 0 {
+		t.Fatalf("MeanInto allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if e.Seeded() {
+		t.Fatal("zero EWMA claims to be seeded")
+	}
+	if e.Observe(math.NaN()) {
+		t.Fatal("NaN observation accepted")
+	}
+	if !e.Observe(10) {
+		t.Fatal("clean observation rejected")
+	}
+	if e.Value() != 10 {
+		t.Fatalf("first observation must seed directly, got %g", e.Value())
+	}
+	e.Observe(0)
+	if e.Value() != 5 {
+		t.Fatalf("value=%g, want 5", e.Value())
+	}
+	if e.Observe(math.NaN()) || e.Value() != 5 {
+		t.Fatal("NaN observation must leave the average untouched")
+	}
+	e.Reset()
+	if e.Seeded() || e.Value() != 0 {
+		t.Fatal("reset did not clear the average")
+	}
+}
+
+// TestDetectorsRejectEmptyWindows pins the empty-window guard on every
+// detector the monitor can run online: an empty evaluation window must
+// surface ErrEmptySample, never a silent zero score.
+func TestDetectorsRejectEmptyWindows(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	sample := []tensor.Vector{rng.NormVec(4, 0, 1), rng.NormVec(4, 0, 1)}
+	ks, err := NewKSDistance(4, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []DistributionDistance{MMDDistance{}, EnergyDistance{}, ks} {
+		if _, err := d.Distance(nil, sample); err == nil {
+			t.Fatalf("%s accepted an empty left window", d.Name())
+		}
+		if _, err := d.Distance(sample, nil); err == nil {
+			t.Fatalf("%s accepted an empty right window", d.Name())
+		}
+	}
+}
+
+// TestDetectorsRejectNaNInputs pins the NaN guard: a poisoned sample must
+// error rather than produce a NaN score (NaN never crosses a threshold, so
+// a NaN score silently disables detection).
+func TestDetectorsRejectNaNInputs(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	clean := []tensor.Vector{rng.NormVec(4, 0, 1), rng.NormVec(4, 0, 1), rng.NormVec(4, 0, 1)}
+	dirty := []tensor.Vector{clean[0], {1, math.NaN(), 2, 3}, clean[2]}
+	ks, err := NewKSDistance(4, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []DistributionDistance{MMDDistance{}, EnergyDistance{}, ks} {
+		for _, pair := range [][2][]tensor.Vector{{dirty, clean}, {clean, dirty}} {
+			v, err := d.Distance(pair[0], pair[1])
+			if err == nil {
+				t.Fatalf("%s accepted a NaN sample (score %g)", d.Name(), v)
+			}
+			if math.IsNaN(v) {
+				t.Fatalf("%s returned NaN instead of an error", d.Name())
+			}
+		}
+	}
+	if _, err := MMDUnbiased(dirty, clean, RBFKernel{Gamma: 1}); err == nil {
+		t.Fatal("MMDUnbiased accepted a NaN sample")
+	}
+}

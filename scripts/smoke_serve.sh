@@ -64,6 +64,12 @@ code=$(curl -s -o "$WORKDIR/predict.json" -w '%{http_code}' \
 [ "$code" = 200 ] || fail "/predict returned $code: $(cat "$WORKDIR/predict.json")"
 grep -q '"class"' "$WORKDIR/predict.json" || fail "/predict body unexpected: $(cat "$WORKDIR/predict.json")"
 
+echo "== /v1/debug/drift (monitor on by default in daemon mode)"
+code=$(curl -s -o "$WORKDIR/drift.json" -w '%{http_code}' "http://$HTTP_ADDR/v1/debug/drift")
+[ "$code" = 200 ] || fail "/v1/debug/drift returned $code: $(cat "$WORKDIR/drift.json")"
+grep -q '"enabled": true' "$WORKDIR/drift.json" || fail "/v1/debug/drift reports the monitor disabled: $(cat "$WORKDIR/drift.json")"
+grep -q '"schemaVersion"' "$WORKDIR/drift.json" || fail "/v1/debug/drift body unexpected: $(cat "$WORKDIR/drift.json")"
+
 echo "== hot swap over HTTP"
 code=$(curl -s -o "$WORKDIR/swap.json" -w '%{http_code}' \
     -X POST -d "{\"path\":\"$CKPT\"}" "http://$HTTP_ADDR/snapshot")
@@ -102,5 +108,22 @@ echo "== cold artifact gate (>=10k predictions/sec, mean batch >= 2, vs committe
 "$BIN/shiftex-serve" -check "$WORKDIR/BENCH_serving-cold.json" \
     -min-throughput 10000 -min-mean-batch 2 -against BENCH_serving-cold.json \
     || fail "cold serving artifact did not validate"
+
+echo "== drift detection under an injected shift (~2s, cold, frost/5 at 50%)"
+# Cold traffic because route-cache hits skip embedding and are invisible to
+# the monitor; baseline/window of 160 cover the scenario's 8×20-item replay
+# cycle (a shorter window reads clean traffic as drift).
+"$BIN/shiftex-serve" -checkpoint "$CKPT" -loadgen -cold \
+    -samples "$SAMPLES" -test "$TEST" -repeat 1000000 -duration 2s \
+    -concurrency 8 -shift-at 0.5 \
+    -monitor-baseline 160 -monitor-window 160 -monitor-eval-every 1024 \
+    -monitor-sample 64 -monitor-resamples 20 >"$LOG/serve.log" 2>&1 \
+    || fail "shift-injection load generation failed"
+grep -q "drift detected:" "$LOG/serve.log" \
+    || fail "injected shift was not detected: $(grep drift "$LOG/serve.log" || true)"
+
+echo "== committed drift artifact gate (detected, no false positives, overhead <= 3%)"
+"$BIN/shiftex-serve" -check-drift BENCH_drift.json \
+    || fail "committed drift artifact did not validate"
 
 echo "SMOKE OK"
