@@ -46,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/continual"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/monitor"
@@ -112,6 +113,15 @@ func run(args []string) error {
 	driftbench := fs.Bool("driftbench", false, "drift-detection benchmark: interleaved unmonitored/monitored cold trials with an injected shift; writes BENCH_drift.json")
 	checkDrift := fs.String("check-drift", "", "validate a BENCH_drift.json artifact, print its headline numbers, and exit")
 	maxDriftOverhead := fs.Float64("max-drift-overhead", 3, "with -driftbench or -check-drift: fail when monitoring costs more than this percent of baseline throughput, the shift went undetected, or any pre-shift false positive crossed")
+
+	continualOn := fs.Bool("continual", false, "arm the continual adaptation controller: on a confirmed drift crossing, run a live adaptation window against the monitor's sketches and hot-swap the adapted snapshot (requires -monitor; state on /v1/debug/adapt and as shiftex_continual_* metrics)")
+	adaptHysteresis := fs.Int("adapt-hysteresis", 0, "continual: consecutive crossed drift evaluations required to arm a trigger (0 = package default, 2)")
+	adaptCooldown := fs.Duration("adapt-cooldown", 0, "continual: refractory period after an adaptation window during which triggers are suppressed (0 = package default, 30s)")
+	adaptValidation := fs.Bool("adapt-validation", true, "continual: gate promotion on the candidate snapshot not regressing held-back live routing quality")
+	adaptValSamples := fs.Int("adapt-validation-samples", 0, "continual: minimum held-back live embeddings the validation gate needs to judge a candidate (0 = package default, 32)")
+	adaptbench := fs.Bool("adaptbench", false, "closed-loop adaptation benchmark: frozen baseline on a shifted stream, then a live detect→adapt→swap pass, then post-swap recovery; writes BENCH_adapt-live.json")
+	adaptTimeout := fs.Duration("adapt-timeout", 0, "with -adaptbench: budget for the loop to close after the injected shift (0 = package default, 120s)")
+	checkAdapt := fs.String("check-adapt", "", "validate a BENCH_adapt-live.json artifact, apply the closed-loop gate, print its headline numbers, and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,6 +133,9 @@ func run(args []string) error {
 	}
 	if *checkDrift != "" {
 		return checkDriftArtifact(*checkDrift, *maxDriftOverhead)
+	}
+	if *checkAdapt != "" {
+		return checkAdaptArtifact(*checkAdapt)
 	}
 	if *checkpoint == "" {
 		return errors.New("-checkpoint PATH is required\n  produce one with: shiftex-aggregator -load 8 -windows 3 -seed 42 -checkpoint ckpt.json")
@@ -176,6 +189,34 @@ func run(args []string) error {
 		Threshold:    *monThreshold,
 		Calibrate:    stats.CalibrateConfig{Resamples: *monResamples},
 	}
+	ccfg := continual.Config{
+		Hysteresis: *adaptHysteresis,
+		Cooldown:   *adaptCooldown,
+		Validation: continual.ValidationConfig{
+			Disabled:   !*adaptValidation,
+			MinSamples: *adaptValSamples,
+		},
+	}
+	if *adaptbench {
+		// The closed-loop bench always injects the shift (after calibration,
+		// not at a stream fraction), so the corruption comes straight from
+		// -shift-kind/-shift-severity without requiring -shift-at.
+		kind, err := parseCorruptionKind(*shiftKind)
+		if err != nil {
+			return err
+		}
+		bcfg := continual.BenchConfig{
+			SamplesPerParty: *samples,
+			TestPerParty:    *testN,
+			Concurrency:     *concurrency,
+			Corruption:      dataset.Corruption{Kind: kind, Severity: *shiftSeverity},
+			Monitor:         monCfg,
+			Controller:      ccfg,
+			Serve:           cfg,
+			AdaptTimeout:    *adaptTimeout,
+		}
+		return runAdaptbench(cp, bcfg, *jsonDir)
+	}
 	if *driftbench {
 		return runDriftbench(cp, lcfg, cfg, monCfg, *trials, *maxDriftOverhead, *jsonDir)
 	}
@@ -214,6 +255,27 @@ func run(args []string) error {
 	if mon != nil {
 		fmt.Printf("drift monitor enabled: /v1/debug/drift, shiftex_monitor_* on /v1/metrics\n")
 	}
+	var ctrl *continual.Controller
+	if *continualOn {
+		if mon == nil {
+			return errors.New("-continual requires the drift monitor (drop -monitor=false)")
+		}
+		trainer, err := continual.NewLocalTrainer(cp, continual.TrainerConfig{
+			SamplesPerParty: *samples,
+			TestPerParty:    *testN,
+		})
+		if err != nil {
+			return err
+		}
+		if ctrl, err = continual.New(mon, srv, trainer, ccfg); err != nil {
+			return err
+		}
+		srv.AttachAdaptation(ctrl)
+		ctrl.Start()
+		st := ctrl.ContinualState()
+		fmt.Printf("continual adaptation armed: hysteresis=%d cooldown=%.0fs validation=%t (/v1/debug/adapt, shiftex_continual_* on /v1/metrics)\n",
+			st.Hysteresis, st.CooldownSeconds, *adaptValidation)
+	}
 
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
 	httpErr := make(chan error, 1)
@@ -245,6 +307,9 @@ func run(args []string) error {
 	for {
 		select {
 		case err := <-httpErr:
+			if ctrl != nil {
+				ctrl.Close()
+			}
 			_ = srv.Close()
 			return fmt.Errorf("http: %w", err)
 		case <-hup:
@@ -254,11 +319,15 @@ func run(args []string) error {
 			}
 			fmt.Printf("reloaded %s as snapshot v%d\n", *checkpoint, srv.Snapshot().Version)
 		case <-ctx.Done():
-			// Stop accepting HTTP traffic, then drain the batching
-			// pipeline so every admitted request is answered.
+			// Stop accepting HTTP traffic, stand the adaptation controller
+			// down (a window in flight completes first), then drain the
+			// batching pipeline so every admitted request is answered.
 			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			err := httpSrv.Shutdown(shutCtx)
 			cancel()
+			if ctrl != nil {
+				ctrl.Close()
+			}
 			if closeErr := srv.Close(); err == nil {
 				err = closeErr
 			}
@@ -462,6 +531,60 @@ func printDrift(a *experiments.DriftArtifact) {
 	fmt.Printf("drift artifact ok: baseline=%.0f/s monitored=%.0f/s overhead=%.2f%% samples=%d dropped=%d evals=%d shiftAtSample=%d falsePositives=%d maxScore=%.2f — %s\n",
 		a.BaselineThroughputPerSec, a.MonitoredThroughputPerSec, a.OverheadPercent,
 		a.SamplesSeen, a.SamplesDropped, a.Evals, a.ShiftAtSample, a.FalsePositives, a.MaxScore, verdict)
+}
+
+// runAdaptbench drives the closed-loop continual adaptation benchmark,
+// prints the headline numbers, optionally records the artifact, and applies
+// the closed-loop gate.
+func runAdaptbench(cp *service.Checkpoint, bcfg continual.BenchConfig, jsonDir string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	a, err := continual.RunAdaptLiveBench(ctx, cp, bcfg)
+	if err != nil {
+		return err
+	}
+	printAdapt(a)
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return err
+		}
+		path, err := experiments.WriteAdaptLiveArtifactFile(jsonDir, a)
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return a.CheckAdaptLive()
+}
+
+// checkAdaptArtifact validates an adapt-live artifact and applies the
+// closed-loop gate — the smoke tests' machine-checkable gate on the "the
+// serving tier adapts to live drift end to end" claim.
+func checkAdaptArtifact(path string) error {
+	a, err := experiments.ReadAdaptLiveArtifactFile(path)
+	if err != nil {
+		return err
+	}
+	printAdapt(a)
+	return a.CheckAdaptLive()
+}
+
+func printAdapt(a *experiments.AdaptLiveArtifact) {
+	verdict := "shift NOT detected"
+	if a.Detected {
+		verdict = fmt.Sprintf("detected at sample %d (latency %d samples, score %.2f)",
+			a.DetectedAtSample, a.DetectionLatencySamples, a.ScoreAtDetection)
+	}
+	fmt.Printf("adapt-live artifact ok: requests=%d errors=%d rejected=%d shiftAtSample=%d — %s\n",
+		a.Requests, a.Errors, a.Rejected, a.ShiftAtSample, verdict)
+	fmt.Printf("  loop: windows completed=%d rolledBack=%d rejected=%d, snapshot v%d→v%d, window=%.0fms, shift→swap=%.0fms, experts %d→%d (+%d new, %d merged)\n",
+		a.WindowsCompleted, a.WindowsRolledBack, a.WindowsRejected,
+		a.SwappedFromVersion, a.SwappedToVersion, a.WindowDurationMs, a.AdaptLatencyMs,
+		a.ExpertsBefore, a.ExpertsAfter, a.NewExperts, a.Merged)
+	fmt.Printf("  recovery: shifted routing %.3f → %.3f, shifted accuracy %.3f → %.3f (validation matched %.3f → %.3f over %d held-back samples)\n",
+		a.FrozenShiftedRouted, a.PostSwapShiftedRouted,
+		a.FrozenShiftedAccuracy, a.PostSwapShiftedAccuracy,
+		a.ValidationBaselineMatched, a.ValidationCandidateMatched, a.ValidationSamples)
 }
 
 // writeMetrics records the final serving counters as indented JSON.

@@ -58,6 +58,21 @@
 // injected covariate shift is detected with zero pre-shift false positives
 // at under 3% throughput overhead.
 //
+// internal/continual acts on that signal — the paper's loop, closed live:
+// a controller goroutine subscribes to the monitor's evaluations and, on a
+// hysteresis-confirmed threshold crossing, harvests the live embedding
+// sketches, runs the real adapt.Policy pipeline in-process (detect,
+// calibrate, assign, train, consolidate), validates the candidate snapshot
+// against held-back traffic, and hot-swaps it through the serving tier's
+// atomic-pointer path — production-guarded by cooldown, trigger
+// coalescing, validation-gated promotion, and rollback on any failure,
+// with the monitor re-baselined against each new snapshot. New experts
+// carry a live-calibrated per-expert acceptance radius so single-request
+// traffic actually routes to them. The committed BENCH_adapt-live.json
+// pins the closed-loop contract: an injected shift is detected, adapted,
+// and swapped with zero dropped requests, and the shifted regime's routing
+// strictly improves over the frozen baseline.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record, the cross-process parity contract, and the
 // checkpoint schema. The benchmarks in bench_test.go regenerate each

@@ -1,0 +1,366 @@
+package continual
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/monitor"
+	"repro/internal/serve"
+	"repro/internal/service"
+	"repro/internal/tensor"
+)
+
+// BenchConfig tunes the closed-loop adaptation benchmark.
+type BenchConfig struct {
+	// SamplesPerParty / TestPerParty reproduce the checkpoint run's scenario
+	// shape (defaults 120/60).
+	SamplesPerParty int
+	TestPerParty    int
+	// Concurrency is the number of open-loop client goroutines driving the
+	// closed-loop phase (default: 2 per core).
+	Concurrency int
+	// Corruption is the covariate shift injected mid-stream (identity
+	// selects frost/5, fully deterministic per input).
+	Corruption dataset.Corruption
+	// Monitor tunes the drift monitor (zero values = package defaults).
+	Monitor monitor.Config
+	// Controller tunes the adaptation controller (zero values = package
+	// defaults). The cooldown should exceed the post-swap evaluation pass
+	// (sub-second) so a second window cannot reshuffle assignments while
+	// recovery is being scored.
+	Controller Config
+	// Serve tunes the serving pipeline. The route cache is force-disabled
+	// (every request must tee into the monitor) and the benchmark owns the
+	// Monitor field.
+	Serve serve.Config
+	// Trainer tunes the serve-local trainer's statistics synthesis.
+	Stats StatsOptions
+	// CalibrationTimeout bounds the clean-traffic warmup waiting for the
+	// monitor's δ calibration (default 60s); AdaptTimeout bounds the
+	// shifted-traffic phase waiting for the loop to close — detection,
+	// window, validation, swap (default 120s).
+	CalibrationTimeout time.Duration
+	AdaptTimeout       time.Duration
+}
+
+func (c BenchConfig) withDefaults() BenchConfig {
+	if c.SamplesPerParty <= 0 {
+		c.SamplesPerParty = 120
+	}
+	if c.TestPerParty <= 0 {
+		c.TestPerParty = 60
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.Corruption.IsIdentity() {
+		c.Corruption = dataset.Corruption{Kind: dataset.CorruptFrost, Severity: 5}
+	}
+	if c.CalibrationTimeout <= 0 {
+		c.CalibrationTimeout = 60 * time.Second
+	}
+	if c.AdaptTimeout <= 0 {
+		c.AdaptTimeout = 120 * time.Second
+	}
+	return c
+}
+
+// evalTally scores one deterministic evaluation pass.
+type evalTally struct {
+	requests int
+	correct  int
+	known    int
+	routed   int
+	errs     uint64
+}
+
+func (t evalTally) accuracy() float64 {
+	if t.requests == 0 {
+		return 0
+	}
+	return float64(t.correct) / float64(t.requests)
+}
+
+func (t evalTally) routing() float64 {
+	if t.known == 0 {
+		return 0
+	}
+	return float64(t.routed) / float64(t.known)
+}
+
+// evalStream replays the items once against srv and scores accuracy and
+// routed-to-assigned, with the assigned expert resolved per item by the
+// caller (checkpoint assignment for the frozen pass, post-window assignment
+// for the adapted pass).
+func evalStream(ctx context.Context, srv *serve.Server, items []serve.WorkItem, assigned func(serve.WorkItem) int) evalTally {
+	var t evalTally
+	for _, it := range items {
+		if ctx.Err() != nil {
+			break
+		}
+		res, err := srv.Predict(context.Background(), it.X)
+		if err != nil {
+			t.errs++
+			continue
+		}
+		t.requests++
+		if res.Class == it.Y {
+			t.correct++
+		}
+		if id := assigned(it); id >= 0 {
+			t.known++
+			if res.Expert == id {
+				t.routed++
+			}
+		}
+	}
+	return t
+}
+
+// shiftItems pre-transforms the stream's shifted replica with the same
+// deterministic derivation the serve load generator uses, so the injected
+// regime is identical across the frozen, closed-loop, and post-swap passes.
+func shiftItems(items []serve.WorkItem, corr dataset.Corruption, seed uint64) []serve.WorkItem {
+	rng := tensor.NewRNG(seed ^ 0xd21f7)
+	regime := "shifted:" + corr.String()
+	out := make([]serve.WorkItem, len(items))
+	for i, it := range items {
+		it.X = corr.Apply(it.X, rng)
+		it.Regime = regime
+		out[i] = it
+	}
+	return out
+}
+
+// RunAdaptLiveBench runs the closed-loop continual adaptation benchmark in
+// three passes:
+//
+//  1. Frozen baseline: the shifted stream is scored against a plain server on
+//     the checkpoint snapshot — how the system serves the new regime when
+//     nothing adapts.
+//  2. Closed loop: a monitored server with the controller armed takes clean
+//     traffic until the monitor calibrates, then the stream flips to the
+//     shifted regime and open-loop clients keep driving until the loop closes
+//     — drift detected, adaptation window run against the live sketches,
+//     candidate validated, snapshot hot-swapped — or the timeout expires.
+//  3. Recovery: the same shifted stream is scored against the now-adapted
+//     server, routed-to-assigned measured against the post-window assignment.
+//
+// The returned artifact records all three; CheckAdaptLive is the CI gate.
+func RunAdaptLiveBench(ctx context.Context, cp *service.Checkpoint, cfg BenchConfig) (*experiments.AdaptLiveArtifact, error) {
+	cfg = cfg.withDefaults()
+	lcfg := serve.LoadConfig{SamplesPerParty: cfg.SamplesPerParty, TestPerParty: cfg.TestPerParty}
+	items, err := serve.Workload(cp, lcfg)
+	if err != nil {
+		return nil, err
+	}
+	shifted := shiftItems(items, cfg.Corruption, cp.Seed)
+
+	srvCfg := cfg.Serve
+	srvCfg.CacheSize = -1 // full tee coverage: every request routes cold
+	srvCfg.Monitor = nil
+
+	// Pass 1: frozen baseline on the shifted stream.
+	snapA, err := serve.SnapshotFromCheckpoint(cp)
+	if err != nil {
+		return nil, err
+	}
+	srvA, err := serve.NewServer(snapA, srvCfg)
+	if err != nil {
+		return nil, err
+	}
+	frozen := evalStream(ctx, srvA, shifted, func(it serve.WorkItem) int { return it.Assigned })
+	if err := srvA.Close(); err != nil {
+		return nil, err
+	}
+	if frozen.errs > 0 {
+		return nil, fmt.Errorf("continual: frozen evaluation pass errored %d times", frozen.errs)
+	}
+
+	// Pass 2: the closed loop.
+	mon := monitor.New(cfg.Monitor)
+	defer mon.Close()
+	snapB, err := serve.SnapshotFromCheckpoint(cp)
+	if err != nil {
+		return nil, err
+	}
+	liveCfg := srvCfg
+	liveCfg.Monitor = mon
+	srv, err := serve.NewServer(snapB, liveCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	trainer, err := NewLocalTrainer(cp, TrainerConfig{
+		SamplesPerParty: cfg.SamplesPerParty,
+		TestPerParty:    cfg.TestPerParty,
+		Stats:           cfg.Stats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := New(mon, srv, trainer, cfg.Controller)
+	if err != nil {
+		return nil, err
+	}
+	srv.AttachAdaptation(ctrl)
+	ctrl.Start()
+	defer ctrl.Close()
+
+	var (
+		stopDrive atomic.Bool
+		shiftOn   atomic.Bool
+		requests  atomic.Uint64
+		errsN     atomic.Uint64
+		rejected  atomic.Uint64
+		wg        sync.WaitGroup
+	)
+	driveStart := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reqCtx := context.Background()
+			for i := 0; !stopDrive.Load() && ctx.Err() == nil; i++ {
+				set := items
+				if shiftOn.Load() {
+					set = shifted
+				}
+				_, err := srv.Predict(reqCtx, set[i%len(set)].X)
+				switch {
+				case errors.Is(err, serve.ErrOverloaded):
+					rejected.Add(1)
+				case err != nil:
+					errsN.Add(1)
+				default:
+					requests.Add(1)
+				}
+			}
+		}()
+	}
+	stop := func() {
+		stopDrive.Store(true)
+		wg.Wait()
+	}
+
+	// Clean warmup until the monitor has calibrated δ.
+	calDeadline := time.Now().Add(cfg.CalibrationTimeout)
+	for !mon.Summary().Calibrated {
+		if ctx.Err() != nil || time.Now().After(calDeadline) {
+			stop()
+			return nil, errors.New("continual: monitor never calibrated under clean traffic (raise the calibration timeout or shrink the baseline)")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Inject the shift and wait for the loop to close.
+	fromVersion := srv.Snapshot().Version
+	shiftTeed := mon.Teed()
+	shiftWall := time.Now()
+	shiftOn.Store(true)
+
+	adaptDeadline := shiftWall.Add(cfg.AdaptTimeout)
+	var adaptLatency time.Duration
+	closed := false
+	for !closed {
+		if ctx.Err() != nil || time.Now().After(adaptDeadline) {
+			break
+		}
+		if st := ctrl.ContinualState(); st.WindowsCompleted >= 1 {
+			adaptLatency = time.Since(shiftWall)
+			closed = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop()
+	driveDur := time.Since(driveStart)
+
+	// Pass 3: recovery on the adapted snapshot. Runs inside the controller's
+	// cooldown, so the assignment being scored cannot shift underneath it.
+	adapted := srv.Snapshot()
+	post := evalStream(ctx, srv, shifted, func(it serve.WorkItem) int {
+		if id, ok := adapted.AssignedExpert(it.Party); ok {
+			return id
+		}
+		return -1
+	})
+	if post.errs > 0 {
+		return nil, fmt.Errorf("continual: post-swap evaluation pass errored %d times", post.errs)
+	}
+
+	st := ctrl.ContinualState()
+	monCfg := cfg.Monitor // report resolved economy in the options block
+	a := &experiments.AdaptLiveArtifact{
+		Schema: experiments.AdaptLiveSchemaVersion,
+		Name:   experiments.AdaptLiveArtifactName,
+		Options: experiments.AdaptLiveOptions{
+			CheckpointWindows:    cp.WindowsDone,
+			Parties:              len(cp.Aggregator.Assignment),
+			SamplesPerParty:      cfg.SamplesPerParty,
+			TestPerParty:         cfg.TestPerParty,
+			Seed:                 cp.Seed,
+			Concurrency:          cfg.Concurrency,
+			ShiftKind:            cfg.Corruption.Kind.String(),
+			ShiftSeverity:        cfg.Corruption.Severity,
+			EvalEvery:            monCfg.EvalEvery,
+			BaselineSize:         monCfg.BaselineSize,
+			WindowSize:           monCfg.WindowSize,
+			Threshold:            monCfg.Threshold,
+			Resamples:            monCfg.Calibrate.Resamples,
+			Hysteresis:           st.Hysteresis,
+			CooldownMs:           st.CooldownSeconds * 1e3,
+			ValidationMinSamples: cfg.Controller.Validation.MinSamples,
+			ValidationDisabled:   cfg.Controller.Validation.Disabled,
+		},
+		Requests:           requests.Load(),
+		Errors:             errsN.Load(),
+		Rejected:           rejected.Load(),
+		DurationMs:         float64(driveDur.Microseconds()) / 1e3,
+		ShiftAtSample:      shiftTeed,
+		ExpertsBefore:      snapB.NumExperts(),
+		ExpertsAfter:       adapted.NumExperts(),
+		WindowsCompleted:   st.WindowsCompleted,
+		WindowsRolledBack:  st.WindowsRolledBack,
+		WindowsRejected:    st.WindowsRejected,
+		SwappedFromVersion: fromVersion,
+		SwappedToVersion:   adapted.Version,
+
+		EvalRequests:            frozen.requests + post.requests,
+		FrozenShiftedRouted:     frozen.routing(),
+		FrozenShiftedAccuracy:   frozen.accuracy(),
+		PostSwapShiftedRouted:   post.routing(),
+		PostSwapShiftedAccuracy: post.accuracy(),
+	}
+	if driveDur > 0 {
+		a.ThroughputPerSec = float64(a.Requests) / driveDur.Seconds()
+	}
+	if tr := st.LastTrigger; tr != nil && tr.TeedAt > shiftTeed {
+		a.Detected = true
+		a.DetectedAtSample = tr.TeedAt
+		a.DetectionLatencySamples = tr.TeedAt - shiftTeed
+		a.ScoreAtDetection = tr.Score
+	}
+	if w := st.LastWindow; w != nil {
+		a.WindowDurationMs = w.DurationMs
+		a.ShiftedParties = w.ShiftedParties
+		a.NewExperts = w.NewExperts
+		a.Merged = w.Merged
+		if v := w.Validation; v != nil {
+			a.ValidationSamples = v.Samples
+			a.ValidationBaselineMatched = v.BaselineMatched
+			a.ValidationCandidateMatched = v.CandidateMatched
+		}
+	}
+	if closed {
+		a.AdaptLatencyMs = float64(adaptLatency.Microseconds()) / 1e3
+	}
+	return a, nil
+}

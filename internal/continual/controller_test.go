@@ -1,0 +1,408 @@
+package continual
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/serve"
+	"repro/internal/service"
+	"repro/internal/shiftex"
+	"repro/internal/tensor"
+)
+
+const tinyCheckpoint = "../serve/testdata/checkpoint_tiny.json"
+
+func loadTiny(t *testing.T) (*service.Checkpoint, *serve.Snapshot) {
+	t.Helper()
+	cp, err := service.LoadCheckpoint(tinyCheckpoint)
+	if err != nil {
+		t.Fatalf("load checkpoint: %v", err)
+	}
+	snap, err := serve.SnapshotFromCheckpoint(cp)
+	if err != nil {
+		t.Fatalf("build snapshot: %v", err)
+	}
+	snap.Version = 1
+	return cp, snap
+}
+
+// fakeSource feeds the controller hand-crafted evaluations and sketches.
+type fakeSource struct {
+	ch chan monitor.Evaluation
+	sk *monitor.Sketches
+}
+
+func (f *fakeSource) Subscribe(int) <-chan monitor.Evaluation { return f.ch }
+func (f *fakeSource) Sketches() *monitor.Sketches             { return f.sk }
+
+// fakeTarget mimics serve.Server's swap contract: Version is stamped on
+// promotion, never before.
+type fakeTarget struct {
+	mu    sync.Mutex
+	snap  *serve.Snapshot
+	swaps int
+}
+
+func (f *fakeTarget) Snapshot() *serve.Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snap
+}
+
+func (f *fakeTarget) Swap(s *serve.Snapshot) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s.Version = f.snap.Version + 1
+	f.snap = s
+	f.swaps++
+	return nil
+}
+
+func (f *fakeTarget) swapCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.swaps
+}
+
+// fakeTrainer returns a canned candidate (or error); block, when non-nil,
+// holds AdaptWindow open so the test can queue coalescing evaluations.
+type fakeTrainer struct {
+	mu       sync.Mutex
+	cand     *Candidate
+	err      error
+	block    chan struct{}
+	windows  int
+	promotes int
+}
+
+func (f *fakeTrainer) AdaptWindow(*monitor.Sketches) (*Candidate, error) {
+	f.mu.Lock()
+	f.windows++
+	block, cand, err := f.block, f.cand, f.err
+	f.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	return cand, err
+}
+
+func (f *fakeTrainer) Promote(*Candidate) {
+	f.mu.Lock()
+	f.promotes++
+	f.mu.Unlock()
+}
+
+func (f *fakeTrainer) promoted() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.promotes
+}
+
+func (f *fakeTrainer) ran() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.windows
+}
+
+var errTrainBoom = errors.New("continual test: trainer boom")
+
+// fakeClock is a manually-advanced time source for cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func crossedEval(version, seq int) monitor.Evaluation {
+	return monitor.Evaluation{Seq: seq, TeedAt: uint64(seq) * 100, Score: 5, Crossed: true, SnapshotVersion: version}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// memorySample returns copies of the checkpoint's expert memories — live
+// embeddings the frozen snapshot matches at distance 0.
+func memorySample(cp *service.Checkpoint, n int) []tensor.Vector {
+	var out []tensor.Vector
+	for len(out) < n {
+		for _, e := range cp.Aggregator.Experts {
+			if e.Memory != nil {
+				out = append(out, e.Memory.Clone())
+			}
+		}
+	}
+	return out[:n]
+}
+
+func TestControllerHysteresisThenSwap(t *testing.T) {
+	cp, servingSnap := loadTiny(t)
+	candSnap, err := serve.SnapshotFromCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &fakeSource{ch: make(chan monitor.Evaluation, 16), sk: &monitor.Sketches{Recent: memorySample(cp, 4)}}
+	tgt := &fakeTarget{snap: servingSnap}
+	tr := &fakeTrainer{cand: &Candidate{Snapshot: candSnap, Report: &shiftex.WindowReport{Window: 3, NewExperts: 1, ExpertsAfter: 5}}}
+	ctrl, err := New(src, tgt, tr, Config{Hysteresis: 2, Cooldown: time.Hour, Validation: ValidationConfig{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	defer ctrl.Close()
+
+	// One crossed evaluation is noise, not a trigger.
+	src.ch <- crossedEval(1, 1)
+	waitFor(t, "first eval folded", func() bool { return ctrl.ContinualState().ConsecutiveCrossed == 1 })
+	if st := ctrl.ContinualState(); st.Triggers != 0 || st.Phase != PhaseIdle {
+		t.Fatalf("single crossing triggered: %+v", st)
+	}
+
+	// The second consecutive crossing arms the window.
+	src.ch <- crossedEval(1, 2)
+	waitFor(t, "window to complete", func() bool { return ctrl.ContinualState().WindowsCompleted == 1 })
+	st := ctrl.ContinualState()
+	if st.Triggers != 1 || st.Phase != PhaseCooldown {
+		t.Fatalf("post-window state: %+v", st)
+	}
+	if st.LastTrigger == nil || st.LastTrigger.Seq != 2 {
+		t.Fatalf("trigger record wrong: %+v", st.LastTrigger)
+	}
+	if st.LastWindow == nil || st.LastWindow.Outcome != OutcomeSwapped || st.LastWindow.SwappedVersion != 2 {
+		t.Fatalf("window record wrong: %+v", st.LastWindow)
+	}
+	if st.LastWindow.NewExperts != 1 || st.LastWindow.ExpertsAfter != 5 {
+		t.Fatalf("window report not carried: %+v", st.LastWindow)
+	}
+	if st.CooldownRemainingSeconds <= 0 {
+		t.Fatalf("cooldown remaining %.1fs, want positive", st.CooldownRemainingSeconds)
+	}
+	if tgt.swapCount() != 1 || tgt.Snapshot() != candSnap || tgt.Snapshot().Version != 2 {
+		t.Fatalf("candidate not swapped in (swaps=%d version=%d)", tgt.swapCount(), tgt.Snapshot().Version)
+	}
+	if tr.promoted() != 1 {
+		t.Fatalf("promote calls %d, want 1", tr.promoted())
+	}
+}
+
+func TestControllerResetsOnUncrossedAndStaleEvals(t *testing.T) {
+	cp, servingSnap := loadTiny(t)
+	src := &fakeSource{ch: make(chan monitor.Evaluation, 16), sk: &monitor.Sketches{Recent: memorySample(cp, 4)}}
+	tgt := &fakeTarget{snap: servingSnap}
+	tr := &fakeTrainer{cand: &Candidate{Snapshot: servingSnap, Report: &shiftex.WindowReport{}}}
+	ctrl, err := New(src, tgt, tr, Config{Hysteresis: 2, Cooldown: time.Hour, Validation: ValidationConfig{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	defer ctrl.Close()
+
+	// crossed / uncrossed / crossed: the gap resets the streak.
+	src.ch <- crossedEval(1, 1)
+	src.ch <- monitor.Evaluation{Seq: 2, Score: 0.1, SnapshotVersion: 1}
+	src.ch <- crossedEval(1, 3)
+	waitFor(t, "streak rebuilt", func() bool { return ctrl.ContinualState().ConsecutiveCrossed == 1 })
+	if st := ctrl.ContinualState(); st.Triggers != 0 {
+		t.Fatalf("non-consecutive crossings triggered: %+v", st)
+	}
+
+	// Evaluations scored against a retired snapshot version never count.
+	for seq := 10; seq < 15; seq++ {
+		src.ch <- crossedEval(99, seq)
+	}
+	waitFor(t, "stale evals drained", func() bool { return ctrl.ContinualState().ConsecutiveCrossed == 0 })
+	if st := ctrl.ContinualState(); st.Triggers != 0 || st.WindowsCompleted != 0 {
+		t.Fatalf("stale-version evaluations triggered: %+v", st)
+	}
+}
+
+func TestControllerRollsBackOnTrainerError(t *testing.T) {
+	cp, servingSnap := loadTiny(t)
+	src := &fakeSource{ch: make(chan monitor.Evaluation, 16), sk: &monitor.Sketches{Recent: memorySample(cp, 4)}}
+	tgt := &fakeTarget{snap: servingSnap}
+	tr := &fakeTrainer{err: errTrainBoom}
+	ctrl, err := New(src, tgt, tr, Config{Hysteresis: 1, Cooldown: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	defer ctrl.Close()
+
+	src.ch <- crossedEval(1, 1)
+	waitFor(t, "rollback recorded", func() bool { return ctrl.ContinualState().WindowsRolledBack == 1 })
+	st := ctrl.ContinualState()
+	if st.WindowsCompleted != 0 || tgt.swapCount() != 0 || tr.promoted() != 0 {
+		t.Fatalf("failed window leaked into serving: %+v swaps=%d", st, tgt.swapCount())
+	}
+	if tgt.Snapshot() != servingSnap {
+		t.Fatal("serving snapshot pointer changed on a rolled-back window")
+	}
+	if st.LastWindow == nil || st.LastWindow.Outcome != OutcomeRolledBack || !strings.Contains(st.LastWindow.Error, "boom") {
+		t.Fatalf("window record wrong: %+v", st.LastWindow)
+	}
+	if st.Phase != PhaseCooldown {
+		t.Fatalf("failed window must still cool down, phase %q", st.Phase)
+	}
+}
+
+func TestControllerRollsBackWithoutSketches(t *testing.T) {
+	_, servingSnap := loadTiny(t)
+	src := &fakeSource{ch: make(chan monitor.Evaluation, 16)} // Sketches() returns nil
+	tgt := &fakeTarget{snap: servingSnap}
+	tr := &fakeTrainer{}
+	ctrl, err := New(src, tgt, tr, Config{Hysteresis: 1, Cooldown: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	defer ctrl.Close()
+
+	src.ch <- crossedEval(1, 1)
+	waitFor(t, "rollback recorded", func() bool { return ctrl.ContinualState().WindowsRolledBack == 1 })
+	if tr.ran() != 0 {
+		t.Fatal("trainer ran without sketches")
+	}
+	if tgt.swapCount() != 0 {
+		t.Fatal("swap happened without sketches")
+	}
+}
+
+func TestControllerValidationRejectsRegressingCandidate(t *testing.T) {
+	cp, servingSnap := loadTiny(t)
+
+	// A candidate whose memories moved far from live traffic: every held-back
+	// embedding matches the serving snapshot (distance 0) and misses the
+	// candidate, so the gate must reject it.
+	st := cp.Aggregator
+	st.Experts = append([]shiftex.ExpertState(nil), st.Experts...)
+	for i := range st.Experts {
+		if st.Experts[i].Memory == nil {
+			continue
+		}
+		m := st.Experts[i].Memory.Clone()
+		for j := range m {
+			m[j] += 1e3
+		}
+		st.Experts[i].Memory = m
+	}
+	badSnap, err := serve.NewSnapshot(cp.Arch, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := &fakeSource{ch: make(chan monitor.Evaluation, 16), sk: &monitor.Sketches{Recent: memorySample(cp, 40)}}
+	tgt := &fakeTarget{snap: servingSnap}
+	tr := &fakeTrainer{cand: &Candidate{Snapshot: badSnap, Report: &shiftex.WindowReport{}}}
+	ctrl, err := New(src, tgt, tr, Config{Hysteresis: 1, Cooldown: time.Hour, Validation: ValidationConfig{MinSamples: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	defer ctrl.Close()
+
+	src.ch <- crossedEval(1, 1)
+	waitFor(t, "rejection recorded", func() bool { return ctrl.ContinualState().WindowsRejected == 1 })
+	st2 := ctrl.ContinualState()
+	if tgt.swapCount() != 0 || tr.promoted() != 0 {
+		t.Fatal("rejected candidate reached serving")
+	}
+	w := st2.LastWindow
+	if w == nil || w.Outcome != OutcomeRejected || w.Validation == nil {
+		t.Fatalf("window record wrong: %+v", w)
+	}
+	if w.Validation.BaselineMatched <= w.Validation.CandidateMatched {
+		t.Fatalf("validation numbers nonsensical: %+v", w.Validation)
+	}
+}
+
+func TestControllerCooldownSuppressesThenRearms(t *testing.T) {
+	cp, servingSnap := loadTiny(t)
+	candSnap, err := serve.SnapshotFromCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &fakeClock{t: time.Unix(1_000_000, 0)}
+	src := &fakeSource{ch: make(chan monitor.Evaluation, 16), sk: &monitor.Sketches{Recent: memorySample(cp, 4)}}
+	tgt := &fakeTarget{snap: servingSnap}
+	tr := &fakeTrainer{cand: &Candidate{Snapshot: candSnap, Report: &shiftex.WindowReport{}}}
+	ctrl, err := New(src, tgt, tr, Config{
+		Hysteresis: 1, Cooldown: time.Hour, Now: clock.Now,
+		Validation: ValidationConfig{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	defer ctrl.Close()
+
+	src.ch <- crossedEval(1, 1)
+	waitFor(t, "first window", func() bool { return ctrl.ContinualState().WindowsCompleted == 1 })
+
+	// A crossing inside the refractory period is suppressed, not trained on.
+	src.ch <- crossedEval(2, 2)
+	waitFor(t, "suppression", func() bool { return ctrl.ContinualState().TriggersSuppressed == 1 })
+	if st := ctrl.ContinualState(); st.WindowsCompleted != 1 || st.Phase != PhaseCooldown {
+		t.Fatalf("cooldown did not hold: %+v", st)
+	}
+
+	// Past the cooldown the controller re-arms.
+	clock.Advance(2 * time.Hour)
+	src.ch <- crossedEval(2, 3)
+	waitFor(t, "second window", func() bool { return ctrl.ContinualState().WindowsCompleted == 2 })
+	if tgt.Snapshot().Version != 3 {
+		t.Fatalf("second swap did not advance the version: %d", tgt.Snapshot().Version)
+	}
+}
+
+func TestControllerCoalescesTriggersDuringWindow(t *testing.T) {
+	cp, servingSnap := loadTiny(t)
+	candSnap, err := serve.SnapshotFromCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	src := &fakeSource{ch: make(chan monitor.Evaluation, 16), sk: &monitor.Sketches{Recent: memorySample(cp, 4)}}
+	tgt := &fakeTarget{snap: servingSnap}
+	tr := &fakeTrainer{cand: &Candidate{Snapshot: candSnap, Report: &shiftex.WindowReport{}}, block: block}
+	ctrl, err := New(src, tgt, tr, Config{Hysteresis: 1, Cooldown: time.Hour, Validation: ValidationConfig{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	defer ctrl.Close()
+
+	src.ch <- crossedEval(1, 1)
+	waitFor(t, "window in flight", func() bool { return ctrl.ContinualState().Phase == PhaseAdapting })
+
+	// Triggers arriving while the window runs coalesce into it.
+	src.ch <- crossedEval(1, 2)
+	src.ch <- crossedEval(1, 3)
+	close(block)
+	waitFor(t, "window done", func() bool { return ctrl.ContinualState().WindowsCompleted == 1 })
+	waitFor(t, "coalesced drained", func() bool { return ctrl.ContinualState().TriggersSuppressed == 2 })
+	if st := ctrl.ContinualState(); st.Triggers != 1 || tgt.swapCount() != 1 {
+		t.Fatalf("coalesced triggers started extra windows: %+v swaps=%d", st, tgt.swapCount())
+	}
+}

@@ -1,0 +1,119 @@
+package continual
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/monitor"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// StatsOptions tunes the sketch → PartyStats synthesis.
+type StatsOptions struct {
+	// MinExpertSamples is the minimum number of recent-window embeddings
+	// routed to a party's assigned expert before the party's statistics are
+	// attributed per-expert; below it the global recent window stands in
+	// (default 8). The global fallback matters: after a regime change most
+	// traffic stops matching and lands on the fallback expert, so the
+	// assigned experts' own sketches barely move — the shift lives in the
+	// global window.
+	MinExpertSamples int
+	// SampleCap bounds each party's embedding sample, newest kept (default
+	// 64 — the same cap the training-time detector applies).
+	SampleCap int
+}
+
+func (o StatsOptions) withDefaults() StatsOptions {
+	if o.MinExpertSamples <= 0 {
+		o.MinExpertSamples = 8
+	}
+	if o.SampleCap <= 0 {
+		o.SampleCap = 64
+	}
+	return o
+}
+
+// BuildPartyStats synthesizes the per-party Algorithm-1 statistics an
+// adaptation window consumes from the monitor's live sketches — the bridge
+// that lets production traffic stand in for a party fan-out.
+//
+// Scale compatibility is the load-bearing constraint: the checkpoint's
+// covariate threshold (DeltaCov) was calibrated at bootstrap from split-half
+// *kernel* MMD resamples, so the live MMD must be the same statistic on the
+// same embedding space — kernel MMD between the party's live sample and the
+// monitor's frozen no-shift baseline reservoir. Squared mean distance (the
+// monitor's own cheap score) lives on a different scale and would never
+// cross.
+//
+// Label shift is unobservable at serving time (requests carry no labels), so
+// JSD is zero and LabelHist echoes each party's training histogram: the
+// label-shift detector simply never fires on a live window.
+func BuildPartyStats(sk *monitor.Sketches, assignment map[int]int, hists []stats.Histogram, window int, opts StatsOptions) ([]detect.PartyStats, error) {
+	opts = opts.withDefaults()
+	if sk == nil || len(sk.Recent) == 0 {
+		return nil, errors.New("continual: sketches carry no recent embeddings")
+	}
+	if len(sk.Baseline) == 0 {
+		return nil, errors.New("continual: sketches carry no baseline reservoir (monitor not calibrated?)")
+	}
+	if len(assignment) == 0 {
+		return nil, errors.New("continual: no party assignment to attribute traffic by")
+	}
+
+	parties := make([]int, 0, len(assignment))
+	for p := range assignment {
+		parties = append(parties, p)
+	}
+	sort.Ints(parties)
+
+	global := capNewest(sk.Recent, opts.SampleCap)
+	globalMean, err := tensor.Mean(global)
+	if err != nil {
+		return nil, fmt.Errorf("continual: global recent mean: %w", err)
+	}
+	globalMMD, err := stats.MMDAuto(global, sk.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("continual: global live MMD: %w", err)
+	}
+
+	out := make([]detect.PartyStats, 0, len(parties))
+	for _, p := range parties {
+		sample, mean, mmd := global, globalMean, globalMMD
+		if own := sk.RecentForExpert(assignment[p]); len(own) >= opts.MinExpertSamples {
+			own = capNewest(own, opts.SampleCap)
+			m, err := tensor.Mean(own)
+			if err != nil {
+				return nil, fmt.Errorf("continual: party %d recent mean: %w", p, err)
+			}
+			d, err := stats.MMDAuto(own, sk.Baseline)
+			if err != nil {
+				return nil, fmt.Errorf("continual: party %d live MMD: %w", p, err)
+			}
+			sample, mean, mmd = own, m, d
+		}
+		st := detect.PartyStats{
+			PartyID:         p,
+			Window:          window,
+			MeanEmbedding:   mean,
+			EmbeddingSample: sample,
+			MMD:             mmd,
+			NumSamples:      len(sample),
+		}
+		if p < len(hists) {
+			st.LabelHist = hists[p]
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// capNewest keeps the newest n entries of a chronologically ordered slice.
+func capNewest(s []tensor.Vector, n int) []tensor.Vector {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}

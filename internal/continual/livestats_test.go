@@ -1,0 +1,103 @@
+package continual
+
+import (
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// sketchFixture builds a sketch export where expert 1's traffic sits at
+// shifted (high) coordinates while everything else matches the clean
+// baseline around 0.
+func sketchFixture(dim, baseline, perExpert int) *monitor.Sketches {
+	rng := tensor.NewRNG(11)
+	vec := func(mean float64) tensor.Vector {
+		v := make(tensor.Vector, dim)
+		for i := range v {
+			v[i] = rng.Norm()*0.1 + mean
+		}
+		return v
+	}
+	sk := &monitor.Sketches{}
+	for i := 0; i < baseline; i++ {
+		sk.Baseline = append(sk.Baseline, vec(0))
+	}
+	for i := 0; i < perExpert; i++ {
+		sk.Recent = append(sk.Recent, vec(0))
+		sk.RecentExperts = append(sk.RecentExperts, 0)
+		sk.Recent = append(sk.Recent, vec(6))
+		sk.RecentExperts = append(sk.RecentExperts, 1)
+	}
+	return sk
+}
+
+func TestBuildPartyStatsAttributesPerExpert(t *testing.T) {
+	sk := sketchFixture(4, 32, 16)
+	assignment := map[int]int{0: 0, 1: 1, 2: 7} // party 2's expert saw no traffic
+	hists := []stats.Histogram{{1, 0}, {0, 1}, {0.5, 0.5}}
+
+	ps, err := BuildPartyStats(sk, assignment, hists, 9, StatsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("got %d party stats, want 3", len(ps))
+	}
+	byParty := map[int]int{}
+	for i, p := range ps {
+		byParty[p.PartyID] = i
+		if p.Window != 9 {
+			t.Fatalf("party %d window %d, want 9", p.PartyID, p.Window)
+		}
+		if p.NumSamples != len(p.EmbeddingSample) || p.NumSamples == 0 {
+			t.Fatalf("party %d sample bookkeeping broken: %d vs %d", p.PartyID, p.NumSamples, len(p.EmbeddingSample))
+		}
+		if p.JSD != 0 {
+			t.Fatalf("live windows cannot observe label shift, JSD %g", p.JSD)
+		}
+	}
+
+	// Party 0's expert served clean traffic: tiny MMD against the baseline.
+	// Party 1's expert served shifted traffic: MMD far larger.
+	clean := ps[byParty[0]]
+	shifted := ps[byParty[1]]
+	if clean.MMD >= shifted.MMD {
+		t.Fatalf("per-expert attribution lost the shift: clean MMD %.4f vs shifted %.4f", clean.MMD, shifted.MMD)
+	}
+	if shifted.MeanEmbedding[0] < 3 {
+		t.Fatalf("shifted party mean %.2f not near the shifted regime", shifted.MeanEmbedding[0])
+	}
+
+	// Party 2's expert saw no traffic, so it inherits the global window —
+	// a mix of both regimes, mean strictly between them.
+	global := ps[byParty[2]]
+	if global.MeanEmbedding[0] < 1 || global.MeanEmbedding[0] > 5 {
+		t.Fatalf("global fallback mean %.2f not a clean/shifted mix", global.MeanEmbedding[0])
+	}
+	if global.LabelHist == nil || global.LabelHist[0] != 0.5 {
+		t.Fatalf("label hist not propagated: %v", global.LabelHist)
+	}
+}
+
+func TestBuildPartyStatsCapsAndErrors(t *testing.T) {
+	sk := sketchFixture(4, 32, 100)
+	ps, err := BuildPartyStats(sk, map[int]int{0: 0}, nil, 1, StatsOptions{SampleCap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].NumSamples != 10 {
+		t.Fatalf("sample cap not applied: %d", ps[0].NumSamples)
+	}
+
+	if _, err := BuildPartyStats(nil, map[int]int{0: 0}, nil, 1, StatsOptions{}); err == nil {
+		t.Fatal("nil sketches must error")
+	}
+	if _, err := BuildPartyStats(&monitor.Sketches{Recent: sk.Recent}, map[int]int{0: 0}, nil, 1, StatsOptions{}); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+	if _, err := BuildPartyStats(sk, nil, nil, 1, StatsOptions{}); err == nil {
+		t.Fatal("empty assignment must error")
+	}
+}

@@ -1,0 +1,234 @@
+package continual
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/adapt"
+	"repro/internal/dataset"
+	"repro/internal/federation"
+	"repro/internal/monitor"
+	"repro/internal/serve"
+	"repro/internal/service"
+	"repro/internal/shiftex"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// TrainerConfig tunes the serve-local trainer.
+type TrainerConfig struct {
+	// SamplesPerParty / TestPerParty reproduce the training run's scenario
+	// shape — the checkpoint pins seed and windows but not data shape;
+	// defaults match cmd/shiftex-aggregator's (120/60).
+	SamplesPerParty int
+	TestPerParty    int
+	// Stats tunes the sketch → PartyStats synthesis.
+	Stats StatsOptions
+	// LiveRadiusQuantile sets how much of the triggering live sample a
+	// window-created expert must accept: its acceptance radius is this
+	// quantile of the sample's squared distances to the expert's memory.
+	// The checkpoint's route radius is calibrated on window-mean
+	// signatures, whose spread is far tighter than single-request
+	// embeddings — without a per-request-scale radius the live expert's
+	// centroid memory would never match the very traffic it was built
+	// for. Default 0.95.
+	LiveRadiusQuantile float64
+}
+
+func (c TrainerConfig) withDefaults() TrainerConfig {
+	if c.SamplesPerParty <= 0 {
+		c.SamplesPerParty = 120
+	}
+	if c.TestPerParty <= 0 {
+		c.TestPerParty = 60
+	}
+	if c.LiveRadiusQuantile <= 0 || c.LiveRadiusQuantile > 1 {
+		c.LiveRadiusQuantile = 0.95
+	}
+	return c
+}
+
+// LocalTrainer runs adaptation windows in-process (serve-local mode): it
+// regenerates the checkpoint run's party fleet from the pinned seed, restores
+// the aggregator from the checkpoint state, and drives shiftex.AdaptWindow
+// with the live sketches standing in for the party statistics fan-out —
+// detection and expert placement come from production traffic, while the
+// federated training rounds run against the regenerated party data. After a
+// promoted window, the next window stacks on the adapted state, so repeated
+// regime changes accumulate experts exactly as the offline pipeline would.
+//
+// The trainer is not safe for concurrent use; the controller's run loop is
+// its only caller (one window in flight by construction).
+type LocalTrainer struct {
+	cp     *service.Checkpoint
+	cfg    TrainerConfig
+	fed    *federation.Federation
+	policy *adapt.Policy
+	widx   int // scenario window the fleet trains against (last adapted)
+
+	st          shiftex.State // current aggregator state; advances on Promote
+	liveWindows int           // promoted live windows since the checkpoint
+	// radii carries the calibrated acceptance radius of every promoted
+	// live-created expert (expert ID → squared-distance radius). Radii are
+	// a serving-layer overlay, not part of shiftex.State — they are stamped
+	// onto each candidate snapshot and re-merged on Promote, and are lost
+	// on a daemon restart (the next live window recalibrates them).
+	radii map[int]float64
+}
+
+var _ Trainer = (*LocalTrainer)(nil)
+
+// NewLocalTrainer builds the serve-local trainer for a checkpoint: the
+// scenario and federation are regenerated once and reused across windows.
+func NewLocalTrainer(cp *service.Checkpoint, cfg TrainerConfig) (*LocalTrainer, error) {
+	if cp == nil {
+		return nil, errors.New("continual: nil checkpoint")
+	}
+	cfg = cfg.withDefaults()
+	parties := len(cp.Aggregator.Assignment)
+	if parties == 0 {
+		return nil, errors.New("continual: checkpoint has no party assignments")
+	}
+	spec := service.ScenarioSpec(parties, cfg.SamplesPerParty, cfg.TestPerParty, cp.NumWindows)
+	sc, err := dataset.BuildScenario(spec, dataset.DefaultShiftConfig(), cp.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("continual: regenerate scenario: %w", err)
+	}
+	fed, err := federation.New(sc, cp.Arch, cp.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("continual: rebuild federation: %w", err)
+	}
+	policy, err := adapt.NewPolicy(cp.PolicyName())
+	if err != nil {
+		return nil, fmt.Errorf("continual: resolve policy: %w", err)
+	}
+	widx := cp.WindowsDone - 1
+	if widx >= len(sc.Windows) {
+		widx = len(sc.Windows) - 1
+	}
+	if widx < 0 {
+		widx = 0
+	}
+	return &LocalTrainer{
+		cp:     cp,
+		cfg:    cfg,
+		fed:    fed,
+		policy: policy,
+		widx:   widx,
+		st:     cp.Aggregator,
+	}, nil
+}
+
+// AdaptWindow implements Trainer: one full detect → calibrate → assign →
+// train → consolidate pass over the live sketches. The aggregator is
+// restored fresh from the current state each call, so a failed window leaves
+// no residue (shiftex's own atomic-window rollback covers mid-pipeline
+// errors inside the call).
+func (lt *LocalTrainer) AdaptWindow(sk *monitor.Sketches) (*Candidate, error) {
+	agg, err := shiftex.RestoreWithPolicy(lt.cp.Config, lt.policy, lt.st)
+	if err != nil {
+		return nil, fmt.Errorf("continual: restore aggregator: %w", err)
+	}
+	// AdaptWindow expects the caller to have positioned the fleet; the live
+	// window trains against the last adapted scenario window — the freshest
+	// party data the pinned seed can regenerate.
+	if err := lt.fed.SetWindow(lt.widx); err != nil {
+		return nil, fmt.Errorf("continual: position fleet: %w", err)
+	}
+	label := lt.cp.WindowsDone + lt.liveWindows
+	pstats, err := BuildPartyStats(sk, lt.st.Assignment, lt.fed.PartyHists(), label, lt.cfg.Stats)
+	if err != nil {
+		return nil, err
+	}
+	fleet := &shiftex.LiveStatsFleet{Fleet: lt.fed, Stats: pstats}
+	rep, err := agg.AdaptWindow(fleet, label)
+	if err != nil {
+		return nil, fmt.Errorf("continual: adaptation window: %w", err)
+	}
+	state := agg.ExportState()
+	snap, err := serve.NewSnapshot(lt.cp.Arch, state)
+	if err != nil {
+		return nil, fmt.Errorf("continual: build candidate snapshot: %w", err)
+	}
+	snap.WindowsDone = lt.cp.WindowsDone
+	snap.Seed = lt.cp.Seed
+	snap.Policy = lt.cp.PolicyName()
+
+	// Calibrate acceptance radii for the experts this window created from
+	// the very sample that triggered it, then stamp every known radius onto
+	// the candidate — the overlay must survive across snapshots or a later
+	// window's swap would silently strand earlier live experts.
+	radii := mergeRadii(lt.radii, liveRadii(state, lt.st, sk.Recent, lt.cfg.LiveRadiusQuantile))
+	for id, r := range radii {
+		snap.SetExpertRadius(id, r)
+	}
+	return &Candidate{Snapshot: snap, Report: rep, State: state, Radii: radii}, nil
+}
+
+// liveRadii calibrates an acceptance radius for each expert present in next
+// but not prev: every live embedding is attributed to its nearest new
+// expert's memory, and that expert's radius is the q-quantile of its
+// attributed squared distances. Experts that attract no embeddings get no
+// radius (they fall back to the shared route radius).
+func liveRadii(next shiftex.State, prev shiftex.State, recent []tensor.Vector, q float64) map[int]float64 {
+	old := make(map[int]bool, len(prev.Experts))
+	for _, e := range prev.Experts {
+		old[e.ID] = true
+	}
+	type newExpert struct {
+		id  int
+		mem tensor.Vector
+	}
+	var created []newExpert
+	for _, e := range next.Experts {
+		if !old[e.ID] && e.Memory != nil {
+			created = append(created, newExpert{e.ID, e.Memory})
+		}
+	}
+	if len(created) == 0 || len(recent) == 0 {
+		return nil
+	}
+	dists := make(map[int][]float64, len(created))
+	for _, emb := range recent {
+		bestID, bestD := -1, math.Inf(1)
+		for _, ne := range created {
+			if d := stats.MeanEmbeddingMMD(emb, ne.mem); d < bestD {
+				bestID, bestD = ne.id, d
+			}
+		}
+		if bestID >= 0 {
+			dists[bestID] = append(dists[bestID], bestD)
+		}
+	}
+	out := make(map[int]float64, len(dists))
+	for id, ds := range dists {
+		sort.Float64s(ds)
+		out[id] = ds[int(q*float64(len(ds)-1))]
+	}
+	return out
+}
+
+// mergeRadii overlays b onto a copy of a without mutating either.
+func mergeRadii(a, b map[int]float64) map[int]float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make(map[int]float64, len(a)+len(b))
+	for id, r := range a {
+		out[id] = r
+	}
+	for id, r := range b {
+		out[id] = r
+	}
+	return out
+}
+
+// Promote implements Trainer: a swapped candidate's state becomes the next
+// window's starting point, and its radius overlay the next window's base.
+func (lt *LocalTrainer) Promote(c *Candidate) {
+	lt.st = c.State
+	lt.radii = c.Radii
+	lt.liveWindows++
+}

@@ -1,0 +1,59 @@
+package continual
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/shiftex"
+	"repro/internal/tensor"
+)
+
+func TestLiveRadiiCalibration(t *testing.T) {
+	prev := shiftex.State{Experts: []shiftex.ExpertState{{ID: 0, Memory: tensor.Vector{0, 0}}}}
+	next := shiftex.State{Experts: []shiftex.ExpertState{
+		{ID: 0, Memory: tensor.Vector{0, 0}},
+		{ID: 5, Memory: tensor.Vector{10, 0}},
+	}}
+	// Live sample at increasing distance from the new expert's memory; the
+	// old expert must attract none of it (radii are only for new experts).
+	var recent []tensor.Vector
+	for i := 1; i <= 20; i++ {
+		recent = append(recent, tensor.Vector{10, float64(i)})
+	}
+
+	radii := liveRadii(next, prev, recent, 0.95)
+	if len(radii) != 1 {
+		t.Fatalf("radii for %d experts, want exactly the new one: %v", len(radii), radii)
+	}
+	r, ok := radii[5]
+	if !ok {
+		t.Fatalf("no radius for window-created expert 5: %v", radii)
+	}
+	// Squared distances are 1..400; the 0.95 quantile of the sorted sample
+	// (index 18 of 20) is 19² = 361.
+	if math.Abs(r-361) > 1e-9 {
+		t.Fatalf("radius %.1f, want 361 (0.95 quantile of squared distances)", r)
+	}
+
+	if got := liveRadii(prev, prev, recent, 0.95); got != nil {
+		t.Fatalf("no new experts must yield no radii: %v", got)
+	}
+	if got := liveRadii(next, prev, nil, 0.95); got != nil {
+		t.Fatalf("empty live sample must yield no radii: %v", got)
+	}
+}
+
+func TestMergeRadiiOverlaysWithoutMutation(t *testing.T) {
+	a := map[int]float64{1: 2, 2: 3}
+	b := map[int]float64{2: 7, 3: 9}
+	out := mergeRadii(a, b)
+	if out[1] != 2 || out[2] != 7 || out[3] != 9 {
+		t.Fatalf("merge wrong: %v", out)
+	}
+	if a[2] != 3 {
+		t.Fatal("merge mutated its input")
+	}
+	if mergeRadii(nil, nil) != nil {
+		t.Fatal("empty merge must stay nil")
+	}
+}

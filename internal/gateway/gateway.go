@@ -191,6 +191,12 @@ func (g *Gateway) ProbeAll() {
 					ds.Enabled && ds.Summary != nil && ds.Summary.Calibrated {
 					m.noteDrift(addr, ds.Summary.Score)
 				}
+				// Same contract for the continual-adaptation plane: a
+				// replica without a controller contributes nothing.
+				if as, err := g.fetchAdapt(context.Background(), addr); err == nil &&
+					as.Enabled && as.State != nil {
+					m.noteAdapt(addr, as.State.Phase, as.State.WindowsCompleted)
+				}
 				return struct{}{}, nil
 			})
 	}
@@ -375,6 +381,32 @@ func (g *Gateway) fetchDrift(ctx context.Context, addr string) (monitor.DriftSta
 		return ds, fmt.Errorf("bad drift state: %w", err)
 	}
 	return ds, nil
+}
+
+// fetchAdapt scrapes a replica's continual-adaptation controller state for
+// fleet aggregation.
+func (g *Gateway) fetchAdapt(ctx context.Context, addr string) (httpapi.ContinualDebugState, error) {
+	var as httpapi.ContinualDebugState
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/debug/adapt", nil)
+	if err != nil {
+		return as, err
+	}
+	res, err := g.client.Do(req)
+	if err != nil {
+		return as, err
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		return as, err
+	}
+	if res.StatusCode != http.StatusOK {
+		return as, fmt.Errorf("replica status %d: %s", res.StatusCode, bytes.TrimSpace(raw))
+	}
+	if err := json.Unmarshal(raw, &as); err != nil {
+		return as, fmt.Errorf("bad adapt state: %w", err)
+	}
+	return as, nil
 }
 
 // post issues one JSON POST to a replica path and returns status + body.

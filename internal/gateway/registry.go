@@ -43,6 +43,12 @@ type replica struct {
 	// that at least one scrape found a live, calibrated monitor.
 	driftScore float64
 	driftSeen  bool
+	// adaptPhase / adaptWindows mirror the replica's continual-adaptation
+	// controller, scraped best-effort from /v1/debug/adapt; adaptSeen marks
+	// that at least one scrape found a controller attached.
+	adaptPhase   string
+	adaptWindows uint64
+	adaptSeen    bool
 }
 
 func newRegistry(static map[string][]string, vnodes int) *registry {
@@ -154,6 +160,18 @@ func (m *model) noteDrift(addr string, score float64) {
 	}
 }
 
+// noteAdapt records a continual-adaptation scrape against addr. The probe
+// loop calls it only when the replica reports a controller attached.
+func (m *model) noteAdapt(addr, phase string, windows uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rep, ok := m.replicas[addr]; ok {
+		rep.adaptPhase = phase
+		rep.adaptWindows = windows
+		rep.adaptSeen = true
+	}
+}
+
 // noteFailure records a failed call or probe against addr. Once the
 // consecutive-failure count reaches evictAfter the replica leaves the
 // ring, and the key movement that causes is captured as the model's
@@ -197,7 +215,9 @@ func (m *model) state() httpapi.GatewayModelState {
 	reps := make([]httpapi.ReplicaInfo, 0, len(m.replicas))
 	healthy := 0
 	drifted := 0
+	adapting := 0
 	var driftSum, driftMax float64
+	var adaptWindows uint64
 	skew := false
 	for _, rep := range m.replicas {
 		if rep.healthy {
@@ -216,10 +236,19 @@ func (m *model) state() httpapi.GatewayModelState {
 					driftMax = rep.driftScore
 				}
 			}
+			if rep.adaptSeen {
+				adaptWindows += rep.adaptWindows
+				// Mid-window phases as continual.Controller reports them
+				// through httpapi.ContinualState.Phase.
+				if rep.adaptPhase == "adapting" || rep.adaptPhase == "validating" {
+					adapting++
+				}
+			}
 		}
 		reps = append(reps, httpapi.ReplicaInfo{
 			Addr: rep.addr, Healthy: rep.healthy, Snapshot: rep.snapshot, Failures: rep.failures,
 			DriftScore: rep.driftScore, DriftSeen: rep.driftSeen,
+			AdaptPhase: rep.adaptPhase, AdaptWindows: rep.adaptWindows, AdaptSeen: rep.adaptSeen,
 		})
 	}
 	sort.Slice(reps, func(i, j int) bool { return reps[i].Addr < reps[j].Addr })
@@ -240,6 +269,8 @@ func (m *model) state() httpapi.GatewayModelState {
 	if drifted > 0 {
 		st.DriftMean = driftSum / float64(drifted)
 	}
+	st.AdaptingReplicas = adapting
+	st.AdaptWindowsCompleted = adaptWindows
 	return st
 }
 

@@ -126,6 +126,13 @@ type ReplicaInfo struct {
 	// a genuine 0 score from a replica with no monitor or no scrape yet.
 	DriftScore float64 `json:"driftScore,omitempty"`
 	DriftSeen  bool    `json:"driftSeen,omitempty"`
+	// AdaptPhase is the replica's continual-adaptation phase scraped from
+	// /v1/debug/adapt ("" when no controller is attached or no scrape has
+	// landed yet — AdaptSeen distinguishes the two); AdaptWindows is its
+	// completed-window count.
+	AdaptPhase   string `json:"adaptPhase,omitempty"`
+	AdaptWindows uint64 `json:"adaptWindows,omitempty"`
+	AdaptSeen    bool   `json:"adaptSeen,omitempty"`
 }
 
 // ModelInfo is the GET /v1/models/{name} payload. A serve replica reports
@@ -183,6 +190,88 @@ type ServeState struct {
 	WindowsDone  int     `json:"windowsDone"`
 	Requests     uint64  `json:"requests"`
 	Inflight     int64   `json:"inflight"`
+	// Continual is the attached adaptation controller's state machine; nil
+	// when the replica serves a frozen snapshot (no controller).
+	Continual *ContinualState `json:"continual,omitempty"`
+}
+
+// ContinualState is the adaptation controller's state-machine view: the
+// /v1/state continual section, the payload of /v1/debug/adapt, and the
+// source of the shiftex_continual_* metric families.
+type ContinualState struct {
+	// Phase is "idle", "adapting", "validating", or "cooldown".
+	Phase           string `json:"phase"`
+	SnapshotVersion int    `json:"snapshotVersion"`
+	// ConsecutiveCrossed counts crossed drift evaluations since the last
+	// clean one; a window triggers when it reaches Hysteresis.
+	ConsecutiveCrossed int     `json:"consecutiveCrossed"`
+	Hysteresis         int     `json:"hysteresis"`
+	CooldownSeconds    float64 `json:"cooldownSeconds"`
+	// CooldownRemainingSeconds is > 0 only in the cooldown phase.
+	CooldownRemainingSeconds float64 `json:"cooldownRemainingSeconds,omitempty"`
+	// Triggers counts confirmed threshold crossings that started a window;
+	// TriggersSuppressed counts crossings coalesced away because a window
+	// was already in flight or cooldown was active.
+	Triggers           uint64 `json:"triggers"`
+	TriggersSuppressed uint64 `json:"triggersSuppressed"`
+	// WindowsCompleted counts adaptation windows that passed validation and
+	// swapped; WindowsRolledBack counts windows a stage failure rolled back;
+	// WindowsRejected counts windows the validation gate refused to promote.
+	WindowsCompleted  uint64            `json:"windowsCompleted"`
+	WindowsRolledBack uint64            `json:"windowsRolledBack"`
+	WindowsRejected   uint64            `json:"windowsRejected"`
+	LastTrigger       *ContinualTrigger `json:"lastTrigger,omitempty"`
+	LastWindow        *ContinualWindow  `json:"lastWindow,omitempty"`
+}
+
+// ContinualTrigger identifies the drift evaluation that last confirmed a
+// threshold crossing and started an adaptation window.
+type ContinualTrigger struct {
+	Seq             int     `json:"seq"`
+	Score           float64 `json:"score"`
+	TeedAt          uint64  `json:"teedAt"`
+	UnixNanos       int64   `json:"unixNanos"`
+	SnapshotVersion int     `json:"snapshotVersion"`
+}
+
+// ContinualWindow summarizes the most recent adaptation window attempt.
+type ContinualWindow struct {
+	Window           int     `json:"window"`
+	StartedUnixNanos int64   `json:"startedUnixNanos"`
+	DurationMs       float64 `json:"durationMs"`
+	ShiftedParties   int     `json:"shiftedParties"`
+	NewExperts       int     `json:"newExperts"`
+	Merged           int     `json:"merged"`
+	ExpertsAfter     int     `json:"expertsAfter"`
+	// Outcome is "swapped", "rejected" (validation gate refused promotion),
+	// or "rolled-back" (a stage failed; the aggregator restored its
+	// pre-window state and the serving snapshot was never touched).
+	Outcome        string               `json:"outcome"`
+	SwappedVersion int                  `json:"swappedVersion,omitempty"`
+	Error          string               `json:"error,omitempty"`
+	Validation     *ContinualValidation `json:"validation,omitempty"`
+}
+
+// ContinualValidation is the promotion gate's verdict: the candidate
+// snapshot's routing quality on held-back live embeddings versus the
+// currently serving snapshot's.
+type ContinualValidation struct {
+	Samples             int     `json:"samples"`
+	BaselineMatched     float64 `json:"baselineMatched"`
+	CandidateMatched    float64 `json:"candidateMatched"`
+	BaselineMeanMargin  float64 `json:"baselineMeanMargin"`
+	CandidateMeanMargin float64 `json:"candidateMeanMargin"`
+	Passed              bool    `json:"passed"`
+}
+
+// ContinualDebugState is the GET /v1/debug/adapt payload. Enabled false (with
+// State nil) means no controller is attached; the endpoint still answers 200
+// so probes can distinguish "closed loop off" from "replica down".
+type ContinualDebugState struct {
+	SchemaVersion int             `json:"schemaVersion"`
+	Model         string          `json:"model"`
+	Enabled       bool            `json:"enabled"`
+	State         *ContinualState `json:"state,omitempty"`
 }
 
 // GatewayModelState is one model's standing in the gateway's /v1/state.
@@ -200,6 +289,11 @@ type GatewayModelState struct {
 	// scraped count; both zero when none has).
 	DriftMax  float64 `json:"driftMax,omitempty"`
 	DriftMean float64 `json:"driftMean,omitempty"`
+	// AdaptingReplicas counts healthy replicas whose controller is mid
+	// window (adapting or validating); AdaptWindowsCompleted sums the
+	// fleet's completed adaptation windows.
+	AdaptingReplicas      int    `json:"adaptingReplicas,omitempty"`
+	AdaptWindowsCompleted uint64 `json:"adaptWindowsCompleted,omitempty"`
 	// Ring-affinity record of the last fleet shrink: of the keys tracked
 	// when a replica left the ring, how many stayed with their original
 	// owner. RetainedOfSurvivors counts only keys whose original owner is

@@ -241,10 +241,15 @@ type Monitor struct {
 	refMu    sync.Mutex // serializes SetReference's freelist (re)fill
 	allocDim int
 
-	flush    chan chan struct{}
-	stop     chan struct{}
-	done     chan struct{}
-	stopOnce sync.Once
+	subMu      sync.Mutex // guards subs against Subscribe/notify/close
+	subs       []chan Evaluation
+	subsClosed bool
+
+	flush     chan chan struct{}
+	sketchReq chan chan *Sketches
+	stop      chan struct{}
+	done      chan struct{}
+	stopOnce  sync.Once
 }
 
 // New starts a monitor. It is inert (Acquire returns nil, everything drops)
@@ -253,12 +258,13 @@ type Monitor struct {
 func New(cfg Config) *Monitor {
 	cfg = cfg.withDefaults()
 	m := &Monitor{
-		cfg:   cfg,
-		queue: make(chan *Block, cfg.QueueBlocks),
-		free:  make(chan *Block, cfg.QueueBlocks+16),
-		flush: make(chan chan struct{}, 4),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		cfg:       cfg,
+		queue:     make(chan *Block, cfg.QueueBlocks),
+		free:      make(chan *Block, cfg.QueueBlocks+16),
+		flush:     make(chan chan struct{}, 4),
+		sketchReq: make(chan chan *Sketches, 4),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	go m.run()
 	return m
@@ -347,10 +353,12 @@ func (m *Monitor) Flush() {
 	}
 }
 
-// Close stops the monitor goroutine, folding whatever is already queued.
+// Close stops the monitor goroutine, folding whatever is already queued, and
+// closes every evaluation subscription.
 func (m *Monitor) Close() {
 	m.stopOnce.Do(func() { close(m.stop) })
 	<-m.done
+	m.closeSubscribers()
 }
 
 // expertSketch is one expert's goroutine-owned online state.
@@ -379,11 +387,14 @@ type sketchState struct {
 	hitsSeeded   bool
 
 	// baseline is frozen once full; recent is a ring over the newest
-	// embeddings. Both own their storage (block buffers are recycled).
-	baseline    []tensor.Vector
-	recent      []tensor.Vector
-	recentPos   int
-	recentCount int
+	// embeddings, with recentExperts carrying the routed expert per slot
+	// (the sketch export needs it to attribute the live window). Both own
+	// their storage (block buffers are recycled).
+	baseline      []tensor.Vector
+	recent        []tensor.Vector
+	recentExperts []int32
+	recentPos     int
+	recentCount   int
 
 	delta      float64
 	calErr     string
@@ -402,14 +413,15 @@ type sketchState struct {
 
 func (m *Monitor) newState(ref *Reference) *sketchState {
 	st := &sketchState{
-		ref:          ref,
-		global:       stats.NewVecWelford(ref.Dim),
-		experts:      make(map[int]*expertSketch, len(ref.Experts)),
-		fallbackRate: stats.EWMA{Alpha: m.cfg.Alpha},
-		bypassShare:  stats.EWMA{Alpha: m.cfg.Alpha},
-		baseline:     make([]tensor.Vector, 0, m.cfg.BaselineSize),
-		recent:       make([]tensor.Vector, m.cfg.WindowSize),
-		rng:          tensor.NewRNG(m.cfg.Seed),
+		ref:           ref,
+		global:        stats.NewVecWelford(ref.Dim),
+		experts:       make(map[int]*expertSketch, len(ref.Experts)),
+		fallbackRate:  stats.EWMA{Alpha: m.cfg.Alpha},
+		bypassShare:   stats.EWMA{Alpha: m.cfg.Alpha},
+		baseline:      make([]tensor.Vector, 0, m.cfg.BaselineSize),
+		recent:        make([]tensor.Vector, m.cfg.WindowSize),
+		recentExperts: make([]int32, m.cfg.WindowSize),
+		rng:           tensor.NewRNG(m.cfg.Seed),
 	}
 	for _, e := range ref.Experts {
 		st.experts[e.ID] = &expertSketch{
@@ -435,17 +447,36 @@ func (m *Monitor) run() {
 		case b := <-m.queue:
 			st = m.fold(st, b)
 		case ack := <-m.flush:
-			st = m.drain(st)
+			st = m.syncRef(m.drain(st))
 			if st != nil && st.calibrated && st.recentCount > 0 {
 				m.evaluate(st)
 				m.publish(st)
 			}
 			close(ack)
+		case req := <-m.sketchReq:
+			st = m.syncRef(m.drain(st))
+			req <- m.export(st)
 		case <-m.stop:
 			m.drain(st)
 			return
 		}
 	}
+}
+
+// syncRef discards sketch state built against a retired reference. Folding
+// already does this lazily when the next block arrives; flushes and sketch
+// harvests must do it eagerly, or a harvest right after a swap would export
+// (and a flush would evaluate) sketches scored against the retired expert
+// pool — the continual controller's window input must never mix generations.
+func (m *Monitor) syncRef(st *sketchState) *sketchState {
+	cur := m.ref.Load()
+	if st == nil || cur == nil || st.ref.gen == cur.gen {
+		return st
+	}
+	carry := st.stale
+	st = m.newState(cur)
+	st.stale = carry
+	return st
 }
 
 // drain folds every block already queued, without blocking.
@@ -522,6 +553,7 @@ func (m *Monitor) fold(st *sketchState, b *Block) *sketchState {
 			}
 		} else {
 			copy(st.recent[st.recentPos], emb)
+			st.recentExperts[st.recentPos] = b.experts[i]
 			st.recentPos = (st.recentPos + 1) % len(st.recent)
 			if st.recentCount < len(st.recent) {
 				st.recentCount++
@@ -615,6 +647,7 @@ func (m *Monitor) evaluate(st *sketchState) {
 		m.evals = m.evals[len(m.evals)-m.cfg.HistoryLen:]
 	}
 	m.mu.Unlock()
+	m.notifySubscribers(ev)
 }
 
 // publish snapshots the sketches into an immutable Summary for readers.

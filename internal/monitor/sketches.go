@@ -1,0 +1,206 @@
+package monitor
+
+import (
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// This file is the monitor's adaptation-facing surface: a push subscription
+// over drift evaluations and a pull export of the live sketches. Both exist
+// for internal/continual — the controller subscribes to evaluations to decide
+// *when* to adapt, then harvests the sketches to build the window statistics
+// the adaptation pipeline consumes — but neither knows about the controller:
+// monitor stays importable by serve and gateway without cycles.
+
+// ExpertSketch is one expert's exported live state: the streaming mean and
+// variance of the embeddings routed to it since the current reference was
+// installed, next to the latent memory those requests were matched against.
+type ExpertSketch struct {
+	ID       int           `json:"id"`
+	Samples  int           `json:"samples"`
+	Mean     tensor.Vector `json:"mean,omitempty"`
+	Variance tensor.Vector `json:"variance,omitempty"`
+	Memory   tensor.Vector `json:"memory,omitempty"`
+	// Score is MeanEmbeddingMMD(Mean, Memory)/RouteEpsilon — the same
+	// normalized per-expert drift statistic evaluations report.
+	Score float64 `json:"score"`
+}
+
+// Sketches is a point-in-time deep copy of the monitor goroutine's sketch
+// state, harvested on request via the run loop (so it is internally
+// consistent: no sample is half-folded). Recent holds the sliding window of
+// the newest embeddings, oldest first; RecentExperts carries the expert each
+// of those requests was routed to, aligned index-for-index.
+type Sketches struct {
+	SnapshotVersion int     `json:"snapshotVersion"`
+	Samples         uint64  `json:"samples"`
+	TeedAt          uint64  `json:"teedAt"`
+	Calibrated      bool    `json:"calibrated"`
+	Delta           float64 `json:"delta"`
+	Epsilon         float64 `json:"epsilon"`
+	RouteEpsilon    float64 `json:"routeEpsilon"`
+
+	// Baseline is the frozen no-shift reservoir δ was calibrated on; live
+	// samples are scored against it with the same statistic family the
+	// training-time thresholds were calibrated with, so the two stay
+	// comparable.
+	Baseline      []tensor.Vector `json:"-"`
+	Recent        []tensor.Vector `json:"-"`
+	RecentExperts []int           `json:"-"`
+
+	Experts       []ExpertSketch `json:"experts,omitempty"`
+	MarginBuckets []uint64       `json:"marginBuckets,omitempty"`
+	MarginMean    float64        `json:"marginMean"`
+}
+
+// RecentMean returns the mean of the recent-window embeddings, or nil when
+// the window is empty.
+func (s *Sketches) RecentMean() tensor.Vector {
+	if len(s.Recent) == 0 {
+		return nil
+	}
+	m, err := tensor.Mean(s.Recent)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+// RecentForExpert returns the recent-window embeddings routed to the given
+// expert, sharing the export's (already copied) storage.
+func (s *Sketches) RecentForExpert(id int) []tensor.Vector {
+	var out []tensor.Vector
+	for i, e := range s.RecentExperts {
+		if e == id {
+			out = append(out, s.Recent[i])
+		}
+	}
+	return out
+}
+
+// Subscribe registers a buffered evaluation feed: every drift evaluation the
+// monitor produces is delivered to the returned channel, newest dropped when
+// the subscriber lags (the monitor never blocks on a slow consumer —
+// coalescing triggers is the subscriber's job, stalling the fold loop is not
+// an option). The channel is closed when the monitor closes. buf <= 0 selects
+// a default of 16.
+func (m *Monitor) Subscribe(buf int) <-chan Evaluation {
+	if buf <= 0 {
+		buf = 16
+	}
+	ch := make(chan Evaluation, buf)
+	m.subMu.Lock()
+	if m.subsClosed {
+		close(ch)
+	} else {
+		m.subs = append(m.subs, ch)
+	}
+	m.subMu.Unlock()
+	return ch
+}
+
+// notifySubscribers fans an evaluation out to every subscriber without
+// blocking; lagging subscribers lose the oldest notification.
+func (m *Monitor) notifySubscribers(ev Evaluation) {
+	m.subMu.Lock()
+	for _, ch := range m.subs {
+		select {
+		case ch <- ev:
+		default:
+			select {
+			case <-ch: // evict oldest, then retry once
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+	m.subMu.Unlock()
+}
+
+// closeSubscribers closes every subscription channel; called exactly once
+// after the run goroutine has exited.
+func (m *Monitor) closeSubscribers() {
+	m.subMu.Lock()
+	m.subsClosed = true
+	for _, ch := range m.subs {
+		close(ch)
+	}
+	m.subs = nil
+	m.subMu.Unlock()
+}
+
+// Sketches drains the queue and returns a deep copy of the current sketch
+// state, or nil when no reference is installed, nothing has been folded yet,
+// or the monitor is closed.
+func (m *Monitor) Sketches() *Sketches {
+	req := make(chan *Sketches, 1)
+	select {
+	case m.sketchReq <- req:
+		select {
+		case s := <-req:
+			return s
+		case <-m.done:
+			return nil
+		}
+	case <-m.done:
+		return nil
+	}
+}
+
+// export builds the deep-copied sketch view; runs on the monitor goroutine.
+func (m *Monitor) export(st *sketchState) *Sketches {
+	if st == nil {
+		return nil
+	}
+	out := &Sketches{
+		SnapshotVersion: st.ref.SnapshotVersion,
+		Samples:         st.folded,
+		TeedAt:          st.teedMark,
+		Calibrated:      st.calibrated,
+		Delta:           st.delta,
+		Epsilon:         st.ref.Epsilon,
+		RouteEpsilon:    st.ref.RouteEpsilon,
+		MarginBuckets:   append([]uint64(nil), st.marginHist[:]...),
+	}
+	if st.marginCount > 0 {
+		out.MarginMean = st.marginSum / float64(st.marginCount)
+	}
+	out.Baseline = make([]tensor.Vector, len(st.baseline))
+	for i, b := range st.baseline {
+		out.Baseline[i] = append(tensor.Vector(nil), b...)
+	}
+	// Recent ring → chronological slice (oldest first). recentPos points at
+	// the slot the next sample will overwrite, i.e. the oldest entry once
+	// the ring has wrapped.
+	n := st.recentCount
+	out.Recent = make([]tensor.Vector, 0, n)
+	out.RecentExperts = make([]int, 0, n)
+	start := 0
+	if n == len(st.recent) {
+		start = st.recentPos
+	}
+	for i := 0; i < n; i++ {
+		j := (start + i) % len(st.recent)
+		out.Recent = append(out.Recent, append(tensor.Vector(nil), st.recent[j]...))
+		out.RecentExperts = append(out.RecentExperts, int(st.recentExperts[j]))
+	}
+	for _, id := range st.order {
+		es := st.experts[id]
+		sk := ExpertSketch{ID: id, Samples: es.w.N()}
+		if es.memory != nil {
+			sk.Memory = es.memory.Clone()
+		}
+		if es.w.N() > 0 {
+			sk.Mean = append(tensor.Vector(nil), es.w.MeanInto(es.mean)...)
+			sk.Variance = es.w.Variance()
+			if es.memory != nil {
+				sk.Score = stats.MeanEmbeddingMMD(sk.Mean, es.memory) / st.ref.RouteEpsilon
+			}
+		}
+		out.Experts = append(out.Experts, sk)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+func TestSubscribeDeliversEvaluations(t *testing.T) {
+	m := New(testConfig())
+	m.SetReference(testReference(8))
+	ch := m.Subscribe(16)
+
+	rng := tensor.NewRNG(42)
+	feed(t, m, rng, 3, 0.1, 200, 2, true)
+
+	var got []Evaluation
+	deadline := time.After(2 * time.Second)
+	want := m.Summary().Evals
+	for len(got) < int(want) {
+		select {
+		case ev := <-ch:
+			got = append(got, ev)
+		case <-deadline:
+			t.Fatalf("received %d evaluations, monitor ran %d", len(got), want)
+		}
+	}
+	for i, ev := range got {
+		if ev.SnapshotVersion != 1 {
+			t.Fatalf("eval %d carries snapshot version %d", i, ev.SnapshotVersion)
+		}
+		if i > 0 && ev.Seq <= got[i-1].Seq {
+			t.Fatalf("evaluation feed out of order: %d then %d", got[i-1].Seq, ev.Seq)
+		}
+	}
+
+	// Close must close every subscription channel (the controller's run loop
+	// exits on it).
+	m.Close()
+	select {
+	case _, open := <-ch:
+		if open {
+			return // drained a buffered eval; channel closes after
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscription channel not closed on monitor close")
+	}
+}
+
+func TestSubscribeAfterCloseYieldsClosedChannel(t *testing.T) {
+	m := New(testConfig())
+	m.Close()
+	ch := m.Subscribe(1)
+	if _, open := <-ch; open {
+		t.Fatal("subscription on a closed monitor must be closed")
+	}
+}
+
+func TestSketchesExport(t *testing.T) {
+	m := New(testConfig())
+	defer m.Close()
+	if m.Sketches() != nil {
+		t.Fatal("sketches before a reference must be nil")
+	}
+	m.SetReference(testReference(8))
+
+	rng := tensor.NewRNG(42)
+	feed(t, m, rng, 3, 0.1, 200, 2, true)
+
+	sk := m.Sketches()
+	if sk == nil {
+		t.Fatal("no sketches after folding samples")
+	}
+	if sk.SnapshotVersion != 1 || sk.Samples != 200 {
+		t.Fatalf("export header wrong: %+v", sk)
+	}
+	if !sk.Calibrated || len(sk.Baseline) == 0 {
+		t.Fatalf("baseline/calibration not exported: calibrated=%v baseline=%d", sk.Calibrated, len(sk.Baseline))
+	}
+	if len(sk.Recent) != 32 || len(sk.RecentExperts) != len(sk.Recent) {
+		t.Fatalf("recent window export wrong: %d embeddings, %d tags", len(sk.Recent), len(sk.RecentExperts))
+	}
+	for i, id := range sk.RecentExperts {
+		if id != 2 {
+			t.Fatalf("recent tag %d routed to expert %d, want 2", i, id)
+		}
+	}
+	if got := len(sk.RecentForExpert(2)); got != len(sk.Recent) {
+		t.Fatalf("RecentForExpert(2) returned %d of %d", got, len(sk.Recent))
+	}
+	if sk.RecentForExpert(0) != nil {
+		t.Fatal("expert 0 saw no traffic but has recent embeddings")
+	}
+	if mean := sk.RecentMean(); mean == nil || mean[0] < 2 || mean[0] > 4 {
+		t.Fatalf("recent mean off: %v", mean)
+	}
+
+	// The export is a deep copy: scribbling on it must not leak back into
+	// the monitor's live state.
+	for i := range sk.Recent {
+		sk.Recent[i][0] = 1e9
+	}
+	sk.Baseline[0][0] = 1e9
+	again := m.Sketches()
+	if again.Recent[0][0] == 1e9 || again.Baseline[0][0] == 1e9 {
+		t.Fatal("sketch export shares storage with the monitor")
+	}
+}
+
+// TestSketchesRebaselineAfterSwap is the re-baselining contract behind the
+// continual controller's promotion: serve.Swap calls SetReference with the
+// new snapshot, and the sketches — baseline reservoir, recent window, expert
+// attribution — must restart from zero so a handled shift stops scoring as
+// drift against the retired expert pool.
+func TestSketchesRebaselineAfterSwap(t *testing.T) {
+	m := New(testConfig())
+	defer m.Close()
+	m.SetReference(testReference(8))
+	rng := tensor.NewRNG(42)
+	feed(t, m, rng, 3, 0.1, 200, 2, true)
+	before := m.Sketches()
+	if len(before.Baseline) == 0 || !before.Calibrated {
+		t.Fatalf("precondition: monitor not calibrated: %+v", before)
+	}
+
+	next := testReference(8)
+	next.SnapshotVersion = 2
+	m.SetReference(next)
+	m.Flush() // SetReference applies on the run loop; serialize before reading
+
+	after := m.Sketches()
+	if after != nil && (after.SnapshotVersion != 2 || len(after.Baseline) != 0 || len(after.Recent) != 0 || after.Calibrated) {
+		t.Fatalf("sketches survived the swap: %+v", after)
+	}
+
+	// And the new regime's traffic rebuilds them against the new reference.
+	feed(t, m, rng, 3, 0.1, 120, 2, true)
+	rebuilt := m.Sketches()
+	if rebuilt == nil || rebuilt.SnapshotVersion != 2 || rebuilt.Samples != 120 {
+		t.Fatalf("sketches not rebuilt on the new reference: %+v", rebuilt)
+	}
+	if len(rebuilt.Baseline) == 0 || !rebuilt.Calibrated {
+		t.Fatalf("baseline not re-collected after swap: %+v", rebuilt)
+	}
+}

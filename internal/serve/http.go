@@ -24,6 +24,7 @@ import (
 //	GET  /v1/healthz        liveness (always 200 while serving)
 //	GET  /v1/metrics        Prometheus text (shared JSON schema with ?format=json)
 //	GET  /v1/debug/drift    drift monitor summary + recent evaluations (?n=, ?expert=)
+//	GET  /v1/debug/adapt    continual adaptation controller state (200 with enabled:false when detached)
 //
 // The pre-versioning routes (/predict /snapshot /healthz /metrics) stay
 // reachable as deprecated aliases carrying a Deprecation header; unknown
@@ -43,6 +44,7 @@ func (s *Server) Handler() http.Handler {
 	api.Handle("/v1/metrics", s.handleMetrics)
 	api.Handle("/v1/debug/traces", telemetry.TracesHandler(s.cfg.Tracer).ServeHTTP)
 	api.Handle("/v1/debug/drift", monitor.Handler(s.cfg.Model, s.cfg.Monitor))
+	api.Handle("/v1/debug/adapt", s.handleDebugAdapt)
 	api.Deprecated("/predict", "/v1/predict", s.handlePredict)
 	api.Deprecated("/snapshot", "/v1/snapshot", s.handleSnapshot)
 	api.Deprecated("/healthz", "/v1/healthz", s.handleHealthz)
@@ -196,22 +198,43 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
 	snap := s.Snapshot()
 	m := s.metrics.Snapshot()
+	ss := &httpapi.ServeState{
+		Model:        s.cfg.Model,
+		Snapshot:     snap.Version,
+		Experts:      snap.NumExperts(),
+		Epsilon:      snap.Epsilon,
+		RouteEpsilon: snap.RouteEpsilon(),
+		WindowsDone:  snap.WindowsDone,
+		Requests:     m.Requests,
+		Inflight:     m.Inflight,
+	}
+	if rep := s.Adaptation(); rep != nil {
+		ss.Continual = rep.ContinualState()
+	}
 	httpapi.WriteJSON(w, http.StatusOK, httpapi.State{
 		SchemaVersion: httpapi.SchemaVersion,
 		Daemon:        "serve",
 		Status:        "ok",
 		UptimeSeconds: m.UptimeSeconds,
-		Serve: &httpapi.ServeState{
-			Model:        s.cfg.Model,
-			Snapshot:     snap.Version,
-			Experts:      snap.NumExperts(),
-			Epsilon:      snap.Epsilon,
-			RouteEpsilon: snap.RouteEpsilon(),
-			WindowsDone:  snap.WindowsDone,
-			Requests:     m.Requests,
-			Inflight:     m.Inflight,
-		},
+		Serve:         ss,
 	})
+}
+
+// handleDebugAdapt answers GET /v1/debug/adapt with the attached continual
+// controller's state machine. Like /v1/debug/drift, a replica without the
+// closed loop still answers 200 (enabled false), so probes can tell
+// "adaptation off" from "replica down".
+func (s *Server) handleDebugAdapt(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpapi.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	out := httpapi.ContinualDebugState{SchemaVersion: httpapi.SchemaVersion, Model: s.cfg.Model}
+	if rep := s.Adaptation(); rep != nil {
+		out.Enabled = true
+		out.State = rep.ContinualState()
+	}
+	httpapi.WriteJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -325,6 +348,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if len(sum.MarginBuckets) > 0 {
 			b.Histogram("shiftex_monitor_margin", "Match margin per routed sample: best-signature squared distance over the effective radius (≤1 matched inside the radius).", monitor.MarginBounds(), sum.MarginBuckets, sum.MarginSum)
 		}
+	}
+	if rep := s.Adaptation(); rep != nil {
+		cs := rep.ContinualState()
+		phases := [...]string{"idle", "adapting", "validating", "cooldown"}
+		phSamples := make([]httpapi.Sample, len(phases))
+		for i, ph := range phases {
+			v := 0.0
+			if cs.Phase == ph {
+				v = 1
+			}
+			phSamples[i] = httpapi.Sample{Labels: fmt.Sprintf("phase=%q", ph), Value: v}
+		}
+		b.GaugeVec("shiftex_continual_phase", "Adaptation controller state machine (exactly one phase is 1).", phSamples...).
+			Gauge("shiftex_continual_consecutive_crossed", "Crossed drift evaluations since the last clean one (a window triggers at the hysteresis count).", float64(cs.ConsecutiveCrossed)).
+			Gauge("shiftex_continual_cooldown_remaining_seconds", "Seconds until the controller honors crossings again (0 outside cooldown).", cs.CooldownRemainingSeconds).
+			CounterVec("shiftex_continual_triggers_total", "Confirmed drift crossings, by disposition (fired = started a window; suppressed = coalesced into an in-flight window or cooldown).",
+				httpapi.Sample{Labels: `disposition="fired"`, Value: float64(cs.Triggers)},
+				httpapi.Sample{Labels: `disposition="suppressed"`, Value: float64(cs.TriggersSuppressed)}).
+			CounterVec("shiftex_continual_windows_total", "Live adaptation windows, by outcome.",
+				httpapi.Sample{Labels: `outcome="completed"`, Value: float64(cs.WindowsCompleted)},
+				httpapi.Sample{Labels: `outcome="rolled_back"`, Value: float64(cs.WindowsRolledBack)},
+				httpapi.Sample{Labels: `outcome="rejected"`, Value: float64(cs.WindowsRejected)})
 	}
 	b.ServeMetrics(w, r)
 }

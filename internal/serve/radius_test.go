@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/shiftex"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// radiusFixture builds a snapshot from the tiny checkpoint with two experts'
+// memories pinned to known positions so matching geometry is exact: expert
+// "near" at the origin, expert "wide" at (10, 0, ..., 0).
+func radiusFixture(t *testing.T) (*Snapshot, int, int, tensor.Vector, tensor.Vector) {
+	t.Helper()
+	cp, _ := loadTiny(t)
+	st := cp.Aggregator
+	st.Experts = append([]shiftex.ExpertState(nil), st.Experts...)
+	if len(st.Experts) < 2 {
+		t.Fatal("fixture needs at least two experts")
+	}
+	dim := len(st.Experts[0].Memory)
+	nearMem := make(tensor.Vector, dim)
+	wideMem := make(tensor.Vector, dim)
+	wideMem[0] = 10
+	st.Experts[0].Memory = nearMem
+	st.Experts[1].Memory = wideMem
+	for i := 2; i < len(st.Experts); i++ {
+		far := make(tensor.Vector, dim)
+		far[0] = -1000 // out of every test's way
+		st.Experts[i].Memory = far
+	}
+	snap, err := NewSnapshot(cp.Arch, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, st.Experts[0].ID, st.Experts[1].ID, nearMem, wideMem
+}
+
+func TestSetExpertRadiusWidensAcceptance(t *testing.T) {
+	snap, nearID, wideID, _, wideMem := radiusFixture(t)
+
+	// A probe at squared distance 4 from the wide expert, far from the near
+	// one: under eps=1 nothing matches.
+	probe := wideMem.Clone()
+	probe[0] += 2
+	if id, _, ok := snap.MatchEmbedding(probe, 1); ok {
+		t.Fatalf("matched expert %d under eps=1 without a radius", id)
+	}
+
+	if snap.SetExpertRadius(wideID, -1) {
+		t.Fatal("non-positive radius accepted")
+	}
+	if snap.SetExpertRadius(99999, 5) {
+		t.Fatal("unknown expert accepted")
+	}
+	if !snap.SetExpertRadius(wideID, 5) {
+		t.Fatal("radius rejected for a known expert")
+	}
+	if got := snap.ExpertRadius(wideID); got != 5 {
+		t.Fatalf("ExpertRadius %g, want 5", got)
+	}
+	if got := snap.ExpertRadius(nearID); got != 0 {
+		t.Fatalf("near expert grew a radius: %g", got)
+	}
+
+	id, dist, ok := snap.MatchEmbedding(probe, 1)
+	if !ok || id != wideID {
+		t.Fatalf("radius override did not admit: id=%d ok=%v", id, ok)
+	}
+	if d := stats.MeanEmbeddingMMD(probe, wideMem); dist != d {
+		t.Fatalf("matched dist %g, want the matched expert's %g", dist, d)
+	}
+}
+
+// TestRadiusAdmissibilityBeatsNearestWins pins the semantics change that
+// per-expert radii force: the globally nearest memory failing its own
+// acceptance threshold must not shadow a farther expert whose calibrated
+// radius admits the request. Nearest-then-threshold (the pre-radius
+// algorithm) would send this probe to the fallback.
+func TestRadiusAdmissibilityBeatsNearestWins(t *testing.T) {
+	snap, _, wideID, nearMem, _ := radiusFixture(t)
+	if !snap.SetExpertRadius(wideID, 50) {
+		t.Fatal("radius rejected")
+	}
+
+	// Probe at squared distance 9 from near (inadmissible under eps=1) and
+	// 49 from wide (admissible under its radius 50).
+	probe := nearMem.Clone()
+	probe[0] += 3
+	id, _, ok := snap.MatchEmbedding(probe, 1)
+	if !ok || id != wideID {
+		t.Fatalf("admissible wide-radius expert lost to inadmissible nearest: id=%d ok=%v", id, ok)
+	}
+}
+
+func TestRadiusFallbackKeepsNearestDistance(t *testing.T) {
+	snap, _, _, nearMem, _ := radiusFixture(t)
+	probe := nearMem.Clone()
+	probe[0] += 3 // squared distance 9 from the nearest memory
+	_, dist, ok := snap.MatchEmbedding(probe, 1)
+	if ok {
+		t.Fatal("probe outside every radius matched")
+	}
+	if dist != 9 {
+		t.Fatalf("fallback dist %g, want nearest-overall 9 (monitor margin semantics)", dist)
+	}
+}

@@ -198,6 +198,36 @@ type Server struct {
 	batches chan batchMsg
 	workers sync.WaitGroup
 	drained chan struct{} // closed once every worker has exited
+
+	// adaptMu guards the attached adaptation reporter: the continual
+	// controller attaches itself after construction (serve cannot import
+	// continual — the controller imports serve to drive Swap), and the
+	// /v1/state, /v1/metrics, and /v1/debug/adapt handlers read it.
+	adaptMu  sync.RWMutex
+	adaptRep AdaptReporter
+}
+
+// AdaptReporter is the server's view of an attached continual adaptation
+// controller: the state-machine snapshot rendered into /v1/state, the
+// shiftex_continual_* metric families, and /v1/debug/adapt. Implemented by
+// *continual.Controller.
+type AdaptReporter interface {
+	ContinualState() *httpapi.ContinualState
+}
+
+// AttachAdaptation installs (or, with nil, detaches) the continual
+// adaptation controller's reporter. Safe for concurrent use with handlers.
+func (s *Server) AttachAdaptation(rep AdaptReporter) {
+	s.adaptMu.Lock()
+	s.adaptRep = rep
+	s.adaptMu.Unlock()
+}
+
+// Adaptation returns the attached adaptation reporter, or nil.
+func (s *Server) Adaptation() AdaptReporter {
+	s.adaptMu.RLock()
+	defer s.adaptMu.RUnlock()
+	return s.adaptRep
 }
 
 // NewServer starts a serving pipeline over the given snapshot. The

@@ -21,6 +21,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/service"
 	"repro/internal/shiftex"
+	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
@@ -62,6 +63,15 @@ type Snapshot struct {
 	experts  []Expert
 	byID     map[int]int     // expert ID -> index into experts
 	memories []tensor.Vector // parallel to experts, nil where signature-less
+	// radii is a per-expert acceptance-radius override, parallel to experts
+	// (nil when no expert carries one; zero entries fall back to the shared
+	// effective radius). Live-created experts need it: their memories are
+	// centroids of single-request embeddings, whose spread around the
+	// centroid is far wider than the window-mean spread ε was calibrated
+	// on, so the continual trainer stamps each new expert with a radius
+	// calibrated from the live sample itself (SetExpertRadius). An override
+	// only ever widens acceptance — matching uses max(routeEps, radius).
+	radii    []float64
 	encoder  *nn.MLP
 	fallback int // index of the global fallback expert (lowest ID)
 	// routeEps is the effective match threshold Route compares against:
@@ -221,22 +231,90 @@ func (s *Snapshot) Route(ws *nn.Workspace, x tensor.Vector) (idx int, matched bo
 // matchSignature resolves an already-computed embedding signature to a
 // serving expert: the matching half of Route, shared with the worker pool's
 // batched routing path (which embeds a whole batch in one GEMM and then
-// matches row by row). dist is the best squared signature distance — the
-// match margin the drift monitor compares against the effective radius
-// (+Inf when no expert has a memory to match).
+// matches row by row). dist is the match margin the drift monitor compares
+// against the effective radius: the matched expert's squared signature
+// distance, or the nearest memory's when nothing is admissible (+Inf when no
+// expert has a memory to match).
 func (s *Snapshot) matchSignature(sig tensor.Vector) (idx int, dist float64, matched bool) {
 	eps := s.routeEps
 	if eps == 0 {
 		eps = s.Epsilon
 	}
-	i, dist, ok := shiftex.MatchSignatures(sig, s.memories)
+	return s.matchAt(sig, eps)
+}
+
+// matchAt is the admissibility-aware matching core shared by matchSignature
+// and MatchEmbedding: each expert accepts within max(eps, its radius
+// override), and the nearest admissible memory wins. Nearest-overall alone
+// (shiftex.MatchSignatures) is not enough once per-expert radii exist — the
+// globally nearest memory can fail its own radius while a farther live
+// expert with a calibrated radius would accept.
+func (s *Snapshot) matchAt(sig tensor.Vector, eps float64) (idx int, dist float64, matched bool) {
+	admIdx, admDist := -1, math.Inf(1)
+	anyDist := math.Inf(1)
+	for i, m := range s.memories {
+		if m == nil {
+			continue
+		}
+		d := stats.MeanEmbeddingMMD(sig, m)
+		if d < anyDist {
+			anyDist = d
+		}
+		thr := eps
+		if s.radii != nil && s.radii[i] > thr {
+			thr = s.radii[i]
+		}
+		if d <= thr && d < admDist {
+			admIdx, admDist = i, d
+		}
+	}
+	if admIdx >= 0 {
+		return admIdx, admDist, true
+	}
+	return s.fallback, anyDist, false
+}
+
+// MatchEmbedding resolves an already-computed embedding against the expert
+// memories under an explicit shared acceptance radius (per-expert overrides
+// still apply), returning the winning expert's training-time ID (the
+// fallback's when nothing is admissible). The continual controller's
+// validation gate uses it to score candidate and serving snapshots on the
+// same held-back live embeddings under the same radius — a candidate's
+// routeEps is not stamped until Swap adopts it, so the radius must come from
+// the caller.
+func (s *Snapshot) MatchEmbedding(sig tensor.Vector, eps float64) (id int, dist float64, matched bool) {
+	i, dist, ok := s.matchAt(sig, eps)
 	if !ok {
-		return s.fallback, math.Inf(1), false
+		return s.experts[s.fallback].ID, dist, false
 	}
-	if dist <= eps {
-		return i, dist, true
+	return s.experts[i].ID, dist, true
+}
+
+// SetExpertRadius stamps a per-expert acceptance-radius override (in the
+// squared signature-distance space routing compares in). It reports whether
+// the expert exists and the radius is positive. Call it only while building
+// a snapshot, before the snapshot is published to a server — published
+// snapshots are immutable.
+func (s *Snapshot) SetExpertRadius(id int, r float64) bool {
+	i, ok := s.byID[id]
+	if !ok || r <= 0 {
+		return false
 	}
-	return s.fallback, dist, false
+	if s.radii == nil {
+		s.radii = make([]float64, len(s.memories))
+	}
+	s.radii[i] = r
+	return true
+}
+
+// ExpertRadius returns the expert's acceptance-radius override, or 0 when it
+// uses the shared effective radius.
+func (s *Snapshot) ExpertRadius(id int) float64 {
+	i, ok := s.byID[id]
+	if !ok || s.radii == nil {
+		return 0
+	}
+	return s.radii[i]
 }
 
 // MonitorReference builds the drift monitor's scoring reference from this

@@ -1,0 +1,34 @@
+package shiftex
+
+import (
+	"errors"
+
+	"repro/internal/detect"
+	"repro/internal/tensor"
+)
+
+// LiveStatsFleet is the live-statistics window source: it wraps a Fleet and
+// replaces the Algorithm-1 statistics collection with externally synthesized
+// per-party statistics, while every other fleet operation (training rounds,
+// evaluation, fine-tuning) still reaches the real parties. It is how a
+// serving-time adaptation window (internal/continual) feeds the monitor's
+// live traffic sketches into the same detect → calibrate → assign →
+// train/consolidate pipeline the simulator drives: the pipeline stages see
+// PartyStats and never learn the window came from production traffic instead
+// of a party fan-out.
+type LiveStatsFleet struct {
+	Fleet
+	// Stats is returned verbatim by StatsAll, in party-ID order, exactly as
+	// a transport-backed fleet would report them.
+	Stats []detect.PartyStats
+}
+
+// StatsAll implements Fleet with the synthesized statistics. The encoder
+// parameters are ignored: the statistics were computed at serving time
+// through the snapshot's (identically frozen) encoder.
+func (f *LiveStatsFleet) StatsAll(tensor.Vector) ([]detect.PartyStats, error) {
+	if len(f.Stats) == 0 {
+		return nil, errors.New("shiftex: live-stats fleet has no statistics to report")
+	}
+	return f.Stats, nil
+}

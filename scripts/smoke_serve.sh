@@ -7,8 +7,11 @@
 # loadgen pass (route cache disabled) regenerates BENCH_serving-cold.json
 # and additionally gates on the mean micro-batch size — proof that the
 # batched GEMM pipeline engages when every request pays the full routing
-# path. CI runs this on every commit; it is also runnable locally:
-# ./scripts/smoke_serve.sh
+# path. A final closed-loop pass runs -adaptbench: the continual
+# controller must detect an injected shift, train new experts from the
+# live sketches, and hot-swap with zero dropped requests, gated with
+# -check-adapt. CI runs this on every commit; it is also runnable
+# locally: ./scripts/smoke_serve.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -125,5 +128,26 @@ grep -q "drift detected:" "$LOG/serve.log" \
 echo "== committed drift artifact gate (detected, no false positives, overhead <= 3%)"
 "$BIN/shiftex-serve" -check-drift BENCH_drift.json \
     || fail "committed drift artifact did not validate"
+
+echo "== closed-loop adaptation (detect -> train from live sketches -> hot swap)"
+# The continual controller must close the loop on the injected shift:
+# window completes, snapshot hot-swaps with zero dropped requests, and
+# the shifted regime's routing strictly improves over the frozen
+# baseline. Cooldown 60s keeps the post-swap recovery pass clean.
+"$BIN/shiftex-serve" -checkpoint "$CKPT" -adaptbench \
+    -samples "$SAMPLES" -test "$TEST" -concurrency 8 \
+    -monitor-baseline 160 -monitor-window 160 -monitor-eval-every 512 \
+    -monitor-resamples 20 -adapt-cooldown 60s -json "$WORKDIR" >"$LOG/serve.log" 2>&1 \
+    || fail "closed-loop adaptation benchmark failed"
+grep -q "windows completed=1" "$LOG/serve.log" \
+    || fail "adaptation window did not complete: $(cat "$LOG/serve.log")"
+
+echo "== adapt artifact gate (detected, swapped, zero drops, recovery strictly better)"
+"$BIN/shiftex-serve" -check-adapt "$WORKDIR/BENCH_adapt-live.json" \
+    || fail "adapt-live artifact did not validate"
+
+echo "== committed adapt artifact gate"
+"$BIN/shiftex-serve" -check-adapt BENCH_adapt-live.json \
+    || fail "committed adapt-live artifact did not validate"
 
 echo "SMOKE OK"
